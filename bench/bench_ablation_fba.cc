@@ -1,0 +1,203 @@
+// Ablation: is the Π-shaped fixed background area actually load-bearing?
+// Compares the stock detector (signatures from the TBA) against a variant
+// whose signatures come from the whole frame — where foreground motion
+// pollutes the "background" signal — over a mixed workload.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/pyramid.h"
+#include "core/features.h"
+#include "core/shot_detector.h"
+#include "core/variance_index.h"
+#include "eval/retrieval_eval.h"
+#include "eval/metrics.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "video/frame_ops.h"
+
+namespace {
+
+// Signatures computed from the entire frame instead of the TBA/FOA split.
+vdb::Result<vdb::VideoSignatures> FullFrameSignatures(
+    const vdb::Video& video) {
+  vdb::VideoSignatures out;
+  VDB_ASSIGN_OR_RETURN(out.geometry, vdb::ComputeAreaGeometry(
+                                         video.width(), video.height()));
+  int line_w = vdb::SnapToSizeSet(video.width());
+  int line_h = vdb::SnapToSizeSet(video.height() / 4);
+  for (int i = 0; i < video.frame_count(); ++i) {
+    VDB_ASSIGN_OR_RETURN(vdb::Frame strip,
+                         vdb::ResizeNearest(video.frame(i), line_w, line_h));
+    VDB_ASSIGN_OR_RETURN(vdb::AreaReduction red, vdb::ReduceArea(strip));
+    vdb::FrameSignature fs;
+    fs.signature_ba = std::move(red.signature);
+    fs.sign_ba = red.sign;
+    fs.sign_oa = red.sign;
+    out.frames.push_back(std::move(fs));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  double scale = vdb::bench::EnvScale("VDB_ABLATION_SCALE", 0.08);
+  Banner(vdb::StrFormat(
+      "Ablation: Π-shaped background area vs. full frame (scale %.2f)",
+      scale));
+
+  // Closeup-heavy material shows the effect: when a large, stable
+  // foreground subject dominates the frame, a full-frame signature is
+  // dominated by the subject and misses cuts between visually similar
+  // closeups. The movie storyboards are 1/5 tracking closeups; two
+  // foreground-heavy Table-5 clips round the workload out.
+  std::vector<vdb::ClipProfile> profiles = vdb::Table5Profiles();
+  vdb::CameraTrackingDetector detector;
+
+  vdb::TablePrinter t({"Clip", "TBA recall", "TBA precision",
+                       "Full-frame recall", "Full-frame precision"});
+  vdb::DetectionMetrics tba_total;
+  vdb::DetectionMetrics full_total;
+  std::vector<vdb::SyntheticVideo> workload;
+  std::vector<std::string> names;
+  workload.push_back(OrDie(
+      vdb::RenderStoryboard(vdb::SimonBirchStoryboard(40)), "render"));
+  names.push_back("Simon Birch (synthetic)");
+  workload.push_back(OrDie(
+      vdb::RenderStoryboard(vdb::WagTheDogStoryboard(40)), "render"));
+  names.push_back("Wag the Dog (synthetic)");
+  for (size_t idx : {2u, 7u}) {
+    workload.push_back(OrDie(
+        vdb::RenderStoryboard(
+            vdb::MakeStoryboardFromProfile(profiles[idx], scale, 23)),
+        "render"));
+    names.push_back(profiles[idx].name);
+  }
+  for (size_t c = 0; c < workload.size(); ++c) {
+    const vdb::SyntheticVideo& clip = workload[c];
+
+    vdb::VideoSignatures tba_sigs =
+        OrDie(vdb::ComputeVideoSignatures(clip.video), "tba signatures");
+    vdb::ShotDetectionResult tba_result =
+        OrDie(detector.DetectFromSignatures(tba_sigs), "tba detect");
+    vdb::DetectionMetrics tba = vdb::EvaluateBoundaries(
+        clip.truth.boundaries, tba_result.boundaries, 1);
+
+    vdb::VideoSignatures full_sigs =
+        OrDie(FullFrameSignatures(clip.video), "full signatures");
+    vdb::ShotDetectionResult full_result =
+        OrDie(detector.DetectFromSignatures(full_sigs), "full detect");
+    vdb::DetectionMetrics full = vdb::EvaluateBoundaries(
+        clip.truth.boundaries, full_result.boundaries, 1);
+
+    t.AddRow({names[c], vdb::FormatDouble(tba.Recall(), 2),
+              vdb::FormatDouble(tba.Precision(), 2),
+              vdb::FormatDouble(full.Recall(), 2),
+              vdb::FormatDouble(full.Precision(), 2)});
+    tba_total.true_boundaries += tba.true_boundaries;
+    tba_total.detected += tba.detected;
+    tba_total.correct += tba.correct;
+    full_total.true_boundaries += full.true_boundaries;
+    full_total.detected += full.detected;
+    full_total.correct += full.correct;
+  }
+  t.AddSeparator();
+  t.AddRow({"Total", vdb::FormatDouble(tba_total.Recall(), 2),
+            vdb::FormatDouble(tba_total.Precision(), 2),
+            vdb::FormatDouble(full_total.Recall(), 2),
+            vdb::FormatDouble(full_total.Precision(), 2)});
+  t.Print(std::cout);
+
+  std::cout << "\nFinding: for boundary detection on this synthetic "
+               "material the full-frame signature performs comparably — "
+               "cuts change the background so drastically that foreground "
+               "dilution rarely matters. The split earns its keep on the "
+               "indexing side, below.\n";
+
+  // Part B: the BA/OA split is what makes the variance features
+  // discriminative. With a single full-frame variance, D^v is identically
+  // zero and closeups become indistinguishable from camera motion.
+  Banner("Part B: retrieval quality with vs. without the BA/OA split");
+  {
+    auto coarse = [](const std::string& cls) {
+      return (cls == "camera-motion" || cls == "moving-object")
+                 ? std::string("motion")
+                 : cls;
+    };
+    vdb::VarianceIndex split_index;
+    vdb::VarianceIndex full_index;
+    std::vector<std::string> classes;
+    std::vector<vdb::ShotFeatures> split_flat;
+    std::vector<vdb::ShotFeatures> full_flat;
+    int per_movie = 0;
+    for (int v = 0; v < 2; ++v) {
+      const vdb::SyntheticVideo& sv = workload[static_cast<size_t>(v)];
+      per_movie = static_cast<int>(sv.truth.shots.size());
+      vdb::VideoSignatures sigs =
+          OrDie(vdb::ComputeVideoSignatures(sv.video), "signatures");
+      vdb::VideoSignatures full =
+          OrDie(FullFrameSignatures(sv.video), "full signatures");
+      std::vector<vdb::Shot> ranges;
+      for (const vdb::ShotTruth& t : sv.truth.shots) {
+        ranges.push_back(vdb::Shot{t.start_frame, t.end_frame});
+        classes.push_back(coarse(t.motion_class));
+      }
+      std::vector<vdb::ShotFeatures> split_features =
+          OrDie(vdb::ComputeAllShotFeatures(sigs, ranges), "features");
+      std::vector<vdb::ShotFeatures> full_features =
+          OrDie(vdb::ComputeAllShotFeatures(full, ranges), "features");
+      // The full-frame variant has one variance; use it for both fields
+      // (sign_oa was set equal to sign_ba in FullFrameSignatures).
+      split_index.AddVideo(v, split_features);
+      full_index.AddVideo(v, full_features);
+      split_flat.insert(split_flat.end(), split_features.begin(),
+                        split_features.end());
+      full_flat.insert(full_flat.end(), full_features.begin(),
+                       full_features.end());
+    }
+
+    auto precision_at3 = [&](const vdb::VarianceIndex& index,
+                             const std::vector<vdb::ShotFeatures>& flat) {
+      vdb::RetrievalSummary summary;
+      for (size_t q = 0; q < flat.size(); ++q) {
+        vdb::VarianceQuery query;
+        query.var_ba = flat[q].var_ba;
+        query.var_oa = flat[q].var_oa;
+        std::vector<vdb::QueryMatch> top = index.QueryTopK(
+            query, 3, static_cast<int>(q) / per_movie,
+            static_cast<int>(q) % per_movie);
+        std::vector<std::string> retrieved;
+        for (const vdb::QueryMatch& m : top) {
+          size_t flat_idx = static_cast<size_t>(m.entry.video_id) *
+                                static_cast<size_t>(per_movie) +
+                            static_cast<size_t>(m.entry.shot_index);
+          retrieved.push_back(classes[flat_idx]);
+        }
+        summary.Record(classes[q],
+                       vdb::ClassPrecision(classes[q], retrieved));
+      }
+      return summary;
+    };
+
+    vdb::RetrievalSummary with_split = precision_at3(split_index, split_flat);
+    vdb::RetrievalSummary without = precision_at3(full_index, full_flat);
+    vdb::TablePrinter t2({"Features", "Mean class precision@3"});
+    t2.AddRow({"Var^BA + Var^OA (paper)",
+               vdb::FormatDouble(with_split.OverallMean(), 2)});
+    t2.AddRow({"single full-frame variance",
+               vdb::FormatDouble(without.OverallMean(), 2)});
+    t2.Print(std::cout);
+    std::cout << "\nExpected shape: the split features separate closeups "
+                 "(stable object area) from camera motion (everything "
+                 "changes); a single variance cannot, so its precision "
+                 "drops toward chance for those classes.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation: the optional gradual-transition pass. The stock cascade chains
+// through dissolves (each consecutive pair looks same-shot), costing recall
+// on dissolve-heavy genres — documentaries in Table 5. This bench measures
+// recall/precision with the pass off and on, over the dissolve-heavy clips
+// and (as a regression check) two cut-only clips.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/shot_detector.h"
+#include "eval/metrics.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  double scale = vdb::bench::EnvScale("VDB_ABLATION_SCALE", 0.15);
+  Banner(vdb::StrFormat(
+      "Ablation: gradual-transition detection (scale %.2f)", scale));
+
+  std::vector<vdb::ClipProfile> profiles = vdb::Table5Profiles();
+  // Documentaries (dissolve-heavy), Star Trek (some dissolves), plus two
+  // cut-only clips to check for regressions.
+  std::vector<size_t> picks = {18, 19, 4, 0, 9};
+
+  vdb::CameraTrackingDetector stock;
+  vdb::CameraTrackingOptions gradual_options;
+  gradual_options.detect_gradual = true;
+  vdb::CameraTrackingDetector with_gradual(gradual_options);
+
+  // A dedicated slow-dissolve clip: at the paper's 3 fps sampling, the
+  // profile dissolves span 3-5 frames and fail the pairwise thresholds
+  // anyway (the cascade catches them); what chains undetected is a *slow*
+  // dissolve whose per-frame sign step stays under the stage-1 tolerance.
+  std::vector<std::pair<std::string, vdb::Storyboard>> workload;
+  {
+    vdb::Storyboard slow;
+    slow.name = "slow-dissolves";
+    slow.seed = 77;
+    for (int i = 0; i < 12; ++i) {
+      vdb::ShotSpec shot;
+      shot.scene_id = i;
+      shot.frame_count = 30;
+      shot.noise_stddev = 1.0;
+      if (i > 0) {
+        shot.transition_in = vdb::TransitionType::kDissolve;
+        shot.transition_frames = 16;
+      }
+      slow.shots.push_back(shot);
+    }
+    workload.emplace_back("slow-dissolve clip (16-frame fades)", slow);
+  }
+  for (size_t idx : picks) {
+    workload.emplace_back(
+        profiles[idx].name,
+        vdb::MakeStoryboardFromProfile(profiles[idx], scale, 41));
+  }
+
+  vdb::TablePrinter t({"Clip", "Dissolves", "Stock recall",
+                       "Stock precision", "Gradual recall",
+                       "Gradual precision"});
+  vdb::DetectionMetrics stock_total, gradual_total;
+  for (const auto& [clip_name, board] : workload) {
+    int dissolves = 0;
+    for (const vdb::ShotSpec& shot : board.shots) {
+      if (shot.transition_in == vdb::TransitionType::kDissolve) ++dissolves;
+    }
+    vdb::SyntheticVideo clip = OrDie(vdb::RenderStoryboard(board), "render");
+
+    vdb::ShotDetectionResult stock_result =
+        OrDie(stock.Detect(clip.video), "stock detect");
+    vdb::ShotDetectionResult gradual_result =
+        OrDie(with_gradual.Detect(clip.video), "gradual detect");
+    // Gradual boundaries land mid-transition: allow the transition length
+    // as matching tolerance.
+    vdb::DetectionMetrics ms = vdb::EvaluateBoundaries(
+        clip.truth.boundaries, stock_result.boundaries, 9);
+    vdb::DetectionMetrics mg = vdb::EvaluateBoundaries(
+        clip.truth.boundaries, gradual_result.boundaries, 9);
+    t.AddRow({clip_name, std::to_string(dissolves),
+              vdb::FormatDouble(ms.Recall(), 2),
+              vdb::FormatDouble(ms.Precision(), 2),
+              vdb::FormatDouble(mg.Recall(), 2),
+              vdb::FormatDouble(mg.Precision(), 2)});
+    stock_total.true_boundaries += ms.true_boundaries;
+    stock_total.detected += ms.detected;
+    stock_total.correct += ms.correct;
+    gradual_total.true_boundaries += mg.true_boundaries;
+    gradual_total.detected += mg.detected;
+    gradual_total.correct += mg.correct;
+  }
+  t.AddSeparator();
+  t.AddRow({"Total", "", vdb::FormatDouble(stock_total.Recall(), 2),
+            vdb::FormatDouble(stock_total.Precision(), 2),
+            vdb::FormatDouble(gradual_total.Recall(), 2),
+            vdb::FormatDouble(gradual_total.Precision(), 2)});
+  t.Print(std::cout);
+
+  std::cout << "\nExpected shape: recall rises on the dissolve-heavy clips "
+               "(the stock cascade chains through dissolves) at little or "
+               "no precision cost on cut-only material.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: banded similarity queries (Equations 7-8) vs the quantized
+// alternative the paper mentions in Section 4.2 ("matching on quantized
+// data"). Measures agreement with the banded reference and the lookup-cost
+// difference over a large synthetic index.
+
+#include <chrono>
+#include <iostream>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "core/quantized_index.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+
+  Banner("Ablation: banded queries vs quantized matching (Section 4.2)");
+
+  // A large index with a realistic spread of variance values.
+  vdb::Pcg32 rng(31337);
+  const int kShots = 100000;
+  vdb::VarianceIndex banded;
+  vdb::QuantizedVarianceIndex plain;
+  vdb::QuantizedVarianceIndex::Options probe_opts;
+  probe_opts.probe_neighbors = true;
+  vdb::QuantizedVarianceIndex probing(probe_opts);
+  for (int i = 0; i < kShots; ++i) {
+    vdb::IndexEntry e{i % 100, i, rng.NextDouble(0, 400),
+                      rng.NextDouble(0, 400)};
+    banded.Add(e);
+    plain.Add(e);
+    probing.Add(e);
+  }
+  (void)banded.Query(vdb::VarianceQuery{});  // settle the lazy sort
+
+  const int kQueries = 2000;
+  std::vector<vdb::VarianceQuery> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    vdb::VarianceQuery q;
+    q.var_ba = rng.NextDouble(0, 400);
+    q.var_oa = rng.NextDouble(0, 400);
+    queries.push_back(q);
+  }
+
+  struct Row {
+    const char* name;
+    double recall_vs_banded;
+    double extra_ratio;
+    double micros_per_query;
+  };
+  std::vector<Row> rows;
+
+  // Banded reference + timing.
+  std::vector<std::set<int>> reference;
+  {
+    vdb::Stopwatch watch;
+    for (const auto& q : queries) {
+      std::set<int> ids;
+      for (const vdb::QueryMatch& m : banded.Query(q)) {
+        ids.insert(m.entry.shot_index);
+      }
+      reference.push_back(std::move(ids));
+    }
+    rows.push_back(Row{"banded (paper, Eq. 7-8)", 1.0, 1.0,
+                       watch.ElapsedSeconds() * 1e6 / kQueries});
+  }
+
+  auto evaluate = [&](const char* name,
+                      const vdb::QuantizedVarianceIndex& index) {
+    long hit = 0;
+    long wanted = 0;
+    long returned = 0;
+    long reference_total = 0;
+    vdb::Stopwatch watch;
+    for (int i = 0; i < kQueries; ++i) {
+      std::vector<vdb::QueryMatch> matches = index.Query(queries[i]);
+      returned += static_cast<long>(matches.size());
+      reference_total +=
+          static_cast<long>(reference[static_cast<size_t>(i)].size());
+      wanted += static_cast<long>(reference[static_cast<size_t>(i)].size());
+      for (const vdb::QueryMatch& m : matches) {
+        if (reference[static_cast<size_t>(i)].count(m.entry.shot_index)) {
+          ++hit;
+        }
+      }
+    }
+    rows.push_back(Row{
+        name, wanted > 0 ? static_cast<double>(hit) / wanted : 1.0,
+        reference_total > 0
+            ? static_cast<double>(returned) / reference_total
+            : 1.0,
+        watch.ElapsedSeconds() * 1e6 / kQueries});
+  };
+  evaluate("quantized, own cell only", plain);
+  evaluate("quantized + 8 neighbour cells", probing);
+
+  vdb::TablePrinter t({"Query mode", "Recall vs banded",
+                       "Returned / banded", "us per query"});
+  for (const Row& row : rows) {
+    t.AddRow({row.name, vdb::FormatDouble(row.recall_vs_banded, 3),
+              vdb::FormatDouble(row.extra_ratio, 2),
+              vdb::FormatDouble(row.micros_per_query, 1)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nExpected shape: own-cell quantized matching loses the "
+               "banded matches that fall across a cell border (recall well "
+               "below 1); probing the neighbouring cells recovers them all "
+               "at the cost of returning a wider candidate set. The paper "
+               "chose the banded model; this quantifies what the mentioned "
+               "alternative would have traded.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: the RELATIONSHIP threshold (Equation 2, 10% in the paper) and
+// the diagonal frame walk. Sweeps the threshold and compares the diagonal
+// scan against the exhaustive O(|A|x|B|) variant on labelled workloads,
+// scoring related-verdicts against ground-truth scene identity.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/shot.h"
+#include "eval/tree_eval.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  double scale = vdb::bench::EnvScale("VDB_ABLATION_SCALE", 0.08);
+  Banner(vdb::StrFormat(
+      "Ablation: RELATIONSHIP threshold and scan order (scale %.2f)",
+      scale));
+
+  // Sitcom + soap: high revisit probability gives many same-scene pairs.
+  std::vector<vdb::ClipProfile> profiles = vdb::Table5Profiles();
+  struct Prepared {
+    vdb::VideoSignatures sigs;
+    std::vector<vdb::Shot> shots;
+    std::vector<int> scene_ids;
+  };
+  std::vector<Prepared> prepared;
+  for (size_t idx : {2u, 5u, 13u}) {
+    vdb::SyntheticVideo clip = OrDie(
+        vdb::RenderStoryboard(
+            vdb::MakeStoryboardFromProfile(profiles[idx], scale, 31)),
+        "render");
+    Prepared p;
+    p.sigs = OrDie(vdb::ComputeVideoSignatures(clip.video), "signatures");
+    for (const vdb::ShotTruth& t : clip.truth.shots) {
+      p.shots.push_back(vdb::Shot{t.start_frame, t.end_frame});
+      p.scene_ids.push_back(t.scene_id);
+    }
+    prepared.push_back(std::move(p));
+  }
+
+  auto evaluate = [&](const vdb::SceneTreeOptions& options) {
+    vdb::RelationMetrics total;
+    for (const Prepared& p : prepared) {
+      vdb::RelationMetrics m =
+          vdb::EvaluateRelationship(p.sigs, p.shots, p.scene_ids, options);
+      total.true_positive += m.true_positive;
+      total.false_positive += m.false_positive;
+      total.false_negative += m.false_negative;
+      total.true_negative += m.true_negative;
+    }
+    return total;
+  };
+
+  vdb::TablePrinter t({"Threshold (% of 256)", "Scan", "Precision",
+                       "Recall", "F1"});
+  for (double threshold : {2.5, 5.0, 10.0, 15.0, 25.0, 40.0}) {
+    for (bool diagonal : {true, false}) {
+      vdb::SceneTreeOptions options;
+      options.relationship_threshold_pct = threshold;
+      options.diagonal_scan = diagonal;
+      vdb::RelationMetrics m = evaluate(options);
+      t.AddRow({vdb::FormatDouble(threshold, 1),
+                diagonal ? "diagonal (paper)" : "exhaustive",
+                vdb::FormatDouble(m.Precision(), 2),
+                vdb::FormatDouble(m.Recall(), 2),
+                vdb::FormatDouble(m.F1(), 2)});
+    }
+    t.AddSeparator();
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nExpected shape: F1 peaks around the paper's 10% — tighter "
+               "thresholds miss re-framed revisits (recall drops), looser "
+               "ones merge distinct scenes (precision drops). The diagonal "
+               "walk trades a little recall for an O(|A|) scan instead of "
+               "O(|A|x|B|).\n";
+  return 0;
+}

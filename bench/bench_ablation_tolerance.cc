@@ -1,0 +1,103 @@
+// Ablation: the similarity model's tolerances alpha and beta (Equations 7
+// and 8; the paper sets both to 1.0). Sweeps the tolerance and reports how
+// many shots a band query returns and how precise they are w.r.t. the
+// query's motion class.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/features.h"
+#include "core/variance_index.h"
+#include "eval/retrieval_eval.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+std::string CoarseClass(const std::string& cls) {
+  if (cls == "camera-motion" || cls == "moving-object") return "motion";
+  return cls;
+}
+
+}  // namespace
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  Banner("Ablation: query tolerances alpha and beta (Equations 7-8)");
+
+  vdb::SyntheticVideo simon =
+      OrDie(vdb::RenderStoryboard(vdb::SimonBirchStoryboard(40)), "render");
+  vdb::SyntheticVideo wag =
+      OrDie(vdb::RenderStoryboard(vdb::WagTheDogStoryboard(40)), "render");
+
+  vdb::VarianceIndex index;
+  std::vector<std::string> classes;
+  std::vector<vdb::ShotFeatures> features_flat;
+  int video_id = 0;
+  for (const auto* sv : {&simon, &wag}) {
+    vdb::VideoSignatures sigs =
+        OrDie(vdb::ComputeVideoSignatures(sv->video), "signatures");
+    std::vector<vdb::Shot> ranges;
+    for (const vdb::ShotTruth& t : sv->truth.shots) {
+      ranges.push_back(vdb::Shot{t.start_frame, t.end_frame});
+      classes.push_back(CoarseClass(t.motion_class));
+    }
+    std::vector<vdb::ShotFeatures> features =
+        OrDie(vdb::ComputeAllShotFeatures(sigs, ranges), "features");
+    index.AddVideo(video_id++, features);
+    features_flat.insert(features_flat.end(), features.begin(),
+                         features.end());
+  }
+  int per_movie = static_cast<int>(simon.truth.shots.size());
+
+  vdb::TablePrinter t({"alpha = beta", "Mean matches per query",
+                       "Mean class precision", "Queries with 0 matches"});
+  for (double tol : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    long total_matches = 0;
+    int empty = 0;
+    vdb::RetrievalSummary summary;
+    for (size_t q = 0; q < features_flat.size(); ++q) {
+      vdb::VarianceQuery query;
+      query.var_ba = features_flat[q].var_ba;
+      query.var_oa = features_flat[q].var_oa;
+      query.alpha = tol;
+      query.beta = tol;
+      std::vector<vdb::QueryMatch> matches = index.Query(query);
+      std::erase_if(matches, [&](const vdb::QueryMatch& m) {
+        return m.entry.video_id == static_cast<int>(q) / per_movie &&
+               m.entry.shot_index == static_cast<int>(q) % per_movie;
+      });
+      total_matches += static_cast<long>(matches.size());
+      if (matches.empty()) {
+        ++empty;
+        continue;
+      }
+      std::vector<std::string> retrieved;
+      for (const vdb::QueryMatch& m : matches) {
+        size_t flat = static_cast<size_t>(m.entry.video_id) * per_movie +
+                      static_cast<size_t>(m.entry.shot_index);
+        retrieved.push_back(classes[flat]);
+      }
+      summary.Record(classes[q],
+                     vdb::ClassPrecision(classes[q], retrieved));
+    }
+    t.AddRow({vdb::FormatDouble(tol, 2),
+              vdb::FormatDouble(static_cast<double>(total_matches) /
+                                    static_cast<double>(features_flat.size()),
+                                1),
+              vdb::FormatDouble(summary.OverallMean(), 2),
+              std::to_string(empty)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nExpected shape: precision falls and match counts grow as "
+               "the band widens; very tight bands return nothing for many "
+               "queries. The paper's alpha = beta = 1.0 sits at the "
+               "precision/coverage knee.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Substantiates the paper's Section-1 motivation: histogram- and edge-based
+// detectors need several thresholds and their accuracy swings wildly with
+// them (the cited study saw 20%-80%), while the camera-tracking technique
+// works untuned across genres. Sweeps each baseline's main threshold over a
+// mixed six-clip workload and compares against camera tracking.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "baselines/sbd_baseline.h"
+#include "eval/sbd_experiment.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct NamedBaseline {
+  std::string setting;
+  std::unique_ptr<vdb::SbdBaseline> detector;
+};
+
+}  // namespace
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  double scale = vdb::bench::EnvScale("VDB_BASELINE_SCALE", 0.08);
+  Banner(vdb::StrFormat(
+      "Baseline threshold sensitivity (workload scale %.2f)", scale));
+
+  // Six clips spanning the genres, weighted toward the hard material:
+  // sitcom and soap (heavy scene revisits: cuts between re-framings of the
+  // same set barely move a colour histogram), talk show (flashes), tennis
+  // (fast pans), documentary (dissolves), music video (flash + rapid cuts).
+  std::vector<vdb::ClipProfile> profiles = vdb::Table5Profiles();
+  std::vector<size_t> picks = {2, 5, 7, 15, 18, 20};
+
+  // Pre-render the clips once.
+  std::vector<vdb::SyntheticVideo> clips;
+  for (size_t idx : picks) {
+    clips.push_back(OrDie(
+        vdb::RenderStoryboard(
+            vdb::MakeStoryboardFromProfile(profiles[idx], scale, 11)),
+        "render"));
+  }
+
+  auto evaluate = [&](auto&& detect) {
+    vdb::DetectionMetrics total;
+    for (const vdb::SyntheticVideo& clip : clips) {
+      std::vector<int> found = detect(clip.video);
+      vdb::DetectionMetrics m =
+          vdb::EvaluateBoundaries(clip.truth.boundaries, found, 1);
+      total.true_boundaries += m.true_boundaries;
+      total.detected += m.detected;
+      total.correct += m.correct;
+    }
+    return total;
+  };
+
+  vdb::TablePrinter t({"Detector", "Threshold setting", "Recall",
+                       "Precision", "F1"});
+
+  // Colour histogram: sweep the cut threshold.
+  for (double cut : {0.05, 0.2, 0.55, 1.2, 2.5, 4.0}) {
+    vdb::HistogramDetector::Options opts;
+    opts.cut_threshold = cut;
+    opts.gradual_threshold = cut / 2;
+    vdb::HistogramDetector det(opts);
+    vdb::DetectionMetrics m = evaluate([&](const vdb::Video& v) {
+      return det.DetectBoundaries(v).value_or({});
+    });
+    t.AddRow({"color-histogram", vdb::StrFormat("cut=%.2f", cut),
+              vdb::FormatDouble(m.Recall(), 2),
+              vdb::FormatDouble(m.Precision(), 2),
+              vdb::FormatDouble(m.F1(), 2)});
+  }
+  t.AddSeparator();
+
+  // Edge change ratio: sweep the ECR cut threshold.
+  for (double ecr : {0.1, 0.2, 0.35, 0.5, 0.7, 0.9}) {
+    vdb::EcrDetector::Options opts;
+    opts.ecr_cut_threshold = ecr;
+    opts.ecr_gradual_threshold = ecr * 0.7;
+    vdb::EcrDetector det(opts);
+    vdb::DetectionMetrics m = evaluate([&](const vdb::Video& v) {
+      return det.DetectBoundaries(v).value_or({});
+    });
+    t.AddRow({"edge-change-ratio", vdb::StrFormat("ecr=%.2f", ecr),
+              vdb::FormatDouble(m.Recall(), 2),
+              vdb::FormatDouble(m.Precision(), 2),
+              vdb::FormatDouble(m.F1(), 2)});
+  }
+  t.AddSeparator();
+
+  // Pixel difference: sweep the mean-difference threshold.
+  for (double thr : {6.0, 12.0, 18.0, 30.0, 50.0}) {
+    vdb::PixelDiffDetector::Options opts;
+    opts.threshold = thr;
+    vdb::PixelDiffDetector det(opts);
+    vdb::DetectionMetrics m = evaluate([&](const vdb::Video& v) {
+      return det.DetectBoundaries(v).value_or({});
+    });
+    t.AddRow({"pixel-diff", vdb::StrFormat("thr=%.0f", thr),
+              vdb::FormatDouble(m.Recall(), 2),
+              vdb::FormatDouble(m.Precision(), 2),
+              vdb::FormatDouble(m.F1(), 2)});
+  }
+  t.AddSeparator();
+
+  // Camera tracking with its stock configuration.
+  {
+    vdb::CameraTrackingDetector det;
+    vdb::DetectionMetrics m = evaluate([&](const vdb::Video& v) {
+      auto r = det.Detect(v);
+      return r.ok() ? r.value().boundaries : std::vector<int>{};
+    });
+    t.AddRow({"camera-tracking", "(stock)",
+              vdb::FormatDouble(m.Recall(), 2),
+              vdb::FormatDouble(m.Precision(), 2),
+              vdb::FormatDouble(m.F1(), 2)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nExpected shape: the baselines' F1 varies strongly across "
+               "their threshold sweeps (the paper cites 20%-80% accuracy "
+               "for histogram methods depending on thresholds), while "
+               "untuned camera tracking sits at or above the best swept "
+               "setting.\n";
+  return 0;
+}

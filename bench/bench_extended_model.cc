@@ -1,0 +1,135 @@
+// Extension bench (Section 6 future work: "extensions to our
+// variance-based similarity model to make the comparison more
+// discriminating"): compares retrieval precision of the paper's
+// (Var^BA, Var^OA) model against the extended fingerprint that adds the
+// shot's mean background colour and its classified camera motion — both
+// free by-products of the signature pass.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/fingerprint.h"
+#include "eval/retrieval_eval.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+std::string CoarseClass(const std::string& cls) {
+  if (cls == "camera-motion" || cls == "moving-object") return "motion";
+  return cls;
+}
+
+}  // namespace
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  Banner("Extension: extended similarity model vs. the paper's");
+
+  vdb::SyntheticVideo simon =
+      OrDie(vdb::RenderStoryboard(vdb::SimonBirchStoryboard(40)), "render");
+  vdb::SyntheticVideo wag =
+      OrDie(vdb::RenderStoryboard(vdb::WagTheDogStoryboard(40)), "render");
+
+  vdb::FingerprintIndex index;
+  std::vector<std::string> classes;       // motion-class ground truth
+  std::vector<std::string> scene_labels;  // "<video>:<scene-id>" truth
+  std::vector<vdb::ShotFingerprint> flat;
+  int video_id = 0;
+  for (const auto* sv : {&simon, &wag}) {
+    vdb::VideoSignatures sigs =
+        OrDie(vdb::ComputeVideoSignatures(sv->video), "signatures");
+    std::vector<vdb::Shot> ranges;
+    for (const vdb::ShotTruth& t : sv->truth.shots) {
+      ranges.push_back(vdb::Shot{t.start_frame, t.end_frame});
+      classes.push_back(CoarseClass(t.motion_class));
+      scene_labels.push_back(vdb::StrFormat("%d:%d", video_id, t.scene_id));
+    }
+    std::vector<vdb::ShotFingerprint> fps =
+        OrDie(vdb::ComputeAllShotFingerprints(sigs, ranges), "fingerprints");
+    index.AddVideo(video_id++, fps);
+    flat.insert(flat.end(), fps.begin(), fps.end());
+  }
+  int per_movie = static_cast<int>(simon.truth.shots.size());
+
+  // precision@3 of retrieved shots against an arbitrary labelling.
+  auto precision_with = [&](const vdb::FingerprintWeights& weights,
+                            const std::vector<std::string>& labels) {
+    vdb::RetrievalSummary summary;
+    for (size_t q = 0; q < flat.size(); ++q) {
+      std::vector<vdb::FingerprintMatch> top = index.QueryTopK(
+          flat[q], 3, weights, static_cast<int>(q) / per_movie,
+          static_cast<int>(q) % per_movie);
+      std::vector<std::string> retrieved;
+      for (const vdb::FingerprintMatch& m : top) {
+        size_t f = static_cast<size_t>(m.video_id) *
+                       static_cast<size_t>(per_movie) +
+                   static_cast<size_t>(m.shot_index);
+        retrieved.push_back(labels[f]);
+      }
+      summary.Record(labels[q], vdb::ClassPrecision(labels[q], retrieved));
+    }
+    return summary;
+  };
+
+  struct Config {
+    const char* name;
+    vdb::FingerprintWeights weights;
+  };
+  std::vector<Config> configs;
+  {
+    Config paper{"paper model (variances only)", {}};
+    paper.weights.color_weight = 0.0;
+    paper.weights.motion_weight = 0.0;
+    configs.push_back(paper);
+    Config color{"+ mean background colour", {}};
+    color.weights.motion_weight = 0.0;
+    configs.push_back(color);
+    Config motion{"+ camera-motion group", {}};
+    motion.weights.color_weight = 0.0;
+    configs.push_back(motion);
+    configs.push_back(Config{"+ both (full fingerprint)", {}});
+  }
+
+  // Axis 1: do retrieved shots share the query's *kind of motion*? The
+  // motion-group term should help here; colour is orthogonal.
+  std::cout << "Axis 1 — motion-class precision@3 (does the result move "
+               "like the query?):\n\n";
+  vdb::TablePrinter t({"Model", "closeup", "distant", "motion", "static",
+                       "overall"});
+  for (const Config& config : configs) {
+    vdb::RetrievalSummary s = precision_with(config.weights, classes);
+    t.AddRow({config.name,
+              vdb::FormatDouble(s.ClassMean("closeup-talk"), 2),
+              vdb::FormatDouble(s.ClassMean("distant-talk"), 2),
+              vdb::FormatDouble(s.ClassMean("motion"), 2),
+              vdb::FormatDouble(s.ClassMean("static"), 2),
+              vdb::FormatDouble(s.OverallMean(), 2)});
+  }
+  t.Print(std::cout);
+
+  // Axis 2: do retrieved shots come from the query's *location*? The
+  // colour term should help here; variances alone barely can.
+  std::cout << "\nAxis 2 — scene-identity precision@3 (was the result "
+               "filmed in the query's location?):\n\n";
+  vdb::TablePrinter t2({"Model", "overall"});
+  for (const Config& config : configs) {
+    vdb::RetrievalSummary s = precision_with(config.weights, scene_labels);
+    t2.AddRow({config.name, vdb::FormatDouble(s.OverallMean(), 2)});
+  }
+  t2.Print(std::cout);
+
+  std::cout << "\nExpected shape: the motion-group term sharpens the "
+               "classes it can see (closeups, statics) on axis 1; the "
+               "colour term multiplies scene-identity precision on axis 2 "
+               "while being pure noise for motion classes. The cues answer "
+               "different questions, so the weights are query-intent knobs "
+               "rather than one best setting — and all of them are free "
+               "by-products of the signatures already computed for SBD.\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Reproduces Figures 8-10: variance-based query-by-example over the two
+// synthetic movie clips. For each of the paper's three query archetypes —
+// a talking-head closeup (Fig. 8), two people talking at a distance
+// (Fig. 9), and a moving object with changing background (Fig. 10) — the
+// three most similar shots are retrieved and their ground-truth classes
+// reported. A summary grid gives mean precision@3 per query class.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/features.h"
+#include "core/variance_index.h"
+#include "eval/retrieval_eval.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct IndexedShot {
+  std::string clip;   // "S" or "W" suffix, paper style
+  std::string label;  // "#12W"
+  std::string coarse_class;
+  vdb::ShotFeatures features;
+};
+
+std::string CoarseClass(const std::string& cls) {
+  // The paper's Figure-10 matches mix tracked objects and bare camera
+  // motion; they form one similarity class here as well.
+  if (cls == "camera-motion" || cls == "moving-object") return "motion";
+  return cls;
+}
+
+}  // namespace
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  Banner("Figures 8-10: variance-based retrieval");
+
+  vdb::SyntheticVideo simon =
+      OrDie(vdb::RenderStoryboard(vdb::SimonBirchStoryboard(40)), "render");
+  vdb::SyntheticVideo wag =
+      OrDie(vdb::RenderStoryboard(vdb::WagTheDogStoryboard(40)), "render");
+
+  vdb::VarianceIndex index;
+  std::vector<IndexedShot> shots;
+  int video_id = 0;
+  for (const auto* sv : {&simon, &wag}) {
+    vdb::VideoSignatures sigs =
+        OrDie(vdb::ComputeVideoSignatures(sv->video), "signatures");
+    std::vector<vdb::Shot> ranges;
+    for (const vdb::ShotTruth& t : sv->truth.shots) {
+      ranges.push_back(vdb::Shot{t.start_frame, t.end_frame});
+    }
+    std::vector<vdb::ShotFeatures> features =
+        OrDie(vdb::ComputeAllShotFeatures(sigs, ranges), "features");
+    index.AddVideo(video_id, features);
+    const char* suffix = video_id == 0 ? "S" : "W";
+    for (size_t i = 0; i < features.size(); ++i) {
+      shots.push_back(IndexedShot{
+          suffix, vdb::StrFormat("#%zu%s", i + 1, suffix),
+          CoarseClass(sv->truth.shots[i].motion_class), features[i]});
+    }
+    ++video_id;
+  }
+  int per_movie = static_cast<int>(simon.truth.shots.size());
+
+  auto run_query = [&](size_t query_flat, const char* figure) {
+    const IndexedShot& q = shots[query_flat];
+    std::cout << figure << " — query " << q.label << " ("
+              << q.coarse_class << "), sqrt(Var^BA)="
+              << vdb::FormatDouble(std::sqrt(q.features.var_ba), 2)
+              << ", D^v=" << vdb::FormatDouble(q.features.Dv(), 2) << "\n";
+    vdb::VarianceQuery query;
+    query.var_ba = q.features.var_ba;
+    query.var_oa = q.features.var_oa;
+    int vid = static_cast<int>(query_flat) / per_movie;
+    int shot = static_cast<int>(query_flat) % per_movie;
+    std::vector<vdb::QueryMatch> top = index.QueryTopK(query, 3, vid, shot);
+    for (const vdb::QueryMatch& m : top) {
+      size_t flat = static_cast<size_t>(m.entry.video_id) * per_movie +
+                    static_cast<size_t>(m.entry.shot_index);
+      std::cout << "    " << shots[flat].label << "  class="
+                << shots[flat].coarse_class << "  distance="
+                << vdb::FormatDouble(m.distance, 2) << '\n';
+    }
+    std::cout << '\n';
+  };
+
+  // One exemplary query per paper figure: the medoid of each archetype in
+  // the chosen clip (the shot minimising summed feature distance to its
+  // class peers), mirroring the paper's #12W, #33W, #76S examples.
+  auto find_query = [&](const std::string& cls, int video) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < shots.size(); ++i) {
+      if (shots[i].coarse_class == cls) members.push_back(i);
+    }
+    size_t best = 0;
+    double best_cost = 1e300;
+    for (size_t i : members) {
+      if (static_cast<int>(i) / per_movie != video) continue;
+      double cost = 0.0;
+      for (size_t j : members) {
+        double d_dv = shots[i].features.Dv() - shots[j].features.Dv();
+        double d_ba = std::sqrt(shots[i].features.var_ba) -
+                      std::sqrt(shots[j].features.var_ba);
+        cost += std::sqrt(d_dv * d_dv + d_ba * d_ba);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    return best;
+  };
+  run_query(find_query("closeup-talk", 1), "Figure 8");
+  run_query(find_query("distant-talk", 1), "Figure 9");
+  run_query(find_query("motion", 0), "Figure 10");
+
+  // Aggregate: every shot queries the index; precision@3 by class.
+  Banner("Mean class precision@3 over all shots as queries");
+  vdb::RetrievalSummary summary;
+  for (size_t qf = 0; qf < shots.size(); ++qf) {
+    vdb::VarianceQuery query;
+    query.var_ba = shots[qf].features.var_ba;
+    query.var_oa = shots[qf].features.var_oa;
+    int vid = static_cast<int>(qf) / per_movie;
+    int shot = static_cast<int>(qf) % per_movie;
+    std::vector<vdb::QueryMatch> top = index.QueryTopK(query, 3, vid, shot);
+    std::vector<std::string> retrieved;
+    for (const vdb::QueryMatch& m : top) {
+      size_t flat = static_cast<size_t>(m.entry.video_id) * per_movie +
+                    static_cast<size_t>(m.entry.shot_index);
+      retrieved.push_back(shots[flat].coarse_class);
+    }
+    summary.Record(shots[qf].coarse_class,
+                   vdb::ClassPrecision(shots[qf].coarse_class, retrieved));
+  }
+  vdb::TablePrinter t({"Query class", "Queries", "Mean precision@3"});
+  for (const auto& [cls, stat] : summary.per_class) {
+    t.AddRow({cls, std::to_string(stat.second),
+              vdb::FormatDouble(stat.first / stat.second, 2)});
+  }
+  t.AddSeparator();
+  t.AddRow({"Overall", std::to_string(summary.overall_count),
+            vdb::FormatDouble(summary.OverallMean(), 2)});
+  t.Print(std::cout);
+
+  std::cout << "\nA random index over 4 balanced classes would score 0.25; "
+               "values well above that reproduce the paper's qualitative "
+               "claim that (Var^BA, Var^OA) captures shot semantics.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Performance of the variance index: sorted band queries (binary search on
+// D^v) against the brute-force linear scan, across index sizes. The sorted
+// index is what makes the scheme "uniquely suitable for large video
+// databases" (Section 6).
+
+#include <benchmark/benchmark.h>
+
+#include "core/variance_index.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+VarianceIndex BuildIndex(int n, uint64_t seed) {
+  Pcg32 rng(seed);
+  VarianceIndex index;
+  for (int i = 0; i < n; ++i) {
+    index.Add(IndexEntry{i % 64, i, rng.NextDouble(0.0, 400.0),
+                         rng.NextDouble(0.0, 400.0)});
+  }
+  // Force the lazy sort outside the timed region.
+  (void)index.Query(VarianceQuery{});
+  return index;
+}
+
+VarianceQuery RandomQuery(Pcg32* rng) {
+  VarianceQuery q;
+  q.var_ba = rng->NextDouble(0.0, 400.0);
+  q.var_oa = rng->NextDouble(0.0, 400.0);
+  return q;
+}
+
+void BM_IndexQuery(benchmark::State& state) {
+  VarianceIndex index = BuildIndex(static_cast<int>(state.range(0)), 3);
+  Pcg32 rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(RandomQuery(&rng)));
+  }
+}
+BENCHMARK(BM_IndexQuery)->Range(1 << 8, 1 << 18);
+
+void BM_LinearScan(benchmark::State& state) {
+  VarianceIndex index = BuildIndex(static_cast<int>(state.range(0)), 3);
+  Pcg32 rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.QueryLinear(RandomQuery(&rng)));
+  }
+}
+BENCHMARK(BM_LinearScan)->Range(1 << 8, 1 << 18);
+
+void BM_IndexTopK(benchmark::State& state) {
+  VarianceIndex index = BuildIndex(1 << 14, 3);
+  Pcg32 rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.QueryTopK(RandomQuery(&rng), static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_IndexTopK)->Arg(3)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Performance of the Gaussian Pyramid reduction and per-frame signature
+// extraction. The paper claims O(m) cost for reducing m pixels (Section
+// 2.1); the line-reduction timings should scale linearly with the size-set
+// element.
+
+#include <benchmark/benchmark.h>
+
+#include "core/extractor.h"
+#include "core/geometry.h"
+#include "core/pyramid.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+Signature RandomLine(int n, uint64_t seed) {
+  Pcg32 rng(seed);
+  Signature line(static_cast<size_t>(n));
+  for (PixelRGB& p : line) {
+    p = PixelRGB(static_cast<uint8_t>(rng.NextBounded(256)),
+                 static_cast<uint8_t>(rng.NextBounded(256)),
+                 static_cast<uint8_t>(rng.NextBounded(256)));
+  }
+  return line;
+}
+
+void BM_ReduceLineToPixel(benchmark::State& state) {
+  int j = static_cast<int>(state.range(0));
+  Signature line = RandomLine(SizeSetElement(j), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceLineToPixel(line));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(line.size()));
+}
+BENCHMARK(BM_ReduceLineToPixel)->DenseRange(3, 9);
+
+void BM_FrameSignature(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  int height = width * 3 / 4;
+  AreaGeometry geom = ComputeAreaGeometry(width, height).value();
+  Pcg32 rng(7);
+  Frame frame(width, height);
+  for (PixelRGB& p : frame.pixels()) {
+    p = PixelRGB(static_cast<uint8_t>(rng.NextBounded(256)),
+                 static_cast<uint8_t>(rng.NextBounded(256)),
+                 static_cast<uint8_t>(rng.NextBounded(256)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeFrameSignature(frame, geom));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(frame.pixel_count()));
+}
+BENCHMARK(BM_FrameSignature)->Arg(160)->Arg(320)->Arg(640);
+
+// Whole-clip extraction, serial vs parallel (the paper's Section 6 calls
+// for speeding segmentation up; frames are independent so this scales).
+void BM_VideoSignatures(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  Pcg32 rng(11);
+  Video video("perf", 3.0);
+  for (int f = 0; f < 60; ++f) {
+    Frame frame(160, 120);
+    for (PixelRGB& p : frame.pixels()) {
+      p = PixelRGB(static_cast<uint8_t>(rng.NextBounded(256)),
+                   static_cast<uint8_t>(rng.NextBounded(256)),
+                   static_cast<uint8_t>(rng.NextBounded(256)));
+    }
+    video.AppendFrame(std::move(frame));
+  }
+  for (auto _ : state) {
+    if (threads == 1) {
+      benchmark::DoNotOptimize(ComputeVideoSignatures(video));
+    } else {
+      benchmark::DoNotOptimize(
+          ComputeVideoSignaturesParallel(video, threads));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_VideoSignatures)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

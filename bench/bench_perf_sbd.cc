@@ -1,0 +1,79 @@
+// Throughput of the camera-tracking detector against the baselines, in
+// frames per second over the same rendered clip. Camera tracking works on
+// one-line signatures; the baselines touch every pixel (histograms) or run
+// convolution + dilation (ECR), which is the cost gap the paper leans on.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/sbd_baseline.h"
+#include "core/shot_detector.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+
+namespace vdb {
+namespace {
+
+const SyntheticVideo& SharedClip() {
+  static const SyntheticVideo* clip = [] {
+    ClipProfile profile = Table5Profiles()[0];
+    Storyboard board = MakeStoryboardFromProfile(profile, 0.05, 3);
+    return new SyntheticVideo(RenderStoryboard(board).value());
+  }();
+  return *clip;
+}
+
+void BM_CameraTrackingFull(benchmark::State& state) {
+  const Video& video = SharedClip().video;
+  CameraTrackingDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(video));
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_CameraTrackingFull);
+
+void BM_CameraTrackingFromSignatures(benchmark::State& state) {
+  const Video& video = SharedClip().video;
+  VideoSignatures sigs = ComputeVideoSignatures(video).value();
+  CameraTrackingDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.DetectFromSignatures(sigs));
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_CameraTrackingFromSignatures);
+
+void BM_PixelDiff(benchmark::State& state) {
+  const Video& video = SharedClip().video;
+  PixelDiffDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.DetectBoundaries(video));
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_PixelDiff);
+
+void BM_Histogram(benchmark::State& state) {
+  const Video& video = SharedClip().video;
+  HistogramDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.DetectBoundaries(video));
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_Histogram);
+
+void BM_EdgeChangeRatio(benchmark::State& state) {
+  const Video& video = SharedClip().video;
+  EcrDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.DetectBoundaries(video));
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_EdgeChangeRatio);
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

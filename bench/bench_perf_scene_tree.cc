@@ -1,0 +1,73 @@
+// Performance of scene-tree construction (the paper bounds it by
+// O(f^2 * n) but the diagonal RELATIONSHIP scan makes typical cost far
+// lower) and of the RELATIONSHIP test itself (diagonal vs exhaustive).
+
+#include <benchmark/benchmark.h>
+
+#include "core/scene_tree.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+// Synthetic shot signs: `scenes` distinct scenes, revisited round-robin,
+// `frames_per_shot` frames per shot with small in-scene wobble.
+struct Workload {
+  VideoSignatures sigs;
+  std::vector<Shot> shots;
+};
+
+Workload MakeWorkload(int shot_count, int frames_per_shot, int scenes,
+                      uint64_t seed) {
+  Pcg32 rng(seed);
+  Workload w;
+  for (int s = 0; s < shot_count; ++s) {
+    uint8_t base = static_cast<uint8_t>((s % scenes) * (200 / scenes) + 20);
+    int start = w.sigs.frame_count();
+    for (int f = 0; f < frames_per_shot; ++f) {
+      FrameSignature fs;
+      uint8_t v = static_cast<uint8_t>(base + rng.NextInt(0, 6));
+      fs.sign_ba = PixelRGB(v, v, v);
+      fs.sign_oa = fs.sign_ba;
+      w.sigs.frames.push_back(fs);
+    }
+    w.shots.push_back(Shot{start, w.sigs.frame_count() - 1});
+  }
+  return w;
+}
+
+void BM_SceneTreeBuild(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<int>(state.range(0)), 30, 8, 5);
+  SceneTreeBuilder builder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(w.sigs, w.shots));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SceneTreeBuild)->Range(8, 1024);
+
+void BM_RelationshipDiagonal(benchmark::State& state) {
+  Workload w = MakeWorkload(2, static_cast<int>(state.range(0)), 2, 7);
+  SceneTreeOptions options;  // unrelated shots: full scan happens
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ShotsRelated(w.sigs, w.shots[0], w.shots[1], options));
+  }
+}
+BENCHMARK(BM_RelationshipDiagonal)->Range(16, 4096);
+
+void BM_RelationshipExhaustive(benchmark::State& state) {
+  Workload w = MakeWorkload(2, static_cast<int>(state.range(0)), 2, 7);
+  SceneTreeOptions options;
+  options.diagonal_scan = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ShotsRelated(w.sigs, w.shots[0], w.shots[1], options));
+  }
+}
+BENCHMARK(BM_RelationshipExhaustive)->Range(16, 1024);
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Precision-recall curves for every detector over a mixed workload: each
+// baseline sweeps its main threshold densely; the camera-tracking detector
+// sweeps its stage-3 run fraction. Prints one table per detector and dumps
+// the raw series to pr_curves.csv for plotting — the figure-style view of
+// the Section-1 threshold-sensitivity discussion.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "baselines/sbd_baseline.h"
+#include "core/shot_detector.h"
+#include "eval/metrics.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  double scale = vdb::bench::EnvScale("VDB_PR_SCALE", 0.06);
+  Banner(vdb::StrFormat("Precision-recall curves (scale %.2f)", scale));
+
+  std::vector<vdb::ClipProfile> profiles = vdb::Table5Profiles();
+  std::vector<vdb::SyntheticVideo> clips;
+  for (size_t idx : {0u, 2u, 5u, 15u, 18u, 20u}) {
+    clips.push_back(OrDie(
+        vdb::RenderStoryboard(
+            vdb::MakeStoryboardFromProfile(profiles[idx], scale, 19)),
+        "render"));
+  }
+
+  auto evaluate = [&](auto&& detect) {
+    vdb::DetectionMetrics total;
+    for (const vdb::SyntheticVideo& clip : clips) {
+      vdb::DetectionMetrics m = vdb::EvaluateBoundaries(
+          clip.truth.boundaries, detect(clip.video), 1);
+      total.true_boundaries += m.true_boundaries;
+      total.detected += m.detected;
+      total.correct += m.correct;
+    }
+    return total;
+  };
+
+  vdb::CsvWriter csv({"detector", "threshold", "recall", "precision",
+                      "f1"});
+  auto print_curve = [&](const char* name, auto&& run_at,
+                         const std::vector<double>& sweep) {
+    std::cout << name << ":\n";
+    vdb::TablePrinter t({"threshold", "recall", "precision", "F1"});
+    for (double threshold : sweep) {
+      vdb::DetectionMetrics m = run_at(threshold);
+      t.AddRow({vdb::FormatDouble(threshold, 3),
+                vdb::FormatDouble(m.Recall(), 3),
+                vdb::FormatDouble(m.Precision(), 3),
+                vdb::FormatDouble(m.F1(), 3)});
+      csv.AddRow({name, vdb::FormatDouble(threshold, 4),
+                  vdb::FormatDouble(m.Recall(), 4),
+                  vdb::FormatDouble(m.Precision(), 4),
+                  vdb::FormatDouble(m.F1(), 4)});
+    }
+    t.Print(std::cout);
+    std::cout << '\n';
+  };
+
+  print_curve(
+      "camera-tracking (stage-3 run fraction)",
+      [&](double threshold) {
+        vdb::CameraTrackingOptions opts;
+        opts.stage3_run_fraction = threshold;
+        vdb::CameraTrackingDetector det(opts);
+        return evaluate([&](const vdb::Video& v) {
+          auto r = det.Detect(v);
+          return r.ok() ? r.value().boundaries : std::vector<int>{};
+        });
+      },
+      {0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9});
+
+  print_curve(
+      "color-histogram (cut threshold)",
+      [&](double threshold) {
+        vdb::HistogramDetector::Options opts;
+        opts.cut_threshold = threshold;
+        opts.gradual_threshold = threshold / 2;
+        vdb::HistogramDetector det(opts);
+        return evaluate([&](const vdb::Video& v) {
+          return det.DetectBoundaries(v).value_or({});
+        });
+      },
+      {0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2});
+
+  print_curve(
+      "edge-change-ratio (cut threshold)",
+      [&](double threshold) {
+        vdb::EcrDetector::Options opts;
+        opts.ecr_cut_threshold = threshold;
+        opts.ecr_gradual_threshold = threshold * 0.7;
+        vdb::EcrDetector det(opts);
+        return evaluate([&](const vdb::Video& v) {
+          return det.DetectBoundaries(v).value_or({});
+        });
+      },
+      {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95});
+
+  print_curve(
+      "pixel-diff (mean difference)",
+      [&](double threshold) {
+        vdb::PixelDiffDetector::Options opts;
+        opts.threshold = threshold;
+        vdb::PixelDiffDetector det(opts);
+        return evaluate([&](const vdb::Video& v) {
+          return det.DetectBoundaries(v).value_or({});
+        });
+      },
+      {3, 6, 12, 18, 27, 40, 60});
+
+  if (csv.WriteFile("pr_curves.csv").ok()) {
+    std::cout << "Raw series written to pr_curves.csv\n";
+  }
+  std::cout << "\nExpected shape: camera tracking holds a high-precision, "
+               "high-recall plateau across a wide stage-3 range, while the "
+               "baselines trade recall against precision sharply along "
+               "their sweeps.\n";
+  return 0;
+}

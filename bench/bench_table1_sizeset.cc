@@ -1,0 +1,69 @@
+// Reproduces Table 1: snapping raw area-dimension estimates to the Gaussian
+// Pyramid size set {1, 5, 13, 29, 61, ...}, plus the paper's worked example
+// (c = 160 -> w' = 16 -> w = 13) and the derived geometry for common frame
+// sizes.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/geometry.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+
+  Banner("Table 1: size-set approximation");
+  {
+    vdb::TablePrinter t({"estimate range", "nearest size-set value"});
+    int prev_snap = -1;
+    int range_start = 1;
+    for (int est = 1; est <= 400; ++est) {
+      int snap = vdb::SnapToSizeSet(est);
+      if (snap != prev_snap) {
+        if (prev_snap > 0) {
+          t.AddRow({vdb::StrFormat("%d .. %d", range_start, est - 1),
+                    std::to_string(prev_snap)});
+        }
+        prev_snap = snap;
+        range_start = est;
+      }
+    }
+    t.AddRow({vdb::StrFormat("%d .. 400", range_start),
+              std::to_string(prev_snap)});
+    t.Print(std::cout);
+    std::cout << "\nPaper's Table 1 rows: 1-2 -> 1, 3-8 -> 5, 9-20 -> 13, "
+                 "21-44 -> 29, 45-92 -> 61.\n";
+  }
+
+  Banner("Equation 1: the size set itself");
+  {
+    vdb::TablePrinter t({"j", "s_j = 1 + sum 2^i", "2*s_(j-1) + 3"});
+    for (int j = 1; j <= 8; ++j) {
+      t.AddRow({std::to_string(j), std::to_string(vdb::SizeSetElement(j)),
+                j > 1 ? std::to_string(2 * vdb::SizeSetElement(j - 1) + 3)
+                      : std::string("-")});
+    }
+    t.Print(std::cout);
+  }
+
+  Banner("Derived geometry (paper example: 160x120)");
+  {
+    vdb::TablePrinter t({"frame", "w'", "w", "b'", "b", "h'", "h", "L'",
+                         "L"});
+    for (auto [w, h] : {std::pair{160, 120}, std::pair{320, 240},
+                        std::pair{640, 480}, std::pair{352, 288},
+                        std::pair{176, 144}}) {
+      vdb::AreaGeometry g = vdb::bench::OrDie(
+          vdb::ComputeAreaGeometry(w, h), "geometry");
+      t.AddRow({vdb::StrFormat("%dx%d", w, h),
+                std::to_string(g.w_estimate), std::to_string(g.w),
+                std::to_string(g.b_estimate), std::to_string(g.b),
+                std::to_string(g.h_estimate), std::to_string(g.h),
+                std::to_string(g.l_estimate), std::to_string(g.l)});
+    }
+    t.Print(std::cout);
+    std::cout << "\nThe paper's example: c=160 gives w'=16 and w=13.\n";
+  }
+  return 0;
+}

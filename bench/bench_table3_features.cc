@@ -1,0 +1,68 @@
+// Reproduces Table 3: the per-shot feature table (start/end frame, Var^BA,
+// Var^OA) for the ten-shot example clip of Figure 5, computed end-to-end:
+// synthetic render -> camera-tracking SBD -> variance features.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/extractor.h"
+#include "core/features.h"
+#include "core/shot_detector.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  Banner("Table 3: shot table of the ten-shot clip (Figure 5)");
+
+  vdb::SyntheticVideo sv =
+      OrDie(vdb::RenderStoryboard(vdb::TenShotStoryboard()), "render");
+  vdb::VideoSignatures sigs =
+      OrDie(vdb::ComputeVideoSignatures(sv.video), "signatures");
+  vdb::CameraTrackingDetector detector;
+  vdb::ShotDetectionResult detection =
+      OrDie(detector.DetectFromSignatures(sigs), "detection");
+  std::vector<vdb::ShotFeatures> features =
+      OrDie(vdb::ComputeAllShotFeatures(sigs, detection.shots), "features");
+
+  vdb::TablePrinter t({"Shot", "Label", "Start frame", "End frame",
+                       "Var^BA", "Var^OA", "sqrt(Var^BA)", "D^v"});
+  for (size_t i = 0; i < detection.shots.size(); ++i) {
+    const vdb::Shot& shot = detection.shots[i];
+    const vdb::ShotFeatures& f = features[i];
+    std::string label = i < sv.truth.shots.size()
+                            ? sv.truth.shots[i].label
+                            : std::string("?");
+    t.AddRow({vdb::StrFormat("#%zu", i + 1), label,
+              std::to_string(shot.start_frame + 1),
+              std::to_string(shot.end_frame + 1),
+              vdb::FormatDouble(f.var_ba, 2),
+              vdb::FormatDouble(f.var_oa, 2),
+              vdb::FormatDouble(std::sqrt(f.var_ba), 2),
+              vdb::FormatDouble(f.Dv(), 2)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nPaper layout (Table 3): 10 shots A,B,A1,B1,C,A2,C1,D,D1,D2"
+               " at frames 1-75, 76-100, 101-140, 141-170, 171-290, 291-350,"
+               " 351-415, 416-495, 496-550, 551-625.\n";
+  bool match = detection.shots.size() == 10;
+  for (size_t i = 0; match && i < 10; ++i) {
+    match = detection.shots[i].start_frame == sv.truth.shots[i].start_frame &&
+            detection.shots[i].end_frame == sv.truth.shots[i].end_frame;
+  }
+  std::cout << (match ? "MATCH: detected shots coincide with the paper's "
+                        "frame ranges.\n"
+                      : "NOTE: detected shots deviate from the scripted "
+                        "ranges.\n");
+
+  std::cout << "\nExpected qualitative shape: static conversation shots "
+               "(A*, B*) have Var^BA near 0; pans (C*, D*) have large "
+               "Var^BA; closeups have Var^OA > Var^BA.\n";
+  return match ? 0 : 1;
+}

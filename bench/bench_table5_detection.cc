@@ -1,0 +1,74 @@
+// Reproduces Table 5: shot-boundary-detection recall/precision of the
+// camera-tracking technique over the paper's 22-clip test set, rebuilt as
+// synthetic workloads per genre. Durations and cut counts are scaled by
+// VDB_TABLE5_SCALE (default 0.12) to keep the run short; set it to 1.0 for
+// the full ~4.5 hours of footage.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "eval/sbd_experiment.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using vdb::bench::Banner;
+  using vdb::bench::OrDie;
+
+  vdb::SbdExperimentOptions options;
+  options.scale = vdb::bench::EnvScale("VDB_TABLE5_SCALE", 0.12);
+  options.seed = 2000;
+
+  Banner(vdb::StrFormat("Table 5: detection results (workload scale %.2f)",
+                        options.scale));
+
+  vdb::Table5RunResult run =
+      OrDie(vdb::RunTable5Experiment(options), "table 5 experiment");
+
+  vdb::TablePrinter t({"Type", "Name", "Duration", "Shot changes",
+                       "Recall", "Precision", "Paper R", "Paper P"});
+  vdb::CsvWriter csv({"name", "category", "frames", "true_changes",
+                      "detected", "correct", "recall", "precision",
+                      "paper_recall", "paper_precision"});
+  std::string last_category;
+  for (const vdb::ClipRunResult& clip : run.clips) {
+    if (clip.profile.category != last_category && !last_category.empty()) {
+      t.AddSeparator();
+    }
+    last_category = clip.profile.category;
+    const vdb::DetectionMetrics& m = clip.camera_tracking;
+    t.AddRow({clip.profile.category, clip.profile.name,
+              vdb::FormatMinSec(clip.frames / 3.0),
+              std::to_string(clip.true_changes),
+              vdb::FormatDouble(m.Recall(), 2),
+              vdb::FormatDouble(m.Precision(), 2),
+              vdb::FormatDouble(clip.profile.paper_recall, 2),
+              vdb::FormatDouble(clip.profile.paper_precision, 2)});
+    csv.AddRow({clip.profile.name, clip.profile.category,
+                std::to_string(clip.frames),
+                std::to_string(m.true_boundaries),
+                std::to_string(m.detected), std::to_string(m.correct),
+                vdb::FormatDouble(m.Recall(), 4),
+                vdb::FormatDouble(m.Precision(), 4),
+                vdb::FormatDouble(clip.profile.paper_recall, 2),
+                vdb::FormatDouble(clip.profile.paper_precision, 2)});
+  }
+  t.AddSeparator();
+  t.AddRow({"Total", "", "",
+            std::to_string(run.total.true_boundaries),
+            vdb::FormatDouble(run.total.Recall(), 2),
+            vdb::FormatDouble(run.total.Precision(), 2), "0.90", "0.85"});
+  t.Print(std::cout);
+
+  if (csv.WriteFile("table5_results.csv").ok()) {
+    std::cout << "\nRaw rows written to table5_results.csv\n";
+  }
+
+  std::cout << "\nPaper totals: recall 0.90, precision 0.85 over 3629 shot "
+               "changes in 278:44 of video. The reproduction should land "
+               "in the same band (roughly 0.85-0.97 per clip), with the "
+               "hard genres (cartoons, talk shows, music videos) below the "
+               "easy ones (news, commercials, sports).\n";
+  return 0;
+}

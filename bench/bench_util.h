@@ -1,0 +1,42 @@
+#ifndef VDB_BENCH_BENCH_UTIL_H_
+#define VDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/result.h"
+
+namespace vdb {
+namespace bench {
+
+// Reads a double from the environment, with a default. The Table-5 style
+// benches scale the synthetic workload with VDB_TABLE5_SCALE etc. so a full
+// paper-scale run is one environment variable away.
+inline double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || parsed <= 0.0 || parsed > 1.0) return fallback;
+  return parsed;
+}
+
+// Unwraps a Result in a bench main(), aborting with a message on error.
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void Banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace bench
+}  // namespace vdb
+
+#endif  // VDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,119 @@
+// Non-linear browsing with scene trees (Section 3).
+//
+// Renders the "Friends" restaurant segment, builds its scene tree, and
+// drives the SceneBrowser navigation API the way a UI would: show the
+// root's children (the top-level story units), descend into the main story
+// thread, walk its siblings, and export the key frames of every visited
+// node as PPM images (multiple per scene via the paper's g(s) rule).
+//
+// Run: build/examples/scene_browser [output-dir]
+
+#include <iostream>
+#include <string>
+
+#include "core/browser.h"
+#include "core/video_database.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "util/string_util.h"
+#include "video/image_io.h"
+
+namespace {
+
+int Fail(const vdb::Status& status, const char* what) {
+  std::cerr << what << ": " << status << "\n";
+  return 1;
+}
+
+// Prints one browsing row and exports the node's key frames.
+void ShowCurrent(const vdb::Video& video, const vdb::SceneBrowser& browser,
+                 const std::string& dir) {
+  const vdb::SceneNode& node = browser.CurrentNode();
+  vdb::Shot span = browser.CoverageSpan();
+  std::cout << "  " << browser.Breadcrumbs()
+            << vdb::StrFormat("   frames %d-%d", span.start_frame + 1,
+                              span.end_frame + 1);
+
+  // g(s): one key frame for leaves, up to three for larger scenes.
+  int g = node.IsLeaf() ? 1 : 3;
+  auto key_frames = browser.KeyFrames(g);
+  if (key_frames.ok()) {
+    std::cout << "   key frames:";
+    int exported = 0;
+    for (int f : *key_frames) {
+      std::cout << ' ' << f + 1;
+      std::string label = node.Label();
+      for (char& c : label) {
+        if (c == '^') c = '_';
+      }
+      std::string path = vdb::StrFormat("%s/browse_%s_f%d.ppm",
+                                        dir.c_str(), label.c_str(), f + 1);
+      if (vdb::WritePpm(video.frame(f), path).ok()) ++exported;
+    }
+    std::cout << "  (" << exported << " exported)";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : ".";
+
+  vdb::Result<vdb::SyntheticVideo> rendered =
+      vdb::RenderStoryboard(vdb::FriendsStoryboard());
+  if (!rendered.ok()) return Fail(rendered.status(), "render");
+
+  vdb::VideoDatabase db;
+  vdb::Result<int> id = db.Ingest(rendered->video);
+  if (!id.ok()) return Fail(id.status(), "ingest");
+  const vdb::CatalogEntry* entry = db.GetEntry(*id).value();
+
+  std::cout << "'" << entry->name << "': " << entry->shots.size()
+            << " shots, tree height " << entry->scene_tree.Height() << ", "
+            << entry->scene_tree.node_count() << " nodes\n\n"
+            << entry->scene_tree.ToAscii() << '\n';
+
+  vdb::SceneBrowser browser(entry);
+  std::cout << "At the root:\n";
+  ShowCurrent(rendered->video, browser, dir);
+
+  // Enter the child with the most children — the main story thread.
+  const vdb::SceneNode& root = browser.CurrentNode();
+  int best_child = 0;
+  for (size_t i = 1; i < root.children.size(); ++i) {
+    if (entry->scene_tree.node(root.children[i]).children.size() >
+        entry->scene_tree.node(root.children[best_child]).children.size()) {
+      best_child = static_cast<int>(i);
+    }
+  }
+  if (browser.EnterChild(best_child).ok()) {
+    std::cout << "\nInside the main story thread:\n";
+    ShowCurrent(rendered->video, browser, dir);
+
+    // Walk its children with sibling navigation.
+    if (browser.EnterChild(0).ok()) {
+      std::cout << "\nWalking its scenes with Next/PrevSibling:\n";
+      ShowCurrent(rendered->video, browser, dir);
+      while (browser.NextSibling().ok()) {
+        ShowCurrent(rendered->video, browser, dir);
+      }
+    }
+  }
+
+  // A query suggestion is a direct jump target.
+  vdb::VarianceQuery query;
+  query.var_ba = 4.0;
+  query.var_oa = 1.0;
+  auto suggestions = db.Search(query, 1);
+  if (suggestions.ok() && !suggestions->empty()) {
+    browser.Reset();
+    if (browser.JumpTo(suggestions->front().scene_node).ok()) {
+      std::cout << "\nJumped to the top query suggestion:\n";
+      ShowCurrent(rendered->video, browser, dir);
+    }
+  }
+
+  std::cout << "\nKey frames written as " << dir << "/browse_SN_*.ppm\n";
+  return 0;
+}

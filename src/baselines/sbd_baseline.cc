@@ -1,0 +1,215 @@
+#include "baselines/sbd_baseline.h"
+
+#include <algorithm>
+
+#include "video/frame_ops.h"
+
+namespace vdb {
+namespace {
+
+Status CheckVideo(const Video& video) {
+  if (video.frame_count() < 2) {
+    return Status::InvalidArgument("video '" + video.name() +
+                                   "' has fewer than 2 frames");
+  }
+  return Status::Ok();
+}
+
+// Drops boundaries that would create shots shorter than min_frames.
+std::vector<int> EnforceMinShot(const std::vector<int>& raw, int min_frames) {
+  std::vector<int> out;
+  for (int b : raw) {
+    int prev = out.empty() ? 0 : out.back();
+    if (b - prev >= min_frames) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PixelDiffDetector::PixelDiffDetector() : PixelDiffDetector(Options()) {}
+
+PixelDiffDetector::PixelDiffDetector(Options options) : options_(options) {}
+
+Result<std::vector<int>> PixelDiffDetector::DetectBoundaries(
+    const Video& video) const {
+  VDB_RETURN_IF_ERROR(CheckVideo(video));
+  std::vector<int> boundaries;
+  for (int i = 0; i + 1 < video.frame_count(); ++i) {
+    VDB_ASSIGN_OR_RETURN(
+        double diff, MeanAbsoluteDifference(video.frame(i),
+                                            video.frame(i + 1)));
+    if (diff >= options_.threshold) {
+      boundaries.push_back(i + 1);
+    }
+  }
+  return boundaries;
+}
+
+HistogramDetector::HistogramDetector() : HistogramDetector(Options()) {}
+
+HistogramDetector::HistogramDetector(Options options) : options_(options) {}
+
+Result<std::vector<int>> HistogramDetector::DetectBoundaries(
+    const Video& video) const {
+  VDB_RETURN_IF_ERROR(CheckVideo(video));
+  std::vector<ColorHistogram> hists;
+  hists.reserve(static_cast<size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    hists.push_back(ComputeHistogram(video.frame(i)));
+  }
+
+  std::vector<int> raw;
+  double accumulated = 0.0;
+  for (int i = 0; i + 1 < video.frame_count(); ++i) {
+    double d = HistogramDistance(hists[static_cast<size_t>(i)],
+                                 hists[static_cast<size_t>(i + 1)]);
+    if (d >= options_.cut_threshold) {
+      raw.push_back(i + 1);
+      accumulated = 0.0;
+    } else if (d >= options_.gradual_threshold) {
+      // A run of middling differences also counts as one boundary at the
+      // first suspicious frame.
+      if (accumulated == 0.0) {
+        accumulated = d;
+      } else {
+        accumulated += d;
+        if (accumulated >= options_.cut_threshold * 1.5) {
+          raw.push_back(i + 1);
+          accumulated = 0.0;
+        }
+      }
+    } else {
+      accumulated = 0.0;
+    }
+  }
+  return EnforceMinShot(raw, options_.min_shot_frames);
+}
+
+TwinComparisonDetector::TwinComparisonDetector() : TwinComparisonDetector(Options()) {}
+
+TwinComparisonDetector::TwinComparisonDetector(Options options)
+    : options_(options) {}
+
+Result<std::vector<int>> TwinComparisonDetector::DetectBoundaries(
+    const Video& video) const {
+  VDB_RETURN_IF_ERROR(CheckVideo(video));
+  std::vector<ColorHistogram> hists;
+  hists.reserve(static_cast<size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    hists.push_back(ComputeHistogram(video.frame(i)));
+  }
+
+  std::vector<int> raw;
+  int gradual_start = -1;
+  double accumulated = 0.0;
+  auto close_gradual = [&]() {
+    // A gradual transition ends when the differences settle; it counts as
+    // one boundary at its first frame if enough change accumulated.
+    if (gradual_start >= 0 && accumulated >= options_.accumulate_threshold) {
+      raw.push_back(gradual_start);
+    }
+    gradual_start = -1;
+    accumulated = 0.0;
+  };
+  for (int i = 0; i + 1 < video.frame_count(); ++i) {
+    double d = HistogramDistance(hists[static_cast<size_t>(i)],
+                                 hists[static_cast<size_t>(i + 1)]);
+    if (d >= options_.high_threshold) {
+      gradual_start = -1;
+      accumulated = 0.0;
+      raw.push_back(i + 1);
+      continue;
+    }
+    if (d >= options_.low_threshold) {
+      if (gradual_start < 0) {
+        gradual_start = i + 1;
+        accumulated = d;
+      } else {
+        accumulated += d;
+        if (i + 1 - gradual_start > options_.max_gradual_frames) {
+          // Too long to be a transition: sustained motion, not a cut.
+          gradual_start = -1;
+          accumulated = 0.0;
+        }
+      }
+    } else {
+      close_gradual();
+    }
+  }
+  close_gradual();
+  std::sort(raw.begin(), raw.end());
+  return EnforceMinShot(raw, options_.min_shot_frames);
+}
+
+EcrDetector::EcrDetector() : EcrDetector(Options()) {}
+
+EcrDetector::EcrDetector(Options options) : options_(options) {}
+
+Result<std::vector<int>> EcrDetector::DetectBoundaries(
+    const Video& video) const {
+  VDB_RETURN_IF_ERROR(CheckVideo(video));
+  int w = video.width();
+  int h = video.height();
+
+  // Precompute edge maps and their dilations.
+  std::vector<std::vector<uint8_t>> edges;
+  std::vector<std::vector<uint8_t>> dilated;
+  std::vector<long> edge_counts;
+  edges.reserve(static_cast<size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    edges.push_back(SobelEdges(video.frame(i), options_.sobel_threshold));
+    dilated.push_back(
+        DilateBinary(edges.back(), w, h, options_.dilate_radius));
+    long count = 0;
+    for (uint8_t e : edges.back()) count += e;
+    edge_counts.push_back(count);
+  }
+
+  std::vector<int> raw;
+  int middling_run = 0;
+  for (int i = 0; i + 1 < video.frame_count(); ++i) {
+    const auto& e0 = edges[static_cast<size_t>(i)];
+    const auto& e1 = edges[static_cast<size_t>(i + 1)];
+    const auto& d0 = dilated[static_cast<size_t>(i)];
+    const auto& d1 = dilated[static_cast<size_t>(i + 1)];
+
+    // Exiting edges: in frame i but not near an edge of frame i+1.
+    long exiting = 0;
+    long entering = 0;
+    for (size_t p = 0; p < e0.size(); ++p) {
+      if (e0[p] && !d1[p]) ++exiting;
+      if (e1[p] && !d0[p]) ++entering;
+    }
+    double ecr_out = edge_counts[static_cast<size_t>(i)] > 0
+                         ? static_cast<double>(exiting) /
+                               static_cast<double>(
+                                   edge_counts[static_cast<size_t>(i)])
+                         : 0.0;
+    double ecr_in = edge_counts[static_cast<size_t>(i + 1)] > 0
+                        ? static_cast<double>(entering) /
+                              static_cast<double>(
+                                  edge_counts[static_cast<size_t>(i + 1)])
+                        : 0.0;
+    double ecr = std::max(ecr_out, ecr_in);
+
+    if (ecr >= options_.ecr_cut_threshold) {
+      raw.push_back(i + 1);
+      middling_run = 0;
+    } else if (ecr >= options_.ecr_gradual_threshold) {
+      ++middling_run;
+      if (middling_run >= options_.gradual_window) {
+        raw.push_back(i + 1 - middling_run / 2);
+        middling_run = 0;
+      }
+    } else {
+      middling_run = 0;
+    }
+  }
+  std::sort(raw.begin(), raw.end());
+  return EnforceMinShot(raw, options_.min_shot_frames);
+}
+
+}  // namespace vdb

@@ -1,0 +1,120 @@
+#ifndef VDB_BASELINES_SBD_BASELINE_H_
+#define VDB_BASELINES_SBD_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// Common interface for the comparison shot-boundary detectors the paper's
+// introduction discusses (colour histograms, edge change ratios, raw pixel
+// differences). Implementations return boundary positions: the index of the
+// first frame of each new shot.
+class SbdBaseline {
+ public:
+  virtual ~SbdBaseline() = default;
+
+  virtual std::string name() const = 0;
+
+  // Number of threshold parameters the technique needs — the paper's core
+  // criticism of these methods (histograms need >= 3, ECR >= 6).
+  virtual int threshold_count() const = 0;
+
+  virtual Result<std::vector<int>> DetectBoundaries(
+      const Video& video) const = 0;
+};
+
+// Frame-to-frame mean absolute pixel difference, thresholded.
+class PixelDiffDetector : public SbdBaseline {
+ public:
+  struct Options {
+    double threshold = 18.0;  // mean |diff| in colour levels
+  };
+  PixelDiffDetector();
+  explicit PixelDiffDetector(Options options);
+
+  std::string name() const override { return "pixel-diff"; }
+  int threshold_count() const override { return 1; }
+  Result<std::vector<int>> DetectBoundaries(
+      const Video& video) const override;
+
+ private:
+  Options options_;
+};
+
+// Global colour-histogram difference with the three thresholds the paper
+// attributes to histogram methods: a cut threshold, a "possible gradual
+// transition" threshold, and a minimum shot length.
+class HistogramDetector : public SbdBaseline {
+ public:
+  struct Options {
+    double cut_threshold = 0.55;      // histogram L1 distance for a cut
+    double gradual_threshold = 0.25;  // lower bound to suspect a gradual cut
+    int min_shot_frames = 3;
+  };
+  HistogramDetector();
+  explicit HistogramDetector(Options options);
+
+  std::string name() const override { return "color-histogram"; }
+  int threshold_count() const override { return 3; }
+  Result<std::vector<int>> DetectBoundaries(
+      const Video& video) const override;
+
+ private:
+  Options options_;
+};
+
+// Zhang et al.'s twin-comparison extension: accumulates consecutive
+// middling differences to catch gradual transitions.
+class TwinComparisonDetector : public SbdBaseline {
+ public:
+  struct Options {
+    double high_threshold = 0.55;  // immediate cut
+    double low_threshold = 0.12;   // start/continue accumulating
+    double accumulate_threshold = 0.7;  // accumulated distance for a cut
+    int max_gradual_frames = 20;
+    int min_shot_frames = 3;
+  };
+  TwinComparisonDetector();
+  explicit TwinComparisonDetector(Options options);
+
+  std::string name() const override { return "twin-comparison"; }
+  int threshold_count() const override { return 5; }
+  Result<std::vector<int>> DetectBoundaries(
+      const Video& video) const override;
+
+ private:
+  Options options_;
+};
+
+// Edge change ratio (Zabih et al.): fraction of edge pixels entering and
+// exiting between dilated edge maps. Six tunables, as the paper notes.
+class EcrDetector : public SbdBaseline {
+ public:
+  struct Options {
+    double sobel_threshold = 96.0;  // edge magnitude
+    int dilate_radius = 1;
+    double ecr_cut_threshold = 0.5;
+    double ecr_gradual_threshold = 0.35;
+    int gradual_window = 4;   // consecutive middling ECRs for a gradual cut
+    int min_shot_frames = 3;
+  };
+  EcrDetector();
+  explicit EcrDetector(Options options);
+
+  std::string name() const override { return "edge-change-ratio"; }
+  int threshold_count() const override { return 6; }
+  Result<std::vector<int>> DetectBoundaries(
+      const Video& video) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_BASELINES_SBD_BASELINE_H_

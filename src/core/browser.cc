@@ -1,0 +1,119 @@
+#include "core/browser.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vdb {
+
+SceneBrowser::SceneBrowser(const CatalogEntry* entry) : entry_(entry) {
+  VDB_CHECK(entry != nullptr) << "SceneBrowser needs a catalog entry";
+  current_ = entry_->scene_tree.root();
+}
+
+const SceneNode& SceneBrowser::CurrentNode() const {
+  return entry_->scene_tree.node(current_);
+}
+
+std::vector<int> SceneBrowser::Path() const {
+  std::vector<int> path;
+  for (int id = current_; id != -1; id = entry_->scene_tree.node(id).parent) {
+    path.push_back(id);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string SceneBrowser::Breadcrumbs() const {
+  std::vector<std::string> labels;
+  for (int id : Path()) {
+    labels.push_back(entry_->scene_tree.node(id).Label());
+  }
+  return StrJoin(labels, " > ");
+}
+
+Shot SceneBrowser::CoverageSpan() const {
+  const SceneTree& tree = entry_->scene_tree;
+  int first = entry_->frame_count;
+  int last = -1;
+  std::vector<int> stack = {current_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const SceneNode& node = tree.node(id);
+    if (node.IsLeaf()) {
+      const Shot& shot =
+          entry_->shots[static_cast<size_t>(node.shot_index)];
+      first = std::min(first, shot.start_frame);
+      last = std::max(last, shot.end_frame);
+    }
+    for (int child : node.children) stack.push_back(child);
+  }
+  return Shot{first, last};
+}
+
+Result<std::vector<int>> SceneBrowser::KeyFrames(int count) const {
+  return SceneRepresentativeFrames(entry_->scene_tree, entry_->signatures,
+                                   entry_->shots, current_, count);
+}
+
+Status SceneBrowser::EnterChild(int child_index) {
+  const SceneNode& node = CurrentNode();
+  if (child_index < 0 ||
+      child_index >= static_cast<int>(node.children.size())) {
+    return Status::OutOfRange(
+        StrFormat("child %d of %zu", child_index, node.children.size()));
+  }
+  current_ = node.children[static_cast<size_t>(child_index)];
+  return Status::Ok();
+}
+
+Status SceneBrowser::Up() {
+  if (CurrentNode().parent == -1) {
+    return Status::FailedPrecondition("already at the root");
+  }
+  current_ = CurrentNode().parent;
+  return Status::Ok();
+}
+
+Status SceneBrowser::NextSibling() {
+  int parent = CurrentNode().parent;
+  if (parent == -1) {
+    return Status::FailedPrecondition("the root has no siblings");
+  }
+  const SceneNode& p = entry_->scene_tree.node(parent);
+  auto it = std::find(p.children.begin(), p.children.end(), current_);
+  VDB_CHECK(it != p.children.end()) << "cursor missing from parent";
+  if (it + 1 == p.children.end()) {
+    return Status::OutOfRange("already the last sibling");
+  }
+  current_ = *(it + 1);
+  return Status::Ok();
+}
+
+Status SceneBrowser::PrevSibling() {
+  int parent = CurrentNode().parent;
+  if (parent == -1) {
+    return Status::FailedPrecondition("the root has no siblings");
+  }
+  const SceneNode& p = entry_->scene_tree.node(parent);
+  auto it = std::find(p.children.begin(), p.children.end(), current_);
+  VDB_CHECK(it != p.children.end()) << "cursor missing from parent";
+  if (it == p.children.begin()) {
+    return Status::OutOfRange("already the first sibling");
+  }
+  current_ = *(it - 1);
+  return Status::Ok();
+}
+
+void SceneBrowser::Reset() { current_ = entry_->scene_tree.root(); }
+
+Status SceneBrowser::JumpTo(int node_id) {
+  if (node_id < 0 || node_id >= entry_->scene_tree.node_count()) {
+    return Status::NotFound(StrFormat("scene node %d", node_id));
+  }
+  current_ = node_id;
+  return Status::Ok();
+}
+
+}  // namespace vdb

@@ -1,0 +1,58 @@
+#ifndef VDB_CORE_BROWSER_H_
+#define VDB_CORE_BROWSER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scene_tree.h"
+#include "core/video_database.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// A navigation cursor over one video's scene tree — the stateful half of
+// the paper's browsing story ("the user can browse the appropriate scene
+// trees, starting from the suggested scene nodes, to search for more
+// specific scenes in the lower levels", Section 4.2).
+//
+// The browser never owns the catalog entry; the entry must outlive it.
+class SceneBrowser {
+ public:
+  // Binds to an analysed video. CHECK-fails on null.
+  explicit SceneBrowser(const CatalogEntry* entry);
+
+  // Current node id / node.
+  int current() const { return current_; }
+  const SceneNode& CurrentNode() const;
+
+  // Node ids from the root down to the current node.
+  std::vector<int> Path() const;
+
+  // "SN_1^3 > SN_1^2 > SN_7^1" style path string.
+  std::string Breadcrumbs() const;
+
+  // First..last frame covered by the current node's subtree (inclusive).
+  Shot CoverageSpan() const;
+
+  // The g(s) most repetitive frames summarising the current subtree.
+  Result<std::vector<int>> KeyFrames(int count) const;
+
+  // Navigation. Each returns kOutOfRange / kFailedPrecondition when the
+  // move does not exist and leaves the cursor unchanged.
+  Status EnterChild(int child_index);
+  Status Up();
+  Status NextSibling();
+  Status PrevSibling();
+  void Reset();  // back to the root
+
+  // Jumps straight to a node (e.g. a query's BrowsingSuggestion).
+  Status JumpTo(int node_id);
+
+ private:
+  const CatalogEntry* entry_;
+  int current_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_BROWSER_H_

@@ -1,0 +1,33 @@
+#ifndef VDB_CORE_CATALOG_IO_H_
+#define VDB_CORE_CATALOG_IO_H_
+
+#include <string>
+
+#include "core/video_database.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// On-disk persistence for a VideoDatabase's derived state (the catalog):
+// per video its shots, variance features, SBD statistics, per-frame signs
+// and the scene tree. With a saved catalog, a database restarts without
+// re-decoding or re-analysing any video.
+//
+// The signature *lines* are not persisted (they are two orders of magnitude
+// larger than the signs and are only needed to re-run detection);
+// a restored entry has empty FrameSignature::signature_ba fields. Sign-based
+// operations — RELATIONSHIP, features, representative frames, queries,
+// browsing — work unchanged.
+//
+// Format: magic "VDBCAT01", FNV-1a checksum of the payload, then the
+// payload (little-endian, length-prefixed strings). Any truncation or bit
+// flip surfaces as kCorruption.
+
+Status SaveCatalog(const VideoDatabase& db, const std::string& path);
+
+// Loads a catalog into `db`, which must be empty.
+Status LoadCatalog(const std::string& path, VideoDatabase* db);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_CATALOG_IO_H_

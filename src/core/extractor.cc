@@ -1,0 +1,62 @@
+#include "core/extractor.h"
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace vdb {
+
+Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
+                                             const AreaGeometry& geom) {
+  FrameSignature out;
+  VDB_ASSIGN_OR_RETURN(Frame tba, ExtractTba(frame, geom));
+  VDB_ASSIGN_OR_RETURN(AreaReduction ba, ReduceArea(tba));
+  out.signature_ba = std::move(ba.signature);
+  out.sign_ba = ba.sign;
+
+  VDB_ASSIGN_OR_RETURN(Frame foa, ExtractFoa(frame, geom));
+  VDB_ASSIGN_OR_RETURN(AreaReduction oa, ReduceArea(foa));
+  out.sign_oa = oa.sign;
+  return out;
+}
+
+Result<VideoSignatures> ComputeVideoSignatures(const Video& video) {
+  if (video.empty()) {
+    return Status::InvalidArgument("video '" + video.name() +
+                                   "' has no frames");
+  }
+  VideoSignatures out;
+  VDB_ASSIGN_OR_RETURN(out.geometry,
+                       ComputeAreaGeometry(video.width(), video.height()));
+  out.frames.reserve(static_cast<size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    VDB_ASSIGN_OR_RETURN(FrameSignature fs,
+                         ComputeFrameSignature(video.frame(i),
+                                               out.geometry));
+    out.frames.push_back(std::move(fs));
+  }
+  return out;
+}
+
+Result<VideoSignatures> ComputeVideoSignaturesParallel(const Video& video,
+                                                       int num_threads) {
+  if (video.empty()) {
+    return Status::InvalidArgument("video '" + video.name() +
+                                   "' has no frames");
+  }
+  if (num_threads <= 0) num_threads = HardwareThreads();
+
+  VideoSignatures out;
+  VDB_ASSIGN_OR_RETURN(out.geometry,
+                       ComputeAreaGeometry(video.width(), video.height()));
+  out.frames.resize(static_cast<size_t>(video.frame_count()));
+  VDB_RETURN_IF_ERROR(ParallelFor(
+      video.frame_count(), num_threads, [&](int i) -> Status {
+        VDB_ASSIGN_OR_RETURN(
+            out.frames[static_cast<size_t>(i)],
+            ComputeFrameSignature(video.frame(i), out.geometry));
+        return Status::Ok();
+      }));
+  return out;
+}
+
+}  // namespace vdb

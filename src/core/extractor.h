@@ -1,0 +1,49 @@
+#ifndef VDB_CORE_EXTRACTOR_H_
+#define VDB_CORE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "core/geometry.h"
+#include "core/pyramid.h"
+#include "util/result.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// Per-frame reduction products used by every downstream component:
+//  * signature_ba — the TBA reduced to a line of L pixels,
+//  * sign_ba      — the TBA reduced to one pixel (Sign_i^BA),
+//  * sign_oa      — the FOA reduced to one pixel (Sign_i^OA).
+struct FrameSignature {
+  Signature signature_ba;
+  PixelRGB sign_ba;
+  PixelRGB sign_oa;
+};
+
+// Signatures of a whole video plus the geometry they were computed with.
+struct VideoSignatures {
+  AreaGeometry geometry;
+  std::vector<FrameSignature> frames;
+
+  int frame_count() const { return static_cast<int>(frames.size()); }
+};
+
+// Computes the Figure-3 reduction for a single frame.
+Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
+                                             const AreaGeometry& geom);
+
+// Computes signatures for every frame of `video`. This is the expensive,
+// single pass over pixel data; everything after (SBD, scene trees,
+// indexing) works on signatures and signs only.
+Result<VideoSignatures> ComputeVideoSignatures(const Video& video);
+
+// Multi-threaded variant: frames are independent, so extraction
+// parallelises perfectly and the output is bit-identical to the serial
+// pass (the paper's Section 6 calls for speeding segmentation up).
+// `num_threads` <= 0 uses all hardware threads.
+Result<VideoSignatures> ComputeVideoSignaturesParallel(const Video& video,
+                                                       int num_threads = 0);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_EXTRACTOR_H_

@@ -1,0 +1,79 @@
+#include "core/features.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace vdb {
+
+double ShotFeatures::Dv() const {
+  return std::sqrt(var_ba) - std::sqrt(var_oa);
+}
+
+double SignVariance(const std::vector<PixelRGB>& signs) {
+  size_t n = signs.size();
+  if (n < 2) return 0.0;
+
+  double mean_r = 0.0;
+  double mean_g = 0.0;
+  double mean_b = 0.0;
+  for (const PixelRGB& p : signs) {
+    mean_r += p.r;
+    mean_g += p.g;
+    mean_b += p.b;
+  }
+  // Equation 4/6: mean over l - k + 1 == N frames.
+  mean_r /= static_cast<double>(n);
+  mean_g /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+
+  double acc_r = 0.0;
+  double acc_g = 0.0;
+  double acc_b = 0.0;
+  for (const PixelRGB& p : signs) {
+    acc_r += (p.r - mean_r) * (p.r - mean_r);
+    acc_g += (p.g - mean_g) * (p.g - mean_g);
+    acc_b += (p.b - mean_b) * (p.b - mean_b);
+  }
+  // Equation 3/5: divisor l - k == N - 1.
+  double denom = static_cast<double>(n - 1);
+  return (acc_r + acc_g + acc_b) / (3.0 * denom);
+}
+
+Result<ShotFeatures> ComputeShotFeatures(const VideoSignatures& signatures,
+                                         const Shot& shot) {
+  if (shot.start_frame < 0 || shot.end_frame >= signatures.frame_count() ||
+      shot.start_frame > shot.end_frame) {
+    return Status::OutOfRange(
+        StrFormat("shot [%d,%d] outside video of %d frames",
+                  shot.start_frame, shot.end_frame,
+                  signatures.frame_count()));
+  }
+  std::vector<PixelRGB> ba;
+  std::vector<PixelRGB> oa;
+  ba.reserve(static_cast<size_t>(shot.frame_count()));
+  oa.reserve(static_cast<size_t>(shot.frame_count()));
+  for (int f = shot.start_frame; f <= shot.end_frame; ++f) {
+    ba.push_back(signatures.frames[static_cast<size_t>(f)].sign_ba);
+    oa.push_back(signatures.frames[static_cast<size_t>(f)].sign_oa);
+  }
+  ShotFeatures features;
+  features.var_ba = SignVariance(ba);
+  features.var_oa = SignVariance(oa);
+  return features;
+}
+
+Result<std::vector<ShotFeatures>> ComputeAllShotFeatures(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots) {
+  std::vector<ShotFeatures> out;
+  out.reserve(shots.size());
+  for (const Shot& shot : shots) {
+    VDB_ASSIGN_OR_RETURN(ShotFeatures f,
+                         ComputeShotFeatures(signatures, shot));
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace vdb

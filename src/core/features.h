@@ -1,0 +1,40 @@
+#ifndef VDB_CORE_FEATURES_H_
+#define VDB_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/shot.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// The paper's per-shot feature vector (Section 4.1): the statistical
+// variances of the background-area and object-area signs across the shot's
+// frames. Var^BA == 0 means the background never changes; Var^OA == 0 means
+// the object area never changes; larger values mean more change.
+struct ShotFeatures {
+  double var_ba = 0.0;  // Equation 3
+  double var_oa = 0.0;  // Equation 5
+
+  // D^v = sqrt(Var^BA) - sqrt(Var^OA) (Section 4.2).
+  double Dv() const;
+};
+
+// Computes Var for one channel sequence using the paper's formulas: the
+// mean divides by N (Eq. 4) while the squared deviations divide by N - 1
+// (Eq. 3, divisor l - k). Signs are pixels; the per-channel variances are
+// averaged into one scalar. Single-frame shots have zero variance.
+double SignVariance(const std::vector<PixelRGB>& signs);
+
+// Features for the shot `shot` of a video with signatures `signatures`.
+Result<ShotFeatures> ComputeShotFeatures(const VideoSignatures& signatures,
+                                         const Shot& shot);
+
+// Features for every shot.
+Result<std::vector<ShotFeatures>> ComputeAllShotFeatures(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_FEATURES_H_

@@ -1,0 +1,104 @@
+#include "core/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace vdb {
+
+Result<ShotFingerprint> ComputeShotFingerprint(
+    const VideoSignatures& signatures, const Shot& shot,
+    const MotionOptions& motion_options) {
+  ShotFingerprint fp;
+  VDB_ASSIGN_OR_RETURN(fp.variances,
+                       ComputeShotFeatures(signatures, shot));
+  VDB_ASSIGN_OR_RETURN(MotionEstimate motion,
+                       ClassifyShotMotion(signatures, shot, motion_options));
+  fp.motion = motion.label;
+
+  double r = 0, g = 0, b = 0;
+  for (int f = shot.start_frame; f <= shot.end_frame; ++f) {
+    const PixelRGB& sign =
+        signatures.frames[static_cast<size_t>(f)].sign_ba;
+    r += sign.r;
+    g += sign.g;
+    b += sign.b;
+  }
+  double n = shot.frame_count();
+  fp.mean_sign_ba = PixelRGB(ClampToByte(r / n), ClampToByte(g / n),
+                             ClampToByte(b / n));
+  return fp;
+}
+
+Result<std::vector<ShotFingerprint>> ComputeAllShotFingerprints(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots,
+    const MotionOptions& motion_options) {
+  std::vector<ShotFingerprint> out;
+  out.reserve(shots.size());
+  for (const Shot& shot : shots) {
+    VDB_ASSIGN_OR_RETURN(
+        ShotFingerprint fp,
+        ComputeShotFingerprint(signatures, shot, motion_options));
+    out.push_back(fp);
+  }
+  return out;
+}
+
+double FingerprintDistance(const ShotFingerprint& a, const ShotFingerprint& b,
+                           const FingerprintWeights& weights) {
+  double d_dv = a.variances.Dv() - b.variances.Dv();
+  double d_ba =
+      std::sqrt(a.variances.var_ba) - std::sqrt(b.variances.var_ba);
+  double distance =
+      weights.variance_weight * std::sqrt(d_dv * d_dv + d_ba * d_ba);
+
+  distance += weights.color_weight *
+              MaxChannelDifference(a.mean_sign_ba, b.mean_sign_ba) / 256.0;
+
+  CameraMotionGroup ga = MotionGroup(a.motion);
+  CameraMotionGroup gb = MotionGroup(b.motion);
+  if (ga != gb) {
+    bool soft = ga == CameraMotionGroup::kComplex ||
+                gb == CameraMotionGroup::kComplex;
+    distance += soft ? weights.motion_weight * 0.5 : weights.motion_weight;
+  }
+  return distance;
+}
+
+void FingerprintIndex::Add(int video_id, int shot_index,
+                           const ShotFingerprint& fingerprint) {
+  entries_.push_back(
+      FingerprintMatch{video_id, shot_index, fingerprint, 0.0});
+}
+
+void FingerprintIndex::AddVideo(
+    int video_id, const std::vector<ShotFingerprint>& fingerprints) {
+  for (size_t i = 0; i < fingerprints.size(); ++i) {
+    Add(video_id, static_cast<int>(i), fingerprints[i]);
+  }
+}
+
+std::vector<FingerprintMatch> FingerprintIndex::QueryTopK(
+    const ShotFingerprint& query, int k, const FingerprintWeights& weights,
+    int exclude_video, int exclude_shot) const {
+  std::vector<FingerprintMatch> scored;
+  scored.reserve(entries_.size());
+  for (const FingerprintMatch& e : entries_) {
+    if (e.video_id == exclude_video && e.shot_index == exclude_shot) {
+      continue;
+    }
+    FingerprintMatch m = e;
+    m.distance = FingerprintDistance(query, e.fingerprint, weights);
+    scored.push_back(m);
+  }
+  int keep = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const FingerprintMatch& a, const FingerprintMatch& b) {
+                      return a.distance < b.distance;
+                    });
+  scored.resize(static_cast<size_t>(keep));
+  return scored;
+}
+
+}  // namespace vdb

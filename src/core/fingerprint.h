@@ -1,0 +1,85 @@
+#ifndef VDB_CORE_FINGERPRINT_H_
+#define VDB_CORE_FINGERPRINT_H_
+
+#include <vector>
+
+#include "core/features.h"
+#include "core/motion.h"
+#include "core/variance_index.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// Extended shot descriptor — the "more discriminating" similarity model the
+// paper's Section 6 calls future work. The base (Var^BA, Var^OA) pair is
+// augmented with two more signature-derived cues, both free by-products of
+// the camera-tracking pass:
+//   * the shot's mean background sign (its dominant colour), and
+//   * the classified camera motion.
+// Everything still derives from the one-line signatures; the model stays
+// "cost-effective" in the paper's sense.
+struct ShotFingerprint {
+  ShotFeatures variances;
+  PixelRGB mean_sign_ba;
+  CameraMotionLabel motion = CameraMotionLabel::kComplex;
+};
+
+// Computes the fingerprint of one shot from precomputed signatures.
+Result<ShotFingerprint> ComputeShotFingerprint(
+    const VideoSignatures& signatures, const Shot& shot,
+    const MotionOptions& motion_options = MotionOptions());
+
+Result<std::vector<ShotFingerprint>> ComputeAllShotFingerprints(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots,
+    const MotionOptions& motion_options = MotionOptions());
+
+// Term weights of the extended distance. With color_weight and
+// motion_weight at 0 the model reduces exactly to the paper's
+// (D^v, sqrt(Var^BA)) distance.
+struct FingerprintWeights {
+  double variance_weight = 1.0;
+  // Scales the mean-colour term: max channel difference / 256 * this.
+  double color_weight = 4.0;
+  // Added once when the direction-agnostic motion groups differ, and half
+  // when only one of the two is complex/unknown.
+  double motion_weight = 1.0;
+};
+
+// Distance between two fingerprints under `weights`.
+double FingerprintDistance(const ShotFingerprint& a, const ShotFingerprint& b,
+                           const FingerprintWeights& weights);
+
+// A match returned by the extended index.
+struct FingerprintMatch {
+  int video_id = -1;
+  int shot_index = -1;
+  ShotFingerprint fingerprint;
+  double distance = 0.0;
+};
+
+// Exact k-nearest-neighbour index over fingerprints. Unlike the banded
+// VarianceIndex this scans all entries (the extended distance has no single
+// sort key); it is meant for re-ranking and for the ablation bench.
+class FingerprintIndex {
+ public:
+  FingerprintIndex() = default;
+
+  void Add(int video_id, int shot_index, const ShotFingerprint& fingerprint);
+  void AddVideo(int video_id,
+                const std::vector<ShotFingerprint>& fingerprints);
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  // The k nearest fingerprints, optionally excluding one (query shot).
+  std::vector<FingerprintMatch> QueryTopK(
+      const ShotFingerprint& query, int k,
+      const FingerprintWeights& weights = FingerprintWeights(),
+      int exclude_video = -1, int exclude_shot = -1) const;
+
+ private:
+  std::vector<FingerprintMatch> entries_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_FINGERPRINT_H_

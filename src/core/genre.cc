@@ -1,0 +1,108 @@
+#include "core/genre.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+// A representative subset of the Library of Congress moving-image genre
+// terms (the full guide lists 133).
+const std::vector<std::string_view>& GenreTable() {
+  static const std::vector<std::string_view>* kGenres =
+      new std::vector<std::string_view>{
+          "adaptation",   "adventure",  "biographical", "comedy",
+          "crime",        "dance",      "disaster",     "documentary",
+          "domestic",     "espionage",  "experimental", "fantasy",
+          "historical",   "horror",     "instructional", "interview",
+          "journalism",   "legal",      "medical",      "melodrama",
+          "music",        "musical",    "mystery",      "nature",
+          "news",         "political",  "romance",      "science fiction",
+          "show business", "sports",    "talk",         "thriller",
+          "travelogue",   "war",        "western",      "youth",
+      };
+  return *kGenres;
+}
+
+// A representative subset of the 35 forms.
+const std::vector<std::string_view>& FormTable() {
+  static const std::vector<std::string_view>* kForms =
+      new std::vector<std::string_view>{
+          "animation",
+          "feature",
+          "serial",
+          "short",
+          "television commercial",
+          "television mini-series",
+          "television pilot",
+          "television series",
+          "television special",
+          "trailer",
+      };
+  return *kForms;
+}
+
+Result<int> LookUp(const std::vector<std::string_view>& table,
+                   std::string_view name, const char* kind) {
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound(
+      StrFormat("unknown %s '%.*s'", kind, static_cast<int>(name.size()),
+                name.data()));
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& GenreNames() { return GenreTable(); }
+const std::vector<std::string_view>& FormNames() { return FormTable(); }
+
+Result<int> GenreIdByName(std::string_view name) {
+  return LookUp(GenreTable(), name, "genre");
+}
+
+Result<int> FormIdByName(std::string_view name) {
+  return LookUp(FormTable(), name, "form");
+}
+
+bool VideoClassification::HasGenre(int genre_id) const {
+  return std::find(genre_ids.begin(), genre_ids.end(), genre_id) !=
+         genre_ids.end();
+}
+
+Result<VideoClassification> MakeClassification(
+    const std::vector<std::string>& genres, const std::string& form) {
+  VideoClassification c;
+  for (const std::string& g : genres) {
+    VDB_ASSIGN_OR_RETURN(int id, GenreIdByName(g));
+    if (!c.HasGenre(id)) {
+      c.genre_ids.push_back(id);
+    }
+  }
+  VDB_ASSIGN_OR_RETURN(c.form_id, FormIdByName(form));
+  return c;
+}
+
+std::string ClassificationLabel(const VideoClassification& c) {
+  std::vector<std::string> names;
+  for (int id : c.genre_ids) {
+    if (id >= 0 && id < static_cast<int>(GenreTable().size())) {
+      names.emplace_back(GenreTable()[static_cast<size_t>(id)]);
+    }
+  }
+  std::string label = StrJoin(names, ", ");
+  if (c.form_id >= 0 && c.form_id < static_cast<int>(FormTable().size())) {
+    if (!label.empty()) label += ' ';
+    label += FormTable()[static_cast<size_t>(c.form_id)];
+  }
+  return label;
+}
+
+bool ClassFilter::Matches(const VideoClassification& c) const {
+  if (form_id >= 0 && c.form_id != form_id) return false;
+  if (genre_id >= 0 && !c.HasGenre(genre_id)) return false;
+  return true;
+}
+
+}  // namespace vdb

@@ -1,0 +1,56 @@
+#ifndef VDB_CORE_GENRE_H_
+#define VDB_CORE_GENRE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace vdb {
+
+// Genre/form classification (Section 4.1). The paper argues that two
+// variance values suffice because retrieval happens *within* one of the
+// ~4,655 classes of the Library of Congress moving-image genre/form guide
+// (133 genres x 35 forms). This module carries a representative subset of
+// that taxonomy — enough to exercise per-class retrieval; the guide itself
+// is the authority for the full list.
+
+// Names of the supported genres ("comedy", "western", ...).
+const std::vector<std::string_view>& GenreNames();
+// Names of the supported forms ("feature", "television series", ...).
+const std::vector<std::string_view>& FormNames();
+
+// Case-sensitive name -> id lookups; kNotFound for unknown names.
+Result<int> GenreIdByName(std::string_view name);
+Result<int> FormIdByName(std::string_view name);
+
+// A video's classification: one form plus any number of genres, e.g.
+// 'adventure and biographical feature' in the paper's Brave Heart example.
+struct VideoClassification {
+  std::vector<int> genre_ids;
+  int form_id = -1;
+
+  bool HasGenre(int genre_id) const;
+  bool empty() const { return genre_ids.empty() && form_id < 0; }
+};
+
+// Builds a classification from names; fails on any unknown name.
+Result<VideoClassification> MakeClassification(
+    const std::vector<std::string>& genres, const std::string& form);
+
+// "adventure, biographical feature" display form.
+std::string ClassificationLabel(const VideoClassification& c);
+
+// A retrieval class filter: any listed genre must be present (empty = any)
+// and the form must match (-1 = any).
+struct ClassFilter {
+  int genre_id = -1;
+  int form_id = -1;
+
+  bool Matches(const VideoClassification& c) const;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_GENRE_H_

@@ -1,0 +1,124 @@
+#include "core/geometry.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace vdb {
+
+int SizeSetElement(int j) {
+  VDB_CHECK(j >= 1) << "size set index " << j;
+  // s_1 = 1; s_j = 2^(j+1) - 3 for all j >= 1.
+  return (1 << (j + 1)) - 3;
+}
+
+bool IsSizeSetElement(int value) {
+  if (value < 1) return false;
+  for (int j = 1;; ++j) {
+    int s = SizeSetElement(j);
+    if (s == value) return true;
+    if (s > value) return false;
+  }
+}
+
+int SnapToSizeSet(int estimate) {
+  VDB_CHECK(estimate >= 1) << "size estimate " << estimate;
+  // j = 2 + floor(log2((x + 3) / 6)); values below 3 map to j = 1.
+  double ratio = (estimate + 3) / 6.0;
+  int j;
+  if (ratio < 1.0) {
+    j = 1;
+  } else {
+    j = 2 + static_cast<int>(std::floor(std::log2(ratio)));
+  }
+  return SizeSetElement(j);
+}
+
+Result<AreaGeometry> ComputeAreaGeometry(int width, int height) {
+  if (width < 10 || height < 10) {
+    return Status::InvalidArgument(
+        StrFormat("frame %dx%d too small for background tracking "
+                  "(need at least 10x10)",
+                  width, height));
+  }
+  // The Π shape needs room below the top bar for the FOA: h' = r - w' and
+  // b' = c - 2w' must stay positive (w' = floor(c/10)).
+  if (height <= width / 10) {
+    return Status::InvalidArgument(
+        StrFormat("frame %dx%d too wide for the Π-shaped background area "
+                  "(height must exceed width/10)",
+                  width, height));
+  }
+  AreaGeometry geom;
+  geom.frame_width = width;
+  geom.frame_height = height;
+  geom.w_estimate = width / 10;
+  geom.b_estimate = width - 2 * geom.w_estimate;
+  geom.h_estimate = height - geom.w_estimate;
+  geom.l_estimate = width + 2 * geom.h_estimate;
+
+  geom.w = SnapToSizeSet(geom.w_estimate);
+  geom.b = SnapToSizeSet(geom.b_estimate);
+  geom.h = SnapToSizeSet(geom.h_estimate);
+  geom.l = SnapToSizeSet(geom.l_estimate);
+  return geom;
+}
+
+Result<Frame> ExtractNaturalTba(const Frame& frame,
+                                const AreaGeometry& geom) {
+  if (frame.width() != geom.frame_width ||
+      frame.height() != geom.frame_height) {
+    return Status::InvalidArgument(StrFormat(
+        "frame %dx%d does not match geometry %dx%d", frame.width(),
+        frame.height(), geom.frame_width, geom.frame_height));
+  }
+  int c = geom.frame_width;
+  int wp = geom.w_estimate;
+  int hp = geom.h_estimate;
+  int lp = geom.l_estimate;
+
+  Frame tba(lp, wp);
+  // Left column (x in [0, wp), y in [wp, r)), rotated outward: pixels
+  // nearest the top bar land nearest the bar's left edge.
+  for (int d = 0; d < hp; ++d) {
+    for (int x = 0; x < wp; ++x) {
+      tba.at_unchecked(hp - 1 - d, x) = frame.at_unchecked(x, wp + d);
+    }
+  }
+  // Top bar occupies the middle of the strip.
+  for (int y = 0; y < wp; ++y) {
+    for (int x = 0; x < c; ++x) {
+      tba.at_unchecked(hp + x, y) = frame.at_unchecked(x, y);
+    }
+  }
+  // Right column, rotated outward.
+  for (int d = 0; d < hp; ++d) {
+    for (int x = 0; x < wp; ++x) {
+      tba.at_unchecked(hp + c + d, x) = frame.at_unchecked(c - wp + x, wp + d);
+    }
+  }
+  return tba;
+}
+
+Result<Frame> ExtractTba(const Frame& frame, const AreaGeometry& geom) {
+  VDB_ASSIGN_OR_RETURN(Frame natural, ExtractNaturalTba(frame, geom));
+  return ResizeNearest(natural, geom.l, geom.w);
+}
+
+Rect FoaRect(const AreaGeometry& geom) {
+  return Rect{geom.w_estimate, geom.w_estimate, geom.b_estimate,
+              geom.h_estimate};
+}
+
+Result<Frame> ExtractFoa(const Frame& frame, const AreaGeometry& geom) {
+  if (frame.width() != geom.frame_width ||
+      frame.height() != geom.frame_height) {
+    return Status::InvalidArgument(StrFormat(
+        "frame %dx%d does not match geometry %dx%d", frame.width(),
+        frame.height(), geom.frame_width, geom.frame_height));
+  }
+  VDB_ASSIGN_OR_RETURN(Frame natural, Crop(frame, FoaRect(geom)));
+  return ResizeNearest(natural, geom.b, geom.h);
+}
+
+}  // namespace vdb

@@ -1,0 +1,78 @@
+#ifndef VDB_CORE_GEOMETRY_H_
+#define VDB_CORE_GEOMETRY_H_
+
+#include <vector>
+
+#include "util/result.h"
+#include "video/frame.h"
+#include "video/frame_ops.h"
+
+namespace vdb {
+
+// Geometry of the paper's frame areas (Section 2, Figure 1).
+//
+// A frame of width c and height r is split into
+//  * the fixed background area (FBA): a Π-shaped region made of a top bar
+//    (c wide, w tall) and two side columns (w wide, r - w tall), and
+//  * the fixed object area (FOA): the bottom-centre rectangle
+//    (b = c - 2w wide, h = r - w tall) where primary objects appear.
+//
+// The two side columns are rotated outward to turn the Π into a single
+// horizontal strip, the transformed background area (TBA), of length
+// L = c + 2h and height w (Figure 2).
+//
+// The Gaussian Pyramid reduces 5 pixels to 1, so every reducible dimension
+// must come from the size set {1, 5, 13, 29, 61, 125, ...} where
+// s_j = 1 + sum_{i=2..j} 2^i  =  2^(j+1) - 3  (Equation 1). Estimates
+// (w', b', h', L') are derived from the frame size and snapped to the set
+// using j = 2 + floor(log2((x + 3) / 6)) (Table 1).
+struct AreaGeometry {
+  int frame_width = 0;   // c
+  int frame_height = 0;  // r
+
+  // Raw estimates (primed values in the paper).
+  int w_estimate = 0;  // w' = floor(c / 10)
+  int b_estimate = 0;  // b' = c - 2w'
+  int h_estimate = 0;  // h' = r - w'
+  int l_estimate = 0;  // L' = c + 2h'
+
+  // Size-set values used by the pyramid.
+  int w = 0;  // TBA height / FBA bar thickness
+  int b = 0;  // FOA width
+  int h = 0;  // FOA height
+  int l = 0;  // TBA length
+};
+
+// j-th element of the size set (j >= 1): 1, 5, 13, 29, 61, 125, ...
+int SizeSetElement(int j);
+
+// True if `value` is an element of the size set.
+bool IsSizeSetElement(int value);
+
+// Snaps a positive estimate to the size set per Table 1.
+int SnapToSizeSet(int estimate);
+
+// Computes the full geometry for a frame of `width` x `height`. Fails for
+// frames too small to carry a Π-shaped background (roughly < 10x10: the
+// paper's w' = floor(c/10) becomes 0).
+Result<AreaGeometry> ComputeAreaGeometry(int width, int height);
+
+// Extracts the TBA strip of `frame` at its natural (un-snapped) size:
+// an (L' x w') image laid out [rotated left column | top bar | rotated
+// right column]. Rotation keeps pixels adjacent to the top bar adjacent to
+// the bar in the strip.
+Result<Frame> ExtractNaturalTba(const Frame& frame, const AreaGeometry& geom);
+
+// Extracts the TBA and resamples it to the size-set dimensions (l x w),
+// ready for pyramid reduction.
+Result<Frame> ExtractTba(const Frame& frame, const AreaGeometry& geom);
+
+// Extracts the FOA and resamples it to the size-set dimensions (b x h).
+Result<Frame> ExtractFoa(const Frame& frame, const AreaGeometry& geom);
+
+// The FOA rectangle in frame coordinates (before resampling).
+Rect FoaRect(const AreaGeometry& geom);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_GEOMETRY_H_

@@ -1,0 +1,367 @@
+#include "core/motion.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace vdb {
+
+std::string_view CameraMotionLabelName(CameraMotionLabel label) {
+  switch (label) {
+    case CameraMotionLabel::kStatic:
+      return "static";
+    case CameraMotionLabel::kPanLeft:
+      return "pan-left";
+    case CameraMotionLabel::kPanRight:
+      return "pan-right";
+    case CameraMotionLabel::kTiltUp:
+      return "tilt-up";
+    case CameraMotionLabel::kTiltDown:
+      return "tilt-down";
+    case CameraMotionLabel::kZoomIn:
+      return "zoom-in";
+    case CameraMotionLabel::kZoomOut:
+      return "zoom-out";
+    case CameraMotionLabel::kComplex:
+      return "complex";
+  }
+  return "unknown";
+}
+
+CameraMotionGroup MotionGroup(CameraMotionLabel label) {
+  switch (label) {
+    case CameraMotionLabel::kStatic:
+      return CameraMotionGroup::kStatic;
+    case CameraMotionLabel::kPanLeft:
+    case CameraMotionLabel::kPanRight:
+      return CameraMotionGroup::kPan;
+    case CameraMotionLabel::kTiltUp:
+    case CameraMotionLabel::kTiltDown:
+      return CameraMotionGroup::kTilt;
+    case CameraMotionLabel::kZoomIn:
+    case CameraMotionLabel::kZoomOut:
+      return CameraMotionGroup::kZoom;
+    case CameraMotionLabel::kComplex:
+      return CameraMotionGroup::kComplex;
+  }
+  return CameraMotionGroup::kComplex;
+}
+
+std::string_view CameraMotionGroupName(CameraMotionGroup group) {
+  switch (group) {
+    case CameraMotionGroup::kStatic:
+      return "static";
+    case CameraMotionGroup::kPan:
+      return "pan";
+    case CameraMotionGroup::kTilt:
+      return "tilt";
+    case CameraMotionGroup::kZoom:
+      return "zoom";
+    case CameraMotionGroup::kComplex:
+      return "complex";
+  }
+  return "unknown";
+}
+
+Result<ProbeShift> EstimateProbeShift(const Signature& a, const Signature& b,
+                                      int center, int half_window,
+                                      int max_shift) {
+  int n = static_cast<int>(a.size());
+  if (b.size() != a.size()) {
+    return Status::InvalidArgument("signature lengths differ");
+  }
+  if (center - half_window < 0 || center + half_window >= n) {
+    return Status::OutOfRange(
+        StrFormat("probe window [%d +- %d] outside signature of %d",
+                  center, half_window, n));
+  }
+
+  ProbeShift best;
+  for (int s = -max_shift; s <= max_shift; ++s) {
+    if (center + s - half_window < 0 || center + s + half_window >= n) {
+      continue;
+    }
+    double acc = 0.0;
+    int count = 0;
+    for (int i = -half_window; i <= half_window; ++i) {
+      acc += MaxChannelDifference(a[static_cast<size_t>(center + i)],
+                                  b[static_cast<size_t>(center + s + i)]);
+      ++count;
+    }
+    double residual = acc / count;
+    // Prefer the smallest |shift| on residual ties so a static scene does
+    // not wander.
+    if (residual < best.residual - 1e-9 ||
+        (residual < best.residual + 1e-9 &&
+         std::abs(s) < std::abs(best.shift))) {
+      best.residual = residual;
+      best.shift = s;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Aggregated displacement of one probe location over a shot.
+struct ProbeTrack {
+  double shift_sum = 0.0;     // per-frame normalised
+  double shift_sq_sum = 0.0;  // for the consistency check
+  int trusted = 0;
+  int total = 0;
+
+  double MeanShift() const { return trusted > 0 ? shift_sum / trusted : 0.0; }
+  double Trust() const {
+    return total > 0 ? static_cast<double>(trusted) / total : 0.0;
+  }
+  // Standard deviation of the per-pair shifts: genuine camera motion is
+  // steady; spurious matches on decorrelated content scatter widely.
+  double ShiftStdDev() const {
+    if (trusted < 2) return 0.0;
+    double mean = MeanShift();
+    double var = shift_sq_sum / trusted - mean * mean;
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+};
+
+// The displacement field is sampled at several positions across the
+// top-bar section plus one probe per rotated side column.
+constexpr int kMidProbes = 7;
+
+struct ProbeSet {
+  ProbeTrack left;   // centre of the rotated left column section
+  ProbeTrack right;  // centre of the rotated right column section
+  ProbeTrack mid[kMidProbes];
+  double mid_pos[kMidProbes] = {};  // strip offset from the frame centre
+};
+
+struct ProbeCenters {
+  int left;
+  int right;
+  int mid[kMidProbes];
+  double mid_center;
+};
+
+ProbeCenters ComputeCenters(const AreaGeometry& geom) {
+  double scale =
+      static_cast<double>(geom.l) / static_cast<double>(geom.l_estimate);
+  double left_end = geom.h_estimate * scale;
+  double mid_end = (geom.h_estimate + geom.frame_width) * scale;
+  ProbeCenters centers;
+  centers.left = static_cast<int>(left_end / 2.0);
+  centers.right = static_cast<int>((mid_end + geom.l) / 2.0);
+  centers.mid_center = (left_end + mid_end) / 2.0;
+  for (int k = 0; k < kMidProbes; ++k) {
+    double t = (k + 1.0) / (kMidProbes + 1.0);
+    centers.mid[k] = static_cast<int>(left_end + (mid_end - left_end) * t);
+  }
+  return centers;
+}
+
+// Runs the four probes over every (i, i+stride) pair of the shot.
+Result<ProbeSet> TrackProbes(const VideoSignatures& signatures,
+                             const Shot& shot, const MotionOptions& options,
+                             int stride, int max_shift) {
+  ProbeCenters centers = ComputeCenters(signatures.geometry);
+  ProbeSet set;
+  auto probe = [&](ProbeTrack* track, int center, const Signature& a,
+                   const Signature& b) -> Status {
+    VDB_ASSIGN_OR_RETURN(
+        ProbeShift shift,
+        EstimateProbeShift(a, b, center, options.half_window, max_shift));
+    ++track->total;
+    if (shift.residual <= options.good_residual &&
+        std::abs(shift.shift) < max_shift) {
+      ++track->trusted;
+      double normalised = static_cast<double>(shift.shift) / stride;
+      track->shift_sum += normalised;
+      track->shift_sq_sum += normalised * normalised;
+    }
+    return Status::Ok();
+  };
+
+  for (int k = 0; k < kMidProbes; ++k) {
+    set.mid_pos[k] = centers.mid[k] - centers.mid_center;
+  }
+  for (int f = shot.start_frame; f + stride <= shot.end_frame; f += stride) {
+    const Signature& a =
+        signatures.frames[static_cast<size_t>(f)].signature_ba;
+    const Signature& b =
+        signatures.frames[static_cast<size_t>(f + stride)].signature_ba;
+    VDB_RETURN_IF_ERROR(probe(&set.left, centers.left, a, b));
+    VDB_RETURN_IF_ERROR(probe(&set.right, centers.right, a, b));
+    for (int k = 0; k < kMidProbes; ++k) {
+      VDB_RETURN_IF_ERROR(probe(&set.mid[k], centers.mid[k], a, b));
+    }
+  }
+  return set;
+}
+
+// Decides a label from the aggregated probe displacements; kComplex when
+// nothing fits. The top-bar displacements are fitted with a straight line
+// d(x) = a + b*(x - centre): a pure pan is a constant field (b ~ 0), a
+// zoom is a linear field through the frame centre (b = -(ratio - 1)), and
+// a static camera leaves both near zero.
+MotionEstimate Decide(const ProbeSet& set, const MotionOptions& options) {
+  MotionEstimate estimate;
+  double l = set.left.MeanShift();
+  double r = set.right.MeanShift();
+  bool sides_ok = set.left.Trust() >= 0.5 && set.right.Trust() >= 0.5;
+  double st = options.static_threshold;
+
+  // Weighted least squares over the trusted mid probes.
+  double sw = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double used_trust = 0;
+  int mid_used = 0;
+  for (int k = 0; k < kMidProbes; ++k) {
+    double w = set.mid[k].Trust();
+    if (w < 0.5) continue;
+    ++mid_used;
+    used_trust += w;
+    double x = set.mid_pos[k];
+    double y = set.mid[k].MeanShift();
+    sw += w;
+    sx += w * x;
+    sy += w * y;
+    sxx += w * x * x;
+    sxy += w * x * y;
+  }
+  double mid_trust = mid_used > 0 ? used_trust / mid_used : 0.0;
+  bool mids_ok = mid_used >= 3;
+  double pan_a = 0.0;
+  double zoom_b = 0.0;
+  double fit_rms = 0.0;
+  if (mids_ok) {
+    double det = sw * sxx - sx * sx;
+    if (std::fabs(det) > 1e-9) {
+      zoom_b = (sw * sxy - sx * sy) / det;
+      pan_a = (sxx * sy - sx * sxy) / det;
+    } else {
+      pan_a = sy / sw;
+    }
+    // Residual of the linear fit: steady camera motion follows the line;
+    // spurious matches on decorrelated content scatter around it.
+    double acc = 0.0;
+    int n = 0;
+    for (int k = 0; k < kMidProbes; ++k) {
+      if (set.mid[k].Trust() < 0.5) continue;
+      double d = set.mid[k].MeanShift() -
+                 (pan_a + zoom_b * set.mid_pos[k]);
+      acc += d * d;
+      ++n;
+    }
+    fit_rms = n > 0 ? std::sqrt(acc / n) : 0.0;
+  }
+
+  // Tilt first when the mirrored side columns carry stronger, opposite
+  // displacement than the top bar: vertical motion leaves only weak,
+  // ambiguous drift in the bar, which must not be mistaken for a pan.
+  bool sides_steady =
+      set.left.ShiftStdDev() <= 1.0 && set.right.ShiftStdDev() <= 1.0;
+  if (sides_ok && sides_steady && l * r < 0 && std::fabs(l) >= st &&
+      std::fabs(r) >= st &&
+      (std::fabs(l) + std::fabs(r)) / 2.0 > std::fabs(pan_a)) {
+    estimate.label = l > 0 ? CameraMotionLabel::kTiltDown
+                           : CameraMotionLabel::kTiltUp;
+    estimate.mean_shift = (std::fabs(l) + std::fabs(r)) / 2.0;
+    estimate.confidence = (set.left.Trust() + set.right.Trust()) / 2.0;
+    return estimate;
+  }
+
+  if (mids_ok) {
+    // Zoom: linear displacement field through the frame centre. A slope of
+    // 0.008 per pixel per frame corresponds to a 0.8%/frame zoom.
+    constexpr double kZoomSlope = 0.006;
+    if (std::fabs(zoom_b) >= kZoomSlope && fit_rms <= 0.5 &&
+        std::fabs(pan_a) < std::fabs(zoom_b) * 40.0) {
+      estimate.label = zoom_b > 0 ? CameraMotionLabel::kZoomIn
+                                  : CameraMotionLabel::kZoomOut;
+      estimate.mean_shift = zoom_b;
+      estimate.confidence = mid_trust;
+      return estimate;
+    }
+    // Pan: constant displacement. Content moving toward higher strip
+    // indices (positive) means the camera moved left.
+    if (std::fabs(pan_a) >= st &&
+        fit_rms <= std::max(1.0, 0.5 * std::fabs(pan_a))) {
+      estimate.label = pan_a > 0 ? CameraMotionLabel::kPanLeft
+                                 : CameraMotionLabel::kPanRight;
+      estimate.mean_shift = pan_a;
+      estimate.confidence = mid_trust;
+      return estimate;
+    }
+    if (!sides_ok || (std::fabs(l) < st && std::fabs(r) < st)) {
+      estimate.label = CameraMotionLabel::kStatic;
+      estimate.mean_shift = pan_a;
+      estimate.confidence = mid_trust;
+      return estimate;
+    }
+  }
+  estimate.label = CameraMotionLabel::kComplex;
+  estimate.confidence = 0.0;
+  return estimate;
+}
+
+}  // namespace
+
+Result<MotionEstimate> ClassifyShotMotion(const VideoSignatures& signatures,
+                                          const Shot& shot,
+                                          const MotionOptions& options) {
+  if (shot.start_frame < 0 || shot.end_frame >= signatures.frame_count() ||
+      shot.start_frame > shot.end_frame) {
+    return Status::OutOfRange(
+        StrFormat("shot [%d,%d] outside video of %d frames",
+                  shot.start_frame, shot.end_frame,
+                  signatures.frame_count()));
+  }
+  if (shot.frame_count() < 2) {
+    MotionEstimate single;
+    single.label = CameraMotionLabel::kStatic;
+    single.confidence = 0.0;
+    return single;
+  }
+
+  // Pass 1: stride 4 (sensitive to slow drifts). Zoom displaces the
+  // quarter probes by well under a pixel per frame, so an apparent static
+  // verdict gets a long-stride second look; fast motion that defeats the
+  // probes entirely gets an adjacent-frame wide-search pass.
+  int stride = std::min(4, shot.frame_count() - 1);
+  VDB_ASSIGN_OR_RETURN(
+      ProbeSet slow, TrackProbes(signatures, shot, options, stride,
+                                 options.max_shift));
+  MotionEstimate estimate = Decide(slow, options);
+  if (estimate.label == CameraMotionLabel::kStatic &&
+      shot.frame_count() > 9) {
+    VDB_ASSIGN_OR_RETURN(
+        ProbeSet long_stride,
+        TrackProbes(signatures, shot, options, 8, options.max_shift));
+    MotionEstimate zoomed = Decide(long_stride, options);
+    if (zoomed.label == CameraMotionLabel::kZoomIn ||
+        zoomed.label == CameraMotionLabel::kZoomOut) {
+      return zoomed;
+    }
+    return estimate;
+  }
+  if (estimate.label != CameraMotionLabel::kComplex) {
+    return estimate;
+  }
+  VDB_ASSIGN_OR_RETURN(
+      ProbeSet fast,
+      TrackProbes(signatures, shot, options, 1, options.max_shift * 3));
+  return Decide(fast, options);
+}
+
+Result<std::vector<MotionEstimate>> ClassifyAllShotMotion(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots,
+    const MotionOptions& options) {
+  std::vector<MotionEstimate> out;
+  out.reserve(shots.size());
+  for (const Shot& shot : shots) {
+    VDB_ASSIGN_OR_RETURN(MotionEstimate e,
+                         ClassifyShotMotion(signatures, shot, options));
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace vdb

@@ -1,0 +1,100 @@
+#ifndef VDB_CORE_MOTION_H_
+#define VDB_CORE_MOTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/shot.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// Camera-motion classification from background signatures.
+//
+// This extends the paper's camera-tracking machinery the way its companion
+// work (Oh, Hua & Liang, MMCN 2000) classifies scene changes: the TBA
+// signature is a one-line map of the background, so the *displacement* of
+// signature content between consecutive frames reveals how the camera
+// moved. The strip has three sections — [rotated left column | top bar |
+// rotated right column] — which respond differently:
+//
+//   horizontal pan:  the top-bar section shifts uniformly (world moves
+//                    opposite to the camera);
+//   vertical tilt:   the side-column sections shift (in opposite strip
+//                    directions, because the left column is mirrored by
+//                    the outward rotation) while the top bar decorrelates;
+//   zoom:            the two halves of the top-bar section diverge
+//                    (zoom-in) or converge (zoom-out);
+//   static camera:   every probe sits near zero displacement.
+//
+// Probes are matched by windowed minimum mean-absolute-difference search
+// over the signature line — no pixel data is touched.
+
+enum class CameraMotionLabel {
+  kStatic,
+  kPanLeft,   // camera moves left (world content shifts right)
+  kPanRight,
+  kTiltUp,
+  kTiltDown,
+  kZoomIn,
+  kZoomOut,
+  kComplex,  // no probe pattern fits (fast motion, flashes, chaos)
+};
+
+std::string_view CameraMotionLabelName(CameraMotionLabel label);
+
+// Direction-agnostic grouping for similarity purposes: a pan to the left
+// and a pan to the right are the same *kind* of shot.
+enum class CameraMotionGroup { kStatic, kPan, kTilt, kZoom, kComplex };
+
+CameraMotionGroup MotionGroup(CameraMotionLabel label);
+std::string_view CameraMotionGroupName(CameraMotionGroup group);
+
+// Displacement of one probe window between two signatures.
+struct ProbeShift {
+  // Best displacement in signature pixels (positive = content moved toward
+  // higher indices in the second frame).
+  int shift = 0;
+  // Mean absolute channel difference at the best displacement (0 = perfect
+  // match); values near the colour range mean the probe found nothing.
+  double residual = 255.0;
+};
+
+// Matches the window of `a` centred at `center` (half-width `half_window`)
+// against `b`, searching displacements in [-max_shift, max_shift].
+// Fails if the window does not fit inside the signature at shift 0.
+Result<ProbeShift> EstimateProbeShift(const Signature& a, const Signature& b,
+                                      int center, int half_window,
+                                      int max_shift);
+
+struct MotionOptions {
+  int half_window = 8;      // probe half-width in signature pixels
+  int max_shift = 12;       // displacement search range per frame pair
+  double good_residual = 12.0;   // probe trusted below this residual
+  double static_threshold = 0.6; // mean |shift| below this is "no motion"
+};
+
+// Per-shot classification result.
+struct MotionEstimate {
+  CameraMotionLabel label = CameraMotionLabel::kComplex;
+  // Mean per-frame displacement of the dominant probe group (signature
+  // pixels/frame; sign follows the strip direction).
+  double mean_shift = 0.0;
+  // Fraction of frame pairs whose probe pattern agreed with the label.
+  double confidence = 0.0;
+};
+
+// Classifies the camera motion of `shot` from precomputed signatures.
+Result<MotionEstimate> ClassifyShotMotion(
+    const VideoSignatures& signatures, const Shot& shot,
+    const MotionOptions& options = MotionOptions());
+
+// Classification for every shot.
+Result<std::vector<MotionEstimate>> ClassifyAllShotMotion(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots,
+    const MotionOptions& options = MotionOptions());
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_MOTION_H_

@@ -1,0 +1,86 @@
+#include "core/pyramid.h"
+
+#include <cmath>
+
+#include "core/geometry.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+// Burt & Adelson generating kernel with a = 0.375: [1 4 6 4 1] / 16.
+constexpr double kKernel[5] = {1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16,
+                               1.0 / 16};
+
+PixelRGB WeightedPixel(const Signature& in, size_t base) {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  for (size_t m = 0; m < 5; ++m) {
+    r += kKernel[m] * in[base + m].r;
+    g += kKernel[m] * in[base + m].g;
+    b += kKernel[m] * in[base + m].b;
+  }
+  return PixelRGB(ClampToByte(r), ClampToByte(g), ClampToByte(b));
+}
+
+}  // namespace
+
+Result<Signature> ReduceLineOnce(const Signature& in) {
+  int n = static_cast<int>(in.size());
+  if (n < 5 || !IsSizeSetElement(n)) {
+    return Status::InvalidArgument(
+        StrFormat("line size %d is not a reducible size-set element", n));
+  }
+  int out_size = (n - 3) / 2;
+  Signature out(static_cast<size_t>(out_size));
+  for (int i = 0; i < out_size; ++i) {
+    out[static_cast<size_t>(i)] = WeightedPixel(in, static_cast<size_t>(2 * i));
+  }
+  return out;
+}
+
+Result<PixelRGB> ReduceLineToPixel(const Signature& in) {
+  if (in.size() == 1) return in[0];
+  Signature line = in;
+  while (line.size() > 1) {
+    VDB_ASSIGN_OR_RETURN(line, ReduceLineOnce(line));
+  }
+  return line[0];
+}
+
+Result<Signature> ReduceColumnsToLine(const Frame& image) {
+  if (image.empty()) {
+    return Status::InvalidArgument("cannot reduce empty image");
+  }
+  if (!IsSizeSetElement(image.height())) {
+    return Status::InvalidArgument(StrFormat(
+        "image height %d is not a size-set element", image.height()));
+  }
+  Signature line(static_cast<size_t>(image.width()));
+  Signature column(static_cast<size_t>(image.height()));
+  for (int x = 0; x < image.width(); ++x) {
+    column.resize(static_cast<size_t>(image.height()));
+    for (int y = 0; y < image.height(); ++y) {
+      column[static_cast<size_t>(y)] = image.at_unchecked(x, y);
+    }
+    VDB_ASSIGN_OR_RETURN(line[static_cast<size_t>(x)],
+                         ReduceLineToPixel(column));
+  }
+  return line;
+}
+
+Result<AreaReduction> ReduceArea(const Frame& image) {
+  AreaReduction out;
+  VDB_ASSIGN_OR_RETURN(out.signature, ReduceColumnsToLine(image));
+  if (!IsSizeSetElement(static_cast<int>(out.signature.size()))) {
+    return Status::InvalidArgument(
+        StrFormat("image width %zu is not a size-set element",
+                  out.signature.size()));
+  }
+  VDB_ASSIGN_OR_RETURN(out.sign, ReduceLineToPixel(out.signature));
+  return out;
+}
+
+}  // namespace vdb

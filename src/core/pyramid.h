@@ -1,0 +1,42 @@
+#ifndef VDB_CORE_PYRAMID_H_
+#define VDB_CORE_PYRAMID_H_
+
+#include <vector>
+
+#include "util/result.h"
+#include "video/frame.h"
+#include "video/pixel.h"
+
+namespace vdb {
+
+// A signature is a single line of pixels obtained by reducing the TBA's
+// columns to one pixel each (Figure 3); its length is the TBA length L.
+using Signature = std::vector<PixelRGB>;
+
+// Modified Gaussian Pyramid reduction (Burt & Adelson kernel [1 4 6 4 1]/16).
+// A line of size s_j = 2*s_{j-1} + 3 reduces to size s_{j-1}: output pixel i
+// is the kernel-weighted sum of input pixels 2i .. 2i+4. Sizes must come
+// from the size set {1, 5, 13, 29, 61, ...} (geometry.h).
+
+// One reduction step. Fails unless in.size() is a size-set element >= 5.
+Result<Signature> ReduceLineOnce(const Signature& in);
+
+// Repeated reduction of a size-set-sized line down to a single pixel.
+Result<PixelRGB> ReduceLineToPixel(const Signature& in);
+
+// Reduces every column of `image` (height must be a size-set element) to a
+// single pixel, producing a line of image.width() pixels. This is the
+// signature computation of Figure 3. Runs in O(m) for m input pixels.
+Result<Signature> ReduceColumnsToLine(const Frame& image);
+
+// Full Figure-3 pipeline for an area image whose width AND height are
+// size-set elements: columns -> signature -> sign.
+struct AreaReduction {
+  Signature signature;
+  PixelRGB sign;
+};
+Result<AreaReduction> ReduceArea(const Frame& image);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_PYRAMID_H_

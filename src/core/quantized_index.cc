@@ -1,0 +1,67 @@
+#include "core/quantized_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vdb {
+
+QuantizedVarianceIndex::QuantizedVarianceIndex()
+    : QuantizedVarianceIndex(Options()) {}
+
+QuantizedVarianceIndex::QuantizedVarianceIndex(Options options)
+    : options_(options) {
+  VDB_CHECK(options_.dv_cell > 0 && options_.ba_cell > 0)
+      << "cell sides must be positive";
+}
+
+QuantizedVarianceIndex::CellKey QuantizedVarianceIndex::KeyFor(
+    double dv, double sqrt_ba) const {
+  CellKey key;
+  key.dv = static_cast<long>(std::floor(dv / options_.dv_cell));
+  key.ba = static_cast<long>(std::floor(sqrt_ba / options_.ba_cell));
+  return key;
+}
+
+void QuantizedVarianceIndex::Add(const IndexEntry& entry) {
+  cells_[KeyFor(entry.Dv(), entry.SqrtVarBa())].push_back(entry);
+  ++size_;
+}
+
+void QuantizedVarianceIndex::AddVideo(
+    int video_id, const std::vector<ShotFeatures>& features) {
+  for (size_t i = 0; i < features.size(); ++i) {
+    Add(IndexEntry{video_id, static_cast<int>(i), features[i].var_ba,
+                   features[i].var_oa});
+  }
+}
+
+std::vector<QueryMatch> QuantizedVarianceIndex::Query(
+    const VarianceQuery& query) const {
+  double q_dv = std::sqrt(query.var_ba) - std::sqrt(query.var_oa);
+  double q_ba = std::sqrt(query.var_ba);
+  CellKey centre = KeyFor(q_dv, q_ba);
+
+  std::vector<QueryMatch> matches;
+  int radius = options_.probe_neighbors ? 1 : 0;
+  for (long ddv = -radius; ddv <= radius; ++ddv) {
+    for (long dba = -radius; dba <= radius; ++dba) {
+      auto it = cells_.find(CellKey{centre.dv + ddv, centre.ba + dba});
+      if (it == cells_.end()) continue;
+      for (const IndexEntry& e : it->second) {
+        double d_dv = e.Dv() - q_dv;
+        double d_ba = e.SqrtVarBa() - q_ba;
+        matches.push_back(
+            QueryMatch{e, std::sqrt(d_dv * d_dv + d_ba * d_ba)});
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.distance < b.distance;
+            });
+  return matches;
+}
+
+}  // namespace vdb

@@ -1,0 +1,72 @@
+#ifndef VDB_CORE_QUANTIZED_INDEX_H_
+#define VDB_CORE_QUANTIZED_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/variance_index.h"
+
+namespace vdb {
+
+// The paper's Section 4.2 notes that "another common way to handle inexact
+// queries is to do matching on quantized data". This index implements that
+// alternative: the (D^v, sqrt(Var^BA)) plane is cut into grid cells of
+// side 2*alpha x 2*beta and a query returns the shots in its cell — an
+// O(1) hash lookup instead of the banded scan.
+//
+// The trade-off (measured in bench_ablation_quantized): queries near a
+// cell border miss neighbours that the banded model would return, so
+// recall against the banded result drops unless neighbouring cells are
+// probed too (probe_neighbors).
+class QuantizedVarianceIndex {
+ public:
+  struct Options {
+    // Cell sides; defaults mirror the paper's alpha = beta = 1 band
+    // (total width 2).
+    double dv_cell = 2.0;
+    double ba_cell = 2.0;
+    // Probe the 8 neighbouring cells as well (trades lookups for recall).
+    bool probe_neighbors = false;
+  };
+
+  QuantizedVarianceIndex();
+  explicit QuantizedVarianceIndex(Options options);
+
+  void Add(const IndexEntry& entry);
+  void AddVideo(int video_id, const std::vector<ShotFeatures>& features);
+
+  int size() const { return size_; }
+  const Options& options() const { return options_; }
+
+  // Shots whose cell matches the query's (plus neighbours when enabled),
+  // ordered by ascending distance in (D^v, sqrt(Var^BA)) space.
+  std::vector<QueryMatch> Query(const VarianceQuery& query) const;
+
+  // Number of non-empty cells (diagnostics).
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  struct CellKey {
+    long dv = 0;
+    long ba = 0;
+    friend bool operator==(const CellKey& a, const CellKey& b) {
+      return a.dv == b.dv && a.ba == b.ba;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      return static_cast<size_t>(k.dv) * 0x9e3779b97f4a7c15ULL +
+             static_cast<size_t>(k.ba);
+    }
+  };
+
+  CellKey KeyFor(double dv, double sqrt_ba) const;
+
+  Options options_;
+  std::unordered_map<CellKey, std::vector<IndexEntry>, CellKeyHash> cells_;
+  int size_ = 0;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_QUANTIZED_INDEX_H_

@@ -1,0 +1,506 @@
+#include "core/scene_tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace vdb {
+
+std::string SceneNode::Label() const {
+  // The paper numbers shots from 1: SN_<shot#>^<level>.
+  return StrFormat("SN_%d^%d", shot_index + 1, level);
+}
+
+Result<SceneTree> SceneTree::FromParts(std::vector<SceneNode> nodes,
+                                       int root, int shot_count) {
+  SceneTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.root_ = root;
+  tree.shot_count_ = shot_count;
+  if (root < 0 || root >= tree.node_count()) {
+    return Status::Corruption(StrFormat("tree root %d of %d nodes", root,
+                                        tree.node_count()));
+  }
+  // Leaves must come first and map one-to-one onto shots (LeafForShot
+  // relies on this).
+  for (int i = 0; i < shot_count; ++i) {
+    if (i >= tree.node_count() ||
+        !tree.nodes_[static_cast<size_t>(i)].IsLeaf() ||
+        tree.nodes_[static_cast<size_t>(i)].shot_index != i) {
+      return Status::Corruption(
+          StrFormat("node %d is not the leaf of shot %d", i, i));
+    }
+  }
+  VDB_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+const SceneNode& SceneTree::node(int id) const {
+  VDB_CHECK(id >= 0 && id < node_count()) << "node id " << id;
+  return nodes_[static_cast<size_t>(id)];
+}
+
+int SceneTree::LeafForShot(int shot_index) const {
+  VDB_CHECK(shot_index >= 0 && shot_index < shot_count_)
+      << "shot " << shot_index << " of " << shot_count_;
+  // Leaves are created first, in shot order, so leaf id == shot index.
+  return shot_index;
+}
+
+int SceneTree::Height() const {
+  return root_ < 0 ? 0 : node(root_).level;
+}
+
+int SceneTree::LargestSceneForShot(int shot_index) const {
+  int best = -1;
+  for (const SceneNode& n : nodes_) {
+    if (n.shot_index == shot_index &&
+        (best < 0 || n.level > node(best).level)) {
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void RenderAscii(const SceneTree& tree, int id, const std::string& prefix,
+                 bool last, std::ostream& os) {
+  const SceneNode& n = tree.node(id);
+  os << prefix;
+  if (!prefix.empty()) {
+    os << (last ? "`-- " : "|-- ");
+  }
+  os << n.Label();
+  if (n.IsLeaf()) {
+    os << "  (shot#" << n.shot_index + 1 << ")";
+  }
+  os << "  rep=frame " << n.representative_frame + 1;
+  os << '\n';
+  std::string child_prefix =
+      prefix.empty() ? " " : prefix + (last ? "    " : "|   ");
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    RenderAscii(tree, n.children[i], child_prefix,
+                i + 1 == n.children.size(), os);
+  }
+}
+
+}  // namespace
+
+std::string SceneTree::ToAscii() const {
+  if (root_ < 0) return "(empty scene tree)\n";
+  std::ostringstream oss;
+  RenderAscii(*this, root_, "", true, oss);
+  return oss.str();
+}
+
+Status SceneTree::Validate() const {
+  if (root_ < 0) {
+    return shot_count_ == 0
+               ? Status::Ok()
+               : Status::Internal("tree with shots but no root");
+  }
+  int leaf_count = 0;
+  for (const SceneNode& n : nodes_) {
+    if (n.id != &n - nodes_.data()) {
+      return Status::Internal("node id does not match its index");
+    }
+    if (n.IsLeaf()) {
+      ++leaf_count;
+      if (n.level != 0) {
+        return Status::Internal(
+            StrFormat("leaf %d has level %d", n.id, n.level));
+      }
+    } else {
+      int max_child_level = -1;
+      for (int c : n.children) {
+        if (c < 0 || c >= node_count()) {
+          return Status::Internal(StrFormat("node %d has bad child", n.id));
+        }
+        if (node(c).parent != n.id) {
+          return Status::Internal(
+              StrFormat("child %d of node %d has parent %d", c, n.id,
+                        node(c).parent));
+        }
+        max_child_level = std::max(max_child_level, node(c).level);
+      }
+      if (n.level != max_child_level + 1) {
+        return Status::Internal(
+            StrFormat("node %d level %d != max child level %d + 1", n.id,
+                      n.level, max_child_level));
+      }
+    }
+    if (n.id == root_) {
+      if (n.parent != -1) {
+        return Status::Internal("root has a parent");
+      }
+    } else if (n.parent < 0 || n.parent >= node_count()) {
+      return Status::Internal(StrFormat("node %d is detached", n.id));
+    }
+    if (n.shot_index < 0 || n.shot_index >= shot_count_) {
+      return Status::Internal(StrFormat("node %d is unnamed", n.id));
+    }
+    if (n.representative_frame < 0) {
+      return Status::Internal(
+          StrFormat("node %d has no representative frame", n.id));
+    }
+  }
+  if (leaf_count != shot_count_) {
+    return Status::Internal(StrFormat("%d leaves for %d shots", leaf_count,
+                                      shot_count_));
+  }
+  return Status::Ok();
+}
+
+bool ShotsRelated(const VideoSignatures& signatures, const Shot& a,
+                  const Shot& b, const SceneTreeOptions& options) {
+  auto sign = [&](int frame) {
+    return signatures.frames[static_cast<size_t>(frame)].sign_ba;
+  };
+  double threshold = options.relationship_threshold_pct;
+  auto related = [&](int fa, int fb) {
+    double ds = MaxChannelDifference(sign(fa), sign(fb)) / 256.0 * 100.0;
+    return ds < threshold;
+  };
+
+  if (options.diagonal_scan) {
+    // The paper's walk: i over A, j over B wrapping around (Section 3.1).
+    int j = b.start_frame;
+    for (int i = a.start_frame; i <= a.end_frame; ++i) {
+      if (related(i, j)) return true;
+      ++j;
+      if (j > b.end_frame) j = b.start_frame;
+    }
+    return false;
+  }
+
+  for (int i = a.start_frame; i <= a.end_frame; ++i) {
+    for (int j = b.start_frame; j <= b.end_frame; ++j) {
+      if (related(i, j)) return true;
+    }
+  }
+  return false;
+}
+
+Result<RepetitiveRun> FindMostRepetitiveRun(const VideoSignatures& signatures,
+                                            const Shot& shot) {
+  if (shot.start_frame < 0 || shot.end_frame >= signatures.frame_count() ||
+      shot.start_frame > shot.end_frame) {
+    return Status::OutOfRange(
+        StrFormat("shot [%d,%d] outside video of %d frames",
+                  shot.start_frame, shot.end_frame,
+                  signatures.frame_count()));
+  }
+  RepetitiveRun best{shot.start_frame, 1};
+  int run_start = shot.start_frame;
+  int run_len = 1;
+  for (int f = shot.start_frame + 1; f <= shot.end_frame; ++f) {
+    const PixelRGB& prev =
+        signatures.frames[static_cast<size_t>(f - 1)].sign_ba;
+    const PixelRGB& cur = signatures.frames[static_cast<size_t>(f)].sign_ba;
+    if (cur == prev) {
+      ++run_len;
+    } else {
+      run_start = f;
+      run_len = 1;
+    }
+    if (run_len > best.length) {
+      best.start_frame = run_start;
+      best.length = run_len;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<RepetitiveRun>> FindTopRepetitiveRuns(
+    const VideoSignatures& signatures, const Shot& shot, int count) {
+  if (count <= 0) {
+    return Status::InvalidArgument("run count must be positive");
+  }
+  if (shot.start_frame < 0 || shot.end_frame >= signatures.frame_count() ||
+      shot.start_frame > shot.end_frame) {
+    return Status::OutOfRange(
+        StrFormat("shot [%d,%d] outside video of %d frames",
+                  shot.start_frame, shot.end_frame,
+                  signatures.frame_count()));
+  }
+  std::vector<RepetitiveRun> runs;
+  int run_start = shot.start_frame;
+  for (int f = shot.start_frame + 1; f <= shot.end_frame + 1; ++f) {
+    bool run_ends =
+        f > shot.end_frame ||
+        !(signatures.frames[static_cast<size_t>(f)].sign_ba ==
+          signatures.frames[static_cast<size_t>(f - 1)].sign_ba);
+    if (run_ends) {
+      runs.push_back(RepetitiveRun{run_start, f - run_start});
+      run_start = f;
+    }
+  }
+  std::stable_sort(runs.begin(), runs.end(),
+                   [](const RepetitiveRun& a, const RepetitiveRun& b) {
+                     return a.length > b.length;
+                   });
+  if (static_cast<int>(runs.size()) > count) {
+    runs.resize(static_cast<size_t>(count));
+  }
+  return runs;
+}
+
+namespace {
+
+// Collects the shot indices of every leaf under `node_id`.
+void CollectSubtreeShots(const SceneTree& tree, int node_id,
+                         std::vector<int>* shot_indices) {
+  const SceneNode& node = tree.node(node_id);
+  if (node.IsLeaf()) {
+    shot_indices->push_back(node.shot_index);
+    return;
+  }
+  for (int child : node.children) {
+    CollectSubtreeShots(tree, child, shot_indices);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<int>> SceneRepresentativeFrames(
+    const SceneTree& tree, const VideoSignatures& signatures,
+    const std::vector<Shot>& shots, int node_id, int count) {
+  if (node_id < 0 || node_id >= tree.node_count()) {
+    return Status::NotFound(StrFormat("scene node %d", node_id));
+  }
+  if (count <= 0) {
+    return Status::InvalidArgument("frame count must be positive");
+  }
+  std::vector<int> shot_indices;
+  CollectSubtreeShots(tree, node_id, &shot_indices);
+
+  std::vector<RepetitiveRun> all_runs;
+  for (int s : shot_indices) {
+    if (s < 0 || s >= static_cast<int>(shots.size())) {
+      return Status::InvalidArgument(
+          StrFormat("tree references shot %d of %zu", s, shots.size()));
+    }
+    VDB_ASSIGN_OR_RETURN(
+        std::vector<RepetitiveRun> runs,
+        FindTopRepetitiveRuns(signatures, shots[static_cast<size_t>(s)],
+                              count));
+    all_runs.insert(all_runs.end(), runs.begin(), runs.end());
+  }
+  std::stable_sort(all_runs.begin(), all_runs.end(),
+                   [](const RepetitiveRun& a, const RepetitiveRun& b) {
+                     if (a.length != b.length) return a.length > b.length;
+                     return a.start_frame < b.start_frame;
+                   });
+  std::vector<int> frames;
+  for (const RepetitiveRun& run : all_runs) {
+    if (static_cast<int>(frames.size()) >= count) break;
+    frames.push_back(run.start_frame);
+  }
+  return frames;
+}
+
+SceneTreeBuilder::SceneTreeBuilder(SceneTreeOptions options)
+    : options_(options) {}
+
+namespace {
+
+// Mutable tree under construction.
+struct TreeState {
+  std::vector<SceneNode> nodes;
+
+  int NewNode() {
+    SceneNode n;
+    n.id = static_cast<int>(nodes.size());
+    nodes.push_back(n);
+    return n.id;
+  }
+
+  void Connect(int child, int parent) {
+    VDB_CHECK(nodes[static_cast<size_t>(child)].parent == -1)
+        << "node " << child << " already has a parent";
+    nodes[static_cast<size_t>(child)].parent = parent;
+    nodes[static_cast<size_t>(parent)].children.push_back(child);
+  }
+
+  int Root(int id) const {
+    while (nodes[static_cast<size_t>(id)].parent != -1) {
+      id = nodes[static_cast<size_t>(id)].parent;
+    }
+    return id;
+  }
+
+  // Lowest common ancestor of a and b, or -1 when they share none.
+  int Lca(int a, int b) const {
+    std::unordered_set<int> ancestors;
+    for (int x = nodes[static_cast<size_t>(a)].parent; x != -1;
+         x = nodes[static_cast<size_t>(x)].parent) {
+      ancestors.insert(x);
+    }
+    for (int x = nodes[static_cast<size_t>(b)].parent; x != -1;
+         x = nodes[static_cast<size_t>(x)].parent) {
+      if (ancestors.count(x)) return x;
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+Result<SceneTree> SceneTreeBuilder::Build(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots) const {
+  if (shots.empty()) {
+    return Status::InvalidArgument("cannot build a scene tree from 0 shots");
+  }
+  int n = static_cast<int>(shots.size());
+  TreeState state;
+
+  // Step 1: one level-0 scene node per shot; leaf id == shot index.
+  for (int i = 0; i < n; ++i) {
+    state.NewNode();
+  }
+
+  // Steps 2-5: scan shots from the third onward.
+  for (int i = 2; i < n; ++i) {
+    // Step 3: compare shot i with shots i-2, ..., 0 in descending order.
+    // The paper's Figure 6(g) additionally relates a shot to its immediate
+    // predecessor (shot#9 to shot#8), so i-1 is tested as a fallback when
+    // the descending scan finds nothing.
+    int j = -1;
+    for (int k = i - 2; k >= 0; --k) {
+      if (ShotsRelated(signatures, shots[static_cast<size_t>(i)],
+                       shots[static_cast<size_t>(k)], options_)) {
+        j = k;
+        break;
+      }
+    }
+    if (j < 0 && ShotsRelated(signatures, shots[static_cast<size_t>(i)],
+                              shots[static_cast<size_t>(i - 1)], options_)) {
+      j = i - 1;
+    }
+    if (j < 0) {
+      // No related shot: a fresh empty node becomes the leaf's parent.
+      int empty = state.NewNode();
+      state.Connect(i, empty);
+      continue;
+    }
+
+    // Step 4: place SN_i^0 relative to SN_{i-1}^0 and SN_j^0.
+    int prev = i - 1;
+    bool prev_parentless = state.nodes[static_cast<size_t>(prev)].parent < 0;
+    bool j_parentless = state.nodes[static_cast<size_t>(j)].parent < 0;
+    if (prev_parentless && j_parentless) {
+      // Scenario 1: group every still-parentless leaf between j and i under
+      // one new empty node.
+      int empty = state.NewNode();
+      for (int k = j; k <= i; ++k) {
+        if (state.nodes[static_cast<size_t>(k)].parent < 0) {
+          state.Connect(k, empty);
+        }
+      }
+      continue;
+    }
+    int lca = state.Lca(prev, j);
+    if (lca >= 0) {
+      // Scenario 2: they already share an ancestor; join it.
+      state.Connect(i, lca);
+      continue;
+    }
+    // Scenario 3: attach to the oldest ancestor of SN_{i-1}, then merge the
+    // two subtrees under a new empty node.
+    int root_prev = state.Root(prev);
+    if (state.nodes[static_cast<size_t>(root_prev)].IsLeaf() &&
+        root_prev < n) {
+      // Degenerate: the "oldest ancestor" is a bare leaf. Give it an empty
+      // parent first so we never attach children to a leaf.
+      int wrapper = state.NewNode();
+      state.Connect(root_prev, wrapper);
+      root_prev = wrapper;
+    }
+    state.Connect(i, root_prev);
+    int root_j = state.Root(j);
+    if (root_prev != root_j) {
+      int empty = state.NewNode();
+      state.Connect(root_prev, empty);
+      state.Connect(root_j, empty);
+    }
+  }
+
+  // Step 5 (end): connect all currently parentless nodes to one root. When
+  // a single subtree already spans everything, it is the root — an extra
+  // unary level would carry no information.
+  std::vector<int> orphans;
+  for (const SceneNode& node : state.nodes) {
+    if (node.parent < 0) orphans.push_back(node.id);
+  }
+  int root;
+  if (orphans.size() == 1) {
+    root = orphans.front();
+  } else {
+    root = state.NewNode();
+    for (int o : orphans) {
+      state.Connect(o, root);
+    }
+  }
+
+  // Levels: leaves 0, parents one above their highest child (bottom-up; a
+  // node's id is always greater than its children's except leaves, so one
+  // forward pass over ids works for internal nodes).
+  for (SceneNode& node : state.nodes) {
+    if (!node.IsLeaf()) {
+      int max_child = 0;
+      for (int c : node.children) {
+        max_child = std::max(max_child,
+                             state.nodes[static_cast<size_t>(c)].level);
+      }
+      node.level = max_child + 1;
+    }
+  }
+
+  // Step 6: representative frames for leaves, then naming bottom-up. Track
+  // the longest identical-sign run per node (for leaves: within the shot).
+  std::vector<int> run_length(state.nodes.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    VDB_ASSIGN_OR_RETURN(
+        RepetitiveRun run,
+        FindMostRepetitiveRun(signatures, shots[static_cast<size_t>(i)]));
+    SceneNode& leaf = state.nodes[static_cast<size_t>(i)];
+    leaf.shot_index = i;
+    leaf.representative_frame = run.start_frame;
+    run_length[static_cast<size_t>(i)] = run.length;
+  }
+  // Internal nodes in id order: children of internal nodes always have
+  // smaller ids, so their names are already settled.
+  for (SceneNode& node : state.nodes) {
+    if (node.IsLeaf()) continue;
+    int best_child = -1;
+    for (int c : node.children) {
+      if (best_child < 0 ||
+          run_length[static_cast<size_t>(c)] >
+              run_length[static_cast<size_t>(best_child)] ||
+          (run_length[static_cast<size_t>(c)] ==
+               run_length[static_cast<size_t>(best_child)] &&
+           state.nodes[static_cast<size_t>(c)].shot_index <
+               state.nodes[static_cast<size_t>(best_child)].shot_index)) {
+        best_child = c;
+      }
+    }
+    VDB_CHECK(best_child >= 0) << "internal node without children";
+    const SceneNode& chosen = state.nodes[static_cast<size_t>(best_child)];
+    node.shot_index = chosen.shot_index;
+    node.representative_frame = chosen.representative_frame;
+    run_length[static_cast<size_t>(node.id)] =
+        run_length[static_cast<size_t>(best_child)];
+  }
+
+  SceneTree tree;
+  tree.nodes_ = std::move(state.nodes);
+  tree.root_ = root;
+  tree.shot_count_ = n;
+  VDB_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+}  // namespace vdb

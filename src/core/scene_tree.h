@@ -1,0 +1,140 @@
+#ifndef VDB_CORE_SCENE_TREE_H_
+#define VDB_CORE_SCENE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/shot.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// Options for the RELATIONSHIP test and the tree construction (Section 3.1).
+struct SceneTreeOptions {
+  // Two shots are related when some pair of their background signs differs
+  // by less than this percentage of the colour range (Equation 2).
+  double relationship_threshold_pct = 10.0;
+
+  // The paper's RELATIONSHIP walks the two shots diagonally: frame i of A
+  // against frame (i mod |B|) of B. When false, every (i, j) pair is
+  // compared (exhaustive O(|A| x |B|) variant) — used by the ablation bench.
+  bool diagonal_scan = true;
+};
+
+// One node of the browsing hierarchy. Leaves (level 0) correspond to shots;
+// internal nodes are the paper's "empty nodes", later named after the child
+// whose shot has the longest run of identical background signs.
+struct SceneNode {
+  int id = -1;
+  int parent = -1;
+  std::vector<int> children;
+
+  // Level in the tree: 0 for leaves; an internal node sits one above its
+  // highest child.
+  int level = 0;
+
+  // The shot this node is named after (SN_m^c). Always set after Build():
+  // equal to the own shot for leaves, inherited for internal nodes.
+  int shot_index = -1;
+
+  // Global frame index of the node's representative frame.
+  int representative_frame = -1;
+
+  bool IsLeaf() const { return children.empty(); }
+
+  // "SN_6^2"-style label (1-based shot number, as in the paper's figures).
+  std::string Label() const;
+};
+
+// The scene tree of one video (Section 3).
+class SceneTree {
+ public:
+  SceneTree() = default;
+
+  // Reassembles a tree from serialized parts (catalog restore). Node ids
+  // must equal their indices; the result is validated before returning.
+  static Result<SceneTree> FromParts(std::vector<SceneNode> nodes, int root,
+                                     int shot_count);
+
+  int root() const { return root_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int shot_count() const { return shot_count_; }
+
+  const SceneNode& node(int id) const;
+  const std::vector<SceneNode>& nodes() const { return nodes_; }
+
+  // Leaf node id for a shot index.
+  int LeafForShot(int shot_index) const;
+
+  // Height of the tree (a single leaf has height 0).
+  int Height() const;
+
+  // The highest-level node named after `shot_index`, or -1. This is the
+  // "largest scene sharing the representative frame" used when answering
+  // index queries (Section 4.2).
+  int LargestSceneForShot(int shot_index) const;
+
+  // Multi-line ASCII rendering (root first), e.g. for the Figure 7 bench.
+  std::string ToAscii() const;
+
+  // Structural invariants: every shot has exactly one leaf, children/parent
+  // links are mutually consistent, levels increase upward, every node is
+  // named and carries a representative frame. Returns an error describing
+  // the first violation.
+  Status Validate() const;
+
+ private:
+  friend class SceneTreeBuilder;
+
+  std::vector<SceneNode> nodes_;
+  int root_ = -1;
+  int shot_count_ = 0;
+};
+
+// The RELATIONSHIP algorithm (Section 3.1): returns true when shots A and B
+// share similar backgrounds. Exposed for tests and benches.
+bool ShotsRelated(const VideoSignatures& signatures, const Shot& a,
+                  const Shot& b, const SceneTreeOptions& options);
+
+// Builds scene trees from detected shots.
+class SceneTreeBuilder {
+ public:
+  explicit SceneTreeBuilder(SceneTreeOptions options = SceneTreeOptions());
+
+  // Runs the full Section-3.1 procedure: leaf creation, relation scan,
+  // grouping, root creation, naming, and representative-frame selection.
+  Result<SceneTree> Build(const VideoSignatures& signatures,
+                          const std::vector<Shot>& shots) const;
+
+ private:
+  SceneTreeOptions options_;
+};
+
+// Longest run of consecutive frames with identical Sign^BA within the shot;
+// returns the 0-based global frame index of the first frame of that run
+// (earliest run wins ties) and its length. This implements the
+// representative-frame rule of Table 2.
+struct RepetitiveRun {
+  int start_frame = -1;
+  int length = 0;
+};
+Result<RepetitiveRun> FindMostRepetitiveRun(const VideoSignatures& signatures,
+                                            const Shot& shot);
+
+// The `count` most repetitive runs of a shot, ordered by descending length
+// (earlier run wins ties). Returns fewer when the shot has fewer runs.
+Result<std::vector<RepetitiveRun>> FindTopRepetitiveRuns(
+    const VideoSignatures& signatures, const Shot& shot, int count);
+
+// The paper's g(s) option (Section 3.1): instead of one representative
+// frame per scene node, return the `count` most repetitive frames across
+// every shot in the node's subtree — larger scenes get richer summaries.
+// Frames are global indices, ordered by descending run length.
+Result<std::vector<int>> SceneRepresentativeFrames(
+    const SceneTree& tree, const VideoSignatures& signatures,
+    const std::vector<Shot>& shots, int node_id, int count);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_SCENE_TREE_H_

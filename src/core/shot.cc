@@ -1,0 +1,29 @@
+#include "core/shot.h"
+
+#include <cstddef>
+
+namespace vdb {
+
+std::vector<Shot> ShotsFromBoundaries(const std::vector<int>& boundaries,
+                                      int frame_count) {
+  std::vector<Shot> shots;
+  if (frame_count <= 0) return shots;
+  int start = 0;
+  for (int b : boundaries) {
+    if (b <= start || b >= frame_count) continue;
+    shots.push_back(Shot{start, b - 1});
+    start = b;
+  }
+  shots.push_back(Shot{start, frame_count - 1});
+  return shots;
+}
+
+std::vector<int> BoundariesFromShots(const std::vector<Shot>& shots) {
+  std::vector<int> boundaries;
+  for (size_t i = 1; i < shots.size(); ++i) {
+    boundaries.push_back(shots[i].start_frame);
+  }
+  return boundaries;
+}
+
+}  // namespace vdb

@@ -1,0 +1,31 @@
+#ifndef VDB_CORE_SHOT_H_
+#define VDB_CORE_SHOT_H_
+
+#include <vector>
+
+namespace vdb {
+
+// A shot: a maximal run of frames recorded from a single camera operation.
+// Frame indices are 0-based and the range is inclusive.
+struct Shot {
+  int start_frame = 0;
+  int end_frame = 0;
+
+  int frame_count() const { return end_frame - start_frame + 1; }
+
+  friend bool operator==(const Shot& a, const Shot& b) {
+    return a.start_frame == b.start_frame && a.end_frame == b.end_frame;
+  }
+};
+
+// Converts a sorted list of boundary positions (index of the first frame of
+// each new shot, excluding 0) into shots covering [0, frame_count).
+std::vector<Shot> ShotsFromBoundaries(const std::vector<int>& boundaries,
+                                      int frame_count);
+
+// Inverse of ShotsFromBoundaries.
+std::vector<int> BoundariesFromShots(const std::vector<Shot>& shots);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_SHOT_H_

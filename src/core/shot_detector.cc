@@ -1,0 +1,193 @@
+#include "core/shot_detector.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+// Percentage (of the 256-value colour range) difference between two signs.
+double SignDiffPct(const PixelRGB& a, const PixelRGB& b) {
+  return MaxChannelDifference(a, b) / 256.0 * 100.0;
+}
+
+bool PixelsMatch(const PixelRGB& a, const PixelRGB& b, int tolerance) {
+  return MaxChannelDifference(a, b) <= tolerance;
+}
+
+}  // namespace
+
+double BestShiftMatchScore(const Signature& a, const Signature& b,
+                           int tolerance) {
+  VDB_CHECK(a.size() == b.size()) << "signature lengths differ";
+  int n = static_cast<int>(a.size());
+  if (n == 0) return 0.0;
+
+  int best_run = 0;
+  // Shift s in (-n, n): b is displaced by s relative to a; the overlap is
+  // a[max(0,s) .. n-1+min(0,s)] against b[i - s].
+  for (int s = -(n - 1); s <= n - 1; ++s) {
+    int lo = std::max(0, s);
+    int hi = std::min(n, n + s);
+    int run = 0;
+    for (int i = lo; i < hi; ++i) {
+      if (PixelsMatch(a[static_cast<size_t>(i)],
+                      b[static_cast<size_t>(i - s)], tolerance)) {
+        ++run;
+        best_run = std::max(best_run, run);
+      } else {
+        run = 0;
+      }
+    }
+    if (best_run == n) break;  // cannot improve
+  }
+  return static_cast<double>(best_run) / static_cast<double>(n);
+}
+
+CameraTrackingDetector::CameraTrackingDetector(CameraTrackingOptions options)
+    : options_(options) {}
+
+PairDecision CameraTrackingDetector::ComparePair(
+    const FrameSignature& a, const FrameSignature& b) const {
+  PairDecision decision;
+
+  // Stage 1: background signs nearly identical -> same shot.
+  if (SignDiffPct(a.sign_ba, b.sign_ba) <= options_.stage1_sign_diff_pct) {
+    decision.same_shot = true;
+    decision.stage = SbdStage::kStage1SameShot;
+    return decision;
+  }
+
+  int tolerance =
+      static_cast<int>(options_.match_tolerance_pct / 100.0 * 256.0);
+
+  // Stage 2: aligned signature comparison.
+  if (a.signature_ba.size() == b.signature_ba.size() &&
+      !a.signature_ba.empty()) {
+    size_t matches = 0;
+    for (size_t i = 0; i < a.signature_ba.size(); ++i) {
+      if (PixelsMatch(a.signature_ba[i], b.signature_ba[i], tolerance)) {
+        ++matches;
+      }
+    }
+    double fraction =
+        static_cast<double>(matches) / static_cast<double>(a.signature_ba.size());
+    if (fraction >= options_.stage2_match_fraction) {
+      decision.same_shot = true;
+      decision.stage = SbdStage::kStage2SameShot;
+      return decision;
+    }
+  }
+
+  // Stage 3: track the background by shifting the signatures.
+  decision.stage3_score =
+      BestShiftMatchScore(a.signature_ba, b.signature_ba, tolerance);
+  if (decision.stage3_score >= options_.stage3_run_fraction) {
+    decision.same_shot = true;
+    decision.stage = SbdStage::kStage3SameShot;
+  } else {
+    decision.same_shot = false;
+    decision.stage = SbdStage::kStage3Boundary;
+  }
+  return decision;
+}
+
+Result<ShotDetectionResult> CameraTrackingDetector::DetectFromSignatures(
+    const VideoSignatures& signatures) const {
+  if (signatures.frames.empty()) {
+    return Status::InvalidArgument("no frame signatures");
+  }
+  ShotDetectionResult result;
+
+  std::vector<int> raw_boundaries;
+  for (int i = 0; i + 1 < signatures.frame_count(); ++i) {
+    PairDecision d = ComparePair(signatures.frames[static_cast<size_t>(i)],
+                                 signatures.frames[static_cast<size_t>(i + 1)]);
+    switch (d.stage) {
+      case SbdStage::kStage1SameShot:
+        ++result.stage_stats.stage1_same;
+        break;
+      case SbdStage::kStage2SameShot:
+        ++result.stage_stats.stage2_same;
+        break;
+      case SbdStage::kStage3SameShot:
+        ++result.stage_stats.stage3_same;
+        break;
+      case SbdStage::kStage3Boundary:
+        ++result.stage_stats.stage3_boundary;
+        break;
+    }
+    if (!d.same_shot) {
+      raw_boundaries.push_back(i + 1);
+    }
+  }
+
+  // Optional gradual-transition pass: a dissolve drifts the background
+  // sign far over a few frames while every consecutive pair stays below
+  // the cut thresholds.
+  if (options_.detect_gradual) {
+    int k = std::max(2, options_.gradual_window);
+    double threshold = options_.gradual_total_pct / 100.0 * 256.0;
+    int tolerance =
+        static_cast<int>(options_.match_tolerance_pct / 100.0 * 256.0);
+    auto near_existing = [&](int frame) {
+      for (int b : raw_boundaries) {
+        if (std::abs(b - frame) <= k) return true;
+      }
+      return false;
+    };
+    std::vector<int> gradual;
+    for (int t = k; t < signatures.frame_count(); ++t) {
+      double drift = MaxChannelDifference(
+          signatures.frames[static_cast<size_t>(t)].sign_ba,
+          signatures.frames[static_cast<size_t>(t - k)].sign_ba);
+      if (drift < threshold) continue;
+      int boundary = t - k / 2;
+      if (near_existing(boundary) ||
+          (!gradual.empty() && boundary - gradual.back() <= 2 * k)) {
+        continue;
+      }
+      // A pan also drifts the sign over k frames; but a pan's background
+      // is the old one shifted, so signature shift-matching across the
+      // window succeeds. A dissolve mixes two scenes — no shift explains
+      // the pair.
+      double shift_score = BestShiftMatchScore(
+          signatures.frames[static_cast<size_t>(t - k)].signature_ba,
+          signatures.frames[static_cast<size_t>(t)].signature_ba,
+          tolerance);
+      if (shift_score >= options_.stage3_run_fraction) continue;
+      gradual.push_back(boundary);
+    }
+    raw_boundaries.insert(raw_boundaries.end(), gradual.begin(),
+                          gradual.end());
+    std::sort(raw_boundaries.begin(), raw_boundaries.end());
+  }
+
+  // Merge shots shorter than min_shot_frames into their successor: a
+  // boundary that opens a too-short shot is dropped, keeping the earlier
+  // boundary (flash frames then sit inside a longer shot).
+  std::vector<int> boundaries;
+  for (int b : raw_boundaries) {
+    if (!boundaries.empty() &&
+        b - boundaries.back() < options_.min_shot_frames) {
+      continue;
+    }
+    if (boundaries.empty() && b < options_.min_shot_frames) {
+      continue;
+    }
+    boundaries.push_back(b);
+  }
+
+  result.boundaries = boundaries;
+  result.shots = ShotsFromBoundaries(boundaries, signatures.frame_count());
+  return result;
+}
+
+Result<ShotDetectionResult> CameraTrackingDetector::Detect(
+    const Video& video) const {
+  VDB_ASSIGN_OR_RETURN(VideoSignatures sigs, ComputeVideoSignatures(video));
+  return DetectFromSignatures(sigs);
+}
+
+}  // namespace vdb

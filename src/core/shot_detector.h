@@ -1,0 +1,119 @@
+#ifndef VDB_CORE_SHOT_DETECTOR_H_
+#define VDB_CORE_SHOT_DETECTOR_H_
+
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/shot.h"
+#include "util/result.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// Options of the three-stage camera-tracking SBD procedure (Figure 4).
+// Stage 1 and Stage 2 are quick-and-dirty tests that settle the easy
+// "clearly the same shot" cases; only when both fail does Stage 3 track the
+// background by shifting the two signatures against each other.
+struct CameraTrackingOptions {
+  // Stage 1: frames whose background signs differ by at most this
+  // percentage of the colour range (max channel diff / 256 * 100) are
+  // declared same-shot immediately.
+  double stage1_sign_diff_pct = 1.2;
+
+  // Stage 2: aligned signature comparison. Two signature pixels "match"
+  // when their max channel difference is at most match_tolerance_pct of
+  // 256. If at least stage2_match_fraction of positions match, the frames
+  // are declared same-shot.
+  double match_tolerance_pct = 5.0;
+  double stage2_match_fraction = 0.85;
+
+  // Stage 3: signatures are shifted toward each other one pixel at a time;
+  // for each shift the longest run of matching overlapping pixels is
+  // recorded. If the running maximum, normalised by the signature length,
+  // reaches stage3_run_fraction, the frames share enough background to be
+  // the same shot; otherwise a shot boundary is declared.
+  double stage3_run_fraction = 0.45;
+
+  // Shots shorter than this many frames are merged into their successor
+  // (guards against one-frame flash shots).
+  int min_shot_frames = 2;
+
+  // Optional extension (off by default, ablated in
+  // bench_ablation_gradual): dissolves defeat the pairwise cascade because
+  // every consecutive pair looks same-shot while the background slides from
+  // one scene's sign to another's. When enabled, a second pass compares
+  // signs `gradual_window` frames apart; a drift of at least
+  // gradual_total_pct of the colour range — with no hard cut already found
+  // nearby — is reported as a boundary at the window's midpoint.
+  bool detect_gradual = false;
+  int gradual_window = 8;
+  double gradual_total_pct = 8.0;
+};
+
+// Which stage settled a frame-pair decision, for the Figure-4 statistics.
+enum class SbdStage {
+  kStage1SameShot = 0,
+  kStage2SameShot = 1,
+  kStage3SameShot = 2,
+  kStage3Boundary = 3,
+};
+
+struct SbdStageStats {
+  long stage1_same = 0;
+  long stage2_same = 0;
+  long stage3_same = 0;
+  long stage3_boundary = 0;
+
+  long total() const {
+    return stage1_same + stage2_same + stage3_same + stage3_boundary;
+  }
+};
+
+// Result of detection over one video.
+struct ShotDetectionResult {
+  std::vector<Shot> shots;
+  std::vector<int> boundaries;  // first frame of each shot except the first
+  SbdStageStats stage_stats;
+};
+
+// Decision for a single pair of consecutive frames; exposed for tests and
+// the stage-statistics bench.
+struct PairDecision {
+  bool same_shot = false;
+  SbdStage stage = SbdStage::kStage3Boundary;
+  // Stage-3 best normalised run length (0 when stages 1-2 decided).
+  double stage3_score = 0.0;
+};
+
+// The camera-tracking shot boundary detector (Section 2).
+class CameraTrackingDetector {
+ public:
+  explicit CameraTrackingDetector(
+      CameraTrackingOptions options = CameraTrackingOptions());
+
+  const CameraTrackingOptions& options() const { return options_; }
+
+  // Decides whether two frames (given their signatures) belong to the same
+  // shot.
+  PairDecision ComparePair(const FrameSignature& a,
+                           const FrameSignature& b) const;
+
+  // Runs detection over precomputed signatures.
+  Result<ShotDetectionResult> DetectFromSignatures(
+      const VideoSignatures& signatures) const;
+
+  // Convenience: computes signatures and runs detection.
+  Result<ShotDetectionResult> Detect(const Video& video) const;
+
+ private:
+  CameraTrackingOptions options_;
+};
+
+// Longest run of matching pixels over all relative shifts of two equal-
+// length signatures, normalised by their length. Exposed for tests.
+double BestShiftMatchScore(const Signature& a, const Signature& b,
+                           int tolerance);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_SHOT_DETECTOR_H_

@@ -1,0 +1,149 @@
+#include "core/variance_index.h"
+
+#include <algorithm>
+#include <mutex>
+#include <cmath>
+
+namespace vdb {
+namespace {
+
+double QueryDv(const VarianceQuery& q) {
+  return std::sqrt(q.var_ba) - std::sqrt(q.var_oa);
+}
+
+double Distance(const VarianceQuery& q, const IndexEntry& e) {
+  double d_dv = e.Dv() - QueryDv(q);
+  double d_ba = e.SqrtVarBa() - std::sqrt(q.var_ba);
+  return std::sqrt(d_dv * d_dv + d_ba * d_ba);
+}
+
+}  // namespace
+
+VarianceIndex::VarianceIndex(VarianceIndex&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.sort_mu_);
+  entries_ = std::move(other.entries_);
+  sorted_ = other.sorted_;
+}
+
+VarianceIndex& VarianceIndex::operator=(VarianceIndex&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(sort_mu_, other.sort_mu_);
+    entries_ = std::move(other.entries_);
+    sorted_ = other.sorted_;
+  }
+  return *this;
+}
+
+double IndexEntry::SqrtVarBa() const { return std::sqrt(var_ba); }
+
+double IndexEntry::Dv() const {
+  return std::sqrt(var_ba) - std::sqrt(var_oa);
+}
+
+void VarianceIndex::Add(const IndexEntry& entry) {
+  entries_.push_back(entry);
+  sorted_ = false;
+}
+
+void VarianceIndex::AddVideo(int video_id,
+                             const std::vector<ShotFeatures>& features) {
+  for (size_t i = 0; i < features.size(); ++i) {
+    Add(IndexEntry{video_id, static_cast<int>(i), features[i].var_ba,
+                   features[i].var_oa});
+  }
+}
+
+void VarianceIndex::EnsureSorted() const {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  if (sorted_) return;
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const IndexEntry& a, const IndexEntry& b) {
+                     return a.Dv() < b.Dv();
+                   });
+  sorted_ = true;
+}
+
+std::vector<QueryMatch> VarianceIndex::Query(
+    const VarianceQuery& query) const {
+  EnsureSorted();
+  double dv = QueryDv(query);
+  double lo = dv - query.alpha;
+  double hi = dv + query.alpha;
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const IndexEntry& e, double v) { return e.Dv() < v; });
+  auto end = std::upper_bound(
+      entries_.begin(), entries_.end(), hi,
+      [](double v, const IndexEntry& e) { return v < e.Dv(); });
+
+  double sqrt_ba = std::sqrt(query.var_ba);
+  std::vector<QueryMatch> matches;
+  for (auto it = begin; it != end; ++it) {
+    if (it->SqrtVarBa() >= sqrt_ba - query.beta &&
+        it->SqrtVarBa() <= sqrt_ba + query.beta) {
+      matches.push_back(QueryMatch{*it, Distance(query, *it)});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.distance < b.distance;
+            });
+  return matches;
+}
+
+std::vector<QueryMatch> VarianceIndex::QueryLinear(
+    const VarianceQuery& query) const {
+  double dv = QueryDv(query);
+  double sqrt_ba = std::sqrt(query.var_ba);
+  std::vector<QueryMatch> matches;
+  for (const IndexEntry& e : entries_) {
+    if (e.Dv() >= dv - query.alpha && e.Dv() <= dv + query.alpha &&
+        e.SqrtVarBa() >= sqrt_ba - query.beta &&
+        e.SqrtVarBa() <= sqrt_ba + query.beta) {
+      matches.push_back(QueryMatch{e, Distance(query, e)});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.distance < b.distance;
+            });
+  return matches;
+}
+
+std::vector<QueryMatch> VarianceIndex::QueryTopKWhere(
+    const VarianceQuery& query, int k,
+    const std::function<bool(const IndexEntry&)>& keep,
+    int max_matching) const {
+  VarianceQuery widened = query;
+  std::vector<QueryMatch> matches;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    matches = Query(widened);
+    std::erase_if(matches,
+                  [&](const QueryMatch& m) { return !keep(m.entry); });
+    if (static_cast<int>(matches.size()) >= k ||
+        static_cast<int>(matches.size()) >= max_matching) {
+      break;
+    }
+    widened.alpha *= 2.0;
+    widened.beta *= 2.0;
+  }
+  if (static_cast<int>(matches.size()) > k) {
+    matches.resize(static_cast<size_t>(k));
+  }
+  return matches;
+}
+
+std::vector<QueryMatch> VarianceIndex::QueryTopK(const VarianceQuery& query,
+                                                 int k, int exclude_video,
+                                                 int exclude_shot) const {
+  int max_possible = exclude_video >= 0 ? size() - 1 : size();
+  return QueryTopKWhere(
+      query, k,
+      [&](const IndexEntry& e) {
+        return !(e.video_id == exclude_video &&
+                 e.shot_index == exclude_shot);
+      },
+      max_possible);
+}
+
+}  // namespace vdb

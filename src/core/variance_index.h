@@ -1,0 +1,105 @@
+#ifndef VDB_CORE_VARIANCE_INDEX_H_
+#define VDB_CORE_VARIANCE_INDEX_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// One row of the paper's index table (Table 4): a shot of some video with
+// its variance features.
+struct IndexEntry {
+  int video_id = -1;
+  int shot_index = -1;
+  double var_ba = 0.0;
+  double var_oa = 0.0;
+
+  double SqrtVarBa() const;
+  double Dv() const;  // sqrt(Var^BA) - sqrt(Var^OA)
+};
+
+// An impression query (Section 4.2): how much things are changing in the
+// background and object areas, with tolerances.
+struct VarianceQuery {
+  double var_ba = 0.0;
+  double var_oa = 0.0;
+  double alpha = 1.0;  // tolerance on D^v        (Equation 7)
+  double beta = 1.0;   // tolerance on sqrt(VarBA) (Equation 8)
+};
+
+// A match with its distance from the query in (D^v, sqrt(VarBA)) space.
+struct QueryMatch {
+  IndexEntry entry;
+  double distance = 0.0;
+};
+
+// The variance-based similarity index. Entries are kept sorted by D^v so a
+// query is a binary-searched band scan over Equation 7's range, filtered by
+// Equation 8.
+//
+// Thread safety: const operations (all Query variants, size, entries) are
+// safe to call concurrently with each other; Add must not race with them.
+class VarianceIndex {
+ public:
+  VarianceIndex() = default;
+
+  // Movable (the sort mutex is not moved); not copyable.
+  VarianceIndex(VarianceIndex&& other) noexcept;
+  VarianceIndex& operator=(VarianceIndex&& other) noexcept;
+  VarianceIndex(const VarianceIndex&) = delete;
+  VarianceIndex& operator=(const VarianceIndex&) = delete;
+
+  // Adds one shot. Entries may arrive in any order.
+  void Add(const IndexEntry& entry);
+
+  // Adds every shot of a video.
+  void AddVideo(int video_id, const std::vector<ShotFeatures>& features);
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  // All shots satisfying Equations 7 and 8, ordered by ascending distance
+  // (Euclidean in (D^v, sqrt(VarBA)) space).
+  std::vector<QueryMatch> Query(const VarianceQuery& query) const;
+
+  // The k nearest shots regardless of the tolerance band (used for the
+  // paper's "three most similar shots" figures). Shots matching the band
+  // are preferred; the band is widened until k matches exist or the index
+  // is exhausted. `exclude_video`/`exclude_shot` skip the query shot
+  // itself when querying by example (-1 to disable).
+  std::vector<QueryMatch> QueryTopK(const VarianceQuery& query, int k,
+                                    int exclude_video = -1,
+                                    int exclude_shot = -1) const;
+
+  // Like QueryTopK but keeps only entries for which `keep` returns true
+  // (class-filtered retrieval, Section 4.1). `max_matching` bounds how
+  // many index entries can satisfy the predicate at all — the band stops
+  // widening once that many are found (pass size() when unknown).
+  std::vector<QueryMatch> QueryTopKWhere(
+      const VarianceQuery& query, int k,
+      const std::function<bool(const IndexEntry&)>& keep,
+      int max_matching) const;
+
+  // Linear-scan variant of Query, used to cross-check the sorted index and
+  // by the performance bench.
+  std::vector<QueryMatch> QueryLinear(const VarianceQuery& query) const;
+
+  const std::vector<IndexEntry>& entries() const { return entries_; }
+
+ private:
+  void EnsureSorted() const;
+
+  // Sorted by D^v (lazily re-sorted after Add; the mutex keeps the lazy
+  // sort safe under concurrent const queries).
+  mutable std::mutex sort_mu_;
+  mutable std::vector<IndexEntry> entries_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_VARIANCE_INDEX_H_

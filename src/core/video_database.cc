@@ -1,0 +1,226 @@
+#include "core/video_database.h"
+
+#include "util/string_util.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace {
+
+// Analysis stages shared by Ingest and IngestFile once the signatures
+// exist: detection, features, scene tree.
+Status AnalyseFromSignatures(const VideoDatabaseOptions& options,
+                             CatalogEntry* entry) {
+  CameraTrackingDetector detector(options.detector);
+  VDB_ASSIGN_OR_RETURN(ShotDetectionResult detection,
+                       detector.DetectFromSignatures(entry->signatures));
+  entry->shots = std::move(detection.shots);
+  entry->sbd_stats = detection.stage_stats;
+
+  VDB_ASSIGN_OR_RETURN(entry->features,
+                       ComputeAllShotFeatures(entry->signatures,
+                                              entry->shots));
+
+  SceneTreeBuilder builder(options.scene_tree);
+  VDB_ASSIGN_OR_RETURN(entry->scene_tree,
+                       builder.Build(entry->signatures, entry->shots));
+  return Status::Ok();
+}
+
+}  // namespace
+
+VideoDatabase::VideoDatabase(VideoDatabaseOptions options)
+    : options_(options) {}
+
+Result<int> VideoDatabase::Ingest(const Video& video) {
+  auto entry = std::make_unique<CatalogEntry>();
+  entry->video_id = static_cast<int>(catalog_.size());
+  entry->name = video.name();
+  entry->frame_count = video.frame_count();
+  entry->fps = video.fps();
+
+  // Step 1: signatures, then segmentation; Step 2: tree; Step 3: index.
+  VDB_ASSIGN_OR_RETURN(entry->signatures, ComputeVideoSignatures(video));
+  VDB_RETURN_IF_ERROR(AnalyseFromSignatures(options_, entry.get()));
+  index_.AddVideo(entry->video_id, entry->features);
+
+  int id = entry->video_id;
+  catalog_.push_back(std::move(entry));
+  return id;
+}
+
+Result<int> VideoDatabase::IngestFile(const std::string& path) {
+  VDB_ASSIGN_OR_RETURN(VideoFileReader reader, VideoFileReader::Open(path));
+
+  auto entry = std::make_unique<CatalogEntry>();
+  entry->video_id = static_cast<int>(catalog_.size());
+  entry->name = reader.name();
+  entry->frame_count = reader.frame_count();
+  entry->fps = reader.fps();
+
+  VDB_ASSIGN_OR_RETURN(
+      entry->signatures.geometry,
+      ComputeAreaGeometry(reader.width(), reader.height()));
+  entry->signatures.frames.reserve(
+      static_cast<size_t>(reader.frame_count()));
+  while (!reader.AtEnd()) {
+    // One frame resident at a time: decode, reduce, discard.
+    VDB_ASSIGN_OR_RETURN(Frame frame, reader.ReadNextFrame());
+    VDB_ASSIGN_OR_RETURN(
+        FrameSignature fs,
+        ComputeFrameSignature(frame, entry->signatures.geometry));
+    entry->signatures.frames.push_back(std::move(fs));
+  }
+
+  VDB_RETURN_IF_ERROR(AnalyseFromSignatures(options_, entry.get()));
+  index_.AddVideo(entry->video_id, entry->features);
+
+  int id = entry->video_id;
+  catalog_.push_back(std::move(entry));
+  return id;
+}
+
+Result<int> VideoDatabase::Restore(CatalogEntry entry) {
+  if (entry.frame_count <= 0 ||
+      entry.frame_count != static_cast<int>(entry.signatures.frames.size())) {
+    return Status::InvalidArgument(
+        StrFormat("entry '%s' has inconsistent frame counts",
+                  entry.name.c_str()));
+  }
+  if (entry.shots.size() != entry.features.size()) {
+    return Status::InvalidArgument(
+        StrFormat("entry '%s' has %zu shots but %zu feature rows",
+                  entry.name.c_str(), entry.shots.size(),
+                  entry.features.size()));
+  }
+  if (entry.scene_tree.shot_count() != static_cast<int>(entry.shots.size())) {
+    return Status::InvalidArgument(
+        StrFormat("entry '%s' tree covers %d shots, entry has %zu",
+                  entry.name.c_str(), entry.scene_tree.shot_count(),
+                  entry.shots.size()));
+  }
+  VDB_RETURN_IF_ERROR(entry.scene_tree.Validate());
+
+  auto stored = std::make_unique<CatalogEntry>(std::move(entry));
+  stored->video_id = static_cast<int>(catalog_.size());
+  index_.AddVideo(stored->video_id, stored->features);
+  int id = stored->video_id;
+  catalog_.push_back(std::move(stored));
+  return id;
+}
+
+Result<const CatalogEntry*> VideoDatabase::GetEntry(int video_id) const {
+  if (video_id < 0 || video_id >= video_count()) {
+    return Status::NotFound(StrFormat("video id %d (have %d videos)",
+                                      video_id, video_count()));
+  }
+  return catalog_[static_cast<size_t>(video_id)].get();
+}
+
+Status VideoDatabase::SetClassification(
+    int video_id, VideoClassification classification) {
+  if (video_id < 0 || video_id >= video_count()) {
+    return Status::NotFound(StrFormat("video id %d (have %d videos)",
+                                      video_id, video_count()));
+  }
+  catalog_[static_cast<size_t>(video_id)]->classification =
+      std::move(classification);
+  return Status::Ok();
+}
+
+Result<BrowsingSuggestion> VideoDatabase::Suggest(
+    const QueryMatch& match) const {
+  VDB_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                       GetEntry(match.entry.video_id));
+  BrowsingSuggestion suggestion;
+  suggestion.match = match;
+  suggestion.video_name = entry->name;
+  int node_id = entry->scene_tree.LargestSceneForShot(match.entry.shot_index);
+  if (node_id >= 0) {
+    const SceneNode& node = entry->scene_tree.node(node_id);
+    suggestion.scene_node = node_id;
+    suggestion.scene_label = node.Label();
+    suggestion.representative_frame = node.representative_frame;
+  } else {
+    // The shot names no node (its leaf was out-named); fall back to the
+    // leaf itself.
+    const SceneNode& leaf = entry->scene_tree.node(
+        entry->scene_tree.LeafForShot(match.entry.shot_index));
+    suggestion.scene_node = leaf.id;
+    suggestion.scene_label = leaf.Label();
+    suggestion.representative_frame = leaf.representative_frame;
+  }
+  return suggestion;
+}
+
+Result<std::vector<BrowsingSuggestion>> VideoDatabase::Search(
+    const VarianceQuery& query, int top_k) const {
+  if (top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  std::vector<QueryMatch> matches = index_.QueryTopK(query, top_k);
+  std::vector<BrowsingSuggestion> suggestions;
+  suggestions.reserve(matches.size());
+  for (const QueryMatch& m : matches) {
+    VDB_ASSIGN_OR_RETURN(BrowsingSuggestion s, Suggest(m));
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
+Result<std::vector<BrowsingSuggestion>> VideoDatabase::SearchWithinClass(
+    const VarianceQuery& query, int top_k, const ClassFilter& filter) const {
+  if (top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  // How many indexed shots can match the filter at all (stops the band
+  // widening early when the class is small).
+  int max_matching = 0;
+  std::vector<bool> video_matches(static_cast<size_t>(video_count()));
+  for (int id = 0; id < video_count(); ++id) {
+    bool ok = filter.Matches(catalog_[static_cast<size_t>(id)]->classification);
+    video_matches[static_cast<size_t>(id)] = ok;
+    if (ok) {
+      max_matching += static_cast<int>(
+          catalog_[static_cast<size_t>(id)]->shots.size());
+    }
+  }
+  std::vector<QueryMatch> matches = index_.QueryTopKWhere(
+      query, top_k,
+      [&](const IndexEntry& e) {
+        return e.video_id >= 0 && e.video_id < video_count() &&
+               video_matches[static_cast<size_t>(e.video_id)];
+      },
+      max_matching);
+  std::vector<BrowsingSuggestion> suggestions;
+  suggestions.reserve(matches.size());
+  for (const QueryMatch& m : matches) {
+    VDB_ASSIGN_OR_RETURN(BrowsingSuggestion s, Suggest(m));
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
+Result<std::vector<BrowsingSuggestion>> VideoDatabase::SearchSimilarToShot(
+    int video_id, int shot_index, int top_k) const {
+  VDB_ASSIGN_OR_RETURN(const CatalogEntry* entry, GetEntry(video_id));
+  if (shot_index < 0 ||
+      shot_index >= static_cast<int>(entry->features.size())) {
+    return Status::NotFound(StrFormat("shot %d of video %d", shot_index,
+                                      video_id));
+  }
+  const ShotFeatures& f = entry->features[static_cast<size_t>(shot_index)];
+  VarianceQuery query;
+  query.var_ba = f.var_ba;
+  query.var_oa = f.var_oa;
+  std::vector<QueryMatch> matches =
+      index_.QueryTopK(query, top_k, video_id, shot_index);
+  std::vector<BrowsingSuggestion> suggestions;
+  suggestions.reserve(matches.size());
+  for (const QueryMatch& m : matches) {
+    VDB_ASSIGN_OR_RETURN(BrowsingSuggestion s, Suggest(m));
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
+}  // namespace vdb

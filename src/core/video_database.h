@@ -1,0 +1,113 @@
+#ifndef VDB_CORE_VIDEO_DATABASE_H_
+#define VDB_CORE_VIDEO_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/genre.h"
+#include "core/features.h"
+#include "core/scene_tree.h"
+#include "core/shot_detector.h"
+#include "core/variance_index.h"
+#include "util/result.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// Everything the database derives from one ingested video.
+struct CatalogEntry {
+  int video_id = -1;
+  std::string name;
+  int frame_count = 0;
+  double fps = 0.0;
+
+  // Optional genre/form tags (Section 4.1); empty when never set.
+  VideoClassification classification;
+
+  VideoSignatures signatures;
+  std::vector<Shot> shots;
+  SbdStageStats sbd_stats;
+  std::vector<ShotFeatures> features;
+  SceneTree scene_tree;
+};
+
+// A retrieval answer: a matching shot plus the largest scene-tree node that
+// shares its representative frame — the suggested place to start browsing
+// (Section 4.2).
+struct BrowsingSuggestion {
+  QueryMatch match;
+  std::string video_name;
+  int scene_node = -1;       // node id within the video's scene tree
+  std::string scene_label;   // e.g. "SN_7^1"
+  int representative_frame = -1;
+};
+
+// Knobs for the whole ingest pipeline.
+struct VideoDatabaseOptions {
+  CameraTrackingOptions detector;
+  SceneTreeOptions scene_tree;
+};
+
+// The integrated framework of the paper: ingest segments each video into
+// shots (Step 1), builds its scene tree (Step 2), and indexes its shots by
+// variance features (Step 3); queries return browsing suggestions.
+class VideoDatabase {
+ public:
+  explicit VideoDatabase(VideoDatabaseOptions options = VideoDatabaseOptions());
+
+  VideoDatabase(const VideoDatabase&) = delete;
+  VideoDatabase& operator=(const VideoDatabase&) = delete;
+
+  // Runs the full pipeline on `video` and returns its video id.
+  Result<int> Ingest(const Video& video);
+
+  // Streaming ingest from a .vdb file: frames are decoded and reduced to
+  // signatures one at a time, so memory stays bounded by one frame plus
+  // the signatures — a multi-gigabyte clip ingests without ever being
+  // resident. Produces the same analysis as Ingest(ReadVideoFile(path)).
+  Result<int> IngestFile(const std::string& path);
+
+  // Installs an already-analysed entry (catalog restore): validates its
+  // internal consistency, assigns the next video id, and indexes its
+  // shots. No pixel data is touched.
+  Result<int> Restore(CatalogEntry entry);
+
+  int video_count() const { return static_cast<int>(catalog_.size()); }
+
+  // Catalog access. Fails for unknown ids.
+  Result<const CatalogEntry*> GetEntry(int video_id) const;
+
+  const VarianceIndex& index() const { return index_; }
+
+  // Tags a video with its genre/form classification.
+  Status SetClassification(int video_id, VideoClassification classification);
+
+  // Shots matching the variance query, each mapped to the largest scene
+  // sharing its representative frame.
+  Result<std::vector<BrowsingSuggestion>> Search(const VarianceQuery& query,
+                                                 int top_k) const;
+
+  // Like Search, restricted to videos matching `filter` — the paper's
+  // "retrieval is performed within one of these 4,655 classes".
+  Result<std::vector<BrowsingSuggestion>> SearchWithinClass(
+      const VarianceQuery& query, int top_k,
+      const ClassFilter& filter) const;
+
+  // Query-by-example: uses shot `shot_index` of `video_id` as the query and
+  // returns the top_k most similar other shots.
+  Result<std::vector<BrowsingSuggestion>> SearchSimilarToShot(
+      int video_id, int shot_index, int top_k) const;
+
+ private:
+  Result<BrowsingSuggestion> Suggest(const QueryMatch& match) const;
+
+  VideoDatabaseOptions options_;
+  std::vector<std::unique_ptr<CatalogEntry>> catalog_;
+  VarianceIndex index_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_VIDEO_DATABASE_H_

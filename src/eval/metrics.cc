@@ -1,0 +1,46 @@
+#include "eval/metrics.h"
+
+#include <cstdlib>
+
+namespace vdb {
+
+DetectionMetrics EvaluateBoundaries(const std::vector<int>& truth,
+                                    const std::vector<int>& detected,
+                                    int tolerance_frames) {
+  DetectionMetrics m;
+  m.true_boundaries = static_cast<int>(truth.size());
+  m.detected = static_cast<int>(detected.size());
+
+  std::vector<bool> used(truth.size(), false);
+  for (int d : detected) {
+    // Find the nearest unmatched true boundary within tolerance.
+    int best = -1;
+    int best_dist = tolerance_frames + 1;
+    for (size_t t = 0; t < truth.size(); ++t) {
+      if (used[t]) continue;
+      int dist = std::abs(truth[t] - d);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = static_cast<int>(t);
+      }
+      if (truth[t] > d + tolerance_frames) break;
+    }
+    if (best >= 0) {
+      used[static_cast<size_t>(best)] = true;
+      ++m.correct;
+    }
+  }
+  return m;
+}
+
+DetectionMetrics SumMetrics(const std::vector<DetectionMetrics>& per_clip) {
+  DetectionMetrics total;
+  for (const DetectionMetrics& m : per_clip) {
+    total.true_boundaries += m.true_boundaries;
+    total.detected += m.detected;
+    total.correct += m.correct;
+  }
+  return total;
+}
+
+}  // namespace vdb

@@ -1,0 +1,43 @@
+#ifndef VDB_EVAL_METRICS_H_
+#define VDB_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace vdb {
+
+// Recall / precision of detected shot boundaries against ground truth
+// (Section 5.1). A detection within `tolerance_frames` of an unmatched true
+// boundary counts as correct; each true boundary can be matched once.
+struct DetectionMetrics {
+  int true_boundaries = 0;
+  int detected = 0;
+  int correct = 0;
+
+  double Recall() const {
+    return true_boundaries > 0
+               ? static_cast<double>(correct) / true_boundaries
+               : 1.0;
+  }
+  double Precision() const {
+    return detected > 0 ? static_cast<double>(correct) / detected : 1.0;
+  }
+  double F1() const {
+    double r = Recall();
+    double p = Precision();
+    return r + p > 0 ? 2 * r * p / (r + p) : 0.0;
+  }
+};
+
+// Matches `detected` boundary positions against `truth` greedily in order.
+// Both lists must be ascending.
+DetectionMetrics EvaluateBoundaries(const std::vector<int>& truth,
+                                    const std::vector<int>& detected,
+                                    int tolerance_frames = 1);
+
+// Aggregates per-clip metrics by summing the raw counts (the paper's
+// "Total" row of Table 5).
+DetectionMetrics SumMetrics(const std::vector<DetectionMetrics>& per_clip);
+
+}  // namespace vdb
+
+#endif  // VDB_EVAL_METRICS_H_

@@ -1,0 +1,16 @@
+#include "eval/retrieval_eval.h"
+
+namespace vdb {
+
+double ClassPrecision(const std::string& query_class,
+                      const std::vector<std::string>& retrieved_classes) {
+  if (retrieved_classes.empty()) return 0.0;
+  int hits = 0;
+  for (const std::string& cls : retrieved_classes) {
+    if (cls == query_class) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(retrieved_classes.size());
+}
+
+}  // namespace vdb

@@ -1,0 +1,42 @@
+#ifndef VDB_EVAL_RETRIEVAL_EVAL_H_
+#define VDB_EVAL_RETRIEVAL_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+// Fraction of retrieved items sharing the query's class (precision@k for
+// one query).
+double ClassPrecision(const std::string& query_class,
+                      const std::vector<std::string>& retrieved_classes);
+
+// Mean precision@k per query class over many queries.
+struct RetrievalSummary {
+  // class -> (sum of per-query precisions, query count)
+  std::map<std::string, std::pair<double, int>> per_class;
+  double overall_sum = 0.0;
+  int overall_count = 0;
+
+  void Record(const std::string& query_class, double precision) {
+    auto& slot = per_class[query_class];
+    slot.first += precision;
+    ++slot.second;
+    overall_sum += precision;
+    ++overall_count;
+  }
+
+  double OverallMean() const {
+    return overall_count > 0 ? overall_sum / overall_count : 0.0;
+  }
+  double ClassMean(const std::string& cls) const {
+    auto it = per_class.find(cls);
+    if (it == per_class.end() || it->second.second == 0) return 0.0;
+    return it->second.first / it->second.second;
+  }
+};
+
+}  // namespace vdb
+
+#endif  // VDB_EVAL_RETRIEVAL_EVAL_H_

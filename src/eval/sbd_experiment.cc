@@ -1,0 +1,55 @@
+#include "eval/sbd_experiment.h"
+
+#include "synth/renderer.h"
+#include "util/stopwatch.h"
+
+namespace vdb {
+
+Result<Table5RunResult> RunTable5Experiment(
+    const SbdExperimentOptions& options) {
+  Table5RunResult run;
+  CameraTrackingDetector detector(options.detector);
+  std::vector<DetectionMetrics> all;
+
+  for (const ClipProfile& profile : Table5Profiles()) {
+    Storyboard board =
+        MakeStoryboardFromProfile(profile, options.scale, options.seed);
+    Stopwatch render_watch;
+    VDB_ASSIGN_OR_RETURN(SyntheticVideo clip, RenderStoryboard(board));
+    double render_seconds = render_watch.ElapsedSeconds();
+
+    Stopwatch detect_watch;
+    VDB_ASSIGN_OR_RETURN(ShotDetectionResult detection,
+                         detector.Detect(clip.video));
+    double detect_seconds = detect_watch.ElapsedSeconds();
+
+    ClipRunResult result;
+    result.profile = profile;
+    result.frames = clip.video.frame_count();
+    result.true_changes = static_cast<int>(clip.truth.boundaries.size());
+    result.camera_tracking =
+        EvaluateBoundaries(clip.truth.boundaries, detection.boundaries,
+                           options.tolerance_frames);
+    result.stage_stats = detection.stage_stats;
+    result.render_seconds = render_seconds;
+    result.detect_seconds = detect_seconds;
+    all.push_back(result.camera_tracking);
+    run.clips.push_back(std::move(result));
+  }
+  run.total = SumMetrics(all);
+  return run;
+}
+
+Result<DetectionMetrics> RunBaselineOnClip(const ClipProfile& profile,
+                                           const SbdBaseline& baseline,
+                                           double scale, uint64_t seed,
+                                           int tolerance_frames) {
+  Storyboard board = MakeStoryboardFromProfile(profile, scale, seed);
+  VDB_ASSIGN_OR_RETURN(SyntheticVideo clip, RenderStoryboard(board));
+  VDB_ASSIGN_OR_RETURN(std::vector<int> boundaries,
+                       baseline.DetectBoundaries(clip.video));
+  return EvaluateBoundaries(clip.truth.boundaries, boundaries,
+                            tolerance_frames);
+}
+
+}  // namespace vdb

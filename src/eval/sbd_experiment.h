@@ -1,0 +1,54 @@
+#ifndef VDB_EVAL_SBD_EXPERIMENT_H_
+#define VDB_EVAL_SBD_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/sbd_baseline.h"
+#include "core/shot_detector.h"
+#include "eval/metrics.h"
+#include "synth/workload.h"
+#include "util/result.h"
+
+namespace vdb {
+
+// Parameters of a Table-5-style detection experiment.
+struct SbdExperimentOptions {
+  // Shrinks every clip's duration and cut count; 1.0 is the paper's full
+  // 4.5 hours of footage (~50k frames at 3 fps).
+  double scale = 0.2;
+  uint64_t seed = 2000;
+  // Detections within this many frames of a true boundary count.
+  int tolerance_frames = 1;
+  CameraTrackingOptions detector;
+};
+
+// One evaluated clip.
+struct ClipRunResult {
+  ClipProfile profile;
+  int frames = 0;
+  int true_changes = 0;
+  DetectionMetrics camera_tracking;
+  SbdStageStats stage_stats;
+  double render_seconds = 0.0;
+  double detect_seconds = 0.0;
+};
+
+struct Table5RunResult {
+  std::vector<ClipRunResult> clips;
+  DetectionMetrics total;
+};
+
+// Renders every Table-5 clip and runs the camera-tracking detector.
+Result<Table5RunResult> RunTable5Experiment(
+    const SbdExperimentOptions& options);
+
+// Renders one clip and runs an arbitrary baseline on it.
+Result<DetectionMetrics> RunBaselineOnClip(const ClipProfile& profile,
+                                           const SbdBaseline& baseline,
+                                           double scale, uint64_t seed,
+                                           int tolerance_frames);
+
+}  // namespace vdb
+
+#endif  // VDB_EVAL_SBD_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+#include "eval/tree_eval.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace vdb {
+
+RelationMetrics EvaluateRelationship(const VideoSignatures& signatures,
+                                     const std::vector<Shot>& shots,
+                                     const std::vector<int>& scene_ids,
+                                     const SceneTreeOptions& options) {
+  VDB_CHECK(shots.size() == scene_ids.size())
+      << shots.size() << " shots vs " << scene_ids.size() << " scene ids";
+  RelationMetrics m;
+  for (size_t a = 0; a < shots.size(); ++a) {
+    for (size_t b = a + 1; b < shots.size(); ++b) {
+      bool related = ShotsRelated(signatures, shots[a], shots[b], options);
+      bool same_scene = scene_ids[a] == scene_ids[b];
+      if (related && same_scene) {
+        ++m.true_positive;
+      } else if (related && !same_scene) {
+        ++m.false_positive;
+      } else if (!related && same_scene) {
+        ++m.false_negative;
+      } else {
+        ++m.true_negative;
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+
+int LcaLevel(const SceneTree& tree, int leaf_a, int leaf_b) {
+  std::unordered_map<int, int> depth_of;
+  for (int x = leaf_a; x != -1; x = tree.node(x).parent) {
+    depth_of.emplace(x, tree.node(x).level);
+  }
+  for (int x = leaf_b; x != -1; x = tree.node(x).parent) {
+    auto it = depth_of.find(x);
+    if (it != depth_of.end()) return tree.node(x).level;
+  }
+  return tree.Height();
+}
+
+}  // namespace
+
+TreeQuality EvaluateTree(const SceneTree& tree,
+                         const std::vector<int>& scene_ids) {
+  VDB_CHECK(static_cast<int>(scene_ids.size()) == tree.shot_count())
+      << scene_ids.size() << " scene ids for " << tree.shot_count()
+      << " shots";
+  TreeQuality q;
+  q.height = tree.Height();
+  q.node_count = tree.node_count();
+  for (const SceneNode& n : tree.nodes()) {
+    if (!n.IsLeaf()) ++q.internal_count;
+  }
+
+  double same_sum = 0.0;
+  long same_count = 0;
+  double cross_sum = 0.0;
+  long cross_count = 0;
+  int n = tree.shot_count();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      int level = LcaLevel(tree, tree.LeafForShot(a), tree.LeafForShot(b));
+      if (scene_ids[static_cast<size_t>(a)] ==
+          scene_ids[static_cast<size_t>(b)]) {
+        same_sum += level;
+        ++same_count;
+      } else {
+        cross_sum += level;
+        ++cross_count;
+      }
+    }
+  }
+  q.mean_lca_level_same_scene = same_count > 0 ? same_sum / same_count : 0.0;
+  q.mean_lca_level_cross_scene =
+      cross_count > 0 ? cross_sum / cross_count : 0.0;
+  return q;
+}
+
+}  // namespace vdb

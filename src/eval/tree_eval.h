@@ -1,0 +1,62 @@
+#ifndef VDB_EVAL_TREE_EVAL_H_
+#define VDB_EVAL_TREE_EVAL_H_
+
+#include <vector>
+
+#include "core/scene_tree.h"
+
+namespace vdb {
+
+// Pairwise confusion counts for a binary relation (e.g. RELATIONSHIP's
+// "related" verdict against ground-truth "same scene").
+struct RelationMetrics {
+  long true_positive = 0;
+  long false_positive = 0;
+  long false_negative = 0;
+  long true_negative = 0;
+
+  double Precision() const {
+    long d = true_positive + false_positive;
+    return d > 0 ? static_cast<double>(true_positive) / d : 1.0;
+  }
+  double Recall() const {
+    long d = true_positive + false_negative;
+    return d > 0 ? static_cast<double>(true_positive) / d : 1.0;
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+  }
+};
+
+// Evaluates the RELATIONSHIP verdict over all shot pairs against the
+// ground-truth scene ids (same id == should be related).
+RelationMetrics EvaluateRelationship(const VideoSignatures& signatures,
+                                     const std::vector<Shot>& shots,
+                                     const std::vector<int>& scene_ids,
+                                     const SceneTreeOptions& options);
+
+// Structural quality of a scene tree against ground-truth scene ids. The
+// LCA of two same-scene shots should sit lower (smaller level) than the
+// LCA of two different-scene shots.
+struct TreeQuality {
+  int height = 0;
+  int node_count = 0;
+  int internal_count = 0;
+  double mean_lca_level_same_scene = 0.0;
+  double mean_lca_level_cross_scene = 0.0;
+
+  // Positive when same-scene pairs meet lower in the tree than cross-scene
+  // pairs — the tree reflects the video's scene structure.
+  double SeparationScore() const {
+    return mean_lca_level_cross_scene - mean_lca_level_same_scene;
+  }
+};
+
+TreeQuality EvaluateTree(const SceneTree& tree,
+                         const std::vector<int>& scene_ids);
+
+}  // namespace vdb
+
+#endif  // VDB_EVAL_TREE_EVAL_H_

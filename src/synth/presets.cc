@@ -1,0 +1,196 @@
+#include "synth/presets.h"
+
+namespace vdb {
+namespace {
+
+CameraPath StaticCam(double x, double y, double zoom = 1.0,
+                     double jitter = 0.0) {
+  CameraPath cam;
+  cam.type = CameraMotionType::kStatic;
+  cam.start_x = x;
+  cam.start_y = y;
+  cam.start_zoom = zoom;
+  cam.jitter = jitter;
+  return cam;
+}
+
+CameraPath PanCam(double x, double y, double speed, double zoom = 1.0) {
+  CameraPath cam;
+  cam.type = CameraMotionType::kPan;
+  cam.start_x = x;
+  cam.start_y = y;
+  cam.start_zoom = zoom;
+  cam.speed = speed;
+  return cam;
+}
+
+SpriteSpec TalkingHead(double cx, double cy, double size, PixelRGB color,
+                       double wobble = 1.5) {
+  SpriteSpec s;
+  s.shape = SpriteShape::kPerson;
+  s.center_x = cx;
+  s.center_y = cy;
+  s.radius_x = size;
+  s.radius_y = size * 1.6;
+  s.wobble = wobble;
+  s.color = color;
+  return s;
+}
+
+SpriteSpec MovingObject(double cx, double cy, double size, double vx,
+                        double vy, PixelRGB color) {
+  SpriteSpec s;
+  s.shape = SpriteShape::kEllipse;
+  s.center_x = cx;
+  s.center_y = cy;
+  s.radius_x = size;
+  s.radius_y = size;
+  s.velocity_x = vx;
+  s.velocity_y = vy;
+  s.color = color;
+  return s;
+}
+
+ShotSpec MakeShot(const std::string& label, int scene_id, int frames,
+                  const std::string& motion_class, CameraPath camera,
+                  std::vector<SpriteSpec> sprites) {
+  ShotSpec shot;
+  shot.label = label;
+  shot.scene_id = scene_id;
+  shot.frame_count = frames;
+  shot.motion_class = motion_class;
+  shot.camera = camera;
+  shot.sprites = std::move(sprites);
+  shot.noise_stddev = 1.0;
+  return shot;
+}
+
+}  // namespace
+
+Storyboard TenShotStoryboard() {
+  Storyboard board;
+  board.name = "ten-shot-example";
+  board.seed = 41;
+  board.fps = 3.0;
+
+  const PixelRGB skin(208, 178, 150);
+  const PixelRGB coat(70, 80, 130);
+  const PixelRGB ball(180, 60, 50);
+
+  // Scene A (id 0): revisited as A, A1, A2 with different framings.
+  board.shots.push_back(MakeShot(
+      "A", 0, 75, "closeup-talk", StaticCam(0, 0, 1.0),
+      {TalkingHead(0.5, 0.72, 0.16, skin)}));
+  board.shots.push_back(MakeShot(
+      "B", 1, 25, "distant-talk", StaticCam(0, 0, 1.0),
+      {TalkingHead(0.35, 0.8, 0.07, skin), TalkingHead(0.65, 0.8, 0.07,
+                                                       coat)}));
+  board.shots.push_back(MakeShot(
+      "A1", 0, 40, "closeup-talk", StaticCam(420, 60, 1.3),
+      {TalkingHead(0.45, 0.75, 0.17, coat)}));
+  board.shots.push_back(MakeShot(
+      "B1", 1, 30, "distant-talk", StaticCam(380, -40, 0.8),
+      {TalkingHead(0.3, 0.78, 0.08, coat), TalkingHead(0.7, 0.78, 0.08,
+                                                       skin)}));
+  board.shots.push_back(MakeShot(
+      "C", 2, 120, "moving-object", PanCam(0, 0, 2.5),
+      {MovingObject(0.2, 0.7, 0.09, 1.2, 0.0, ball)}));
+  board.shots.push_back(MakeShot(
+      "A2", 0, 60, "closeup-talk", StaticCam(-380, 30, 0.85),
+      {TalkingHead(0.55, 0.7, 0.15, skin)}));
+  board.shots.push_back(MakeShot(
+      "C1", 2, 65, "moving-object", PanCam(900, 40, -2.0, 1.25),
+      {MovingObject(0.7, 0.65, 0.08, -1.0, 0.3, coat)}));
+  board.shots.push_back(MakeShot(
+      "D", 3, 80, "camera-motion", PanCam(0, 0, 3.0), {}));
+  board.shots.push_back(MakeShot(
+      "D1", 3, 55, "camera-motion", PanCam(1500, 220, -2.5, 0.7), {}));
+  {
+    ShotSpec d2 = MakeShot("D2", 3, 75, "camera-motion",
+                           StaticCam(500, -120, 0.75), {});
+    d2.camera.type = CameraMotionType::kZoom;
+    d2.camera.zoom_rate = 1.01;
+    board.shots.push_back(d2);
+  }
+  return board;
+}
+
+Storyboard FriendsStoryboard() {
+  Storyboard board;
+  board.name = "friends-restaurant";
+  board.seed = 1529;
+  board.fps = 3.0;
+
+  const PixelRGB woman1(214, 170, 150);
+  const PixelRGB woman2(190, 150, 140);
+  const PixelRGB man1(90, 96, 140);
+  const PixelRGB man2(120, 90, 80);
+  const PixelRGB man3(70, 110, 90);
+
+  // Scene ids: 0 = restaurant wide, 1..5 = per-character closeup framings,
+  // 6 = entrance.
+  auto wide = [&](const std::string& label, int frames, double cam_x,
+                  std::vector<SpriteSpec> people) {
+    return MakeShot(label, 0, frames, "distant-talk",
+                    StaticCam(cam_x, 0, 1.0, 0.5), std::move(people));
+  };
+
+  board.shots.push_back(wide(
+      "wide-table", 18, 0,
+      {TalkingHead(0.3, 0.8, 0.06, woman1), TalkingHead(0.5, 0.82, 0.06,
+                                                        woman2),
+       TalkingHead(0.7, 0.8, 0.06, man1)}));
+  board.shots.push_back(MakeShot(
+      "closeup-woman1", 1, 15, "closeup-talk", StaticCam(0, 0),
+      {TalkingHead(0.5, 0.7, 0.17, woman1)}));
+  board.shots.push_back(MakeShot(
+      "closeup-man1", 2, 15, "closeup-talk", StaticCam(0, 0),
+      {TalkingHead(0.48, 0.72, 0.16, man1)}));
+  board.shots.push_back(MakeShot(
+      "closeup-woman2", 3, 12, "closeup-talk", StaticCam(0, 0),
+      {TalkingHead(0.52, 0.71, 0.16, woman2)}));
+  board.shots.push_back(wide(
+      "wide-table-2", 15, 240,
+      {TalkingHead(0.32, 0.8, 0.06, woman1), TalkingHead(0.52, 0.82, 0.06,
+                                                         woman2),
+       TalkingHead(0.72, 0.8, 0.06, man1)}));
+  board.shots.push_back(MakeShot(
+      "closeup-woman1-2", 1, 12, "closeup-talk", StaticCam(260, 20, 1.2),
+      {TalkingHead(0.5, 0.7, 0.18, woman1)}));
+  {
+    // Two men walk in through the entrance: a slow pan follows them.
+    ShotSpec enter =
+        MakeShot("two-men-enter", 6, 20, "moving-object", PanCam(0, 0, 1.8),
+                 {TalkingHead(0.25, 0.75, 0.09, man2),
+                  TalkingHead(0.45, 0.77, 0.09, man3)});
+    enter.sprites[0].velocity_x = 1.0;
+    enter.sprites[1].velocity_x = 1.0;
+    board.shots.push_back(enter);
+  }
+  board.shots.push_back(wide(
+      "wide-table-all", 18, 520,
+      {TalkingHead(0.2, 0.8, 0.06, woman1), TalkingHead(0.36, 0.82, 0.06,
+                                                        woman2),
+       TalkingHead(0.52, 0.8, 0.06, man1), TalkingHead(0.68, 0.8, 0.06,
+                                                       man2),
+       TalkingHead(0.84, 0.82, 0.06, man3)}));
+  board.shots.push_back(MakeShot(
+      "closeup-man2", 4, 12, "closeup-talk", StaticCam(0, 0),
+      {TalkingHead(0.5, 0.71, 0.16, man2)}));
+  board.shots.push_back(MakeShot(
+      "closeup-man1-2", 2, 12, "closeup-talk", StaticCam(300, -30, 0.85),
+      {TalkingHead(0.47, 0.73, 0.17, man1)}));
+  board.shots.push_back(wide(
+      "wide-table-all-2", 16, -260,
+      {TalkingHead(0.25, 0.8, 0.06, woman1), TalkingHead(0.4, 0.82, 0.06,
+                                                         woman2),
+       TalkingHead(0.55, 0.8, 0.06, man1), TalkingHead(0.7, 0.8, 0.06,
+                                                       man2),
+       TalkingHead(0.85, 0.82, 0.06, man3)}));
+  board.shots.push_back(MakeShot(
+      "closeup-woman1-3", 1, 15, "closeup-talk", StaticCam(-300, 40, 1.3),
+      {TalkingHead(0.5, 0.69, 0.18, woman1)}));
+  return board;
+}
+
+}  // namespace vdb

@@ -1,0 +1,23 @@
+#ifndef VDB_SYNTH_PRESETS_H_
+#define VDB_SYNTH_PRESETS_H_
+
+#include "synth/storyboard.h"
+
+namespace vdb {
+
+// The paper's running example (Figure 5, Table 3): a ten-shot clip with
+// related shots A/A1/A2, B/B1, C/C1 and D/D1/D2 and the exact frame counts
+// of Table 3 (75, 25, 40, 30, 120, 60, 65, 80, 55, 75). Scene revisits use
+// the same world with a different framing (large offset and/or different
+// zoom) so cuts between related shots remain detectable.
+Storyboard TenShotStoryboard();
+
+// A one-minute, 3 fps segment mirroring the paper's "Friends" example
+// (Figure 7): two women and a man talk in a restaurant; two men come and
+// join them. Conversation closeups alternate with wide shots of the
+// restaurant, which the scene tree should group under the restaurant scene.
+Storyboard FriendsStoryboard();
+
+}  // namespace vdb
+
+#endif  // VDB_SYNTH_PRESETS_H_

@@ -1,0 +1,266 @@
+#include "synth/renderer.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "synth/world.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "video/color.h"
+
+namespace vdb {
+namespace {
+
+// Sprite state while a shot renders.
+struct ActiveSprite {
+  SpriteSpec spec;
+  double x;  // centre, px
+  double y;
+  double vx;
+  double vy;
+};
+
+void DrawSprite(Frame* frame, const ActiveSprite& sprite, double wobble_x,
+                double wobble_y) {
+  int w = frame->width();
+  int h = frame->height();
+  double cx = sprite.x + wobble_x;
+  double cy = sprite.y + wobble_y;
+  double rx = sprite.spec.radius_x * w;
+  double ry = sprite.spec.radius_y * h;
+  if (rx <= 0 || ry <= 0) return;
+
+  int x0 = std::max(0, static_cast<int>(std::floor(cx - rx)));
+  int x1 = std::min(w - 1, static_cast<int>(std::ceil(cx + rx)));
+  int y0 = std::max(0, static_cast<int>(std::floor(cy - ry)));
+  int y1 = std::min(h - 1, static_cast<int>(std::ceil(cy + ry)));
+
+  PixelRGB body = sprite.spec.color;
+  PixelRGB darker = ScaleRgb(body, 0.7);
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      double nx = (x - cx) / rx;
+      double ny = (y - cy) / ry;
+      bool inside = false;
+      PixelRGB color = body;
+      switch (sprite.spec.shape) {
+        case SpriteShape::kEllipse:
+          inside = nx * nx + ny * ny <= 1.0;
+          break;
+        case SpriteShape::kBox:
+          inside = std::fabs(nx) <= 1.0 && std::fabs(ny) <= 1.0;
+          break;
+        case SpriteShape::kPerson: {
+          // Head: small ellipse in the top third; body: box below.
+          double head_ny = (ny + 0.6) / 0.4;
+          bool head = nx * nx / 0.25 + head_ny * head_ny <= 1.0;
+          bool torso = std::fabs(nx) <= 0.8 && ny > -0.2 && ny <= 1.0;
+          inside = head || torso;
+          if (torso && !head) color = darker;
+          break;
+        }
+      }
+      if (inside) {
+        // Simple shading at the silhouette edge.
+        double edge = std::max(std::fabs(nx), std::fabs(ny));
+        frame->at_unchecked(x, y) = edge > 0.9 ? darker : color;
+      }
+    }
+  }
+}
+
+// A flash brightens the whole frame toward white.
+void ApplyFlash(Frame* frame) {
+  for (PixelRGB& p : frame->pixels()) {
+    p = LerpRgb(p, PixelRGB(255, 255, 255), 0.55);
+  }
+}
+
+void ApplyNoise(Frame* frame, double stddev, Pcg32* rng) {
+  if (stddev <= 0.0) return;
+  for (PixelRGB& p : frame->pixels()) {
+    double n = rng->NextGaussian() * stddev;
+    p = PixelRGB(ClampToByte(p.r + n), ClampToByte(p.g + n),
+                 ClampToByte(p.b + n));
+  }
+}
+
+}  // namespace
+
+GroundTruth TruthFromStoryboard(const Storyboard& storyboard) {
+  GroundTruth truth;
+  int frame_index = 0;
+  for (size_t s = 0; s < storyboard.shots.size(); ++s) {
+    const ShotSpec& shot = storyboard.shots[s];
+    ShotTruth t;
+    t.start_frame = frame_index;
+    t.end_frame = frame_index + shot.frame_count - 1;
+    t.scene_id = shot.scene_id;
+    t.label = shot.label;
+    t.motion_class = shot.motion_class;
+    truth.shots.push_back(std::move(t));
+    if (s > 0) {
+      truth.boundaries.push_back(frame_index);
+    }
+    frame_index += shot.frame_count;
+  }
+  return truth;
+}
+
+Result<SyntheticVideo> RenderStoryboard(const Storyboard& storyboard) {
+  if (storyboard.shots.empty()) {
+    return Status::InvalidArgument("storyboard '" + storyboard.name +
+                                   "' has no shots");
+  }
+  if (storyboard.width < 16 || storyboard.height < 16) {
+    return Status::InvalidArgument(
+        StrFormat("storyboard frame %dx%d too small", storyboard.width,
+                  storyboard.height));
+  }
+  for (const ShotSpec& shot : storyboard.shots) {
+    if (shot.frame_count <= 0) {
+      return Status::InvalidArgument("shot '" + shot.label +
+                                     "' has no frames");
+    }
+  }
+
+  SyntheticVideo out;
+  out.video = Video(storyboard.name, storyboard.fps);
+  out.truth = TruthFromStoryboard(storyboard);
+
+  // Worlds are cached per (scene_id, style): revisited scenes must look the
+  // same, and style flags are part of the scene's identity.
+  std::map<std::tuple<int, bool, bool>, std::unique_ptr<SceneWorld>> worlds;
+  auto world_for = [&](const ShotSpec& shot) -> SceneWorld* {
+    auto key = std::make_tuple(shot.scene_id, shot.cartoon,
+                               shot.high_contrast);
+    auto it = worlds.find(key);
+    if (it != worlds.end()) return it->second.get();
+    auto world = std::make_unique<SceneWorld>(
+        storyboard.seed * 0x9e3779b97f4a7c15ULL +
+        static_cast<uint64_t>(shot.scene_id) * 0x100000001b3ULL);
+    if (shot.cartoon) world->SetCartoonStyle();
+    if (shot.high_contrast) world->SetHighContrast();
+    return worlds.emplace(key, std::move(world)).first->second.get();
+  };
+
+  Pcg32 rng(storyboard.seed, 0x7ea7);
+  Frame previous_last;  // last frame of the previous shot, for dissolves
+  int frame_index = 0;
+
+  for (size_t s = 0; s < storyboard.shots.size(); ++s) {
+    const ShotSpec& shot = storyboard.shots[s];
+    SceneWorld* world = world_for(shot);
+
+    // Camera state.
+    double cam_x = shot.camera.start_x;
+    double cam_y = shot.camera.start_y;
+    double zoom = shot.camera.start_zoom;
+
+    // Sprite state.
+    std::vector<ActiveSprite> sprites;
+    for (const SpriteSpec& spec : shot.sprites) {
+      sprites.push_back(ActiveSprite{
+          spec, spec.center_x * storyboard.width,
+          spec.center_y * storyboard.height, spec.velocity_x,
+          spec.velocity_y});
+    }
+
+    for (int f = 0; f < shot.frame_count; ++f, ++frame_index) {
+      double jitter_x = 0.0;
+      double jitter_y = 0.0;
+      if (shot.camera.jitter > 0.0) {
+        jitter_x = rng.NextDouble(-shot.camera.jitter, shot.camera.jitter);
+        jitter_y = rng.NextDouble(-shot.camera.jitter, shot.camera.jitter);
+      }
+
+      Frame frame(storyboard.width, storyboard.height);
+      double half_w = storyboard.width / 2.0;
+      double half_h = storyboard.height / 2.0;
+      for (int y = 0; y < storyboard.height; ++y) {
+        double wy = cam_y + jitter_y + (y - half_h) * zoom;
+        for (int x = 0; x < storyboard.width; ++x) {
+          double wx = cam_x + jitter_x + (x - half_w) * zoom;
+          frame.at_unchecked(x, y) = world->Sample(wx, wy);
+        }
+      }
+
+      // Foreground.
+      for (ActiveSprite& sprite : sprites) {
+        double wobble_x = 0.0;
+        double wobble_y = 0.0;
+        if (sprite.spec.wobble > 0.0) {
+          wobble_x =
+              rng.NextDouble(-sprite.spec.wobble, sprite.spec.wobble);
+          wobble_y =
+              rng.NextDouble(-sprite.spec.wobble, sprite.spec.wobble);
+        }
+        DrawSprite(&frame, sprite, wobble_x, wobble_y);
+        sprite.x += sprite.vx;
+        sprite.y += sprite.vy;
+        // Bounce off the frame edges.
+        if (sprite.x < 0 || sprite.x >= storyboard.width) {
+          sprite.vx = -sprite.vx;
+          sprite.x = Clamp(sprite.x, 0.0,
+                           static_cast<double>(storyboard.width - 1));
+        }
+        if (sprite.y < 0 || sprite.y >= storyboard.height) {
+          sprite.vy = -sprite.vy;
+          sprite.y = Clamp(sprite.y, 0.0,
+                           static_cast<double>(storyboard.height - 1));
+        }
+      }
+
+      // Transition into this shot.
+      if (f < shot.transition_frames) {
+        double t = (f + 1.0) / (shot.transition_frames + 1.0);
+        if (shot.transition_in == TransitionType::kFade) {
+          for (PixelRGB& p : frame.pixels()) {
+            p = LerpRgb(PixelRGB(0, 0, 0), p, t);
+          }
+        } else if (shot.transition_in == TransitionType::kDissolve &&
+                   !previous_last.empty()) {
+          for (size_t i = 0; i < frame.pixels().size(); ++i) {
+            frame.pixels()[i] =
+                LerpRgb(previous_last.pixels()[i], frame.pixels()[i], t);
+          }
+        }
+      }
+
+      if (shot.flash_prob > 0.0 && rng.NextDouble() < shot.flash_prob) {
+        ApplyFlash(&frame);
+      }
+      ApplyNoise(&frame, shot.noise_stddev, &rng);
+
+      // Camera advance.
+      switch (shot.camera.type) {
+        case CameraMotionType::kStatic:
+          break;
+        case CameraMotionType::kPan:
+          cam_x += shot.camera.speed;
+          break;
+        case CameraMotionType::kTilt:
+          cam_y += shot.camera.speed;
+          break;
+        case CameraMotionType::kZoom:
+          zoom *= shot.camera.zoom_rate;
+          break;
+        case CameraMotionType::kDiagonal:
+          cam_x += shot.camera.speed;
+          cam_y += shot.camera.speed;
+          break;
+      }
+
+      if (f == shot.frame_count - 1) {
+        previous_last = frame;
+      }
+      out.video.AppendFrame(std::move(frame));
+    }
+  }
+  return out;
+}
+
+}  // namespace vdb

@@ -1,0 +1,27 @@
+#ifndef VDB_SYNTH_RENDERER_H_
+#define VDB_SYNTH_RENDERER_H_
+
+#include "synth/storyboard.h"
+#include "util/result.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// A rendered storyboard: the clip plus its ground truth.
+struct SyntheticVideo {
+  Video video;
+  GroundTruth truth;
+};
+
+// Ground truth implied by a storyboard (shot ranges, boundaries, labels).
+// Purely structural: no pixels are rendered.
+GroundTruth TruthFromStoryboard(const Storyboard& storyboard);
+
+// Renders `storyboard` deterministically (same storyboard -> identical
+// pixels). Fails on malformed specs (no shots, non-positive dimensions or
+// frame counts).
+Result<SyntheticVideo> RenderStoryboard(const Storyboard& storyboard);
+
+}  // namespace vdb
+
+#endif  // VDB_SYNTH_RENDERER_H_

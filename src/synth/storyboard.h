@@ -1,0 +1,124 @@
+#ifndef VDB_SYNTH_STORYBOARD_H_
+#define VDB_SYNTH_STORYBOARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/pixel.h"
+
+namespace vdb {
+
+// How the (virtual) camera moves during a shot.
+enum class CameraMotionType {
+  kStatic,
+  kPan,       // horizontal, speed px/frame (negative = left)
+  kTilt,      // vertical
+  kZoom,      // zoom_rate multiplies the scale each frame
+  kDiagonal,  // equal horizontal and vertical speed
+};
+
+struct CameraPath {
+  CameraMotionType type = CameraMotionType::kStatic;
+  // World-space starting position of the frame centre.
+  double start_x = 0.0;
+  double start_y = 0.0;
+  double start_zoom = 1.0;
+  // Pan/tilt/diagonal speed in world units per frame.
+  double speed = 0.0;
+  // Zoom factor applied per frame (1.0 = none).
+  double zoom_rate = 1.0;
+  // Handheld jitter amplitude in world units (uniform per frame).
+  double jitter = 0.0;
+};
+
+// A foreground object. Positions/sizes are fractions of the frame so specs
+// are resolution independent; velocities are pixels per frame. Sprites
+// bounce off the frame edges.
+enum class SpriteShape { kEllipse, kBox, kPerson };
+
+struct SpriteSpec {
+  SpriteShape shape = SpriteShape::kEllipse;
+  double center_x = 0.5;  // fraction of frame width
+  double center_y = 0.7;  // fraction of frame height
+  double radius_x = 0.1;  // fraction of frame width
+  double radius_y = 0.15; // fraction of frame height
+  double velocity_x = 0.0;  // px/frame
+  double velocity_y = 0.0;
+  // Gesticulation: the sprite's outline wobbles by this many pixels
+  // (talking heads move without travelling).
+  double wobble = 0.0;
+  PixelRGB color = PixelRGB(200, 180, 160);
+};
+
+// How a shot begins relative to its predecessor.
+enum class TransitionType {
+  kCut,       // hard cut (the common case)
+  kFade,      // fade in from black over transition_frames
+  kDissolve,  // cross-dissolve from the previous shot's last frame
+};
+
+// One shot of a storyboard.
+struct ShotSpec {
+  // Display label ("A1", "closeup-2"); purely informational.
+  std::string label;
+  // Shots with equal scene_id are filmed in the same SceneWorld and should
+  // be grouped by the scene-tree construction.
+  int scene_id = 0;
+  // Motion class ("closeup-talk", "moving-object", ...) used as retrieval
+  // ground truth in the Figure 8-10 experiments.
+  std::string motion_class;
+
+  int frame_count = 30;
+  CameraPath camera;
+  std::vector<SpriteSpec> sprites;
+
+  // Per-pixel Gaussian noise (sensor grain), stddev in colour levels.
+  double noise_stddev = 0.0;
+  // Probability that any frame of this shot is a photographic flash.
+  double flash_prob = 0.0;
+
+  TransitionType transition_in = TransitionType::kCut;
+  int transition_frames = 0;
+
+  // Cartoon rendering style for this shot's world.
+  bool cartoon = false;
+  // Higher-contrast world (outdoor scenes).
+  bool high_contrast = false;
+};
+
+// A full synthetic clip specification.
+struct Storyboard {
+  std::string name;
+  int width = 160;
+  int height = 120;
+  double fps = 3.0;  // the paper samples its clips at 3 frames/second
+  uint64_t seed = 1;
+  std::vector<ShotSpec> shots;
+
+  int TotalFrames() const {
+    int total = 0;
+    for (const ShotSpec& s : shots) total += s.frame_count;
+    return total;
+  }
+};
+
+// Ground truth emitted alongside the rendered frames.
+struct ShotTruth {
+  int start_frame = 0;  // 0-based, inclusive
+  int end_frame = 0;    // inclusive
+  int scene_id = 0;
+  std::string label;
+  std::string motion_class;
+};
+
+struct GroundTruth {
+  std::vector<ShotTruth> shots;
+  // First frame of every shot except the first (the positions an SBD
+  // algorithm should report).
+  std::vector<int> boundaries;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_SYNTH_STORYBOARD_H_

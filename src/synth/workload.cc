@@ -1,0 +1,522 @@
+#include "synth/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/world.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+ClipProfile BaseProfile(const std::string& name, const std::string& category,
+                        int minutes, int seconds, int shot_changes,
+                        double recall, double precision) {
+  ClipProfile p;
+  p.name = name;
+  p.category = category;
+  p.duration_seconds = minutes * 60 + seconds;
+  p.shot_changes = shot_changes;
+  p.paper_recall = recall;
+  p.paper_precision = precision;
+  return p;
+}
+
+}  // namespace
+
+std::vector<ClipProfile> Table5Profiles() {
+  std::vector<ClipProfile> profiles;
+
+  {
+    ClipProfile p = BaseProfile("Silk Stalkings (Drama)", "TV Programs", 10,
+                                24, 95, 0.97, 0.87);
+    p.num_scenes = 10;
+    p.revisit_prob = 0.6;
+    p.pan_prob = 0.15;
+    p.sprites_hi = 2;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Scooby Doo Show (Cartoon)", "TV Programs",
+                                11, 38, 106, 0.87, 0.75);
+    p.cartoon = true;
+    p.num_scenes = 12;
+    p.revisit_prob = 0.4;
+    p.pan_prob = 0.35;
+    p.cam_speed_hi = 6.0;
+    p.sprites_hi = 3;
+    p.sprite_speed_hi = 4.0;
+    p.short_shot_prob = 0.15;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Friends (Sitcom)", "TV Programs", 10, 22,
+                                116, 0.88, 0.75);
+    p.num_scenes = 6;
+    p.revisit_prob = 0.75;  // sitcoms live on a few sets
+    p.sprites_hi = 3;
+    p.short_shot_prob = 0.1;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Chicago Hope (Drama)", "TV Programs", 9, 47,
+                                156, 0.96, 0.84);
+    p.num_scenes = 9;
+    p.revisit_prob = 0.6;
+    p.pan_prob = 0.2;
+    p.jitter = 0.6;  // walk-and-talk steadicam
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Star Trek (Deep Space Nine)", "TV Programs",
+                                12, 27, 111, 0.78, 0.81);
+    p.num_scenes = 8;
+    p.revisit_prob = 0.65;
+    p.flash_prob = 0.02;  // phaser fire and viewscreen flashes
+    p.dissolve_prob = 0.15;
+    p.noise_stddev = 2.0;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("All My Children (Soap Opera)",
+                                "TV Programs", 5, 44, 50, 0.89, 0.81);
+    p.num_scenes = 4;
+    p.revisit_prob = 0.8;
+    p.dissolve_prob = 0.1;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Flintstones (Cartoon)", "TV Programs", 6, 9,
+                                48, 0.89, 0.84);
+    p.cartoon = true;
+    p.num_scenes = 7;
+    p.pan_prob = 0.3;
+    p.cam_speed_hi = 5.0;
+    p.sprite_speed_hi = 3.0;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Jerry Springer (Talk Show)", "TV Programs",
+                                4, 58, 107, 0.77, 0.82);
+    p.num_scenes = 3;
+    p.revisit_prob = 0.85;  // stage, audience, closeups
+    p.flash_prob = 0.05;    // camera flashes
+    p.jitter = 1.2;
+    p.short_shot_prob = 0.3;
+    p.sprites_hi = 4;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("TV Commercials", "TV Programs", 31, 25, 967,
+                                0.95, 0.93);
+    p.num_scenes = 60;
+    p.revisit_prob = 0.1;  // every spot is a new look
+    p.pan_prob = 0.25;
+    p.zoom_prob = 0.2;
+    p.short_shot_prob = 0.25;
+    p.high_contrast = true;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("National (NBC)", "News", 14, 45, 202, 0.95,
+                                0.93);
+    p.num_scenes = 18;
+    p.revisit_prob = 0.45;  // anchor desk returns
+    p.sprites_hi = 1;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Local (ABC)", "News", 30, 27, 176, 0.94,
+                                0.91);
+    p.num_scenes = 20;
+    p.revisit_prob = 0.5;
+    p.sprites_hi = 1;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Brave Heart", "Movies", 10, 3, 246, 0.90,
+                                0.81);
+    p.num_scenes = 14;
+    p.pan_prob = 0.3;
+    p.cam_speed_hi = 5.0;
+    p.jitter = 1.0;  // battle scenes
+    p.sprites_hi = 4;
+    p.sprite_speed_hi = 3.0;
+    p.short_shot_prob = 0.2;
+    p.high_contrast = true;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("ATF", "Movies", 11, 52, 224, 0.94, 0.90);
+    p.num_scenes = 12;
+    p.pan_prob = 0.25;
+    p.jitter = 0.8;
+    p.short_shot_prob = 0.15;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Simon Birch", "Movies", 11, 8, 164, 0.95,
+                                0.83);
+    p.num_scenes = 10;
+    p.revisit_prob = 0.55;
+    p.pan_prob = 0.2;
+    p.dissolve_prob = 0.08;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Wag the Dog", "Movies", 11, 1, 103, 0.98,
+                                0.81);
+    p.num_scenes = 8;
+    p.revisit_prob = 0.6;
+    p.sprites_hi = 3;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Tennis (1999 U.S. Open)", "Sports Events",
+                                14, 20, 114, 0.91, 0.90);
+    p.num_scenes = 4;
+    p.revisit_prob = 0.85;  // court, closeup, crowd
+    p.pan_prob = 0.45;
+    p.cam_speed_hi = 6.0;
+    p.sprites_hi = 2;
+    p.sprite_speed_hi = 4.0;
+    p.high_contrast = true;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Mountain Bike Race", "Sports Events", 15,
+                                12, 143, 0.96, 0.95);
+    p.num_scenes = 12;
+    p.pan_prob = 0.6;
+    p.cam_speed_hi = 7.0;
+    p.jitter = 1.2;
+    p.sprites_hi = 2;
+    p.sprite_speed_hi = 5.0;
+    p.high_contrast = true;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Football", "Sports Events", 21, 26, 163,
+                                0.94, 0.88);
+    p.num_scenes = 5;
+    p.revisit_prob = 0.8;
+    p.pan_prob = 0.5;
+    p.cam_speed_hi = 6.0;
+    p.zoom_prob = 0.2;
+    p.sprites_hi = 5;
+    p.sprite_speed_hi = 3.0;
+    p.high_contrast = true;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Today's Vietnam", "Documentaries", 10, 29,
+                                93, 0.89, 0.84);
+    p.num_scenes = 12;
+    p.pan_prob = 0.3;
+    p.cam_speed_lo = 0.5;
+    p.cam_speed_hi = 2.0;  // slow archival pans
+    p.dissolve_prob = 0.25;
+    p.noise_stddev = 3.0;  // old footage grain
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("For All Mankind", "Documentaries", 16, 50,
+                                127, 0.90, 0.81);
+    p.num_scenes = 14;
+    p.pan_prob = 0.25;
+    p.dissolve_prob = 0.3;
+    p.noise_stddev = 2.5;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Kobe Bryant", "Music Videos", 3, 53, 53,
+                                0.86, 0.78);
+    p.num_scenes = 10;
+    p.revisit_prob = 0.5;
+    p.flash_prob = 0.06;
+    p.short_shot_prob = 0.35;
+    p.pan_prob = 0.35;
+    p.cam_speed_hi = 6.0;
+    p.jitter = 1.5;
+    profiles.push_back(p);
+  }
+  {
+    ClipProfile p = BaseProfile("Alabama Song", "Music Videos", 4, 24, 65,
+                                0.89, 0.84);
+    p.num_scenes = 8;
+    p.revisit_prob = 0.55;
+    p.flash_prob = 0.03;
+    p.dissolve_prob = 0.15;
+    p.short_shot_prob = 0.25;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+namespace {
+
+uint64_t NameSeed(const std::string& name, uint64_t seed) {
+  uint64_t h = seed ^ 0xa5a5a5a5a5a5a5a5ULL;
+  for (char c : name) {
+    h = HashU64(h ^ static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::string ClassifyShot(const ShotSpec& shot) {
+  bool camera_moves = shot.camera.type != CameraMotionType::kStatic;
+  bool has_sprites = !shot.sprites.empty();
+  if (camera_moves && has_sprites) return "moving-object";
+  if (camera_moves) return "camera-motion";
+  if (!has_sprites) return "static";
+  double biggest = 0.0;
+  for (const SpriteSpec& s : shot.sprites) {
+    biggest = std::max(biggest, s.radius_x);
+  }
+  return biggest >= 0.12 ? "closeup-talk" : "distant-talk";
+}
+
+}  // namespace
+
+Storyboard MakeStoryboardFromProfile(const ClipProfile& profile,
+                                     double scale, uint64_t seed) {
+  VDB_CHECK(scale > 0.0 && scale <= 1.0) << "scale " << scale;
+  Pcg32 rng(NameSeed(profile.name, seed), 0x1ab);
+
+  Storyboard board;
+  board.name = profile.name;
+  board.seed = NameSeed(profile.name, seed ^ 0xbeef);
+  board.fps = 3.0;
+
+  int boundaries =
+      std::max(2, static_cast<int>(std::lround(profile.shot_changes * scale)));
+  int shot_count = boundaries + 1;
+  double total_frames = profile.duration_seconds * board.fps * scale;
+  double mean_len = std::max(4.0, total_frames / shot_count);
+
+  std::vector<int> scenes_seen;
+  int next_scene = 0;
+  int last_scene = -1;
+
+  for (int i = 0; i < shot_count; ++i) {
+    ShotSpec shot;
+    shot.label = "shot" + std::to_string(i + 1);
+    shot.cartoon = profile.cartoon;
+    shot.high_contrast = profile.high_contrast;
+    shot.noise_stddev = profile.noise_stddev;
+    shot.flash_prob = profile.flash_prob;
+    shot.camera.jitter = profile.jitter;
+
+    // Length: mostly around the mean, with a fraction of rapid cuts.
+    if (rng.NextDouble() < profile.short_shot_prob) {
+      shot.frame_count = rng.NextInt(3, 5);
+    } else {
+      shot.frame_count = std::max(
+          3, static_cast<int>(std::lround(mean_len *
+                                          rng.NextDouble(0.5, 1.6))));
+    }
+
+    // Scene: revisit a known location or cut to a new one.
+    if (!scenes_seen.empty() && (rng.NextDouble() < profile.revisit_prob ||
+                                 next_scene >= profile.num_scenes)) {
+      shot.scene_id = scenes_seen[static_cast<size_t>(
+          rng.NextBounded(static_cast<uint32_t>(scenes_seen.size())))];
+    } else {
+      shot.scene_id = next_scene++;
+      scenes_seen.push_back(shot.scene_id);
+    }
+
+    // Framing: always re-framed so cuts inside one scene stay visible. A
+    // same-scene consecutive cut additionally changes zoom.
+    shot.camera.start_x = rng.NextDouble(-800.0, 800.0);
+    shot.camera.start_y = rng.NextDouble(-250.0, 250.0);
+    constexpr double kZooms[] = {0.8, 1.0, 1.25, 1.5};
+    shot.camera.start_zoom = kZooms[rng.NextBounded(4)];
+    if (shot.scene_id == last_scene) {
+      shot.camera.start_zoom *= rng.NextDouble() < 0.5 ? 0.7 : 1.4;
+    }
+
+    // Camera motion.
+    double motion_draw = rng.NextDouble();
+    double speed =
+        rng.NextDouble(profile.cam_speed_lo, profile.cam_speed_hi) *
+        (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+    if (motion_draw < profile.pan_prob) {
+      shot.camera.type = CameraMotionType::kPan;
+      shot.camera.speed = speed;
+    } else if (motion_draw < profile.pan_prob + profile.zoom_prob) {
+      shot.camera.type = CameraMotionType::kZoom;
+      shot.camera.zoom_rate = rng.NextDouble() < 0.5 ? 1.012 : 0.988;
+    } else if (motion_draw <
+               profile.pan_prob + profile.zoom_prob + profile.tilt_prob) {
+      shot.camera.type = CameraMotionType::kTilt;
+      shot.camera.speed = speed * 0.5;
+    }
+
+    // Foreground. Cartoon figures are larger, roam the whole frame and
+    // routinely occlude the background area — part of why cartoons are a
+    // hard genre for background tracking (Table 5).
+    int sprite_count = rng.NextInt(profile.sprites_lo, profile.sprites_hi);
+    for (int k = 0; k < sprite_count; ++k) {
+      SpriteSpec s;
+      s.shape = rng.NextDouble() < 0.7 ? SpriteShape::kPerson
+                                       : SpriteShape::kEllipse;
+      s.center_x = rng.NextDouble(0.2, 0.8);
+      s.center_y = profile.cartoon ? rng.NextDouble(0.25, 0.85)
+                                   : rng.NextDouble(0.6, 0.85);
+      s.radius_x = sprite_count == 1 && rng.NextDouble() < 0.5
+                       ? rng.NextDouble(0.12, 0.2)
+                       : rng.NextDouble(0.05, 0.11);
+      if (profile.cartoon) {
+        s.radius_x *= rng.NextDouble(1.3, 2.0);
+      }
+      s.radius_y = s.radius_x * rng.NextDouble(1.2, 1.8);
+      s.velocity_x = rng.NextDouble(-1.0, 1.0) * profile.sprite_speed_hi;
+      s.velocity_y = rng.NextDouble(-0.3, 0.3) * profile.sprite_speed_hi;
+      s.wobble = rng.NextDouble(0.5, 2.0);
+      s.color = PixelRGB(static_cast<uint8_t>(rng.NextInt(60, 230)),
+                         static_cast<uint8_t>(rng.NextInt(60, 230)),
+                         static_cast<uint8_t>(rng.NextInt(60, 230)));
+      shot.sprites.push_back(s);
+    }
+
+    // Transition into this shot.
+    if (i > 0) {
+      double t = rng.NextDouble();
+      if (t < profile.dissolve_prob) {
+        shot.transition_in = TransitionType::kDissolve;
+        shot.transition_frames = rng.NextInt(3, 5);
+      } else if (t < profile.dissolve_prob + profile.fade_prob) {
+        shot.transition_in = TransitionType::kFade;
+        shot.transition_frames = rng.NextInt(2, 4);
+      }
+    }
+
+    shot.motion_class = ClassifyShot(shot);
+    last_scene = shot.scene_id;
+    board.shots.push_back(std::move(shot));
+  }
+  return board;
+}
+
+namespace {
+
+// Movie clips built from explicit shot-class templates so the retrieval
+// experiments have balanced, labelled classes.
+Storyboard MovieStoryboard(const std::string& name, uint64_t seed,
+                           int shot_count) {
+  Pcg32 rng(NameSeed(name, seed), 0xf11f);
+  Storyboard board;
+  board.name = name;
+  board.seed = NameSeed(name, seed ^ 0x5eed);
+  board.fps = 3.0;
+
+  constexpr const char* kClasses[] = {"closeup-talk", "distant-talk",
+                                      "moving-object", "camera-motion",
+                                      "static"};
+  int num_scenes = 10;
+
+  for (int i = 0; i < shot_count; ++i) {
+    ShotSpec shot;
+    shot.label = "shot" + std::to_string(i + 1);
+    shot.noise_stddev = 1.5;
+    shot.frame_count = rng.NextInt(18, 60);
+    shot.scene_id = rng.NextInt(0, num_scenes - 1);
+    shot.camera.start_x = rng.NextDouble(-800.0, 800.0);
+    shot.camera.start_y = rng.NextDouble(-250.0, 250.0);
+    constexpr double kZooms[] = {0.8, 1.0, 1.25, 1.5};
+    shot.camera.start_zoom = kZooms[rng.NextBounded(4)];
+
+    const char* cls = kClasses[i % 5];
+    shot.motion_class = cls;
+    std::string c(cls);
+    if (c == "closeup-talk") {
+      // A tracking closeup: the camera drifts slowly while the talking
+      // head fills the object area, so the background sign varies but the
+      // object sign barely does. This is the paper's Figure-8 class
+      // (large positive D^v).
+      shot.camera.type = CameraMotionType::kPan;
+      // Total drift of 100-180 world px regardless of shot length.
+      shot.camera.speed = rng.NextDouble(100.0, 180.0) / shot.frame_count *
+                          (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+      SpriteSpec s;
+      s.shape = SpriteShape::kPerson;
+      s.center_x = rng.NextDouble(0.48, 0.52);
+      s.center_y = rng.NextDouble(0.6, 0.65);
+      s.radius_x = rng.NextDouble(0.36, 0.4);
+      s.radius_y = s.radius_x * 1.3;
+      s.wobble = rng.NextDouble(0.2, 0.5);
+      s.color = PixelRGB(static_cast<uint8_t>(rng.NextInt(150, 230)),
+                         static_cast<uint8_t>(rng.NextInt(120, 190)),
+                         static_cast<uint8_t>(rng.NextInt(110, 170)));
+      shot.sprites.push_back(s);
+    } else if (c == "distant-talk") {
+      // Two small figures, very slow drift: mildly positive D^v with a
+      // modest background variance (the paper's Figure-9 class).
+      shot.camera.type = CameraMotionType::kPan;
+      // Total drift of 45-80 world px regardless of shot length.
+      shot.camera.speed = rng.NextDouble(45.0, 80.0) / shot.frame_count *
+                          (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+      for (int k = 0; k < 2; ++k) {
+        SpriteSpec s;
+        s.shape = SpriteShape::kPerson;
+        s.center_x = k == 0 ? rng.NextDouble(0.25, 0.4)
+                            : rng.NextDouble(0.6, 0.75);
+        s.center_y = rng.NextDouble(0.72, 0.82);
+        s.radius_x = rng.NextDouble(0.05, 0.08);
+        s.radius_y = s.radius_x * 1.7;
+        s.wobble = rng.NextDouble(0.15, 0.3);
+        s.color = PixelRGB(static_cast<uint8_t>(rng.NextInt(80, 220)),
+                           static_cast<uint8_t>(rng.NextInt(80, 200)),
+                           static_cast<uint8_t>(rng.NextInt(80, 200)));
+        shot.sprites.push_back(s);
+      }
+    } else if (c == "moving-object") {
+      // A slow tracking pan following an object crossing the frame: the
+      // object area churns at least as much as the background (negative
+      // D^v, the paper's Figure-10 class).
+      shot.camera.type = CameraMotionType::kPan;
+      // Slow tracking pan: 40-90 world px in total.
+      shot.camera.speed = rng.NextDouble(40.0, 90.0) / shot.frame_count *
+                          (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+      SpriteSpec s;
+      s.shape = rng.NextDouble() < 0.5 ? SpriteShape::kPerson
+                                       : SpriteShape::kEllipse;
+      s.center_x = rng.NextDouble(0.2, 0.8);
+      s.center_y = rng.NextDouble(0.6, 0.8);
+      s.radius_x = rng.NextDouble(0.1, 0.16);
+      s.radius_y = s.radius_x * rng.NextDouble(1.0, 1.7);
+      s.velocity_x = rng.NextDouble(2.0, 3.2) *
+                     (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+      s.velocity_y = rng.NextDouble(-0.4, 0.4);
+      s.color = PixelRGB(static_cast<uint8_t>(rng.NextInt(60, 230)),
+                         static_cast<uint8_t>(rng.NextInt(60, 230)),
+                         static_cast<uint8_t>(rng.NextInt(60, 230)));
+      shot.sprites.push_back(s);
+    } else if (c == "camera-motion") {
+      // Fast pan with no foreground subject: both areas change a lot
+      // (large background variance, D^v near zero).
+      shot.camera.type = CameraMotionType::kPan;
+      // Sweeping pan: 350-550 world px in total.
+      shot.camera.speed = rng.NextDouble(350.0, 550.0) / shot.frame_count *
+                          (rng.NextDouble() < 0.5 ? -1.0 : 1.0);
+    }
+    // "static": neither camera motion nor sprites.
+
+    board.shots.push_back(std::move(shot));
+  }
+  return board;
+}
+
+}  // namespace
+
+Storyboard SimonBirchStoryboard(int shot_count) {
+  return MovieStoryboard("Simon Birch (synthetic)", 1998, shot_count);
+}
+
+Storyboard WagTheDogStoryboard(int shot_count) {
+  return MovieStoryboard("Wag the Dog (synthetic)", 1997, shot_count);
+}
+
+}  // namespace vdb

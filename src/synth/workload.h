@@ -1,0 +1,67 @@
+#ifndef VDB_SYNTH_WORKLOAD_H_
+#define VDB_SYNTH_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/storyboard.h"
+
+namespace vdb {
+
+// Profile of one test clip, mirroring a row of the paper's Table 5 plus the
+// knobs the synthetic generator needs to imitate that clip's character.
+struct ClipProfile {
+  std::string name;      // e.g. "Silk Stalkings (Drama)"
+  std::string category;  // "TV Programs", "News", "Movies", ...
+
+  // Paper-reported values (for the comparison columns of the bench).
+  double duration_seconds = 0.0;
+  int shot_changes = 0;
+  double paper_recall = 0.0;
+  double paper_precision = 0.0;
+
+  // Generation knobs.
+  int num_scenes = 8;           // distinct locations
+  double revisit_prob = 0.5;    // chance a shot returns to a seen scene
+  double pan_prob = 0.2;        // camera motion mix (rest is static)
+  double zoom_prob = 0.1;
+  double tilt_prob = 0.05;
+  double cam_speed_lo = 1.0;    // world px / frame
+  double cam_speed_hi = 3.0;
+  int sprites_lo = 0;
+  int sprites_hi = 2;
+  double sprite_speed_hi = 1.0;  // px / frame
+  double noise_stddev = 1.5;
+  double flash_prob = 0.0;       // per-frame flash probability
+  double dissolve_prob = 0.0;    // fraction of cuts that become dissolves
+  double fade_prob = 0.0;
+  double jitter = 0.0;           // handheld camera
+  double short_shot_prob = 0.05; // chance of a very short (3-5 frame) shot
+  bool cartoon = false;
+  bool high_contrast = false;
+};
+
+// The 22 clips of Table 5 (names, durations, shot-change counts and the
+// paper's recall/precision), each with generation knobs chosen to imitate
+// its genre: cartoons are flat and fast, talk shows flash and cut quickly,
+// documentaries dissolve, sports pan hard, and so on.
+std::vector<ClipProfile> Table5Profiles();
+
+// Builds a storyboard imitating `profile`. `scale` in (0, 1] shrinks both
+// the duration and the number of shot changes (the full set is ~50k frames;
+// the benches default to a fraction of that). Deterministic in
+// (profile.name, seed, scale).
+Storyboard MakeStoryboardFromProfile(const ClipProfile& profile,
+                                     double scale, uint64_t seed);
+
+// Storyboards imitating the two movie clips of the indexing experiments
+// (Table 4, Figures 8-10). Each contains a balanced mix of the paper's
+// qualitative shot classes — talking-head closeups, two people at a
+// distance, single moving objects with changing backgrounds — recorded in
+// ShotTruth::motion_class so retrieval quality is checkable.
+Storyboard SimonBirchStoryboard(int shot_count = 40);
+Storyboard WagTheDogStoryboard(int shot_count = 40);
+
+}  // namespace vdb
+
+#endif  // VDB_SYNTH_WORKLOAD_H_

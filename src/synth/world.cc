@@ -1,0 +1,123 @@
+#include "synth/world.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "video/color.h"
+
+namespace vdb {
+
+uint64_t HashU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+SceneWorld::SceneWorld(uint64_t scene_seed) : seed_(scene_seed) {
+  // Palette: hue hops around the wheel by the golden angle so consecutive
+  // scene ids land far apart; value and saturation vary moderately.
+  uint64_t h = HashU64(scene_seed);
+  double hue = std::fmod(static_cast<double>(h % 360) * 137.50776405, 360.0);
+  double sat = 0.25 + 0.35 * static_cast<double>((h >> 16) % 1000) / 1000.0;
+  double val = 0.45 + 0.40 * static_cast<double>((h >> 32) % 1000) / 1000.0;
+  base_ = HsvToRgb(ColorHSV{hue, sat, val});
+}
+
+void SceneWorld::SetCartoonStyle() {
+  flat_shading_ = true;
+  noise_amplitude_ = 4.0;
+  band_amplitude_ = 22.0;
+  ColorHSV hsv = RgbToHsv(base_);
+  hsv.s = Clamp(hsv.s + 0.35, 0.0, 1.0);
+  hsv.v = Clamp(hsv.v + 0.15, 0.0, 1.0);
+  base_ = HsvToRgb(hsv);
+}
+
+void SceneWorld::SetHighContrast() {
+  noise_amplitude_ = 26.0;
+  band_amplitude_ = 20.0;
+}
+
+double SceneWorld::LatticeValue(int64_t ix, int64_t iy, uint64_t salt) const {
+  uint64_t h = HashU64(seed_ ^ salt ^
+                       (static_cast<uint64_t>(ix) * 0x9e3779b97f4a7c15ULL) ^
+                       (static_cast<uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL));
+  return static_cast<double>(h % 100000) / 100000.0;
+}
+
+double SceneWorld::ValueNoise(double x, double y, uint64_t salt) const {
+  double fx = std::floor(x);
+  double fy = std::floor(y);
+  int64_t ix = static_cast<int64_t>(fx);
+  int64_t iy = static_cast<int64_t>(fy);
+  double tx = x - fx;
+  double ty = y - fy;
+  // Smoothstep weights for continuous gradients.
+  double sx = tx * tx * (3.0 - 2.0 * tx);
+  double sy = ty * ty * (3.0 - 2.0 * ty);
+  double v00 = LatticeValue(ix, iy, salt);
+  double v10 = LatticeValue(ix + 1, iy, salt);
+  double v01 = LatticeValue(ix, iy + 1, salt);
+  double v11 = LatticeValue(ix + 1, iy + 1, salt);
+  double a = v00 + (v10 - v00) * sx;
+  double b = v01 + (v11 - v01) * sx;
+  return a + (b - a) * sy;  // in [0, 1)
+}
+
+PixelRGB SceneWorld::Sample(double wx, double wy) const {
+  // Broad horizontal bands: wall, trim, floor.
+  double band = std::sin(wy / 70.0 + static_cast<double>(seed_ % 7));
+  double offset = band_amplitude_ * band;
+
+  if (flat_shading_) {
+    // Cartoon: quantized bands, barely any noise.
+    offset = band_amplitude_ * (band > 0.2 ? 1.0 : (band < -0.2 ? -1.0 : 0.0));
+  }
+
+  // Three octaves of value noise: very large features (so panning and
+  // re-framing really change the background average), large features, and
+  // fine grain.
+  double n00 = ValueNoise(wx / 1100.0, wy / 1100.0, 0x0ddba11) - 0.5;
+  double n0 = ValueNoise(wx / 420.0, wy / 420.0, 0xbead5eed) - 0.5;
+  double n1 = ValueNoise(wx / 80.0, wy / 80.0, 0x5ca1ab1e) - 0.5;
+  double n2 = ValueNoise(wx / 18.0, wy / 18.0, 0xdecafbad) - 0.5;
+  offset += noise_amplitude_ * (1.5 * n00 + 1.6 * n0 + 1.4 * n1 + 0.6 * n2);
+
+  // Furniture: each 64x64 cell may hold one solid rectangle with its own
+  // colour shift, giving the signature long structured runs.
+  int64_t cell_x = static_cast<int64_t>(std::floor(wx / 64.0));
+  int64_t cell_y = static_cast<int64_t>(std::floor(wy / 64.0));
+  uint64_t cell_hash =
+      HashU64(seed_ ^ 0xfeedface ^
+              (static_cast<uint64_t>(cell_x) * 0x100000001b3ULL) ^
+              (static_cast<uint64_t>(cell_y) * 0x85ebca77c2b2ae63ULL));
+  double furniture = 0.0;
+  if ((cell_hash & 3) == 0) {  // 25% of cells
+    double local_x = wx - static_cast<double>(cell_x) * 64.0;
+    double local_y = wy - static_cast<double>(cell_y) * 64.0;
+    double rx = 8.0 + static_cast<double>((cell_hash >> 8) % 24);
+    double ry = 8.0 + static_cast<double>((cell_hash >> 16) % 24);
+    double rw = 14.0 + static_cast<double>((cell_hash >> 24) % 30);
+    double rh = 14.0 + static_cast<double>((cell_hash >> 32) % 30);
+    if (local_x >= rx && local_x < rx + rw && local_y >= ry &&
+        local_y < ry + rh) {
+      furniture = ((cell_hash >> 40) & 1) ? 30.0 : -30.0;
+    }
+  }
+
+  // Chroma variation: large-scale colour casts (sunlit vs. shaded walls,
+  // coloured furniture groups) so different framings of a scene differ in
+  // colour, not just brightness.
+  double c1 = ValueNoise(wx / 520.0, wy / 520.0, 0xc0ffee11) - 0.5;
+  double c2 = ValueNoise(wx / 260.0, wy / 260.0, 0xc0ffee22) - 0.5;
+  double chroma_r = noise_amplitude_ * (1.2 * c1 + 0.5 * c2);
+  double chroma_b = -noise_amplitude_ * (1.0 * c1 - 0.7 * c2);
+
+  double total = offset + furniture;
+  return PixelRGB(ClampToByte(base_.r + total + chroma_r),
+                  ClampToByte(base_.g + total),
+                  ClampToByte(base_.b + total + chroma_b));
+}
+
+}  // namespace vdb

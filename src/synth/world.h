@@ -1,0 +1,54 @@
+#ifndef VDB_SYNTH_WORLD_H_
+#define VDB_SYNTH_WORLD_H_
+
+#include <cstdint>
+
+#include "video/pixel.h"
+
+namespace vdb {
+
+// A procedural, infinite 2-D "location" that synthetic shots are filmed in.
+// Shots with the same scene id sample the same world, so revisited scenes
+// share a background — which is exactly what the paper's RELATIONSHIP test
+// and camera-tracking SBD key on.
+//
+// The texture is a per-scene palette (well separated across scene ids)
+// modulated by deterministic value noise (two octaves), broad horizontal
+// bands (wall/floor structure) and a sparse grid of solid "furniture"
+// rectangles. Large-scale contrast is tuned so that a camera jump within a
+// scene moves the background sign by more than the SBD stage-1 tolerance
+// but far less than the RELATIONSHIP threshold.
+class SceneWorld {
+ public:
+  // `scene_seed` combines the storyboard seed and the scene id.
+  explicit SceneWorld(uint64_t scene_seed);
+
+  // Colour of the world at (wx, wy); defined for all coordinates.
+  PixelRGB Sample(double wx, double wy) const;
+
+  // The palette mean this world is built around.
+  PixelRGB base_color() const { return base_; }
+
+  // Style knobs (set before first Sample call):
+  // Flat, high-saturation look with bolder furniture (cartoons).
+  void SetCartoonStyle();
+  // Stronger large-scale contrast (outdoor/sports scenes).
+  void SetHighContrast();
+
+ private:
+  double ValueNoise(double x, double y, uint64_t salt) const;
+  double LatticeValue(int64_t ix, int64_t iy, uint64_t salt) const;
+
+  uint64_t seed_;
+  PixelRGB base_;
+  double noise_amplitude_ = 18.0;
+  double band_amplitude_ = 14.0;
+  bool flat_shading_ = false;
+};
+
+// SplitMix64; the library's standard integer hash.
+uint64_t HashU64(uint64_t x);
+
+}  // namespace vdb
+
+#endif  // VDB_SYNTH_WORLD_H_

@@ -1,0 +1,34 @@
+#ifndef VDB_UTIL_CSV_WRITER_H_
+#define VDB_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vdb {
+
+// Accumulates rows and writes an RFC-4180-style CSV file. Cells containing
+// commas, quotes, or newlines are quoted. Used by benches to dump raw series
+// alongside the printed tables.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Writes header plus all rows to `path`, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+  std::string ToString() const;
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_CSV_WRITER_H_

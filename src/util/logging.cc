@@ -1,0 +1,66 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace vdb {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << '[' << LevelTag(level) << ' ' << Basename(file) << ':' << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ':' << line << "] Check failed: "
+          << condition << ' ';
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << '\n';
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace vdb

@@ -1,0 +1,78 @@
+#ifndef VDB_UTIL_LOGGING_H_
+#define VDB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vdb {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global log threshold; messages below it are discarded. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns a streamed expression into void so it can sit on one arm of a
+// ternary whose other arm is (void)0.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace vdb
+
+#define VDB_LOG(level)                                                 \
+  ::vdb::internal_logging::LogMessage(::vdb::LogLevel::k##level,       \
+                                      __FILE__, __LINE__)              \
+      .stream()
+
+// Invariant check, enabled in all build modes. On failure, logs the failed
+// condition plus any streamed detail and aborts.
+#define VDB_CHECK(condition)                                  \
+  (condition) ? (void)0                                       \
+              : ::vdb::internal_logging::Voidify() &          \
+                    ::vdb::internal_logging::FatalLogMessage( \
+                        __FILE__, __LINE__, #condition)       \
+                        .stream()
+
+#endif  // VDB_UTIL_LOGGING_H_

@@ -1,0 +1,34 @@
+#include "util/math_util.h"
+
+namespace vdb {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double PopulationVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double PaperVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+}  // namespace vdb

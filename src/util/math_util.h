@@ -1,0 +1,43 @@
+#ifndef VDB_UTIL_MATH_UTIL_H_
+#define VDB_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vdb {
+
+// Clamps v to [lo, hi].
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// Clamps an int to the valid 8-bit channel range.
+inline uint8_t ClampToByte(int v) {
+  return static_cast<uint8_t>(Clamp(v, 0, 255));
+}
+inline uint8_t ClampToByte(double v) {
+  return static_cast<uint8_t>(Clamp(static_cast<int>(std::lround(v)), 0, 255));
+}
+
+// Population mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// Population variance (divide by N); 0 for fewer than 2 values.
+double PopulationVariance(const std::vector<double>& values);
+
+// The paper's variance (Eqs. 3 and 5) divides by (l - k), i.e. N - 1 for a
+// shot with N frames, while the mean (Eqs. 4, 6) divides by N. Returns 0 for
+// fewer than 2 values.
+double PaperVariance(const std::vector<double>& values);
+
+// True if |a - b| <= eps.
+inline bool Near(double a, double b, double eps = 1e-9) {
+  return std::fabs(a - b) <= eps;
+}
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_MATH_UTIL_H_

@@ -1,0 +1,58 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vdb {
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+Status ParallelFor(int n, int num_threads,
+                   const std::function<Status(int)>& fn) {
+  if (n <= 0) return Status::Ok();
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (int i = 0; i < n; ++i) {
+      VDB_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+
+  std::mutex mu;
+  Status first_error;
+  auto worker = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error.ok()) return;  // stop early on failure
+      }
+      Status s = fn(i);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  int chunk = (n + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    int begin = t * chunk;
+    int end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back(worker, begin, end);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return first_error;
+}
+
+}  // namespace vdb

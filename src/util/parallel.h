@@ -1,0 +1,22 @@
+#ifndef VDB_UTIL_PARALLEL_H_
+#define VDB_UTIL_PARALLEL_H_
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace vdb {
+
+// Number of hardware threads, at least 1.
+int HardwareThreads();
+
+// Runs fn(0) ... fn(n-1) across up to `num_threads` threads (block
+// partitioning, so results written to disjoint slots need no locking).
+// Returns the first non-OK status any call produced; remaining indices in
+// other blocks may still have run. num_threads <= 1 runs inline.
+Status ParallelFor(int n, int num_threads,
+                   const std::function<Status(int)>& fn);
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_PARALLEL_H_

@@ -1,0 +1,14 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace vdb {
+
+double Pcg32::NextGaussian() {
+  // Box-Muller; draw u1 in (0,1] to keep log() finite.
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace vdb

@@ -1,0 +1,71 @@
+#ifndef VDB_UTIL_RANDOM_H_
+#define VDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace vdb {
+
+// Deterministic PCG32 pseudo-random generator (O'Neill, pcg-random.org,
+// pcg32_random_r variant). Used everywhere randomness is needed so that
+// synthetic workloads, tests, and benchmarks are exactly reproducible from a
+// seed.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  // Uniform in [0, 2^32).
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire-style rejection to
+  // avoid modulo bias.
+  uint32_t NextBounded(uint32_t bound) {
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(
+                    NextBounded(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return NextU32() * (1.0 / 4294967296.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Standard-normal variate via Box-Muller (one value per call; the twin is
+  // discarded for simplicity).
+  double NextGaussian();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_RANDOM_H_

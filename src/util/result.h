@@ -1,0 +1,100 @@
+#ifndef VDB_UTIL_RESULT_H_
+#define VDB_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace vdb {
+
+// Result<T> holds either a value of type T or a non-OK Status. This is the
+// return type for fallible operations that produce a value (the library does
+// not use exceptions).
+//
+// Usage:
+//   Result<Video> v = LoadVideo(path);
+//   if (!v.ok()) return v.status();
+//   Use(v.value());
+template <typename T>
+class Result {
+ public:
+  // Constructs from a value (implicit so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  // Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      // A Result built from a Status must carry an error; an OK status with
+      // no value would make value() undefined.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Aborts with a diagnostic otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() called on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vdb
+
+// Assigns the value of a Result expression to `lhs`, or returns its error
+// status from the enclosing function.
+#define VDB_ASSIGN_OR_RETURN(lhs, expr)            \
+  VDB_ASSIGN_OR_RETURN_IMPL_(                      \
+      VDB_MACRO_CONCAT_(vdb_result_tmp_, __LINE__), lhs, expr)
+
+#define VDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define VDB_MACRO_CONCAT_INNER_(a, b) a##b
+#define VDB_MACRO_CONCAT_(a, b) VDB_MACRO_CONCAT_INNER_(a, b)
+
+#endif  // VDB_UTIL_RESULT_H_

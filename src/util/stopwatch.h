@@ -1,0 +1,28 @@
+#ifndef VDB_UTIL_STOPWATCH_H_
+#define VDB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vdb {
+
+// Simple monotonic-clock stopwatch for coarse timing in harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_STOPWATCH_H_

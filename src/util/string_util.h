@@ -1,0 +1,36 @@
+#ifndef VDB_UTIL_STRING_UTIL_H_
+#define VDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdb {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+// True if `s` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Formats a double with `digits` decimal places ("3.14").
+std::string FormatDouble(double v, int digits);
+
+// Formats a duration in seconds as "mm:ss" (paper's Table 5 style).
+std::string FormatMinSec(double seconds);
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_STRING_UTIL_H_

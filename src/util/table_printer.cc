@@ -1,0 +1,74 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+size_t TablePrinter::row_count() const {
+  size_t count = 0;
+  for (const Row& row : rows_) {
+    if (!row.separator) ++count;
+  }
+  return count;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&]() {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ')
+         << '|';
+    }
+    os << '\n';
+  };
+
+  print_cells(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace vdb

@@ -1,0 +1,44 @@
+#ifndef VDB_UTIL_TABLE_PRINTER_H_
+#define VDB_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+// Renders aligned text tables (markdown pipe style). Used by the benchmark
+// harnesses to print paper-style tables.
+//
+//   TablePrinter t({"Shot", "Recall", "Precision"});
+//   t.AddRow({"#1", "0.97", "0.87"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  // Appends a horizontal separator row (rendered like the header rule).
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Number of data rows (separators excluded).
+  size_t row_count() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,76 @@
+#include "video/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace vdb {
+
+ColorHSV RgbToHsv(const PixelRGB& rgb) {
+  double r = rgb.r / 255.0;
+  double g = rgb.g / 255.0;
+  double b = rgb.b / 255.0;
+  double maxc = std::max({r, g, b});
+  double minc = std::min({r, g, b});
+  double delta = maxc - minc;
+
+  ColorHSV out;
+  out.v = maxc;
+  out.s = maxc > 0.0 ? delta / maxc : 0.0;
+  if (delta <= 0.0) {
+    out.h = 0.0;
+  } else if (maxc == r) {
+    out.h = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (maxc == g) {
+    out.h = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (out.h < 0.0) out.h += 360.0;
+  return out;
+}
+
+PixelRGB HsvToRgb(const ColorHSV& hsv) {
+  double h = std::fmod(hsv.h, 360.0);
+  if (h < 0.0) h += 360.0;
+  double s = Clamp(hsv.s, 0.0, 1.0);
+  double v = Clamp(hsv.v, 0.0, 1.0);
+
+  double c = v * s;
+  double hp = h / 60.0;
+  double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  if (hp < 1.0) {
+    r = c, g = x;
+  } else if (hp < 2.0) {
+    r = x, g = c;
+  } else if (hp < 3.0) {
+    g = c, b = x;
+  } else if (hp < 4.0) {
+    g = x, b = c;
+  } else if (hp < 5.0) {
+    r = x, b = c;
+  } else {
+    r = c, b = x;
+  }
+  double m = v - c;
+  return PixelRGB(ClampToByte((r + m) * 255.0), ClampToByte((g + m) * 255.0),
+                  ClampToByte((b + m) * 255.0));
+}
+
+PixelRGB LerpRgb(const PixelRGB& a, const PixelRGB& b, double t) {
+  t = Clamp(t, 0.0, 1.0);
+  return PixelRGB(ClampToByte(a.r + (b.r - a.r) * t),
+                  ClampToByte(a.g + (b.g - a.g) * t),
+                  ClampToByte(a.b + (b.b - a.b) * t));
+}
+
+PixelRGB ScaleRgb(const PixelRGB& p, double factor) {
+  return PixelRGB(ClampToByte(p.r * factor), ClampToByte(p.g * factor),
+                  ClampToByte(p.b * factor));
+}
+
+}  // namespace vdb

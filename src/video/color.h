@@ -1,0 +1,28 @@
+#ifndef VDB_VIDEO_COLOR_H_
+#define VDB_VIDEO_COLOR_H_
+
+#include "video/pixel.h"
+
+namespace vdb {
+
+// HSV colour with h in [0, 360), s and v in [0, 1]. Used by the synthetic
+// renderer for perceptually-spaced palettes and by the histogram baseline.
+struct ColorHSV {
+  double h = 0.0;
+  double s = 0.0;
+  double v = 0.0;
+};
+
+// Standard RGB <-> HSV conversions on 8-bit channels.
+ColorHSV RgbToHsv(const PixelRGB& rgb);
+PixelRGB HsvToRgb(const ColorHSV& hsv);
+
+// Linear interpolation between two colours; t in [0, 1].
+PixelRGB LerpRgb(const PixelRGB& a, const PixelRGB& b, double t);
+
+// Scales all channels by `factor` (clamped to [0, 255]).
+PixelRGB ScaleRgb(const PixelRGB& p, double factor);
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_COLOR_H_

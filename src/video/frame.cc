@@ -1,0 +1,16 @@
+#include "video/frame.h"
+
+namespace vdb {
+
+Frame::Frame(int width, int height, PixelRGB fill)
+    : width_(width), height_(height) {
+  VDB_CHECK(width >= 0 && height >= 0)
+      << "negative frame dimensions " << width << "x" << height;
+  pixels_.assign(pixel_count(), fill);
+}
+
+void Frame::Fill(PixelRGB fill) {
+  for (PixelRGB& p : pixels_) p = fill;
+}
+
+}  // namespace vdb

@@ -1,0 +1,80 @@
+#ifndef VDB_VIDEO_FRAME_H_
+#define VDB_VIDEO_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "video/pixel.h"
+
+namespace vdb {
+
+// A raster of RGB pixels in row-major order. Rows are indexed by y in
+// [0, height), columns by x in [0, width). The paper's frames are 160x120;
+// Frame supports arbitrary sizes.
+class Frame {
+ public:
+  // An empty (0x0) frame.
+  Frame() = default;
+
+  // A width x height frame filled with `fill`.
+  Frame(int width, int height, PixelRGB fill = PixelRGB());
+
+  Frame(const Frame&) = default;
+  Frame& operator=(const Frame&) = default;
+  Frame(Frame&&) noexcept = default;
+  Frame& operator=(Frame&&) noexcept = default;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+  size_t pixel_count() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+
+  PixelRGB& at(int x, int y) {
+    VDB_CHECK(InBounds(x, y)) << "(" << x << "," << y << ") outside "
+                              << width_ << "x" << height_;
+    return pixels_[Index(x, y)];
+  }
+  const PixelRGB& at(int x, int y) const {
+    VDB_CHECK(InBounds(x, y)) << "(" << x << "," << y << ") outside "
+                              << width_ << "x" << height_;
+    return pixels_[Index(x, y)];
+  }
+
+  // Unchecked access for hot loops; caller guarantees bounds.
+  PixelRGB& at_unchecked(int x, int y) { return pixels_[Index(x, y)]; }
+  const PixelRGB& at_unchecked(int x, int y) const {
+    return pixels_[Index(x, y)];
+  }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  // Sets every pixel to `fill`.
+  void Fill(PixelRGB fill);
+
+  const std::vector<PixelRGB>& pixels() const { return pixels_; }
+  std::vector<PixelRGB>& pixels() { return pixels_; }
+
+  friend bool operator==(const Frame& a, const Frame& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+ private:
+  size_t Index(int x, int y) const {
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+           static_cast<size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<PixelRGB> pixels_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_FRAME_H_

@@ -1,0 +1,169 @@
+#include "video/frame_ops.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace vdb {
+
+Result<Frame> Crop(const Frame& frame, const Rect& rect) {
+  if (rect.width <= 0 || rect.height <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("crop rect %dx%d is empty", rect.width, rect.height));
+  }
+  if (rect.x < 0 || rect.y < 0 || rect.Right() > frame.width() ||
+      rect.Bottom() > frame.height()) {
+    return Status::OutOfRange(StrFormat(
+        "crop rect [%d,%d %dx%d] leaves frame %dx%d", rect.x, rect.y,
+        rect.width, rect.height, frame.width(), frame.height()));
+  }
+  Frame out(rect.width, rect.height);
+  for (int y = 0; y < rect.height; ++y) {
+    for (int x = 0; x < rect.width; ++x) {
+      out.at_unchecked(x, y) = frame.at_unchecked(rect.x + x, rect.y + y);
+    }
+  }
+  return out;
+}
+
+Result<Frame> ResizeNearest(const Frame& frame, int new_width,
+                            int new_height) {
+  if (new_width <= 0 || new_height <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("resize target %dx%d is empty", new_width, new_height));
+  }
+  if (frame.empty()) {
+    return Status::FailedPrecondition("resize of an empty frame");
+  }
+  Frame out(new_width, new_height);
+  for (int y = 0; y < new_height; ++y) {
+    int sy = static_cast<int>((static_cast<long>(y) * frame.height()) /
+                              new_height);
+    for (int x = 0; x < new_width; ++x) {
+      int sx = static_cast<int>((static_cast<long>(x) * frame.width()) /
+                                new_width);
+      out.at_unchecked(x, y) = frame.at_unchecked(sx, sy);
+    }
+  }
+  return out;
+}
+
+Result<double> MeanAbsoluteDifference(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return Status::InvalidArgument(
+        StrFormat("frame sizes differ: %dx%d vs %dx%d", a.width(), a.height(),
+                  b.width(), b.height()));
+  }
+  if (a.empty()) {
+    return Status::FailedPrecondition("difference of empty frames");
+  }
+  long acc = 0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    acc += std::abs(static_cast<int>(pa[i].r) - pb[i].r);
+    acc += std::abs(static_cast<int>(pa[i].g) - pb[i].g);
+    acc += std::abs(static_cast<int>(pa[i].b) - pb[i].b);
+  }
+  return static_cast<double>(acc) / (3.0 * static_cast<double>(pa.size()));
+}
+
+ColorHistogram ComputeHistogram(const Frame& frame) {
+  ColorHistogram hist;
+  if (frame.empty()) return hist;
+  constexpr int kShift = 2;  // 256 values -> 64 bins
+  for (const PixelRGB& p : frame.pixels()) {
+    hist.r[p.r >> kShift] += 1.0;
+    hist.g[p.g >> kShift] += 1.0;
+    hist.b[p.b >> kShift] += 1.0;
+  }
+  double n = static_cast<double>(frame.pixel_count());
+  for (int i = 0; i < ColorHistogram::kBins; ++i) {
+    hist.r[i] /= n;
+    hist.g[i] /= n;
+    hist.b[i] /= n;
+  }
+  return hist;
+}
+
+double HistogramDistance(const ColorHistogram& a, const ColorHistogram& b) {
+  double acc = 0.0;
+  for (int i = 0; i < ColorHistogram::kBins; ++i) {
+    acc += std::fabs(a.r[i] - b.r[i]);
+    acc += std::fabs(a.g[i] - b.g[i]);
+    acc += std::fabs(a.b[i] - b.b[i]);
+  }
+  return acc;
+}
+
+Result<Video> TemporalSubsample(const Video& video, int stride) {
+  if (stride < 1) {
+    return Status::InvalidArgument(
+        StrFormat("subsample stride %d must be >= 1", stride));
+  }
+  if (video.empty()) {
+    return Status::InvalidArgument("cannot subsample an empty video");
+  }
+  Video out(video.name(), video.fps() / stride);
+  for (int i = 0; i < video.frame_count(); i += stride) {
+    out.AppendFrame(video.frame(i));
+  }
+  return out;
+}
+
+std::vector<uint8_t> SobelEdges(const Frame& frame, double threshold) {
+  int w = frame.width();
+  int h = frame.height();
+  std::vector<uint8_t> edges(static_cast<size_t>(w) * h, 0);
+  if (w < 3 || h < 3) return edges;
+
+  // Luminance plane.
+  std::vector<double> lum(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      lum[static_cast<size_t>(y) * w + x] =
+          Luminance(frame.at_unchecked(x, y));
+    }
+  }
+
+  for (int y = 1; y < h - 1; ++y) {
+    for (int x = 1; x < w - 1; ++x) {
+      auto l = [&](int dx, int dy) {
+        return lum[static_cast<size_t>(y + dy) * w + (x + dx)];
+      };
+      double gx = -l(-1, -1) - 2 * l(-1, 0) - l(-1, 1) + l(1, -1) +
+                  2 * l(1, 0) + l(1, 1);
+      double gy = -l(-1, -1) - 2 * l(0, -1) - l(1, -1) + l(-1, 1) +
+                  2 * l(0, 1) + l(1, 1);
+      double mag = std::sqrt(gx * gx + gy * gy);
+      edges[static_cast<size_t>(y) * w + x] = mag >= threshold ? 1 : 0;
+    }
+  }
+  return edges;
+}
+
+std::vector<uint8_t> DilateBinary(const std::vector<uint8_t>& map, int width,
+                                  int height, int radius) {
+  VDB_CHECK(static_cast<size_t>(width) * height == map.size())
+      << "dilate: map size mismatch";
+  if (radius <= 0) return map;
+  std::vector<uint8_t> out(map.size(), 0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (!map[static_cast<size_t>(y) * width + x]) continue;
+      int y0 = std::max(0, y - radius);
+      int y1 = std::min(height - 1, y + radius);
+      int x0 = std::max(0, x - radius);
+      int x1 = std::min(width - 1, x + radius);
+      for (int yy = y0; yy <= y1; ++yy) {
+        for (int xx = x0; xx <= x1; ++xx) {
+          out[static_cast<size_t>(yy) * width + xx] = 1;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vdb

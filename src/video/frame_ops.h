@@ -1,0 +1,74 @@
+#ifndef VDB_VIDEO_FRAME_OPS_H_
+#define VDB_VIDEO_FRAME_OPS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "video/frame.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// A rectangular region of a frame: x/y of the top-left corner plus size.
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  int Right() const { return x + width; }
+  int Bottom() const { return y + height; }
+  long Area() const { return static_cast<long>(width) * height; }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x == b.x && a.y == b.y && a.width == b.width &&
+           a.height == b.height;
+  }
+};
+
+// Copies `rect` out of `frame`. Fails if the rect leaves the frame bounds.
+Result<Frame> Crop(const Frame& frame, const Rect& rect);
+
+// Nearest-neighbour resize to new_width x new_height (both > 0).
+Result<Frame> ResizeNearest(const Frame& frame, int new_width,
+                            int new_height);
+
+// Mean absolute per-channel pixel difference between two same-sized frames,
+// in [0, 255]. Used by the pixel-difference SBD baseline.
+Result<double> MeanAbsoluteDifference(const Frame& a, const Frame& b);
+
+// A per-channel colour histogram with `kBins` bins per channel.
+struct ColorHistogram {
+  static constexpr int kBins = 64;
+  std::array<double, kBins> r{};
+  std::array<double, kBins> g{};
+  std::array<double, kBins> b{};
+};
+
+// Normalized (sums to 1 per channel) colour histogram of the frame.
+ColorHistogram ComputeHistogram(const Frame& frame);
+
+// Sum over channels and bins of |ha - hb|, in [0, 6] for normalized
+// histograms. Used by the histogram SBD baselines.
+double HistogramDistance(const ColorHistogram& a, const ColorHistogram& b);
+
+// Binary edge map via Sobel gradient magnitude on luminance, thresholded at
+// `threshold` (typical: 96). Output has one byte per pixel, 0 or 1.
+std::vector<uint8_t> SobelEdges(const Frame& frame, double threshold);
+
+// Temporal subsampling: keeps every `stride`-th frame starting at frame 0
+// and scales the nominal fps accordingly. This is the paper's
+// preprocessing — its clips were digitized at 30 fps and analysed at
+// 3 frames/second (stride 10). Fails for stride < 1 or an empty video.
+Result<Video> TemporalSubsample(const Video& video, int stride);
+
+// Morphological dilation of a binary map by a (2*radius+1)^2 square
+// structuring element. Used by the edge-change-ratio baseline.
+std::vector<uint8_t> DilateBinary(const std::vector<uint8_t>& map, int width,
+                                  int height, int radius);
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_FRAME_OPS_H_

@@ -1,0 +1,120 @@
+#include "video/image_io.h"
+
+#include <cctype>
+#include <fstream>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+// Reads the next whitespace/comment-delimited token of a PNM header.
+Result<std::string> NextPnmToken(std::istream& in) {
+  std::string token;
+  int c;
+  while ((c = in.get()) != EOF) {
+    if (c == '#') {
+      // Comment runs to end of line.
+      while ((c = in.get()) != EOF && c != '\n') {
+      }
+      continue;
+    }
+    if (std::isspace(c)) {
+      if (!token.empty()) return token;
+      continue;
+    }
+    token += static_cast<char>(c);
+  }
+  if (!token.empty()) return token;
+  return Status::Corruption("unexpected end of PNM header");
+}
+
+Result<int> NextPnmInt(std::istream& in, const char* what) {
+  VDB_ASSIGN_OR_RETURN(std::string token, NextPnmToken(in));
+  int value = 0;
+  for (char ch : token) {
+    if (ch < '0' || ch > '9') {
+      return Status::Corruption(
+          StrFormat("PNM %s is not a number: '%s'", what, token.c_str()));
+    }
+    value = value * 10 + (ch - '0');
+    if (value > 1 << 24) {
+      return Status::Corruption(StrFormat("PNM %s too large", what));
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+Status WritePpm(const Frame& frame, const std::string& path) {
+  if (frame.empty()) {
+    return Status::InvalidArgument("cannot write empty frame: " + path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "P6\n" << frame.width() << ' ' << frame.height() << "\n255\n";
+  for (const PixelRGB& p : frame.pixels()) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Frame> ReadPpm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  VDB_ASSIGN_OR_RETURN(std::string magic, NextPnmToken(in));
+  if (magic != "P6") {
+    return Status::Corruption("not a binary PPM (P6): " + path);
+  }
+  VDB_ASSIGN_OR_RETURN(int width, NextPnmInt(in, "width"));
+  VDB_ASSIGN_OR_RETURN(int height, NextPnmInt(in, "height"));
+  VDB_ASSIGN_OR_RETURN(int maxval, NextPnmInt(in, "maxval"));
+  if (width <= 0 || height <= 0) {
+    return Status::Corruption(StrFormat("bad PPM size %dx%d", width, height));
+  }
+  if (maxval != 255) {
+    return Status::Unimplemented(
+        StrFormat("PPM maxval %d unsupported (only 255)", maxval));
+  }
+  Frame frame(width, height);
+  for (PixelRGB& p : frame.pixels()) {
+    char rgb[3];
+    if (!in.read(rgb, 3)) {
+      return Status::Corruption("truncated PPM pixel data: " + path);
+    }
+    p = PixelRGB(static_cast<uint8_t>(rgb[0]), static_cast<uint8_t>(rgb[1]),
+                 static_cast<uint8_t>(rgb[2]));
+  }
+  return frame;
+}
+
+Status WritePgm(const Frame& frame, const std::string& path) {
+  if (frame.empty()) {
+    return Status::InvalidArgument("cannot write empty frame: " + path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "P5\n" << frame.width() << ' ' << frame.height() << "\n255\n";
+  for (const PixelRGB& p : frame.pixels()) {
+    out.put(static_cast<char>(ClampToByte(Luminance(p))));
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb

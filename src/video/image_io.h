@@ -1,0 +1,23 @@
+#ifndef VDB_VIDEO_IMAGE_IO_H_
+#define VDB_VIDEO_IMAGE_IO_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "video/frame.h"
+
+namespace vdb {
+
+// Writes `frame` as a binary PPM (P6) image. Used to export representative
+// frames from scene trees for inspection.
+Status WritePpm(const Frame& frame, const std::string& path);
+
+// Reads a binary PPM (P6) image with 8-bit channels.
+Result<Frame> ReadPpm(const std::string& path);
+
+// Writes the luminance of `frame` as a binary PGM (P5) image.
+Status WritePgm(const Frame& frame, const std::string& path);
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_IMAGE_IO_H_

@@ -1,0 +1,10 @@
+#include "video/pixel.h"
+
+namespace vdb {
+
+std::ostream& operator<<(std::ostream& os, const PixelRGB& p) {
+  return os << '(' << static_cast<int>(p.r) << ',' << static_cast<int>(p.g)
+            << ',' << static_cast<int>(p.b) << ')';
+}
+
+}  // namespace vdb

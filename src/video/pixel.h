@@ -1,0 +1,49 @@
+#ifndef VDB_VIDEO_PIXEL_H_
+#define VDB_VIDEO_PIXEL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace vdb {
+
+// One 24-bit RGB pixel. This is also the type of a frame "sign" (the paper
+// reduces an area of a frame to a single pixel; see Table 2, where a sign is
+// a red/green/blue triple).
+struct PixelRGB {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  constexpr PixelRGB() = default;
+  constexpr PixelRGB(uint8_t red, uint8_t green, uint8_t blue)
+      : r(red), g(green), b(blue) {}
+
+  friend constexpr bool operator==(const PixelRGB& a, const PixelRGB& b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  }
+  friend constexpr bool operator!=(const PixelRGB& a, const PixelRGB& b) {
+    return !(a == b);
+  }
+};
+
+// Maximum absolute per-channel difference (the paper's "max. difference in
+// Sign^BAs", Eq. 2 numerator). Range [0, 255].
+inline int MaxChannelDifference(const PixelRGB& a, const PixelRGB& b) {
+  int dr = std::abs(static_cast<int>(a.r) - static_cast<int>(b.r));
+  int dg = std::abs(static_cast<int>(a.g) - static_cast<int>(b.g));
+  int db = std::abs(static_cast<int>(a.b) - static_cast<int>(b.b));
+  int m = dr > dg ? dr : dg;
+  return m > db ? m : db;
+}
+
+// Average of the three channels, used when a scalar intensity is needed.
+inline double Luminance(const PixelRGB& p) {
+  return (static_cast<double>(p.r) + p.g + p.b) / 3.0;
+}
+
+std::ostream& operator<<(std::ostream& os, const PixelRGB& p);
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_PIXEL_H_

@@ -1,0 +1,14 @@
+#include "video/video.h"
+
+namespace vdb {
+
+void Video::AppendFrame(Frame frame) {
+  if (!frames_.empty()) {
+    VDB_CHECK(frame.width() == width() && frame.height() == height())
+        << "frame size " << frame.width() << "x" << frame.height()
+        << " differs from video size " << width() << "x" << height();
+  }
+  frames_.push_back(std::move(frame));
+}
+
+}  // namespace vdb

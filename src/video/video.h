@@ -1,0 +1,65 @@
+#ifndef VDB_VIDEO_VIDEO_H_
+#define VDB_VIDEO_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "video/frame.h"
+
+namespace vdb {
+
+// An in-memory video clip: a name, a frame rate, and a sequence of
+// equally-sized frames. Frame indices are 0-based throughout the library
+// (the paper numbers frames from 1; benches translate where they mirror a
+// paper table).
+class Video {
+ public:
+  Video() = default;
+  Video(std::string name, double fps) : name_(std::move(name)), fps_(fps) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  double fps() const { return fps_; }
+  void set_fps(double fps) { fps_ = fps; }
+
+  int frame_count() const { return static_cast<int>(frames_.size()); }
+  bool empty() const { return frames_.empty(); }
+
+  // Frame dimensions; 0 when the video has no frames.
+  int width() const { return frames_.empty() ? 0 : frames_.front().width(); }
+  int height() const {
+    return frames_.empty() ? 0 : frames_.front().height();
+  }
+
+  // Duration in seconds at the nominal frame rate.
+  double DurationSeconds() const {
+    return fps_ > 0 ? frame_count() / fps_ : 0.0;
+  }
+
+  // Appends a frame. All frames must share the first frame's dimensions.
+  void AppendFrame(Frame frame);
+
+  const Frame& frame(int index) const {
+    VDB_CHECK(index >= 0 && index < frame_count())
+        << "frame " << index << " of " << frame_count();
+    return frames_[static_cast<size_t>(index)];
+  }
+  Frame& frame(int index) {
+    VDB_CHECK(index >= 0 && index < frame_count())
+        << "frame " << index << " of " << frame_count();
+    return frames_[static_cast<size_t>(index)];
+  }
+
+  const std::vector<Frame>& frames() const { return frames_; }
+
+ private:
+  std::string name_;
+  double fps_ = 30.0;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_VIDEO_H_

@@ -1,0 +1,329 @@
+#include "video/video_io.h"
+
+#include <cstring>
+#include <memory>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'D', 'B', 'V', 'I', 'D', '0', '1'};
+constexpr uint32_t kFlagRle = 1u << 0;
+constexpr uint32_t kMaxReasonableDim = 1 << 16;
+constexpr uint32_t kMaxReasonableFrames = 1 << 24;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+bool GetBytes(std::istream& in, void* dst, size_t n) {
+  return static_cast<bool>(in.read(static_cast<char*>(dst),
+                                   static_cast<std::streamsize>(n)));
+}
+
+Result<uint32_t> GetU32(std::istream& in, const char* what) {
+  uint8_t b[4];
+  if (!GetBytes(in, b, 4)) {
+    return Status::Corruption(StrFormat("truncated file reading %s", what));
+  }
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+Result<uint64_t> GetU64(std::istream& in, const char* what) {
+  VDB_ASSIGN_OR_RETURN(uint32_t lo, GetU32(in, what));
+  VDB_ASSIGN_OR_RETURN(uint32_t hi, GetU32(in, what));
+  return static_cast<uint64_t>(hi) << 32 | lo;
+}
+
+// Serializes a frame's pixels as a raw byte stream (r,g,b per pixel).
+std::string FrameBytes(const Frame& frame) {
+  std::string raw;
+  raw.reserve(frame.pixel_count() * 3);
+  for (const PixelRGB& p : frame.pixels()) {
+    raw.push_back(static_cast<char>(p.r));
+    raw.push_back(static_cast<char>(p.g));
+    raw.push_back(static_cast<char>(p.b));
+  }
+  return raw;
+}
+
+// RLE over whole pixels: (run_length:u8, r, g, b) tuples, runs capped at 255.
+std::string RleEncode(const Frame& frame) {
+  std::string out;
+  const auto& pixels = frame.pixels();
+  size_t i = 0;
+  while (i < pixels.size()) {
+    size_t run = 1;
+    while (i + run < pixels.size() && run < 255 &&
+           pixels[i + run] == pixels[i]) {
+      ++run;
+    }
+    out.push_back(static_cast<char>(run));
+    out.push_back(static_cast<char>(pixels[i].r));
+    out.push_back(static_cast<char>(pixels[i].g));
+    out.push_back(static_cast<char>(pixels[i].b));
+    i += run;
+  }
+  return out;
+}
+
+Status RleDecode(const std::string& payload, Frame* frame) {
+  auto& pixels = frame->pixels();
+  size_t out = 0;
+  size_t i = 0;
+  while (i + 4 <= payload.size()) {
+    size_t run = static_cast<uint8_t>(payload[i]);
+    PixelRGB p(static_cast<uint8_t>(payload[i + 1]),
+               static_cast<uint8_t>(payload[i + 2]),
+               static_cast<uint8_t>(payload[i + 3]));
+    if (run == 0 || out + run > pixels.size()) {
+      return Status::Corruption("RLE run overflows frame");
+    }
+    for (size_t k = 0; k < run; ++k) pixels[out++] = p;
+    i += 4;
+  }
+  if (i != payload.size() || out != pixels.size()) {
+    return Status::Corruption("RLE payload does not cover frame exactly");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Fnv1a32(const uint8_t* data, size_t size) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+Status WriteVideoFile(const Video& video, const std::string& path,
+                      const VideoWriteOptions& options) {
+  if (video.empty()) {
+    return Status::InvalidArgument("cannot write empty video: " + path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+
+  std::string header(kMagic, sizeof(kMagic));
+  uint32_t flags = options.rle_compress ? kFlagRle : 0;
+  PutU32(&header, flags);
+  PutU32(&header, static_cast<uint32_t>(video.width()));
+  PutU32(&header, static_cast<uint32_t>(video.height()));
+  PutU32(&header, static_cast<uint32_t>(video.frame_count()));
+  uint64_t fps_bits;
+  double fps = video.fps();
+  std::memcpy(&fps_bits, &fps, sizeof(fps_bits));
+  PutU64(&header, fps_bits);
+  PutU32(&header, static_cast<uint32_t>(video.name().size()));
+  header += video.name();
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  for (int i = 0; i < video.frame_count(); ++i) {
+    // Per frame, pick whichever encoding is smaller: RLE expands noisy
+    // content (4 bytes per 1-pixel run), so each record carries its own
+    // encoding byte.
+    std::string payload;
+    uint8_t encoding = 0;  // raw
+    if (options.rle_compress) {
+      payload = RleEncode(video.frame(i));
+      encoding = 1;
+    }
+    if (!options.rle_compress ||
+        payload.size() >= video.frame(i).pixel_count() * 3) {
+      payload = FrameBytes(video.frame(i));
+      encoding = 0;
+    }
+    std::string rec;
+    rec.push_back(static_cast<char>(encoding));
+    PutU32(&rec, static_cast<uint32_t>(payload.size()));
+    PutU32(&rec, Fnv1a32(reinterpret_cast<const uint8_t*>(payload.data()),
+                         payload.size()));
+    out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+VideoFileReader::~VideoFileReader() = default;
+VideoFileReader::VideoFileReader(VideoFileReader&&) noexcept = default;
+VideoFileReader& VideoFileReader::operator=(VideoFileReader&&) noexcept =
+    default;
+
+Result<VideoFileReader> VideoFileReader::Open(const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[8];
+  if (!GetBytes(*in, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic; not a .vdb video file: " + path);
+  }
+  VDB_ASSIGN_OR_RETURN(uint32_t flags, GetU32(*in, "flags"));
+  (void)flags;  // per-frame encoding bytes carry the real decision
+  VDB_ASSIGN_OR_RETURN(uint32_t width, GetU32(*in, "width"));
+  VDB_ASSIGN_OR_RETURN(uint32_t height, GetU32(*in, "height"));
+  VDB_ASSIGN_OR_RETURN(uint32_t frame_count, GetU32(*in, "frame count"));
+  VDB_ASSIGN_OR_RETURN(uint64_t fps_bits, GetU64(*in, "fps"));
+  VDB_ASSIGN_OR_RETURN(uint32_t name_len, GetU32(*in, "name length"));
+
+  if (width == 0 || height == 0 || width > kMaxReasonableDim ||
+      height > kMaxReasonableDim) {
+    return Status::Corruption(
+        StrFormat("implausible dimensions %ux%u", width, height));
+  }
+  if (frame_count == 0 || frame_count > kMaxReasonableFrames) {
+    return Status::Corruption(
+        StrFormat("implausible frame count %u", frame_count));
+  }
+  if (name_len > 4096) {
+    return Status::Corruption(StrFormat("implausible name length %u",
+                                        name_len));
+  }
+  std::string name(name_len, '\0');
+  if (name_len > 0 && !GetBytes(*in, name.data(), name_len)) {
+    return Status::Corruption("truncated file reading name");
+  }
+
+  VideoFileReader reader;
+  reader.in_ = std::move(in);
+  reader.name_ = std::move(name);
+  std::memcpy(&reader.fps_, &fps_bits, sizeof(reader.fps_));
+  reader.width_ = static_cast<int>(width);
+  reader.height_ = static_cast<int>(height);
+  reader.frame_count_ = static_cast<int>(frame_count);
+  reader.offsets_.assign(static_cast<size_t>(reader.frame_count_), -1);
+  reader.offsets_[0] = reader.in_->tellg();
+  return reader;
+}
+
+Status VideoFileReader::SeekToFrame(int frame_index) {
+  if (frame_index < 0 || frame_index >= frame_count_) {
+    return Status::OutOfRange(StrFormat("frame %d of %d", frame_index,
+                                        frame_count_));
+  }
+  // Start from the nearest known record offset at or before the target.
+  int start = frame_index;
+  while (offsets_[static_cast<size_t>(start)] < 0) {
+    --start;  // offset 0 is always known
+  }
+  in_->clear();
+  in_->seekg(offsets_[static_cast<size_t>(start)]);
+  frames_read_ = start;
+
+  // Skip whole records (header read, payload seeked over) up to the
+  // target, recording offsets on the way.
+  while (frames_read_ < frame_index) {
+    uint8_t encoding = 0;
+    if (!GetBytes(*in_, &encoding, 1)) {
+      return Status::Corruption(
+          StrFormat("truncated frame %d header", frames_read_));
+    }
+    VDB_ASSIGN_OR_RETURN(uint32_t payload_len,
+                         GetU32(*in_, "payload length"));
+    VDB_ASSIGN_OR_RETURN(uint32_t checksum, GetU32(*in_, "checksum"));
+    (void)checksum;  // verified when the frame is actually decoded
+    in_->seekg(static_cast<std::streamoff>(payload_len), std::ios::cur);
+    if (!*in_) {
+      return Status::Corruption(
+          StrFormat("truncated frame %d payload", frames_read_));
+    }
+    ++frames_read_;
+    offsets_[static_cast<size_t>(frames_read_)] = in_->tellg();
+  }
+  return Status::Ok();
+}
+
+Result<Frame> VideoFileReader::ReadFrameAt(int frame_index) {
+  VDB_RETURN_IF_ERROR(SeekToFrame(frame_index));
+  return ReadNextFrame();
+}
+
+Result<Frame> VideoFileReader::ReadNextFrame() {
+  if (AtEnd()) {
+    return Status::OutOfRange(
+        StrFormat("all %d frames already read", frame_count_));
+  }
+  int f = frames_read_;
+  uint8_t encoding = 0;
+  if (!GetBytes(*in_, &encoding, 1)) {
+    return Status::Corruption(StrFormat("truncated frame %d header", f));
+  }
+  if (encoding > 1) {
+    return Status::Corruption(
+        StrFormat("frame %d has unknown encoding %u", f, encoding));
+  }
+  VDB_ASSIGN_OR_RETURN(uint32_t payload_len, GetU32(*in_, "payload length"));
+  VDB_ASSIGN_OR_RETURN(uint32_t checksum, GetU32(*in_, "checksum"));
+  size_t raw_size = static_cast<size_t>(width_) * height_ * 3;
+  if (payload_len > raw_size * 2 + 16) {
+    return Status::Corruption(StrFormat(
+        "frame %d payload length %u implausible", f, payload_len));
+  }
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0 && !GetBytes(*in_, payload.data(), payload_len)) {
+    return Status::Corruption(StrFormat("truncated frame %d payload", f));
+  }
+  uint32_t actual = Fnv1a32(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  if (actual != checksum) {
+    return Status::Corruption(
+        StrFormat("frame %d checksum mismatch (stored %08x, actual %08x)",
+                  f, checksum, actual));
+  }
+
+  Frame frame(width_, height_);
+  if (encoding == 1) {
+    VDB_RETURN_IF_ERROR(RleDecode(payload, &frame));
+  } else {
+    if (payload.size() != raw_size) {
+      return Status::Corruption(
+          StrFormat("frame %d raw payload size %zu != %zu", f,
+                    payload.size(), raw_size));
+    }
+    auto& pixels = frame.pixels();
+    for (size_t i = 0; i < pixels.size(); ++i) {
+      pixels[i] = PixelRGB(static_cast<uint8_t>(payload[3 * i]),
+                           static_cast<uint8_t>(payload[3 * i + 1]),
+                           static_cast<uint8_t>(payload[3 * i + 2]));
+    }
+  }
+  ++frames_read_;
+  if (frames_read_ < frame_count_ &&
+      offsets_[static_cast<size_t>(frames_read_)] < 0) {
+    offsets_[static_cast<size_t>(frames_read_)] = in_->tellg();
+  }
+  return frame;
+}
+
+Result<Video> ReadVideoFile(const std::string& path) {
+  VDB_ASSIGN_OR_RETURN(VideoFileReader reader, VideoFileReader::Open(path));
+  Video video(reader.name(), reader.fps());
+  while (!reader.AtEnd()) {
+    VDB_ASSIGN_OR_RETURN(Frame frame, reader.ReadNextFrame());
+    video.AppendFrame(std::move(frame));
+  }
+  return video;
+}
+
+}  // namespace vdb

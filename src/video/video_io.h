@@ -1,0 +1,86 @@
+#ifndef VDB_VIDEO_VIDEO_IO_H_
+#define VDB_VIDEO_VIDEO_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "video/video.h"
+
+namespace vdb {
+
+// Options for writing a .vdb video file.
+struct VideoWriteOptions {
+  // Run-length-encode each frame's pixel stream. Synthetic frames with flat
+  // regions compress well; the format stays lossless either way.
+  bool rle_compress = true;
+};
+
+// Writes `video` to `path` in the library's versioned .vdb container format:
+// a fixed header (magic, version, flags, dimensions, fps, name) followed by
+// one length-prefixed, checksummed payload per frame.
+Status WriteVideoFile(const Video& video, const std::string& path,
+                      const VideoWriteOptions& options = VideoWriteOptions());
+
+// Reads a .vdb file written by WriteVideoFile. Detects truncation, bad
+// magic/version, and per-frame checksum mismatches as kCorruption.
+Result<Video> ReadVideoFile(const std::string& path);
+
+// Streaming reader over a .vdb file: frames are decoded one at a time, so
+// a multi-gigabyte clip can be processed in bounded memory (ingest works
+// frame-by-frame; see VideoDatabase::IngestFile). Move-only.
+class VideoFileReader {
+ public:
+  // Opens `path` and parses the header.
+  static Result<VideoFileReader> Open(const std::string& path);
+
+  ~VideoFileReader();
+  VideoFileReader(VideoFileReader&&) noexcept;
+  VideoFileReader& operator=(VideoFileReader&&) noexcept;
+  VideoFileReader(const VideoFileReader&) = delete;
+  VideoFileReader& operator=(const VideoFileReader&) = delete;
+
+  const std::string& name() const { return name_; }
+  double fps() const { return fps_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int frame_count() const { return frame_count_; }
+  int frames_read() const { return frames_read_; }
+  bool AtEnd() const { return frames_read_ >= frame_count_; }
+
+  // Decodes the next frame. Fails with kOutOfRange past the last frame and
+  // kCorruption on damaged records.
+  Result<Frame> ReadNextFrame();
+
+  // Random access: positions the reader so the next ReadNextFrame returns
+  // `frame_index`. Skipping forward reads only the record headers (the
+  // payloads are seeked over); skipping backward restarts from known
+  // record offsets. Offsets discovered along the way are remembered, so
+  // repeated seeks are O(1) in file reads.
+  Status SeekToFrame(int frame_index);
+
+  // Convenience: SeekToFrame + ReadNextFrame.
+  Result<Frame> ReadFrameAt(int frame_index);
+
+ private:
+  VideoFileReader() = default;
+
+  std::unique_ptr<std::ifstream> in_;
+  // offsets_[i] = byte offset of frame i's record, once discovered.
+  std::vector<std::streamoff> offsets_;
+  std::string name_;
+  double fps_ = 0.0;
+  int width_ = 0;
+  int height_ = 0;
+  int frame_count_ = 0;
+  int frames_read_ = 0;
+};
+
+// FNV-1a 32-bit hash, exposed for tests.
+uint32_t Fnv1a32(const uint8_t* data, size_t size);
+
+}  // namespace vdb
+
+#endif  // VDB_VIDEO_VIDEO_IO_H_

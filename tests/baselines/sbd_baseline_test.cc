@@ -1,0 +1,187 @@
+#include "baselines/sbd_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+// A clip with hard cuts between visually distinct textured blocks.
+Video CutClip(const std::vector<int>& block_lengths, uint64_t seed = 1) {
+  Pcg32 rng(seed);
+  Video v("cuts", 3.0);
+  int block = 0;
+  for (int len : block_lengths) {
+    // Each block gets a distinct base colour and a different checker cell
+    // size, so cuts move edges (for ECR) as well as colours.
+    uint8_t base_r = static_cast<uint8_t>((block * 83 + 40) % 200);
+    uint8_t base_g = static_cast<uint8_t>((block * 131 + 90) % 200);
+    uint8_t base_b = static_cast<uint8_t>((block * 47 + 140) % 200);
+    int cell = 13 + 7 * block;
+    for (int f = 0; f < len; ++f) {
+      Frame frame(64, 48);
+      for (int y = 0; y < 48; ++y) {
+        for (int x = 0; x < 64; ++x) {
+          int texture = (((x + 7 * block) / cell + (y + 5 * block) / cell) % 2) * 40;
+          int noise = static_cast<int>(rng.NextBounded(5));
+          frame.at(x, y) = PixelRGB(
+              static_cast<uint8_t>(base_r + texture + noise),
+              static_cast<uint8_t>(base_g + texture + noise),
+              static_cast<uint8_t>(base_b + texture + noise));
+        }
+      }
+      v.AppendFrame(std::move(frame));
+    }
+    ++block;
+  }
+  return v;
+}
+
+std::vector<int> TrueBoundaries(const std::vector<int>& block_lengths) {
+  std::vector<int> b;
+  int pos = 0;
+  for (size_t i = 0; i + 1 < block_lengths.size(); ++i) {
+    pos += block_lengths[i];
+    b.push_back(pos);
+  }
+  return b;
+}
+
+class AllBaselinesTest : public testing::Test {
+ protected:
+  std::vector<std::unique_ptr<SbdBaseline>> MakeAll() {
+    std::vector<std::unique_ptr<SbdBaseline>> out;
+    out.push_back(std::make_unique<PixelDiffDetector>());
+    out.push_back(std::make_unique<HistogramDetector>());
+    out.push_back(std::make_unique<TwinComparisonDetector>());
+    out.push_back(std::make_unique<EcrDetector>());
+    return out;
+  }
+};
+
+TEST_F(AllBaselinesTest, DetectHardCuts) {
+  std::vector<int> blocks = {10, 10, 10};
+  Video v = CutClip(blocks);
+  std::vector<int> truth = TrueBoundaries(blocks);
+  for (const auto& det : MakeAll()) {
+    Result<std::vector<int>> found = det->DetectBoundaries(v);
+    ASSERT_TRUE(found.ok()) << det->name();
+    EXPECT_EQ(*found, truth) << det->name();
+  }
+}
+
+TEST_F(AllBaselinesTest, QuietClipHasNoBoundaries) {
+  Video v = CutClip({25});
+  for (const auto& det : MakeAll()) {
+    Result<std::vector<int>> found = det->DetectBoundaries(v);
+    ASSERT_TRUE(found.ok()) << det->name();
+    EXPECT_TRUE(found->empty()) << det->name();
+  }
+}
+
+TEST_F(AllBaselinesTest, RejectTooShortVideos) {
+  Video v("one", 3.0);
+  v.AppendFrame(Frame(64, 48));
+  for (const auto& det : MakeAll()) {
+    EXPECT_FALSE(det->DetectBoundaries(v).ok()) << det->name();
+  }
+}
+
+TEST_F(AllBaselinesTest, ThresholdCountsMatchPaperClaims) {
+  EXPECT_EQ(PixelDiffDetector().threshold_count(), 1);
+  // "techniques using color histograms need at least three threshold
+  // values" (Section 1).
+  EXPECT_GE(HistogramDetector().threshold_count(), 3);
+  // "At least six different threshold values are necessary for ... edge
+  // change ratio".
+  EXPECT_GE(EcrDetector().threshold_count(), 6);
+  EXPECT_GE(TwinComparisonDetector().threshold_count(), 3);
+}
+
+TEST(PixelDiffTest, ThresholdControlsSensitivity) {
+  Video v = CutClip({8, 8});
+  PixelDiffDetector::Options loose;
+  loose.threshold = 1.0;  // fires on noise
+  PixelDiffDetector::Options strict;
+  strict.threshold = 200.0;  // never fires
+  EXPECT_GT(PixelDiffDetector(loose).DetectBoundaries(v)->size(), 1u);
+  EXPECT_TRUE(PixelDiffDetector(strict).DetectBoundaries(v)->empty());
+}
+
+TEST(HistogramTest, MinShotSuppressesRapidRefires) {
+  Video v = CutClip({6, 2, 6});
+  HistogramDetector::Options opts;
+  opts.min_shot_frames = 4;
+  std::vector<int> found =
+      HistogramDetector(opts).DetectBoundaries(v).value();
+  // The second cut (2 frames after the first) is suppressed.
+  EXPECT_EQ(found, std::vector<int>{6});
+}
+
+TEST(TwinComparisonTest, CatchesGradualTransition) {
+  // A wipe: each transition frame switches 1/12 of the pixels from colour
+  // A to colour B. Per-frame histogram distance is 6/12 = 0.5 — below the
+  // hard-cut threshold (0.55) but above the accumulation threshold (0.12).
+  Video v("gradual", 3.0);
+  Frame a(64, 48, PixelRGB(30, 60, 90));
+  Frame b(64, 48, PixelRGB(200, 160, 120));
+  for (int i = 0; i < 10; ++i) v.AppendFrame(a);
+  const int kSteps = 12;
+  const int total_pixels = 64 * 48;
+  for (int i = 1; i <= kSteps; ++i) {
+    Frame mix = a;
+    size_t switched =
+        static_cast<size_t>(static_cast<long>(total_pixels) * i / kSteps);
+    for (size_t p = 0; p < switched; ++p) {
+      mix.pixels()[p] = PixelRGB(200, 160, 120);
+    }
+    v.AppendFrame(std::move(mix));
+  }
+  for (int i = 0; i < 10; ++i) v.AppendFrame(b);
+
+  // The plain histogram detector with only a hard-cut threshold misses it.
+  HistogramDetector::Options plain;
+  plain.gradual_threshold = 10.0;  // disable its gradual path
+  std::vector<int> hist_found =
+      HistogramDetector(plain).DetectBoundaries(v).value();
+  EXPECT_TRUE(hist_found.empty());
+
+  // Twin comparison accumulates the middling differences and reports one
+  // boundary at the start of the transition.
+  std::vector<int> twin_found =
+      TwinComparisonDetector().DetectBoundaries(v).value();
+  ASSERT_EQ(twin_found.size(), 1u);
+  EXPECT_GE(twin_found[0], 10);
+  EXPECT_LE(twin_found[0], 16);
+}
+
+TEST(EcrTest, IgnoresPureIlluminationChange) {
+  // Same structure, brighter: edges barely move, histograms shift a lot.
+  Video v("illum", 3.0);
+  for (int f = 0; f < 6; ++f) {
+    Frame frame(64, 48);
+    int boost = f < 3 ? 0 : 60;
+    for (int y = 0; y < 48; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        int v8 = ((x / 8 + y / 8) % 2) ? 180 : 60;
+        frame.at(x, y) = PixelRGB(static_cast<uint8_t>(v8 / 2 + boost),
+                                  static_cast<uint8_t>(v8 / 2 + boost),
+                                  static_cast<uint8_t>(v8 / 2 + boost));
+      }
+    }
+    v.AppendFrame(std::move(frame));
+  }
+  std::vector<int> found = EcrDetector().DetectBoundaries(v).value();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(EcrTest, NamesAndOptions) {
+  EXPECT_EQ(EcrDetector().name(), "edge-change-ratio");
+  EXPECT_EQ(HistogramDetector().name(), "color-histogram");
+  EXPECT_EQ(TwinComparisonDetector().name(), "twin-comparison");
+  EXPECT_EQ(PixelDiffDetector().name(), "pixel-diff");
+}
+
+}  // namespace
+}  // namespace vdb

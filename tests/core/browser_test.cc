@@ -1,0 +1,139 @@
+#include "core/browser.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+
+namespace vdb {
+namespace {
+
+class SceneBrowserTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new VideoDatabase();
+    SyntheticVideo sv = testsupport::CachedRender(TenShotStoryboard());
+    ASSERT_TRUE(db_->Ingest(sv.video).ok());
+    entry_ = db_->GetEntry(0).value();
+    ASSERT_EQ(entry_->shots.size(), 10u);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    entry_ = nullptr;
+  }
+
+  static VideoDatabase* db_;
+  static const CatalogEntry* entry_;
+};
+
+VideoDatabase* SceneBrowserTest::db_ = nullptr;
+const CatalogEntry* SceneBrowserTest::entry_ = nullptr;
+
+TEST_F(SceneBrowserTest, StartsAtRoot) {
+  SceneBrowser browser(entry_);
+  EXPECT_EQ(browser.current(), entry_->scene_tree.root());
+  EXPECT_EQ(browser.Path().size(), 1u);
+  EXPECT_EQ(browser.Breadcrumbs(), browser.CurrentNode().Label());
+}
+
+TEST_F(SceneBrowserTest, RootCoversWholeVideo) {
+  SceneBrowser browser(entry_);
+  Shot span = browser.CoverageSpan();
+  EXPECT_EQ(span.start_frame, 0);
+  EXPECT_EQ(span.end_frame, entry_->frame_count - 1);
+}
+
+TEST_F(SceneBrowserTest, DescendAndClimb) {
+  SceneBrowser browser(entry_);
+  ASSERT_TRUE(browser.EnterChild(0).ok());
+  EXPECT_EQ(browser.Path().size(), 2u);
+  int child = browser.current();
+  ASSERT_TRUE(browser.Up().ok());
+  EXPECT_EQ(browser.current(), entry_->scene_tree.root());
+  ASSERT_TRUE(browser.EnterChild(0).ok());
+  EXPECT_EQ(browser.current(), child);
+}
+
+TEST_F(SceneBrowserTest, CoverageShrinksDownTheTree) {
+  SceneBrowser browser(entry_);
+  Shot root_span = browser.CoverageSpan();
+  ASSERT_TRUE(browser.EnterChild(0).ok());
+  Shot child_span = browser.CoverageSpan();
+  EXPECT_GE(child_span.start_frame, root_span.start_frame);
+  EXPECT_LE(child_span.end_frame, root_span.end_frame);
+  EXPECT_LT(child_span.frame_count(), root_span.frame_count());
+}
+
+TEST_F(SceneBrowserTest, SiblingsWalkInOrder) {
+  SceneBrowser browser(entry_);
+  const SceneNode& root = browser.CurrentNode();
+  ASSERT_GE(root.children.size(), 2u);
+  ASSERT_TRUE(browser.EnterChild(0).ok());
+  EXPECT_EQ(browser.PrevSibling().code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(browser.NextSibling().ok());
+  EXPECT_EQ(browser.current(), root.children[1]);
+  ASSERT_TRUE(browser.PrevSibling().ok());
+  EXPECT_EQ(browser.current(), root.children[0]);
+}
+
+TEST_F(SceneBrowserTest, InvalidMovesLeaveCursorUnchanged) {
+  SceneBrowser browser(entry_);
+  int root = browser.current();
+  EXPECT_EQ(browser.Up().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(browser.NextSibling().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(browser.EnterChild(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(browser.EnterChild(99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(browser.current(), root);
+
+  // Descend to a leaf: no further children.
+  while (!browser.CurrentNode().IsLeaf()) {
+    ASSERT_TRUE(browser.EnterChild(0).ok());
+  }
+  EXPECT_EQ(browser.EnterChild(0).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SceneBrowserTest, BreadcrumbsGrowWithDepth) {
+  SceneBrowser browser(entry_);
+  std::string root_crumbs = browser.Breadcrumbs();
+  ASSERT_TRUE(browser.EnterChild(0).ok());
+  std::string deeper = browser.Breadcrumbs();
+  EXPECT_NE(deeper.find(" > "), std::string::npos);
+  EXPECT_EQ(deeper.find(root_crumbs), 0u);
+}
+
+TEST_F(SceneBrowserTest, JumpToQuerySuggestion) {
+  SceneBrowser browser(entry_);
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 1.0;
+  auto suggestions = db_->Search(q, 1).value();
+  ASSERT_EQ(suggestions.size(), 1u);
+  ASSERT_TRUE(browser.JumpTo(suggestions[0].scene_node).ok());
+  EXPECT_EQ(browser.CurrentNode().Label(), suggestions[0].scene_label);
+  EXPECT_FALSE(browser.JumpTo(-1).ok());
+  EXPECT_FALSE(browser.JumpTo(10000).ok());
+}
+
+TEST_F(SceneBrowserTest, KeyFramesSummariseTheSubtree) {
+  SceneBrowser browser(entry_);
+  std::vector<int> frames = browser.KeyFrames(3).value();
+  EXPECT_EQ(frames.size(), 3u);
+  Shot span = browser.CoverageSpan();
+  for (int f : frames) {
+    EXPECT_GE(f, span.start_frame);
+    EXPECT_LE(f, span.end_frame);
+  }
+  EXPECT_FALSE(browser.KeyFrames(0).ok());
+}
+
+TEST_F(SceneBrowserTest, ResetReturnsToRoot) {
+  SceneBrowser browser(entry_);
+  ASSERT_TRUE(browser.EnterChild(0).ok());
+  browser.Reset();
+  EXPECT_EQ(browser.current(), entry_->scene_tree.root());
+}
+
+}  // namespace
+}  // namespace vdb

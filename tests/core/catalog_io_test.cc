@@ -1,0 +1,203 @@
+#include "core/catalog_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class CatalogIoTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new VideoDatabase();
+    SyntheticVideo ten =
+        testsupport::CachedRender(TenShotStoryboard());
+    SyntheticVideo friends =
+        testsupport::CachedRender(FriendsStoryboard());
+    ASSERT_TRUE(db_->Ingest(ten.video).ok());
+    ASSERT_TRUE(db_->Ingest(friends.video).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static VideoDatabase* db_;
+};
+
+VideoDatabase* CatalogIoTest::db_ = nullptr;
+
+TEST_F(CatalogIoTest, RoundTripPreservesEverythingQueryable) {
+  std::string path = TempPath("catalog_rt.vdbcat");
+  ASSERT_TRUE(SaveCatalog(*db_, path).ok());
+
+  VideoDatabase restored;
+  Status loaded = LoadCatalog(path, &restored);
+  ASSERT_TRUE(loaded.ok()) << loaded;
+  ASSERT_EQ(restored.video_count(), db_->video_count());
+  EXPECT_EQ(restored.index().size(), db_->index().size());
+
+  for (int id = 0; id < db_->video_count(); ++id) {
+    const CatalogEntry* a = db_->GetEntry(id).value();
+    const CatalogEntry* b = restored.GetEntry(id).value();
+    EXPECT_EQ(a->name, b->name);
+    EXPECT_DOUBLE_EQ(a->fps, b->fps);
+    EXPECT_EQ(a->frame_count, b->frame_count);
+    ASSERT_EQ(a->shots.size(), b->shots.size());
+    for (size_t i = 0; i < a->shots.size(); ++i) {
+      EXPECT_EQ(a->shots[i], b->shots[i]);
+      EXPECT_DOUBLE_EQ(a->features[i].var_ba, b->features[i].var_ba);
+      EXPECT_DOUBLE_EQ(a->features[i].var_oa, b->features[i].var_oa);
+    }
+    EXPECT_EQ(a->sbd_stats.stage1_same, b->sbd_stats.stage1_same);
+    EXPECT_EQ(a->sbd_stats.stage3_boundary, b->sbd_stats.stage3_boundary);
+    // Tree structure is preserved node for node.
+    ASSERT_EQ(a->scene_tree.node_count(), b->scene_tree.node_count());
+    EXPECT_EQ(a->scene_tree.root(), b->scene_tree.root());
+    EXPECT_EQ(a->scene_tree.ToAscii(), b->scene_tree.ToAscii());
+    // Signs round trip (signature lines are intentionally dropped).
+    for (int f = 0; f < a->frame_count; ++f) {
+      EXPECT_EQ(a->signatures.frames[static_cast<size_t>(f)].sign_ba,
+                b->signatures.frames[static_cast<size_t>(f)].sign_ba);
+    }
+    EXPECT_TRUE(
+        b->signatures.frames.front().signature_ba.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogIoTest, RestoredDatabaseAnswersQueriesIdentically) {
+  std::string path = TempPath("catalog_query.vdbcat");
+  ASSERT_TRUE(SaveCatalog(*db_, path).ok());
+  VideoDatabase restored;
+  ASSERT_TRUE(LoadCatalog(path, &restored).ok());
+
+  VarianceQuery q;
+  q.var_ba = 9.0;
+  q.var_oa = 1.0;
+  auto original = db_->Search(q, 5).value();
+  auto reloaded = restored.Search(q, 5).value();
+  ASSERT_EQ(original.size(), reloaded.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].match.entry.video_id,
+              reloaded[i].match.entry.video_id);
+    EXPECT_EQ(original[i].match.entry.shot_index,
+              reloaded[i].match.entry.shot_index);
+    EXPECT_EQ(original[i].scene_label, reloaded[i].scene_label);
+    EXPECT_EQ(original[i].representative_frame,
+              reloaded[i].representative_frame);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogIoTest, LoadRequiresEmptyDatabase) {
+  std::string path = TempPath("catalog_nonempty.vdbcat");
+  ASSERT_TRUE(SaveCatalog(*db_, path).ok());
+  VideoDatabase not_empty;
+  SyntheticVideo sv = testsupport::CachedRender(TenShotStoryboard());
+  ASSERT_TRUE(not_empty.Ingest(sv.video).ok());
+  EXPECT_EQ(LoadCatalog(path, &not_empty).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogIoTest, DetectsCorruption) {
+  std::string path = TempPath("catalog_corrupt.vdbcat");
+  ASSERT_TRUE(SaveCatalog(*db_, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+
+  // Bit flip in the payload.
+  std::string flipped = contents;
+  flipped[flipped.size() / 2] ^= 0x10;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << flipped;
+  VideoDatabase db1;
+  EXPECT_EQ(LoadCatalog(path, &db1).code(), StatusCode::kCorruption);
+
+  // Truncation.
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << contents.substr(0, contents.size() / 2);
+  VideoDatabase db2;
+  EXPECT_EQ(LoadCatalog(path, &db2).code(), StatusCode::kCorruption);
+
+  // Bad magic.
+  std::string bad_magic = contents;
+  bad_magic[0] = 'X';
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bad_magic;
+  VideoDatabase db3;
+  EXPECT_EQ(LoadCatalog(path, &db3).code(), StatusCode::kCorruption);
+
+  std::remove(path.c_str());
+}
+
+TEST_F(CatalogIoTest, MissingFileIsIoError) {
+  VideoDatabase db;
+  EXPECT_EQ(LoadCatalog(TempPath("nope.vdbcat"), &db).code(),
+            StatusCode::kIoError);
+}
+
+TEST(IngestFileTest, MatchesInMemoryIngest) {
+  std::string path = testing::TempDir() + "/ingest_stream.vdb";
+  SyntheticVideo sv = testsupport::CachedRender(TenShotStoryboard());
+  ASSERT_TRUE(WriteVideoFile(sv.video, path).ok());
+
+  VideoDatabase in_memory;
+  ASSERT_TRUE(in_memory.Ingest(sv.video).ok());
+  VideoDatabase streamed;
+  Result<int> id = streamed.IngestFile(path);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  const CatalogEntry* a = in_memory.GetEntry(0).value();
+  const CatalogEntry* b = streamed.GetEntry(0).value();
+  EXPECT_EQ(a->name, b->name);
+  ASSERT_EQ(a->shots.size(), b->shots.size());
+  for (size_t i = 0; i < a->shots.size(); ++i) {
+    EXPECT_EQ(a->shots[i], b->shots[i]);
+    EXPECT_DOUBLE_EQ(a->features[i].var_ba, b->features[i].var_ba);
+  }
+  EXPECT_EQ(a->scene_tree.ToAscii(), b->scene_tree.ToAscii());
+  std::remove(path.c_str());
+}
+
+TEST(IngestFileTest, FailsOnMissingFile) {
+  VideoDatabase db;
+  EXPECT_FALSE(db.IngestFile(testing::TempDir() + "/nope.vdb").ok());
+  EXPECT_EQ(db.video_count(), 0);
+}
+
+TEST(CatalogIoEmptyTest, EmptyDatabaseRoundTrips) {
+  std::string path =
+      testing::TempDir() + "/catalog_empty.vdbcat";
+  VideoDatabase empty;
+  ASSERT_TRUE(SaveCatalog(empty, path).ok());
+  VideoDatabase restored;
+  ASSERT_TRUE(LoadCatalog(path, &restored).ok());
+  EXPECT_EQ(restored.video_count(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(RestoreTest, RejectsInconsistentEntries) {
+  VideoDatabase db;
+  CatalogEntry entry;
+  entry.name = "bad";
+  entry.frame_count = 10;
+  entry.signatures.frames.resize(5);  // mismatch
+  EXPECT_FALSE(db.Restore(std::move(entry)).ok());
+  EXPECT_EQ(db.video_count(), 0);
+}
+
+}  // namespace
+}  // namespace vdb

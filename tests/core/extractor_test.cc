@@ -1,0 +1,124 @@
+#include "core/extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+Video UniformVideo(int frames, PixelRGB color) {
+  Video v("uniform", 3.0);
+  for (int i = 0; i < frames; ++i) {
+    v.AppendFrame(Frame(160, 120, color));
+  }
+  return v;
+}
+
+TEST(ExtractorTest, UniformFrameGivesUniformSigns) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame f(160, 120, PixelRGB(120, 130, 140));
+  Result<FrameSignature> fs = ComputeFrameSignature(f, geom);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs->sign_ba, PixelRGB(120, 130, 140));
+  EXPECT_EQ(fs->sign_oa, PixelRGB(120, 130, 140));
+  EXPECT_EQ(static_cast<int>(fs->signature_ba.size()), geom.l);
+}
+
+TEST(ExtractorTest, ForegroundDoesNotAffectBackgroundSign) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame plain(160, 120, PixelRGB(100, 100, 100));
+  Frame with_object = plain;
+  // Paint a large object strictly inside the FOA.
+  Rect foa = FoaRect(geom);
+  for (int y = foa.y + 10; y < foa.Bottom() - 5; ++y) {
+    for (int x = foa.x + 10; x < foa.Right() - 10; ++x) {
+      with_object.at(x, y) = PixelRGB(255, 0, 0);
+    }
+  }
+  FrameSignature a = ComputeFrameSignature(plain, geom).value();
+  FrameSignature b = ComputeFrameSignature(with_object, geom).value();
+  EXPECT_EQ(a.sign_ba, b.sign_ba);
+  EXPECT_EQ(a.signature_ba, b.signature_ba);
+  EXPECT_NE(a.sign_oa, b.sign_oa);
+}
+
+TEST(ExtractorTest, BackgroundChangeDoesNotAffectObjectSign) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame a(160, 120, PixelRGB(100, 100, 100));
+  Frame b = a;
+  // Repaint the top bar only (strictly background).
+  for (int y = 0; y < geom.w_estimate; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      b.at(x, y) = PixelRGB(0, 0, 255);
+    }
+  }
+  FrameSignature fa = ComputeFrameSignature(a, geom).value();
+  FrameSignature fb = ComputeFrameSignature(b, geom).value();
+  EXPECT_EQ(fa.sign_oa, fb.sign_oa);
+  EXPECT_NE(fa.sign_ba, fb.sign_ba);
+}
+
+TEST(ExtractorTest, VideoSignaturesCoverAllFrames) {
+  Video v = UniformVideo(7, PixelRGB(50, 60, 70));
+  Result<VideoSignatures> sigs = ComputeVideoSignatures(v);
+  ASSERT_TRUE(sigs.ok());
+  EXPECT_EQ(sigs->frame_count(), 7);
+  for (const FrameSignature& fs : sigs->frames) {
+    EXPECT_EQ(fs.sign_ba, PixelRGB(50, 60, 70));
+  }
+}
+
+TEST(ExtractorTest, Deterministic) {
+  Video v = UniformVideo(3, PixelRGB(10, 200, 30));
+  VideoSignatures a = ComputeVideoSignatures(v).value();
+  VideoSignatures b = ComputeVideoSignatures(v).value();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.frames[i].sign_ba, b.frames[i].sign_ba);
+    EXPECT_EQ(a.frames[i].signature_ba, b.frames[i].signature_ba);
+  }
+}
+
+TEST(ExtractorTest, ParallelMatchesSerialBitExactly) {
+  // A non-uniform video: different frame contents across the clip.
+  Video v("mixed", 3.0);
+  for (int f = 0; f < 24; ++f) {
+    Frame frame(160, 120);
+    for (int y = 0; y < 120; ++y) {
+      for (int x = 0; x < 160; ++x) {
+        frame.at(x, y) =
+            PixelRGB(static_cast<uint8_t>((x + 3 * f) % 256),
+                     static_cast<uint8_t>((y + 7 * f) % 256),
+                     static_cast<uint8_t>((x + y + f) % 256));
+      }
+    }
+    v.AppendFrame(std::move(frame));
+  }
+  VideoSignatures serial = ComputeVideoSignatures(v).value();
+  for (int threads : {1, 2, 4, 0}) {
+    VideoSignatures parallel =
+        ComputeVideoSignaturesParallel(v, threads).value();
+    ASSERT_EQ(parallel.frame_count(), serial.frame_count());
+    for (int i = 0; i < serial.frame_count(); ++i) {
+      EXPECT_EQ(parallel.frames[static_cast<size_t>(i)].sign_ba,
+                serial.frames[static_cast<size_t>(i)].sign_ba);
+      EXPECT_EQ(parallel.frames[static_cast<size_t>(i)].signature_ba,
+                serial.frames[static_cast<size_t>(i)].signature_ba);
+    }
+  }
+}
+
+TEST(ExtractorTest, ParallelRejectsEmptyVideo) {
+  EXPECT_FALSE(ComputeVideoSignaturesParallel(Video(), 4).ok());
+}
+
+TEST(ExtractorTest, EmptyVideoFails) {
+  EXPECT_FALSE(ComputeVideoSignatures(Video()).ok());
+}
+
+TEST(ExtractorTest, TinyFramesFail) {
+  Video v("tiny", 3.0);
+  v.AppendFrame(Frame(8, 8));
+  EXPECT_FALSE(ComputeVideoSignatures(v).ok());
+}
+
+}  // namespace
+}  // namespace vdb

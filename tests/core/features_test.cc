@@ -1,0 +1,112 @@
+#include "core/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+VideoSignatures SignaturesFrom(const std::vector<PixelRGB>& ba,
+                               const std::vector<PixelRGB>& oa) {
+  VideoSignatures sigs;
+  for (size_t i = 0; i < ba.size(); ++i) {
+    FrameSignature fs;
+    fs.sign_ba = ba[i];
+    fs.sign_oa = oa[i];
+    sigs.frames.push_back(fs);
+  }
+  return sigs;
+}
+
+TEST(SignVarianceTest, ConstantSignsHaveZeroVariance) {
+  std::vector<PixelRGB> signs(10, PixelRGB(219, 152, 142));
+  EXPECT_DOUBLE_EQ(SignVariance(signs), 0.0);
+}
+
+TEST(SignVarianceTest, SingleFrameIsZero) {
+  EXPECT_DOUBLE_EQ(SignVariance({PixelRGB(5, 5, 5)}), 0.0);
+  EXPECT_DOUBLE_EQ(SignVariance({}), 0.0);
+}
+
+TEST(SignVarianceTest, HandComputedTwoFrames) {
+  // Channel r: {100, 110} -> mean 105, sq devs 25+25=50, /(N-1)=50.
+  // Same for g and b -> average 50.
+  std::vector<PixelRGB> signs = {PixelRGB(100, 100, 100),
+                                 PixelRGB(110, 110, 110)};
+  EXPECT_DOUBLE_EQ(SignVariance(signs), 50.0);
+}
+
+TEST(SignVarianceTest, PerChannelAveraging) {
+  // r: {0, 20} -> 200; g: {0, 0} -> 0; b: {0, 0} -> 0; average = 200/3.
+  std::vector<PixelRGB> signs = {PixelRGB(0, 0, 0), PixelRGB(20, 0, 0)};
+  EXPECT_NEAR(SignVariance(signs), 200.0 / 3.0, 1e-12);
+}
+
+TEST(SignVarianceTest, Table2ShotHasNonzeroVariance) {
+  // The paper's Table 2: a 20-frame shot with four distinct sign values.
+  std::vector<PixelRGB> signs;
+  auto add = [&](int n, PixelRGB p) {
+    for (int i = 0; i < n; ++i) signs.push_back(p);
+  };
+  add(6, PixelRGB(219, 152, 142));
+  add(2, PixelRGB(226, 164, 172));
+  add(4, PixelRGB(213, 149, 134));
+  add(2, PixelRGB(200, 137, 123));
+  add(6, PixelRGB(228, 160, 149));
+  ASSERT_EQ(signs.size(), 20u);
+  double var = SignVariance(signs);
+  EXPECT_GT(var, 0.0);
+  EXPECT_LT(var, 500.0);  // changes are small, tens of levels
+}
+
+TEST(ShotFeaturesTest, DvDefinition) {
+  ShotFeatures f;
+  f.var_ba = 16.0;
+  f.var_oa = 9.0;
+  EXPECT_DOUBLE_EQ(f.Dv(), 4.0 - 3.0);
+  f.var_oa = 25.0;
+  EXPECT_DOUBLE_EQ(f.Dv(), 4.0 - 5.0);
+}
+
+TEST(ComputeShotFeaturesTest, SeparatesBaAndOa) {
+  // Background constant, object area varying.
+  std::vector<PixelRGB> ba(6, PixelRGB(100, 100, 100));
+  std::vector<PixelRGB> oa = {PixelRGB(0, 0, 0),    PixelRGB(40, 40, 40),
+                              PixelRGB(80, 80, 80), PixelRGB(0, 0, 0),
+                              PixelRGB(40, 40, 40), PixelRGB(80, 80, 80)};
+  VideoSignatures sigs = SignaturesFrom(ba, oa);
+  ShotFeatures f = ComputeShotFeatures(sigs, Shot{0, 5}).value();
+  EXPECT_DOUBLE_EQ(f.var_ba, 0.0);
+  EXPECT_GT(f.var_oa, 500.0);
+  EXPECT_LT(f.Dv(), 0.0);
+}
+
+TEST(ComputeShotFeaturesTest, SubrangeOnly) {
+  std::vector<PixelRGB> ba = {PixelRGB(0, 0, 0), PixelRGB(100, 100, 100),
+                              PixelRGB(100, 100, 100), PixelRGB(0, 0, 0)};
+  VideoSignatures sigs = SignaturesFrom(ba, ba);
+  // The middle two frames are constant.
+  ShotFeatures f = ComputeShotFeatures(sigs, Shot{1, 2}).value();
+  EXPECT_DOUBLE_EQ(f.var_ba, 0.0);
+}
+
+TEST(ComputeShotFeaturesTest, RejectsBadRanges) {
+  std::vector<PixelRGB> ba(4, PixelRGB());
+  VideoSignatures sigs = SignaturesFrom(ba, ba);
+  EXPECT_FALSE(ComputeShotFeatures(sigs, Shot{2, 5}).ok());
+  EXPECT_FALSE(ComputeShotFeatures(sigs, Shot{-1, 2}).ok());
+  EXPECT_FALSE(ComputeShotFeatures(sigs, Shot{3, 2}).ok());
+}
+
+TEST(ComputeAllShotFeaturesTest, OnePerShot) {
+  std::vector<PixelRGB> ba(10, PixelRGB(7, 7, 7));
+  VideoSignatures sigs = SignaturesFrom(ba, ba);
+  std::vector<Shot> shots = {{0, 4}, {5, 9}};
+  Result<std::vector<ShotFeatures>> f = ComputeAllShotFeatures(sigs, shots);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), 2u);
+}
+
+}  // namespace
+}  // namespace vdb

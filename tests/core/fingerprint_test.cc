@@ -1,0 +1,139 @@
+#include "core/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/renderer.h"
+#include "synth/storyboard.h"
+
+namespace vdb {
+namespace {
+
+ShotFingerprint MakeFp(double var_ba, double var_oa, PixelRGB color,
+                       CameraMotionLabel motion) {
+  ShotFingerprint fp;
+  fp.variances.var_ba = var_ba;
+  fp.variances.var_oa = var_oa;
+  fp.mean_sign_ba = color;
+  fp.motion = motion;
+  return fp;
+}
+
+TEST(FingerprintDistanceTest, ZeroForIdenticalFingerprints) {
+  ShotFingerprint fp =
+      MakeFp(16, 9, PixelRGB(100, 120, 140), CameraMotionLabel::kStatic);
+  EXPECT_DOUBLE_EQ(FingerprintDistance(fp, fp, FingerprintWeights()), 0.0);
+}
+
+TEST(FingerprintDistanceTest, ReducesToPaperModelWithZeroExtras) {
+  FingerprintWeights paper_only;
+  paper_only.color_weight = 0.0;
+  paper_only.motion_weight = 0.0;
+  ShotFingerprint a =
+      MakeFp(16, 9, PixelRGB(0, 0, 0), CameraMotionLabel::kStatic);
+  ShotFingerprint b =
+      MakeFp(25, 9, PixelRGB(255, 255, 255), CameraMotionLabel::kPanLeft);
+  // D^v: (4-3) vs (5-3) -> d_dv = 1; sqrtBA: 4 vs 5 -> d_ba = 1.
+  EXPECT_NEAR(FingerprintDistance(a, b, paper_only), std::sqrt(2.0), 1e-12);
+}
+
+TEST(FingerprintDistanceTest, ColorTermScales) {
+  FingerprintWeights weights;
+  weights.variance_weight = 0.0;
+  weights.motion_weight = 0.0;
+  weights.color_weight = 4.0;
+  ShotFingerprint a =
+      MakeFp(0, 0, PixelRGB(0, 0, 0), CameraMotionLabel::kStatic);
+  ShotFingerprint b =
+      MakeFp(0, 0, PixelRGB(128, 0, 0), CameraMotionLabel::kStatic);
+  EXPECT_NEAR(FingerprintDistance(a, b, weights), 4.0 * 128 / 256.0, 1e-12);
+}
+
+TEST(FingerprintDistanceTest, MotionTermFullAndSoft) {
+  FingerprintWeights weights;
+  weights.variance_weight = 0.0;
+  weights.color_weight = 0.0;
+  weights.motion_weight = 2.0;
+  ShotFingerprint stat =
+      MakeFp(0, 0, PixelRGB(), CameraMotionLabel::kStatic);
+  ShotFingerprint pan = MakeFp(0, 0, PixelRGB(), CameraMotionLabel::kPanLeft);
+  ShotFingerprint complex_fp =
+      MakeFp(0, 0, PixelRGB(), CameraMotionLabel::kComplex);
+  EXPECT_DOUBLE_EQ(FingerprintDistance(stat, pan, weights), 2.0);
+  EXPECT_DOUBLE_EQ(FingerprintDistance(stat, complex_fp, weights), 1.0);
+  EXPECT_DOUBLE_EQ(FingerprintDistance(stat, stat, weights), 0.0);
+}
+
+TEST(FingerprintDistanceTest, Symmetric) {
+  ShotFingerprint a =
+      MakeFp(16, 1, PixelRGB(10, 20, 30), CameraMotionLabel::kPanLeft);
+  ShotFingerprint b =
+      MakeFp(4, 25, PixelRGB(200, 100, 50), CameraMotionLabel::kZoomIn);
+  FingerprintWeights w;
+  EXPECT_DOUBLE_EQ(FingerprintDistance(a, b, w),
+                   FingerprintDistance(b, a, w));
+}
+
+TEST(FingerprintIndexTest, TopKOrdersByDistance) {
+  FingerprintIndex index;
+  index.Add(0, 0, MakeFp(16, 9, PixelRGB(100, 100, 100),
+                         CameraMotionLabel::kStatic));
+  index.Add(0, 1, MakeFp(16.5, 9, PixelRGB(100, 100, 100),
+                         CameraMotionLabel::kStatic));
+  index.Add(0, 2, MakeFp(100, 9, PixelRGB(10, 10, 10),
+                         CameraMotionLabel::kPanLeft));
+  ShotFingerprint query =
+      MakeFp(16, 9, PixelRGB(100, 100, 100), CameraMotionLabel::kStatic);
+  std::vector<FingerprintMatch> top = index.QueryTopK(query, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].shot_index, 0);
+  EXPECT_EQ(top[1].shot_index, 1);
+  EXPECT_LE(top[0].distance, top[1].distance);
+}
+
+TEST(FingerprintIndexTest, ExclusionAndTruncation) {
+  FingerprintIndex index;
+  for (int i = 0; i < 5; ++i) {
+    index.Add(1, i, MakeFp(16 + i, 9, PixelRGB(100, 100, 100),
+                           CameraMotionLabel::kStatic));
+  }
+  ShotFingerprint query =
+      MakeFp(16, 9, PixelRGB(100, 100, 100), CameraMotionLabel::kStatic);
+  std::vector<FingerprintMatch> top =
+      index.QueryTopK(query, 10, FingerprintWeights(), 1, 0);
+  EXPECT_EQ(top.size(), 4u);
+  for (const FingerprintMatch& m : top) {
+    EXPECT_NE(m.shot_index, 0);
+  }
+  EXPECT_EQ(index.QueryTopK(query, 2).size(), 2u);
+}
+
+TEST(FingerprintComputeTest, EndToEndOnRenderedShot) {
+  Storyboard board;
+  board.name = "fp";
+  board.seed = 21;
+  ShotSpec shot;
+  shot.scene_id = 0;
+  shot.frame_count = 30;
+  shot.camera.type = CameraMotionType::kPan;
+  shot.camera.speed = 2.0;
+  board.shots.push_back(shot);
+  SyntheticVideo sv = RenderStoryboard(board).value();
+  VideoSignatures sigs = ComputeVideoSignatures(sv.video).value();
+  ShotFingerprint fp =
+      ComputeShotFingerprint(sigs, Shot{0, 29}).value();
+  EXPECT_EQ(fp.motion, CameraMotionLabel::kPanRight);
+  EXPECT_GT(fp.variances.var_ba, 0.0);
+  // The mean sign sits inside the colour range spanned by the signs.
+  EXPECT_GT(static_cast<int>(fp.mean_sign_ba.r) +
+                fp.mean_sign_ba.g + fp.mean_sign_ba.b,
+            0);
+}
+
+TEST(FingerprintComputeTest, RejectsBadRange) {
+  VideoSignatures sigs;
+  sigs.frames.resize(3);
+  EXPECT_FALSE(ComputeShotFingerprint(sigs, Shot{0, 5}).ok());
+}
+
+}  // namespace
+}  // namespace vdb

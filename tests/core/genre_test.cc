@@ -1,0 +1,150 @@
+#include "core/genre.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+
+namespace vdb {
+namespace {
+
+TEST(GenreTest, TablesAreNonEmptyAndUnique) {
+  const auto& genres = GenreNames();
+  const auto& forms = FormNames();
+  EXPECT_GE(genres.size(), 30u);
+  EXPECT_GE(forms.size(), 10u);
+  for (size_t i = 0; i < genres.size(); ++i) {
+    for (size_t j = i + 1; j < genres.size(); ++j) {
+      EXPECT_NE(genres[i], genres[j]);
+    }
+  }
+}
+
+TEST(GenreTest, LookupsRoundTrip) {
+  for (size_t i = 0; i < GenreNames().size(); ++i) {
+    Result<int> id = GenreIdByName(GenreNames()[i]);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<int>(i));
+  }
+  EXPECT_FALSE(GenreIdByName("polka documentary").ok());
+  EXPECT_FALSE(FormIdByName("betamax").ok());
+}
+
+TEST(GenreTest, PaperExampleClassifications) {
+  // 'Brave Heart' is 'adventure and biographical feature' (Section 4.1).
+  VideoClassification brave_heart =
+      MakeClassification({"adventure", "biographical"}, "feature").value();
+  EXPECT_EQ(brave_heart.genre_ids.size(), 2u);
+  EXPECT_TRUE(brave_heart.HasGenre(GenreIdByName("adventure").value()));
+  EXPECT_EQ(ClassificationLabel(brave_heart),
+            "adventure, biographical feature");
+
+  // 'Dr. Zhivago' is 'adaptation, historical, and romance feature'.
+  VideoClassification zhivago =
+      MakeClassification({"adaptation", "historical", "romance"}, "feature")
+          .value();
+  EXPECT_EQ(zhivago.genre_ids.size(), 3u);
+}
+
+TEST(GenreTest, MakeClassificationRejectsUnknownNames) {
+  EXPECT_FALSE(MakeClassification({"adventure", "nonsense"}, "feature").ok());
+  EXPECT_FALSE(MakeClassification({"adventure"}, "nonsense").ok());
+}
+
+TEST(GenreTest, DuplicateGenresCollapse) {
+  VideoClassification c =
+      MakeClassification({"comedy", "comedy"}, "short").value();
+  EXPECT_EQ(c.genre_ids.size(), 1u);
+}
+
+TEST(ClassFilterTest, Matching) {
+  VideoClassification c =
+      MakeClassification({"western", "romance"}, "feature").value();
+  ClassFilter any;
+  EXPECT_TRUE(any.Matches(c));
+  ClassFilter western;
+  western.genre_id = GenreIdByName("western").value();
+  EXPECT_TRUE(western.Matches(c));
+  ClassFilter horror;
+  horror.genre_id = GenreIdByName("horror").value();
+  EXPECT_FALSE(horror.Matches(c));
+  ClassFilter feature;
+  feature.form_id = FormIdByName("feature").value();
+  EXPECT_TRUE(feature.Matches(c));
+  ClassFilter serial;
+  serial.form_id = FormIdByName("serial").value();
+  EXPECT_FALSE(serial.Matches(c));
+}
+
+TEST(ClassifiedSearchTest, RestrictsToTheClass) {
+  SyntheticVideo sv = testsupport::CachedRender(TenShotStoryboard());
+  VideoDatabase db;
+  Video second = sv.video;
+  second.set_name("western-copy");
+  ASSERT_TRUE(db.Ingest(sv.video).ok());   // video 0: comedy feature
+  ASSERT_TRUE(db.Ingest(second).ok());     // video 1: western feature
+  ASSERT_TRUE(
+      db.SetClassification(
+            0, MakeClassification({"comedy"}, "feature").value())
+          .ok());
+  ASSERT_TRUE(
+      db.SetClassification(
+            1, MakeClassification({"western"}, "feature").value())
+          .ok());
+  EXPECT_FALSE(db.SetClassification(7, VideoClassification()).ok());
+
+  VarianceQuery q;
+  q.var_ba = 10.0;
+  q.var_oa = 4.0;
+
+  ClassFilter westerns;
+  westerns.genre_id = GenreIdByName("western").value();
+  auto western_hits = db.SearchWithinClass(q, 5, westerns).value();
+  ASSERT_FALSE(western_hits.empty());
+  for (const BrowsingSuggestion& s : western_hits) {
+    EXPECT_EQ(s.match.entry.video_id, 1);
+  }
+
+  // Both videos are features: the form filter spans them.
+  ClassFilter features;
+  features.form_id = FormIdByName("feature").value();
+  auto feature_hits = db.SearchWithinClass(q, 20, features).value();
+  bool saw0 = false, saw1 = false;
+  for (const BrowsingSuggestion& s : feature_hits) {
+    saw0 |= s.match.entry.video_id == 0;
+    saw1 |= s.match.entry.video_id == 1;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+
+  // An empty class returns nothing.
+  ClassFilter horror;
+  horror.genre_id = GenreIdByName("horror").value();
+  EXPECT_TRUE(db.SearchWithinClass(q, 5, horror).value().empty());
+}
+
+TEST(ClassifiedSearchTest, ClassificationSurvivesCatalogRoundTrip) {
+  SyntheticVideo sv = testsupport::CachedRender(TenShotStoryboard());
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(sv.video).ok());
+  ASSERT_TRUE(db.SetClassification(
+                    0, MakeClassification({"adventure", "war"}, "feature")
+                           .value())
+                  .ok());
+  std::string path = testing::TempDir() + "/genre_catalog.vdbcat";
+  ASSERT_TRUE(SaveCatalog(db, path).ok());
+  VideoDatabase restored;
+  ASSERT_TRUE(LoadCatalog(path, &restored).ok());
+  const VideoClassification& c =
+      restored.GetEntry(0).value()->classification;
+  EXPECT_EQ(c.genre_ids.size(), 2u);
+  EXPECT_EQ(c.form_id, FormIdByName("feature").value());
+  EXPECT_EQ(ClassificationLabel(c), "adventure, war feature");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,182 @@
+#include "core/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(SizeSetTest, Equation1Values) {
+  // s_j = 1 + sum_{i=2..j} 2^i: 1, 5, 13, 29, 61, 125, 253, ...
+  EXPECT_EQ(SizeSetElement(1), 1);
+  EXPECT_EQ(SizeSetElement(2), 5);
+  EXPECT_EQ(SizeSetElement(3), 13);
+  EXPECT_EQ(SizeSetElement(4), 29);
+  EXPECT_EQ(SizeSetElement(5), 61);
+  EXPECT_EQ(SizeSetElement(6), 125);
+  EXPECT_EQ(SizeSetElement(7), 253);
+}
+
+TEST(SizeSetTest, RecurrenceHolds) {
+  // s_j = 2*s_{j-1} + 3 — the 5-to-1 pyramid step needs exactly this.
+  for (int j = 2; j < 10; ++j) {
+    EXPECT_EQ(SizeSetElement(j), 2 * SizeSetElement(j - 1) + 3);
+  }
+}
+
+TEST(SizeSetTest, Membership) {
+  EXPECT_TRUE(IsSizeSetElement(1));
+  EXPECT_TRUE(IsSizeSetElement(5));
+  EXPECT_TRUE(IsSizeSetElement(13));
+  EXPECT_TRUE(IsSizeSetElement(125));
+  EXPECT_FALSE(IsSizeSetElement(0));
+  EXPECT_FALSE(IsSizeSetElement(2));
+  EXPECT_FALSE(IsSizeSetElement(12));
+  EXPECT_FALSE(IsSizeSetElement(-5));
+}
+
+// Table 1: estimate ranges -> snapped values.
+struct SnapCase {
+  int estimate;
+  int expected;
+};
+
+class SnapToSizeSetTest : public testing::TestWithParam<SnapCase> {};
+
+TEST_P(SnapToSizeSetTest, MatchesTable1) {
+  EXPECT_EQ(SnapToSizeSet(GetParam().estimate), GetParam().expected)
+      << "estimate " << GetParam().estimate;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, SnapToSizeSetTest,
+    testing::Values(SnapCase{1, 1}, SnapCase{2, 1}, SnapCase{3, 5},
+                    SnapCase{8, 5}, SnapCase{9, 13}, SnapCase{16, 13},
+                    SnapCase{20, 13}, SnapCase{21, 29}, SnapCase{44, 29},
+                    SnapCase{45, 61}, SnapCase{92, 61}, SnapCase{93, 125},
+                    SnapCase{104, 125}, SnapCase{128, 125},
+                    SnapCase{188, 125}, SnapCase{189, 253},
+                    SnapCase{368, 253}));
+
+TEST(AreaGeometryTest, PaperExample160x120) {
+  // The paper's running example: c=160 -> w'=16 -> w=13.
+  Result<AreaGeometry> g = ComputeAreaGeometry(160, 120);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->w_estimate, 16);
+  EXPECT_EQ(g->w, 13);
+  EXPECT_EQ(g->b_estimate, 128);   // c - 2w'
+  EXPECT_EQ(g->b, 125);
+  EXPECT_EQ(g->h_estimate, 104);   // r - w'
+  EXPECT_EQ(g->h, 125);
+  EXPECT_EQ(g->l_estimate, 368);   // c + 2h'
+  EXPECT_EQ(g->l, 253);
+}
+
+TEST(AreaGeometryTest, AllDimensionsInSizeSet) {
+  for (int w : {64, 100, 160, 320, 640}) {
+    for (int h : {48, 120, 240, 480}) {
+      Result<AreaGeometry> g = ComputeAreaGeometry(w, h);
+      if (h <= w / 10) {
+        // Extreme aspect ratios leave no room for the FOA.
+        EXPECT_FALSE(g.ok()) << w << "x" << h;
+        continue;
+      }
+      ASSERT_TRUE(g.ok()) << w << "x" << h;
+      EXPECT_TRUE(IsSizeSetElement(g->w));
+      EXPECT_TRUE(IsSizeSetElement(g->b));
+      EXPECT_TRUE(IsSizeSetElement(g->h));
+      EXPECT_TRUE(IsSizeSetElement(g->l));
+    }
+  }
+}
+
+TEST(AreaGeometryTest, RejectsTinyFrames) {
+  EXPECT_FALSE(ComputeAreaGeometry(8, 100).ok());
+  EXPECT_FALSE(ComputeAreaGeometry(100, 8).ok());
+  EXPECT_FALSE(ComputeAreaGeometry(0, 0).ok());
+}
+
+TEST(AreaGeometryTest, RejectsExtremeAspectRatio) {
+  EXPECT_FALSE(ComputeAreaGeometry(640, 48).ok());
+  EXPECT_TRUE(ComputeAreaGeometry(640, 65).ok());
+}
+
+TEST(TbaExtractionTest, NaturalSizeAndLayout) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  // Distinct colours in each FBA part.
+  Frame f(160, 120, PixelRGB(0, 0, 0));  // FOA black
+  for (int y = 0; y < geom.w_estimate; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      f.at(x, y) = PixelRGB(255, 0, 0);  // top bar red
+    }
+  }
+  for (int y = geom.w_estimate; y < 120; ++y) {
+    for (int x = 0; x < geom.w_estimate; ++x) {
+      f.at(x, y) = PixelRGB(0, 255, 0);  // left column green
+    }
+    for (int x = 160 - geom.w_estimate; x < 160; ++x) {
+      f.at(x, y) = PixelRGB(0, 0, 255);  // right column blue
+    }
+  }
+
+  Result<Frame> tba = ExtractNaturalTba(f, geom);
+  ASSERT_TRUE(tba.ok());
+  EXPECT_EQ(tba->width(), geom.l_estimate);
+  EXPECT_EQ(tba->height(), geom.w_estimate);
+  // Strip layout: [left | top | right].
+  EXPECT_EQ(tba->at(0, 0), PixelRGB(0, 255, 0));
+  EXPECT_EQ(tba->at(geom.h_estimate + 10, 0), PixelRGB(255, 0, 0));
+  EXPECT_EQ(tba->at(geom.l_estimate - 1, 0), PixelRGB(0, 0, 255));
+  // No FOA pixel leaks into the TBA.
+  for (int y = 0; y < tba->height(); ++y) {
+    for (int x = 0; x < tba->width(); ++x) {
+      EXPECT_NE(tba->at(x, y), PixelRGB(0, 0, 0))
+          << "FOA pixel leaked at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(TbaExtractionTest, RotationKeepsBarAdjacency) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame f(160, 120, PixelRGB(0, 0, 0));
+  // Mark the left column's topmost row (adjacent to the bar).
+  for (int x = 0; x < geom.w_estimate; ++x) {
+    f.at(x, geom.w_estimate) = PixelRGB(200, 100, 50);
+  }
+  Frame tba = ExtractNaturalTba(f, geom).value();
+  // That row must land at the strip column touching the top bar section.
+  EXPECT_EQ(tba.at(geom.h_estimate - 1, 0), PixelRGB(200, 100, 50));
+}
+
+TEST(TbaExtractionTest, SnappedSize) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame f(160, 120, PixelRGB(10, 20, 30));
+  Result<Frame> tba = ExtractTba(f, geom);
+  ASSERT_TRUE(tba.ok());
+  EXPECT_EQ(tba->width(), geom.l);
+  EXPECT_EQ(tba->height(), geom.w);
+}
+
+TEST(FoaExtractionTest, RectAndSnappedSize) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Rect r = FoaRect(geom);
+  EXPECT_EQ(r.x, geom.w_estimate);
+  EXPECT_EQ(r.y, geom.w_estimate);
+  EXPECT_EQ(r.width, geom.b_estimate);
+  EXPECT_EQ(r.height, geom.h_estimate);
+
+  Frame f(160, 120, PixelRGB(1, 2, 3));
+  Result<Frame> foa = ExtractFoa(f, geom);
+  ASSERT_TRUE(foa.ok());
+  EXPECT_EQ(foa->width(), geom.b);
+  EXPECT_EQ(foa->height(), geom.h);
+}
+
+TEST(ExtractionTest, RejectsMismatchedFrame) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame wrong(100, 100);
+  EXPECT_FALSE(ExtractNaturalTba(wrong, geom).ok());
+  EXPECT_FALSE(ExtractFoa(wrong, geom).ok());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,162 @@
+#include "core/pyramid.h"
+
+#include <gtest/gtest.h>
+
+#include "core/geometry.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+Signature ConstantLine(int n, PixelRGB p) {
+  return Signature(static_cast<size_t>(n), p);
+}
+
+TEST(ReduceLineOnceTest, FiveToOne) {
+  Signature in = ConstantLine(5, PixelRGB(100, 100, 100));
+  Result<Signature> out = ReduceLineOnce(in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], PixelRGB(100, 100, 100));
+}
+
+TEST(ReduceLineOnceTest, SizeProgression) {
+  // 13 -> 5 -> 1, 29 -> 13, 61 -> 29.
+  for (int j = 3; j <= 6; ++j) {
+    Signature in = ConstantLine(SizeSetElement(j), PixelRGB(7, 7, 7));
+    Result<Signature> out = ReduceLineOnce(in);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(static_cast<int>(out->size()), SizeSetElement(j - 1));
+  }
+}
+
+TEST(ReduceLineOnceTest, RejectsNonSizeSetLengths) {
+  EXPECT_FALSE(ReduceLineOnce(ConstantLine(4, PixelRGB())).ok());
+  EXPECT_FALSE(ReduceLineOnce(ConstantLine(12, PixelRGB())).ok());
+  // 1 is in the size set but cannot be reduced further.
+  EXPECT_FALSE(ReduceLineOnce(ConstantLine(1, PixelRGB())).ok());
+  EXPECT_FALSE(ReduceLineOnce(ConstantLine(0, PixelRGB())).ok());
+}
+
+TEST(ReduceLineOnceTest, KernelWeightsKnownValue) {
+  // Input [0, 0, 16, 0, 0] with kernel [1 4 6 4 1]/16 -> 16*6/16 = 6.
+  Signature in(5, PixelRGB(0, 0, 0));
+  in[2] = PixelRGB(16, 16, 16);
+  Result<Signature> out = ReduceLineOnce(in);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], PixelRGB(6, 6, 6));
+}
+
+TEST(ReduceLineOnceTest, WindowsOverlapCorrectly) {
+  // 13 inputs; output i draws from inputs 2i..2i+4. Input 6 is the centre
+  // of output 2's window (weight 6/16) and the outermost sample of output
+  // 1's and 3's windows (weight 1/16).
+  Signature in(13, PixelRGB(0, 0, 0));
+  in[6] = PixelRGB(160, 160, 160);
+  Result<Signature> out = ReduceLineOnce(in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 5u);
+  EXPECT_EQ((*out)[0], PixelRGB(0, 0, 0));
+  EXPECT_EQ((*out)[1], PixelRGB(10, 10, 10));  // weight 1/16
+  EXPECT_EQ((*out)[2], PixelRGB(60, 60, 60));  // weight 6/16
+  EXPECT_EQ((*out)[3], PixelRGB(10, 10, 10));
+  EXPECT_EQ((*out)[4], PixelRGB(0, 0, 0));
+}
+
+TEST(ReduceLineToPixelTest, ConstantInvariance) {
+  for (int j = 1; j <= 6; ++j) {
+    Signature in = ConstantLine(SizeSetElement(j), PixelRGB(42, 17, 200));
+    Result<PixelRGB> out = ReduceLineToPixel(in);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, PixelRGB(42, 17, 200)) << "size " << SizeSetElement(j);
+  }
+}
+
+TEST(ReduceLineToPixelTest, ResultNearMeanForRandomLines) {
+  Pcg32 rng(3);
+  Signature in(61);
+  double mean = 0;
+  for (PixelRGB& p : in) {
+    uint8_t v = static_cast<uint8_t>(rng.NextBounded(256));
+    p = PixelRGB(v, v, v);
+    mean += v;
+  }
+  mean /= 61.0;
+  PixelRGB out = ReduceLineToPixel(in).value();
+  // A weighted average stays within the value range and near the mean.
+  EXPECT_NEAR(out.r, mean, 60.0);
+}
+
+TEST(ReduceColumnsTest, Figure3Structure) {
+  // A 13x5 TBA (the paper's illustration) reduces to a 13-pixel signature,
+  // then to a single sign.
+  Frame tba(13, 5, PixelRGB(90, 80, 70));
+  Result<Signature> sig = ReduceColumnsToLine(tba);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->size(), 13u);
+  for (const PixelRGB& p : *sig) {
+    EXPECT_EQ(p, PixelRGB(90, 80, 70));
+  }
+  Result<AreaReduction> red = ReduceArea(tba);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->sign, PixelRGB(90, 80, 70));
+}
+
+TEST(ReduceColumnsTest, ColumnsIndependent) {
+  Frame tba(5, 5, PixelRGB(0, 0, 0));
+  for (int y = 0; y < 5; ++y) {
+    tba.at(2, y) = PixelRGB(200, 200, 200);
+  }
+  Signature sig = ReduceColumnsToLine(tba).value();
+  EXPECT_EQ(sig[0], PixelRGB(0, 0, 0));
+  EXPECT_EQ(sig[2], PixelRGB(200, 200, 200));
+  EXPECT_EQ(sig[4], PixelRGB(0, 0, 0));
+}
+
+TEST(ReduceColumnsTest, RejectsBadHeights) {
+  EXPECT_FALSE(ReduceColumnsToLine(Frame(10, 4)).ok());
+  EXPECT_FALSE(ReduceColumnsToLine(Frame()).ok());
+}
+
+TEST(ReduceAreaTest, RejectsNonSizeSetWidth) {
+  EXPECT_FALSE(ReduceArea(Frame(12, 5)).ok());
+}
+
+TEST(ReduceAreaTest, RealGeometryDimensions) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame tba(geom.l, geom.w, PixelRGB(33, 66, 99));
+  Result<AreaReduction> red = ReduceArea(tba);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(static_cast<int>(red->signature.size()), geom.l);
+  EXPECT_EQ(red->sign, PixelRGB(33, 66, 99));
+}
+
+// Property: reduction output of any valid size stays within [min, max] of
+// the input per channel.
+class PyramidBoundsTest : public testing::TestWithParam<int> {};
+
+TEST_P(PyramidBoundsTest, OutputWithinInputRange) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()));
+  Signature in(static_cast<size_t>(SizeSetElement(4 + GetParam() % 3)));
+  int lo = 255, hi = 0;
+  for (PixelRGB& p : in) {
+    p = PixelRGB(static_cast<uint8_t>(rng.NextBounded(256)),
+                 static_cast<uint8_t>(rng.NextBounded(256)),
+                 static_cast<uint8_t>(rng.NextBounded(256)));
+    lo = std::min({lo, int(p.r), int(p.g), int(p.b)});
+    hi = std::max({hi, int(p.r), int(p.g), int(p.b)});
+  }
+  PixelRGB out = ReduceLineToPixel(in).value();
+  EXPECT_GE(int(out.r), lo - 1);
+  EXPECT_LE(int(out.r), hi + 1);
+  EXPECT_GE(int(out.g), lo - 1);
+  EXPECT_LE(int(out.g), hi + 1);
+  EXPECT_GE(int(out.b), lo - 1);
+  EXPECT_LE(int(out.b), hi + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLines, PyramidBoundsTest,
+                         testing::Range(0, 20));
+
+}  // namespace
+}  // namespace vdb

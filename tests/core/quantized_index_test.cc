@@ -1,0 +1,122 @@
+#include "core/quantized_index.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+IndexEntry Entry(int shot, double var_ba, double var_oa) {
+  return IndexEntry{0, shot, var_ba, var_oa};
+}
+
+TEST(QuantizedIndexTest, SameCellMatches) {
+  QuantizedVarianceIndex index;
+  // Query Dv = 1, sqrtBA = 4 lands in cell (0, 2) with sides 2x2.
+  index.Add(Entry(0, 16.0, 9.0));   // Dv 1, sqrtBA 4 -> same cell
+  index.Add(Entry(1, 17.0, 9.5));   // nearby, same cell
+  index.Add(Entry(2, 400.0, 9.0));  // Dv 17, far cell
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 9.0;
+  std::vector<QueryMatch> matches = index.Query(q);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].entry.shot_index, 0);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+}
+
+TEST(QuantizedIndexTest, BorderMissWithoutNeighborProbing) {
+  // Two shots 0.2 apart in Dv but on opposite sides of a cell border
+  // (cells are [0,2), [2,4) ...): plain quantized lookup misses one.
+  QuantizedVarianceIndex::Options opts;
+  QuantizedVarianceIndex plain(opts);
+  opts.probe_neighbors = true;
+  QuantizedVarianceIndex probing(opts);
+  for (auto* index : {&plain, &probing}) {
+    index->Add(Entry(0, std::pow(2.1 + 3.0, 2), 9.0));  // Dv = 2.1
+    index->Add(Entry(1, std::pow(1.9 + 3.0, 2), 9.0));  // Dv = 1.9
+  }
+  VarianceQuery q;  // query at Dv = 2.1's position
+  q.var_ba = std::pow(2.1 + 3.0, 2);
+  q.var_oa = 9.0;
+  EXPECT_EQ(plain.Query(q).size(), 1u);
+  EXPECT_EQ(probing.Query(q).size(), 2u);
+}
+
+TEST(QuantizedIndexTest, MatchesSortedByDistance) {
+  QuantizedVarianceIndex index;
+  index.Add(Entry(0, 16.0, 9.0));
+  index.Add(Entry(1, 18.0, 9.0));
+  index.Add(Entry(2, 16.5, 9.0));
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 9.0;
+  std::vector<QueryMatch> matches = index.Query(q);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].distance, matches[i].distance);
+  }
+}
+
+TEST(QuantizedIndexTest, CellCountGrowsWithSpread) {
+  QuantizedVarianceIndex index;
+  for (int i = 0; i < 10; ++i) {
+    index.Add(Entry(i, std::pow(3.0 * i, 2), 0.0));
+  }
+  EXPECT_EQ(index.size(), 10);
+  EXPECT_GT(index.cell_count(), 5);
+}
+
+TEST(QuantizedIndexTest, NegativeDvCellsWork) {
+  QuantizedVarianceIndex index;
+  index.Add(Entry(0, 0.0, 25.0));  // Dv = -5
+  VarianceQuery q;
+  q.var_ba = 0.0;
+  q.var_oa = 25.0;
+  std::vector<QueryMatch> matches = index.Query(q);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+}
+
+// Property: every quantized match (same cell) is within the cell diagonal
+// of the query, and with neighbour probing every banded match whose band
+// fits inside the cell size is found.
+class QuantizedVsBandedTest : public testing::TestWithParam<int> {};
+
+TEST_P(QuantizedVsBandedTest, NeighborProbingCoversTheBand) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  VarianceIndex banded;
+  QuantizedVarianceIndex::Options opts;
+  opts.probe_neighbors = true;
+  QuantizedVarianceIndex quantized(opts);
+  for (int i = 0; i < 300; ++i) {
+    IndexEntry e = Entry(i, rng.NextDouble(0, 200), rng.NextDouble(0, 200));
+    banded.Add(e);
+    quantized.Add(e);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    VarianceQuery q;
+    q.var_ba = rng.NextDouble(0, 200);
+    q.var_oa = rng.NextDouble(0, 200);
+    q.alpha = 1.0;
+    q.beta = 1.0;
+    std::set<int> quantized_ids;
+    for (const QueryMatch& m : quantized.Query(q)) {
+      quantized_ids.insert(m.entry.shot_index);
+    }
+    // Band half-width 1 <= cell side 2: the 3x3 probe must cover it.
+    for (const QueryMatch& m : banded.Query(q)) {
+      EXPECT_TRUE(quantized_ids.count(m.entry.shot_index))
+          << "banded match missed by quantized+neighbors";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizedVsBandedTest,
+                         testing::Range(0, 6));
+
+}  // namespace
+}  // namespace vdb

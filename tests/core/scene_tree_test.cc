@@ -1,0 +1,402 @@
+#include "core/scene_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+// Mocked signatures: each shot gets constant (or per-frame scripted) signs.
+// Scene bases are spaced > 10% of 256 apart; within-scene wobble stays well
+// inside the RELATIONSHIP threshold.
+struct MockShot {
+  std::vector<uint8_t> frame_values;  // gray sign value per frame
+};
+
+VideoSignatures MockSignatures(const std::vector<MockShot>& mock,
+                               std::vector<Shot>* shots) {
+  VideoSignatures sigs;
+  shots->clear();
+  for (const MockShot& m : mock) {
+    int start = sigs.frame_count();
+    for (uint8_t v : m.frame_values) {
+      FrameSignature fs;
+      fs.sign_ba = PixelRGB(v, v, v);
+      fs.sign_oa = PixelRGB(v, v, v);
+      sigs.frames.push_back(fs);
+    }
+    shots->push_back(Shot{start, sigs.frame_count() - 1});
+  }
+  return sigs;
+}
+
+// Five frames around a base value with a run of `run` identical frames at
+// the start.
+MockShot ShotWithRun(uint8_t base, int run, int total = 5) {
+  MockShot m;
+  for (int i = 0; i < total; ++i) {
+    if (i < run) {
+      m.frame_values.push_back(base);
+    } else {
+      m.frame_values.push_back(
+          static_cast<uint8_t>(base + 1 + (i % 3)));
+    }
+  }
+  return m;
+}
+
+TEST(RelationshipTest, SameSceneShotsAreRelated) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs =
+      MockSignatures({ShotWithRun(10, 3), ShotWithRun(14, 2)}, &shots);
+  SceneTreeOptions opts;
+  EXPECT_TRUE(ShotsRelated(sigs, shots[0], shots[1], opts));
+}
+
+TEST(RelationshipTest, DifferentScenesAreNotRelated) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs =
+      MockSignatures({ShotWithRun(10, 3), ShotWithRun(80, 3)}, &shots);
+  SceneTreeOptions opts;
+  EXPECT_FALSE(ShotsRelated(sigs, shots[0], shots[1], opts));
+}
+
+TEST(RelationshipTest, ThresholdIsStrict) {
+  // Exactly 10%: 25.6 levels. A diff of 25 is < 10%, 26 is not.
+  std::vector<Shot> shots;
+  VideoSignatures near =
+      MockSignatures({{{100, 100}}, {{125, 125}}}, &shots);
+  SceneTreeOptions opts;
+  EXPECT_TRUE(ShotsRelated(near, shots[0], shots[1], opts));
+  VideoSignatures far = MockSignatures({{{100, 100}}, {{126, 126}}}, &shots);
+  EXPECT_FALSE(ShotsRelated(far, shots[0], shots[1], opts));
+}
+
+TEST(RelationshipTest, DiagonalScanCanMissExhaustiveFinds) {
+  // Shot A: values [0, 60]; shot B: [60, 0]. The diagonal walk compares
+  // (0,60) and (60,0) — both differ by 60. Exhaustive comparison finds the
+  // equal pairs.
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({{{0, 60}}, {{60, 0}}}, &shots);
+  SceneTreeOptions diagonal;
+  EXPECT_FALSE(ShotsRelated(sigs, shots[0], shots[1], diagonal));
+  SceneTreeOptions exhaustive;
+  exhaustive.diagonal_scan = false;
+  EXPECT_TRUE(ShotsRelated(sigs, shots[0], shots[1], exhaustive));
+}
+
+TEST(RelationshipTest, DiagonalWrapsShorterShot) {
+  // Shot A has 4 frames, B has 2; j wraps so frame 3 of A meets frame 1 of
+  // B again. Only the pair (A[3], B[1]) matches.
+  std::vector<Shot> shots;
+  VideoSignatures sigs =
+      MockSignatures({{{0, 60, 120, 180}}, {{60, 180}}}, &shots);
+  SceneTreeOptions opts;
+  EXPECT_TRUE(ShotsRelated(sigs, shots[0], shots[1], opts));
+}
+
+TEST(RepetitiveRunTest, Table2Example) {
+  // The paper's Table 2: runs of 6/2/4/2/6; the first 6-run wins the tie.
+  MockShot m;
+  auto add = [&](int n, uint8_t v) {
+    for (int i = 0; i < n; ++i) m.frame_values.push_back(v);
+  };
+  add(6, 219);
+  add(2, 226);
+  add(4, 213);
+  add(2, 200);
+  add(6, 228);
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({m}, &shots);
+  RepetitiveRun run = FindMostRepetitiveRun(sigs, shots[0]).value();
+  EXPECT_EQ(run.start_frame, 0);  // frame No.1 in the paper's 1-based table
+  EXPECT_EQ(run.length, 6);
+}
+
+TEST(RepetitiveRunTest, LaterLongerRunWins) {
+  MockShot m;
+  m.frame_values = {5, 5, 9, 9, 9};
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({m}, &shots);
+  RepetitiveRun run = FindMostRepetitiveRun(sigs, shots[0]).value();
+  EXPECT_EQ(run.start_frame, 2);
+  EXPECT_EQ(run.length, 3);
+}
+
+TEST(RepetitiveRunTest, SingleFrameShot) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({{{42}}}, &shots);
+  RepetitiveRun run = FindMostRepetitiveRun(sigs, shots[0]).value();
+  EXPECT_EQ(run.start_frame, 0);
+  EXPECT_EQ(run.length, 1);
+}
+
+TEST(RepetitiveRunTest, RejectsBadRange) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({{{1, 2, 3}}}, &shots);
+  EXPECT_FALSE(FindMostRepetitiveRun(sigs, Shot{0, 5}).ok());
+}
+
+// The paper's ten-shot example (Figure 5/6): scenes A, B, C, D with bases
+// 10, 60, 110, 160.
+std::vector<MockShot> Figure5Shots() {
+  return {
+      ShotWithRun(10, 5),   // #1  A   (longest run in EN1 -> names it)
+      ShotWithRun(60, 2),   // #2  B
+      ShotWithRun(14, 2),   // #3  A1
+      ShotWithRun(64, 2),   // #4  B1
+      ShotWithRun(110, 2),  // #5  C
+      ShotWithRun(13, 2),   // #6  A2
+      ShotWithRun(113, 4),  // #7  C1  (longest run in EN2 -> names it)
+      ShotWithRun(160, 2),  // #8  D
+      ShotWithRun(164, 3),  // #9  D1  (longest run in EN4 -> names it)
+      ShotWithRun(161, 2),  // #10 D2
+  };
+}
+
+class Figure6Test : public testing::Test {
+ protected:
+  void SetUp() override {
+    sigs_ = MockSignatures(Figure5Shots(), &shots_);
+    SceneTreeBuilder builder;
+    Result<SceneTree> tree = builder.Build(sigs_, shots_);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    tree_ = std::move(tree).value();
+  }
+
+  int ParentOfShot(int shot) const {
+    return tree_.node(tree_.LeafForShot(shot)).parent;
+  }
+
+  VideoSignatures sigs_;
+  std::vector<Shot> shots_;
+  SceneTree tree_;
+};
+
+TEST_F(Figure6Test, ValidatesAndHasOneLeafPerShot) {
+  EXPECT_TRUE(tree_.Validate().ok());
+  EXPECT_EQ(tree_.shot_count(), 10);
+  for (int i = 0; i < 10; ++i) {
+    const SceneNode& leaf = tree_.node(tree_.LeafForShot(i));
+    EXPECT_TRUE(leaf.IsLeaf());
+    EXPECT_EQ(leaf.shot_index, i);
+    EXPECT_EQ(leaf.level, 0);
+  }
+}
+
+TEST_F(Figure6Test, GroupsMatchFigure6) {
+  // EN1 = {1,2,3,4}, EN2 = {5,6,7}, EN4 = {8,9,10} (1-based shot numbers).
+  int en1 = ParentOfShot(0);
+  EXPECT_EQ(ParentOfShot(1), en1);
+  EXPECT_EQ(ParentOfShot(2), en1);
+  EXPECT_EQ(ParentOfShot(3), en1);
+
+  int en2 = ParentOfShot(4);
+  EXPECT_NE(en2, en1);
+  EXPECT_EQ(ParentOfShot(5), en2);
+  EXPECT_EQ(ParentOfShot(6), en2);
+
+  int en4 = ParentOfShot(7);
+  EXPECT_NE(en4, en1);
+  EXPECT_NE(en4, en2);
+  EXPECT_EQ(ParentOfShot(8), en4);
+  EXPECT_EQ(ParentOfShot(9), en4);
+
+  // EN3 = parent of EN1 and EN2; root covers EN3 and EN4.
+  int en3 = tree_.node(en1).parent;
+  EXPECT_EQ(tree_.node(en2).parent, en3);
+  int root = tree_.root();
+  EXPECT_EQ(tree_.node(en3).parent, root);
+  EXPECT_EQ(tree_.node(en4).parent, root);
+  EXPECT_EQ(tree_.Height(), 3);
+  // 10 leaves + EN1..EN4 + root.
+  EXPECT_EQ(tree_.node_count(), 15);
+}
+
+TEST_F(Figure6Test, NamingFollowsLongestRun) {
+  int en1 = ParentOfShot(0);
+  EXPECT_EQ(tree_.node(en1).shot_index, 0);  // SN_1^1
+  EXPECT_EQ(tree_.node(en1).Label(), "SN_1^1");
+
+  int en2 = ParentOfShot(4);
+  EXPECT_EQ(tree_.node(en2).shot_index, 6);  // SN_7^1 as in the paper
+  EXPECT_EQ(tree_.node(en2).Label(), "SN_7^1");
+
+  int en4 = ParentOfShot(7);
+  EXPECT_EQ(tree_.node(en4).shot_index, 8);  // SN_9^1
+
+  // EN3 and the root inherit shot#1 (the longest run overall).
+  int en3 = tree_.node(en1).parent;
+  EXPECT_EQ(tree_.node(en3).Label(), "SN_1^2");
+  EXPECT_EQ(tree_.node(tree_.root()).Label(), "SN_1^3");
+}
+
+TEST_F(Figure6Test, RepresentativeFramesPointIntoNamedShot) {
+  for (const SceneNode& n : tree_.nodes()) {
+    const Shot& shot = shots_[static_cast<size_t>(n.shot_index)];
+    EXPECT_GE(n.representative_frame, shot.start_frame);
+    EXPECT_LE(n.representative_frame, shot.end_frame);
+  }
+}
+
+TEST_F(Figure6Test, LargestSceneForShot) {
+  // Shot #1 names EN1, EN3 and the root: its largest scene is the root.
+  EXPECT_EQ(tree_.LargestSceneForShot(0), tree_.root());
+  // Shot #7 names EN2 only (beyond its leaf).
+  EXPECT_EQ(tree_.LargestSceneForShot(6), ParentOfShot(4));
+  // Shot #2 names nothing: its largest scene is its own leaf.
+  EXPECT_EQ(tree_.LargestSceneForShot(1), tree_.LeafForShot(1));
+}
+
+TEST_F(Figure6Test, AsciiRenderingMentionsEveryNode) {
+  std::string ascii = tree_.ToAscii();
+  for (const SceneNode& n : tree_.nodes()) {
+    EXPECT_NE(ascii.find(n.Label()), std::string::npos) << n.Label();
+  }
+}
+
+TEST(TopRunsTest, Table2TopThree) {
+  MockShot m;
+  auto add = [&](int n, uint8_t v) {
+    for (int i = 0; i < n; ++i) m.frame_values.push_back(v);
+  };
+  add(6, 219);
+  add(2, 226);
+  add(4, 213);
+  add(2, 200);
+  add(6, 228);
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({m}, &shots);
+  std::vector<RepetitiveRun> runs =
+      FindTopRepetitiveRuns(sigs, shots[0], 3).value();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].start_frame, 0);   // first 6-run
+  EXPECT_EQ(runs[0].length, 6);
+  EXPECT_EQ(runs[1].start_frame, 14);  // second 6-run
+  EXPECT_EQ(runs[1].length, 6);
+  EXPECT_EQ(runs[2].start_frame, 8);   // the 4-run
+  EXPECT_EQ(runs[2].length, 4);
+}
+
+TEST(TopRunsTest, FewerRunsThanRequested) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({{{5, 5, 5}}}, &shots);
+  std::vector<RepetitiveRun> runs =
+      FindTopRepetitiveRuns(sigs, shots[0], 10).value();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].length, 3);
+}
+
+TEST(TopRunsTest, RejectsBadArguments) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({{{5, 5}}}, &shots);
+  EXPECT_FALSE(FindTopRepetitiveRuns(sigs, shots[0], 0).ok());
+  EXPECT_FALSE(FindTopRepetitiveRuns(sigs, Shot{0, 9}, 2).ok());
+}
+
+TEST_F(Figure6Test, MultiRepresentativeFramesOfRoot) {
+  // g(s) = 3: the three longest runs across the whole clip come from
+  // shot#1 (run 5 at global frame 0), shot#7 (run 4 at frame 30) and
+  // shot#9 (run 3 at frame 40).
+  std::vector<int> frames =
+      SceneRepresentativeFrames(tree_, sigs_, shots_, tree_.root(), 3)
+          .value();
+  EXPECT_EQ(frames, (std::vector<int>{0, 30, 40}));
+}
+
+TEST_F(Figure6Test, MultiRepresentativeFramesOfSubtree) {
+  // EN2 covers shots 5-7; its longest run is shot#7's 4-run, then 2-runs.
+  int en2 = tree_.node(tree_.LeafForShot(4)).parent;
+  std::vector<int> frames =
+      SceneRepresentativeFrames(tree_, sigs_, shots_, en2, 2).value();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], 30);  // shot#7 starts at frame 30
+  // The runner-up is one of the 2-runs in shots 5-7 (earliest first).
+  EXPECT_EQ(frames[1], 20);
+}
+
+TEST_F(Figure6Test, MultiRepresentativeFrameErrors) {
+  EXPECT_FALSE(
+      SceneRepresentativeFrames(tree_, sigs_, shots_, -1, 2).ok());
+  EXPECT_FALSE(
+      SceneRepresentativeFrames(tree_, sigs_, shots_, 999, 2).ok());
+  EXPECT_FALSE(
+      SceneRepresentativeFrames(tree_, sigs_, shots_, tree_.root(), 0)
+          .ok());
+}
+
+TEST(SceneTreeBuilderTest, SingleShotTree) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures({ShotWithRun(50, 3)}, &shots);
+  SceneTreeBuilder builder;
+  SceneTree tree = builder.Build(sigs, shots).value();
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.shot_count(), 1);
+  // A single parentless leaf becomes the root directly.
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_EQ(tree.node_count(), 1);
+}
+
+TEST(SceneTreeBuilderTest, TwoUnrelatedShots) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs =
+      MockSignatures({ShotWithRun(10, 3), ShotWithRun(200, 3)}, &shots);
+  SceneTree tree = SceneTreeBuilder().Build(sigs, shots).value();
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.node_count(), 3);  // 2 leaves + root
+  EXPECT_EQ(tree.Height(), 1);
+}
+
+TEST(SceneTreeBuilderTest, AllShotsRelatedCollapseToOneScene) {
+  std::vector<MockShot> mock;
+  for (int i = 0; i < 6; ++i) {
+    mock.push_back(ShotWithRun(static_cast<uint8_t>(100 + 2 * i), 2));
+  }
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures(mock, &shots);
+  SceneTree tree = SceneTreeBuilder().Build(sigs, shots).value();
+  EXPECT_TRUE(tree.Validate().ok());
+  // One empty node adopts every leaf; it is the root.
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_EQ(tree.node_count(), 7);
+}
+
+TEST(SceneTreeBuilderTest, AllShotsUnrelatedAttachToRootLevel) {
+  std::vector<MockShot> mock;
+  for (int i = 0; i < 5; ++i) {
+    mock.push_back(ShotWithRun(static_cast<uint8_t>(10 + 50 * i), 2));
+  }
+  std::vector<Shot> shots;
+  VideoSignatures sigs = MockSignatures(mock, &shots);
+  SceneTree tree = SceneTreeBuilder().Build(sigs, shots).value();
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.shot_count(), 5);
+  // Shots 3..5 each get an empty parent; shots 1-2 attach to the root.
+  EXPECT_EQ(tree.Height(), 2);
+}
+
+TEST(SceneTreeBuilderTest, RejectsEmptyShotList) {
+  VideoSignatures sigs;
+  EXPECT_FALSE(SceneTreeBuilder().Build(sigs, {}).ok());
+}
+
+TEST(SceneTreeBuilderTest, ExhaustiveScanGroupsMore) {
+  // Construct shots related only via non-diagonal pairs.
+  std::vector<Shot> shots;
+  VideoSignatures sigs =
+      MockSignatures({{{0, 60}}, {{200, 210}}, {{60, 0}}}, &shots);
+  SceneTreeOptions diag;
+  SceneTreeOptions exh;
+  exh.diagonal_scan = false;
+  SceneTree t_diag = SceneTreeBuilder(diag).Build(sigs, shots).value();
+  SceneTree t_exh = SceneTreeBuilder(exh).Build(sigs, shots).value();
+  // Exhaustive finds shot#3 ~ shot#1 and groups 1..3 under one node.
+  int p0 = t_exh.node(t_exh.LeafForShot(0)).parent;
+  EXPECT_EQ(t_exh.node(t_exh.LeafForShot(2)).parent, p0);
+  // Diagonal does not.
+  int q0 = t_diag.node(t_diag.LeafForShot(0)).parent;
+  int q2 = t_diag.node(t_diag.LeafForShot(2)).parent;
+  EXPECT_TRUE(q0 != q2 || q0 == t_diag.root());
+}
+
+}  // namespace
+}  // namespace vdb

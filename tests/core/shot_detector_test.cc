@@ -1,0 +1,265 @@
+#include "core/shot_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+// Builds a FrameSignature with a constant signature line of length n.
+FrameSignature MakeSig(PixelRGB sign, int n = 13) {
+  FrameSignature fs;
+  fs.sign_ba = sign;
+  fs.sign_oa = sign;
+  fs.signature_ba.assign(static_cast<size_t>(n), sign);
+  return fs;
+}
+
+// Builds signatures for a synthetic "video" from a list of per-frame signs.
+VideoSignatures SignaturesFrom(const std::vector<PixelRGB>& signs,
+                               int n = 13) {
+  VideoSignatures sigs;
+  for (PixelRGB s : signs) {
+    sigs.frames.push_back(MakeSig(s, n));
+  }
+  return sigs;
+}
+
+TEST(BestShiftMatchTest, IdenticalSignaturesScoreOne) {
+  Signature a(13, PixelRGB(50, 50, 50));
+  EXPECT_DOUBLE_EQ(BestShiftMatchScore(a, a, 10), 1.0);
+}
+
+TEST(BestShiftMatchTest, DisjointSignaturesScoreZero) {
+  Signature a(13, PixelRGB(0, 0, 0));
+  Signature b(13, PixelRGB(200, 200, 200));
+  EXPECT_DOUBLE_EQ(BestShiftMatchScore(a, b, 10), 0.0);
+}
+
+TEST(BestShiftMatchTest, FindsShiftedOverlap) {
+  // b equals a shifted by 3 pixels; the best run spans the overlap (10).
+  Signature a(13), b(13);
+  for (int i = 0; i < 13; ++i) {
+    uint8_t v = static_cast<uint8_t>(i * 19 + 5);
+    a[static_cast<size_t>(i)] = PixelRGB(v, v, v);
+  }
+  for (int i = 0; i < 13; ++i) {
+    b[static_cast<size_t>(i)] =
+        i + 3 < 13 ? a[static_cast<size_t>(i + 3)] : PixelRGB(255, 0, 0);
+  }
+  double score = BestShiftMatchScore(a, b, 2);
+  EXPECT_NEAR(score, 10.0 / 13.0, 1e-9);
+}
+
+TEST(BestShiftMatchTest, ToleranceWidensMatches) {
+  Signature a(13, PixelRGB(100, 100, 100));
+  Signature b(13, PixelRGB(108, 108, 108));
+  EXPECT_DOUBLE_EQ(BestShiftMatchScore(a, b, 4), 0.0);
+  EXPECT_DOUBLE_EQ(BestShiftMatchScore(a, b, 8), 1.0);
+}
+
+TEST(BestShiftMatchTest, RunIsLongestConsecutive) {
+  // Alternating match/mismatch: many matches but max run of 1.
+  Signature a(13), b(13);
+  for (int i = 0; i < 13; ++i) {
+    a[static_cast<size_t>(i)] = PixelRGB(100, 100, 100);
+    b[static_cast<size_t>(i)] =
+        i % 2 == 0 ? PixelRGB(100, 100, 100) : PixelRGB(200, 200, 200);
+  }
+  // At shift 0: runs of length 1. At shift 1: b aligns differently but the
+  // mismatch pattern still breaks runs. Score must be small.
+  EXPECT_LE(BestShiftMatchScore(a, b, 5), 2.0 / 13.0);
+}
+
+TEST(ComparePairTest, Stage1CatchesNearIdenticalSigns) {
+  CameraTrackingDetector det;
+  FrameSignature a = MakeSig(PixelRGB(100, 100, 100));
+  FrameSignature b = MakeSig(PixelRGB(101, 101, 102));
+  PairDecision d = det.ComparePair(a, b);
+  EXPECT_TRUE(d.same_shot);
+  EXPECT_EQ(d.stage, SbdStage::kStage1SameShot);
+}
+
+TEST(ComparePairTest, Stage2CatchesAlignedSignatures) {
+  CameraTrackingOptions opts;
+  CameraTrackingDetector det(opts);
+  // Signs differ too much for stage 1, but the signatures align pixelwise.
+  FrameSignature a = MakeSig(PixelRGB(100, 100, 100));
+  FrameSignature b = MakeSig(PixelRGB(100, 100, 100));
+  a.sign_ba = PixelRGB(100, 100, 100);
+  b.sign_ba = PixelRGB(110, 110, 110);  // 10/256 = 3.9% > stage-1 cut
+  PairDecision d = det.ComparePair(a, b);
+  EXPECT_TRUE(d.same_shot);
+  EXPECT_EQ(d.stage, SbdStage::kStage2SameShot);
+}
+
+TEST(ComparePairTest, Stage3TracksShiftedBackground) {
+  CameraTrackingOptions opts;
+  CameraTrackingDetector det(opts);
+  // A textured signature shifted by 2 pixels (panning camera): stages 1-2
+  // fail, stage 3 finds the long shifted run.
+  int n = 61;
+  FrameSignature a, b;
+  for (int i = 0; i < n; ++i) {
+    uint8_t v = static_cast<uint8_t>((i * 37) % 200);
+    a.signature_ba.push_back(PixelRGB(v, v, v));
+  }
+  for (int i = 0; i < n; ++i) {
+    b.signature_ba.push_back(
+        a.signature_ba[static_cast<size_t>((i + 2) % n)]);
+  }
+  a.sign_ba = PixelRGB(0, 0, 0);
+  b.sign_ba = PixelRGB(50, 50, 50);  // force stage-1 failure
+  PairDecision d = det.ComparePair(a, b);
+  EXPECT_TRUE(d.same_shot);
+  EXPECT_EQ(d.stage, SbdStage::kStage3SameShot);
+  EXPECT_GT(d.stage3_score, 0.9);
+}
+
+TEST(ComparePairTest, UnrelatedFramesAreBoundary) {
+  CameraTrackingDetector det;
+  FrameSignature a, b;
+  for (int i = 0; i < 29; ++i) {
+    uint8_t va = static_cast<uint8_t>((i * 37) % 200);
+    uint8_t vb = static_cast<uint8_t>((i * 53 + 97) % 200);
+    a.signature_ba.push_back(PixelRGB(va, va, va));
+    b.signature_ba.push_back(PixelRGB(vb, vb, vb));
+  }
+  a.sign_ba = PixelRGB(20, 20, 20);
+  b.sign_ba = PixelRGB(180, 180, 180);
+  PairDecision d = det.ComparePair(a, b);
+  EXPECT_FALSE(d.same_shot);
+  EXPECT_EQ(d.stage, SbdStage::kStage3Boundary);
+}
+
+TEST(DetectTest, FindsSingleCut) {
+  std::vector<PixelRGB> signs;
+  for (int i = 0; i < 10; ++i) signs.push_back(PixelRGB(20, 20, 20));
+  for (int i = 0; i < 10; ++i) signs.push_back(PixelRGB(200, 200, 200));
+  VideoSignatures sigs = SignaturesFrom(signs);
+  CameraTrackingDetector det;
+  Result<ShotDetectionResult> r = det.DetectFromSignatures(sigs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->boundaries, std::vector<int>{10});
+  ASSERT_EQ(r->shots.size(), 2u);
+  EXPECT_EQ(r->shots[0], (Shot{0, 9}));
+  EXPECT_EQ(r->shots[1], (Shot{10, 19}));
+}
+
+TEST(DetectTest, NoCutsIsOneShot) {
+  VideoSignatures sigs =
+      SignaturesFrom(std::vector<PixelRGB>(20, PixelRGB(99, 99, 99)));
+  CameraTrackingDetector det;
+  ShotDetectionResult r = det.DetectFromSignatures(sigs).value();
+  EXPECT_TRUE(r.boundaries.empty());
+  EXPECT_EQ(r.shots.size(), 1u);
+  EXPECT_EQ(r.stage_stats.stage1_same, 19);
+}
+
+TEST(DetectTest, FlashCreatesOneBoundaryNotTwo) {
+  // A single bright frame: the boundary into the flash survives but the
+  // one right after is merged away by min_shot_frames.
+  std::vector<PixelRGB> signs(20, PixelRGB(50, 50, 50));
+  signs[10] = PixelRGB(250, 250, 250);
+  VideoSignatures sigs = SignaturesFrom(signs);
+  CameraTrackingDetector det;
+  ShotDetectionResult r = det.DetectFromSignatures(sigs).value();
+  EXPECT_EQ(r.boundaries, std::vector<int>{10});
+}
+
+TEST(DetectTest, StageStatsSumToPairCount) {
+  std::vector<PixelRGB> signs;
+  for (int i = 0; i < 30; ++i) {
+    signs.push_back(i < 15 ? PixelRGB(10, 10, 10)
+                           : PixelRGB(200, 200, 200));
+  }
+  VideoSignatures sigs = SignaturesFrom(signs);
+  CameraTrackingDetector det;
+  ShotDetectionResult r = det.DetectFromSignatures(sigs).value();
+  EXPECT_EQ(r.stage_stats.total(), 29);
+}
+
+TEST(DetectTest, EmptySignaturesFail) {
+  CameraTrackingDetector det;
+  EXPECT_FALSE(det.DetectFromSignatures(VideoSignatures()).ok());
+}
+
+TEST(DetectTest, GradualPassCatchesSlowDissolve) {
+  // Two scenes 64 levels apart bridged by a 20-frame linear dissolve:
+  // per-pair sign steps (~3 levels) stay inside the stage-1 tolerance, so
+  // the stock cascade chains straight through.
+  std::vector<PixelRGB> signs;
+  for (int i = 0; i < 15; ++i) signs.push_back(PixelRGB(60, 60, 60));
+  for (int i = 1; i <= 20; ++i) {
+    uint8_t v = static_cast<uint8_t>(60 + 64 * i / 21);
+    signs.push_back(PixelRGB(v, v, v));
+  }
+  for (int i = 0; i < 15; ++i) signs.push_back(PixelRGB(124, 124, 124));
+  VideoSignatures sigs = SignaturesFrom(signs, 29);
+
+  CameraTrackingDetector stock;
+  EXPECT_TRUE(stock.DetectFromSignatures(sigs).value().boundaries.empty());
+
+  CameraTrackingOptions options;
+  options.detect_gradual = true;
+  CameraTrackingDetector gradual(options);
+  std::vector<int> found =
+      gradual.DetectFromSignatures(sigs).value().boundaries;
+  ASSERT_EQ(found.size(), 1u);
+  // The boundary lands inside the transition region.
+  EXPECT_GE(found[0], 15);
+  EXPECT_LE(found[0], 35);
+}
+
+TEST(DetectTest, GradualPassIgnoresPans) {
+  // A sustained sign drift whose signatures are shifted copies (a pan):
+  // the shift-match guard must suppress the gradual verdict.
+  VideoSignatures sigs;
+  int n = 61;
+  Signature base(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    uint8_t v = static_cast<uint8_t>(40 + (i * 13) % 170);
+    base[static_cast<size_t>(i)] = PixelRGB(v, v, v);
+  }
+  for (int f = 0; f < 40; ++f) {
+    FrameSignature fs;
+    fs.signature_ba.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      fs.signature_ba[static_cast<size_t>(i)] =
+          base[static_cast<size_t>((i + f) % n)];
+    }
+    // The sign drifts steadily (as a pan over a gradient would).
+    uint8_t s = static_cast<uint8_t>(60 + 2 * f);
+    fs.sign_ba = PixelRGB(s, s, s);
+    fs.sign_oa = fs.sign_ba;
+    sigs.frames.push_back(std::move(fs));
+  }
+  CameraTrackingOptions options;
+  options.detect_gradual = true;
+  CameraTrackingDetector detector(options);
+  std::vector<int> found =
+      detector.DetectFromSignatures(sigs).value().boundaries;
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(DetectTest, ShotsPartitionTheVideo) {
+  std::vector<PixelRGB> signs;
+  for (int block = 0; block < 5; ++block) {
+    uint8_t v = static_cast<uint8_t>(40 * block + 20);
+    for (int i = 0; i < 8; ++i) signs.push_back(PixelRGB(v, v, v));
+  }
+  VideoSignatures sigs = SignaturesFrom(signs);
+  CameraTrackingDetector det;
+  ShotDetectionResult r = det.DetectFromSignatures(sigs).value();
+  int covered = 0;
+  int prev_end = -1;
+  for (const Shot& s : r.shots) {
+    EXPECT_EQ(s.start_frame, prev_end + 1);
+    covered += s.frame_count();
+    prev_end = s.end_frame;
+  }
+  EXPECT_EQ(covered, 40);
+  EXPECT_EQ(prev_end, 39);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,51 @@
+#include "core/shot.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(ShotTest, FrameCount) {
+  EXPECT_EQ((Shot{0, 0}).frame_count(), 1);
+  EXPECT_EQ((Shot{10, 19}).frame_count(), 10);
+}
+
+TEST(ShotsFromBoundariesTest, NoBoundariesIsOneShot) {
+  std::vector<Shot> shots = ShotsFromBoundaries({}, 10);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0], (Shot{0, 9}));
+}
+
+TEST(ShotsFromBoundariesTest, SplitsAtBoundaries) {
+  std::vector<Shot> shots = ShotsFromBoundaries({3, 7}, 10);
+  ASSERT_EQ(shots.size(), 3u);
+  EXPECT_EQ(shots[0], (Shot{0, 2}));
+  EXPECT_EQ(shots[1], (Shot{3, 6}));
+  EXPECT_EQ(shots[2], (Shot{7, 9}));
+}
+
+TEST(ShotsFromBoundariesTest, IgnoresInvalidBoundaries) {
+  // 0 (can't open the first shot again), duplicates, out of range.
+  std::vector<Shot> shots = ShotsFromBoundaries({0, 3, 3, 10, 15}, 10);
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0], (Shot{0, 2}));
+  EXPECT_EQ(shots[1], (Shot{3, 9}));
+}
+
+TEST(ShotsFromBoundariesTest, EmptyVideo) {
+  EXPECT_TRUE(ShotsFromBoundaries({}, 0).empty());
+  EXPECT_TRUE(ShotsFromBoundaries({3}, 0).empty());
+}
+
+TEST(BoundariesFromShotsTest, Inverse) {
+  std::vector<int> boundaries = {3, 7, 20};
+  std::vector<Shot> shots = ShotsFromBoundaries(boundaries, 30);
+  EXPECT_EQ(BoundariesFromShots(shots), boundaries);
+}
+
+TEST(BoundariesFromShotsTest, SingleShotHasNoBoundaries) {
+  EXPECT_TRUE(BoundariesFromShots({Shot{0, 9}}).empty());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,206 @@
+#include "core/variance_index.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+IndexEntry Entry(int video, int shot, double var_ba, double var_oa) {
+  return IndexEntry{video, shot, var_ba, var_oa};
+}
+
+TEST(IndexEntryTest, DerivedValues) {
+  IndexEntry e = Entry(0, 0, 16.0, 9.0);
+  EXPECT_DOUBLE_EQ(e.SqrtVarBa(), 4.0);
+  EXPECT_DOUBLE_EQ(e.Dv(), 1.0);
+}
+
+TEST(VarianceIndexTest, ExactMatchIsReturnedFirst) {
+  VarianceIndex index;
+  index.Add(Entry(0, 0, 16.0, 9.0));
+  index.Add(Entry(0, 1, 100.0, 100.0));
+  index.Add(Entry(0, 2, 0.0, 0.0));
+
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 9.0;
+  std::vector<QueryMatch> matches = index.Query(q);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].entry.shot_index, 0);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+}
+
+TEST(VarianceIndexTest, Equation7And8Band) {
+  VarianceIndex index;
+  // Query: var_ba = 16 (sqrt 4), var_oa = 9 (sqrt 3) -> Dv = 1.
+  // Candidate A: Dv = 1.9, sqrtBa = 4.9 -> inside both bands (alpha=beta=1).
+  index.Add(Entry(0, 0, 4.9 * 4.9, 3.0 * 3.0));
+  // Candidate B: Dv = 2.1 -> outside Equation 7.
+  index.Add(Entry(0, 1, 5.1 * 5.1, 3.0 * 3.0));
+  // Candidate C: Dv = 1.0 but sqrtBa = 5.5 -> outside Equation 8.
+  index.Add(Entry(0, 2, 5.5 * 5.5, 4.5 * 4.5));
+
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 9.0;
+  std::vector<QueryMatch> matches = index.Query(q);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entry.shot_index, 0);
+}
+
+TEST(VarianceIndexTest, MatchesSortedByDistance) {
+  VarianceIndex index;
+  index.Add(Entry(0, 0, 16.0, 9.0));
+  index.Add(Entry(0, 1, 17.0, 9.0));
+  index.Add(Entry(0, 2, 20.0, 9.0));
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 9.0;
+  std::vector<QueryMatch> matches = index.Query(q);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].distance, matches[i].distance);
+  }
+  EXPECT_EQ(matches[0].entry.shot_index, 0);
+}
+
+// Property: the sorted-index query agrees with a linear scan.
+class IndexVsLinearTest : public testing::TestWithParam<int> {};
+
+TEST_P(IndexVsLinearTest, SameResults) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  VarianceIndex index;
+  for (int i = 0; i < 200; ++i) {
+    index.Add(Entry(i % 3, i, rng.NextDouble(0.0, 400.0),
+                    rng.NextDouble(0.0, 400.0)));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    VarianceQuery q;
+    q.var_ba = rng.NextDouble(0.0, 400.0);
+    q.var_oa = rng.NextDouble(0.0, 400.0);
+    q.alpha = rng.NextDouble(0.2, 3.0);
+    q.beta = rng.NextDouble(0.2, 3.0);
+    std::vector<QueryMatch> fast = index.Query(q);
+    std::vector<QueryMatch> slow = index.QueryLinear(q);
+    ASSERT_EQ(fast.size(), slow.size()) << "trial " << trial;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fast[i].distance, slow[i].distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexVsLinearTest, testing::Range(0, 8));
+
+TEST(VarianceIndexTest, AddVideoIndexesEveryShot) {
+  VarianceIndex index;
+  std::vector<ShotFeatures> features(5);
+  for (int i = 0; i < 5; ++i) {
+    features[static_cast<size_t>(i)].var_ba = 10.0 * i;
+    features[static_cast<size_t>(i)].var_oa = 1.0;
+  }
+  index.AddVideo(3, features);
+  EXPECT_EQ(index.size(), 5);
+  for (const IndexEntry& e : index.entries()) {
+    EXPECT_EQ(e.video_id, 3);
+  }
+}
+
+TEST(QueryTopKTest, WidensBandUntilKFound) {
+  VarianceIndex index;
+  index.Add(Entry(0, 0, 0.0, 0.0));
+  index.Add(Entry(0, 1, 400.0, 0.0));   // Dv = 20
+  index.Add(Entry(0, 2, 1600.0, 0.0));  // Dv = 40
+  VarianceQuery q;  // Dv = 0, alpha = 1: only shot 0 is in band
+  std::vector<QueryMatch> top = index.QueryTopK(q, 3);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].entry.shot_index, 0);
+  EXPECT_EQ(top[1].entry.shot_index, 1);
+  EXPECT_EQ(top[2].entry.shot_index, 2);
+}
+
+TEST(QueryTopKTest, ExcludesQueryShot) {
+  VarianceIndex index;
+  index.Add(Entry(0, 0, 16.0, 9.0));
+  index.Add(Entry(0, 1, 16.1, 9.0));
+  index.Add(Entry(1, 0, 16.2, 9.0));
+  VarianceQuery q;
+  q.var_ba = 16.0;
+  q.var_oa = 9.0;
+  std::vector<QueryMatch> top = index.QueryTopK(q, 2, /*exclude_video=*/0,
+                                                /*exclude_shot=*/0);
+  ASSERT_EQ(top.size(), 2u);
+  for (const QueryMatch& m : top) {
+    EXPECT_FALSE(m.entry.video_id == 0 && m.entry.shot_index == 0);
+  }
+}
+
+TEST(QueryTopKTest, TruncatesToK) {
+  VarianceIndex index;
+  for (int i = 0; i < 10; ++i) {
+    index.Add(Entry(0, i, 16.0 + 0.01 * i, 9.0));
+  }
+  EXPECT_EQ(index.QueryTopK(VarianceQuery{16.0, 9.0, 1.0, 1.0}, 4).size(),
+            4u);
+}
+
+TEST(VarianceIndexTest, EmptyIndexReturnsNothing) {
+  VarianceIndex index;
+  EXPECT_TRUE(index.Query(VarianceQuery{}).empty());
+  EXPECT_TRUE(index.QueryTopK(VarianceQuery{}, 5).empty());
+}
+
+TEST(VarianceIndexTest, ConcurrentConstQueriesAreSafe) {
+  // The first Query after Add performs the lazy sort; racing const queries
+  // from many threads must all see a consistent index.
+  Pcg32 rng(99);
+  VarianceIndex index;
+  for (int i = 0; i < 500; ++i) {
+    index.Add(Entry(0, i, rng.NextDouble(0, 100), rng.NextDouble(0, 100)));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> total_matches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&index, &total_matches, t] {
+      Pcg32 local(static_cast<uint64_t>(t) + 7);
+      for (int i = 0; i < 50; ++i) {
+        VarianceQuery q;
+        q.var_ba = local.NextDouble(0, 100);
+        q.var_oa = local.NextDouble(0, 100);
+        total_matches += static_cast<int>(index.Query(q).size());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Deterministic check afterwards: sorted result still matches linear.
+  VarianceQuery q;
+  q.var_ba = 50;
+  q.var_oa = 50;
+  EXPECT_EQ(index.Query(q).size(), index.QueryLinear(q).size());
+}
+
+TEST(VarianceIndexTest, MoveTransfersEntries) {
+  VarianceIndex a;
+  a.Add(Entry(0, 0, 16.0, 9.0));
+  VarianceIndex b = std::move(a);
+  EXPECT_EQ(b.size(), 1);
+  VarianceIndex c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1);
+  EXPECT_EQ(c.Query(VarianceQuery{16.0, 9.0, 1.0, 1.0}).size(), 1u);
+}
+
+TEST(VarianceIndexTest, InterleavedAddAndQuery) {
+  VarianceIndex index;
+  index.Add(Entry(0, 0, 16.0, 9.0));
+  EXPECT_EQ(index.Query(VarianceQuery{16.0, 9.0, 1.0, 1.0}).size(), 1u);
+  index.Add(Entry(0, 1, 16.0, 9.0));
+  EXPECT_EQ(index.Query(VarianceQuery{16.0, 9.0, 1.0, 1.0}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace vdb

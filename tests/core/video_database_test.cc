@@ -1,0 +1,120 @@
+#include "core/video_database.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+
+namespace vdb {
+namespace {
+
+class VideoDatabaseTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rendered_ = new SyntheticVideo(
+        testsupport::CachedRender(TenShotStoryboard()));
+  }
+  static void TearDownTestSuite() {
+    delete rendered_;
+    rendered_ = nullptr;
+  }
+
+  static SyntheticVideo* rendered_;
+};
+
+SyntheticVideo* VideoDatabaseTest::rendered_ = nullptr;
+
+TEST_F(VideoDatabaseTest, IngestBuildsFullCatalogEntry) {
+  VideoDatabase db;
+  Result<int> id = db.Ingest(rendered_->video);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(db.video_count(), 1);
+
+  const CatalogEntry* entry = db.GetEntry(*id).value();
+  EXPECT_EQ(entry->name, "ten-shot-example");
+  EXPECT_EQ(entry->frame_count, 625);
+  EXPECT_EQ(entry->shots.size(), 10u);
+  EXPECT_EQ(entry->features.size(), entry->shots.size());
+  EXPECT_TRUE(entry->scene_tree.Validate().ok());
+  EXPECT_EQ(db.index().size(), 10);
+}
+
+TEST_F(VideoDatabaseTest, GetEntryRejectsUnknownIds) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(rendered_->video).ok());
+  EXPECT_FALSE(db.GetEntry(-1).ok());
+  EXPECT_FALSE(db.GetEntry(1).ok());
+}
+
+TEST_F(VideoDatabaseTest, SearchReturnsSuggestionsWithSceneNodes) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(rendered_->video).ok());
+  VarianceQuery q;
+  q.var_ba = 10.0;
+  q.var_oa = 30.0;
+  Result<std::vector<BrowsingSuggestion>> result = db.Search(q, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);
+  for (const BrowsingSuggestion& s : *result) {
+    EXPECT_EQ(s.video_name, "ten-shot-example");
+    EXPECT_GE(s.scene_node, 0);
+    EXPECT_FALSE(s.scene_label.empty());
+    EXPECT_GE(s.representative_frame, 0);
+  }
+}
+
+TEST_F(VideoDatabaseTest, SearchRejectsNonPositiveTopK) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(rendered_->video).ok());
+  EXPECT_FALSE(db.Search(VarianceQuery{}, 0).ok());
+}
+
+TEST_F(VideoDatabaseTest, SearchSimilarToShotExcludesItself) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(rendered_->video).ok());
+  Result<std::vector<BrowsingSuggestion>> result =
+      db.SearchSimilarToShot(0, 4, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const BrowsingSuggestion& s : *result) {
+    EXPECT_FALSE(s.match.entry.video_id == 0 &&
+                 s.match.entry.shot_index == 4);
+  }
+}
+
+TEST_F(VideoDatabaseTest, SearchSimilarToShotRejectsBadIds) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(rendered_->video).ok());
+  EXPECT_FALSE(db.SearchSimilarToShot(5, 0, 3).ok());
+  EXPECT_FALSE(db.SearchSimilarToShot(0, 99, 3).ok());
+}
+
+TEST_F(VideoDatabaseTest, MultipleVideosShareIndex) {
+  VideoDatabase db;
+  Video second = rendered_->video;
+  second.set_name("second-copy");
+  ASSERT_TRUE(db.Ingest(rendered_->video).ok());
+  Result<int> id2 = db.Ingest(second);
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, 1);
+  EXPECT_EQ(db.index().size(), 20);
+
+  // Query by example from video 0 must be able to find video 1's twin shot.
+  Result<std::vector<BrowsingSuggestion>> result =
+      db.SearchSimilarToShot(0, 2, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->front().match.entry.video_id, 1);
+  EXPECT_EQ(result->front().match.entry.shot_index, 2);
+  EXPECT_EQ(result->front().video_name, "second-copy");
+}
+
+TEST_F(VideoDatabaseTest, IngestRejectsEmptyVideo) {
+  VideoDatabase db;
+  EXPECT_FALSE(db.Ingest(Video()).ok());
+  EXPECT_EQ(db.video_count(), 0);
+}
+
+}  // namespace
+}  // namespace vdb

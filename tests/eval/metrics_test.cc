@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(MetricsTest, PerfectDetection) {
+  DetectionMetrics m = EvaluateBoundaries({10, 20, 30}, {10, 20, 30});
+  EXPECT_EQ(m.correct, 3);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+}
+
+TEST(MetricsTest, MissesLowerRecall) {
+  DetectionMetrics m = EvaluateBoundaries({10, 20, 30, 40}, {10, 30});
+  EXPECT_EQ(m.correct, 2);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+}
+
+TEST(MetricsTest, FalseAlarmsLowerPrecision) {
+  DetectionMetrics m = EvaluateBoundaries({10}, {10, 15, 25});
+  EXPECT_EQ(m.correct, 1);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_NEAR(m.Precision(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, ToleranceWindowMatches) {
+  DetectionMetrics exact = EvaluateBoundaries({10}, {11}, 0);
+  EXPECT_EQ(exact.correct, 0);
+  DetectionMetrics tol1 = EvaluateBoundaries({10}, {11}, 1);
+  EXPECT_EQ(tol1.correct, 1);
+  DetectionMetrics tol3 = EvaluateBoundaries({10}, {13}, 3);
+  EXPECT_EQ(tol3.correct, 1);
+}
+
+TEST(MetricsTest, TrueBoundaryMatchedOnlyOnce) {
+  // Two detections near one true boundary: only one counts.
+  DetectionMetrics m = EvaluateBoundaries({10}, {9, 11}, 1);
+  EXPECT_EQ(m.correct, 1);
+  EXPECT_EQ(m.detected, 2);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.5);
+}
+
+TEST(MetricsTest, NearestUnmatchedWins) {
+  // Detections at 10 and 12; truths at 10 and 12: both match even though
+  // the first detection is within tolerance of both.
+  DetectionMetrics m = EvaluateBoundaries({10, 12}, {10, 12}, 2);
+  EXPECT_EQ(m.correct, 2);
+}
+
+TEST(MetricsTest, EmptyCasesAreDefined) {
+  DetectionMetrics none = EvaluateBoundaries({}, {});
+  EXPECT_DOUBLE_EQ(none.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(none.Precision(), 1.0);
+
+  DetectionMetrics no_truth = EvaluateBoundaries({}, {5});
+  EXPECT_DOUBLE_EQ(no_truth.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(no_truth.Precision(), 0.0);
+
+  DetectionMetrics no_detect = EvaluateBoundaries({5}, {});
+  EXPECT_DOUBLE_EQ(no_detect.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(no_detect.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(no_detect.F1(), 0.0);
+}
+
+TEST(MetricsTest, SumAggregatesRawCounts) {
+  DetectionMetrics a = EvaluateBoundaries({10, 20}, {10});
+  DetectionMetrics b = EvaluateBoundaries({5}, {5, 8});
+  DetectionMetrics total = SumMetrics({a, b});
+  EXPECT_EQ(total.true_boundaries, 3);
+  EXPECT_EQ(total.detected, 3);
+  EXPECT_EQ(total.correct, 2);
+  EXPECT_NEAR(total.Recall(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vdb

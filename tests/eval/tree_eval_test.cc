@@ -1,0 +1,114 @@
+#include "eval/tree_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/retrieval_eval.h"
+
+namespace vdb {
+namespace {
+
+VideoSignatures SignaturesForShots(const std::vector<uint8_t>& shot_values,
+                                   int frames_per_shot,
+                                   std::vector<Shot>* shots) {
+  VideoSignatures sigs;
+  shots->clear();
+  for (uint8_t v : shot_values) {
+    int start = sigs.frame_count();
+    for (int f = 0; f < frames_per_shot; ++f) {
+      FrameSignature fs;
+      fs.sign_ba = PixelRGB(v, v, v);
+      fs.sign_oa = PixelRGB(v, v, v);
+      sigs.frames.push_back(fs);
+    }
+    shots->push_back(Shot{start, sigs.frame_count() - 1});
+  }
+  return sigs;
+}
+
+TEST(RelationshipEvalTest, PerfectSeparation) {
+  std::vector<Shot> shots;
+  // Scenes: {0,1} at value 10/14, {2,3} at 200/204.
+  VideoSignatures sigs = SignaturesForShots({10, 14, 200, 204}, 3, &shots);
+  std::vector<int> scene_ids = {0, 0, 1, 1};
+  RelationMetrics m =
+      EvaluateRelationship(sigs, shots, scene_ids, SceneTreeOptions());
+  EXPECT_EQ(m.true_positive, 2);  // (0,1) and (2,3)
+  EXPECT_EQ(m.false_positive, 0);
+  EXPECT_EQ(m.false_negative, 0);
+  EXPECT_EQ(m.true_negative, 4);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+}
+
+TEST(RelationshipEvalTest, ConfusableScenesLowerPrecision) {
+  std::vector<Shot> shots;
+  // Shots 0 and 2 are different scenes but visually close (diff 20 < 25.6).
+  VideoSignatures sigs = SignaturesForShots({10, 100, 30}, 3, &shots);
+  std::vector<int> scene_ids = {0, 1, 2};
+  RelationMetrics m =
+      EvaluateRelationship(sigs, shots, scene_ids, SceneTreeOptions());
+  EXPECT_EQ(m.false_positive, 1);
+  EXPECT_LT(m.Precision(), 1.0);
+}
+
+TEST(RelationshipEvalTest, ThresholdSweepChangesVerdicts) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = SignaturesForShots({10, 40}, 3, &shots);
+  std::vector<int> scene_ids = {0, 0};  // same scene, 30 levels apart
+  SceneTreeOptions strict;
+  strict.relationship_threshold_pct = 10.0;  // 25.6 levels: not related
+  EXPECT_EQ(EvaluateRelationship(sigs, shots, scene_ids, strict)
+                .false_negative,
+            1);
+  SceneTreeOptions loose;
+  loose.relationship_threshold_pct = 15.0;  // 38.4 levels: related
+  EXPECT_EQ(EvaluateRelationship(sigs, shots, scene_ids, loose)
+                .true_positive,
+            1);
+}
+
+TEST(TreeEvalTest, SeparationScorePositiveForGoodTree) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs =
+      SignaturesForShots({10, 14, 12, 200, 204, 202}, 3, &shots);
+  std::vector<int> scene_ids = {0, 0, 0, 1, 1, 1};
+  SceneTree tree = SceneTreeBuilder().Build(sigs, shots).value();
+  TreeQuality q = EvaluateTree(tree, scene_ids);
+  EXPECT_GT(q.SeparationScore(), 0.0);
+  EXPECT_EQ(q.node_count, tree.node_count());
+  EXPECT_EQ(q.height, tree.Height());
+  EXPECT_GT(q.internal_count, 0);
+  EXPECT_LT(q.mean_lca_level_same_scene, q.mean_lca_level_cross_scene);
+}
+
+TEST(TreeEvalTest, SingleSceneHasNoCrossPairs) {
+  std::vector<Shot> shots;
+  VideoSignatures sigs = SignaturesForShots({10, 12, 14}, 3, &shots);
+  std::vector<int> scene_ids = {0, 0, 0};
+  SceneTree tree = SceneTreeBuilder().Build(sigs, shots).value();
+  TreeQuality q = EvaluateTree(tree, scene_ids);
+  EXPECT_DOUBLE_EQ(q.mean_lca_level_cross_scene, 0.0);
+  EXPECT_GT(q.mean_lca_level_same_scene, 0.0);
+}
+
+TEST(ClassPrecisionTest, Fractions) {
+  EXPECT_DOUBLE_EQ(ClassPrecision("a", {"a", "a", "a"}), 1.0);
+  EXPECT_DOUBLE_EQ(ClassPrecision("a", {"a", "b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ClassPrecision("a", {}), 0.0);
+  EXPECT_DOUBLE_EQ(ClassPrecision("a", {"b"}), 0.0);
+}
+
+TEST(RetrievalSummaryTest, PerClassAndOverallMeans) {
+  RetrievalSummary summary;
+  summary.Record("closeup", 1.0);
+  summary.Record("closeup", 0.5);
+  summary.Record("pan", 0.0);
+  EXPECT_DOUBLE_EQ(summary.ClassMean("closeup"), 0.75);
+  EXPECT_DOUBLE_EQ(summary.ClassMean("pan"), 0.0);
+  EXPECT_DOUBLE_EQ(summary.ClassMean("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(summary.OverallMean(), 0.5);
+}
+
+}  // namespace
+}  // namespace vdb

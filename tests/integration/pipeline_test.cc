@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/video_database.h"
+#include "eval/metrics.h"
+#include "eval/tree_eval.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+#include "synth/workload.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace {
+
+// End-to-end checks on the paper's ten-shot example and the "Friends"
+// segment: render -> detect -> features -> tree -> index -> query.
+class PipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ten_shot_ = new SyntheticVideo(
+        testsupport::CachedRender(TenShotStoryboard()));
+    friends_ = new SyntheticVideo(
+        testsupport::CachedRender(FriendsStoryboard()));
+  }
+  static void TearDownTestSuite() {
+    delete ten_shot_;
+    delete friends_;
+    ten_shot_ = nullptr;
+    friends_ = nullptr;
+  }
+
+  static SyntheticVideo* ten_shot_;
+  static SyntheticVideo* friends_;
+};
+
+SyntheticVideo* PipelineTest::ten_shot_ = nullptr;
+SyntheticVideo* PipelineTest::friends_ = nullptr;
+
+TEST_F(PipelineTest, TenShotDetectionIsExact) {
+  CameraTrackingDetector detector;
+  ShotDetectionResult result = detector.Detect(ten_shot_->video).value();
+  EXPECT_EQ(result.boundaries, ten_shot_->truth.boundaries);
+  DetectionMetrics m =
+      EvaluateBoundaries(ten_shot_->truth.boundaries, result.boundaries);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+}
+
+TEST_F(PipelineTest, TenShotTreeMatchesFigure6) {
+  VideoDatabase db;
+  int id = db.Ingest(ten_shot_->video).value();
+  const CatalogEntry* entry = db.GetEntry(id).value();
+  ASSERT_EQ(entry->shots.size(), 10u);
+  const SceneTree& tree = entry->scene_tree;
+  ASSERT_TRUE(tree.Validate().ok());
+
+  auto parent_of = [&](int shot) {
+    return tree.node(tree.LeafForShot(shot)).parent;
+  };
+  // EN1 = shots 1-4, EN2 = shots 5-7, EN4 = shots 8-10 (1-based).
+  int en1 = parent_of(0);
+  EXPECT_EQ(parent_of(1), en1);
+  EXPECT_EQ(parent_of(2), en1);
+  EXPECT_EQ(parent_of(3), en1);
+  int en2 = parent_of(4);
+  EXPECT_EQ(parent_of(5), en2);
+  EXPECT_EQ(parent_of(6), en2);
+  int en4 = parent_of(7);
+  EXPECT_EQ(parent_of(8), en4);
+  EXPECT_EQ(parent_of(9), en4);
+  int en3 = tree.node(en1).parent;
+  EXPECT_EQ(tree.node(en2).parent, en3);
+  EXPECT_EQ(tree.node(en3).parent, tree.root());
+  EXPECT_EQ(tree.node(en4).parent, tree.root());
+  EXPECT_EQ(tree.Height(), 3);
+}
+
+TEST_F(PipelineTest, TenShotVariancesMatchMotionClasses) {
+  VideoDatabase db;
+  int id = db.Ingest(ten_shot_->video).value();
+  const CatalogEntry* entry = db.GetEntry(id).value();
+  ASSERT_EQ(entry->features.size(), 10u);
+
+  // Static-camera talking shots (A*, B*) have near-zero background
+  // variance; pans (C*, D*) have clearly more.
+  for (int i : {0, 1, 2, 3, 5}) {
+    EXPECT_LT(entry->features[static_cast<size_t>(i)].var_ba, 2.0)
+        << "shot " << i + 1;
+  }
+  for (int i : {4, 6, 7, 9}) {
+    EXPECT_GT(entry->features[static_cast<size_t>(i)].var_ba, 1.5)
+        << "shot " << i + 1;
+  }
+  // Closeups have object-area change exceeding background change.
+  for (int i : {0, 2, 5}) {
+    EXPECT_GT(entry->features[static_cast<size_t>(i)].var_oa,
+              entry->features[static_cast<size_t>(i)].var_ba)
+        << "shot " << i + 1;
+  }
+}
+
+TEST_F(PipelineTest, FriendsTreeGroupsScenes) {
+  VideoDatabase db;
+  int id = db.Ingest(friends_->video).value();
+  const CatalogEntry* entry = db.GetEntry(id).value();
+  ASSERT_TRUE(entry->scene_tree.Validate().ok());
+
+  // Detection quality on the Friends clip: not necessarily perfect, but
+  // close (conversation scenes are easy material).
+  DetectionMetrics m = EvaluateBoundaries(
+      friends_->truth.boundaries,
+      BoundariesFromShots(entry->shots), 1);
+  EXPECT_GE(m.Recall(), 0.8);
+  EXPECT_GE(m.Precision(), 0.8);
+
+  // With accurate detection, the tree separates ground-truth scenes.
+  if (entry->shots.size() == friends_->truth.shots.size()) {
+    std::vector<int> scene_ids;
+    for (const ShotTruth& t : friends_->truth.shots) {
+      scene_ids.push_back(t.scene_id);
+    }
+    TreeQuality q = EvaluateTree(entry->scene_tree, scene_ids);
+    EXPECT_GT(q.SeparationScore(), 0.0);
+  }
+}
+
+TEST_F(PipelineTest, SaveLoadRoundTripPreservesAnalysis) {
+  std::string path = testing::TempDir() + "/pipeline_roundtrip.vdb";
+  ASSERT_TRUE(WriteVideoFile(ten_shot_->video, path).ok());
+  Video loaded = ReadVideoFile(path).value();
+
+  CameraTrackingDetector detector;
+  ShotDetectionResult original = detector.Detect(ten_shot_->video).value();
+  ShotDetectionResult reloaded = detector.Detect(loaded).value();
+  EXPECT_EQ(original.boundaries, reloaded.boundaries);
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineTest, QueryByExampleFindsSameClassShots) {
+  // Build the variance index over the ground-truth shots of both synthetic
+  // movies (the paper's Figures 8-10 also query known shots), then check
+  // that query-by-example mostly retrieves shots of the same motion class.
+  // Fast camera pans and tracked moving objects are scored as one "motion"
+  // class — the paper's Figure-10 matches mix them too.
+  SyntheticVideo simon = testsupport::CachedRender(SimonBirchStoryboard(20));
+  SyntheticVideo wag = testsupport::CachedRender(WagTheDogStoryboard(20));
+
+  auto coarse = [](const std::string& cls) {
+    return (cls == "camera-motion" || cls == "moving-object")
+               ? std::string("motion")
+               : cls;
+  };
+
+  VarianceIndex index;
+  std::vector<std::string> classes;  // flat truth labels, simon then wag
+  std::vector<ShotFeatures> query_features;
+  int video_id = 0;
+  for (const SyntheticVideo* sv : {&simon, &wag}) {
+    VideoSignatures sigs = ComputeVideoSignatures(sv->video).value();
+    std::vector<Shot> shots;
+    for (const ShotTruth& t : sv->truth.shots) {
+      shots.push_back(Shot{t.start_frame, t.end_frame});
+      classes.push_back(coarse(t.motion_class));
+    }
+    std::vector<ShotFeatures> features =
+        ComputeAllShotFeatures(sigs, shots).value();
+    index.AddVideo(video_id, features);
+    query_features.insert(query_features.end(), features.begin(),
+                          features.end());
+    ++video_id;
+  }
+
+  int checked = 0;
+  int majority_hits = 0;
+  int shots_per_movie = static_cast<int>(simon.truth.shots.size());
+  for (size_t q = 0; q < query_features.size(); ++q) {
+    VarianceQuery query;
+    query.var_ba = query_features[q].var_ba;
+    query.var_oa = query_features[q].var_oa;
+    int vid = static_cast<int>(q) / shots_per_movie;
+    int shot = static_cast<int>(q) % shots_per_movie;
+    std::vector<QueryMatch> top = index.QueryTopK(query, 3, vid, shot);
+    ASSERT_EQ(top.size(), 3u);
+    int same = 0;
+    for (const QueryMatch& m : top) {
+      size_t flat = static_cast<size_t>(m.entry.video_id) *
+                        static_cast<size_t>(shots_per_movie) +
+                    static_cast<size_t>(m.entry.shot_index);
+      if (classes[flat] == classes[q]) ++same;
+    }
+    ++checked;
+    if (same >= 2) ++majority_hits;
+  }
+  ASSERT_EQ(checked, 40);
+  // A clear majority of example queries retrieve a same-class majority —
+  // the paper's qualitative claim for its Figures 8-10.
+  EXPECT_GE(majority_hits * 10, checked * 6);
+}
+
+}  // namespace
+}  // namespace vdb

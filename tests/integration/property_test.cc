@@ -1,0 +1,314 @@
+// Property tests: invariants that must hold for ANY workload, checked over
+// randomised inputs — pipeline consistency, file-format robustness under
+// truncation and bit flips, and scene-tree structure under random shot
+// relationships.
+
+#include <unistd.h>
+
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/random.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace {
+
+// Small random storyboard driven by a seed.
+Storyboard RandomBoard(uint64_t seed) {
+  Pcg32 rng(seed, 0xb0a2d);
+  Storyboard board;
+  board.name = "prop-" + std::to_string(seed);
+  board.seed = seed * 31 + 7;
+  int shots = rng.NextInt(2, 8);
+  for (int i = 0; i < shots; ++i) {
+    ShotSpec shot;
+    shot.scene_id = rng.NextInt(0, 3);
+    shot.frame_count = rng.NextInt(4, 20);
+    shot.noise_stddev = rng.NextDouble(0.0, 3.0);
+    shot.camera.start_x = rng.NextDouble(-500, 500);
+    shot.camera.start_zoom = rng.NextDouble(0.7, 1.4);
+    int motion = rng.NextInt(0, 3);
+    if (motion == 1) {
+      shot.camera.type = CameraMotionType::kPan;
+      shot.camera.speed = rng.NextDouble(-4, 4);
+    } else if (motion == 2) {
+      shot.camera.type = CameraMotionType::kZoom;
+      shot.camera.zoom_rate = rng.NextDouble(0.99, 1.01);
+    }
+    if (rng.NextDouble() < 0.4) {
+      SpriteSpec sprite;
+      sprite.center_x = rng.NextDouble(0.3, 0.7);
+      sprite.center_y = rng.NextDouble(0.6, 0.8);
+      sprite.radius_x = rng.NextDouble(0.05, 0.15);
+      sprite.radius_y = sprite.radius_x * 1.4;
+      sprite.velocity_x = rng.NextDouble(-2, 2);
+      shot.sprites.push_back(sprite);
+    }
+    board.shots.push_back(shot);
+  }
+  return board;
+}
+
+class PipelineInvariantsTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineInvariantsTest, HoldForRandomWorkloads) {
+  Storyboard board = RandomBoard(GetParam());
+  SyntheticVideo sv = RenderStoryboard(board).value();
+
+  VideoDatabase db;
+  Result<int> id = db.Ingest(sv.video);
+  ASSERT_TRUE(id.ok()) << id.status();
+  const CatalogEntry* entry = db.GetEntry(*id).value();
+
+  // Shots partition the video exactly.
+  int prev_end = -1;
+  for (const Shot& shot : entry->shots) {
+    EXPECT_EQ(shot.start_frame, prev_end + 1);
+    EXPECT_LE(shot.start_frame, shot.end_frame);
+    prev_end = shot.end_frame;
+  }
+  EXPECT_EQ(prev_end, sv.video.frame_count() - 1);
+
+  // Features are finite and non-negative, one row per shot.
+  ASSERT_EQ(entry->features.size(), entry->shots.size());
+  for (const ShotFeatures& f : entry->features) {
+    EXPECT_GE(f.var_ba, 0.0);
+    EXPECT_GE(f.var_oa, 0.0);
+    EXPECT_TRUE(std::isfinite(f.var_ba));
+    EXPECT_TRUE(std::isfinite(f.var_oa));
+  }
+
+  // Stage statistics account for every consecutive frame pair.
+  EXPECT_EQ(entry->sbd_stats.total(), sv.video.frame_count() - 1);
+
+  // The tree validates; every node's representative frame lies inside the
+  // named shot, and the named shot is a descendant of the node.
+  const SceneTree& tree = entry->scene_tree;
+  ASSERT_TRUE(tree.Validate().ok());
+  for (const SceneNode& node : tree.nodes()) {
+    const Shot& shot =
+        entry->shots[static_cast<size_t>(node.shot_index)];
+    EXPECT_GE(node.representative_frame, shot.start_frame);
+    EXPECT_LE(node.representative_frame, shot.end_frame);
+    // Named shot must live in the node's subtree.
+    std::set<int> subtree_shots;
+    std::vector<int> stack = {node.id};
+    while (!stack.empty()) {
+      int cur = stack.back();
+      stack.pop_back();
+      if (tree.node(cur).IsLeaf()) {
+        subtree_shots.insert(tree.node(cur).shot_index);
+      }
+      for (int child : tree.node(cur).children) stack.push_back(child);
+    }
+    EXPECT_TRUE(subtree_shots.count(node.shot_index))
+        << node.Label() << " named after a shot outside its subtree";
+  }
+
+  // Banded index queries agree with the linear scan for random queries.
+  Pcg32 rng(GetParam() ^ 0x51ab);
+  for (int trial = 0; trial < 5; ++trial) {
+    VarianceQuery q;
+    q.var_ba = rng.NextDouble(0, 50);
+    q.var_oa = rng.NextDouble(0, 50);
+    auto fast = db.index().Query(q);
+    auto slow = db.index().QueryLinear(q);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fast[i].distance, slow[i].distance);
+    }
+  }
+
+  // Catalog round trip reproduces the queryable state.
+  std::string path = testing::TempDir() + "/prop_" +
+                     std::to_string(GetParam()) + ".vdbcat";
+  ASSERT_TRUE(SaveCatalog(db, path).ok());
+  VideoDatabase restored;
+  ASSERT_TRUE(LoadCatalog(path, &restored).ok());
+  EXPECT_EQ(restored.GetEntry(0).value()->scene_tree.ToAscii(),
+            tree.ToAscii());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariantsTest,
+                         testing::Range(uint64_t{1}, uint64_t{13}));
+
+// Fuzz: a .vdb file cut off at arbitrary points must fail cleanly (or
+// parse, for cuts inside trailing junk) — never crash.
+class VideoFileTruncationTest : public testing::TestWithParam<int> {};
+
+TEST_P(VideoFileTruncationTest, FailsCleanly) {
+  static const std::string* contents = [] {
+    Storyboard board = RandomBoard(99);
+    SyntheticVideo sv = RenderStoryboard(board).value();
+    std::string path = testing::TempDir() + "/fuzz_base_" +
+                       std::to_string(getpid()) + ".vdb";
+    WriteVideoFile(sv.video, path).ok();
+    std::ifstream in(path, std::ios::binary);
+    auto* s = new std::string((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    return s;
+  }();
+
+  // Cut at a fraction of the file.
+  size_t cut = contents->size() * static_cast<size_t>(GetParam()) / 32;
+  std::string path = testing::TempDir() + "/fuzz_" +
+                     std::to_string(getpid()) + "_" +
+                     std::to_string(GetParam()) + ".vdb";
+  std::ofstream(path, std::ios::binary) << contents->substr(0, cut);
+  Result<Video> video = ReadVideoFile(path);
+  if (cut < contents->size()) {
+    EXPECT_FALSE(video.ok());
+    EXPECT_TRUE(video.status().code() == StatusCode::kCorruption ||
+                video.status().code() == StatusCode::kIoError)
+        << video.status();
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, VideoFileTruncationTest,
+                         testing::Range(0, 32));
+
+// Fuzz: single-byte corruption anywhere in a .vdb file either fails with
+// kCorruption or — when the flip hits a length-irrelevant header byte the
+// checksums do not cover (e.g. the name) — yields a video with the
+// original geometry. It must never crash or produce malformed frames.
+class VideoFileBitFlipTest : public testing::TestWithParam<int> {};
+
+TEST_P(VideoFileBitFlipTest, NeverCrashes) {
+  static const std::string* contents = [] {
+    Storyboard board = RandomBoard(7);
+    SyntheticVideo sv = RenderStoryboard(board).value();
+    std::string path = testing::TempDir() + "/flip_base_" +
+                       std::to_string(getpid()) + ".vdb";
+    WriteVideoFile(sv.video, path).ok();
+    std::ifstream in(path, std::ios::binary);
+    auto* s = new std::string((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    return s;
+  }();
+
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) * 997 + 5);
+  std::string mutated = *contents;
+  size_t pos = rng.NextBounded(static_cast<uint32_t>(mutated.size()));
+  mutated[pos] ^= static_cast<char>(1 << rng.NextBounded(8));
+
+  std::string path = testing::TempDir() + "/flip_" +
+                     std::to_string(getpid()) + "_" +
+                     std::to_string(GetParam()) + ".vdb";
+  std::ofstream(path, std::ios::binary) << mutated;
+  Result<Video> video = ReadVideoFile(path);  // outcome may be either way
+  if (video.ok()) {
+    // Whatever parsed must be structurally sound.
+    EXPECT_GT(video->frame_count(), 0);
+    EXPECT_GT(video->width(), 0);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, VideoFileBitFlipTest, testing::Range(0, 24));
+
+// Fuzz: catalog files cut at arbitrary points must fail cleanly.
+class CatalogTruncationTest : public testing::TestWithParam<int> {};
+
+TEST_P(CatalogTruncationTest, FailsCleanly) {
+  static const std::string* contents = [] {
+    Storyboard board = RandomBoard(3);
+    SyntheticVideo sv = RenderStoryboard(board).value();
+    VideoDatabase db;
+    db.Ingest(sv.video).value();
+    std::string path = testing::TempDir() + "/catfuzz_base_" +
+                       std::to_string(getpid()) + ".vdbcat";
+    SaveCatalog(db, path).ok();
+    std::ifstream in(path, std::ios::binary);
+    auto* s = new std::string((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    return s;
+  }();
+
+  size_t cut = contents->size() * static_cast<size_t>(GetParam()) / 24;
+  std::string path = testing::TempDir() + "/catfuzz_" +
+                     std::to_string(getpid()) + "_" +
+                     std::to_string(GetParam()) + ".vdbcat";
+  std::ofstream(path, std::ios::binary) << contents->substr(0, cut);
+  VideoDatabase db;
+  Status loaded = LoadCatalog(path, &db);
+  if (cut < contents->size()) {
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_TRUE(loaded.code() == StatusCode::kCorruption ||
+                loaded.code() == StatusCode::kIoError)
+        << loaded;
+    EXPECT_EQ(db.video_count(), 0);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, CatalogTruncationTest, testing::Range(0, 24));
+
+// SceneTree::FromParts must reject malformed wiring (the catalog loader
+// leans on it for defence in depth).
+TEST(SceneTreeFromPartsTest, RejectsMalformedTrees) {
+  auto leaf = [](int id, int shot, int parent) {
+    SceneNode n;
+    n.id = id;
+    n.shot_index = shot;
+    n.parent = parent;
+    n.level = 0;
+    n.representative_frame = 0;
+    return n;
+  };
+  auto internal = [](int id, int shot, int parent,
+                     std::vector<int> children, int level) {
+    SceneNode n;
+    n.id = id;
+    n.shot_index = shot;
+    n.parent = parent;
+    n.level = level;
+    n.children = std::move(children);
+    n.representative_frame = 0;
+    return n;
+  };
+
+  // A valid 2-shot tree round-trips.
+  {
+    std::vector<SceneNode> nodes = {leaf(0, 0, 2), leaf(1, 1, 2),
+                                    internal(2, 0, -1, {0, 1}, 1)};
+    EXPECT_TRUE(SceneTree::FromParts(nodes, 2, 2).ok());
+  }
+  // Root out of range.
+  {
+    std::vector<SceneNode> nodes = {leaf(0, 0, -1)};
+    EXPECT_FALSE(SceneTree::FromParts(nodes, 5, 1).ok());
+  }
+  // Leaf/shot order violated (leaf 0 names shot 1).
+  {
+    std::vector<SceneNode> nodes = {leaf(0, 1, 2), leaf(1, 0, 2),
+                                    internal(2, 0, -1, {0, 1}, 1)};
+    EXPECT_FALSE(SceneTree::FromParts(nodes, 2, 2).ok());
+  }
+  // Parent/child wiring inconsistent.
+  {
+    std::vector<SceneNode> nodes = {leaf(0, 0, 2), leaf(1, 1, -1),
+                                    internal(2, 0, -1, {0, 1}, 1)};
+    EXPECT_FALSE(SceneTree::FromParts(nodes, 2, 2).ok());
+  }
+  // Wrong level on an internal node.
+  {
+    std::vector<SceneNode> nodes = {leaf(0, 0, 2), leaf(1, 1, 2),
+                                    internal(2, 0, -1, {0, 1}, 3)};
+    EXPECT_FALSE(SceneTree::FromParts(nodes, 2, 2).ok());
+  }
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,127 @@
+#include "tests/support/render_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace testsupport {
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(h, bits);
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  h = Mix(h, s.size());
+  for (char c : s) {
+    h = Mix(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::string CacheDir() {
+  const char* tmp = std::getenv("TEST_TMPDIR");
+  if (tmp == nullptr) tmp = std::getenv("TMPDIR");
+  if (tmp == nullptr) tmp = "/tmp";
+  return tmp;
+}
+
+}  // namespace
+
+uint64_t StoryboardHash(const Storyboard& board) {
+  uint64_t h = 0x5eedcafef00dULL;
+  h = MixString(h, board.name);
+  h = Mix(h, static_cast<uint64_t>(board.width));
+  h = Mix(h, static_cast<uint64_t>(board.height));
+  h = MixDouble(h, board.fps);
+  h = Mix(h, board.seed);
+  for (const ShotSpec& shot : board.shots) {
+    h = MixString(h, shot.label);
+    h = Mix(h, static_cast<uint64_t>(shot.scene_id));
+    h = MixString(h, shot.motion_class);
+    h = Mix(h, static_cast<uint64_t>(shot.frame_count));
+    h = Mix(h, static_cast<uint64_t>(shot.camera.type));
+    h = MixDouble(h, shot.camera.start_x);
+    h = MixDouble(h, shot.camera.start_y);
+    h = MixDouble(h, shot.camera.start_zoom);
+    h = MixDouble(h, shot.camera.speed);
+    h = MixDouble(h, shot.camera.zoom_rate);
+    h = MixDouble(h, shot.camera.jitter);
+    for (const SpriteSpec& s : shot.sprites) {
+      h = Mix(h, static_cast<uint64_t>(s.shape));
+      h = MixDouble(h, s.center_x);
+      h = MixDouble(h, s.center_y);
+      h = MixDouble(h, s.radius_x);
+      h = MixDouble(h, s.radius_y);
+      h = MixDouble(h, s.velocity_x);
+      h = MixDouble(h, s.velocity_y);
+      h = MixDouble(h, s.wobble);
+      h = Mix(h, s.color.r);
+      h = Mix(h, s.color.g);
+      h = Mix(h, s.color.b);
+    }
+    h = MixDouble(h, shot.noise_stddev);
+    h = MixDouble(h, shot.flash_prob);
+    h = Mix(h, static_cast<uint64_t>(shot.transition_in));
+    h = Mix(h, static_cast<uint64_t>(shot.transition_frames));
+    h = Mix(h, shot.cartoon ? 1u : 0u);
+    h = Mix(h, shot.high_contrast ? 2u : 0u);
+  }
+  return h;
+}
+
+const SyntheticVideo& CachedRender(const Storyboard& board) {
+  static std::mutex mu;
+  static std::map<uint64_t, SyntheticVideo>* cache =
+      new std::map<uint64_t, SyntheticVideo>();
+
+  uint64_t key = StoryboardHash(board);
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  SyntheticVideo sv;
+  sv.truth = TruthFromStoryboard(board);
+
+  std::string path =
+      StrFormat("%s/vdb_render_cache_%016llx.vdb", CacheDir().c_str(),
+                static_cast<unsigned long long>(key));
+  Result<Video> loaded = ReadVideoFile(path);
+  if (loaded.ok() && loaded->frame_count() == board.TotalFrames()) {
+    sv.video = std::move(loaded).value();
+  } else {
+    Result<SyntheticVideo> rendered = RenderStoryboard(board);
+    VDB_CHECK(rendered.ok()) << rendered.status();
+    sv.video = std::move(rendered->video);
+    // Populate the disk cache atomically: write a private temp file, then
+    // rename over the final name so concurrent processes never see a
+    // partial file.
+    std::string tmp = StrFormat("%s.%d.tmp", path.c_str(), getpid());
+    if (WriteVideoFile(sv.video, tmp).ok()) {
+      std::rename(tmp.c_str(), path.c_str());
+    } else {
+      std::remove(tmp.c_str());
+    }
+  }
+  return cache->emplace(key, std::move(sv)).first->second;
+}
+
+}  // namespace testsupport
+}  // namespace vdb

@@ -1,0 +1,26 @@
+#ifndef VDB_TESTS_SUPPORT_RENDER_CACHE_H_
+#define VDB_TESTS_SUPPORT_RENDER_CACHE_H_
+
+#include "synth/renderer.h"
+
+namespace vdb {
+namespace testsupport {
+
+// Returns a render of `board`, cached twice over:
+//  * in-process, so repeated fixtures in one test binary render once, and
+//  * on disk (a .vdb file keyed by a content hash of the storyboard,
+//    written atomically via rename), so the many test *processes* ctest
+//    spawns share one render.
+// Ground truth is recomputed structurally from the storyboard, so the disk
+// cache stores only pixels and can never go stale against spec changes —
+// any change to the storyboard changes the hash.
+const SyntheticVideo& CachedRender(const Storyboard& board);
+
+// Content hash of every field of the storyboard (exposed for tests of the
+// cache itself).
+uint64_t StoryboardHash(const Storyboard& board);
+
+}  // namespace testsupport
+}  // namespace vdb
+
+#endif  // VDB_TESTS_SUPPORT_RENDER_CACHE_H_

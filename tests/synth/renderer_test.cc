@@ -1,0 +1,198 @@
+#include "synth/renderer.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/presets.h"
+#include "video/frame_ops.h"
+
+namespace vdb {
+namespace {
+
+Storyboard TinyBoard(int shots = 3, int frames_per_shot = 6) {
+  Storyboard board;
+  board.name = "tiny";
+  board.width = 64;
+  board.height = 48;
+  board.seed = 5;
+  for (int i = 0; i < shots; ++i) {
+    ShotSpec shot;
+    shot.label = "s" + std::to_string(i);
+    shot.scene_id = i;
+    shot.frame_count = frames_per_shot;
+    board.shots.push_back(shot);
+  }
+  return board;
+}
+
+TEST(RendererTest, FrameCountsAndDims) {
+  Result<SyntheticVideo> r = RenderStoryboard(TinyBoard());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->video.frame_count(), 18);
+  EXPECT_EQ(r->video.width(), 64);
+  EXPECT_EQ(r->video.height(), 48);
+  EXPECT_EQ(r->video.name(), "tiny");
+}
+
+TEST(RendererTest, GroundTruthMatchesSpec) {
+  SyntheticVideo sv = RenderStoryboard(TinyBoard(4, 5)).value();
+  ASSERT_EQ(sv.truth.shots.size(), 4u);
+  EXPECT_EQ(sv.truth.boundaries, (std::vector<int>{5, 10, 15}));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sv.truth.shots[static_cast<size_t>(i)].start_frame, 5 * i);
+    EXPECT_EQ(sv.truth.shots[static_cast<size_t>(i)].end_frame, 5 * i + 4);
+    EXPECT_EQ(sv.truth.shots[static_cast<size_t>(i)].scene_id, i);
+  }
+}
+
+TEST(RendererTest, Deterministic) {
+  SyntheticVideo a = RenderStoryboard(TinyBoard()).value();
+  SyntheticVideo b = RenderStoryboard(TinyBoard()).value();
+  for (int i = 0; i < a.video.frame_count(); ++i) {
+    ASSERT_TRUE(a.video.frame(i) == b.video.frame(i)) << "frame " << i;
+  }
+}
+
+TEST(RendererTest, SameSceneSameCameraLooksIdentical) {
+  Storyboard board = TinyBoard(2, 4);
+  board.shots[1].scene_id = 0;  // same scene, same default camera
+  SyntheticVideo sv = RenderStoryboard(board).value();
+  EXPECT_TRUE(sv.video.frame(0) == sv.video.frame(4));
+}
+
+TEST(RendererTest, DifferentScenesLookDifferent) {
+  SyntheticVideo sv = RenderStoryboard(TinyBoard(2, 4)).value();
+  Result<double> diff =
+      MeanAbsoluteDifference(sv.video.frame(3), sv.video.frame(4));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_GT(*diff, 10.0);
+}
+
+TEST(RendererTest, PanMovesTheImage) {
+  Storyboard board = TinyBoard(1, 8);
+  board.shots[0].camera.type = CameraMotionType::kPan;
+  board.shots[0].camera.speed = 5.0;
+  SyntheticVideo sv = RenderStoryboard(board).value();
+  // Frame 1 is frame 0 shifted: the overlapping columns agree.
+  const Frame& f0 = sv.video.frame(0);
+  const Frame& f1 = sv.video.frame(1);
+  int agree = 0;
+  for (int x = 0; x + 5 < 64; ++x) {
+    if (f0.at(x + 5, 20) == f1.at(x, 20)) ++agree;
+  }
+  EXPECT_GT(agree, 50);
+}
+
+TEST(RendererTest, SpritesAppearInFrame) {
+  Storyboard board = TinyBoard(1, 2);
+  SpriteSpec sprite;
+  sprite.shape = SpriteShape::kEllipse;
+  sprite.center_x = 0.5;
+  sprite.center_y = 0.5;
+  sprite.radius_x = 0.2;
+  sprite.radius_y = 0.2;
+  sprite.color = PixelRGB(255, 0, 255);
+  Storyboard with = board;
+  with.shots[0].sprites.push_back(sprite);
+  Frame plain = RenderStoryboard(board).value().video.frame(0);
+  Frame decorated = RenderStoryboard(with).value().video.frame(0);
+  EXPECT_EQ(decorated.at(32, 24), PixelRGB(255, 0, 255));
+  EXPECT_FALSE(plain == decorated);
+}
+
+TEST(RendererTest, FadeStartsDark) {
+  Storyboard board = TinyBoard(2, 6);
+  board.shots[1].transition_in = TransitionType::kFade;
+  board.shots[1].transition_frames = 3;
+  SyntheticVideo sv = RenderStoryboard(board).value();
+  // First fade frame is much darker than the settled shot.
+  double lum_first = 0, lum_settled = 0;
+  for (const PixelRGB& p : sv.video.frame(6).pixels()) {
+    lum_first += Luminance(p);
+  }
+  for (const PixelRGB& p : sv.video.frame(11).pixels()) {
+    lum_settled += Luminance(p);
+  }
+  EXPECT_LT(lum_first, lum_settled * 0.6);
+}
+
+TEST(RendererTest, DissolveBlendsPreviousShot) {
+  Storyboard board = TinyBoard(2, 6);
+  board.shots[1].transition_in = TransitionType::kDissolve;
+  board.shots[1].transition_frames = 4;
+  SyntheticVideo sv = RenderStoryboard(board).value();
+  const Frame& prev_last = sv.video.frame(5);
+  const Frame& first = sv.video.frame(6);   // mostly previous shot
+  const Frame& settled = sv.video.frame(11);
+  double d_prev = MeanAbsoluteDifference(first, prev_last).value();
+  double d_settled = MeanAbsoluteDifference(first, settled).value();
+  EXPECT_LT(d_prev, d_settled);
+}
+
+TEST(RendererTest, NoiseChangesPixels) {
+  Storyboard clean = TinyBoard(1, 2);
+  Storyboard noisy = clean;
+  noisy.shots[0].noise_stddev = 4.0;
+  Frame a = RenderStoryboard(clean).value().video.frame(0);
+  Frame b = RenderStoryboard(noisy).value().video.frame(0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RendererTest, FlashBrightensFrames) {
+  Storyboard board = TinyBoard(1, 20);
+  board.shots[0].flash_prob = 1.0;  // every frame flashes
+  Storyboard plain = TinyBoard(1, 20);
+  SyntheticVideo flashed = RenderStoryboard(board).value();
+  SyntheticVideo normal = RenderStoryboard(plain).value();
+  double lum_flash = 0, lum_plain = 0;
+  for (const PixelRGB& p : flashed.video.frame(0).pixels()) {
+    lum_flash += Luminance(p);
+  }
+  for (const PixelRGB& p : normal.video.frame(0).pixels()) {
+    lum_plain += Luminance(p);
+  }
+  EXPECT_GT(lum_flash, lum_plain + 30 * 64 * 48);
+}
+
+TEST(RendererTest, RejectsMalformedBoards) {
+  Storyboard empty;
+  empty.name = "empty";
+  EXPECT_FALSE(RenderStoryboard(empty).ok());
+
+  Storyboard tiny_frame = TinyBoard();
+  tiny_frame.width = 4;
+  EXPECT_FALSE(RenderStoryboard(tiny_frame).ok());
+
+  Storyboard zero_frames = TinyBoard();
+  zero_frames.shots[0].frame_count = 0;
+  EXPECT_FALSE(RenderStoryboard(zero_frames).ok());
+}
+
+TEST(PresetsTest, TenShotMatchesTable3Layout) {
+  Storyboard board = TenShotStoryboard();
+  ASSERT_EQ(board.shots.size(), 10u);
+  const int kFrames[] = {75, 25, 40, 30, 120, 60, 65, 80, 55, 75};
+  const char* kLabels[] = {"A", "B", "A1", "B1", "C",
+                           "A2", "C1", "D", "D1", "D2"};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(board.shots[static_cast<size_t>(i)].frame_count, kFrames[i]);
+    EXPECT_EQ(board.shots[static_cast<size_t>(i)].label, kLabels[i]);
+  }
+  EXPECT_EQ(board.TotalFrames(), 625);
+  // Related shots share scene ids.
+  EXPECT_EQ(board.shots[0].scene_id, board.shots[2].scene_id);
+  EXPECT_EQ(board.shots[0].scene_id, board.shots[5].scene_id);
+  EXPECT_EQ(board.shots[1].scene_id, board.shots[3].scene_id);
+  EXPECT_EQ(board.shots[4].scene_id, board.shots[6].scene_id);
+  EXPECT_EQ(board.shots[7].scene_id, board.shots[8].scene_id);
+  EXPECT_EQ(board.shots[8].scene_id, board.shots[9].scene_id);
+}
+
+TEST(PresetsTest, FriendsIsOneMinuteAtThreeFps) {
+  Storyboard board = FriendsStoryboard();
+  EXPECT_EQ(board.TotalFrames(), 180);
+  EXPECT_DOUBLE_EQ(board.fps, 3.0);
+  EXPECT_GE(board.shots.size(), 10u);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,160 @@
+#include "synth/workload.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/renderer.h"
+
+namespace vdb {
+namespace {
+
+TEST(Table5ProfilesTest, TwentyTwoClipsSixCategories) {
+  std::vector<ClipProfile> profiles = Table5Profiles();
+  EXPECT_EQ(profiles.size(), 22u);
+  std::set<std::string> categories;
+  int total_changes = 0;
+  double total_seconds = 0;
+  for (const ClipProfile& p : profiles) {
+    categories.insert(p.category);
+    total_changes += p.shot_changes;
+    total_seconds += p.duration_seconds;
+    EXPECT_GT(p.paper_recall, 0.5);
+    EXPECT_LE(p.paper_recall, 1.0);
+    EXPECT_GT(p.paper_precision, 0.5);
+    EXPECT_LE(p.paper_precision, 1.0);
+  }
+  EXPECT_EQ(categories.size(), 6u);
+  // The paper's totals: 3629 changes over 278:44.
+  EXPECT_EQ(total_changes, 3629);
+  EXPECT_NEAR(total_seconds, 278 * 60 + 44, 1.0);
+}
+
+TEST(Table5ProfilesTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const ClipProfile& p : Table5Profiles()) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+}
+
+TEST(MakeStoryboardTest, ScaleControlsBoundaryCount) {
+  ClipProfile profile = Table5Profiles()[0];  // 95 changes
+  Storyboard half = MakeStoryboardFromProfile(profile, 0.5, 1);
+  EXPECT_NEAR(static_cast<int>(half.shots.size()) - 1,
+              profile.shot_changes / 2, 2);
+  Storyboard tenth = MakeStoryboardFromProfile(profile, 0.1, 1);
+  EXPECT_NEAR(static_cast<int>(tenth.shots.size()) - 1,
+              profile.shot_changes / 10, 2);
+}
+
+TEST(MakeStoryboardTest, Deterministic) {
+  ClipProfile profile = Table5Profiles()[3];
+  Storyboard a = MakeStoryboardFromProfile(profile, 0.2, 9);
+  Storyboard b = MakeStoryboardFromProfile(profile, 0.2, 9);
+  ASSERT_EQ(a.shots.size(), b.shots.size());
+  for (size_t i = 0; i < a.shots.size(); ++i) {
+    EXPECT_EQ(a.shots[i].frame_count, b.shots[i].frame_count);
+    EXPECT_EQ(a.shots[i].scene_id, b.shots[i].scene_id);
+    EXPECT_EQ(a.shots[i].camera.start_x, b.shots[i].camera.start_x);
+  }
+}
+
+TEST(MakeStoryboardTest, SeedChangesLayout) {
+  ClipProfile profile = Table5Profiles()[3];
+  Storyboard a = MakeStoryboardFromProfile(profile, 0.2, 1);
+  Storyboard b = MakeStoryboardFromProfile(profile, 0.2, 2);
+  bool differs = a.shots.size() != b.shots.size();
+  for (size_t i = 0; !differs && i < a.shots.size(); ++i) {
+    differs = a.shots[i].frame_count != b.shots[i].frame_count ||
+              a.shots[i].camera.start_x != b.shots[i].camera.start_x;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MakeStoryboardTest, SceneCountBounded) {
+  ClipProfile profile = Table5Profiles()[2];  // sitcom: 6 scenes
+  Storyboard board = MakeStoryboardFromProfile(profile, 0.3, 4);
+  std::set<int> scenes;
+  for (const ShotSpec& s : board.shots) scenes.insert(s.scene_id);
+  EXPECT_LE(static_cast<int>(scenes.size()), profile.num_scenes);
+  EXPECT_GE(static_cast<int>(scenes.size()), 2);
+}
+
+TEST(MakeStoryboardTest, CartoonFlagPropagates) {
+  for (const ClipProfile& p : Table5Profiles()) {
+    if (!p.cartoon) continue;
+    Storyboard board = MakeStoryboardFromProfile(p, 0.1, 1);
+    for (const ShotSpec& s : board.shots) {
+      EXPECT_TRUE(s.cartoon);
+    }
+    return;  // one cartoon clip suffices
+  }
+  FAIL() << "no cartoon profile found";
+}
+
+TEST(MakeStoryboardTest, MotionClassesAssigned) {
+  ClipProfile profile = Table5Profiles()[15];  // tennis: pans + sprites
+  Storyboard board = MakeStoryboardFromProfile(profile, 0.3, 3);
+  std::map<std::string, int> classes;
+  for (const ShotSpec& s : board.shots) {
+    ASSERT_FALSE(s.motion_class.empty());
+    ++classes[s.motion_class];
+  }
+  EXPECT_GE(classes.size(), 2u);
+}
+
+TEST(MakeStoryboardTest, RendersEndToEnd) {
+  ClipProfile profile = Table5Profiles()[5];  // soap opera, short
+  Storyboard board = MakeStoryboardFromProfile(profile, 0.05, 2);
+  Result<SyntheticVideo> sv = RenderStoryboard(board);
+  ASSERT_TRUE(sv.ok()) << sv.status();
+  EXPECT_EQ(sv->video.frame_count(), board.TotalFrames());
+  EXPECT_EQ(sv->truth.boundaries.size(), board.shots.size() - 1);
+}
+
+TEST(MovieStoryboardsTest, BalancedClasses) {
+  Storyboard simon = SimonBirchStoryboard(40);
+  std::map<std::string, int> classes;
+  for (const ShotSpec& s : simon.shots) ++classes[s.motion_class];
+  EXPECT_EQ(classes.size(), 5u);
+  for (const auto& [cls, count] : classes) {
+    EXPECT_EQ(count, 8) << cls;  // 40 shots / 5 classes
+  }
+}
+
+TEST(MovieStoryboardsTest, TwoMoviesDiffer) {
+  Storyboard simon = SimonBirchStoryboard(20);
+  Storyboard wag = WagTheDogStoryboard(20);
+  EXPECT_NE(simon.name, wag.name);
+  bool differs = false;
+  for (size_t i = 0; i < 20 && !differs; ++i) {
+    differs = simon.shots[i].frame_count != wag.shots[i].frame_count;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MovieStoryboardsTest, ClassTemplatesMatchContent) {
+  Storyboard simon = SimonBirchStoryboard(10);
+  for (const ShotSpec& s : simon.shots) {
+    if (s.motion_class == "closeup-talk") {
+      // A tracking closeup: slow drift, one large talking head.
+      ASSERT_EQ(s.sprites.size(), 1u);
+      EXPECT_GE(s.sprites[0].radius_x, 0.3);
+      EXPECT_EQ(s.camera.type, CameraMotionType::kPan);
+      EXPECT_LE(std::abs(s.camera.speed * s.frame_count), 180.0);
+    } else if (s.motion_class == "distant-talk") {
+      EXPECT_EQ(s.sprites.size(), 2u);
+    } else if (s.motion_class == "camera-motion") {
+      EXPECT_TRUE(s.sprites.empty());
+      EXPECT_NE(s.camera.type, CameraMotionType::kStatic);
+    } else if (s.motion_class == "static") {
+      EXPECT_TRUE(s.sprites.empty());
+      EXPECT_EQ(s.camera.type, CameraMotionType::kStatic);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdb

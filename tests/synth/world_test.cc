@@ -1,0 +1,95 @@
+#include "synth/world.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(HashU64Test, DeterministicAndSpread) {
+  EXPECT_EQ(HashU64(42), HashU64(42));
+  EXPECT_NE(HashU64(42), HashU64(43));
+  // Consecutive inputs must not produce consecutive outputs.
+  EXPECT_GT(HashU64(1) ^ HashU64(2), 1000u);
+}
+
+TEST(SceneWorldTest, DeterministicSampling) {
+  SceneWorld a(123), b(123);
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 37.7 - 500;
+    double y = i * 17.3 - 200;
+    EXPECT_EQ(a.Sample(x, y), b.Sample(x, y));
+  }
+}
+
+TEST(SceneWorldTest, DifferentSeedsDifferentPalettes) {
+  int distinct = 0;
+  for (uint64_t s = 0; s < 20; ++s) {
+    SceneWorld a(s), b(s + 1);
+    if (MaxChannelDifference(a.base_color(), b.base_color()) > 20) {
+      ++distinct;
+    }
+  }
+  // Golden-angle hue hopping keeps nearly all neighbours far apart.
+  EXPECT_GE(distinct, 16);
+}
+
+TEST(SceneWorldTest, SamplesStayNearPalette) {
+  SceneWorld w(7);
+  PixelRGB base = w.base_color();
+  for (int i = 0; i < 200; ++i) {
+    PixelRGB p = w.Sample(i * 13.1, i * 7.7);
+    // Texture modulation is bounded (noise + bands + furniture + chroma).
+    EXPECT_LE(MaxChannelDifference(p, base), 130);
+  }
+}
+
+TEST(SceneWorldTest, TextureVariesInSpace) {
+  SceneWorld w(9);
+  int changed = 0;
+  PixelRGB prev = w.Sample(0, 0);
+  for (int i = 1; i < 100; ++i) {
+    PixelRGB p = w.Sample(i * 25.0, 0);
+    if (MaxChannelDifference(p, prev) > 2) ++changed;
+    prev = p;
+  }
+  EXPECT_GT(changed, 30);
+}
+
+TEST(SceneWorldTest, ContinuousAtFineScale) {
+  // Neighbouring pixels differ only slightly (no banding artifacts).
+  SceneWorld w(11);
+  for (int i = 0; i < 100; ++i) {
+    PixelRGB a = w.Sample(i * 3.1, 50.0);
+    PixelRGB b = w.Sample(i * 3.1 + 1.0, 50.0);
+    EXPECT_LE(MaxChannelDifference(a, b), 40);
+  }
+}
+
+TEST(SceneWorldTest, CartoonStyleIsFlatter) {
+  SceneWorld plain(13);
+  SceneWorld cartoon(13);
+  cartoon.SetCartoonStyle();
+  // Measure local variation along a line away from band edges.
+  auto variation = [](const SceneWorld& w) {
+    long total = 0;
+    PixelRGB prev = w.Sample(0, 10);
+    for (int i = 1; i < 200; ++i) {
+      PixelRGB p = w.Sample(i * 2.0, 10);
+      total += MaxChannelDifference(p, prev);
+      prev = p;
+    }
+    return total;
+  };
+  EXPECT_LT(variation(cartoon), variation(plain));
+}
+
+TEST(SceneWorldTest, StyleChangesBaseColor) {
+  SceneWorld plain(17);
+  SceneWorld cartoon(17);
+  cartoon.SetCartoonStyle();
+  // Cartoon boosts saturation/value.
+  EXPECT_NE(plain.base_color(), cartoon.base_color());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,79 @@
+#include "util/binary_io.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(BinaryIoTest, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+  w.PutString("");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU8("a").value(), 0xab);
+  EXPECT_EQ(r.GetU32("b").value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64("c").value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI32("d").value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble("e").value(), 3.14159);
+  EXPECT_EQ(r.GetString("f").value(), "hello");
+  EXPECT_EQ(r.GetString("g").value(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, LittleEndianLayout) {
+  BinaryWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.buffer().size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(w.buffer()[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(w.buffer()[3]), 0x01);
+}
+
+TEST(BinaryIoTest, UnderflowIsCorruption) {
+  BinaryWriter w;
+  w.PutU8(1);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.GetU8("x").ok());
+  EXPECT_EQ(r.GetU32("y").status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, StringLengthGuard) {
+  BinaryWriter w;
+  w.PutU32(1000);  // claims a 1000-byte string with no bytes behind it
+  BinaryReader r1(w.buffer());
+  EXPECT_EQ(r1.GetString("s", 100).status().code(),
+            StatusCode::kCorruption);  // over max_len
+  BinaryReader r2(w.buffer());
+  EXPECT_EQ(r2.GetString("s", 2000).status().code(),
+            StatusCode::kCorruption);  // truncated payload
+}
+
+TEST(BinaryIoTest, SpecialDoubles) {
+  BinaryWriter w;
+  w.PutDouble(0.0);
+  w.PutDouble(-0.0);
+  w.PutDouble(1e300);
+  BinaryReader r(w.buffer());
+  EXPECT_DOUBLE_EQ(r.GetDouble("a").value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble("b").value(), -0.0);
+  EXPECT_DOUBLE_EQ(r.GetDouble("c").value(), 1e300);
+}
+
+TEST(BinaryIoTest, RemainingTracksOffset) {
+  BinaryWriter w;
+  w.PutU32(7);
+  w.PutU32(8);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU32("x").ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace vdb

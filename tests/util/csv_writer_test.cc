@@ -1,0 +1,53 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(CsvWriterTest, BasicLayout) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"3", "4"});
+  EXPECT_EQ(csv.ToString(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCells) {
+  CsvWriter csv({"x"});
+  csv.AddRow({"has,comma"});
+  csv.AddRow({"has\"quote"});
+  csv.AddRow({"has\nnewline"});
+  EXPECT_EQ(csv.ToString(),
+            "x\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, PadsShortRows) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.AddRow({"1"});
+  EXPECT_EQ(csv.ToString(), "a,b,c\n1,,\n");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  std::string path = testing::TempDir() + "/csv_writer_test.csv";
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"x", "1"});
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "k,v\nx,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  Status s = csv.WriteFile("/nonexistent-dir-zzz/x.csv");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,52 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5, 0, 10), 5);
+  EXPECT_EQ(Clamp(-1, 0, 10), 0);
+  EXPECT_EQ(Clamp(11, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ClampToByteTest, IntsAndDoubles) {
+  EXPECT_EQ(ClampToByte(-5), 0);
+  EXPECT_EQ(ClampToByte(300), 255);
+  EXPECT_EQ(ClampToByte(128), 128);
+  EXPECT_EQ(ClampToByte(127.6), 128);  // rounds
+  EXPECT_EQ(ClampToByte(-0.4), 0);
+  EXPECT_EQ(ClampToByte(255.4), 255);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(VarianceTest, PopulationVariance) {
+  EXPECT_DOUBLE_EQ(PopulationVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance({5.0}), 0.0);
+  // {2, 4}: mean 3, deviations 1 -> population variance 1.
+  EXPECT_DOUBLE_EQ(PopulationVariance({2.0, 4.0}), 1.0);
+}
+
+TEST(VarianceTest, PaperVarianceUsesNMinusOne) {
+  // {2, 4}: sum of squared deviations 2, divided by N-1 = 1 -> 2.
+  EXPECT_DOUBLE_EQ(PaperVariance({2.0, 4.0}), 2.0);
+  EXPECT_DOUBLE_EQ(PaperVariance({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PaperVariance({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(NearTest, Tolerance) {
+  EXPECT_TRUE(Near(1.0, 1.0));
+  EXPECT_TRUE(Near(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(Near(1.0, 1.1));
+  EXPECT_TRUE(Near(1.0, 1.05, 0.1));
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,71 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(100);
+  Status s = ParallelFor(100, 8, [&](int i) {
+    ++visits[static_cast<size_t>(i)];
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, InlineWhenSingleThread) {
+  std::vector<int> order;
+  Status s = ParallelFor(5, 1, [&](int i) {
+    order.push_back(i);  // no lock needed: runs inline
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroOrNegativeCountIsNoop) {
+  int calls = 0;
+  EXPECT_TRUE(ParallelFor(0, 4, [&](int) {
+                ++calls;
+                return Status::Ok();
+              }).ok());
+  EXPECT_TRUE(ParallelFor(-3, 4, [&](int) {
+                ++calls;
+                return Status::Ok();
+              }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, PropagatesFirstError) {
+  Status s = ParallelFor(50, 4, [&](int i) {
+    if (i == 17) return Status::Internal("boom 17");
+    return Status::Ok();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  ASSERT_TRUE(ParallelFor(3, 16, [&](int i) {
+                ++visits[static_cast<size_t>(i)];
+                return Status::Ok();
+              }).ok());
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(HardwareThreadsTest, AtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace vdb

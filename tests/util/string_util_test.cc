@@ -1,0 +1,65 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(1000, 'a');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StrTrimTest, TrimsAsciiWhitespace) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("video.vdb", "video"));
+  EXPECT_FALSE(StartsWith("video", "video.vdb"));
+  EXPECT_TRUE(EndsWith("video.vdb", ".vdb"));
+  EXPECT_FALSE(EndsWith("video.vdb", ".ppm"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(FormatDoubleTest, RoundsToDigits) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatMinSecTest, MatchesPaperStyle) {
+  EXPECT_EQ(FormatMinSec(624), "10:24");   // Silk Stalkings
+  EXPECT_EQ(FormatMinSec(59), "0:59");
+  EXPECT_EQ(FormatMinSec(60), "1:00");
+  EXPECT_EQ(FormatMinSec(1885), "31:25");  // TV Commercials
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"A", "Long header"});
+  t.AddRow({"aaaa", "b"});
+  std::string out = t.ToString();
+  // Every line has the same width.
+  size_t line_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"1"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersRule) {
+  TablePrinter t({"A"});
+  t.AddRow({"x"});
+  t.AddSeparator();
+  t.AddRow({"y"});
+  std::string out = t.ToString();
+  // Header rule plus the explicit separator.
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("|-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 2);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, ContainsAllCells) {
+  TablePrinter t({"Shot", "Recall"});
+  t.AddRow({"#1", "0.97"});
+  t.AddRow({"#2", "0.87"});
+  std::string out = t.ToString();
+  for (const char* cell : {"Shot", "Recall", "#1", "0.97", "#2", "0.87"}) {
+    EXPECT_NE(out.find(cell), std::string::npos) << cell;
+  }
+}
+
+}  // namespace
+}  // namespace vdb

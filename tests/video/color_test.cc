@@ -1,0 +1,77 @@
+#include "video/color.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(ColorTest, PrimariesToHsv) {
+  ColorHSV red = RgbToHsv(PixelRGB(255, 0, 0));
+  EXPECT_NEAR(red.h, 0.0, 1e-9);
+  EXPECT_NEAR(red.s, 1.0, 1e-9);
+  EXPECT_NEAR(red.v, 1.0, 1e-9);
+
+  ColorHSV green = RgbToHsv(PixelRGB(0, 255, 0));
+  EXPECT_NEAR(green.h, 120.0, 1e-9);
+
+  ColorHSV blue = RgbToHsv(PixelRGB(0, 0, 255));
+  EXPECT_NEAR(blue.h, 240.0, 1e-9);
+}
+
+TEST(ColorTest, GraysHaveZeroSaturation) {
+  for (int v : {0, 64, 128, 255}) {
+    ColorHSV hsv = RgbToHsv(PixelRGB(static_cast<uint8_t>(v),
+                                     static_cast<uint8_t>(v),
+                                     static_cast<uint8_t>(v)));
+    EXPECT_DOUBLE_EQ(hsv.s, 0.0);
+    EXPECT_NEAR(hsv.v, v / 255.0, 1e-9);
+  }
+}
+
+TEST(ColorTest, HsvToRgbPrimaries) {
+  EXPECT_EQ(HsvToRgb(ColorHSV{0, 1, 1}), PixelRGB(255, 0, 0));
+  EXPECT_EQ(HsvToRgb(ColorHSV{120, 1, 1}), PixelRGB(0, 255, 0));
+  EXPECT_EQ(HsvToRgb(ColorHSV{240, 1, 1}), PixelRGB(0, 0, 255));
+}
+
+TEST(ColorTest, HueWrapsAround) {
+  EXPECT_EQ(HsvToRgb(ColorHSV{360, 1, 1}), HsvToRgb(ColorHSV{0, 1, 1}));
+  EXPECT_EQ(HsvToRgb(ColorHSV{-120, 1, 1}), HsvToRgb(ColorHSV{240, 1, 1}));
+}
+
+// Round-trip property across the colour cube.
+class ColorRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(ColorRoundTrip, RgbToHsvToRgbIsNearIdentity) {
+  int seed = GetParam();
+  // A deterministic lattice point of the cube.
+  uint8_t r = static_cast<uint8_t>((seed * 37) % 256);
+  uint8_t g = static_cast<uint8_t>((seed * 101) % 256);
+  uint8_t b = static_cast<uint8_t>((seed * 199) % 256);
+  PixelRGB in(r, g, b);
+  PixelRGB out = HsvToRgb(RgbToHsv(in));
+  EXPECT_LE(MaxChannelDifference(in, out), 1)
+      << "in=(" << int(r) << "," << int(g) << "," << int(b) << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(CubeLattice, ColorRoundTrip,
+                         testing::Range(0, 256, 3));
+
+TEST(ColorTest, LerpEndpointsAndMidpoint) {
+  PixelRGB a(0, 0, 0), b(100, 200, 50);
+  EXPECT_EQ(LerpRgb(a, b, 0.0), a);
+  EXPECT_EQ(LerpRgb(a, b, 1.0), b);
+  EXPECT_EQ(LerpRgb(a, b, 0.5), PixelRGB(50, 100, 25));
+  // t is clamped.
+  EXPECT_EQ(LerpRgb(a, b, -1.0), a);
+  EXPECT_EQ(LerpRgb(a, b, 2.0), b);
+}
+
+TEST(ColorTest, ScaleClampsChannels) {
+  EXPECT_EQ(ScaleRgb(PixelRGB(100, 100, 100), 0.5), PixelRGB(50, 50, 50));
+  EXPECT_EQ(ScaleRgb(PixelRGB(200, 200, 200), 2.0), PixelRGB(255, 255, 255));
+  EXPECT_EQ(ScaleRgb(PixelRGB(10, 20, 30), 0.0), PixelRGB(0, 0, 0));
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,182 @@
+#include "video/frame_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+Frame Gradient(int w, int h) {
+  Frame f(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      f.at(x, y) = PixelRGB(static_cast<uint8_t>(x * 7 % 256),
+                            static_cast<uint8_t>(y * 13 % 256),
+                            static_cast<uint8_t>((x + y) % 256));
+    }
+  }
+  return f;
+}
+
+TEST(CropTest, ExtractsRegion) {
+  Frame f = Gradient(10, 8);
+  Result<Frame> c = Crop(f, Rect{2, 3, 4, 2});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->width(), 4);
+  EXPECT_EQ(c->height(), 2);
+  EXPECT_EQ(c->at(0, 0), f.at(2, 3));
+  EXPECT_EQ(c->at(3, 1), f.at(5, 4));
+}
+
+TEST(CropTest, RejectsEmptyRect) {
+  Frame f = Gradient(10, 8);
+  EXPECT_EQ(Crop(f, Rect{0, 0, 0, 5}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CropTest, RejectsOutOfBounds) {
+  Frame f = Gradient(10, 8);
+  EXPECT_EQ(Crop(f, Rect{8, 0, 4, 4}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(Crop(f, Rect{-1, 0, 4, 4}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RectTest, Accessors) {
+  Rect r{2, 3, 4, 5};
+  EXPECT_EQ(r.Right(), 6);
+  EXPECT_EQ(r.Bottom(), 8);
+  EXPECT_EQ(r.Area(), 20);
+}
+
+TEST(ResizeTest, IdentityWhenSameSize) {
+  Frame f = Gradient(6, 4);
+  Result<Frame> r = ResizeNearest(f, 6, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r == f);
+}
+
+TEST(ResizeTest, DownAndUp) {
+  Frame f = Gradient(8, 8);
+  Result<Frame> down = ResizeNearest(f, 4, 4);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->width(), 4);
+  Result<Frame> up = ResizeNearest(f, 16, 16);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->height(), 16);
+  // Nearest-neighbour upsample duplicates source pixels.
+  EXPECT_EQ(up->at(0, 0), f.at(0, 0));
+  EXPECT_EQ(up->at(1, 1), f.at(0, 0));
+}
+
+TEST(ResizeTest, RejectsBadTargets) {
+  Frame f = Gradient(4, 4);
+  EXPECT_FALSE(ResizeNearest(f, 0, 4).ok());
+  EXPECT_FALSE(ResizeNearest(Frame(), 4, 4).ok());
+}
+
+TEST(MadTest, ZeroForIdenticalFrames) {
+  Frame f = Gradient(6, 6);
+  Result<double> d = MeanAbsoluteDifference(f, f);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(MadTest, KnownDifference) {
+  Frame a(2, 1, PixelRGB(10, 20, 30));
+  Frame b(2, 1, PixelRGB(20, 20, 40));
+  // Channel diffs per pixel: 10, 0, 10 -> total 40 over 6 samples.
+  Result<double> d = MeanAbsoluteDifference(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 40.0 / 6.0, 1e-12);
+}
+
+TEST(MadTest, RejectsMismatchedSizes) {
+  EXPECT_EQ(MeanAbsoluteDifference(Frame(2, 2), Frame(3, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, UniformFrameConcentratesInOneBin) {
+  Frame f(10, 10, PixelRGB(128, 64, 200));
+  ColorHistogram h = ComputeHistogram(f);
+  EXPECT_DOUBLE_EQ(h.r[128 >> 2], 1.0);
+  EXPECT_DOUBLE_EQ(h.g[64 >> 2], 1.0);
+  EXPECT_DOUBLE_EQ(h.b[200 >> 2], 1.0);
+}
+
+TEST(HistogramTest, NormalizedPerChannel) {
+  Frame f = Gradient(16, 16);
+  ColorHistogram h = ComputeHistogram(f);
+  double sum_r = 0;
+  for (double v : h.r) sum_r += v;
+  EXPECT_NEAR(sum_r, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, DistanceZeroForSameFrame) {
+  Frame f = Gradient(16, 16);
+  EXPECT_DOUBLE_EQ(HistogramDistance(ComputeHistogram(f),
+                                     ComputeHistogram(f)),
+                   0.0);
+}
+
+TEST(HistogramTest, DistanceMaxForDisjointColors) {
+  Frame a(8, 8, PixelRGB(0, 0, 0));
+  Frame b(8, 8, PixelRGB(255, 255, 255));
+  // Disjoint bins on all three channels: L1 distance 2 per channel.
+  EXPECT_DOUBLE_EQ(HistogramDistance(ComputeHistogram(a),
+                                     ComputeHistogram(b)),
+                   6.0);
+}
+
+TEST(SobelTest, FlatFrameHasNoEdges) {
+  Frame f(10, 10, PixelRGB(100, 100, 100));
+  std::vector<uint8_t> e = SobelEdges(f, 96.0);
+  for (uint8_t v : e) EXPECT_EQ(v, 0);
+}
+
+TEST(SobelTest, VerticalStepProducesVerticalEdge) {
+  Frame f(10, 10, PixelRGB(0, 0, 0));
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 5; x < 10; ++x) {
+      f.at(x, y) = PixelRGB(255, 255, 255);
+    }
+  }
+  std::vector<uint8_t> e = SobelEdges(f, 96.0);
+  // Edge at the step column (x=4..5), not elsewhere.
+  EXPECT_EQ(e[3 * 10 + 1], 0);
+  EXPECT_EQ(e[3 * 10 + 5], 1);
+  EXPECT_EQ(e[3 * 10 + 8], 0);
+}
+
+TEST(SobelTest, TinyFramesHaveNoEdges) {
+  Frame f(2, 2, PixelRGB(255, 0, 0));
+  std::vector<uint8_t> e = SobelEdges(f, 10.0);
+  for (uint8_t v : e) EXPECT_EQ(v, 0);
+}
+
+TEST(DilateTest, GrowsSinglePixel) {
+  std::vector<uint8_t> map(25, 0);
+  map[2 * 5 + 2] = 1;  // centre of 5x5
+  std::vector<uint8_t> out = DilateBinary(map, 5, 5, 1);
+  int ones = 0;
+  for (uint8_t v : out) ones += v;
+  EXPECT_EQ(ones, 9);
+  EXPECT_EQ(out[1 * 5 + 1], 1);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(DilateTest, RadiusZeroIsIdentity) {
+  std::vector<uint8_t> map = {0, 1, 0, 0};
+  EXPECT_EQ(DilateBinary(map, 2, 2, 0), map);
+}
+
+TEST(DilateTest, ClipsAtBorders) {
+  std::vector<uint8_t> map(9, 0);
+  map[0] = 1;  // corner of 3x3
+  std::vector<uint8_t> out = DilateBinary(map, 3, 3, 1);
+  int ones = 0;
+  for (uint8_t v : out) ones += v;
+  EXPECT_EQ(ones, 4);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,114 @@
+#include "video/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "video/video.h"
+
+namespace vdb {
+namespace {
+
+TEST(PixelTest, MaxChannelDifference) {
+  EXPECT_EQ(MaxChannelDifference(PixelRGB(0, 0, 0), PixelRGB(0, 0, 0)), 0);
+  EXPECT_EQ(MaxChannelDifference(PixelRGB(10, 20, 30), PixelRGB(15, 10, 32)),
+            10);
+  EXPECT_EQ(MaxChannelDifference(PixelRGB(0, 0, 0), PixelRGB(255, 0, 0)),
+            255);
+}
+
+TEST(PixelTest, Luminance) {
+  EXPECT_DOUBLE_EQ(Luminance(PixelRGB(30, 60, 90)), 60.0);
+  EXPECT_DOUBLE_EQ(Luminance(PixelRGB(0, 0, 0)), 0.0);
+}
+
+TEST(PixelTest, Equality) {
+  EXPECT_EQ(PixelRGB(1, 2, 3), PixelRGB(1, 2, 3));
+  EXPECT_NE(PixelRGB(1, 2, 3), PixelRGB(1, 2, 4));
+}
+
+TEST(FrameTest, ConstructsFilled) {
+  Frame f(4, 3, PixelRGB(9, 9, 9));
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_EQ(f.pixel_count(), 12u);
+  EXPECT_FALSE(f.empty());
+  EXPECT_EQ(f.at(3, 2), PixelRGB(9, 9, 9));
+}
+
+TEST(FrameTest, DefaultIsEmpty) {
+  Frame f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.width(), 0);
+  EXPECT_EQ(f.pixel_count(), 0u);
+}
+
+TEST(FrameTest, AtReadsAndWrites) {
+  Frame f(2, 2);
+  f.at(1, 0) = PixelRGB(1, 2, 3);
+  EXPECT_EQ(f.at(1, 0), PixelRGB(1, 2, 3));
+  EXPECT_EQ(f.at(0, 0), PixelRGB());
+}
+
+TEST(FrameTest, InBounds) {
+  Frame f(3, 2);
+  EXPECT_TRUE(f.InBounds(0, 0));
+  EXPECT_TRUE(f.InBounds(2, 1));
+  EXPECT_FALSE(f.InBounds(3, 1));
+  EXPECT_FALSE(f.InBounds(0, 2));
+  EXPECT_FALSE(f.InBounds(-1, 0));
+}
+
+TEST(FrameTest, FillOverwrites) {
+  Frame f(2, 2, PixelRGB(1, 1, 1));
+  f.Fill(PixelRGB(5, 6, 7));
+  for (const PixelRGB& p : f.pixels()) {
+    EXPECT_EQ(p, PixelRGB(5, 6, 7));
+  }
+}
+
+TEST(FrameTest, EqualityIsDeep) {
+  Frame a(2, 2, PixelRGB(1, 1, 1));
+  Frame b(2, 2, PixelRGB(1, 1, 1));
+  EXPECT_TRUE(a == b);
+  b.at(0, 0) = PixelRGB(2, 2, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FrameTest, OutOfBoundsAtDies) {
+  Frame f(2, 2);
+  EXPECT_DEATH(f.at(2, 0), "outside");
+}
+
+TEST(VideoTest, AppendsFrames) {
+  Video v("clip", 3.0);
+  v.AppendFrame(Frame(8, 6));
+  v.AppendFrame(Frame(8, 6, PixelRGB(1, 1, 1)));
+  EXPECT_EQ(v.frame_count(), 2);
+  EXPECT_EQ(v.width(), 8);
+  EXPECT_EQ(v.height(), 6);
+  EXPECT_EQ(v.name(), "clip");
+  EXPECT_DOUBLE_EQ(v.DurationSeconds(), 2.0 / 3.0);
+}
+
+TEST(VideoTest, EmptyVideoHasZeroDims) {
+  Video v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.width(), 0);
+  EXPECT_EQ(v.height(), 0);
+  EXPECT_DOUBLE_EQ(v.DurationSeconds(), 0.0);
+}
+
+TEST(VideoTest, MismatchedFrameSizeDies) {
+  Video v("clip", 30.0);
+  v.AppendFrame(Frame(8, 6));
+  EXPECT_DEATH(v.AppendFrame(Frame(4, 4)), "differs");
+}
+
+TEST(VideoTest, FrameIndexBoundsDie) {
+  Video v("clip", 30.0);
+  v.AppendFrame(Frame(8, 6));
+  EXPECT_DEATH(v.frame(1), "frame 1");
+  EXPECT_DEATH(v.frame(-1), "frame -1");
+}
+
+}  // namespace
+}  // namespace vdb

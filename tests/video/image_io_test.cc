@@ -1,0 +1,106 @@
+#include "video/image_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+Frame TestPattern() {
+  Frame f(5, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      f.at(x, y) = PixelRGB(static_cast<uint8_t>(50 * x),
+                            static_cast<uint8_t>(60 * y),
+                            static_cast<uint8_t>(10 + x + y));
+    }
+  }
+  return f;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PpmTest, RoundTrip) {
+  std::string path = TempPath("roundtrip.ppm");
+  Frame f = TestPattern();
+  ASSERT_TRUE(WritePpm(f, path).ok());
+  Result<Frame> back = ReadPpm(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == f);
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, RejectsEmptyFrame) {
+  EXPECT_EQ(WritePpm(Frame(), TempPath("empty.ppm")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PpmTest, ReadMissingFileIsIoError) {
+  EXPECT_EQ(ReadPpm(TempPath("does-not-exist.ppm")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(PpmTest, ReadRejectsBadMagic) {
+  std::string path = TempPath("badmagic.ppm");
+  std::ofstream(path) << "P5\n2 2\n255\nxxxx";
+  EXPECT_EQ(ReadPpm(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, ReadRejectsTruncatedPixels) {
+  std::string path = TempPath("trunc.ppm");
+  std::ofstream(path) << "P6\n4 4\n255\nab";  // far too few bytes
+  EXPECT_EQ(ReadPpm(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, ReadRejectsNonNumericHeader) {
+  std::string path = TempPath("nonnum.ppm");
+  std::ofstream(path) << "P6\nfour 4\n255\n";
+  EXPECT_EQ(ReadPpm(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, ReadSkipsComments) {
+  std::string path = TempPath("comment.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P6\n# a comment line\n1 1\n255\n";
+    out.put(char(10));
+    out.put(char(20));
+    out.put(char(30));
+  }
+  Result<Frame> f = ReadPpm(path);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->at(0, 0), PixelRGB(10, 20, 30));
+  std::remove(path.c_str());
+}
+
+TEST(PpmTest, ReadRejectsUnsupportedMaxval) {
+  std::string path = TempPath("maxval.ppm");
+  std::ofstream(path) << "P6\n1 1\n65535\nxxxxxx";
+  EXPECT_EQ(ReadPpm(path).status().code(), StatusCode::kUnimplemented);
+  std::remove(path.c_str());
+}
+
+TEST(PgmTest, WritesLuminance) {
+  std::string path = TempPath("lum.pgm");
+  Frame f(2, 1);
+  f.at(0, 0) = PixelRGB(30, 60, 90);   // luminance 60
+  f.at(1, 0) = PixelRGB(255, 255, 255);
+  ASSERT_TRUE(WritePgm(f, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  ASSERT_GE(contents.size(), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(contents[contents.size() - 2]), 60);
+  EXPECT_EQ(static_cast<uint8_t>(contents[contents.size() - 1]), 255);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vdb

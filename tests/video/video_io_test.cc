@@ -1,0 +1,260 @@
+#include "video/video_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "video/frame_ops.h"
+
+namespace vdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Video MakeVideo(int frames, int w, int h, uint64_t seed) {
+  Pcg32 rng(seed);
+  Video v("test-clip", 3.0);
+  for (int f = 0; f < frames; ++f) {
+    Frame frame(w, h);
+    for (PixelRGB& p : frame.pixels()) {
+      // Runs of identical pixels (RLE-friendly) mixed with noise.
+      if (rng.NextDouble() < 0.8) {
+        p = PixelRGB(100, 150, 200);
+      } else {
+        p = PixelRGB(static_cast<uint8_t>(rng.NextBounded(256)),
+                     static_cast<uint8_t>(rng.NextBounded(256)),
+                     static_cast<uint8_t>(rng.NextBounded(256)));
+      }
+    }
+    v.AppendFrame(std::move(frame));
+  }
+  return v;
+}
+
+TEST(VideoIoTest, RoundTripRle) {
+  std::string path = TempPath("rt_rle.vdb");
+  Video v = MakeVideo(5, 16, 12, 1);
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+  Result<Video> back = ReadVideoFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->name(), v.name());
+  EXPECT_DOUBLE_EQ(back->fps(), v.fps());
+  ASSERT_EQ(back->frame_count(), v.frame_count());
+  for (int i = 0; i < v.frame_count(); ++i) {
+    EXPECT_TRUE(back->frame(i) == v.frame(i)) << "frame " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VideoIoTest, RoundTripRaw) {
+  std::string path = TempPath("rt_raw.vdb");
+  Video v = MakeVideo(3, 8, 8, 2);
+  VideoWriteOptions opts;
+  opts.rle_compress = false;
+  ASSERT_TRUE(WriteVideoFile(v, path, opts).ok());
+  Result<Video> back = ReadVideoFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  for (int i = 0; i < v.frame_count(); ++i) {
+    EXPECT_TRUE(back->frame(i) == v.frame(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VideoIoTest, RleCompressesFlatContent) {
+  std::string rle_path = TempPath("flat_rle.vdb");
+  std::string raw_path = TempPath("flat_raw.vdb");
+  Video v("flat", 3.0);
+  v.AppendFrame(Frame(64, 48, PixelRGB(7, 7, 7)));
+  ASSERT_TRUE(WriteVideoFile(v, rle_path).ok());
+  VideoWriteOptions raw;
+  raw.rle_compress = false;
+  ASSERT_TRUE(WriteVideoFile(v, raw_path, raw).ok());
+
+  auto file_size = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary | std::ios::ate);
+    return static_cast<long>(in.tellg());
+  };
+  EXPECT_LT(file_size(rle_path), file_size(raw_path) / 10);
+  std::remove(rle_path.c_str());
+  std::remove(raw_path.c_str());
+}
+
+TEST(VideoIoTest, RejectsEmptyVideo) {
+  EXPECT_EQ(WriteVideoFile(Video(), TempPath("empty.vdb")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VideoIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadVideoFile(TempPath("nope.vdb")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(VideoIoTest, BadMagicIsCorruption) {
+  std::string path = TempPath("badmagic.vdb");
+  std::ofstream(path, std::ios::binary) << "NOTAVIDEOFILE....";
+  EXPECT_EQ(ReadVideoFile(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(VideoIoTest, TruncationIsCorruption) {
+  std::string path = TempPath("trunc.vdb");
+  Video v = MakeVideo(4, 16, 12, 3);
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+  // Truncate the file to 60% of its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << contents.substr(0, contents.size() * 6 / 10);
+  EXPECT_EQ(ReadVideoFile(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(VideoIoTest, FlippedPayloadByteFailsChecksum) {
+  std::string path = TempPath("bitflip.vdb");
+  Video v = MakeVideo(2, 16, 12, 4);
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  // Flip a byte near the end (inside the last frame's payload).
+  contents[contents.size() - 5] ^= 0x40;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << contents;
+  Result<Video> back = ReadVideoFile(path);
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(back.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VideoFileReaderTest, StreamsFramesMatchingBulkRead) {
+  std::string path = TempPath("stream.vdb");
+  Video v = MakeVideo(6, 20, 16, 9);
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+
+  Result<VideoFileReader> opened = VideoFileReader::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  VideoFileReader reader = std::move(opened).value();
+  EXPECT_EQ(reader.name(), v.name());
+  EXPECT_EQ(reader.frame_count(), 6);
+  EXPECT_EQ(reader.width(), 20);
+  EXPECT_EQ(reader.height(), 16);
+  EXPECT_EQ(reader.frames_read(), 0);
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_FALSE(reader.AtEnd());
+    Result<Frame> frame = reader.ReadNextFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_TRUE(*frame == v.frame(i)) << "frame " << i;
+  }
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.ReadNextFrame().status().code(),
+            StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(VideoFileReaderTest, RandomAccessMatchesSequential) {
+  std::string path = TempPath("seek.vdb");
+  Video v = MakeVideo(10, 20, 16, 11);
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+  VideoFileReader reader = VideoFileReader::Open(path).value();
+
+  // Forward jump, backward jump, repeat jump, and boundary frames.
+  for (int target : {7, 2, 7, 0, 9, 4}) {
+    Result<Frame> frame = reader.ReadFrameAt(target);
+    ASSERT_TRUE(frame.ok()) << "frame " << target << ": " << frame.status();
+    EXPECT_TRUE(*frame == v.frame(target)) << "frame " << target;
+  }
+  // Sequential reading still works after seeking.
+  ASSERT_TRUE(reader.SeekToFrame(8).ok());
+  EXPECT_TRUE(*reader.ReadNextFrame() == v.frame(8));
+  EXPECT_TRUE(*reader.ReadNextFrame() == v.frame(9));
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(reader.SeekToFrame(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(reader.SeekToFrame(10).code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(VideoFileReaderTest, SeekDetectsTruncation) {
+  std::string path = TempPath("seektrunc.vdb");
+  Video v = MakeVideo(6, 20, 16, 13);
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << contents.substr(0, contents.size() / 2);
+  VideoFileReader reader = VideoFileReader::Open(path).value();
+  EXPECT_EQ(reader.SeekToFrame(5).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TemporalSubsampleTest, PaperPreprocessing) {
+  // 30 fps digitized -> 3 fps analysed: stride 10.
+  Video v("full-rate", 30.0);
+  for (int i = 0; i < 45; ++i) {
+    v.AppendFrame(Frame(16, 12, PixelRGB(static_cast<uint8_t>(i), 0, 0)));
+  }
+  Result<Video> sub = TemporalSubsample(v, 10);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->frame_count(), 5);  // frames 0, 10, 20, 30, 40
+  EXPECT_DOUBLE_EQ(sub->fps(), 3.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sub->frame(i).at(0, 0).r, 10 * i);
+  }
+}
+
+TEST(TemporalSubsampleTest, StrideOneIsIdentity) {
+  Video v("x", 30.0);
+  v.AppendFrame(Frame(16, 12));
+  v.AppendFrame(Frame(16, 12, PixelRGB(1, 1, 1)));
+  Result<Video> sub = TemporalSubsample(v, 1);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->frame_count(), 2);
+  EXPECT_DOUBLE_EQ(sub->fps(), 30.0);
+}
+
+TEST(TemporalSubsampleTest, RejectsBadInput) {
+  Video v("x", 30.0);
+  v.AppendFrame(Frame(16, 12));
+  EXPECT_FALSE(TemporalSubsample(v, 0).ok());
+  EXPECT_FALSE(TemporalSubsample(Video(), 2).ok());
+}
+
+TEST(VideoFileReaderTest, OpenFailsOnMissingOrBadFiles) {
+  EXPECT_EQ(VideoFileReader::Open(TempPath("missing.vdb")).status().code(),
+            StatusCode::kIoError);
+  std::string path = TempPath("badmagic2.vdb");
+  std::ofstream(path, std::ios::binary) << "JUNKJUNKJUNKJUNK";
+  EXPECT_EQ(VideoFileReader::Open(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(VideoIoTest, Fnv1aKnownVector) {
+  // FNV-1a("") = offset basis; FNV-1a("a") = 0xe40c292c.
+  EXPECT_EQ(Fnv1a32(nullptr, 0), 2166136261u);
+  const uint8_t a = 'a';
+  EXPECT_EQ(Fnv1a32(&a, 1), 0xe40c292cu);
+}
+
+TEST(VideoIoTest, PreservesUnicodeNames) {
+  std::string path = TempPath("name.vdb");
+  Video v = MakeVideo(1, 8, 8, 5);
+  v.set_name("clip \xc3\xa9\xc3\xa0");
+  ASSERT_TRUE(WriteVideoFile(v, path).ok());
+  Result<Video> back = ReadVideoFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), v.name());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,334 @@
+// vdbtool — command-line front end for the video database library.
+//
+//   vdbtool synth <preset> <out.vdb>         generate a synthetic clip
+//   vdbtool info <clip.vdb>                  container header + stats
+//   vdbtool analyze <clip.vdb>...            segment, features, motion, tree
+//   vdbtool catalog <out.vdbcat> <clip.vdb>...  analyse clips into a catalog
+//   vdbtool tree <clip.vdb>                  print the scene tree
+//   vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] [form=F]
+//   vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...
+//   vdbtool browse <clip.vdb> [child.child...]  walk the scene tree
+//   vdbtool export-frame <clip.vdb> <frame#> <out.ppm>   dump one frame
+//   vdbtool presets                          list synthetic presets
+//
+// Presets: "ten-shot", "friends", "simon-birch", "wag-the-dog", or any
+// Table-5 clip name prefix ("Silk", "Scooby", ...; scaled by the optional
+// trailing argument, default 0.1).
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/browser.h"
+#include "core/catalog_io.h"
+#include "core/fingerprint.h"
+#include "core/motion.h"
+#include "core/video_database.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "video/image_io.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  vdbtool synth <preset> <out.vdb> [scale]\n"
+      "  vdbtool info <clip.vdb>\n"
+      "  vdbtool analyze <clip.vdb>...\n"
+      "  vdbtool catalog <out.vdbcat> <clip.vdb>...\n"
+      "  vdbtool tree <clip.vdb>\n"
+      "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "
+      "[form=F]\n"
+      "  vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...\n"
+      "  vdbtool browse <clip.vdb> [child.child...]\n"
+      "  vdbtool export-frame <clip.vdb> <frame#> <out.ppm>\n"
+      "  vdbtool presets\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+Result<Storyboard> PresetBoard(const std::string& preset, double scale) {
+  if (preset == "ten-shot") return TenShotStoryboard();
+  if (preset == "friends") return FriendsStoryboard();
+  if (preset == "simon-birch") return SimonBirchStoryboard();
+  if (preset == "wag-the-dog") return WagTheDogStoryboard();
+  for (const ClipProfile& profile : Table5Profiles()) {
+    if (StartsWith(profile.name, preset)) {
+      return MakeStoryboardFromProfile(profile, scale, 2000);
+    }
+  }
+  return Status::NotFound("no preset matching '" + preset + "'");
+}
+
+int CmdPresets() {
+  std::cout << "built-in presets:\n"
+               "  ten-shot      the paper's Figure-5 example clip\n"
+               "  friends       the Figure-7 restaurant segment\n"
+               "  simon-birch   retrieval-experiment movie clip\n"
+               "  wag-the-dog   retrieval-experiment movie clip\n"
+               "table-5 genre clips (match by name prefix):\n";
+  for (const ClipProfile& profile : Table5Profiles()) {
+    std::cout << "  " << profile.name << " [" << profile.category << "]\n";
+  }
+  return 0;
+}
+
+int CmdSynth(const std::string& preset, const std::string& out,
+             double scale) {
+  Result<Storyboard> board = PresetBoard(preset, scale);
+  if (!board.ok()) return Fail(board.status());
+  Result<SyntheticVideo> rendered = RenderStoryboard(*board);
+  if (!rendered.ok()) return Fail(rendered.status());
+  Status written = WriteVideoFile(rendered->video, out);
+  if (!written.ok()) return Fail(written);
+  std::cout << "wrote " << out << ": " << rendered->video.frame_count()
+            << " frames (" << rendered->truth.shots.size()
+            << " scripted shots)\n";
+  return 0;
+}
+
+int CmdInfo(const std::string& path) {
+  Result<Video> video = ReadVideoFile(path);
+  if (!video.ok()) return Fail(video.status());
+  std::cout << path << ":\n"
+            << "  name        " << video->name() << "\n"
+            << "  frames      " << video->frame_count() << "\n"
+            << "  resolution  " << video->width() << "x" << video->height()
+            << "\n"
+            << "  fps         " << video->fps() << "\n"
+            << "  duration    " << FormatMinSec(video->DurationSeconds())
+            << "\n";
+  return 0;
+}
+
+int CmdAnalyze(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    Result<Video> video = ReadVideoFile(path);
+    if (!video.ok()) return Fail(video.status());
+    Result<VideoSignatures> sigs =
+        ComputeVideoSignaturesParallel(*video);
+    if (!sigs.ok()) return Fail(sigs.status());
+    CameraTrackingDetector detector;
+    Result<ShotDetectionResult> detection =
+        detector.DetectFromSignatures(*sigs);
+    if (!detection.ok()) return Fail(detection.status());
+    Result<std::vector<ShotFingerprint>> fps =
+        ComputeAllShotFingerprints(*sigs, detection->shots);
+    if (!fps.ok()) return Fail(fps.status());
+
+    std::cout << video->name() << ": " << detection->shots.size()
+              << " shots\n";
+    TablePrinter t({"Shot", "Frames", "Var^BA", "Var^OA", "D^v", "Motion",
+                    "Mean colour"});
+    for (size_t i = 0; i < detection->shots.size(); ++i) {
+      const Shot& shot = detection->shots[i];
+      const ShotFingerprint& fp = (*fps)[i];
+      t.AddRow({StrFormat("#%zu", i + 1),
+                StrFormat("%d-%d", shot.start_frame + 1,
+                          shot.end_frame + 1),
+                FormatDouble(fp.variances.var_ba, 2),
+                FormatDouble(fp.variances.var_oa, 2),
+                FormatDouble(fp.variances.Dv(), 2),
+                std::string(CameraMotionLabelName(fp.motion)),
+                StrFormat("(%d,%d,%d)", fp.mean_sign_ba.r,
+                          fp.mean_sign_ba.g, fp.mean_sign_ba.b)});
+    }
+    t.Print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int CmdCatalog(const std::string& out,
+               const std::vector<std::string>& paths) {
+  VideoDatabase db;
+  for (const std::string& path : paths) {
+    Result<Video> video = ReadVideoFile(path);
+    if (!video.ok()) return Fail(video.status());
+    Result<int> id = db.Ingest(*video);
+    if (!id.ok()) return Fail(id.status());
+    std::cout << "ingested [" << *id << "] " << video->name() << "\n";
+  }
+  Status saved = SaveCatalog(db, out);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "catalog with " << db.video_count() << " videos and "
+            << db.index().size() << " indexed shots written to " << out
+            << "\n";
+  return 0;
+}
+
+int CmdTree(const std::string& path) {
+  Result<Video> video = ReadVideoFile(path);
+  if (!video.ok()) return Fail(video.status());
+  VideoDatabase db;
+  Result<int> id = db.Ingest(*video);
+  if (!id.ok()) return Fail(id.status());
+  const CatalogEntry* entry = db.GetEntry(*id).value();
+  std::cout << entry->scene_tree.ToAscii();
+  return 0;
+}
+
+int CmdQuery(const std::string& catalog_path, double var_ba, double var_oa,
+             int k, const ClassFilter& filter) {
+  VideoDatabase db;
+  Status loaded = LoadCatalog(catalog_path, &db);
+  if (!loaded.ok()) return Fail(loaded);
+  VarianceQuery query;
+  query.var_ba = var_ba;
+  query.var_oa = var_oa;
+  Result<std::vector<BrowsingSuggestion>> result =
+      (filter.genre_id >= 0 || filter.form_id >= 0)
+          ? db.SearchWithinClass(query, k, filter)
+          : db.Search(query, k);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << "top " << result->size() << " matches for Var^BA=" << var_ba
+            << " Var^OA=" << var_oa << ":\n";
+  for (const BrowsingSuggestion& s : *result) {
+    std::cout << StrFormat(
+        "  shot#%-3d of %-24s  Var^BA=%7.2f D^v=%6.2f  browse from %s "
+        "(key frame %d)\n",
+        s.match.entry.shot_index + 1, s.video_name.c_str(),
+        s.match.entry.var_ba, s.match.entry.Dv(), s.scene_label.c_str(),
+        s.representative_frame + 1);
+  }
+  return 0;
+}
+
+int CmdClassify(const std::string& catalog_path, int video_id,
+                const std::string& form,
+                const std::vector<std::string>& genres) {
+  VideoDatabase db;
+  Status loaded = LoadCatalog(catalog_path, &db);
+  if (!loaded.ok()) return Fail(loaded);
+  Result<VideoClassification> classification =
+      MakeClassification(genres, form);
+  if (!classification.ok()) return Fail(classification.status());
+  Status set = db.SetClassification(video_id, *classification);
+  if (!set.ok()) return Fail(set);
+  Status saved = SaveCatalog(db, catalog_path);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "video " << video_id << " classified as '"
+            << ClassificationLabel(*classification) << "'\n";
+  return 0;
+}
+
+int CmdBrowse(const std::string& path, const std::string& walk) {
+  Result<Video> video = ReadVideoFile(path);
+  if (!video.ok()) return Fail(video.status());
+  VideoDatabase db;
+  Result<int> id = db.Ingest(*video);
+  if (!id.ok()) return Fail(id.status());
+  const CatalogEntry* entry = db.GetEntry(*id).value();
+
+  SceneBrowser browser(entry);
+  // Walk the dotted child path, e.g. "0.1.0".
+  for (const std::string& step : StrSplit(walk, '.')) {
+    if (step.empty()) continue;
+    Status moved = browser.EnterChild(std::atoi(step.c_str()));
+    if (!moved.ok()) return Fail(moved);
+  }
+
+  const SceneNode& node = browser.CurrentNode();
+  Shot span = browser.CoverageSpan();
+  std::cout << browser.Breadcrumbs() << "\n"
+            << "  frames " << span.start_frame + 1 << "-"
+            << span.end_frame + 1 << "\n";
+  auto key_frames = browser.KeyFrames(node.IsLeaf() ? 1 : 3);
+  if (key_frames.ok()) {
+    std::cout << "  key frames:";
+    for (int f : *key_frames) std::cout << ' ' << f + 1;
+    std::cout << "\n";
+  }
+  std::cout << "  children:\n";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const SceneNode& child = entry->scene_tree.node(node.children[i]);
+    std::cout << "    [" << i << "] " << child.Label();
+    if (child.IsLeaf()) std::cout << "  (shot#" << child.shot_index + 1
+                                  << ")";
+    std::cout << "\n";
+  }
+  if (node.children.empty()) std::cout << "    (leaf)\n";
+  return 0;
+}
+
+int CmdExportFrame(const std::string& path, int frame_no,
+                   const std::string& out) {
+  Result<Video> video = ReadVideoFile(path);
+  if (!video.ok()) return Fail(video.status());
+  if (frame_no < 1 || frame_no > video->frame_count()) {
+    return Fail(Status::OutOfRange(
+        StrFormat("frame %d of %d (frames are 1-based)", frame_no,
+                  video->frame_count())));
+  }
+  Status written = WritePpm(video->frame(frame_no - 1), out);
+  if (!written.ok()) return Fail(written);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+
+  if (cmd == "presets") return CmdPresets();
+  if (cmd == "synth" && args.size() >= 3) {
+    double scale = args.size() >= 4 ? std::atof(args[3].c_str()) : 0.1;
+    return CmdSynth(args[1], args[2], scale > 0 ? scale : 0.1);
+  }
+  if (cmd == "info" && args.size() == 2) return CmdInfo(args[1]);
+  if (cmd == "analyze" && args.size() >= 2) {
+    return CmdAnalyze({args.begin() + 1, args.end()});
+  }
+  if (cmd == "catalog" && args.size() >= 3) {
+    return CmdCatalog(args[1], {args.begin() + 2, args.end()});
+  }
+  if (cmd == "tree" && args.size() == 2) return CmdTree(args[1]);
+  if (cmd == "query" && args.size() >= 4) {
+    int k = 5;
+    ClassFilter filter;
+    for (size_t i = 4; i < args.size(); ++i) {
+      if (StartsWith(args[i], "genre=")) {
+        Result<int> genre = GenreIdByName(args[i].substr(6));
+        if (!genre.ok()) return Fail(genre.status());
+        filter.genre_id = *genre;
+      } else if (StartsWith(args[i], "form=")) {
+        Result<int> form = FormIdByName(args[i].substr(5));
+        if (!form.ok()) return Fail(form.status());
+        filter.form_id = *form;
+      } else {
+        int parsed = std::atoi(args[i].c_str());
+        if (parsed > 0) k = parsed;
+      }
+    }
+    return CmdQuery(args[1], std::atof(args[2].c_str()),
+                    std::atof(args[3].c_str()), k, filter);
+  }
+  if (cmd == "classify" && args.size() >= 5) {
+    return CmdClassify(args[1], std::atoi(args[2].c_str()), args[3],
+                       {args.begin() + 4, args.end()});
+  }
+  if (cmd == "browse" && (args.size() == 2 || args.size() == 3)) {
+    return CmdBrowse(args[1], args.size() == 3 ? args[2] : "");
+  }
+  if (cmd == "export-frame" && args.size() == 4) {
+    return CmdExportFrame(args[1], std::atoi(args[2].c_str()), args[3]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main(int argc, char** argv) { return vdb::Run(argc, argv); }
