@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fba"
+  "../bench/bench_ablation_fba.pdb"
+  "CMakeFiles/bench_ablation_fba.dir/bench_ablation_fba.cc.o"
+  "CMakeFiles/bench_ablation_fba.dir/bench_ablation_fba.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

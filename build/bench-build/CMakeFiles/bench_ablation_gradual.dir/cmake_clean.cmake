@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gradual"
+  "../bench/bench_ablation_gradual.pdb"
+  "CMakeFiles/bench_ablation_gradual.dir/bench_ablation_gradual.cc.o"
+  "CMakeFiles/bench_ablation_gradual.dir/bench_ablation_gradual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gradual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_quantized"
+  "../bench/bench_ablation_quantized.pdb"
+  "CMakeFiles/bench_ablation_quantized.dir/bench_ablation_quantized.cc.o"
+  "CMakeFiles/bench_ablation_quantized.dir/bench_ablation_quantized.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_pyramid"
+  "../bench/bench_fig3_pyramid.pdb"
+  "CMakeFiles/bench_fig3_pyramid.dir/bench_fig3_pyramid.cc.o"
+  "CMakeFiles/bench_fig3_pyramid.dir/bench_fig3_pyramid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_10_retrieval"
+  "../bench/bench_fig8_10_retrieval.pdb"
+  "CMakeFiles/bench_fig8_10_retrieval.dir/bench_fig8_10_retrieval.cc.o"
+  "CMakeFiles/bench_fig8_10_retrieval.dir/bench_fig8_10_retrieval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_10_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_motion_classify"
+  "../bench/bench_motion_classify.pdb"
+  "CMakeFiles/bench_motion_classify.dir/bench_motion_classify.cc.o"
+  "CMakeFiles/bench_motion_classify.dir/bench_motion_classify.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motion_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

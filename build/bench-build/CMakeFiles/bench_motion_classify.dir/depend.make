@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_motion_classify.
+# This may be replaced when dependencies are built.

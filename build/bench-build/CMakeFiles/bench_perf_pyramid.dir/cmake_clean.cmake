@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_pyramid"
+  "../bench/bench_perf_pyramid.pdb"
+  "CMakeFiles/bench_perf_pyramid.dir/bench_perf_pyramid.cc.o"
+  "CMakeFiles/bench_perf_pyramid.dir/bench_perf_pyramid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_sbd"
+  "../bench/bench_perf_sbd.pdb"
+  "CMakeFiles/bench_perf_sbd.dir/bench_perf_sbd.cc.o"
+  "CMakeFiles/bench_perf_sbd.dir/bench_perf_sbd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_sbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_scene_tree"
+  "../bench/bench_perf_scene_tree.pdb"
+  "CMakeFiles/bench_perf_scene_tree.dir/bench_perf_scene_tree.cc.o"
+  "CMakeFiles/bench_perf_scene_tree.dir/bench_perf_scene_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_scene_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_sizeset"
+  "../bench/bench_table1_sizeset.pdb"
+  "CMakeFiles/bench_table1_sizeset.dir/bench_table1_sizeset.cc.o"
+  "CMakeFiles/bench_table1_sizeset.dir/bench_table1_sizeset.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sizeset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

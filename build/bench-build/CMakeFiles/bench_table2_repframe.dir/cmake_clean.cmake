@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_repframe"
+  "../bench/bench_table2_repframe.pdb"
+  "CMakeFiles/bench_table2_repframe.dir/bench_table2_repframe.cc.o"
+  "CMakeFiles/bench_table2_repframe.dir/bench_table2_repframe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_repframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

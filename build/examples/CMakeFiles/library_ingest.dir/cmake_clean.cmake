@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_ingest.dir/library_ingest.cpp.o"
+  "CMakeFiles/library_ingest.dir/library_ingest.cpp.o.d"
+  "library_ingest"
+  "library_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_browser.dir/scene_browser.cpp.o"
+  "CMakeFiles/scene_browser.dir/scene_browser.cpp.o.d"
+  "scene_browser"
+  "scene_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_search.dir/video_search.cpp.o"
+  "CMakeFiles/video_search.dir/video_search.cpp.o.d"
+  "video_search"
+  "video_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_baselines.dir/sbd_baseline.cc.o"
+  "CMakeFiles/vdb_baselines.dir/sbd_baseline.cc.o.d"
+  "libvdb_baselines.a"
+  "libvdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

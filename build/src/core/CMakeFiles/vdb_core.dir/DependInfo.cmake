@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/browser.cc" "src/core/CMakeFiles/vdb_core.dir/browser.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/browser.cc.o.d"
+  "/root/repo/src/core/catalog_io.cc" "src/core/CMakeFiles/vdb_core.dir/catalog_io.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/catalog_io.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/core/CMakeFiles/vdb_core.dir/extractor.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/extractor.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/vdb_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/features.cc.o.d"
+  "/root/repo/src/core/fingerprint.cc" "src/core/CMakeFiles/vdb_core.dir/fingerprint.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/fingerprint.cc.o.d"
+  "/root/repo/src/core/genre.cc" "src/core/CMakeFiles/vdb_core.dir/genre.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/genre.cc.o.d"
+  "/root/repo/src/core/geometry.cc" "src/core/CMakeFiles/vdb_core.dir/geometry.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/geometry.cc.o.d"
+  "/root/repo/src/core/motion.cc" "src/core/CMakeFiles/vdb_core.dir/motion.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/motion.cc.o.d"
+  "/root/repo/src/core/pyramid.cc" "src/core/CMakeFiles/vdb_core.dir/pyramid.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/pyramid.cc.o.d"
+  "/root/repo/src/core/quantized_index.cc" "src/core/CMakeFiles/vdb_core.dir/quantized_index.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/quantized_index.cc.o.d"
+  "/root/repo/src/core/scene_tree.cc" "src/core/CMakeFiles/vdb_core.dir/scene_tree.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/scene_tree.cc.o.d"
+  "/root/repo/src/core/shot.cc" "src/core/CMakeFiles/vdb_core.dir/shot.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/shot.cc.o.d"
+  "/root/repo/src/core/shot_detector.cc" "src/core/CMakeFiles/vdb_core.dir/shot_detector.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/shot_detector.cc.o.d"
+  "/root/repo/src/core/variance_index.cc" "src/core/CMakeFiles/vdb_core.dir/variance_index.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/variance_index.cc.o.d"
+  "/root/repo/src/core/video_database.cc" "src/core/CMakeFiles/vdb_core.dir/video_database.cc.o" "gcc" "src/core/CMakeFiles/vdb_core.dir/video_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vdb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

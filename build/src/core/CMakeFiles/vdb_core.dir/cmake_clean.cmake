@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_core.dir/browser.cc.o"
+  "CMakeFiles/vdb_core.dir/browser.cc.o.d"
+  "CMakeFiles/vdb_core.dir/catalog_io.cc.o"
+  "CMakeFiles/vdb_core.dir/catalog_io.cc.o.d"
+  "CMakeFiles/vdb_core.dir/extractor.cc.o"
+  "CMakeFiles/vdb_core.dir/extractor.cc.o.d"
+  "CMakeFiles/vdb_core.dir/features.cc.o"
+  "CMakeFiles/vdb_core.dir/features.cc.o.d"
+  "CMakeFiles/vdb_core.dir/fingerprint.cc.o"
+  "CMakeFiles/vdb_core.dir/fingerprint.cc.o.d"
+  "CMakeFiles/vdb_core.dir/genre.cc.o"
+  "CMakeFiles/vdb_core.dir/genre.cc.o.d"
+  "CMakeFiles/vdb_core.dir/geometry.cc.o"
+  "CMakeFiles/vdb_core.dir/geometry.cc.o.d"
+  "CMakeFiles/vdb_core.dir/motion.cc.o"
+  "CMakeFiles/vdb_core.dir/motion.cc.o.d"
+  "CMakeFiles/vdb_core.dir/pyramid.cc.o"
+  "CMakeFiles/vdb_core.dir/pyramid.cc.o.d"
+  "CMakeFiles/vdb_core.dir/quantized_index.cc.o"
+  "CMakeFiles/vdb_core.dir/quantized_index.cc.o.d"
+  "CMakeFiles/vdb_core.dir/scene_tree.cc.o"
+  "CMakeFiles/vdb_core.dir/scene_tree.cc.o.d"
+  "CMakeFiles/vdb_core.dir/shot.cc.o"
+  "CMakeFiles/vdb_core.dir/shot.cc.o.d"
+  "CMakeFiles/vdb_core.dir/shot_detector.cc.o"
+  "CMakeFiles/vdb_core.dir/shot_detector.cc.o.d"
+  "CMakeFiles/vdb_core.dir/variance_index.cc.o"
+  "CMakeFiles/vdb_core.dir/variance_index.cc.o.d"
+  "CMakeFiles/vdb_core.dir/video_database.cc.o"
+  "CMakeFiles/vdb_core.dir/video_database.cc.o.d"
+  "libvdb_core.a"
+  "libvdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/vdb_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/vdb_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/retrieval_eval.cc" "src/eval/CMakeFiles/vdb_eval.dir/retrieval_eval.cc.o" "gcc" "src/eval/CMakeFiles/vdb_eval.dir/retrieval_eval.cc.o.d"
+  "/root/repo/src/eval/sbd_experiment.cc" "src/eval/CMakeFiles/vdb_eval.dir/sbd_experiment.cc.o" "gcc" "src/eval/CMakeFiles/vdb_eval.dir/sbd_experiment.cc.o.d"
+  "/root/repo/src/eval/tree_eval.cc" "src/eval/CMakeFiles/vdb_eval.dir/tree_eval.cc.o" "gcc" "src/eval/CMakeFiles/vdb_eval.dir/tree_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vdb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vdb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

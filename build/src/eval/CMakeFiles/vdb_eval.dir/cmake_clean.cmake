@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_eval.dir/metrics.cc.o"
+  "CMakeFiles/vdb_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/vdb_eval.dir/retrieval_eval.cc.o"
+  "CMakeFiles/vdb_eval.dir/retrieval_eval.cc.o.d"
+  "CMakeFiles/vdb_eval.dir/sbd_experiment.cc.o"
+  "CMakeFiles/vdb_eval.dir/sbd_experiment.cc.o.d"
+  "CMakeFiles/vdb_eval.dir/tree_eval.cc.o"
+  "CMakeFiles/vdb_eval.dir/tree_eval.cc.o.d"
+  "libvdb_eval.a"
+  "libvdb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/presets.cc" "src/synth/CMakeFiles/vdb_synth.dir/presets.cc.o" "gcc" "src/synth/CMakeFiles/vdb_synth.dir/presets.cc.o.d"
+  "/root/repo/src/synth/renderer.cc" "src/synth/CMakeFiles/vdb_synth.dir/renderer.cc.o" "gcc" "src/synth/CMakeFiles/vdb_synth.dir/renderer.cc.o.d"
+  "/root/repo/src/synth/workload.cc" "src/synth/CMakeFiles/vdb_synth.dir/workload.cc.o" "gcc" "src/synth/CMakeFiles/vdb_synth.dir/workload.cc.o.d"
+  "/root/repo/src/synth/world.cc" "src/synth/CMakeFiles/vdb_synth.dir/world.cc.o" "gcc" "src/synth/CMakeFiles/vdb_synth.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vdb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_synth.dir/presets.cc.o"
+  "CMakeFiles/vdb_synth.dir/presets.cc.o.d"
+  "CMakeFiles/vdb_synth.dir/renderer.cc.o"
+  "CMakeFiles/vdb_synth.dir/renderer.cc.o.d"
+  "CMakeFiles/vdb_synth.dir/workload.cc.o"
+  "CMakeFiles/vdb_synth.dir/workload.cc.o.d"
+  "CMakeFiles/vdb_synth.dir/world.cc.o"
+  "CMakeFiles/vdb_synth.dir/world.cc.o.d"
+  "libvdb_synth.a"
+  "libvdb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_util.dir/binary_io.cc.o"
+  "CMakeFiles/vdb_util.dir/binary_io.cc.o.d"
+  "CMakeFiles/vdb_util.dir/csv_writer.cc.o"
+  "CMakeFiles/vdb_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/vdb_util.dir/logging.cc.o"
+  "CMakeFiles/vdb_util.dir/logging.cc.o.d"
+  "CMakeFiles/vdb_util.dir/math_util.cc.o"
+  "CMakeFiles/vdb_util.dir/math_util.cc.o.d"
+  "CMakeFiles/vdb_util.dir/parallel.cc.o"
+  "CMakeFiles/vdb_util.dir/parallel.cc.o.d"
+  "CMakeFiles/vdb_util.dir/random.cc.o"
+  "CMakeFiles/vdb_util.dir/random.cc.o.d"
+  "CMakeFiles/vdb_util.dir/status.cc.o"
+  "CMakeFiles/vdb_util.dir/status.cc.o.d"
+  "CMakeFiles/vdb_util.dir/string_util.cc.o"
+  "CMakeFiles/vdb_util.dir/string_util.cc.o.d"
+  "CMakeFiles/vdb_util.dir/table_printer.cc.o"
+  "CMakeFiles/vdb_util.dir/table_printer.cc.o.d"
+  "libvdb_util.a"
+  "libvdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/color.cc" "src/video/CMakeFiles/vdb_video.dir/color.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/color.cc.o.d"
+  "/root/repo/src/video/frame.cc" "src/video/CMakeFiles/vdb_video.dir/frame.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/frame.cc.o.d"
+  "/root/repo/src/video/frame_ops.cc" "src/video/CMakeFiles/vdb_video.dir/frame_ops.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/frame_ops.cc.o.d"
+  "/root/repo/src/video/image_io.cc" "src/video/CMakeFiles/vdb_video.dir/image_io.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/image_io.cc.o.d"
+  "/root/repo/src/video/pixel.cc" "src/video/CMakeFiles/vdb_video.dir/pixel.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/pixel.cc.o.d"
+  "/root/repo/src/video/video.cc" "src/video/CMakeFiles/vdb_video.dir/video.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/video.cc.o.d"
+  "/root/repo/src/video/video_io.cc" "src/video/CMakeFiles/vdb_video.dir/video_io.cc.o" "gcc" "src/video/CMakeFiles/vdb_video.dir/video_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

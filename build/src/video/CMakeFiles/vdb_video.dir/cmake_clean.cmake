@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_video.dir/color.cc.o"
+  "CMakeFiles/vdb_video.dir/color.cc.o.d"
+  "CMakeFiles/vdb_video.dir/frame.cc.o"
+  "CMakeFiles/vdb_video.dir/frame.cc.o.d"
+  "CMakeFiles/vdb_video.dir/frame_ops.cc.o"
+  "CMakeFiles/vdb_video.dir/frame_ops.cc.o.d"
+  "CMakeFiles/vdb_video.dir/image_io.cc.o"
+  "CMakeFiles/vdb_video.dir/image_io.cc.o.d"
+  "CMakeFiles/vdb_video.dir/pixel.cc.o"
+  "CMakeFiles/vdb_video.dir/pixel.cc.o.d"
+  "CMakeFiles/vdb_video.dir/video.cc.o"
+  "CMakeFiles/vdb_video.dir/video.cc.o.d"
+  "CMakeFiles/vdb_video.dir/video_io.cc.o"
+  "CMakeFiles/vdb_video.dir/video_io.cc.o.d"
+  "libvdb_video.a"
+  "libvdb_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

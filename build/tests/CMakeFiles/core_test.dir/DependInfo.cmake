@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/browser_test.cc" "tests/CMakeFiles/core_test.dir/core/browser_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/browser_test.cc.o.d"
+  "/root/repo/tests/core/catalog_io_test.cc" "tests/CMakeFiles/core_test.dir/core/catalog_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/catalog_io_test.cc.o.d"
+  "/root/repo/tests/core/extractor_test.cc" "tests/CMakeFiles/core_test.dir/core/extractor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/extractor_test.cc.o.d"
+  "/root/repo/tests/core/features_test.cc" "tests/CMakeFiles/core_test.dir/core/features_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/features_test.cc.o.d"
+  "/root/repo/tests/core/fingerprint_test.cc" "tests/CMakeFiles/core_test.dir/core/fingerprint_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fingerprint_test.cc.o.d"
+  "/root/repo/tests/core/genre_test.cc" "tests/CMakeFiles/core_test.dir/core/genre_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/genre_test.cc.o.d"
+  "/root/repo/tests/core/geometry_test.cc" "tests/CMakeFiles/core_test.dir/core/geometry_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/geometry_test.cc.o.d"
+  "/root/repo/tests/core/motion_test.cc" "tests/CMakeFiles/core_test.dir/core/motion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/motion_test.cc.o.d"
+  "/root/repo/tests/core/pyramid_test.cc" "tests/CMakeFiles/core_test.dir/core/pyramid_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pyramid_test.cc.o.d"
+  "/root/repo/tests/core/quantized_index_test.cc" "tests/CMakeFiles/core_test.dir/core/quantized_index_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/quantized_index_test.cc.o.d"
+  "/root/repo/tests/core/scene_tree_test.cc" "tests/CMakeFiles/core_test.dir/core/scene_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scene_tree_test.cc.o.d"
+  "/root/repo/tests/core/shot_detector_test.cc" "tests/CMakeFiles/core_test.dir/core/shot_detector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/shot_detector_test.cc.o.d"
+  "/root/repo/tests/core/shot_test.cc" "tests/CMakeFiles/core_test.dir/core/shot_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/shot_test.cc.o.d"
+  "/root/repo/tests/core/variance_index_test.cc" "tests/CMakeFiles/core_test.dir/core/variance_index_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/variance_index_test.cc.o.d"
+  "/root/repo/tests/core/video_database_test.cc" "tests/CMakeFiles/core_test.dir/core/video_database_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/video_database_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/vdb_testsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vdb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vdb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/property_test.cc" "tests/CMakeFiles/integration_test.dir/integration/property_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/vdb_testsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vdb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vdb_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

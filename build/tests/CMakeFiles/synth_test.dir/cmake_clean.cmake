@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_test.dir/synth/profile_smoke_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/profile_smoke_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/renderer_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/renderer_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/workload_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/workload_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/world_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/world_test.cc.o.d"
+  "synth_test"
+  "synth_test.pdb"
+  "synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/binary_io_test.cc.o"
+  "CMakeFiles/util_test.dir/util/binary_io_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/csv_writer_test.cc.o"
+  "CMakeFiles/util_test.dir/util/csv_writer_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/math_util_test.cc.o"
+  "CMakeFiles/util_test.dir/util/math_util_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/parallel_test.cc.o"
+  "CMakeFiles/util_test.dir/util/parallel_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/table_printer_test.cc.o"
+  "CMakeFiles/util_test.dir/util/table_printer_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_testsupport.dir/support/render_cache.cc.o"
+  "CMakeFiles/vdb_testsupport.dir/support/render_cache.cc.o.d"
+  "libvdb_testsupport.a"
+  "libvdb_testsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_testsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

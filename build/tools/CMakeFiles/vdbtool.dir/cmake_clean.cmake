@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbtool.dir/vdbtool.cc.o"
+  "CMakeFiles/vdbtool.dir/vdbtool.cc.o.d"
+  "vdbtool"
+  "vdbtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
