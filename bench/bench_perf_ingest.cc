@@ -1,0 +1,93 @@
+// Batch-ingest throughput: the full analysis pipeline (pyramid signatures,
+// SBD cascade, features, scene tree, index) over the 22 Table-5 presets,
+// single-threaded vs. pooled. The per-video analyses are independent, so
+// throughput should scale with cores until the commit lock (one exclusive
+// section per batch) or memory bandwidth binds.
+//
+// JSON alongside the other perf benches:
+//   ./bench_perf_ingest --benchmark_format=json
+//   ./bench_perf_ingest --benchmark_out=ingest.json --benchmark_out_format=json
+// VDB_INGEST_SCALE (0, 1] scales the storyboards (default 0.03).
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/video_database.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+
+namespace vdb {
+namespace {
+
+struct Workload {
+  std::vector<Video> videos;
+  int64_t total_frames = 0;
+};
+
+const Workload& PresetWorkload() {
+  static const Workload* workload = [] {
+    double scale = bench::EnvScale("VDB_INGEST_SCALE", 0.03);
+    auto* w = new Workload();
+    for (const ClipProfile& profile : Table5Profiles()) {
+      Storyboard board = MakeStoryboardFromProfile(profile, scale, 3);
+      SyntheticVideo sv =
+          bench::OrDie(RenderStoryboard(board), "render preset");
+      w->total_frames += sv.video.frame_count();
+      w->videos.push_back(std::move(sv.video));
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+void ReportThroughput(benchmark::State& state) {
+  const Workload& w = PresetWorkload();
+  state.SetItemsProcessed(state.iterations() * w.total_frames);
+  state.counters["videos"] =
+      benchmark::Counter(static_cast<double>(w.videos.size()) *
+                             static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+// One Ingest call per video — the pre-batch baseline path.
+void BM_SequentialIngest(benchmark::State& state) {
+  const Workload& w = PresetWorkload();
+  for (auto _ : state) {
+    VideoDatabase db;
+    for (const Video& v : w.videos) {
+      Result<int> id = db.Ingest(v);
+      if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(db.video_count());
+  }
+  ReportThroughput(state);
+}
+BENCHMARK(BM_SequentialIngest)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// IngestBatch at Arg(0) worker threads.
+void BM_BatchIngest(benchmark::State& state) {
+  const Workload& w = PresetWorkload();
+  IngestOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    VideoDatabase db;
+    BatchIngestResult r = db.IngestBatch(w.videos, opts);
+    if (!r.ok()) state.SkipWithError(r.first_error.ToString().c_str());
+    benchmark::DoNotOptimize(db.video_count());
+  }
+  ReportThroughput(state);
+}
+BENCHMARK(BM_BatchIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

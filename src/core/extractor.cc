@@ -19,32 +19,17 @@ Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
   return out;
 }
 
-Result<VideoSignatures> ComputeVideoSignatures(const Video& video) {
+namespace {
+
+// Shared body of the serial and parallel passes: frame i reduces into its
+// own pre-sized slot, so the parallel pass needs no locking and both paths
+// produce bit-identical output.
+Result<VideoSignatures> ComputeSignatures(const Video& video,
+                                          int num_threads) {
   if (video.empty()) {
     return Status::InvalidArgument("video '" + video.name() +
                                    "' has no frames");
   }
-  VideoSignatures out;
-  VDB_ASSIGN_OR_RETURN(out.geometry,
-                       ComputeAreaGeometry(video.width(), video.height()));
-  out.frames.reserve(static_cast<size_t>(video.frame_count()));
-  for (int i = 0; i < video.frame_count(); ++i) {
-    VDB_ASSIGN_OR_RETURN(FrameSignature fs,
-                         ComputeFrameSignature(video.frame(i),
-                                               out.geometry));
-    out.frames.push_back(std::move(fs));
-  }
-  return out;
-}
-
-Result<VideoSignatures> ComputeVideoSignaturesParallel(const Video& video,
-                                                       int num_threads) {
-  if (video.empty()) {
-    return Status::InvalidArgument("video '" + video.name() +
-                                   "' has no frames");
-  }
-  if (num_threads <= 0) num_threads = HardwareThreads();
-
   VideoSignatures out;
   VDB_ASSIGN_OR_RETURN(out.geometry,
                        ComputeAreaGeometry(video.width(), video.height()));
@@ -57,6 +42,18 @@ Result<VideoSignatures> ComputeVideoSignaturesParallel(const Video& video,
         return Status::Ok();
       }));
   return out;
+}
+
+}  // namespace
+
+Result<VideoSignatures> ComputeVideoSignatures(const Video& video) {
+  return ComputeSignatures(video, 1);
+}
+
+Result<VideoSignatures> ComputeVideoSignaturesParallel(const Video& video,
+                                                       int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  return ComputeSignatures(video, num_threads);
 }
 
 }  // namespace vdb

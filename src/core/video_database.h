@@ -2,6 +2,7 @@
 #define VDB_CORE_VIDEO_DATABASE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -50,9 +51,45 @@ struct VideoDatabaseOptions {
   SceneTreeOptions scene_tree;
 };
 
+// Knobs for IngestBatch.
+struct IngestOptions {
+  // Worker threads for the analysis phase; <= 0 uses HardwareThreads().
+  int num_threads = 0;
+
+  // When true (default) the batch is atomic: the first failure stops
+  // scheduling further analyses and nothing is committed. When false every
+  // video is analysed; the successes commit (in input order) and failures
+  // are reported per slot.
+  bool fail_fast = true;
+};
+
+// Per-batch outcome. `video_ids` and `statuses` parallel the input vector:
+// a committed video has its id and an OK status; a failed one has id -1 and
+// the failure; a video skipped or rolled back by fail_fast has id -1 and a
+// FailedPrecondition status naming the reason.
+struct BatchIngestResult {
+  std::vector<int> video_ids;
+  std::vector<Status> statuses;
+  int committed = 0;
+
+  bool ok() const { return first_error.ok(); }
+
+  // The first failure in input order (OK when the whole batch committed).
+  Status first_error;
+};
+
 // The integrated framework of the paper: ingest segments each video into
 // shots (Step 1), builds its scene tree (Step 2), and indexes its shots by
 // variance features (Step 3); queries return browsing suggestions.
+//
+// Thread safety: all public methods are safe to call concurrently. Reads
+// (GetEntry, Search*, video_count, index) take a shared lock; ingest
+// commits and SetClassification take an exclusive lock. Batch ingest
+// analyses videos outside the lock, so queries keep running while a batch
+// is in flight and only the (cheap) commit serialises against them.
+// CatalogEntry pointers returned by GetEntry stay valid for the lifetime
+// of the database: entries are never removed and, except for
+// `classification`, never modified after commit.
 class VideoDatabase {
  public:
   explicit VideoDatabase(VideoDatabaseOptions options = VideoDatabaseOptions());
@@ -69,16 +106,32 @@ class VideoDatabase {
   // resident. Produces the same analysis as Ingest(ReadVideoFile(path)).
   Result<int> IngestFile(const std::string& path);
 
+  // Analyses every video on a thread pool, then commits the results in
+  // input order under one exclusive lock. Ids are assigned at commit time,
+  // so the catalog is identical to sequentially ingesting the same vector
+  // regardless of num_threads. Queries remain serviceable throughout.
+  BatchIngestResult IngestBatch(const std::vector<Video>& videos,
+                                const IngestOptions& options = IngestOptions());
+
+  // IngestBatch over .vdb files (the streaming IngestFile pipeline per
+  // worker, so peak memory is one frame per thread plus signatures).
+  BatchIngestResult IngestBatchFiles(
+      const std::vector<std::string>& paths,
+      const IngestOptions& options = IngestOptions());
+
   // Installs an already-analysed entry (catalog restore): validates its
   // internal consistency, assigns the next video id, and indexes its
   // shots. No pixel data is touched.
   Result<int> Restore(CatalogEntry entry);
 
-  int video_count() const { return static_cast<int>(catalog_.size()); }
+  int video_count() const;
 
   // Catalog access. Fails for unknown ids.
   Result<const CatalogEntry*> GetEntry(int video_id) const;
 
+  // The live index. Safe to query concurrently with reads, but a reference
+  // obtained here is not protected against a concurrent ingest commit —
+  // prefer Search* while a batch may be in flight.
   const VarianceIndex& index() const { return index_; }
 
   // Tags a video with its genre/form classification.
@@ -101,9 +154,20 @@ class VideoDatabase {
       int video_id, int shot_index, int top_k) const;
 
  private:
-  Result<BrowsingSuggestion> Suggest(const QueryMatch& match) const;
+  // Unlocked internals; callers hold mu_ (shared suffices unless noted).
+  int VideoCountLocked() const { return static_cast<int>(catalog_.size()); }
+  Result<const CatalogEntry*> GetEntryLocked(int video_id) const;
+  Result<BrowsingSuggestion> SuggestLocked(const QueryMatch& match) const;
+  // Assigns the next id, indexes the shots, appends to the catalog.
+  // Requires mu_ held exclusively.
+  int CommitLocked(std::unique_ptr<CatalogEntry> entry);
+
+  BatchIngestResult IngestBatchImpl(
+      int count, const IngestOptions& options,
+      const std::function<Status(int, CatalogEntry*)>& analyse);
 
   VideoDatabaseOptions options_;
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<CatalogEntry>> catalog_;
   VarianceIndex index_;
 };

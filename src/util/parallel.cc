@@ -1,15 +1,119 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+#include <utility>
 
 namespace vdb {
 
 int HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  num_threads_ = num_threads;
+  if (num_threads_ <= 1) return;  // inline mode: no workers
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::RecordError(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) {
+    first_error_ = std::move(status);
+    error_flag_.store(true, std::memory_order_release);
+  }
+}
+
+void ThreadPool::RunTask(const std::function<Status()>& task) {
+  Status s = task();
+  if (!s.ok()) RecordError(std::move(s));
+}
+
+void ThreadPool::Submit(std::function<Status()> task) {
+  if (workers_.empty()) {
+    // Inline mode: count the task as pending so nested Submit from inside
+    // a task keeps Wait()'s accounting consistent, then run it here.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+    }
+    RunTask(task);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) idle_cv_.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+Status ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  Status out = std::move(first_error_);
+  first_error_ = Status::Ok();
+  error_flag_.store(false, std::memory_order_release);
+  return out;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<Status()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTask(task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
+  if (n <= 0) return Wait();
+  // Shared counter: each worker task claims the next unclaimed index until
+  // none remain or a failure is recorded. One task per worker keeps queue
+  // traffic at O(threads) while still balancing dynamically per index.
+  auto next = std::make_shared<std::atomic<int>>(0);
+  int tasks = std::min(std::max(num_threads_, 1), n);
+  for (int t = 0; t < tasks; ++t) {
+    Submit([this, next, n, &fn]() -> Status {
+      for (int i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next->fetch_add(1, std::memory_order_relaxed)) {
+        if (has_error()) return Status::Ok();
+        VDB_RETURN_IF_ERROR(fn(i));
+      }
+      return Status::Ok();
+    });
+  }
+  // The tasks capture fn by reference, so they must all finish before this
+  // frame unwinds — Wait() guarantees that and surfaces the first error.
+  return Wait();
 }
 
 Status ParallelFor(int n, int num_threads,
@@ -22,37 +126,8 @@ Status ParallelFor(int n, int num_threads,
     }
     return Status::Ok();
   }
-
-  std::mutex mu;
-  Status first_error;
-  auto worker = [&](int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!first_error.ok()) return;  // stop early on failure
-      }
-      Status s = fn(i);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = s;
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_threads));
-  int chunk = (n + num_threads - 1) / num_threads;
-  for (int t = 0; t < num_threads; ++t) {
-    int begin = t * chunk;
-    int end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back(worker, begin, end);
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  return first_error;
+  ThreadPool pool(num_threads);
+  return pool.ParallelFor(n, fn);
 }
 
 }  // namespace vdb

@@ -1,7 +1,13 @@
 #ifndef VDB_UTIL_PARALLEL_H_
 #define VDB_UTIL_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "util/status.h"
 
@@ -10,10 +16,79 @@ namespace vdb {
 // Number of hardware threads, at least 1.
 int HardwareThreads();
 
-// Runs fn(0) ... fn(n-1) across up to `num_threads` threads (block
-// partitioning, so results written to disjoint slots need no locking).
-// Returns the first non-OK status any call produced; remaining indices in
-// other blocks may still have run. num_threads <= 1 runs inline.
+// A reusable pool of worker threads with a dynamic work queue: tasks are
+// pulled one at a time by whichever worker frees up first, so uneven task
+// costs balance automatically (unlike static block partitioning).
+//
+// Error handling: every task returns Status. The pool remembers the first
+// non-OK status any task produced; Wait() returns it and rearms the pool
+// for the next batch. Tasks keep running after a failure unless they opt
+// out by checking has_error() (ParallelFor does).
+//
+// Thread safety: Submit() may be called from any thread, including from
+// inside a running task (nested submission — Wait() does not return until
+// nested tasks finish too). Wait() must not be called from inside a task:
+// a worker waiting for the queue it is supposed to drain deadlocks.
+//
+// num_threads <= 1 is the inline mode: no workers are spawned and Submit()
+// runs the task on the calling thread immediately. This keeps single-
+// threaded callers deterministic and makes the pool safe to use in code
+// that must also run in contexts where spawning threads is undesirable.
+class ThreadPool {
+ public:
+  // num_threads <= 0 uses HardwareThreads().
+  explicit ThreadPool(int num_threads = 0);
+
+  // Drains outstanding tasks, then joins the workers. Errors produced by
+  // tasks nobody waited for are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Enqueues a task. In inline mode the task runs before Submit returns.
+  void Submit(std::function<Status()> task);
+
+  // Blocks until every submitted task (including tasks submitted by other
+  // tasks) has finished, then returns the first non-OK status seen since
+  // the previous Wait() — and clears it, so the pool is reusable.
+  Status Wait();
+
+  // True once any task has returned non-OK since the last Wait(). Cheap;
+  // long loops inside tasks can poll it to stop early after a failure.
+  bool has_error() const { return error_flag_.load(std::memory_order_acquire); }
+
+  // Runs fn(0) ... fn(n-1) on the pool with dynamic scheduling: workers
+  // claim the next index from a shared counter, so expensive indices do not
+  // stall cheap ones. Stops claiming new indices after the first failure.
+  // Drains the pool (calls Wait) before returning the first error.
+  Status ParallelFor(int n, const std::function<Status(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  void RunTask(const std::function<Status()>& task);
+  void RecordError(Status status);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when a task is queued
+  std::condition_variable idle_cv_;  // signalled when pending_ hits zero
+  std::deque<std::function<Status()>> queue_;
+  int pending_ = 0;  // queued + currently running
+  bool shutdown_ = false;
+  Status first_error_;
+  std::atomic<bool> error_flag_{false};
+};
+
+// Runs fn(0) ... fn(n-1) across up to `num_threads` threads. Returns the
+// first non-OK status any call produced; indices already claimed by other
+// workers may still run after a failure. num_threads <= 1 runs inline and
+// stops at the first error. Spawns a transient ThreadPool; callers with a
+// long-lived pool should prefer ThreadPool::ParallelFor.
 Status ParallelFor(int n, int num_threads,
                    const std::function<Status(int)>& fn);
 

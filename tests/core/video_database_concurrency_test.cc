@@ -1,0 +1,227 @@
+// Readers and writers hammering one VideoDatabase: queries must stay
+// serviceable while a batch ingests, no entry may be lost, and the final
+// state must match a sequential ingest exactly. Runs under TSan via
+// -DVDB_SANITIZE=thread (ctest -L concurrency).
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/video_database.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+
+namespace vdb {
+namespace {
+
+class VideoDatabaseConcurrencyTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ten_shot_ = new SyntheticVideo(
+        testsupport::CachedRender(TenShotStoryboard()));
+  }
+  static void TearDownTestSuite() {
+    delete ten_shot_;
+    ten_shot_ = nullptr;
+  }
+
+  // `count` analysis-heavy copies of the ten-shot clip with distinct names.
+  static std::vector<Video> Clips(int count, const std::string& prefix) {
+    std::vector<Video> videos;
+    videos.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      Video copy = ten_shot_->video;
+      copy.set_name(prefix + std::to_string(i));
+      videos.push_back(std::move(copy));
+    }
+    return videos;
+  }
+
+  static SyntheticVideo* ten_shot_;
+};
+
+SyntheticVideo* VideoDatabaseConcurrencyTest::ten_shot_ = nullptr;
+
+TEST_F(VideoDatabaseConcurrencyTest, QueriesRunWhileBatchIngests) {
+  VideoDatabase db;
+  // Seed one video so readers always have something to find.
+  ASSERT_TRUE(db.Ingest(ten_shot_->video).ok());
+
+  std::vector<Video> batch = Clips(6, "batch-");
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int> reads{0};
+
+  std::thread writer([&] {
+    IngestOptions opts;
+    opts.num_threads = 4;
+    BatchIngestResult r = db.IngestBatch(batch, opts);
+    EXPECT_TRUE(r.ok()) << r.first_error;
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      VarianceQuery q;
+      q.var_ba = 10.0;
+      q.var_oa = 30.0;
+      while (!ingest_done.load(std::memory_order_acquire)) {
+        int count = db.video_count();
+        ASSERT_GE(count, 1);
+
+        // Every id visible via video_count must resolve.
+        Result<const CatalogEntry*> entry = db.GetEntry(count - 1);
+        ASSERT_TRUE(entry.ok()) << entry.status();
+        EXPECT_EQ((*entry)->shots.size(), 10u);
+
+        Result<std::vector<BrowsingSuggestion>> found = db.Search(q, 3);
+        ASSERT_TRUE(found.ok()) << found.status();
+        for (const BrowsingSuggestion& s : *found) {
+          EXPECT_GE(s.match.entry.video_id, 0);
+          EXPECT_GE(s.scene_node, 0);
+          EXPECT_FALSE(s.video_name.empty());
+        }
+
+        Result<std::vector<BrowsingSuggestion>> similar =
+            db.SearchSimilarToShot(0, 2, 2);
+        ASSERT_TRUE(similar.ok()) << similar.status();
+        ++reads;
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(db.video_count(), 7);
+  EXPECT_EQ(db.index().size(), 70);
+}
+
+TEST_F(VideoDatabaseConcurrencyTest, ConcurrentSingleIngestsLoseNothing) {
+  VideoDatabase db;
+  std::vector<Video> clips = Clips(6, "solo-");
+  std::vector<int> ids(clips.size(), -1);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < clips.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Result<int> id = db.Ingest(clips[i]);
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids[i] = *id;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // No lost entries: every ingest got a distinct id and all ids are dense.
+  std::set<int> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), clips.size());
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), static_cast<int>(clips.size()) - 1);
+  EXPECT_EQ(db.video_count(), static_cast<int>(clips.size()));
+  EXPECT_EQ(db.index().size(), static_cast<int>(clips.size()) * 10);
+}
+
+TEST_F(VideoDatabaseConcurrencyTest, BatchIdsAreMonotonicInInputOrder) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(ten_shot_->video).ok());
+  IngestOptions opts;
+  opts.num_threads = 4;
+  BatchIngestResult r = db.IngestBatch(Clips(5, "mono-"), opts);
+  ASSERT_TRUE(r.ok()) << r.first_error;
+  ASSERT_EQ(r.video_ids.size(), 5u);
+  EXPECT_EQ(r.committed, 5);
+  for (size_t i = 0; i < r.video_ids.size(); ++i) {
+    EXPECT_EQ(r.video_ids[i], static_cast<int>(i) + 1)
+        << "ids must be assigned in input order";
+    EXPECT_TRUE(r.statuses[i].ok());
+  }
+}
+
+TEST_F(VideoDatabaseConcurrencyTest, BatchMatchesSequentialIngest) {
+  std::vector<Video> clips = Clips(4, "cmp-");
+
+  VideoDatabase sequential;
+  for (const Video& v : clips) {
+    ASSERT_TRUE(sequential.Ingest(v).ok());
+  }
+
+  VideoDatabase batched;
+  IngestOptions opts;
+  opts.num_threads = 4;
+  BatchIngestResult r = batched.IngestBatch(clips, opts);
+  ASSERT_TRUE(r.ok()) << r.first_error;
+
+  ASSERT_EQ(batched.video_count(), sequential.video_count());
+  for (int id = 0; id < sequential.video_count(); ++id) {
+    const CatalogEntry* a = sequential.GetEntry(id).value();
+    const CatalogEntry* b = batched.GetEntry(id).value();
+    EXPECT_EQ(a->name, b->name);
+    EXPECT_EQ(a->frame_count, b->frame_count);
+    ASSERT_EQ(a->shots.size(), b->shots.size());
+    for (size_t s = 0; s < a->shots.size(); ++s) {
+      EXPECT_EQ(a->shots[s], b->shots[s]);
+      EXPECT_EQ(a->features[s].var_ba, b->features[s].var_ba);
+      EXPECT_EQ(a->features[s].var_oa, b->features[s].var_oa);
+    }
+    EXPECT_EQ(a->scene_tree.node_count(), b->scene_tree.node_count());
+    EXPECT_EQ(a->scene_tree.Height(), b->scene_tree.Height());
+  }
+  EXPECT_EQ(batched.index().size(), sequential.index().size());
+}
+
+TEST_F(VideoDatabaseConcurrencyTest, FailFastCommitsNothing) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(ten_shot_->video).ok());
+
+  std::vector<Video> batch = Clips(3, "atomic-");
+  batch.insert(batch.begin() + 1, Video());  // empty video: analysis fails
+
+  IngestOptions opts;
+  opts.num_threads = 2;
+  BatchIngestResult r = db.IngestBatch(batch, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.committed, 0);
+  EXPECT_EQ(r.statuses[1].code(), StatusCode::kInvalidArgument);
+  for (int id : r.video_ids) {
+    EXPECT_EQ(id, -1);
+  }
+  // The database is untouched: the batch was atomic.
+  EXPECT_EQ(db.video_count(), 1);
+  EXPECT_EQ(db.index().size(), 10);
+}
+
+TEST_F(VideoDatabaseConcurrencyTest, NonFailFastCommitsTheSuccesses) {
+  VideoDatabase db;
+  std::vector<Video> batch = Clips(3, "partial-");
+  batch.insert(batch.begin() + 1, Video());  // empty video: analysis fails
+
+  IngestOptions opts;
+  opts.num_threads = 2;
+  opts.fail_fast = false;
+  BatchIngestResult r = db.IngestBatch(batch, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.committed, 3);
+  EXPECT_EQ(r.video_ids[0], 0);
+  EXPECT_EQ(r.video_ids[1], -1);
+  EXPECT_EQ(r.video_ids[2], 1);
+  EXPECT_EQ(r.video_ids[3], 2);
+  EXPECT_FALSE(r.statuses[1].ok());
+  EXPECT_EQ(db.video_count(), 3);
+}
+
+TEST_F(VideoDatabaseConcurrencyTest, EmptyBatchIsOk) {
+  VideoDatabase db;
+  BatchIngestResult r = db.IngestBatch({});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.committed, 0);
+  EXPECT_TRUE(r.video_ids.empty());
+  EXPECT_EQ(db.video_count(), 0);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,106 @@
+// Golden regression test: batch-ingests four Table-5 presets and compares
+// the derived state (shot counts, scene-tree heights, D^v index buckets)
+// against checked-in values. Any silent drift in the SBD cascade, the
+// feature formulas, or the tree builder shows up here as a diff.
+//
+// To regenerate after an intentional change:
+//   VDB_PRINT_GOLDEN=1 ./integration_test --gtest_filter='BatchIngestGoldenTest.*'
+// and paste the printed table below.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/video_database.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "tests/support/render_cache.h"
+
+namespace vdb {
+namespace {
+
+// Generation parameters for the golden corpus. Changing any of these (or
+// the preset definitions) invalidates the goldens below by design.
+constexpr double kScale = 0.06;
+constexpr uint64_t kSeed = 5;
+constexpr int kClipCount = 4;
+constexpr double kBucketWidth = 1.0;  // D^v histogram bucket size
+
+struct GoldenClip {
+  const char* name;
+  int shot_count;
+  int tree_height;
+};
+
+// Checked-in expectations for Table5Profiles()[0..3] at (kScale, kSeed).
+const GoldenClip kGoldenClips[kClipCount] = {
+    {"Silk Stalkings (Drama)", 6, 3},
+    {"Scooby Doo Show (Cartoon)", 7, 3},
+    {"Friends (Sitcom)", 8, 2},
+    {"Chicago Hope (Drama)", 10, 5},
+};
+
+// D^v bucket -> entry count over the whole index (bucket = floor(Dv / 1)).
+const std::map<int, int> kGoldenDvBuckets = {
+    {-5, 2}, {-4, 2}, {-2, 4}, {-1, 16}, {0, 7},
+};
+
+TEST(BatchIngestGoldenTest, FourPresetsMatchGoldenDerivedState) {
+  std::vector<ClipProfile> profiles = Table5Profiles();
+  ASSERT_GE(profiles.size(), static_cast<size_t>(kClipCount));
+
+  std::vector<Video> videos;
+  for (int i = 0; i < kClipCount; ++i) {
+    Storyboard board = MakeStoryboardFromProfile(profiles[static_cast<size_t>(i)],
+                                                 kScale, kSeed);
+    videos.push_back(testsupport::CachedRender(board).video);
+  }
+
+  VideoDatabase db;
+  IngestOptions opts;
+  opts.num_threads = 2;
+  BatchIngestResult r = db.IngestBatch(videos, opts);
+  ASSERT_TRUE(r.ok()) << r.first_error;
+  ASSERT_EQ(db.video_count(), kClipCount);
+
+  std::map<int, int> dv_buckets;
+  for (const IndexEntry& e : db.index().entries()) {
+    dv_buckets[static_cast<int>(std::floor(e.Dv() / kBucketWidth))]++;
+  }
+
+  if (std::getenv("VDB_PRINT_GOLDEN") != nullptr) {
+    std::cout << "const GoldenClip kGoldenClips[kClipCount] = {\n";
+    for (int id = 0; id < kClipCount; ++id) {
+      const CatalogEntry* entry = db.GetEntry(id).value();
+      std::cout << "    {\"" << entry->name << "\", " << entry->shots.size()
+                << ", " << entry->scene_tree.Height() << "},\n";
+    }
+    std::cout << "};\nconst std::map<int, int> kGoldenDvBuckets = {\n    ";
+    for (const auto& [bucket, count] : dv_buckets) {
+      std::cout << "{" << bucket << ", " << count << "}, ";
+    }
+    std::cout << "\n};\n";
+    return;
+  }
+
+  for (int id = 0; id < kClipCount; ++id) {
+    const CatalogEntry* entry = db.GetEntry(id).value();
+    const GoldenClip& golden = kGoldenClips[id];
+    EXPECT_EQ(entry->name, golden.name) << "clip " << id;
+    EXPECT_EQ(static_cast<int>(entry->shots.size()), golden.shot_count)
+        << "shot-count drift in " << golden.name;
+    EXPECT_EQ(entry->scene_tree.Height(), golden.tree_height)
+        << "scene-tree drift in " << golden.name;
+    EXPECT_TRUE(entry->scene_tree.Validate().ok());
+  }
+
+  EXPECT_EQ(dv_buckets, kGoldenDvBuckets) << "D^v feature drift";
+}
+
+}  // namespace
+}  // namespace vdb

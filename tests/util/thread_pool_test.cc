@@ -1,0 +1,215 @@
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/video_database.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+#include "util/parallel.h"
+
+namespace vdb {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&]() {
+      ++ran;
+      return Status::Ok();
+    });
+  }
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedIsOk) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.Wait().ok());
+  ThreadPool inline_pool(1);
+  EXPECT_TRUE(inline_pool.Wait().ok());
+}
+
+TEST(ThreadPoolTest, PropagatesStatusFromFailingTask) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([i]() -> Status {
+      if (i == 7) return Status::Internal("task 7 failed");
+      return Status::Ok();
+    });
+  }
+  Status s = pool.Wait();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "task 7 failed");
+}
+
+TEST(ThreadPoolTest, WaitRearmsAfterFailure) {
+  ThreadPool pool(2);
+  pool.Submit([] { return Status::Internal("first batch"); });
+  EXPECT_FALSE(pool.Wait().ok());
+  // The pool is reusable and the old error does not leak into the next
+  // batch.
+  pool.Submit([] { return Status::Ok(); });
+  EXPECT_TRUE(pool.Wait().ok());
+}
+
+TEST(ThreadPoolTest, InlinePathRunsOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> order;  // no lock needed: tasks run inline
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&, i]() {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(i);
+      return Status::Ok();
+    });
+  }
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, NestedSubmissionsFinishBeforeWaitReturns) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> leaves{0};
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([&]() {
+        for (int j = 0; j < 8; ++j) {
+          pool.Submit([&]() {
+            ++leaves;
+            return Status::Ok();
+          });
+        }
+        return Status::Ok();
+      });
+    }
+    EXPECT_TRUE(pool.Wait().ok()) << threads << " threads";
+    EXPECT_EQ(leaves.load(), 32) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, NestedTaskErrorPropagates) {
+  ThreadPool pool(4);
+  pool.Submit([&]() {
+    pool.Submit([] { return Status::Corruption("nested boom"); });
+    return Status::Ok();
+  });
+  Status s = pool.Wait();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(ThreadPoolParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(100);
+  ASSERT_TRUE(pool.ParallelFor(100, [&](int i) {
+                    ++visits[static_cast<size_t>(i)];
+                    return Status::Ok();
+                  })
+                  .ok());
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPoolParallelForTest, ZeroSizeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  EXPECT_TRUE(pool.ParallelFor(0, [&](int) {
+                    ++calls;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_TRUE(pool.ParallelFor(-5, [&](int) {
+                    ++calls;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolParallelForTest, StopsClaimingAfterError) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  Status s = pool.ParallelFor(1000, [&](int i) -> Status {
+    ++calls;
+    if (i == 3) return Status::Internal("boom 3");
+    return Status::Ok();
+  });
+  EXPECT_FALSE(s.ok());
+  // Workers stop pulling new indices once the error is recorded; far fewer
+  // than all 1000 indices should have run.
+  EXPECT_LT(calls.load(), 1000);
+}
+
+TEST(ThreadPoolParallelForTest, PoolIsReusableAcrossLoops) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(pool.ParallelFor(50, [&](int) {
+                      ++total;
+                      return Status::Ok();
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+// The scheduling of the pool must never leak into results: batch-ingesting
+// the same videos with 1 worker and with 8 workers has to produce the same
+// catalog, bit for bit (ids, shots, features, index entries).
+TEST(ThreadPoolDeterminismTest, IngestResultsIndependentOfThreadCount) {
+  const SyntheticVideo& rendered =
+      testsupport::CachedRender(TenShotStoryboard());
+  std::vector<Video> videos;
+  for (int i = 0; i < 4; ++i) {
+    Video copy = rendered.video;
+    copy.set_name("clip-" + std::to_string(i));
+    videos.push_back(std::move(copy));
+  }
+
+  VideoDatabase db1, db8;
+  IngestOptions one;
+  one.num_threads = 1;
+  IngestOptions eight;
+  eight.num_threads = 8;
+  BatchIngestResult r1 = db1.IngestBatch(videos, one);
+  BatchIngestResult r8 = db8.IngestBatch(videos, eight);
+  ASSERT_TRUE(r1.ok()) << r1.first_error;
+  ASSERT_TRUE(r8.ok()) << r8.first_error;
+  ASSERT_EQ(r1.video_ids, r8.video_ids);
+
+  ASSERT_EQ(db1.video_count(), db8.video_count());
+  for (int id = 0; id < db1.video_count(); ++id) {
+    const CatalogEntry* a = db1.GetEntry(id).value();
+    const CatalogEntry* b = db8.GetEntry(id).value();
+    EXPECT_EQ(a->name, b->name);
+    ASSERT_EQ(a->shots.size(), b->shots.size());
+    for (size_t s = 0; s < a->shots.size(); ++s) {
+      EXPECT_EQ(a->shots[s].start_frame, b->shots[s].start_frame);
+      EXPECT_EQ(a->shots[s].end_frame, b->shots[s].end_frame);
+      EXPECT_EQ(a->features[s].var_ba, b->features[s].var_ba);
+      EXPECT_EQ(a->features[s].var_oa, b->features[s].var_oa);
+    }
+    EXPECT_EQ(a->scene_tree.Height(), b->scene_tree.Height());
+    EXPECT_EQ(a->scene_tree.node_count(), b->scene_tree.node_count());
+  }
+
+  ASSERT_EQ(db1.index().size(), db8.index().size());
+  const std::vector<IndexEntry>& e1 = db1.index().entries();
+  const std::vector<IndexEntry>& e8 = db8.index().entries();
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].video_id, e8[i].video_id);
+    EXPECT_EQ(e1[i].shot_index, e8[i].shot_index);
+    EXPECT_EQ(e1[i].var_ba, e8[i].var_ba);
+    EXPECT_EQ(e1[i].var_oa, e8[i].var_oa);
+  }
+}
+
+}  // namespace
+}  // namespace vdb
