@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Serving-perf trajectory: build a catalog of the 22 Table-5 genre clips,
+# serve it with vdbserve on an ephemeral loopback port, and drive it with
+# vdbload at 1/4/16 client threads. Writes BENCH_serve.json (QPS + exact
+# p50/p95/p99 latency per thread count) at the repo root.
+#
+#   scripts/bench_serve.sh
+#
+# Knobs: VDB_SERVE_BENCH_SCALE (clip duration scale, default 0.05),
+# VDB_SERVE_BENCH_REQUESTS (requests per client thread, default 2000),
+# JOBS (build parallelism). Synth renders are cached in
+# build/bench-serve/, so re-runs skip straight to the measurement.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${VDB_SERVE_BENCH_SCALE:-0.05}"
+REQUESTS="${VDB_SERVE_BENCH_REQUESTS:-2000}"
+JOBS="${JOBS:-$(nproc)}"
+WORK=build/bench-serve
+OUT=BENCH_serve.json
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target vdbtool vdbserve vdbload > /dev/null
+mkdir -p "$WORK"
+
+# The Table-5 clip names, parsed from `vdbtool presets` ("  Name [Genre]"
+# lines after the table-5 marker) so the list can never drift from the
+# workload module.
+clips=()
+while IFS= read -r line; do
+  clips+=("$line")
+done < <(build/tools/vdbtool presets |
+         sed -n '/^table-5/,$p' | sed -n 's/^  \(.*\) \[.*\]$/\1/p')
+echo "bench_serve: ${#clips[@]} Table-5 clips at scale $SCALE"
+
+catalog="$WORK/table5_$SCALE.vdbcat"
+if [ ! -f "$catalog" ]; then
+  vdbs=()
+  for clip in "${clips[@]}"; do
+    slug=$(echo "$clip" | tr -cs 'A-Za-z0-9' '_')
+    vdb="$WORK/${slug}_$SCALE.vdb"
+    if [ ! -f "$vdb" ]; then
+      build/tools/vdbtool synth "$clip" "$vdb" "$SCALE" > /dev/null
+    fi
+    vdbs+=("$vdb")
+  done
+  build/tools/vdbtool catalog "$catalog" "${vdbs[@]}" > /dev/null
+fi
+
+port_file="$WORK/port"
+rm -f "$port_file"
+build/tools/vdbserve "$catalog" --port 0 --port-file "$port_file" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; wait "$server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  [ -s "$port_file" ] && break
+  sleep 0.1
+done
+port=$(cat "$port_file")
+
+build/tools/vdbload --port "$port" --threads 1,4,16 \
+  --requests "$REQUESTS" --json "$OUT"
+echo "bench_serve: wrote $OUT"

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# The tier-1 check in one line: plain build + full test suite, then the
+# labelled suites under AddressSanitizer and ThreadSanitizer.
+#
+#   scripts/check.sh            # everything (plain + asan + tsan)
+#   scripts/check.sh plain      # just the uninstrumented build + full suite
+#   scripts/check.sh asan tsan  # just the sanitizer legs
+#
+# Build trees: build/ (plain), build-asan/, build-tsan/ — reused across
+# runs, so incremental checks are cheap. JOBS overrides the parallelism.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(plain asan tsan)
+fi
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+configure_and_build() {
+  local dir="$1" sanitize="$2"
+  cmake -B "$dir" -S . -DVDB_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    plain)
+      banner "plain build + full suite"
+      configure_and_build build ""
+      ctest --test-dir build --output-on-failure -j "$JOBS"
+      ;;
+    asan)
+      # ASan watches the parsing-heavy suites: the wire/catalog decoders
+      # chew on truncated and bit-flipped input, where an over-read hides.
+      banner "asan build + serve/concurrency suites"
+      configure_and_build build-asan address
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+        -L 'serve|concurrency'
+      ;;
+    tsan)
+      # TSan watches the threaded suites: thread pool, concurrent ingest,
+      # and the server's snapshot swaps under concurrent clients.
+      banner "tsan build + serve/concurrency suites"
+      configure_and_build build-tsan thread
+      ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -L 'serve|concurrency'
+      ;;
+    *)
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+banner "all stages passed: ${STAGES[*]}"

@@ -1,0 +1,124 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "serve/net.h"
+
+namespace vdb {
+namespace serve {
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               ClientOptions options) {
+  VDB_ASSIGN_OR_RETURN(int fd,
+                       ConnectTcp(host, port, options.connect_timeout_ms));
+  Status configured =
+      ConfigureSocket(fd, options.read_timeout_ms, options.write_timeout_ms);
+  if (!configured.ok()) {
+    CloseFd(fd);
+    return configured;
+  }
+  return Client(fd);
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  Status written = WriteAll(fd_, EncodeRequest(request));
+  if (!written.ok()) {
+    Close();
+    return written;
+  }
+  Result<Frame> frame = ReadFrame(fd_);
+  if (!frame.ok()) {
+    Close();
+    if (frame.status().code() == StatusCode::kNotFound) {
+      return Status::IoError("server closed the connection");
+    }
+    return frame.status();
+  }
+  Result<Response> response = DecodeResponse(frame->header, frame->payload);
+  if (!response.ok()) {
+    Close();
+    return response.status();
+  }
+  if (response->verb != request.verb && response->verb != Verb::kError) {
+    Close();
+    return Status::Corruption(
+        "response verb does not match the request (stream out of sync)");
+  }
+  return response;
+}
+
+Result<std::string> Client::Ping(const std::string& token) {
+  Request request;
+  request.verb = Verb::kPing;
+  request.ping_token = token;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.ping_token);
+}
+
+Result<StatsResponse> Client::Stats() {
+  Request request;
+  request.verb = Verb::kStats;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.stats);
+}
+
+Result<QueryResponse> Client::Query(const QueryRequest& query) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.query = query;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.query);
+}
+
+Result<TreeResponse> Client::Tree(const TreeRequest& tree) {
+  Request request;
+  request.verb = Verb::kTree;
+  request.tree = tree;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.tree);
+}
+
+Result<ListResponse> Client::List() {
+  Request request;
+  request.verb = Verb::kList;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.list);
+}
+
+Result<ReloadResponse> Client::Reload(const std::string& path) {
+  Request request;
+  request.verb = Verb::kReload;
+  request.reload_path = path;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.reload);
+}
+
+}  // namespace serve
+}  // namespace vdb

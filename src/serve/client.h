@@ -1,0 +1,70 @@
+#ifndef VDB_SERVE_CLIENT_H_
+#define VDB_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/wire.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace serve {
+
+struct ClientOptions {
+  int connect_timeout_ms = 5'000;
+  // How long one request may take end to end; also bounds how long a
+  // RELOAD (the slowest verb) may keep the client waiting.
+  int read_timeout_ms = 60'000;
+  int write_timeout_ms = 10'000;
+};
+
+// Blocking client for the catalog query service: one TCP connection, one
+// outstanding request at a time. Used by the tests, vdbload, and anything
+// else that wants typed access to the server.
+//
+// Error model: transport and protocol failures (connect, torn frames, bad
+// checksums) surface from Call() itself and poison the connection — every
+// later call fails until a new client is connected. Application errors the
+// *server* reports (unknown video id, bad top_k, BUSY) arrive as a Response
+// whose status is non-OK; the typed helpers forward that status, and the
+// connection remains usable (except BUSY, where the server hangs up).
+//
+// Not thread-safe: share nothing, or one client per thread.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port,
+                                ClientOptions options = ClientOptions());
+
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends one request frame and reads one response frame. The returned
+  // Response may carry a non-OK status (an application error, or a BUSY /
+  // malformed-frame report with verb kError).
+  Result<Response> Call(const Request& request);
+
+  // Typed shorthands; each forwards a non-OK response status as the error.
+  Result<std::string> Ping(const std::string& token);
+  Result<StatsResponse> Stats();
+  Result<QueryResponse> Query(const QueryRequest& request);
+  Result<TreeResponse> Tree(const TreeRequest& request);
+  Result<ListResponse> List();
+  // path empty = reload the server's current catalog set from disk.
+  Result<ReloadResponse> Reload(const std::string& path = "");
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace vdb
+
+#endif  // VDB_SERVE_CLIENT_H_

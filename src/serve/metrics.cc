@@ -1,0 +1,131 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+namespace vdb {
+namespace serve {
+namespace {
+
+constexpr double kBucketBase = 1.3;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double LatencyHistogram::UpperEdgeUs(int bucket) {
+  return std::pow(kBucketBase, bucket);
+}
+
+int LatencyHistogram::BucketFor(double us) {
+  if (!(us > 1.0)) {  // also catches NaN and negatives
+    return 0;
+  }
+  int bucket =
+      static_cast<int>(std::ceil(std::log(us) / std::log(kBucketBase)));
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
+void LatencyHistogram::Record(double us) {
+  buckets_[static_cast<size_t>(BucketFor(us))].fetch_add(
+      1, std::memory_order_relaxed);
+  uint64_t whole = us > 0 ? static_cast<uint64_t>(std::ceil(us)) : 0;
+  uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (whole > seen &&
+         !max_us_.compare_exchange_weak(seen, whole,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[static_cast<size_t>(i)];
+  }
+  Summary summary;
+  summary.count = total;
+  summary.max_us = static_cast<double>(max_us_.load(std::memory_order_relaxed));
+  if (total == 0) {
+    return summary;
+  }
+  auto percentile = [&](double p) {
+    uint64_t target = static_cast<uint64_t>(std::ceil(p * total));
+    if (target < 1) target = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts[static_cast<size_t>(i)];
+      if (seen >= target) {
+        return UpperEdgeUs(i);
+      }
+    }
+    return UpperEdgeUs(kNumBuckets - 1);
+  };
+  summary.p50_us = percentile(0.50);
+  summary.p95_us = percentile(0.95);
+  summary.p99_us = percentile(0.99);
+  return summary;
+}
+
+void ServerMetrics::OnConnectionOpened() {
+  total_connections_.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::OnConnectionClosed() {
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::OnBusyRejected() {
+  total_connections_.fetch_add(1, std::memory_order_relaxed);
+  rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::OnBadFrame() {
+  bad_frames_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::OnRequest(Verb verb, bool ok, double latency_us) {
+  PerVerb& row = verbs_[static_cast<size_t>(verb)];
+  row.count.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) {
+    row.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  row.latency.Record(latency_us);
+}
+
+StatsResponse ServerMetrics::Snapshot() const {
+  StatsResponse stats;
+  stats.total_connections =
+      total_connections_.load(std::memory_order_relaxed);
+  stats.active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  stats.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  for (int v = 0; v < kNumVerbs; ++v) {
+    const PerVerb& row = verbs_[static_cast<size_t>(v)];
+    uint64_t count = row.count.load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    LatencyHistogram::Summary latency = row.latency.Summarize();
+    VerbStats out;
+    out.verb = std::string(VerbName(static_cast<Verb>(v)));
+    out.count = count;
+    out.errors = row.errors.load(std::memory_order_relaxed);
+    out.p50_us = latency.p50_us;
+    out.p95_us = latency.p95_us;
+    out.p99_us = latency.p99_us;
+    out.max_us = latency.max_us;
+    stats.verbs.push_back(std::move(out));
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace vdb

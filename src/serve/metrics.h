@@ -1,0 +1,93 @@
+#ifndef VDB_SERVE_METRICS_H_
+#define VDB_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "serve/wire.h"
+
+namespace vdb {
+namespace serve {
+
+// Lock-free, log-bucketed latency histogram. Buckets grow geometrically by
+// 1.3x per step, so a reported percentile is an upper bound within ~30 % of
+// the true value — plenty for a STATS verb, and recording is a single
+// relaxed fetch_add on the hot path.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  // Records one sample (microseconds). Thread-safe, wait-free.
+  void Record(double us);
+
+  struct Summary {
+    uint64_t count = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  // A consistent-enough snapshot: concurrent Records may or may not be
+  // included, but counts never tear.
+  Summary Summarize() const;
+
+  // Bucket `i` covers latencies up to UpperEdgeUs(i); the last bucket is
+  // open-ended (~16 minutes and beyond). Exposed for tests.
+  static constexpr int kNumBuckets = 80;
+  static double UpperEdgeUs(int bucket);
+
+ private:
+  static int BucketFor(double us);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> max_us_{0};  // rounded up to whole microseconds
+};
+
+// All the counters the server keeps, surfaced verbatim by the STATS verb
+// (the database-shape fields of StatsResponse — videos, indexed shots — come
+// from the current catalog snapshot, not from here). Every method is
+// thread-safe; the hot-path cost is a handful of relaxed atomic increments.
+class ServerMetrics {
+ public:
+  ServerMetrics() = default;
+
+  // A connection was accepted and admitted (counts toward total and the
+  // active gauge).
+  void OnConnectionOpened();
+  void OnConnectionClosed();
+  // An accepted connection was turned away because the server was at its
+  // max-connection limit (counts toward total but never active).
+  void OnBusyRejected();
+  // A frame failed header validation, checksum, or request decoding.
+  void OnBadFrame();
+  // One request of `verb` finished (ok or not) in `latency_us`.
+  void OnRequest(Verb verb, bool ok, double latency_us);
+
+  uint64_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+  // Fills every field of StatsResponse except `videos`/`indexed_shots`.
+  // Verbs that never ran are omitted from the per-verb rows.
+  StatsResponse Snapshot() const;
+
+ private:
+  struct PerVerb {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    LatencyHistogram latency;
+  };
+
+  std::atomic<uint64_t> total_connections_{0};
+  std::atomic<uint64_t> active_connections_{0};
+  std::atomic<uint64_t> rejected_busy_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::array<PerVerb, kNumVerbs> verbs_;
+};
+
+}  // namespace serve
+}  // namespace vdb
+
+#endif  // VDB_SERVE_METRICS_H_

@@ -1,0 +1,63 @@
+#ifndef VDB_SERVE_NET_H_
+#define VDB_SERVE_NET_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/wire.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace serve {
+
+// Thin POSIX-socket helpers shared by Server and Client. Everything returns
+// Status/Result like the rest of the library; no exceptions, no globals.
+// All sockets are blocking with per-fd timeouts (SO_RCVTIMEO/SO_SNDTIMEO):
+// the serving layer is thread-per-connection, so blocking I/O plus timeouts
+// is simpler and as safe as an event loop at this scale.
+
+// Binds and listens on host:port (port 0 picks an ephemeral port; read it
+// back with LocalPort). Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, int port, int backlog);
+
+// Blocking accept. Retries EINTR; any other failure (including the listener
+// being shut down) is an IoError.
+Result<int> AcceptConnection(int listen_fd);
+
+// Blocking connect with a timeout. Returns the connected fd.
+Result<int> ConnectTcp(const std::string& host, int port, int timeout_ms);
+
+// The port a bound socket actually listens on.
+Result<int> LocalPort(int fd);
+
+// Read/write timeouts in milliseconds (<= 0 means no timeout). Also sets
+// TCP_NODELAY — the protocol is strict request/response, so Nagle only
+// adds latency.
+Status ConfigureSocket(int fd, int read_timeout_ms, int write_timeout_ms);
+
+// Writes all of `data`, retrying short writes and EINTR. Timeouts and peer
+// resets surface as IoError.
+Status WriteAll(int fd, std::string_view data);
+
+// Reads exactly `n` bytes. EOF mid-read, timeouts and errors are IoError;
+// EOF before the first byte is kNotFound, so callers can tell a clean
+// disconnect from a torn frame.
+Status ReadExact(int fd, char* buf, size_t n);
+
+// Reads one whole frame: header, payload, checksum validation. kNotFound
+// means the peer closed cleanly between frames; kCorruption and
+// kInvalidArgument mean the stream is unsynchronised and the connection
+// should be dropped.
+Result<Frame> ReadFrame(int fd);
+
+// shutdown(2) both directions, best effort. A reader blocked on the fd
+// wakes with EOF — used for server drain.
+void ShutdownFd(int fd);
+
+// close(2), ignoring errors; negative fds are a no-op.
+void CloseFd(int fd);
+
+}  // namespace serve
+}  // namespace vdb
+
+#endif  // VDB_SERVE_NET_H_

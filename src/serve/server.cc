@@ -1,0 +1,393 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/catalog_io.h"
+#include "serve/net.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace serve {
+namespace {
+
+// QUERY result sizes beyond this are a client bug, not a workload.
+constexpr int kMaxTopK = 1 << 16;
+
+Response ErrorResponse(Verb verb, Status status) {
+  Response response;
+  response.verb = verb;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Result<std::shared_ptr<const VideoDatabase>> Server::LoadCatalogs(
+    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no catalog paths to load");
+  }
+  auto db = std::make_shared<VideoDatabase>();
+  if (paths.size() == 1) {
+    VDB_RETURN_IF_ERROR(LoadCatalog(paths[0], db.get()));
+    return std::shared_ptr<const VideoDatabase>(db);
+  }
+  // Several catalogs merge into one database: each loads into a scratch
+  // database, then its entries are re-installed in path order, so video ids
+  // are dense and deterministic across restarts.
+  for (const std::string& path : paths) {
+    VideoDatabase scratch;
+    VDB_RETURN_IF_ERROR(LoadCatalog(path, &scratch));
+    for (int id = 0; id < scratch.video_count(); ++id) {
+      CatalogEntry copy = *scratch.GetEntry(id).value();
+      Result<int> restored = db->Restore(std::move(copy));
+      if (!restored.ok()) {
+        return restored.status();
+      }
+    }
+  }
+  return std::shared_ptr<const VideoDatabase>(db);
+}
+
+Status Server::Start(std::vector<std::string> catalog_paths) {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (options_.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  VDB_ASSIGN_OR_RETURN(std::shared_ptr<const VideoDatabase> db,
+                       LoadCatalogs(catalog_paths));
+  VDB_ASSIGN_OR_RETURN(
+      int listen_fd,
+      ListenTcp(options_.host, options_.port, options_.backlog));
+  Result<int> port = LocalPort(listen_fd);
+  if (!port.ok()) {
+    CloseFd(listen_fd);
+    return port.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    db_ = std::move(db);
+    catalog_paths_ = std::move(catalog_paths);
+  }
+  listen_fd_ = listen_fd;
+  port_ = *port;
+  // At least 2 workers: ThreadPool's 1-thread mode runs tasks inline, which
+  // would make the acceptor serve the connection itself and never accept
+  // (and thus never BUSY-reject) another one.
+  pool_ = std::make_unique<ThreadPool>(std::max(2, options_.max_connections));
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    return;
+  }
+  // Wake the acceptor (accept fails once the listener is shut down) ...
+  ShutdownFd(listen_fd_);
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  // ... then every connection: their blocked reads see EOF and the handler
+  // loops exit after finishing the request they are on. Handlers close an
+  // fd only after removing it from conns_ under the lock, so every fd
+  // shut down here is still owned by its connection.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conns_) {
+      ShutdownFd(fd);
+    }
+  }
+  if (pool_) {
+    pool_->Wait();
+    pool_.reset();  // joins the workers
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::shared_ptr<const VideoDatabase> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return db_;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Result<int> accepted = AcceptConnection(listen_fd_);
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        break;
+      }
+      // Transient accept failure (EMFILE, ECONNABORTED, ...): back off a
+      // beat instead of spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    int fd = *accepted;
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseFd(fd);
+      break;
+    }
+    ConfigureSocket(fd, options_.read_timeout_ms, options_.write_timeout_ms);
+    if (metrics_.active_connections() >=
+        static_cast<uint64_t>(options_.max_connections)) {
+      metrics_.OnBusyRejected();
+      Response busy = ErrorResponse(
+          Verb::kError,
+          Status::FailedPrecondition(StrFormat(
+              "server busy: %d connections already open",
+              options_.max_connections)));
+      WriteAll(fd, EncodeResponse(busy));
+      CloseFd(fd);
+      continue;
+    }
+    metrics_.OnConnectionOpened();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conns_.insert(fd);
+    }
+    pool_->Submit([this, fd] {
+      HandleConnection(fd);
+      return Status::Ok();
+    });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  for (;;) {
+    Result<Frame> frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      StatusCode code = frame.status().code();
+      if (code == StatusCode::kCorruption ||
+          code == StatusCode::kInvalidArgument) {
+        // The byte stream is unsynchronised; tell the peer why, then drop.
+        metrics_.OnBadFrame();
+        WriteAll(fd, EncodeResponse(
+                         ErrorResponse(Verb::kError, frame.status())));
+      }
+      // kNotFound is a clean close between frames; timeouts and torn
+      // frames (kIoError) just drop the connection.
+      break;
+    }
+    Result<Request> request = DecodeRequest(frame->header, frame->payload);
+    if (!request.ok()) {
+      // Framing was sound, only the payload was bad: report the error on
+      // this request and keep the connection alive.
+      metrics_.OnBadFrame();
+      if (!WriteAll(fd, EncodeResponse(ErrorResponse(Verb::kError,
+                                                     request.status())))
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+    Stopwatch timer;
+    Response response = Dispatch(*request);
+    metrics_.OnRequest(request->verb, response.status.ok(),
+                       timer.ElapsedSeconds() * 1e6);
+    if (!WriteAll(fd, EncodeResponse(response)).ok()) {
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.erase(fd);
+  }
+  CloseFd(fd);
+  metrics_.OnConnectionClosed();
+}
+
+Response Server::Dispatch(const Request& request) {
+  switch (request.verb) {
+    case Verb::kPing: {
+      Response response;
+      response.verb = Verb::kPing;
+      response.ping_token = request.ping_token;
+      return response;
+    }
+    case Verb::kStats:
+      return HandleStats();
+    case Verb::kQuery:
+      return HandleQuery(request.query);
+    case Verb::kTree:
+      return HandleTree(request.tree);
+    case Verb::kList:
+      return HandleList();
+    case Verb::kReload: {
+      Response response;
+      response.verb = Verb::kReload;
+      response.status = Reload(request.reload_path, &response.reload);
+      return response;
+    }
+    case Verb::kError:
+      break;
+  }
+  return ErrorResponse(Verb::kError,
+                       Status::InvalidArgument("unsupported request verb"));
+}
+
+Response Server::HandleQuery(const QueryRequest& request) const {
+  Response response;
+  response.verb = Verb::kQuery;
+  if (request.top_k < 1 || request.top_k > kMaxTopK) {
+    response.status = Status::InvalidArgument(
+        StrFormat("top_k %d out of range [1, %d]", request.top_k, kMaxTopK));
+    return response;
+  }
+  if (request.var_ba < 0 || request.var_oa < 0) {
+    response.status =
+        Status::InvalidArgument("variances must be non-negative");
+    return response;
+  }
+  std::shared_ptr<const VideoDatabase> db = snapshot();
+  VarianceQuery query;
+  query.var_ba = request.var_ba;
+  query.var_oa = request.var_oa;
+  query.alpha = request.alpha;
+  query.beta = request.beta;
+  Result<std::vector<BrowsingSuggestion>> found =
+      (request.genre_id >= 0 || request.form_id >= 0)
+          ? db->SearchWithinClass(
+                query, request.top_k,
+                ClassFilter{request.genre_id, request.form_id})
+          : db->Search(query, request.top_k);
+  if (!found.ok()) {
+    response.status = found.status();
+    return response;
+  }
+  response.query.suggestions.reserve(found->size());
+  for (const BrowsingSuggestion& s : *found) {
+    SuggestionWire wire;
+    wire.video_id = s.match.entry.video_id;
+    wire.shot_index = s.match.entry.shot_index;
+    wire.var_ba = s.match.entry.var_ba;
+    wire.var_oa = s.match.entry.var_oa;
+    wire.distance = s.match.distance;
+    wire.video_name = s.video_name;
+    wire.scene_node = s.scene_node;
+    wire.scene_label = s.scene_label;
+    wire.representative_frame = s.representative_frame;
+    response.query.suggestions.push_back(std::move(wire));
+  }
+  return response;
+}
+
+Response Server::HandleTree(const TreeRequest& request) const {
+  Response response;
+  response.verb = Verb::kTree;
+  std::shared_ptr<const VideoDatabase> db = snapshot();
+  Result<const CatalogEntry*> entry = db->GetEntry(request.video_id);
+  if (!entry.ok()) {
+    response.status = entry.status();
+    return response;
+  }
+  const SceneTree& tree = (*entry)->scene_tree;
+  if (tree.node_count() == 0) {
+    response.status = Status::NotFound(
+        StrFormat("video %d has no scene tree", request.video_id));
+    return response;
+  }
+  int start = request.node_id < 0 ? tree.root() : request.node_id;
+  if (start < 0 || start >= tree.node_count()) {
+    response.status = Status::InvalidArgument(
+        StrFormat("node %d out of range [0, %d)", start, tree.node_count()));
+    return response;
+  }
+  response.tree.root = start;
+  response.tree.shot_count = tree.shot_count();
+  // Depth-limited pre-order walk from `start`. Children ids below the
+  // cut-off are still listed in their parent's row, so a shallow response
+  // names real nodes a follow-up TREE request can descend into.
+  struct PendingNode {
+    int id;
+    int depth;
+  };
+  std::vector<PendingNode> stack = {{start, 0}};
+  while (!stack.empty()) {
+    PendingNode top = stack.back();
+    stack.pop_back();
+    const SceneNode& node = tree.node(top.id);
+    TreeNodeWire wire;
+    wire.id = node.id;
+    wire.parent = node.parent;
+    wire.level = node.level;
+    wire.shot_index = node.shot_index;
+    wire.representative_frame = node.representative_frame;
+    wire.label = node.Label();
+    wire.children = node.children;
+    response.tree.nodes.push_back(std::move(wire));
+    if (request.max_depth < 0 || top.depth < request.max_depth) {
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        stack.push_back({*it, top.depth + 1});
+      }
+    }
+  }
+  return response;
+}
+
+Response Server::HandleList() const {
+  Response response;
+  response.verb = Verb::kList;
+  std::shared_ptr<const VideoDatabase> db = snapshot();
+  int count = db->video_count();
+  response.list.videos.reserve(static_cast<size_t>(count));
+  for (int id = 0; id < count; ++id) {
+    const CatalogEntry* entry = db->GetEntry(id).value();
+    VideoSummary summary;
+    summary.video_id = entry->video_id;
+    summary.name = entry->name;
+    summary.frame_count = entry->frame_count;
+    summary.fps = entry->fps;
+    summary.shot_count = static_cast<int>(entry->shots.size());
+    summary.node_count = entry->scene_tree.node_count();
+    summary.genre_ids = entry->classification.genre_ids;
+    summary.form_id = entry->classification.form_id;
+    response.list.videos.push_back(std::move(summary));
+  }
+  return response;
+}
+
+Response Server::HandleStats() const {
+  Response response;
+  response.verb = Verb::kStats;
+  response.stats = metrics_.Snapshot();
+  std::shared_ptr<const VideoDatabase> db = snapshot();
+  response.stats.videos = db->video_count();
+  response.stats.indexed_shots = db->index().size();
+  return response;
+}
+
+Status Server::Reload(const std::string& path, ReloadResponse* out) {
+  // One reload at a time; queries are never blocked — they keep hitting
+  // whatever db_ points at until the single pointer swap below.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    paths = path.empty() ? catalog_paths_
+                         : std::vector<std::string>{path};
+  }
+  VDB_ASSIGN_OR_RETURN(std::shared_ptr<const VideoDatabase> fresh,
+                       LoadCatalogs(paths));
+  out->videos = fresh->video_count();
+  out->indexed_shots = fresh->index().size();
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    db_ = std::move(fresh);
+    catalog_paths_ = std::move(paths);
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace vdb

@@ -1,0 +1,124 @@
+#ifndef VDB_SERVE_SERVER_H_
+#define VDB_SERVE_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/video_database.h"
+#include "serve/metrics.h"
+#include "serve/wire.h"
+#include "util/parallel.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 picks an ephemeral port; read the real one back with port().
+  int port = 0;
+  int backlog = 128;
+
+  // Concurrent connection limit. The handler pool has exactly this many
+  // threads (the serving model is blocking thread-per-connection), so a
+  // connection beyond the limit is answered with a BUSY error frame and
+  // closed instead of silently queueing behind a busy worker.
+  int max_connections = 32;
+
+  // Per-connection socket timeouts; <= 0 disables. The read timeout bounds
+  // how long an idle persistent connection may sit between requests.
+  int read_timeout_ms = 60'000;
+  int write_timeout_ms = 10'000;
+};
+
+// The catalog query service: loads `.vdbcat` catalogs into an in-memory
+// VideoDatabase and serves PING/STATS/QUERY/TREE/LIST/RELOAD over the wire
+// protocol (serve/wire.h) on a TCP socket.
+//
+// Threading: one acceptor thread plus a ThreadPool of max_connections
+// handler threads; each live connection occupies one handler for its
+// lifetime and runs a blocking read-dispatch-write loop.
+//
+// Snapshots: the database sits behind a shared_ptr that request handlers
+// copy once per request. RELOAD builds a fresh database from disk off to
+// the side and swaps the pointer in atomically — in-flight queries keep
+// reading the old snapshot, which is freed when its last request finishes.
+// There is never a moment when a query can observe a half-loaded catalog.
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions());
+
+  // Stops the server if it is still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Loads every catalog into one database (ids are assigned in path order),
+  // binds the listening socket and starts the acceptor. `catalog_paths`
+  // becomes the RELOAD default. Fails without side effects if any catalog
+  // is unreadable or the address cannot be bound.
+  Status Start(std::vector<std::string> catalog_paths);
+
+  // Signal -> drain -> exit: stops accepting, wakes every connection (their
+  // in-flight request still gets its response written), waits for handlers
+  // to finish, joins the acceptor. Idempotent; Start may not be called
+  // again afterwards.
+  void Stop();
+
+  // The port actually bound (meaningful after a successful Start).
+  int port() const { return port_; }
+
+  // The catalog snapshot requests are currently served from.
+  std::shared_ptr<const VideoDatabase> snapshot() const;
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+  // Request dispatch against the current snapshot, exposed for tests: this
+  // is exactly what a connection handler runs between decode and encode.
+  Response Dispatch(const Request& request);
+
+ private:
+  // Loads `paths` into one fresh database.
+  static Result<std::shared_ptr<const VideoDatabase>> LoadCatalogs(
+      const std::vector<std::string>& paths);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  // Serialised catalog reload; on success swaps the snapshot and makes
+  // `path` (when non-empty) the new RELOAD default.
+  Status Reload(const std::string& path, ReloadResponse* out);
+
+  Response HandleQuery(const QueryRequest& request) const;
+  Response HandleTree(const TreeRequest& request) const;
+  Response HandleList() const;
+  Response HandleStats() const;
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex db_mu_;  // guards db_ and catalog_paths_
+  std::shared_ptr<const VideoDatabase> db_;
+  std::vector<std::string> catalog_paths_;
+  std::mutex reload_mu_;  // serialises RELOADs (not held during the swap)
+
+  std::mutex conn_mu_;  // guards conns_
+  std::unordered_set<int> conns_;
+
+  ServerMetrics metrics_;
+};
+
+}  // namespace serve
+}  // namespace vdb
+
+#endif  // VDB_SERVE_SERVER_H_

@@ -1,0 +1,480 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/string_util.h"
+#include "video/video_io.h"  // Fnv1a32
+
+namespace vdb {
+namespace serve {
+namespace {
+
+constexpr char kMagic[4] = {'V', 'D', 'B', 'S'};
+
+// Caps on decoded collection sizes, applied before any resize so a hostile
+// length prefix cannot cause a large allocation.
+constexpr uint32_t kMaxSuggestions = 1u << 16;
+constexpr uint32_t kMaxTreeNodes = 1u << 21;
+constexpr uint32_t kMaxVideos = 1u << 20;
+constexpr uint32_t kMaxGenres = 1024;
+constexpr uint32_t kMaxVerbRows = 64;
+constexpr size_t kMaxNameLen = 1u << 16;
+
+bool ValidVerb(uint8_t v) {
+  return v >= static_cast<uint8_t>(Verb::kPing) &&
+         v <= static_cast<uint8_t>(Verb::kError);
+}
+
+Result<int> GetCount(BinaryReader* r, const char* what, uint32_t max) {
+  VDB_ASSIGN_OR_RETURN(uint32_t n, r->GetU32(what));
+  if (n > max) {
+    return Status::Corruption(StrFormat("implausible %s %u", what, n));
+  }
+  return static_cast<int>(n);
+}
+
+Status ExpectEnd(const BinaryReader& r, const char* what) {
+  if (!r.AtEnd()) {
+    return Status::Corruption(
+        StrFormat("trailing bytes after %s payload", what));
+  }
+  return Status::Ok();
+}
+
+void PutSuggestion(BinaryWriter* w, const SuggestionWire& s) {
+  w->PutI32(s.video_id);
+  w->PutI32(s.shot_index);
+  w->PutDouble(s.var_ba);
+  w->PutDouble(s.var_oa);
+  w->PutDouble(s.distance);
+  w->PutString(s.video_name);
+  w->PutI32(s.scene_node);
+  w->PutString(s.scene_label);
+  w->PutI32(s.representative_frame);
+}
+
+Result<SuggestionWire> GetSuggestion(BinaryReader* r) {
+  SuggestionWire s;
+  VDB_ASSIGN_OR_RETURN(s.video_id, r->GetI32("suggestion video id"));
+  VDB_ASSIGN_OR_RETURN(s.shot_index, r->GetI32("suggestion shot"));
+  VDB_ASSIGN_OR_RETURN(s.var_ba, r->GetDouble("suggestion var BA"));
+  VDB_ASSIGN_OR_RETURN(s.var_oa, r->GetDouble("suggestion var OA"));
+  VDB_ASSIGN_OR_RETURN(s.distance, r->GetDouble("suggestion distance"));
+  VDB_ASSIGN_OR_RETURN(s.video_name,
+                       r->GetString("suggestion video name", kMaxNameLen));
+  VDB_ASSIGN_OR_RETURN(s.scene_node, r->GetI32("suggestion scene node"));
+  VDB_ASSIGN_OR_RETURN(s.scene_label,
+                       r->GetString("suggestion scene label", kMaxNameLen));
+  VDB_ASSIGN_OR_RETURN(s.representative_frame,
+                       r->GetI32("suggestion rep frame"));
+  return s;
+}
+
+void PutTreeNode(BinaryWriter* w, const TreeNodeWire& n) {
+  w->PutI32(n.id);
+  w->PutI32(n.parent);
+  w->PutI32(n.level);
+  w->PutI32(n.shot_index);
+  w->PutI32(n.representative_frame);
+  w->PutString(n.label);
+  w->PutU32(static_cast<uint32_t>(n.children.size()));
+  for (int child : n.children) {
+    w->PutI32(child);
+  }
+}
+
+Result<TreeNodeWire> GetTreeNode(BinaryReader* r) {
+  TreeNodeWire n;
+  VDB_ASSIGN_OR_RETURN(n.id, r->GetI32("node id"));
+  VDB_ASSIGN_OR_RETURN(n.parent, r->GetI32("node parent"));
+  VDB_ASSIGN_OR_RETURN(n.level, r->GetI32("node level"));
+  VDB_ASSIGN_OR_RETURN(n.shot_index, r->GetI32("node shot"));
+  VDB_ASSIGN_OR_RETURN(n.representative_frame, r->GetI32("node rep frame"));
+  VDB_ASSIGN_OR_RETURN(n.label, r->GetString("node label", kMaxNameLen));
+  VDB_ASSIGN_OR_RETURN(int child_count,
+                       GetCount(r, "node child count", kMaxTreeNodes));
+  n.children.resize(static_cast<size_t>(child_count));
+  for (int& child : n.children) {
+    VDB_ASSIGN_OR_RETURN(child, r->GetI32("node child"));
+  }
+  return n;
+}
+
+void PutVideoSummary(BinaryWriter* w, const VideoSummary& v) {
+  w->PutI32(v.video_id);
+  w->PutString(v.name);
+  w->PutI32(v.frame_count);
+  w->PutDouble(v.fps);
+  w->PutI32(v.shot_count);
+  w->PutI32(v.node_count);
+  w->PutU32(static_cast<uint32_t>(v.genre_ids.size()));
+  for (int g : v.genre_ids) {
+    w->PutI32(g);
+  }
+  w->PutI32(v.form_id);
+}
+
+Result<VideoSummary> GetVideoSummary(BinaryReader* r) {
+  VideoSummary v;
+  VDB_ASSIGN_OR_RETURN(v.video_id, r->GetI32("summary video id"));
+  VDB_ASSIGN_OR_RETURN(v.name, r->GetString("summary name", kMaxNameLen));
+  VDB_ASSIGN_OR_RETURN(v.frame_count, r->GetI32("summary frame count"));
+  VDB_ASSIGN_OR_RETURN(v.fps, r->GetDouble("summary fps"));
+  VDB_ASSIGN_OR_RETURN(v.shot_count, r->GetI32("summary shot count"));
+  VDB_ASSIGN_OR_RETURN(v.node_count, r->GetI32("summary node count"));
+  VDB_ASSIGN_OR_RETURN(int genre_count,
+                       GetCount(r, "summary genre count", kMaxGenres));
+  v.genre_ids.resize(static_cast<size_t>(genre_count));
+  for (int& g : v.genre_ids) {
+    VDB_ASSIGN_OR_RETURN(g, r->GetI32("summary genre id"));
+  }
+  VDB_ASSIGN_OR_RETURN(v.form_id, r->GetI32("summary form id"));
+  return v;
+}
+
+std::string EncodeRequestPayload(const Request& request) {
+  BinaryWriter w;
+  switch (request.verb) {
+    case Verb::kPing:
+      w.PutString(request.ping_token);
+      break;
+    case Verb::kStats:
+    case Verb::kList:
+      break;  // empty payload
+    case Verb::kQuery:
+      w.PutDouble(request.query.var_ba);
+      w.PutDouble(request.query.var_oa);
+      w.PutDouble(request.query.alpha);
+      w.PutDouble(request.query.beta);
+      w.PutI32(request.query.top_k);
+      w.PutI32(request.query.genre_id);
+      w.PutI32(request.query.form_id);
+      break;
+    case Verb::kTree:
+      w.PutI32(request.tree.video_id);
+      w.PutI32(request.tree.node_id);
+      w.PutI32(request.tree.max_depth);
+      break;
+    case Verb::kReload:
+      w.PutString(request.reload_path);
+      break;
+    case Verb::kError:
+      break;  // never sent; encodes as an empty payload
+  }
+  return w.TakeBuffer();
+}
+
+std::string EncodeResponsePayload(const Response& response) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(response.status.code()));
+  w.PutString(response.status.message());
+  if (!response.status.ok()) {
+    return w.TakeBuffer();  // no body on errors
+  }
+  switch (response.verb) {
+    case Verb::kPing:
+      w.PutString(response.ping_token);
+      break;
+    case Verb::kStats: {
+      const StatsResponse& s = response.stats;
+      w.PutU64(s.total_connections);
+      w.PutU64(s.active_connections);
+      w.PutU64(s.rejected_busy);
+      w.PutU64(s.bad_frames);
+      w.PutI32(s.videos);
+      w.PutI32(s.indexed_shots);
+      w.PutU32(static_cast<uint32_t>(s.verbs.size()));
+      for (const VerbStats& vs : s.verbs) {
+        w.PutString(vs.verb);
+        w.PutU64(vs.count);
+        w.PutU64(vs.errors);
+        w.PutDouble(vs.p50_us);
+        w.PutDouble(vs.p95_us);
+        w.PutDouble(vs.p99_us);
+        w.PutDouble(vs.max_us);
+      }
+      break;
+    }
+    case Verb::kQuery:
+      w.PutU32(static_cast<uint32_t>(response.query.suggestions.size()));
+      for (const SuggestionWire& s : response.query.suggestions) {
+        PutSuggestion(&w, s);
+      }
+      break;
+    case Verb::kTree:
+      w.PutI32(response.tree.root);
+      w.PutI32(response.tree.shot_count);
+      w.PutU32(static_cast<uint32_t>(response.tree.nodes.size()));
+      for (const TreeNodeWire& n : response.tree.nodes) {
+        PutTreeNode(&w, n);
+      }
+      break;
+    case Verb::kList:
+      w.PutU32(static_cast<uint32_t>(response.list.videos.size()));
+      for (const VideoSummary& v : response.list.videos) {
+        PutVideoSummary(&w, v);
+      }
+      break;
+    case Verb::kReload:
+      w.PutI32(response.reload.videos);
+      w.PutI32(response.reload.indexed_shots);
+      break;
+    case Verb::kError:
+      break;  // status only
+  }
+  return w.TakeBuffer();
+}
+
+}  // namespace
+
+std::string_view VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+      return "ping";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kQuery:
+      return "query";
+    case Verb::kTree:
+      return "tree";
+    case Verb::kList:
+      return "list";
+    case Verb::kReload:
+      return "reload";
+    case Verb::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(Verb verb, bool is_response,
+                        std::string_view payload) {
+  BinaryWriter w;
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(verb) | (is_response ? kResponseBit : 0));
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Fnv1a32(reinterpret_cast<const uint8_t*>(payload.data()),
+                   payload.size()));
+  out += w.buffer();
+  out.append(payload);
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view header_bytes) {
+  if (header_bytes.size() < kFrameHeaderSize) {
+    return Status::InvalidArgument(
+        StrFormat("short frame header (%zu of %zu bytes)",
+                  header_bytes.size(), kFrameHeaderSize));
+  }
+  if (std::memcmp(header_bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad frame magic; not a VDBS frame");
+  }
+  BinaryReader r(header_bytes.substr(sizeof(kMagic), kFrameHeaderSize - 4));
+  VDB_ASSIGN_OR_RETURN(uint8_t version, r.GetU8("wire version"));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported wire version %u (expected %u)", version,
+                  kWireVersion));
+  }
+  VDB_ASSIGN_OR_RETURN(uint8_t type, r.GetU8("frame type"));
+  FrameHeader header;
+  header.is_response = (type & kResponseBit) != 0;
+  uint8_t verb = type & ~kResponseBit;
+  if (!ValidVerb(verb)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown verb %u in frame type", verb));
+  }
+  header.verb = static_cast<Verb>(verb);
+  VDB_ASSIGN_OR_RETURN(header.payload_size, r.GetU32("payload length"));
+  if (header.payload_size > kMaxPayloadSize) {
+    return Status::Corruption(
+        StrFormat("implausible payload length %u", header.payload_size));
+  }
+  VDB_ASSIGN_OR_RETURN(header.checksum, r.GetU32("payload checksum"));
+  return header;
+}
+
+Status ValidatePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.payload_size) {
+    return Status::Corruption(
+        StrFormat("payload size %zu does not match header %u",
+                  payload.size(), header.payload_size));
+  }
+  uint32_t actual = Fnv1a32(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  if (actual != header.checksum) {
+    return Status::Corruption(
+        StrFormat("payload checksum mismatch (header %08x, actual %08x)",
+                  header.checksum, actual));
+  }
+  return Status::Ok();
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes) {
+  VDB_ASSIGN_OR_RETURN(FrameHeader header,
+                       DecodeFrameHeader(bytes.substr(
+                           0, std::min(bytes.size(), kFrameHeaderSize))));
+  std::string_view payload = bytes.substr(kFrameHeaderSize);
+  VDB_RETURN_IF_ERROR(ValidatePayload(header, payload));
+  Frame frame;
+  frame.header = header;
+  frame.payload = std::string(payload);
+  return frame;
+}
+
+std::string EncodeRequest(const Request& request) {
+  return EncodeFrame(request.verb, /*is_response=*/false,
+                     EncodeRequestPayload(request));
+}
+
+Result<Request> DecodeRequest(const FrameHeader& header,
+                              std::string_view payload) {
+  if (header.is_response) {
+    return Status::InvalidArgument("response frame where request expected");
+  }
+  if (header.verb == Verb::kError) {
+    return Status::InvalidArgument("kError is not a request verb");
+  }
+  Request request;
+  request.verb = header.verb;
+  BinaryReader r(payload);
+  switch (header.verb) {
+    case Verb::kPing: {
+      VDB_ASSIGN_OR_RETURN(request.ping_token,
+                           r.GetString("ping token", kMaxNameLen));
+      break;
+    }
+    case Verb::kStats:
+    case Verb::kList:
+      break;
+    case Verb::kQuery: {
+      QueryRequest& q = request.query;
+      VDB_ASSIGN_OR_RETURN(q.var_ba, r.GetDouble("query var BA"));
+      VDB_ASSIGN_OR_RETURN(q.var_oa, r.GetDouble("query var OA"));
+      VDB_ASSIGN_OR_RETURN(q.alpha, r.GetDouble("query alpha"));
+      VDB_ASSIGN_OR_RETURN(q.beta, r.GetDouble("query beta"));
+      VDB_ASSIGN_OR_RETURN(q.top_k, r.GetI32("query top k"));
+      VDB_ASSIGN_OR_RETURN(q.genre_id, r.GetI32("query genre id"));
+      VDB_ASSIGN_OR_RETURN(q.form_id, r.GetI32("query form id"));
+      break;
+    }
+    case Verb::kTree: {
+      VDB_ASSIGN_OR_RETURN(request.tree.video_id, r.GetI32("tree video id"));
+      VDB_ASSIGN_OR_RETURN(request.tree.node_id, r.GetI32("tree node id"));
+      VDB_ASSIGN_OR_RETURN(request.tree.max_depth,
+                           r.GetI32("tree max depth"));
+      break;
+    }
+    case Verb::kReload: {
+      VDB_ASSIGN_OR_RETURN(request.reload_path,
+                           r.GetString("reload path", kMaxNameLen));
+      break;
+    }
+    case Verb::kError:
+      break;  // unreachable; rejected above
+  }
+  VDB_RETURN_IF_ERROR(ExpectEnd(r, "request"));
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  return EncodeFrame(response.verb, /*is_response=*/true,
+                     EncodeResponsePayload(response));
+}
+
+Result<Response> DecodeResponse(const FrameHeader& header,
+                                std::string_view payload) {
+  if (!header.is_response) {
+    return Status::InvalidArgument("request frame where response expected");
+  }
+  Response response;
+  response.verb = header.verb;
+  BinaryReader r(payload);
+  VDB_ASSIGN_OR_RETURN(uint8_t code, r.GetU8("status code"));
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption(StrFormat("unknown status code %u", code));
+  }
+  VDB_ASSIGN_OR_RETURN(std::string message,
+                       r.GetString("status message", kMaxNameLen));
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  if (!response.status.ok()) {
+    VDB_RETURN_IF_ERROR(ExpectEnd(r, "error response"));
+    return response;
+  }
+  switch (header.verb) {
+    case Verb::kPing: {
+      VDB_ASSIGN_OR_RETURN(response.ping_token,
+                           r.GetString("ping token", kMaxNameLen));
+      break;
+    }
+    case Verb::kStats: {
+      StatsResponse& s = response.stats;
+      VDB_ASSIGN_OR_RETURN(s.total_connections,
+                           r.GetU64("total connections"));
+      VDB_ASSIGN_OR_RETURN(s.active_connections,
+                           r.GetU64("active connections"));
+      VDB_ASSIGN_OR_RETURN(s.rejected_busy, r.GetU64("rejected busy"));
+      VDB_ASSIGN_OR_RETURN(s.bad_frames, r.GetU64("bad frames"));
+      VDB_ASSIGN_OR_RETURN(s.videos, r.GetI32("stats videos"));
+      VDB_ASSIGN_OR_RETURN(s.indexed_shots, r.GetI32("stats shots"));
+      VDB_ASSIGN_OR_RETURN(int rows, GetCount(&r, "verb rows", kMaxVerbRows));
+      s.verbs.resize(static_cast<size_t>(rows));
+      for (VerbStats& vs : s.verbs) {
+        VDB_ASSIGN_OR_RETURN(vs.verb, r.GetString("verb name", kMaxNameLen));
+        VDB_ASSIGN_OR_RETURN(vs.count, r.GetU64("verb count"));
+        VDB_ASSIGN_OR_RETURN(vs.errors, r.GetU64("verb errors"));
+        VDB_ASSIGN_OR_RETURN(vs.p50_us, r.GetDouble("verb p50"));
+        VDB_ASSIGN_OR_RETURN(vs.p95_us, r.GetDouble("verb p95"));
+        VDB_ASSIGN_OR_RETURN(vs.p99_us, r.GetDouble("verb p99"));
+        VDB_ASSIGN_OR_RETURN(vs.max_us, r.GetDouble("verb max"));
+      }
+      break;
+    }
+    case Verb::kQuery: {
+      VDB_ASSIGN_OR_RETURN(int count,
+                           GetCount(&r, "suggestion count", kMaxSuggestions));
+      response.query.suggestions.resize(static_cast<size_t>(count));
+      for (SuggestionWire& s : response.query.suggestions) {
+        VDB_ASSIGN_OR_RETURN(s, GetSuggestion(&r));
+      }
+      break;
+    }
+    case Verb::kTree: {
+      VDB_ASSIGN_OR_RETURN(response.tree.root, r.GetI32("tree root"));
+      VDB_ASSIGN_OR_RETURN(response.tree.shot_count,
+                           r.GetI32("tree shot count"));
+      VDB_ASSIGN_OR_RETURN(int count,
+                           GetCount(&r, "tree node count", kMaxTreeNodes));
+      response.tree.nodes.resize(static_cast<size_t>(count));
+      for (TreeNodeWire& n : response.tree.nodes) {
+        VDB_ASSIGN_OR_RETURN(n, GetTreeNode(&r));
+      }
+      break;
+    }
+    case Verb::kList: {
+      VDB_ASSIGN_OR_RETURN(int count,
+                           GetCount(&r, "video count", kMaxVideos));
+      response.list.videos.resize(static_cast<size_t>(count));
+      for (VideoSummary& v : response.list.videos) {
+        VDB_ASSIGN_OR_RETURN(v, GetVideoSummary(&r));
+      }
+      break;
+    }
+    case Verb::kReload: {
+      VDB_ASSIGN_OR_RETURN(response.reload.videos, r.GetI32("reload videos"));
+      VDB_ASSIGN_OR_RETURN(response.reload.indexed_shots,
+                           r.GetI32("reload shots"));
+      break;
+    }
+    case Verb::kError:
+      break;  // status only; nothing more to read
+  }
+  VDB_RETURN_IF_ERROR(ExpectEnd(r, "response"));
+  return response;
+}
+
+}  // namespace serve
+}  // namespace vdb

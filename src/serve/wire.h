@@ -1,0 +1,225 @@
+#ifndef VDB_SERVE_WIRE_H_
+#define VDB_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace vdb {
+namespace serve {
+
+// The catalog query service's wire protocol: length-prefixed binary frames
+// following the util/binary_io conventions of the on-disk formats (magic,
+// version, FNV-1a checksum). One request frame in, one response frame out,
+// over a persistent TCP connection. This layer is pure bytes — no sockets —
+// so every encode/decode path is unit-testable (and fuzzable) in isolation.
+//
+// Frame layout (all integers little-endian):
+//
+//   | offset | size | field                                        |
+//   |--------|------|----------------------------------------------|
+//   | 0      | 4    | magic "VDBS"                                 |
+//   | 4      | 1    | wire version (kWireVersion)                  |
+//   | 5      | 1    | type: verb, with 0x80 set on responses       |
+//   | 6      | 4    | payload length                               |
+//   | 10     | 4    | FNV-1a checksum of the payload               |
+//   | 14     | ...  | payload (verb-specific, util/binary_io)      |
+//
+// Any truncation, oversized length, bad magic or checksum mismatch decodes
+// as kCorruption / kInvalidArgument — never a crash or an over-read.
+
+// Request verbs. kError never appears in a request; the server uses it for
+// connection-level failures (BUSY rejection, malformed frames) where no
+// request verb is available to echo.
+enum class Verb : uint8_t {
+  kPing = 1,
+  kStats = 2,
+  kQuery = 3,
+  kTree = 4,
+  kList = 5,
+  kReload = 6,
+  kError = 7,
+};
+inline constexpr int kNumVerbs = 8;  // dense: index stats arrays by verb
+
+// Stable lower-case name ("ping", "query", ...) for logs and STATS.
+std::string_view VerbName(Verb verb);
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 14;
+inline constexpr uint8_t kResponseBit = 0x80;
+// Upper bound on a frame payload; a length prefix beyond this is treated as
+// corruption before any allocation happens.
+inline constexpr uint32_t kMaxPayloadSize = 32u << 20;
+
+struct FrameHeader {
+  Verb verb = Verb::kError;
+  bool is_response = false;
+  uint32_t payload_size = 0;
+  uint32_t checksum = 0;
+};
+
+// Frames `payload` into header + bytes ready for the wire.
+std::string EncodeFrame(Verb verb, bool is_response, std::string_view payload);
+
+// Decodes exactly kFrameHeaderSize bytes. The payload is *not* read here —
+// callers read `payload_size` more bytes and run ValidatePayload.
+Result<FrameHeader> DecodeFrameHeader(std::string_view header_bytes);
+
+// Checksum + size check of a received payload against its header.
+Status ValidatePayload(const FrameHeader& header, std::string_view payload);
+
+// One whole frame in one buffer (tests, corpus decoding). The buffer must
+// contain exactly one frame; trailing bytes are corruption.
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+Result<Frame> DecodeFrame(std::string_view bytes);
+
+// ---------------------------------------------------------------------------
+// Requests
+
+// Variance impression query (Section 4.2) with optional class filter
+// (Section 4.1): genre_id / form_id of -1 mean "any".
+struct QueryRequest {
+  double var_ba = 0.0;
+  double var_oa = 0.0;
+  double alpha = 1.0;
+  double beta = 1.0;
+  int top_k = 5;
+  int genre_id = -1;
+  int form_id = -1;
+};
+
+// Scene-tree subtree for browsing. node_id -1 means the root; max_depth -1
+// means the whole subtree, 0 just the node itself, 1 node + children, ...
+struct TreeRequest {
+  int video_id = -1;
+  int node_id = -1;
+  int max_depth = -1;
+};
+
+struct Request {
+  Verb verb = Verb::kPing;
+  std::string ping_token;   // kPing: echoed back verbatim
+  QueryRequest query;       // kQuery
+  TreeRequest tree;         // kTree
+  std::string reload_path;  // kReload: empty = re-read the startup paths
+};
+
+// Encodes a full request frame (header + payload).
+std::string EncodeRequest(const Request& request);
+
+// Decodes a request payload whose frame header was already validated.
+Result<Request> DecodeRequest(const FrameHeader& header,
+                              std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Responses
+
+// One retrieval answer (mirrors core's BrowsingSuggestion without pulling
+// the core headers into the wire layer).
+struct SuggestionWire {
+  int video_id = -1;
+  int shot_index = -1;
+  double var_ba = 0.0;
+  double var_oa = 0.0;
+  double distance = 0.0;
+  std::string video_name;
+  int scene_node = -1;
+  std::string scene_label;
+  int representative_frame = -1;
+};
+
+struct QueryResponse {
+  std::vector<SuggestionWire> suggestions;
+};
+
+// Scene-tree node with its original in-tree id, so a full-tree response can
+// be reassembled exactly and a depth-limited one still names real nodes.
+struct TreeNodeWire {
+  int id = -1;
+  int parent = -1;
+  int level = 0;
+  int shot_index = -1;
+  int representative_frame = -1;
+  std::string label;  // "SN_7^1"
+  std::vector<int> children;
+};
+
+struct TreeResponse {
+  int root = -1;
+  int shot_count = 0;
+  std::vector<TreeNodeWire> nodes;  // pre-order from the requested node
+};
+
+struct VideoSummary {
+  int video_id = -1;
+  std::string name;
+  int frame_count = 0;
+  double fps = 0.0;
+  int shot_count = 0;
+  int node_count = 0;
+  std::vector<int> genre_ids;
+  int form_id = -1;
+};
+
+struct ListResponse {
+  std::vector<VideoSummary> videos;
+};
+
+// Per-verb service counters; latency percentiles come from the server's
+// log-bucketed histogram, so they are upper bounds with ~30 % resolution.
+struct VerbStats {
+  std::string verb;
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct StatsResponse {
+  uint64_t total_connections = 0;
+  uint64_t active_connections = 0;
+  uint64_t rejected_busy = 0;
+  uint64_t bad_frames = 0;
+  int videos = 0;
+  int indexed_shots = 0;
+  std::vector<VerbStats> verbs;
+};
+
+struct ReloadResponse {
+  int videos = 0;
+  int indexed_shots = 0;
+};
+
+// A response always carries a Status; the verb-specific body is only
+// present (and only encoded) when the status is OK.
+struct Response {
+  Verb verb = Verb::kError;
+  Status status;
+  std::string ping_token;  // kPing
+  QueryResponse query;     // kQuery
+  TreeResponse tree;       // kTree
+  ListResponse list;       // kList
+  StatsResponse stats;     // kStats
+  ReloadResponse reload;   // kReload
+};
+
+// Encodes a full response frame (header + payload).
+std::string EncodeResponse(const Response& response);
+
+// Decodes a response payload whose frame header was already validated.
+Result<Response> DecodeResponse(const FrameHeader& header,
+                                std::string_view payload);
+
+}  // namespace serve
+}  // namespace vdb
+
+#endif  // VDB_SERVE_WIRE_H_

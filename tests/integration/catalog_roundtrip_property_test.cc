@@ -1,0 +1,207 @@
+// Property test for the catalog file format, the guarantee the serving
+// layer's RELOAD verb leans on: for any ingested preset, SaveCatalog →
+// LoadCatalog reproduces shots, features, classification tags and
+// scene-tree labels exactly, and any truncated or bit-flipped file is
+// rejected with kCorruption — a reload can replace a snapshot or fail
+// cleanly, never half-load.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "tests/support/render_cache.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+// The preset mix: the two paper storyboards plus seeded random boards, so
+// the round trip is exercised over tree shapes nobody hand-picked.
+struct PresetCase {
+  std::string name;
+  uint64_t random_seed = 0;  // 0 = named preset
+};
+
+std::vector<PresetCase> Presets() {
+  return {{"ten-shot", 0},
+          {"friends", 0},
+          {"random-17", 17},
+          {"random-23", 23},
+          {"random-40", 40}};
+}
+
+Storyboard RandomBoard(uint64_t seed) {
+  Pcg32 rng(seed, 0xca7a);
+  Storyboard board;
+  board.name = "roundtrip-" + std::to_string(seed);
+  board.seed = seed * 131 + 3;
+  int shots = rng.NextInt(3, 9);
+  for (int i = 0; i < shots; ++i) {
+    ShotSpec shot;
+    shot.scene_id = rng.NextInt(0, 3);
+    shot.frame_count = rng.NextInt(5, 18);
+    shot.noise_stddev = rng.NextDouble(0.0, 2.5);
+    shot.camera.start_x = rng.NextDouble(-400, 400);
+    if (rng.NextDouble() < 0.3) {
+      shot.camera.type = CameraMotionType::kPan;
+      shot.camera.speed = rng.NextDouble(-3, 3);
+    }
+    board.shots.push_back(shot);
+  }
+  return board;
+}
+
+SyntheticVideo Render(const PresetCase& preset) {
+  if (preset.name == "ten-shot") {
+    return testsupport::CachedRender(TenShotStoryboard());
+  }
+  if (preset.name == "friends") {
+    return testsupport::CachedRender(FriendsStoryboard());
+  }
+  return testsupport::CachedRender(RandomBoard(preset.random_seed));
+}
+
+// A classification derived from the preset, so every case round-trips a
+// different tag set (including "untagged" for seeds divisible by 3).
+VideoClassification ClassificationFor(const PresetCase& preset) {
+  VideoClassification c;
+  if (preset.random_seed % 3 == 0 && preset.random_seed != 0) {
+    return c;  // leave one case untagged
+  }
+  c.genre_ids = {static_cast<int>(preset.random_seed % 4),
+                 static_cast<int>((preset.random_seed + 1) % 4)};
+  c.form_id = static_cast<int>(preset.random_seed % 2);
+  return c;
+}
+
+class CatalogRoundTripTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(CatalogRoundTripTest, PreservesEverythingTheServerServes) {
+  const PresetCase preset = Presets()[GetParam()];
+  SyntheticVideo sv = Render(preset);
+
+  VideoDatabase db;
+  Result<int> id = db.Ingest(sv.video);
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(db.SetClassification(*id, ClassificationFor(preset)).ok());
+
+  std::string path = testing::TempDir() + "/rt_" + preset.name + ".vdbcat";
+  ASSERT_TRUE(SaveCatalog(db, path).ok());
+  VideoDatabase restored;
+  ASSERT_TRUE(LoadCatalog(path, &restored).ok());
+  ASSERT_EQ(restored.video_count(), 1);
+
+  const CatalogEntry* a = db.GetEntry(*id).value();
+  const CatalogEntry* b = restored.GetEntry(0).value();
+
+  // Shots and their features, row for row.
+  ASSERT_EQ(a->shots.size(), b->shots.size());
+  for (size_t i = 0; i < a->shots.size(); ++i) {
+    EXPECT_EQ(a->shots[i], b->shots[i]);
+    EXPECT_DOUBLE_EQ(a->features[i].var_ba, b->features[i].var_ba);
+    EXPECT_DOUBLE_EQ(a->features[i].var_oa, b->features[i].var_oa);
+  }
+
+  // Classification tags.
+  EXPECT_EQ(a->classification.genre_ids, b->classification.genre_ids);
+  EXPECT_EQ(a->classification.form_id, b->classification.form_id);
+
+  // Scene-tree structure and every node label.
+  ASSERT_EQ(a->scene_tree.node_count(), b->scene_tree.node_count());
+  EXPECT_EQ(a->scene_tree.root(), b->scene_tree.root());
+  for (int n = 0; n < a->scene_tree.node_count(); ++n) {
+    EXPECT_EQ(a->scene_tree.node(n).Label(), b->scene_tree.node(n).Label());
+    EXPECT_EQ(a->scene_tree.node(n).children,
+              b->scene_tree.node(n).children);
+  }
+
+  // The index answers identically — what QUERY actually serves.
+  EXPECT_EQ(restored.index().size(), db.index().size());
+  VarianceQuery q;
+  q.var_ba = 9.0;
+  q.var_oa = 1.0;
+  auto original = db.Search(q, 5).value();
+  auto reloaded = restored.Search(q, 5).value();
+  ASSERT_EQ(original.size(), reloaded.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].match.entry.shot_index,
+              reloaded[i].match.entry.shot_index);
+    EXPECT_EQ(original[i].scene_label, reloaded[i].scene_label);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(CatalogRoundTripTest, TruncationsAreRejectedAsCorruption) {
+  const PresetCase preset = Presets()[GetParam()];
+  SyntheticVideo sv = Render(preset);
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(sv.video).ok());
+
+  std::string path =
+      testing::TempDir() + "/rt_trunc_" + preset.name + ".vdbcat";
+  ASSERT_TRUE(SaveCatalog(db, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(contents.empty());
+
+  for (int sixteenth = 0; sixteenth < 16; ++sixteenth) {
+    size_t cut = contents.size() * static_cast<size_t>(sixteenth) / 16;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << contents.substr(0, cut);
+    VideoDatabase loaded;
+    Status status = LoadCatalog(path, &loaded);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "cut at " << cut << " of " << contents.size() << ": " << status;
+    EXPECT_EQ(loaded.video_count(), 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(CatalogRoundTripTest, BitFlipsAreRejectedAsCorruption) {
+  const PresetCase preset = Presets()[GetParam()];
+  SyntheticVideo sv = Render(preset);
+  VideoDatabase db;
+  ASSERT_TRUE(db.Ingest(sv.video).ok());
+
+  std::string path =
+      testing::TempDir() + "/rt_flip_" + preset.name + ".vdbcat";
+  ASSERT_TRUE(SaveCatalog(db, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+
+  // Flip one bit at positions spread over the whole file — header, length
+  // fields, checksum, payload. Every checksummed byte is covered, so every
+  // flip must surface as corruption with nothing loaded.
+  Pcg32 rng(preset.random_seed * 31 + GetParam() + 1);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::string mutated = contents;
+    size_t pos =
+        trial < 8 ? static_cast<size_t>(trial)  // the header region
+                  : rng.NextBounded(static_cast<uint32_t>(mutated.size()));
+    mutated[pos] ^= static_cast<char>(1 << rng.NextBounded(8));
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << mutated;
+    VideoDatabase loaded;
+    Status status = LoadCatalog(path, &loaded);
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "flip at byte " << pos << ": " << status;
+    EXPECT_EQ(loaded.video_count(), 0);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, CatalogRoundTripTest,
+                         testing::Range(size_t{0}, Presets().size()));
+
+}  // namespace
+}  // namespace vdb

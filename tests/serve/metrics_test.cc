@@ -1,0 +1,145 @@
+#include "serve/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace serve {
+namespace {
+
+TEST(LatencyHistogramTest, EmptySummarizesToZero) {
+  LatencyHistogram h;
+  LatencyHistogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+  EXPECT_EQ(s.max_us, 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreTightUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<double>(i));  // 1us .. 1000us, uniform
+  }
+  LatencyHistogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 1000u);
+  // Log-bucketed: the reported value is >= the true percentile but within
+  // one 1.3x bucket of it.
+  EXPECT_GE(s.p50_us, 500.0);
+  EXPECT_LE(s.p50_us, 500.0 * 1.3);
+  EXPECT_GE(s.p95_us, 950.0);
+  EXPECT_LE(s.p95_us, 950.0 * 1.3);
+  EXPECT_GE(s.p99_us, 990.0);
+  EXPECT_LE(s.p99_us, 990.0 * 1.3);
+  EXPECT_DOUBLE_EQ(s.max_us, 1000.0);
+}
+
+TEST(LatencyHistogramTest, HandlesDegenerateSamples) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(0.3);
+  LatencyHistogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 3u);
+  // Everything sub-microsecond lands in the first bucket.
+  EXPECT_LE(s.p99_us, LatencyHistogram::UpperEdgeUs(0) + 1e-9);
+}
+
+TEST(LatencyHistogramTest, HugeSamplesLandInLastBucket) {
+  LatencyHistogram h;
+  h.Record(1e12);
+  LatencyHistogram::Summary s = h.Summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(
+      s.p50_us, LatencyHistogram::UpperEdgeUs(LatencyHistogram::kNumBuckets - 1));
+  EXPECT_DOUBLE_EQ(s.max_us, 1e12);
+}
+
+TEST(LatencyHistogramTest, BucketEdgesGrowGeometrically) {
+  for (int i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_GT(LatencyHistogram::UpperEdgeUs(i),
+              LatencyHistogram::UpperEdgeUs(i - 1));
+  }
+}
+
+TEST(ServerMetricsTest, ConnectionCountersTrackOpenCloseAndBusy) {
+  ServerMetrics m;
+  m.OnConnectionOpened();
+  m.OnConnectionOpened();
+  EXPECT_EQ(m.active_connections(), 2u);
+  m.OnBusyRejected();  // total, not active
+  m.OnConnectionClosed();
+  EXPECT_EQ(m.active_connections(), 1u);
+
+  StatsResponse s = m.Snapshot();
+  EXPECT_EQ(s.total_connections, 3u);
+  EXPECT_EQ(s.active_connections, 1u);
+  EXPECT_EQ(s.rejected_busy, 1u);
+  EXPECT_EQ(s.bad_frames, 0u);
+}
+
+TEST(ServerMetricsTest, SnapshotOmitsVerbsThatNeverRan) {
+  ServerMetrics m;
+  m.OnRequest(Verb::kQuery, /*ok=*/true, 50.0);
+  m.OnRequest(Verb::kQuery, /*ok=*/false, 75.0);
+  m.OnRequest(Verb::kPing, /*ok=*/true, 2.0);
+
+  StatsResponse s = m.Snapshot();
+  ASSERT_EQ(s.verbs.size(), 2u);
+  const VerbStats* query = nullptr;
+  const VerbStats* ping = nullptr;
+  for (const VerbStats& v : s.verbs) {
+    if (v.verb == "query") query = &v;
+    if (v.verb == "ping") ping = &v;
+  }
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(query->count, 2u);
+  EXPECT_EQ(query->errors, 1u);
+  EXPECT_GE(query->max_us, 75.0);
+  EXPECT_EQ(ping->count, 1u);
+  EXPECT_EQ(ping->errors, 0u);
+}
+
+TEST(ServerMetricsTest, BadFramesCount) {
+  ServerMetrics m;
+  m.OnBadFrame();
+  m.OnBadFrame();
+  EXPECT_EQ(m.Snapshot().bad_frames, 2u);
+}
+
+// Hammer the counters from several threads: totals must add up exactly
+// (the histogram records with relaxed atomics, but increments never tear).
+TEST(ServerMetricsTest, ConcurrentRecordingIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  ServerMetrics m;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&m] {
+      for (int i = 0; i < kPerThread; ++i) {
+        m.OnConnectionOpened();
+        m.OnRequest(Verb::kQuery, (i % 10) != 0,
+                    static_cast<double>(i % 1000));
+        m.OnConnectionClosed();
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  StatsResponse s = m.Snapshot();
+  EXPECT_EQ(s.total_connections,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.active_connections, 0u);
+  ASSERT_EQ(s.verbs.size(), 1u);
+  EXPECT_EQ(s.verbs[0].count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.verbs[0].errors,
+            static_cast<uint64_t>(kThreads) * (kPerThread / 10));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vdb

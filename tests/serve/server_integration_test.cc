@@ -1,0 +1,514 @@
+// End-to-end test of the catalog query service: a real Server on a loopback
+// ephemeral port, driven through serve::Client. Query and tree responses
+// are checked byte-for-byte against the same operations on a directly
+// loaded VideoDatabase, and concurrent clients hammer the server through
+// RELOADs to prove snapshot swaps are atomic. The suite is in the `serve`
+// ctest label and is expected to pass under -DVDB_SANITIZE=thread.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/server.h"
+#include "synth/presets.h"
+#include "tests/support/render_cache.h"
+
+namespace vdb {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Builds the two catalog files the suite serves:
+//  * "both": ten-shot + friends, with classifications — the primary.
+//  * "solo": ten-shot only — the RELOAD swap target.
+class ServerIntegrationTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    direct_ = new VideoDatabase();
+    const SyntheticVideo& ten = testsupport::CachedRender(TenShotStoryboard());
+    const SyntheticVideo& friends =
+        testsupport::CachedRender(FriendsStoryboard());
+    ASSERT_TRUE(direct_->Ingest(ten.video).ok());
+    ASSERT_TRUE(direct_->Ingest(friends.video).ok());
+    VideoClassification drama;
+    drama.genre_ids = {0, 2};
+    drama.form_id = 1;
+    ASSERT_TRUE(direct_->SetClassification(0, drama).ok());
+    VideoClassification comedy;
+    comedy.genre_ids = {1};
+    comedy.form_id = 0;
+    ASSERT_TRUE(direct_->SetClassification(1, comedy).ok());
+    ASSERT_TRUE(SaveCatalog(*direct_, BothPath()).ok());
+
+    VideoDatabase solo;
+    ASSERT_TRUE(solo.Ingest(ten.video).ok());
+    ASSERT_TRUE(SaveCatalog(solo, SoloPath()).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete direct_;
+    direct_ = nullptr;
+    std::remove(BothPath().c_str());
+    std::remove(SoloPath().c_str());
+  }
+
+  // Per-process file names: ctest runs each test of this suite as its own
+  // parallel process, and every process writes its own catalog copies.
+  static std::string BothPath() {
+    return TempPath("serve_both_" + std::to_string(getpid()) + ".vdbcat");
+  }
+  static std::string SoloPath() {
+    return TempPath("serve_solo_" + std::to_string(getpid()) + ".vdbcat");
+  }
+
+  // Starts a server over the primary catalog on an ephemeral port.
+  static std::unique_ptr<Server> StartServer(
+      ServerOptions options = ServerOptions()) {
+    auto server = std::make_unique<Server>(options);
+    Status started = server->Start({BothPath()});
+    EXPECT_TRUE(started.ok()) << started;
+    EXPECT_GT(server->port(), 0);
+    return server;
+  }
+
+  static Client Connect(const Server& server) {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(*client);
+  }
+
+  // The server-side wire mapping of a direct VideoDatabase query; the
+  // source of truth for the byte-identical comparison.
+  static Response ExpectedQueryResponse(const VideoDatabase& db,
+                                        const QueryRequest& request) {
+    Response expected;
+    expected.verb = Verb::kQuery;
+    VarianceQuery query;
+    query.var_ba = request.var_ba;
+    query.var_oa = request.var_oa;
+    query.alpha = request.alpha;
+    query.beta = request.beta;
+    auto found =
+        (request.genre_id >= 0 || request.form_id >= 0)
+            ? db.SearchWithinClass(
+                  query, request.top_k,
+                  ClassFilter{request.genre_id, request.form_id})
+            : db.Search(query, request.top_k);
+    EXPECT_TRUE(found.ok()) << found.status();
+    for (const BrowsingSuggestion& s : *found) {
+      SuggestionWire wire;
+      wire.video_id = s.match.entry.video_id;
+      wire.shot_index = s.match.entry.shot_index;
+      wire.var_ba = s.match.entry.var_ba;
+      wire.var_oa = s.match.entry.var_oa;
+      wire.distance = s.match.distance;
+      wire.video_name = s.video_name;
+      wire.scene_node = s.scene_node;
+      wire.scene_label = s.scene_label;
+      wire.representative_frame = s.representative_frame;
+      expected.query.suggestions.push_back(std::move(wire));
+    }
+    return expected;
+  }
+
+  static VideoDatabase* direct_;
+};
+
+VideoDatabase* ServerIntegrationTest::direct_ = nullptr;
+
+TEST_F(ServerIntegrationTest, PingEchoesToken) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  Result<std::string> echoed = client.Ping("are-you-there");
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_EQ(*echoed, "are-you-there");
+  // A persistent connection answers many requests.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(client.Ping(std::to_string(i)).value(), std::to_string(i));
+  }
+}
+
+TEST_F(ServerIntegrationTest, ListMatchesCatalog) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  Result<ListResponse> listed = client.List();
+  ASSERT_TRUE(listed.ok()) << listed.status();
+  ASSERT_EQ(listed->videos.size(), 2u);
+  for (int id = 0; id < 2; ++id) {
+    const CatalogEntry* entry = direct_->GetEntry(id).value();
+    const VideoSummary& summary = listed->videos[static_cast<size_t>(id)];
+    EXPECT_EQ(summary.video_id, id);
+    EXPECT_EQ(summary.name, entry->name);
+    EXPECT_EQ(summary.frame_count, entry->frame_count);
+    EXPECT_DOUBLE_EQ(summary.fps, entry->fps);
+    EXPECT_EQ(summary.shot_count, static_cast<int>(entry->shots.size()));
+    EXPECT_EQ(summary.node_count, entry->scene_tree.node_count());
+    EXPECT_EQ(summary.genre_ids, entry->classification.genre_ids);
+    EXPECT_EQ(summary.form_id, entry->classification.form_id);
+  }
+}
+
+TEST_F(ServerIntegrationTest, QueryIsByteIdenticalToDirectDatabase) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  // A spread of queries, unfiltered and class-filtered.
+  std::vector<QueryRequest> requests;
+  for (double ba : {0.0, 3.0, 9.0, 40.0}) {
+    for (double oa : {0.5, 4.0}) {
+      QueryRequest q;
+      q.var_ba = ba;
+      q.var_oa = oa;
+      q.top_k = 5;
+      requests.push_back(q);
+    }
+  }
+  QueryRequest filtered;
+  filtered.var_ba = 9.0;
+  filtered.var_oa = 1.0;
+  filtered.top_k = 10;
+  filtered.genre_id = 0;
+  requests.push_back(filtered);
+  filtered.genre_id = -1;
+  filtered.form_id = 0;
+  requests.push_back(filtered);
+
+  for (const QueryRequest& q : requests) {
+    Request request;
+    request.verb = Verb::kQuery;
+    request.query = q;
+    Result<Response> got = client.Call(request);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(got->status.ok()) << got->status;
+    Response expected = ExpectedQueryResponse(*direct_, q);
+    EXPECT_EQ(EncodeResponse(*got), EncodeResponse(expected))
+        << "query (" << q.var_ba << ", " << q.var_oa << ") genre "
+        << q.genre_id << " form " << q.form_id
+        << " differs from the direct database";
+  }
+}
+
+TEST_F(ServerIntegrationTest, TreeMatchesDirectSceneTree) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  for (int id = 0; id < 2; ++id) {
+    const SceneTree& tree = direct_->GetEntry(id).value()->scene_tree;
+
+    TreeRequest whole;
+    whole.video_id = id;
+    Result<TreeResponse> full = client.Tree(whole);
+    ASSERT_TRUE(full.ok()) << full.status();
+    EXPECT_EQ(full->root, tree.root());
+    EXPECT_EQ(full->shot_count, tree.shot_count());
+    ASSERT_EQ(full->nodes.size(),
+              static_cast<size_t>(tree.node_count()));
+    for (const TreeNodeWire& wire : full->nodes) {
+      const SceneNode& node = tree.node(wire.id);
+      EXPECT_EQ(wire.parent, node.parent);
+      EXPECT_EQ(wire.level, node.level);
+      EXPECT_EQ(wire.shot_index, node.shot_index);
+      EXPECT_EQ(wire.representative_frame, node.representative_frame);
+      EXPECT_EQ(wire.label, node.Label());
+      EXPECT_EQ(wire.children, node.children);
+    }
+
+    // Depth 0: just the root row, children still named for follow-ups.
+    TreeRequest shallow;
+    shallow.video_id = id;
+    shallow.max_depth = 0;
+    Result<TreeResponse> top = client.Tree(shallow);
+    ASSERT_TRUE(top.ok()) << top.status();
+    ASSERT_EQ(top->nodes.size(), 1u);
+    EXPECT_EQ(top->nodes[0].id, tree.root());
+    EXPECT_EQ(top->nodes[0].children, tree.node(tree.root()).children);
+
+    // Depth 1: root plus its direct children.
+    shallow.max_depth = 1;
+    Result<TreeResponse> two = client.Tree(shallow);
+    ASSERT_TRUE(two.ok()) << two.status();
+    EXPECT_EQ(two->nodes.size(),
+              1u + tree.node(tree.root()).children.size());
+  }
+}
+
+TEST_F(ServerIntegrationTest, ApplicationErrorsKeepTheConnectionUsable) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+
+  QueryRequest bad_k;
+  bad_k.top_k = 0;
+  EXPECT_EQ(client.Query(bad_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest bad_var;
+  bad_var.var_ba = -1.0;
+  bad_var.top_k = 5;
+  EXPECT_EQ(client.Query(bad_var).status().code(),
+            StatusCode::kInvalidArgument);
+
+  TreeRequest missing;
+  missing.video_id = 99;
+  EXPECT_EQ(client.Tree(missing).status().code(), StatusCode::kNotFound);
+
+  // The connection survived all three application errors.
+  EXPECT_TRUE(client.Ping("still-alive").ok());
+}
+
+TEST_F(ServerIntegrationTest, StatsCountRequestsAndCatalogShape) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Ping("x").ok());
+  }
+  QueryRequest q;
+  q.var_ba = 9.0;
+  q.var_oa = 1.0;
+  ASSERT_TRUE(client.Query(q).ok());
+
+  Result<StatsResponse> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->videos, 2);
+  EXPECT_EQ(stats->indexed_shots, static_cast<int>(direct_->index().size()));
+  EXPECT_GE(stats->total_connections, 1u);
+  EXPECT_GE(stats->active_connections, 1u);
+  uint64_t pings = 0;
+  uint64_t queries = 0;
+  for (const VerbStats& v : stats->verbs) {
+    if (v.verb == "ping") pings = v.count;
+    if (v.verb == "query") queries = v.count;
+  }
+  EXPECT_EQ(pings, 3u);
+  EXPECT_EQ(queries, 1u);
+}
+
+TEST_F(ServerIntegrationTest, ReloadSwapsTheCatalog) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  ASSERT_EQ(client.List().value().videos.size(), 2u);
+
+  Result<ReloadResponse> swapped = client.Reload(SoloPath());
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(swapped->videos, 1);
+  EXPECT_EQ(client.List().value().videos.size(), 1u);
+
+  // Empty path re-reads the current set — now the solo catalog.
+  Result<ReloadResponse> again = client.Reload();
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->videos, 1);
+
+  // Swapping back restores the original two.
+  ASSERT_TRUE(client.Reload(BothPath()).ok());
+  EXPECT_EQ(client.List().value().videos.size(), 2u);
+}
+
+TEST_F(ServerIntegrationTest, ReloadFailureKeepsTheOldSnapshot) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  Result<ReloadResponse> bad = client.Reload(TempPath("missing.vdbcat"));
+  EXPECT_FALSE(bad.ok());
+  // The snapshot is untouched and the connection still works.
+  EXPECT_EQ(client.List().value().videos.size(), 2u);
+}
+
+// The acceptance check: clients querying full tilt through repeated
+// RELOADs never see an error and never a torn snapshot — every response
+// is internally consistent with exactly one of the two catalogs.
+TEST_F(ServerIntegrationTest, ConcurrentClientsThroughReloads) {
+  std::unique_ptr<Server> server = StartServer();
+  const std::string both_name_0 = direct_->GetEntry(0).value()->name;
+  const std::string both_name_1 = direct_->GetEntry(1).value()->name;
+
+  constexpr int kReaders = 4;
+  constexpr int kRequestsPerReader = 120;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Result<Client> client = Client::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        ADD_FAILURE() << "reader " << t << ": " << client.status();
+        failed = true;
+        return;
+      }
+      QueryRequest q;
+      q.var_ba = 9.0;
+      q.var_oa = 1.0;
+      q.top_k = 5;
+      for (int i = 0; i < kRequestsPerReader && !failed; ++i) {
+        Result<ListResponse> listed = client->List();
+        if (!listed.ok()) {
+          ADD_FAILURE() << "LIST during reload: " << listed.status();
+          failed = true;
+          return;
+        }
+        // A torn snapshot would show a video count or name mix belonging
+        // to neither catalog.
+        size_t n = listed->videos.size();
+        if (n != 1u && n != 2u) {
+          ADD_FAILURE() << "torn LIST: " << n << " videos";
+          failed = true;
+          return;
+        }
+        if (listed->videos[0].name != both_name_0 ||
+            (n == 2u && listed->videos[1].name != both_name_1)) {
+          ADD_FAILURE() << "torn LIST: unexpected names";
+          failed = true;
+          return;
+        }
+        Result<QueryResponse> found = client->Query(q);
+        if (!found.ok()) {
+          ADD_FAILURE() << "QUERY during reload: " << found.status();
+          failed = true;
+          return;
+        }
+        for (const SuggestionWire& s : found->suggestions) {
+          if (s.video_name != both_name_0 && s.video_name != both_name_1) {
+            ADD_FAILURE() << "suggestion from unknown video "
+                          << s.video_name;
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  Client admin = Connect(*server);
+  for (int round = 0; round < 6 && !failed; ++round) {
+    Result<ReloadResponse> swapped =
+        admin.Reload(round % 2 == 0 ? SoloPath() : BothPath());
+    ASSERT_TRUE(swapped.ok()) << swapped.status();
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+}
+
+TEST_F(ServerIntegrationTest, BusyRejectionBeyondMaxConnections) {
+  ServerOptions options;
+  options.max_connections = 1;
+  std::unique_ptr<Server> server = StartServer(options);
+
+  Client first = Connect(*server);
+  ASSERT_TRUE(first.Ping("claimed").ok());  // occupies the only slot
+
+  Result<Client> second = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(second.ok()) << second.status();
+  Request ping;
+  ping.verb = Verb::kPing;
+  Result<Response> rejected = second->Call(ping);
+  // The BUSY frame may arrive as this call's response, or the write may
+  // race the server's close; either way the error must say so.
+  if (rejected.ok()) {
+    EXPECT_EQ(rejected->verb, Verb::kError);
+    EXPECT_EQ(rejected->status.code(), StatusCode::kFailedPrecondition);
+  } else {
+    EXPECT_EQ(rejected.status().code(), StatusCode::kIoError);
+  }
+
+  // The admitted connection is unaffected, and closing it frees the slot.
+  EXPECT_TRUE(first.Ping("still-mine").ok());
+  first.Close();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    Result<Client> third = Client::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(third.ok()) << third.status();
+    if (third->Ping("retry").ok()) {
+      return;  // slot reclaimed
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "slot never freed after the first connection closed";
+}
+
+TEST_F(ServerIntegrationTest, MalformedPayloadGetsErrorFrameAndSurvives) {
+  std::unique_ptr<Server> server = StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  // Sound frame, nonsense payload: QUERY wants 44 bytes, gets 2.
+  ASSERT_TRUE(
+      WriteAll(*fd, EncodeFrame(Verb::kQuery, /*is_response=*/false, "xx"))
+          .ok());
+  Result<Frame> reply = ReadFrame(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  Result<Response> error = DecodeResponse(reply->header, reply->payload);
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error->verb, Verb::kError);
+  EXPECT_FALSE(error->status.ok());
+
+  // The framing layer stayed in sync, so the connection still serves.
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = "after-garbage";
+  ASSERT_TRUE(WriteAll(*fd, EncodeRequest(ping)).ok());
+  Result<Frame> pong = ReadFrame(*fd);
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  Result<Response> echoed = DecodeResponse(pong->header, pong->payload);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed->ping_token, "after-garbage");
+  CloseFd(*fd);
+}
+
+TEST_F(ServerIntegrationTest, GarbageBytesGetErrorFrameThenDisconnect) {
+  std::unique_ptr<Server> server = StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server->port(), 2000);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  ASSERT_TRUE(WriteAll(*fd, std::string(64, 'Z')).ok());
+  Result<Frame> reply = ReadFrame(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  Result<Response> error = DecodeResponse(reply->header, reply->payload);
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error->verb, Verb::kError);
+  EXPECT_FALSE(error->status.ok());
+  // An unsynchronised stream is dropped: the next read sees EOF — or a
+  // reset, since the server closed with our unread garbage still queued.
+  StatusCode code = ReadFrame(*fd).status().code();
+  EXPECT_TRUE(code == StatusCode::kNotFound || code == StatusCode::kIoError)
+      << StatusCodeName(code);
+  CloseFd(*fd);
+}
+
+TEST_F(ServerIntegrationTest, StopDrainsAndDisconnects) {
+  std::unique_ptr<Server> server = StartServer();
+  int port = server->port();
+  Client client = Connect(*server);
+  ASSERT_TRUE(client.Ping("before-stop").ok());
+
+  server->Stop();
+  server->Stop();  // idempotent
+
+  // The open connection was shut down...
+  EXPECT_FALSE(client.Ping("after-stop").ok());
+  // ...and nobody new gets in.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", port,
+                               ClientOptions{.connect_timeout_ms = 500})
+                   .ok());
+}
+
+TEST_F(ServerIntegrationTest, StartFailsCleanlyOnBadCatalog) {
+  Server server;
+  Status started = server.Start({TempPath("nope.vdbcat")});
+  EXPECT_FALSE(started.ok());
+  // And a bad port is rejected without leaking the loaded catalog.
+  ServerOptions options;
+  options.port = 70000;
+  Server bad_port(options);
+  EXPECT_FALSE(bad_port.Start({BothPath()}).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vdb

@@ -1,0 +1,238 @@
+// Fuzz-ish corpus test for the wire protocol: every mutation of a valid
+// frame — truncation at any cut point, oversized length prefixes, bad
+// magic/version/verb bytes, checksum mismatches, trailing garbage, random
+// bit flips — must decode to kInvalidArgument or kCorruption, never crash,
+// over-read, or allocate an implausible buffer.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/wire.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace serve {
+namespace {
+
+// A representative corpus: every request verb plus OK and error responses,
+// with string payloads exercising the variable-length paths.
+std::vector<std::string> Corpus() {
+  std::vector<std::string> frames;
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = "fuzz-token";
+  frames.push_back(EncodeRequest(ping));
+
+  Request stats;
+  stats.verb = Verb::kStats;
+  frames.push_back(EncodeRequest(stats));
+
+  Request query;
+  query.verb = Verb::kQuery;
+  query.query.var_ba = 42.0;
+  query.query.var_oa = 7.0;
+  query.query.top_k = 10;
+  query.query.genre_id = 2;
+  frames.push_back(EncodeRequest(query));
+
+  Request tree;
+  tree.verb = Verb::kTree;
+  tree.tree.video_id = 1;
+  tree.tree.max_depth = 3;
+  frames.push_back(EncodeRequest(tree));
+
+  Request list;
+  list.verb = Verb::kList;
+  frames.push_back(EncodeRequest(list));
+
+  Request reload;
+  reload.verb = Verb::kReload;
+  reload.reload_path = "/some/path.vdbcat";
+  frames.push_back(EncodeRequest(reload));
+
+  Response suggestions;
+  suggestions.verb = Verb::kQuery;
+  for (int i = 0; i < 4; ++i) {
+    SuggestionWire s;
+    s.video_id = i;
+    s.video_name = "clip-" + std::to_string(i);
+    s.scene_label = "SN_" + std::to_string(i) + "^0";
+    suggestions.query.suggestions.push_back(s);
+  }
+  frames.push_back(EncodeResponse(suggestions));
+
+  Response error;
+  error.verb = Verb::kError;
+  error.status = Status::FailedPrecondition("server busy");
+  frames.push_back(EncodeResponse(error));
+
+  Response listing;
+  listing.verb = Verb::kList;
+  VideoSummary v;
+  v.name = "friends";
+  v.genre_ids = {1, 2, 3};
+  listing.list.videos.push_back(v);
+  frames.push_back(EncodeResponse(listing));
+
+  return frames;
+}
+
+// Fully decodes `bytes` the way a receiver would: frame, then the request
+// or response payload. Returns the first failure, or OK.
+Status DecodeFully(const std::string& bytes) {
+  Result<Frame> frame = DecodeFrame(bytes);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (frame->header.is_response) {
+    return DecodeResponse(frame->header, frame->payload).status();
+  }
+  return DecodeRequest(frame->header, frame->payload).status();
+}
+
+void ExpectRejected(const std::string& bytes, const char* what) {
+  Status status = DecodeFully(bytes);
+  EXPECT_FALSE(status.ok()) << what;
+  EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument ||
+              status.code() == StatusCode::kCorruption)
+      << what << ": " << status;
+}
+
+TEST(WireFuzzTest, CorpusDecodesClean) {
+  for (const std::string& frame : Corpus()) {
+    Status status = DecodeFully(frame);
+    EXPECT_TRUE(status.ok()) << status;
+  }
+}
+
+TEST(WireFuzzTest, EveryTruncationIsRejected) {
+  for (const std::string& frame : Corpus()) {
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      ExpectRejected(frame.substr(0, cut), "truncated frame");
+    }
+  }
+}
+
+TEST(WireFuzzTest, TrailingBytesAreRejected) {
+  for (const std::string& frame : Corpus()) {
+    ExpectRejected(frame + std::string(1, '\0'), "one trailing byte");
+    ExpectRejected(frame + "garbage after the frame", "trailing run");
+  }
+}
+
+TEST(WireFuzzTest, BadMagicIsRejected) {
+  for (const std::string& frame : Corpus()) {
+    for (size_t i = 0; i < 4; ++i) {
+      std::string bad = frame;
+      bad[i] ^= 0x40;
+      ExpectRejected(bad, "magic byte flipped");
+    }
+  }
+}
+
+TEST(WireFuzzTest, BadVersionIsRejected) {
+  std::string frame = Corpus().front();
+  frame[4] = static_cast<char>(kWireVersion + 1);
+  ExpectRejected(frame, "future wire version");
+  frame[4] = 0;
+  ExpectRejected(frame, "zero wire version");
+}
+
+TEST(WireFuzzTest, UnknownVerbIsRejected) {
+  std::string frame = Corpus().front();
+  frame[5] = 0;  // verb 0 is not assigned
+  ExpectRejected(frame, "verb zero");
+  frame[5] = 0x7f;  // far beyond kError, response bit clear
+  ExpectRejected(frame, "verb out of range");
+}
+
+TEST(WireFuzzTest, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  // The length prefix lives at offset 6..9. Claim ~4 GiB and 33 MiB (just
+  // over kMaxPayloadSize): both must fail on the header alone — the check
+  // runs before any payload buffer is sized.
+  std::string frame = Corpus().front();
+  for (uint32_t claimed :
+       {0xffffffffu, kMaxPayloadSize + 1, kMaxPayloadSize + (1u << 20)}) {
+    std::string bad = frame;
+    bad[6] = static_cast<char>(claimed & 0xff);
+    bad[7] = static_cast<char>((claimed >> 8) & 0xff);
+    bad[8] = static_cast<char>((claimed >> 16) & 0xff);
+    bad[9] = static_cast<char>((claimed >> 24) & 0xff);
+    Result<FrameHeader> header = DecodeFrameHeader(
+        std::string_view(bad).substr(0, kFrameHeaderSize));
+    ASSERT_FALSE(header.ok());
+    EXPECT_EQ(header.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireFuzzTest, PlausibleButWrongLengthIsRejected) {
+  // A small-but-wrong length passes the header cap; the mismatch against
+  // the actual payload must still be caught.
+  for (const std::string& frame : Corpus()) {
+    std::string bad = frame;
+    bad[6] = static_cast<char>(bad[6] + 1);
+    ExpectRejected(bad, "length off by one");
+  }
+}
+
+TEST(WireFuzzTest, ChecksumMismatchIsRejected) {
+  for (const std::string& frame : Corpus()) {
+    std::string bad = frame;
+    bad[10] ^= 0x01;  // checksum field
+    ExpectRejected(bad, "checksum field flipped");
+    if (frame.size() > kFrameHeaderSize) {
+      std::string payload_flip = frame;
+      payload_flip[frame.size() - 1] ^= 0x01;
+      ExpectRejected(payload_flip, "payload byte flipped");
+    }
+  }
+}
+
+// Random single-bit flips anywhere in a frame: the decode may succeed (a
+// flip inside e.g. a double is still a well-formed frame only if the
+// checksum also matches — which a single flip can never arrange), so in
+// practice every flip is rejected; either way it must never crash and any
+// failure must carry a protocol error code.
+class WireBitFlipTest : public testing::TestWithParam<int> {};
+
+TEST_P(WireBitFlipTest, NeverCrashes) {
+  std::vector<std::string> corpus = Corpus();
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) * 6271 + 11);
+  for (const std::string& frame : corpus) {
+    std::string mutated = frame;
+    size_t pos = rng.NextBounded(static_cast<uint32_t>(mutated.size()));
+    mutated[pos] ^= static_cast<char>(1 << rng.NextBounded(8));
+    Status status = DecodeFully(mutated);
+    if (!status.ok()) {
+      EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument ||
+                  status.code() == StatusCode::kCorruption)
+          << status;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, WireBitFlipTest, testing::Range(0, 32));
+
+// Random garbage of assorted sizes must be rejected outright.
+TEST(WireFuzzTest, RandomGarbageIsRejected) {
+  Pcg32 rng(0xf00d);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(rng.NextBounded(128), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+    Status status = DecodeFully(garbage);
+    // All-random bytes can never satisfy magic + checksum at once.
+    EXPECT_FALSE(status.ok());
+    EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument ||
+                status.code() == StatusCode::kCorruption)
+        << status;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vdb

@@ -1,0 +1,332 @@
+// vdbload — multi-threaded load generator for vdbserve.
+//
+//   vdbload [--host H] [--port N] [--threads 1,4,16] [--requests N]
+//           [--verb query|ping|tree|list|mixed] [--top-k K] [--json PATH]
+//
+// For each thread count in --threads: opens one connection per thread,
+// fires --requests requests per thread (after a small warm-up), and prints
+// throughput plus exact p50/p95/p99/max latency computed from every
+// individual request. --json appends nothing to stdout's table but writes a
+// machine-readable run file for the bench trajectory (BENCH_serve.json).
+//
+// The default mix ("mixed") is mostly QUERY — the verb the index exists
+// for — with some TREE browsing and PING as a protocol floor.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vdb {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: vdbload [--host H] [--port N] [--threads 1,4,16]\n"
+      "               [--requests N] [--verb query|ping|tree|list|mixed]\n"
+      "               [--top-k K] [--json PATH]\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "vdbload: error: " << status << "\n";
+  return 1;
+}
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 7311;
+  std::vector<int> threads = {1, 4, 16};
+  int requests_per_thread = 2000;
+  std::string verb = "mixed";
+  int top_k = 5;
+  std::string json_path;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      out->host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      out->port = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->threads.clear();
+      for (const std::string& part : StrSplit(v, ',')) {
+        int n = std::atoi(part.c_str());
+        if (n < 1) return false;
+        out->threads.push_back(n);
+      }
+      if (out->threads.empty()) return false;
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (!v) return false;
+      out->requests_per_thread = std::atoi(v);
+      if (out->requests_per_thread < 1) return false;
+    } else if (arg == "--verb") {
+      const char* v = next();
+      if (!v) return false;
+      out->verb = v;
+    } else if (arg == "--top-k") {
+      const char* v = next();
+      if (!v) return false;
+      out->top_k = std::atoi(v);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      out->json_path = v;
+    } else {
+      std::cerr << "vdbload: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return out->verb == "query" || out->verb == "ping" || out->verb == "tree" ||
+         out->verb == "list" || out->verb == "mixed";
+}
+
+// One request, chosen deterministically from the verb mix.
+serve::Request MakeRequest(const Args& args, std::mt19937_64* rng,
+                           int video_count) {
+  std::string verb = args.verb;
+  if (verb == "mixed") {
+    uint64_t roll = (*rng)() % 100;
+    verb = roll < 70 ? "query" : roll < 85 ? "tree" : roll < 95 ? "ping"
+                                                                : "list";
+  }
+  serve::Request request;
+  if (verb == "query") {
+    request.verb = serve::Verb::kQuery;
+    std::uniform_real_distribution<double> ba(0.0, 200.0);
+    std::uniform_real_distribution<double> oa(0.0, 50.0);
+    request.query.var_ba = ba(*rng);
+    request.query.var_oa = oa(*rng);
+    request.query.top_k = args.top_k;
+  } else if (verb == "tree" && video_count > 0) {
+    request.verb = serve::Verb::kTree;
+    request.tree.video_id =
+        static_cast<int>((*rng)() % static_cast<uint64_t>(video_count));
+    request.tree.max_depth = 2;
+  } else if (verb == "list" || verb == "tree") {
+    request.verb = serve::Verb::kList;
+  } else {
+    request.verb = serve::Verb::kPing;
+    request.ping_token = "vdbload";
+  }
+  return request;
+}
+
+struct RunResult {
+  int threads = 0;
+  uint64_t requests = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  return sorted[rank - 1];
+}
+
+Result<RunResult> RunOnce(const Args& args, int num_threads,
+                          int video_count) {
+  constexpr int kWarmupRequests = 16;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(num_threads));
+  std::vector<Status> failures(static_cast<size_t>(num_threads));
+  std::vector<std::thread> workers;
+  // Connect and warm up everyone first; the timed window starts when the
+  // last thread is ready, so ramp-up never pollutes the percentiles.
+  std::promise<void> go;
+  std::shared_future<void> start = go.get_future().share();
+  std::atomic<int> ready{0};
+
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Result<serve::Client> client =
+          serve::Client::Connect(args.host, args.port);
+      if (!client.ok()) {
+        failures[static_cast<size_t>(t)] = client.status();
+        ready.fetch_add(1);
+        return;
+      }
+      std::mt19937_64 rng(0x5eed5eed + static_cast<uint64_t>(t) * 7919);
+      for (int i = 0; i < kWarmupRequests; ++i) {
+        Result<serve::Response> r =
+            client->Call(MakeRequest(args, &rng, video_count));
+        if (!r.ok() || !r->status.ok()) {
+          failures[static_cast<size_t>(t)] =
+              r.ok() ? r->status : r.status();
+          ready.fetch_add(1);
+          return;
+        }
+      }
+      ready.fetch_add(1);
+      start.wait();
+      std::vector<double>& out = latencies[static_cast<size_t>(t)];
+      out.reserve(static_cast<size_t>(args.requests_per_thread));
+      for (int i = 0; i < args.requests_per_thread; ++i) {
+        serve::Request request = MakeRequest(args, &rng, video_count);
+        Stopwatch timer;
+        Result<serve::Response> r = client->Call(request);
+        if (!r.ok() || !r->status.ok()) {
+          failures[static_cast<size_t>(t)] =
+              r.ok() ? r->status : r.status();
+          return;
+        }
+        out.push_back(timer.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+
+  while (ready.load() < num_threads) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stopwatch wall;
+  go.set_value();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  double wall_seconds = wall.ElapsedSeconds();
+
+  for (const Status& failure : failures) {
+    if (!failure.ok()) {
+      return failure;
+    }
+  }
+  std::vector<double> all;
+  for (const std::vector<double>& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  RunResult result;
+  result.threads = num_threads;
+  result.requests = all.size();
+  result.wall_seconds = wall_seconds;
+  result.qps = wall_seconds > 0
+                   ? static_cast<double>(all.size()) / wall_seconds
+                   : 0.0;
+  result.p50_us = Percentile(all, 0.50);
+  result.p95_us = Percentile(all, 0.95);
+  result.p99_us = Percentile(all, 0.99);
+  result.max_us = all.empty() ? 0.0 : all.back();
+  return result;
+}
+
+Status WriteJson(const Args& args, int videos, int indexed_shots,
+                 const std::vector<RunResult>& runs) {
+  std::ofstream out(args.json_path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot write " + args.json_path);
+  }
+  out << "{\n"
+      << "  \"bench\": \"serve\",\n"
+      << "  \"verb_mix\": \"" << args.verb << "\",\n"
+      << "  \"requests_per_thread\": " << args.requests_per_thread << ",\n"
+      << "  \"catalog_videos\": " << videos << ",\n"
+      << "  \"catalog_indexed_shots\": " << indexed_shots << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << StrFormat(
+        "    {\"threads\": %d, \"requests\": %llu, "
+        "\"wall_seconds\": %.4f, \"qps\": %.1f, \"p50_us\": %.1f, "
+        "\"p95_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f}%s\n",
+        r.threads, static_cast<unsigned long long>(r.requests),
+        r.wall_seconds, r.qps, r.p50_us, r.p95_us, r.p99_us, r.max_us,
+        i + 1 < runs.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+  return out ? Status::Ok() : Status::IoError("write " + args.json_path);
+}
+
+int Run(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+
+  // Probe the server once: fail fast if it is down, and learn the catalog
+  // shape for tree requests and the JSON header.
+  Result<serve::Client> probe = serve::Client::Connect(args.host, args.port);
+  if (!probe.ok()) {
+    return Fail(probe.status());
+  }
+  Result<serve::ListResponse> listed = probe->List();
+  if (!listed.ok()) {
+    return Fail(listed.status());
+  }
+  Result<serve::StatsResponse> stats = probe->Stats();
+  if (!stats.ok()) {
+    return Fail(stats.status());
+  }
+  probe->Close();
+  int video_count = static_cast<int>(listed->videos.size());
+  std::cout << "vdbload: " << args.host << ":" << args.port << " serving "
+            << video_count << " videos, " << stats->indexed_shots
+            << " indexed shots; verb mix '" << args.verb << "', "
+            << args.requests_per_thread << " requests/thread\n";
+
+  std::vector<RunResult> runs;
+  for (int num_threads : args.threads) {
+    Result<RunResult> run = RunOnce(args, num_threads, video_count);
+    if (!run.ok()) {
+      return Fail(run.status());
+    }
+    runs.push_back(*run);
+  }
+
+  TablePrinter table(
+      {"Threads", "Requests", "QPS", "p50 (us)", "p95 (us)", "p99 (us)",
+       "max (us)"});
+  for (const RunResult& r : runs) {
+    table.AddRow({StrFormat("%d", r.threads),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        r.requests)),
+                  FormatDouble(r.qps, 1), FormatDouble(r.p50_us, 1),
+                  FormatDouble(r.p95_us, 1), FormatDouble(r.p99_us, 1),
+                  FormatDouble(r.max_us, 1)});
+  }
+  table.Print(std::cout);
+
+  if (!args.json_path.empty()) {
+    Status written =
+        WriteJson(args, video_count, stats->indexed_shots, runs);
+    if (!written.ok()) {
+      return Fail(written);
+    }
+    std::cout << "vdbload: wrote " << args.json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main(int argc, char** argv) { return vdb::Run(argc, argv); }

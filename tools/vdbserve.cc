@@ -1,0 +1,149 @@
+// vdbserve — long-lived catalog query service.
+//
+//   vdbserve <catalog.vdbcat>... [options]
+//
+// Loads the catalogs into one in-memory VideoDatabase and serves
+// PING/STATS/QUERY/TREE/LIST/RELOAD over the VDBS wire protocol until
+// SIGINT/SIGTERM, then drains in-flight requests and exits. Pair with
+// vdbload for load generation and latency measurement.
+//
+// Options:
+//   --host <ip>            bind address            (default 127.0.0.1)
+//   --port <n>             port, 0 = ephemeral     (default 7311)
+//   --max-conn <n>         concurrent connections  (default 32)
+//   --read-timeout-ms <n>  per-connection read timeout   (default 60000)
+//   --write-timeout-ms <n> per-connection write timeout  (default 10000)
+//   --port-file <path>     write the bound port there (for scripts that
+//                          start with --port 0)
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: vdbserve <catalog.vdbcat>... [--host H] [--port N]\n"
+      "               [--max-conn N] [--read-timeout-ms N]\n"
+      "               [--write-timeout-ms N] [--port-file PATH]\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "vdbserve: error: " << status << "\n";
+  return 1;
+}
+
+// Parses "--flag value"-style options; anything else is a catalog path.
+struct Args {
+  serve::ServerOptions server;
+  std::vector<std::string> catalogs;
+  std::string port_file;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  out->server.port = 7311;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      out->server.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      out->server.port = std::atoi(v);
+    } else if (arg == "--max-conn") {
+      const char* v = next();
+      if (!v) return false;
+      out->server.max_connections = std::atoi(v);
+    } else if (arg == "--read-timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->server.read_timeout_ms = std::atoi(v);
+    } else if (arg == "--write-timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->server.write_timeout_ms = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return false;
+      out->port_file = v;
+    } else if (StartsWith(arg, "--")) {
+      std::cerr << "vdbserve: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      out->catalogs.push_back(std::move(arg));
+    }
+  }
+  return !out->catalogs.empty();
+}
+
+int Run(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+
+  // Block the shutdown signals in every thread the server will spawn, then
+  // wait for one synchronously: no async-signal-safety tightrope.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  serve::Server server(args.server);
+  Status started = server.Start(args.catalogs);
+  if (!started.ok()) {
+    return Fail(started);
+  }
+  std::shared_ptr<const VideoDatabase> db = server.snapshot();
+  std::cout << "vdbserve: serving " << db->video_count() << " videos ("
+            << db->index().size() << " indexed shots) on "
+            << args.server.host << ":" << server.port() << "\n"
+            << std::flush;
+  if (!args.port_file.empty()) {
+    std::ofstream out(args.port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      server.Stop();
+      return Fail(Status::IoError("cannot write " + args.port_file));
+    }
+  }
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::cout << "vdbserve: caught signal " << signal_number
+            << ", draining...\n";
+  server.Stop();
+
+  const serve::StatsResponse stats = server.metrics().Snapshot();
+  std::cout << "vdbserve: served " << stats.total_connections
+            << " connections (" << stats.rejected_busy << " busy-rejected, "
+            << stats.bad_frames << " bad frames)\n";
+  for (const serve::VerbStats& verb : stats.verbs) {
+    std::cout << StrFormat(
+        "  %-7s %8llu requests  %llu errors  p50 %.0fus  p99 %.0fus\n",
+        verb.verb.c_str(),
+        static_cast<unsigned long long>(verb.count),
+        static_cast<unsigned long long>(verb.errors), verb.p50_us,
+        verb.p99_us);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main(int argc, char** argv) { return vdb::Run(argc, argv); }

@@ -49,7 +49,11 @@ int Usage() {
       "  vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...\n"
       "  vdbtool browse <clip.vdb> [child.child...]\n"
       "  vdbtool export-frame <clip.vdb> <frame#> <out.ppm>\n"
-      "  vdbtool presets\n";
+      "  vdbtool presets\n"
+      "serving a catalog (separate tools):\n"
+      "  vdbserve <catalog.vdbcat>... --port N   long-lived query service\n"
+      "  vdbload --port N                        load generator / latency "
+      "bench\n";
   return 2;
 }
 
@@ -277,9 +281,23 @@ int CmdExportFrame(const std::string& path, int frame_no,
   return 0;
 }
 
+bool KnownCommand(const std::string& cmd) {
+  static const char* const kCommands[] = {
+      "presets", "synth",    "info",   "analyze",      "catalog",
+      "tree",    "query",    "classify", "browse",     "export-frame",
+  };
+  for (const char* known : kCommands) {
+    if (cmd == known) return true;
+  }
+  return false;
+}
+
 int Run(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return Usage();
+  if (args.empty()) {
+    std::cerr << "vdbtool: missing command\n";
+    return Usage();
+  }
   const std::string& cmd = args[0];
 
   if (cmd == "presets") return CmdPresets();
@@ -324,6 +342,13 @@ int Run(int argc, char** argv) {
   }
   if (cmd == "export-frame" && args.size() == 4) {
     return CmdExportFrame(args[1], std::atoi(args[2].c_str()), args[3]);
+  }
+  // Name the failure: an unrecognised command and a known command with the
+  // wrong arity used to fall through to the same silent usage dump.
+  if (!KnownCommand(cmd)) {
+    std::cerr << "vdbtool: unknown command '" << cmd << "'\n";
+  } else {
+    std::cerr << "vdbtool: wrong arguments for '" << cmd << "'\n";
   }
   return Usage();
 }
