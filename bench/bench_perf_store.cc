@@ -1,0 +1,149 @@
+// Cold-open latency of the two catalog persistence formats: the monolithic
+// .vdbcat file (core/catalog_io.h) vs. the segmented crash-safe store
+// (store/catalog_store.h), both holding the 22 Table-5 presets. The store
+// pays one extra manifest read plus a per-segment checksum pass, so the
+// interesting question is how much generation bookkeeping costs on the
+// read path. BM_IncrementalPublish measures the store's write-path win:
+// republishing 22 videos with one change rewrites one segment, not 22.
+//
+// JSON alongside the other perf benches:
+//   ./bench_perf_store --benchmark_format=json
+//   ./bench_perf_store --benchmark_out=store.json --benchmark_out_format=json
+// VDB_STORE_SCALE (0, 1] scales the storyboards (default 0.03).
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+#include "store/catalog_store.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/fs.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+// The 22 Table-5 presets ingested once, plus both on-disk forms saved under
+// a per-process scratch directory so concurrent bench runs cannot collide.
+struct Fixture {
+  std::unique_ptr<VideoDatabase> db;
+  std::string catalog_path;  // monolithic .vdbcat
+  std::string store_dir;     // segmented store directory
+  int64_t total_shots = 0;
+};
+
+const Fixture& SavedCatalogs() {
+  static const Fixture* fixture = [] {
+    double scale = bench::EnvScale("VDB_STORE_SCALE", 0.03);
+    auto* f = new Fixture();
+    f->db = std::make_unique<VideoDatabase>();
+    std::vector<Video> videos;
+    for (const ClipProfile& profile : Table5Profiles()) {
+      Storyboard board = MakeStoryboardFromProfile(profile, scale, 3);
+      SyntheticVideo sv =
+          bench::OrDie(RenderStoryboard(board), "render preset");
+      videos.push_back(std::move(sv.video));
+    }
+    BatchIngestResult r = f->db->IngestBatch(videos, IngestOptions{});
+    if (!r.ok()) bench::OrDie(Result<int>(r.first_error), "ingest presets");
+    for (int id = 0; id < f->db->video_count(); ++id) {
+      const CatalogEntry* entry =
+          bench::OrDie(f->db->GetEntry(id), "get entry");
+      f->total_shots += static_cast<int64_t>(entry->shots.size());
+    }
+
+    std::string scratch =
+        StrFormat("/tmp/vdb_bench_store_%d", static_cast<int>(getpid()));
+    Status made = CreateDirIfMissing(scratch);
+    if (!made.ok()) bench::OrDie(Result<int>(made), "create scratch dir");
+    f->catalog_path = scratch + "/table5.vdbcat";
+    f->store_dir = scratch + "/table5.store";
+    Status saved = SaveCatalog(*f->db, f->catalog_path);
+    if (!saved.ok()) bench::OrDie(Result<int>(saved), "save catalog");
+    store::CatalogStore store(f->store_dir);
+    bench::OrDie(store.Save(*f->db), "save store");
+    return f;
+  }();
+  return *fixture;
+}
+
+void ReportShots(benchmark::State& state) {
+  const Fixture& f = SavedCatalogs();
+  state.SetItemsProcessed(state.iterations() * f.total_shots);
+  state.counters["videos"] = static_cast<double>(f.db->video_count());
+}
+
+// Cold open of the monolithic catalog: one read, one checksum, 22 decodes.
+void BM_ColdOpenMonolithic(benchmark::State& state) {
+  const Fixture& f = SavedCatalogs();
+  for (auto _ : state) {
+    VideoDatabase db;
+    Status status = LoadCatalog(f.catalog_path, &db);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    benchmark::DoNotOptimize(db.video_count());
+  }
+  ReportShots(state);
+}
+BENCHMARK(BM_ColdOpenMonolithic)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Cold open of the segmented store: manifest walk + 22 segment reads, each
+// with its own checksum verification.
+void BM_ColdOpenStore(benchmark::State& state) {
+  const Fixture& f = SavedCatalogs();
+  for (auto _ : state) {
+    store::CatalogStore store(f.store_dir);
+    Result<std::unique_ptr<VideoDatabase>> db = store.Open();
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    benchmark::DoNotOptimize((*db)->video_count());
+  }
+  ReportShots(state);
+}
+BENCHMARK(BM_ColdOpenStore)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Republish after touching one video's classification: the monolithic file
+// rewrites everything; the store writes one segment plus a manifest. Each
+// iteration alternates the tag so every Save really publishes a change.
+void BM_IncrementalPublish(benchmark::State& state) {
+  const Fixture& f = SavedCatalogs();
+  std::string dir =
+      StrFormat("/tmp/vdb_bench_store_pub_%d", static_cast<int>(getpid()));
+  VideoDatabase db;
+  for (int id = 0; id < f.db->video_count(); ++id) {
+    const CatalogEntry* entry = bench::OrDie(f.db->GetEntry(id), "get entry");
+    Result<int> copied = db.Restore(*entry);
+    if (!copied.ok()) state.SkipWithError(copied.status().ToString().c_str());
+  }
+  store::CatalogStore store(dir);
+  Result<store::SaveStats> base = store.Save(db);
+  if (!base.ok()) state.SkipWithError(base.status().ToString().c_str());
+  uint64_t toggle = 0;
+  for (auto _ : state) {
+    VideoClassification tag;
+    tag.genre_ids = {static_cast<int>(1 + (toggle++ & 1))};
+    tag.form_id = 0;
+    Status tagged = db.SetClassification(0, tag);
+    if (!tagged.ok()) state.SkipWithError(tagged.ToString().c_str());
+    Result<store::SaveStats> stats = store.Save(db);
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    if (stats.ok() && stats->segments_written != 1) {
+      state.SkipWithError("expected exactly one segment rewritten");
+    }
+    benchmark::DoNotOptimize(stats->generation);
+  }
+  state.counters["segments_per_publish"] = 1;
+}
+BENCHMARK(BM_IncrementalPublish)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

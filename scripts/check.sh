@@ -35,20 +35,22 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build --output-on-failure -j "$JOBS"
       ;;
     asan)
-      # ASan watches the parsing-heavy suites: the wire/catalog decoders
-      # chew on truncated and bit-flipped input, where an over-read hides.
-      banner "asan build + serve/concurrency suites"
+      # ASan watches the parsing-heavy suites: the wire/catalog/segment
+      # decoders chew on truncated and bit-flipped input, where an
+      # over-read hides.
+      banner "asan build + serve/concurrency/store suites"
       configure_and_build build-asan address
       ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency'
+        -L 'serve|concurrency|store'
       ;;
     tsan)
       # TSan watches the threaded suites: thread pool, concurrent ingest,
-      # and the server's snapshot swaps under concurrent clients.
-      banner "tsan build + serve/concurrency suites"
+      # and the server's snapshot swaps under concurrent clients — now
+      # including store-backed reloads racing live readers.
+      banner "tsan build + serve/concurrency/store suites"
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency'
+        -L 'serve|concurrency|store'
       ;;
     *)
       echo "check.sh: unknown stage '$stage' (want plain, asan, tsan)" >&2

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "util/binary_io.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 #include "video/video_io.h"
 
@@ -29,7 +30,9 @@ Result<PixelRGB> GetPixel(BinaryReader* r, const char* what) {
   return PixelRGB(red, green, blue);
 }
 
-void SerializeEntry(const CatalogEntry& entry, BinaryWriter* w) {
+}  // namespace
+
+void SerializeCatalogEntry(const CatalogEntry& entry, BinaryWriter* w) {
   w->PutString(entry.name);
   w->PutU32(static_cast<uint32_t>(entry.classification.genre_ids.size()));
   for (int g : entry.classification.genre_ids) {
@@ -77,7 +80,7 @@ void SerializeEntry(const CatalogEntry& entry, BinaryWriter* w) {
   }
 }
 
-Result<CatalogEntry> DeserializeEntry(BinaryReader* r) {
+Result<CatalogEntry> DeserializeCatalogEntry(BinaryReader* r) {
   CatalogEntry entry;
   VDB_ASSIGN_OR_RETURN(entry.name, r->GetString("video name", 1 << 16));
   VDB_ASSIGN_OR_RETURN(uint32_t genre_count, r->GetU32("genre count"));
@@ -173,32 +176,26 @@ Result<CatalogEntry> DeserializeEntry(BinaryReader* r) {
   return entry;
 }
 
-}  // namespace
-
 Status SaveCatalog(const VideoDatabase& db, const std::string& path) {
   BinaryWriter payload;
   payload.PutU32(static_cast<uint32_t>(db.video_count()));
   for (int id = 0; id < db.video_count(); ++id) {
     VDB_ASSIGN_OR_RETURN(const CatalogEntry* entry, db.GetEntry(id));
-    SerializeEntry(*entry, &payload);
+    SerializeCatalogEntry(*entry, &payload);
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
   const std::string& body = payload.buffer();
+  std::string file;
+  file.reserve(sizeof(kMagic) + 4 + body.size());
+  file.append(kMagic, sizeof(kMagic));
   BinaryWriter header;
   header.PutU32(Fnv1a32(reinterpret_cast<const uint8_t*>(body.data()),
                         body.size()));
-  out.write(kMagic, sizeof(kMagic));
-  out.write(header.buffer().data(),
-            static_cast<std::streamsize>(header.buffer().size()));
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  if (!out) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::Ok();
+  file += header.buffer();
+  file += body;
+  // Temp + fsync + rename: a crash mid-save can no longer destroy the only
+  // copy of the catalog — readers see the old file or the complete new one.
+  return WriteFileAtomic(path, file, /*hook=*/nullptr, "catalog");
 }
 
 Status LoadCatalog(const std::string& path, VideoDatabase* db) {
@@ -240,7 +237,7 @@ Status LoadCatalog(const std::string& path, VideoDatabase* db) {
         StrFormat("implausible video count %u", video_count));
   }
   for (uint32_t v = 0; v < video_count; ++v) {
-    VDB_ASSIGN_OR_RETURN(CatalogEntry entry, DeserializeEntry(&r));
+    VDB_ASSIGN_OR_RETURN(CatalogEntry entry, DeserializeCatalogEntry(&r));
     VDB_RETURN_IF_ERROR(db->Restore(std::move(entry)).status());
   }
   if (!r.AtEnd()) {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/video_database.h"
+#include "util/binary_io.h"
 #include "util/result.h"
 
 namespace vdb {
@@ -22,11 +23,24 @@ namespace vdb {
 // Format: magic "VDBCAT01", FNV-1a checksum of the payload, then the
 // payload (little-endian, length-prefixed strings). Any truncation or bit
 // flip surfaces as kCorruption.
+//
+// SaveCatalog publishes atomically (temp file + fsync + rename), so a crash
+// mid-save leaves either the previous catalog or the complete new one on
+// disk — never a torn file. For a segmented, incrementally-publishable
+// alternative see store/catalog_store.h, which shares the entry codec
+// below.
 
 Status SaveCatalog(const VideoDatabase& db, const std::string& path);
 
 // Loads a catalog into `db`, which must be empty.
 Status LoadCatalog(const std::string& path, VideoDatabase* db);
+
+// The per-video entry codec, shared by the monolithic catalog above and
+// the segmented store (store/catalog_store.h): one entry's name, tags,
+// signs, shots, features, SBD statistics and scene tree. Deserialization
+// validates internal consistency and returns kCorruption on any mismatch.
+void SerializeCatalogEntry(const CatalogEntry& entry, BinaryWriter* w);
+Result<CatalogEntry> DeserializeCatalogEntry(BinaryReader* r);
 
 }  // namespace vdb
 

@@ -90,6 +90,22 @@ void ServerMetrics::OnBadFrame() {
   bad_frames_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServerMetrics::OnReloadResult(bool ok) {
+  (ok ? reloads_ok_ : reload_failures_)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::OnGenerationsSkipped(int skipped) {
+  if (skipped > 0) {
+    reload_failures_.fetch_add(static_cast<uint64_t>(skipped),
+                               std::memory_order_relaxed);
+  }
+}
+
+void ServerMetrics::SetStoreGeneration(uint64_t generation) {
+  store_generation_.store(generation, std::memory_order_relaxed);
+}
+
 void ServerMetrics::OnRequest(Verb verb, bool ok, double latency_us) {
   PerVerb& row = verbs_[static_cast<size_t>(verb)];
   row.count.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +123,9 @@ StatsResponse ServerMetrics::Snapshot() const {
       active_connections_.load(std::memory_order_relaxed);
   stats.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
   stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  stats.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
+  stats.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  stats.store_generation = store_generation_.load(std::memory_order_relaxed);
   for (int v = 0; v < kNumVerbs; ++v) {
     const PerVerb& row = verbs_[static_cast<size_t>(v)];
     uint64_t count = row.count.load(std::memory_order_relaxed);

@@ -64,6 +64,13 @@ class ServerMetrics {
   void OnBadFrame();
   // One request of `verb` finished (ok or not) in `latency_us`.
   void OnRequest(Verb verb, bool ok, double latency_us);
+  // One catalog (re)load finished; `ok` means the snapshot was swapped.
+  void OnReloadResult(bool ok);
+  // A store open skipped `skipped` corrupt generations before succeeding;
+  // each counts as a reload failure even though serving continued.
+  void OnGenerationsSkipped(int skipped);
+  // The store generation now being served (0 for monolithic catalogs).
+  void SetStoreGeneration(uint64_t generation);
 
   uint64_t active_connections() const {
     return active_connections_.load(std::memory_order_relaxed);
@@ -84,6 +91,9 @@ class ServerMetrics {
   std::atomic<uint64_t> active_connections_{0};
   std::atomic<uint64_t> rejected_busy_{0};
   std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> reloads_ok_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> store_generation_{0};
   std::array<PerVerb, kNumVerbs> verbs_;
 };
 

@@ -5,6 +5,8 @@
 
 #include "core/catalog_io.h"
 #include "serve/net.h"
+#include "store/catalog_store.h"
+#include "util/fs.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -28,22 +30,44 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
 
-Result<std::shared_ptr<const VideoDatabase>> Server::LoadCatalogs(
+Result<Server::LoadedSnapshot> Server::LoadCatalogs(
     const std::vector<std::string>& paths) {
   if (paths.empty()) {
     return Status::InvalidArgument("no catalog paths to load");
   }
+  LoadedSnapshot snapshot;
+  if (paths.size() == 1 && IsDirectory(paths[0])) {
+    // The common store-backed deployment: serve the newest loadable
+    // generation directly, without copying any entry.
+    store::CatalogStore catalog_store(paths[0]);
+    store::OpenStats open_stats;
+    VDB_ASSIGN_OR_RETURN(std::unique_ptr<VideoDatabase> opened,
+                         catalog_store.Open(&open_stats));
+    snapshot.db = std::shared_ptr<const VideoDatabase>(std::move(opened));
+    snapshot.store_generation = open_stats.generation;
+    snapshot.generations_skipped = open_stats.generations_skipped;
+    return snapshot;
+  }
   auto db = std::make_shared<VideoDatabase>();
   if (paths.size() == 1) {
     VDB_RETURN_IF_ERROR(LoadCatalog(paths[0], db.get()));
-    return std::shared_ptr<const VideoDatabase>(db);
+    snapshot.db = std::move(db);
+    return snapshot;
   }
   // Several catalogs merge into one database: each loads into a scratch
   // database, then its entries are re-installed in path order, so video ids
   // are dense and deterministic across restarts.
   for (const std::string& path : paths) {
     VideoDatabase scratch;
-    VDB_RETURN_IF_ERROR(LoadCatalog(path, &scratch));
+    if (IsDirectory(path)) {
+      store::OpenStats open_stats;
+      VDB_RETURN_IF_ERROR(
+          store::OpenDatabaseFromStore(path, &scratch, &open_stats));
+      snapshot.store_generation = open_stats.generation;
+      snapshot.generations_skipped += open_stats.generations_skipped;
+    } else {
+      VDB_RETURN_IF_ERROR(LoadCatalog(path, &scratch));
+    }
     for (int id = 0; id < scratch.video_count(); ++id) {
       CatalogEntry copy = *scratch.GetEntry(id).value();
       Result<int> restored = db->Restore(std::move(copy));
@@ -52,7 +76,8 @@ Result<std::shared_ptr<const VideoDatabase>> Server::LoadCatalogs(
       }
     }
   }
-  return std::shared_ptr<const VideoDatabase>(db);
+  snapshot.db = std::move(db);
+  return snapshot;
 }
 
 Status Server::Start(std::vector<std::string> catalog_paths) {
@@ -62,8 +87,7 @@ Status Server::Start(std::vector<std::string> catalog_paths) {
   if (options_.max_connections < 1) {
     return Status::InvalidArgument("max_connections must be >= 1");
   }
-  VDB_ASSIGN_OR_RETURN(std::shared_ptr<const VideoDatabase> db,
-                       LoadCatalogs(catalog_paths));
+  VDB_ASSIGN_OR_RETURN(LoadedSnapshot loaded, LoadCatalogs(catalog_paths));
   VDB_ASSIGN_OR_RETURN(
       int listen_fd,
       ListenTcp(options_.host, options_.port, options_.backlog));
@@ -72,9 +96,11 @@ Status Server::Start(std::vector<std::string> catalog_paths) {
     CloseFd(listen_fd);
     return port.status();
   }
+  metrics_.SetStoreGeneration(loaded.store_generation);
+  metrics_.OnGenerationsSkipped(loaded.generations_skipped);
   {
     std::lock_guard<std::mutex> lock(db_mu_);
-    db_ = std::move(db);
+    db_ = std::move(loaded.db);
     catalog_paths_ = std::move(catalog_paths);
   }
   listen_fd_ = listen_fd;
@@ -377,13 +403,21 @@ Status Server::Reload(const std::string& path, ReloadResponse* out) {
     paths = path.empty() ? catalog_paths_
                          : std::vector<std::string>{path};
   }
-  VDB_ASSIGN_OR_RETURN(std::shared_ptr<const VideoDatabase> fresh,
-                       LoadCatalogs(paths));
-  out->videos = fresh->video_count();
-  out->indexed_shots = fresh->index().size();
+  Result<LoadedSnapshot> fresh = LoadCatalogs(paths);
+  if (!fresh.ok()) {
+    // The failed load never touches db_: clients keep querying the current
+    // snapshot, and the failure is visible in STATS.
+    metrics_.OnReloadResult(false);
+    return fresh.status();
+  }
+  metrics_.OnReloadResult(true);
+  metrics_.OnGenerationsSkipped(fresh->generations_skipped);
+  metrics_.SetStoreGeneration(fresh->store_generation);
+  out->videos = fresh->db->video_count();
+  out->indexed_shots = fresh->db->index().size();
   {
     std::lock_guard<std::mutex> lock(db_mu_);
-    db_ = std::move(fresh);
+    db_ = std::move(fresh->db);
     catalog_paths_ = std::move(paths);
   }
   return Status::Ok();

@@ -39,6 +39,13 @@ struct ServerOptions {
 // VideoDatabase and serves PING/STATS/QUERY/TREE/LIST/RELOAD over the wire
 // protocol (serve/wire.h) on a TCP socket.
 //
+// A catalog path that is a *directory* is opened as a segmented store
+// (store/catalog_store.h): the newest fully-verifying generation is served,
+// falling back generation by generation past corruption; each skipped
+// generation counts toward the reload_failures metric and the served
+// generation is surfaced by STATS. RELOAD against a store directory picks
+// up whatever generation a concurrent `vdbtool store-save` published.
+//
 // Threading: one acceptor thread plus a ThreadPool of max_connections
 // handler threads; each live connection occupies one handler for its
 // lifetime and runs a blocking read-dispatch-write loop.
@@ -83,8 +90,18 @@ class Server {
   Response Dispatch(const Request& request);
 
  private:
-  // Loads `paths` into one fresh database.
-  static Result<std::shared_ptr<const VideoDatabase>> LoadCatalogs(
+  struct LoadedSnapshot {
+    std::shared_ptr<const VideoDatabase> db;
+    // Of the newest store directory among the paths; 0 when every path is
+    // a monolithic catalog file.
+    uint64_t store_generation = 0;
+    // Corrupt newer store generations skipped while loading.
+    int generations_skipped = 0;
+  };
+
+  // Loads `paths` (catalog files and/or store directories) into one fresh
+  // database.
+  static Result<LoadedSnapshot> LoadCatalogs(
       const std::vector<std::string>& paths);
 
   void AcceptLoop();

@@ -182,6 +182,9 @@ std::string EncodeResponsePayload(const Response& response) {
       w.PutU64(s.active_connections);
       w.PutU64(s.rejected_busy);
       w.PutU64(s.bad_frames);
+      w.PutU64(s.reloads_ok);
+      w.PutU64(s.reload_failures);
+      w.PutU64(s.store_generation);
       w.PutI32(s.videos);
       w.PutI32(s.indexed_shots);
       w.PutU32(static_cast<uint32_t>(s.verbs.size()));
@@ -418,6 +421,9 @@ Result<Response> DecodeResponse(const FrameHeader& header,
                            r.GetU64("active connections"));
       VDB_ASSIGN_OR_RETURN(s.rejected_busy, r.GetU64("rejected busy"));
       VDB_ASSIGN_OR_RETURN(s.bad_frames, r.GetU64("bad frames"));
+      VDB_ASSIGN_OR_RETURN(s.reloads_ok, r.GetU64("reloads ok"));
+      VDB_ASSIGN_OR_RETURN(s.reload_failures, r.GetU64("reload failures"));
+      VDB_ASSIGN_OR_RETURN(s.store_generation, r.GetU64("store generation"));
       VDB_ASSIGN_OR_RETURN(s.videos, r.GetI32("stats videos"));
       VDB_ASSIGN_OR_RETURN(s.indexed_shots, r.GetI32("stats shots"));
       VDB_ASSIGN_OR_RETURN(int rows, GetCount(&r, "verb rows", kMaxVerbRows));

@@ -189,6 +189,12 @@ struct StatsResponse {
   uint64_t active_connections = 0;
   uint64_t rejected_busy = 0;
   uint64_t bad_frames = 0;
+  // Catalog reload health: successful RELOADs, failed RELOADs plus store
+  // generations skipped as corrupt, and the store generation currently
+  // served (0 when the catalogs are monolithic files, not a store).
+  uint64_t reloads_ok = 0;
+  uint64_t reload_failures = 0;
+  uint64_t store_generation = 0;
   int videos = 0;
   int indexed_shots = 0;
   std::vector<VerbStats> verbs;

@@ -1,0 +1,133 @@
+#ifndef VDB_STORE_CATALOG_STORE_H_
+#define VDB_STORE_CATALOG_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/video_database.h"
+#include "util/fs.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace store {
+
+// A segmented, generation-versioned, crash-safe catalog store: the durable
+// substrate behind "large video database" catalogs that a single monolithic
+// .vdbcat file cannot grow into.
+//
+// Layout of a store directory:
+//
+//   <dir>/seg-<fnv64><size>.seg   one checksummed segment per video entry
+//   <dir>/MANIFEST-<generation>   the list of live segments, in id order
+//   <dir>/*.tmp                   in-flight publishes (ignored by readers)
+//
+// A segment holds one serialized CatalogEntry (the catalog_io entry codec)
+// behind a magic + FNV-1a checksum header, and is *content-addressed*: its
+// file name is derived from the FNV-1a64 hash and size of its payload, so
+// an unchanged video re-saves as a pure manifest reference with no byte of
+// segment I/O. A manifest lists, per video: its name, segment file, payload
+// size and FNV-1a checksum, all behind its own checksummed header.
+//
+// Publish protocol (Save): every new segment is written to a temp file,
+// fsynced, renamed into place, and the directory synced; only then is
+// MANIFEST-<N+1> published the same way. A reader therefore always sees
+// either generation N or generation N+1 — a crash at any point leaves at
+// worst orphan segments and temp files that the next Compact() collects,
+// and never touches the segments generation N references.
+//
+// Open walks the manifests newest-first and returns the first generation
+// that loads and verifies completely, so a corrupt newest generation
+// (torn manifest, flipped segment bit) silently falls back to the previous
+// one; the fallback is reported in OpenStats for the serving layer's
+// reload_failures metric.
+
+// One live segment as listed by a manifest.
+struct SegmentRef {
+  std::string video_name;
+  std::string file;               // name within the store directory
+  uint64_t payload_size = 0;      // serialized entry bytes
+  uint32_t payload_checksum = 0;  // FNV-1a32 of the payload
+};
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::vector<SegmentRef> segments;  // in video-id order
+};
+
+struct SaveStats {
+  uint64_t generation = 0;  // the generation this Save published
+  int segments_written = 0;
+  int segments_reused = 0;  // carried over from the previous generation
+};
+
+struct OpenStats {
+  uint64_t generation = 0;      // the generation actually opened
+  int generations_skipped = 0;  // newer generations that failed to load
+  Status skipped_error;         // the newest skipped generation's failure
+};
+
+struct CompactStats {
+  uint64_t kept_generation = 0;
+  int removed_files = 0;  // old manifests, orphan segments, temp files
+};
+
+struct StoreOptions {
+  // Options for databases built by Open.
+  VideoDatabaseOptions database;
+
+  // Test-only crash injection: consulted before every durability-relevant
+  // file operation of a Save (see util/fs.h). Never set in production.
+  FaultHook fault_hook;
+};
+
+class CatalogStore {
+ public:
+  explicit CatalogStore(std::string dir, StoreOptions options = {});
+
+  // Publishes `db` as the next generation. Incremental: only segments whose
+  // content is not already live in the current generation are written; the
+  // rest are carried over by reference. Creates the directory if missing.
+  Result<SaveStats> Save(const VideoDatabase& db);
+
+  // Loads the newest generation that verifies completely (every manifest
+  // and segment checksum) into a fresh database. Falls back generation by
+  // generation past corruption; fails only when no generation loads.
+  Result<std::unique_ptr<VideoDatabase>> Open(OpenStats* stats = nullptr) const;
+
+  // The newest parseable manifest, without reading any segment.
+  Result<Manifest> CurrentManifest() const;
+
+  // Garbage-collects everything the newest *loadable* generation does not
+  // reference: manifests of older (and corrupt newer) generations, orphan
+  // segments from abandoned publishes, and leftover temp files. Verifies
+  // that generation loads end-to-end before deleting anything.
+  Result<CompactStats> Compact();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  // All MANIFEST-* generations present in the directory, newest first.
+  Result<std::vector<uint64_t>> ListGenerations() const;
+  Result<Manifest> LoadManifest(uint64_t generation) const;
+  // Full verify-and-load of one generation.
+  Result<std::unique_ptr<VideoDatabase>> LoadGeneration(
+      const Manifest& manifest) const;
+
+  std::string dir_;
+  StoreOptions options_;
+};
+
+// The VideoDatabase's store-backed persistence paths (thin wrappers used
+// by vdbtool and the examples; the server drives CatalogStore directly).
+Status SaveDatabaseToStore(const VideoDatabase& db, const std::string& dir,
+                           SaveStats* stats = nullptr);
+// `db` must be empty; on success it holds the opened generation.
+Status OpenDatabaseFromStore(const std::string& dir, VideoDatabase* db,
+                             OpenStats* stats = nullptr);
+
+}  // namespace store
+}  // namespace vdb
+
+#endif  // VDB_STORE_CATALOG_STORE_H_

@@ -1,0 +1,181 @@
+#include "util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IoError(
+      StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+// True when the hook (if any) lets the labelled operation proceed.
+bool Proceed(const FaultHook& hook, const std::string& prefix,
+             const char* step) {
+  return !hook || hook(prefix + ":" + step);
+}
+
+Status SimulatedCrash(const std::string& prefix, const char* step) {
+  return Status::IoError("simulated crash at " + prefix + ":" + step);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const FaultHook& hook,
+                       const std::string& point_prefix) {
+  const std::string tmp = path + ".tmp";
+  if (!Proceed(hook, point_prefix, "write")) {
+    return SimulatedCrash(point_prefix, "write");
+  }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Errno("open", tmp);
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written,
+                        contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (!Proceed(hook, point_prefix, "fsync")) {
+    ::close(fd);
+    return SimulatedCrash(point_prefix, "fsync");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    return Errno("close", tmp);
+  }
+  if (!Proceed(hook, point_prefix, "rename")) {
+    return SimulatedCrash(point_prefix, "rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  if (!Proceed(hook, point_prefix, "dirsync")) {
+    return SimulatedCrash(point_prefix, "dirsync");
+  }
+  return SyncDir(DirName(path));
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such directory: " + dir);
+    }
+    return Errno("opendir", dir);
+  }
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    struct dirent* entry = ::readdir(d);
+    if (entry == nullptr) {
+      if (errno != 0) {
+        ::closedir(d);
+        return Errno("readdir", dir);
+      }
+      break;
+    }
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  return names;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status CreateDirIfMissing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Errno("mkdir", dir);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) {
+    return Status::Ok();
+  }
+  return Errno("unlink", path);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Errno("open dir", dir);
+  }
+  // Some filesystems refuse fsync on directories; treat EINVAL as "nothing
+  // to do" the way other stores do.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    ::close(fd);
+    return Errno("fsync dir", dir);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+}  // namespace vdb

@@ -1,0 +1,60 @@
+#ifndef VDB_UTIL_FS_H_
+#define VDB_UTIL_FS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace vdb {
+
+// Filesystem helpers for the durable stores (core/catalog_io, store/).
+// Everything returns Status/Result like the rest of the library; the one
+// novelty is the fault hook, which lets a test simulate a crash at every
+// durability-relevant point of an atomic publish.
+
+// Invoked immediately *before* each durability-relevant operation with a
+// label like "segment:write" or "manifest:rename". Returning false aborts
+// the enclosing publish right there with kIoError, leaving the on-disk
+// state exactly as a process crash at that instant would: earlier
+// operations are done (and synced), the labelled one and everything after
+// it never happen. A null hook means "never crash".
+using FaultHook = std::function<bool(std::string_view point)>;
+
+// Reads a whole file. kNotFound if it does not exist, kIoError otherwise.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Crash-safe file publish: writes `path + ".tmp"`, fsyncs it, renames it
+// over `path`, then fsyncs the parent directory so the rename itself is
+// durable. After a crash at any point, `path` holds either its previous
+// contents (or absence) or the complete new contents — never a torn mix.
+//
+// `hook` (see FaultHook) is consulted before each step with the labels
+// "<point_prefix>:write", ":fsync", ":rename", ":dirsync".
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const FaultHook& hook = nullptr,
+                       const std::string& point_prefix = "file");
+
+// Names (not paths) of the entries in `dir`, excluding "." and "..".
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+bool FileExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+
+// mkdir -p, one level (the stores only ever need one).
+Status CreateDirIfMissing(const std::string& dir);
+
+// unlink; removing a file that is already gone is OK.
+Status RemoveFileIfExists(const std::string& path);
+
+// fsyncs a directory so completed renames/unlinks inside it are durable.
+Status SyncDir(const std::string& dir);
+
+// The directory part of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_FS_H_

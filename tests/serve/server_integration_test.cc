@@ -21,8 +21,10 @@
 #include "serve/client.h"
 #include "serve/net.h"
 #include "serve/server.h"
+#include "store/catalog_store.h"
 #include "synth/presets.h"
 #include "tests/support/render_cache.h"
+#include "util/fs.h"
 
 namespace vdb {
 namespace serve {
@@ -73,6 +75,28 @@ class ServerIntegrationTest : public testing::Test {
   }
   static std::string SoloPath() {
     return TempPath("serve_solo_" + std::to_string(getpid()) + ".vdbcat");
+  }
+  static std::string StorePath() {
+    return TempPath("serve_store_" + std::to_string(getpid()));
+  }
+
+  // A database holding only the primary catalog's first video — the solo
+  // content, rebuilt in memory for store publishes.
+  static std::unique_ptr<VideoDatabase> SoloDatabase() {
+    auto solo = std::make_unique<VideoDatabase>();
+    CatalogEntry copy = *direct_->GetEntry(0).value();
+    EXPECT_TRUE(solo->Restore(std::move(copy)).ok());
+    return solo;
+  }
+
+  static void WipeStore() {
+    Result<std::vector<std::string>> names = ListDir(StorePath());
+    if (names.ok()) {
+      for (const std::string& name : *names) {
+        std::remove((StorePath() + "/" + name).c_str());
+      }
+      ::rmdir(StorePath().c_str());
+    }
   }
 
   // Starts a server over the primary catalog on an ephemeral port.
@@ -395,6 +419,164 @@ TEST_F(ServerIntegrationTest, ConcurrentClientsThroughReloads) {
   for (std::thread& reader : readers) {
     reader.join();
   }
+}
+
+// Serving straight from a store directory: STATS reports the generation,
+// and RELOAD picks up a generation published while the server runs.
+TEST_F(ServerIntegrationTest, StoreBackedServingAndReload) {
+  WipeStore();
+  store::CatalogStore catalog_store(StorePath());
+  ASSERT_TRUE(catalog_store.Save(*SoloDatabase()).ok());
+
+  Server server;
+  Status started = server.Start({StorePath()});
+  ASSERT_TRUE(started.ok()) << started;
+  Client client = Connect(server);
+  EXPECT_EQ(client.List().value().videos.size(), 1u);
+
+  Result<StatsResponse> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->store_generation, 1u);
+  EXPECT_EQ(stats->reloads_ok, 0u);
+  EXPECT_EQ(stats->reload_failures, 0u);
+
+  // Publish generation 2 (both videos) behind the running server; an empty
+  // RELOAD re-opens the store and serves it.
+  ASSERT_TRUE(catalog_store.Save(*direct_).ok());
+  Result<ReloadResponse> swapped = client.Reload();
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(swapped->videos, 2);
+  EXPECT_EQ(client.List().value().videos.size(), 2u);
+
+  stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->store_generation, 2u);
+  EXPECT_EQ(stats->reloads_ok, 1u);
+  EXPECT_EQ(stats->reload_failures, 0u);
+  WipeStore();
+}
+
+// A corrupt newest generation: RELOAD succeeds on the fallback generation
+// and the skip is charged to reload_failures.
+TEST_F(ServerIntegrationTest, StoreReloadFallsBackPastCorruptGeneration) {
+  WipeStore();
+  store::CatalogStore catalog_store(StorePath());
+  ASSERT_TRUE(catalog_store.Save(*direct_).ok());
+
+  Server server;
+  ASSERT_TRUE(server.Start({StorePath()}).ok());
+  Client client = Connect(server);
+  EXPECT_EQ(client.List().value().videos.size(), 2u);
+
+  // Generation 2 goes out half-written: its manifest is torn mid-file.
+  ASSERT_TRUE(catalog_store.Save(*SoloDatabase()).ok());
+  {
+    std::string manifest = StorePath() + "/MANIFEST-000002";
+    Result<std::string> contents = ReadFileToString(manifest);
+    ASSERT_TRUE(contents.ok()) << contents.status();
+    ASSERT_TRUE(WriteFileAtomic(manifest,
+                                contents->substr(0, contents->size() / 2))
+                    .ok());
+  }
+
+  Result<ReloadResponse> swapped = client.Reload();
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(swapped->videos, 2);  // generation 1 content
+  Result<StatsResponse> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->store_generation, 1u);
+  EXPECT_EQ(stats->reloads_ok, 1u);
+  EXPECT_EQ(stats->reload_failures, 1u);
+  WipeStore();
+}
+
+// Store flavour of the torn-snapshot acceptance check: clients hammer LIST
+// and QUERY while generations alternate between the solo and full content
+// and RELOADs chase them; every response must be internally consistent
+// with exactly one published generation.
+TEST_F(ServerIntegrationTest, ConcurrentClientsThroughStoreReloads) {
+  WipeStore();
+  store::CatalogStore catalog_store(StorePath());
+  ASSERT_TRUE(catalog_store.Save(*direct_).ok());
+
+  Server server;
+  ASSERT_TRUE(server.Start({StorePath()}).ok());
+  const std::string both_name_0 = direct_->GetEntry(0).value()->name;
+  const std::string both_name_1 = direct_->GetEntry(1).value()->name;
+
+  constexpr int kReaders = 4;
+  constexpr int kRequestsPerReader = 60;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Result<Client> client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ADD_FAILURE() << "reader " << t << ": " << client.status();
+        failed = true;
+        return;
+      }
+      QueryRequest q;
+      q.var_ba = 9.0;
+      q.var_oa = 1.0;
+      q.top_k = 5;
+      for (int i = 0; i < kRequestsPerReader && !failed; ++i) {
+        Result<ListResponse> listed = client->List();
+        if (!listed.ok()) {
+          ADD_FAILURE() << "LIST during store reload: " << listed.status();
+          failed = true;
+          return;
+        }
+        size_t n = listed->videos.size();
+        if (n != 1u && n != 2u) {
+          ADD_FAILURE() << "torn LIST: " << n << " videos";
+          failed = true;
+          return;
+        }
+        if (listed->videos[0].name != both_name_0 ||
+            (n == 2u && listed->videos[1].name != both_name_1)) {
+          ADD_FAILURE() << "torn LIST: unexpected names";
+          failed = true;
+          return;
+        }
+        Result<QueryResponse> found = client->Query(q);
+        if (!found.ok()) {
+          ADD_FAILURE() << "QUERY during store reload: " << found.status();
+          failed = true;
+          return;
+        }
+        for (const SuggestionWire& s : found->suggestions) {
+          if (s.video_name != both_name_0 && s.video_name != both_name_1) {
+            ADD_FAILURE() << "suggestion from unknown video "
+                          << s.video_name;
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  std::unique_ptr<VideoDatabase> solo = SoloDatabase();
+  Client admin = Connect(server);
+  for (int round = 0; round < 6 && !failed; ++round) {
+    // Publish the next generation, then chase it with an empty RELOAD.
+    Result<store::SaveStats> published =
+        catalog_store.Save(round % 2 == 0 ? *solo : *direct_);
+    ASSERT_TRUE(published.ok()) << published.status();
+    Result<ReloadResponse> swapped = admin.Reload();
+    ASSERT_TRUE(swapped.ok()) << swapped.status();
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  Result<StatsResponse> stats = admin.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->reloads_ok, 6u);
+  EXPECT_EQ(stats->reload_failures, 0u);
+  EXPECT_EQ(stats->store_generation, 7u);
+  WipeStore();
 }
 
 TEST_F(ServerIntegrationTest, BusyRejectionBeyondMaxConnections) {

@@ -259,6 +259,9 @@ TEST(WireResponseTest, StatsRoundTrip) {
   response.stats.active_connections = 3;
   response.stats.rejected_busy = 7;
   response.stats.bad_frames = 2;
+  response.stats.reloads_ok = 4;
+  response.stats.reload_failures = 1;
+  response.stats.store_generation = 12;
   response.stats.videos = 5;
   response.stats.indexed_shots = 250;
   VerbStats vs;
@@ -276,6 +279,9 @@ TEST(WireResponseTest, StatsRoundTrip) {
   EXPECT_EQ(decoded.stats.active_connections, 3u);
   EXPECT_EQ(decoded.stats.rejected_busy, 7u);
   EXPECT_EQ(decoded.stats.bad_frames, 2u);
+  EXPECT_EQ(decoded.stats.reloads_ok, 4u);
+  EXPECT_EQ(decoded.stats.reload_failures, 1u);
+  EXPECT_EQ(decoded.stats.store_generation, 12u);
   EXPECT_EQ(decoded.stats.videos, 5);
   EXPECT_EQ(decoded.stats.indexed_shots, 250);
   ASSERT_EQ(decoded.stats.verbs.size(), 1u);

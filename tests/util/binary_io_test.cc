@@ -1,5 +1,9 @@
 #include "util/binary_io.h"
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace vdb {
@@ -62,6 +66,105 @@ TEST(BinaryIoTest, SpecialDoubles) {
   EXPECT_DOUBLE_EQ(r.GetDouble("a").value(), 0.0);
   EXPECT_DOUBLE_EQ(r.GetDouble("b").value(), -0.0);
   EXPECT_DOUBLE_EQ(r.GetDouble("c").value(), 1e300);
+}
+
+TEST(BinaryIoTest, IntegerExtremesRoundTrip) {
+  BinaryWriter w;
+  w.PutU64(std::numeric_limits<uint64_t>::max());
+  w.PutU64(0);
+  w.PutU32(std::numeric_limits<uint32_t>::max());
+  w.PutI32(std::numeric_limits<int32_t>::min());
+  w.PutI32(std::numeric_limits<int32_t>::max());
+  w.PutU8(0xff);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU64("max u64").value(),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(r.GetU64("zero u64").value(), 0u);
+  EXPECT_EQ(r.GetU32("max u32").value(),
+            std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(r.GetI32("min i32").value(),
+            std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(r.GetI32("max i32").value(),
+            std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(r.GetU8("max u8").value(), 0xff);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, NonFiniteDoublesRoundTripBitExactly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  BinaryWriter w;
+  w.PutDouble(std::numeric_limits<double>::quiet_NaN());
+  w.PutDouble(inf);
+  w.PutDouble(-inf);
+  w.PutDouble(std::numeric_limits<double>::denorm_min());
+  w.PutDouble(std::numeric_limits<double>::max());
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(std::isnan(r.GetDouble("nan").value()));
+  EXPECT_EQ(r.GetDouble("+inf").value(), inf);
+  EXPECT_EQ(r.GetDouble("-inf").value(), -inf);
+  EXPECT_EQ(r.GetDouble("denorm").value(),
+            std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(r.GetDouble("max").value(),
+            std::numeric_limits<double>::max());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, EmptyAndMaxLengthStringsRoundTrip) {
+  const std::string at_limit(1 << 10, 'x');
+  BinaryWriter w;
+  w.PutString("");
+  w.PutString(at_limit);
+  w.PutString(std::string("embedded\0nul", 12));
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetString("empty", 1 << 10).value(), "");
+  // A string exactly at max_len is accepted; one byte over is not.
+  EXPECT_EQ(r.GetString("at limit", at_limit.size()).value(), at_limit);
+  EXPECT_EQ(r.GetString("nul", 12).value(),
+            std::string("embedded\0nul", 12));
+  EXPECT_TRUE(r.AtEnd());
+
+  BinaryWriter over;
+  over.PutString(at_limit);
+  BinaryReader r2(over.buffer());
+  EXPECT_EQ(r2.GetString("over limit", at_limit.size() - 1).status().code(),
+            StatusCode::kCorruption);
+}
+
+// Underflow at every field boundary: truncating a composite record at each
+// possible byte length must yield kCorruption from whichever read crosses
+// the cut — never a bogus value or a crash.
+TEST(BinaryIoTest, UnderflowAtEveryFieldBoundary) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(0xcafef00d);
+  w.PutU64(0x1122334455667788ULL);
+  w.PutDouble(2.5);
+  w.PutString("tail");
+  const std::string& full = w.buffer();
+
+  for (size_t len = 0; len < full.size(); ++len) {
+    BinaryReader r(std::string_view(full).substr(0, len));
+    Status failure = Status::Ok();
+    auto feed = [&](Status status) {
+      if (failure.ok() && !status.ok()) failure = status;
+    };
+    feed(r.GetU8("u8").status());
+    feed(r.GetU32("u32").status());
+    feed(r.GetU64("u64").status());
+    feed(r.GetDouble("double").status());
+    feed(r.GetString("string").status());
+    EXPECT_EQ(failure.code(), StatusCode::kCorruption)
+        << "no underflow error at truncation length " << len;
+  }
+
+  // The untruncated record still reads clean end to end.
+  BinaryReader r(full);
+  EXPECT_TRUE(r.GetU8("u8").ok());
+  EXPECT_TRUE(r.GetU32("u32").ok());
+  EXPECT_TRUE(r.GetU64("u64").ok());
+  EXPECT_TRUE(r.GetDouble("double").ok());
+  EXPECT_EQ(r.GetString("string").value(), "tail");
+  EXPECT_TRUE(r.AtEnd());
 }
 
 TEST(BinaryIoTest, RemainingTracksOffset) {

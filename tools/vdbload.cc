@@ -2,6 +2,12 @@
 //
 //   vdbload [--host H] [--port N] [--threads 1,4,16] [--requests N]
 //           [--verb query|ping|tree|list|mixed] [--top-k K] [--json PATH]
+//   vdbload --reload [--host H] [--port N]
+//
+// --reload skips the load run entirely: it sends one RELOAD frame (empty
+// path — the server re-reads its own catalog set, picking up the newest
+// store generation) and prints the refreshed catalog shape. It is the CLI
+// half of the segmented store's publish→reload loop.
 //
 // For each thread count in --threads: opens one connection per thread,
 // fires --requests requests per thread (after a small warm-up), and prints
@@ -35,7 +41,8 @@ int Usage() {
   std::cerr <<
       "usage: vdbload [--host H] [--port N] [--threads 1,4,16]\n"
       "               [--requests N] [--verb query|ping|tree|list|mixed]\n"
-      "               [--top-k K] [--json PATH]\n";
+      "               [--top-k K] [--json PATH]\n"
+      "       vdbload --reload [--host H] [--port N]\n";
   return 2;
 }
 
@@ -52,6 +59,7 @@ struct Args {
   std::string verb = "mixed";
   int top_k = 5;
   std::string json_path;
+  bool reload = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -95,6 +103,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->json_path = v;
+    } else if (arg == "--reload") {
+      out->reload = true;
     } else {
       std::cerr << "vdbload: unknown option '" << arg << "'\n";
       return false;
@@ -239,7 +249,8 @@ Result<RunResult> RunOnce(const Args& args, int num_threads,
   return result;
 }
 
-Status WriteJson(const Args& args, int videos, int indexed_shots,
+Status WriteJson(const Args& args, int videos,
+                 const serve::StatsResponse& stats,
                  const std::vector<RunResult>& runs) {
   std::ofstream out(args.json_path, std::ios::trunc);
   if (!out) {
@@ -250,7 +261,10 @@ Status WriteJson(const Args& args, int videos, int indexed_shots,
       << "  \"verb_mix\": \"" << args.verb << "\",\n"
       << "  \"requests_per_thread\": " << args.requests_per_thread << ",\n"
       << "  \"catalog_videos\": " << videos << ",\n"
-      << "  \"catalog_indexed_shots\": " << indexed_shots << ",\n"
+      << "  \"catalog_indexed_shots\": " << stats.indexed_shots << ",\n"
+      << "  \"reloads_ok\": " << stats.reloads_ok << ",\n"
+      << "  \"reload_failures\": " << stats.reload_failures << ",\n"
+      << "  \"store_generation\": " << stats.store_generation << ",\n"
       << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
@@ -277,6 +291,21 @@ int Run(int argc, char** argv) {
   Result<serve::Client> probe = serve::Client::Connect(args.host, args.port);
   if (!probe.ok()) {
     return Fail(probe.status());
+  }
+  if (args.reload) {
+    Result<serve::ReloadResponse> reloaded = probe->Reload();
+    if (!reloaded.ok()) {
+      return Fail(reloaded.status());
+    }
+    Result<serve::StatsResponse> after = probe->Stats();
+    if (!after.ok()) {
+      return Fail(after.status());
+    }
+    std::cout << "vdbload: reloaded " << args.host << ":" << args.port << ": "
+              << reloaded->videos << " videos, " << reloaded->indexed_shots
+              << " indexed shots (store generation "
+              << after->store_generation << ")\n";
+    return 0;
   }
   Result<serve::ListResponse> listed = probe->List();
   if (!listed.ok()) {
@@ -316,8 +345,7 @@ int Run(int argc, char** argv) {
   table.Print(std::cout);
 
   if (!args.json_path.empty()) {
-    Status written =
-        WriteJson(args, video_count, stats->indexed_shots, runs);
+    Status written = WriteJson(args, video_count, *stats, runs);
     if (!written.ok()) {
       return Fail(written);
     }

@@ -1,11 +1,17 @@
 // vdbserve — long-lived catalog query service.
 //
-//   vdbserve <catalog.vdbcat>... [options]
+//   vdbserve <catalog.vdbcat | store-dir>... [options]
 //
 // Loads the catalogs into one in-memory VideoDatabase and serves
 // PING/STATS/QUERY/TREE/LIST/RELOAD over the VDBS wire protocol until
 // SIGINT/SIGTERM, then drains in-flight requests and exits. Pair with
 // vdbload for load generation and latency measurement.
+//
+// A directory argument is opened as a segmented catalog store (see
+// `vdbtool store-save`): the newest verifying generation is served, and
+// RELOAD re-opens the store to pick up generations published while the
+// server runs — corrupt newest generations fall back to the previous one
+// and count toward the reload_failures STATS counter.
 //
 // Options:
 //   --host <ip>            bind address            (default 127.0.0.1)
@@ -30,7 +36,8 @@ namespace {
 
 int Usage() {
   std::cerr <<
-      "usage: vdbserve <catalog.vdbcat>... [--host H] [--port N]\n"
+      "usage: vdbserve <catalog.vdbcat | store-dir>... [--host H] "
+      "[--port N]\n"
       "               [--max-conn N] [--read-timeout-ms N]\n"
       "               [--write-timeout-ms N] [--port-file PATH]\n";
   return 2;

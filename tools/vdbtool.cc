@@ -4,6 +4,10 @@
 //   vdbtool info <clip.vdb>                  container header + stats
 //   vdbtool analyze <clip.vdb>...            segment, features, motion, tree
 //   vdbtool catalog <out.vdbcat> <clip.vdb>...  analyse clips into a catalog
+//   vdbtool store-save <store-dir> <clip.vdb>...  analyse clips, publish the
+//                                            next store generation
+//   vdbtool store-open <store-dir>           open + summarise a store
+//   vdbtool store-compact <store-dir>        GC old generations and orphans
 //   vdbtool tree <clip.vdb>                  print the scene tree
 //   vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] [form=F]
 //   vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...
@@ -25,6 +29,7 @@
 #include "core/fingerprint.h"
 #include "core/motion.h"
 #include "core/video_database.h"
+#include "store/catalog_store.h"
 #include "synth/presets.h"
 #include "synth/renderer.h"
 #include "synth/workload.h"
@@ -43,6 +48,9 @@ int Usage() {
       "  vdbtool info <clip.vdb>\n"
       "  vdbtool analyze <clip.vdb>...\n"
       "  vdbtool catalog <out.vdbcat> <clip.vdb>...\n"
+      "  vdbtool store-save <store-dir> <clip.vdb>...\n"
+      "  vdbtool store-open <store-dir>\n"
+      "  vdbtool store-compact <store-dir>\n"
       "  vdbtool tree <clip.vdb>\n"
       "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "
       "[form=F]\n"
@@ -172,6 +180,55 @@ int CmdCatalog(const std::string& out,
   return 0;
 }
 
+int CmdStoreSave(const std::string& dir,
+                 const std::vector<std::string>& paths) {
+  VideoDatabase db;
+  BatchIngestResult batch = db.IngestBatchFiles(paths);
+  if (!batch.ok()) return Fail(batch.first_error);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    std::cout << "ingested [" << batch.video_ids[i] << "] " << paths[i]
+              << "\n";
+  }
+  store::CatalogStore catalog_store(dir);
+  Result<store::SaveStats> saved = catalog_store.Save(db);
+  if (!saved.ok()) return Fail(saved.status());
+  std::cout << "published generation " << saved->generation << " to " << dir
+            << ": " << saved->segments_written << " segments written, "
+            << saved->segments_reused << " reused\n";
+  return 0;
+}
+
+int CmdStoreOpen(const std::string& dir) {
+  store::CatalogStore catalog_store(dir);
+  store::OpenStats stats;
+  Result<std::unique_ptr<VideoDatabase>> db = catalog_store.Open(&stats);
+  if (!db.ok()) return Fail(db.status());
+  std::cout << dir << ": generation " << stats.generation << ", "
+            << (*db)->video_count() << " videos, " << (*db)->index().size()
+            << " indexed shots\n";
+  if (stats.generations_skipped > 0) {
+    std::cout << "  warning: skipped " << stats.generations_skipped
+              << " corrupt newer generation(s); newest failure: "
+              << stats.skipped_error << "\n";
+  }
+  for (int id = 0; id < (*db)->video_count(); ++id) {
+    const CatalogEntry* entry = (*db)->GetEntry(id).value();
+    std::cout << "  [" << id << "] " << entry->name << ": "
+              << entry->shots.size() << " shots, "
+              << entry->scene_tree.node_count() << " scene nodes\n";
+  }
+  return 0;
+}
+
+int CmdStoreCompact(const std::string& dir) {
+  store::CatalogStore catalog_store(dir);
+  Result<store::CompactStats> stats = catalog_store.Compact();
+  if (!stats.ok()) return Fail(stats.status());
+  std::cout << "kept generation " << stats->kept_generation << ", removed "
+            << stats->removed_files << " file(s)\n";
+  return 0;
+}
+
 int CmdTree(const std::string& path) {
   Result<Video> video = ReadVideoFile(path);
   if (!video.ok()) return Fail(video.status());
@@ -283,8 +340,10 @@ int CmdExportFrame(const std::string& path, int frame_no,
 
 bool KnownCommand(const std::string& cmd) {
   static const char* const kCommands[] = {
-      "presets", "synth",    "info",   "analyze",      "catalog",
-      "tree",    "query",    "classify", "browse",     "export-frame",
+      "presets",    "synth",      "info",          "analyze",
+      "catalog",    "store-save", "store-open",    "store-compact",
+      "tree",       "query",      "classify",      "browse",
+      "export-frame",
   };
   for (const char* known : kCommands) {
     if (cmd == known) return true;
@@ -311,6 +370,13 @@ int Run(int argc, char** argv) {
   }
   if (cmd == "catalog" && args.size() >= 3) {
     return CmdCatalog(args[1], {args.begin() + 2, args.end()});
+  }
+  if (cmd == "store-save" && args.size() >= 3) {
+    return CmdStoreSave(args[1], {args.begin() + 2, args.end()});
+  }
+  if (cmd == "store-open" && args.size() == 2) return CmdStoreOpen(args[1]);
+  if (cmd == "store-compact" && args.size() == 2) {
+    return CmdStoreCompact(args[1]);
   }
   if (cmd == "tree" && args.size() == 2) return CmdTree(args[1]);
   if (cmd == "query" && args.size() >= 4) {
