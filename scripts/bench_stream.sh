@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Streaming-ingest perf trajectory: latency-to-first-published-shot for the
+# checkpointed streaming pipeline vs. batch ingest-then-save, plus shot
+# throughput and per-run peak RSS. Writes BENCH_stream.json
+# (google-benchmark JSON) at the repo root.
+#
+#   scripts/bench_stream.sh
+#
+# Knobs: VDB_STREAM_SCALE (clip duration scale, default 0.06 — raise toward
+# 1.0 for paper-scale clips), VDB_STREAM_BENCH_MIN_TIME (seconds per
+# benchmark, default 0.5), JOBS (build parallelism).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME="${VDB_STREAM_BENCH_MIN_TIME:-0.5}"
+JOBS="${JOBS:-$(nproc)}"
+OUT=BENCH_stream.json
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target bench_perf_stream > /dev/null
+
+build/bench/bench_perf_stream \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "bench_stream: wrote $OUT"

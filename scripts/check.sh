@@ -38,19 +38,19 @@ for stage in "${STAGES[@]}"; do
       # ASan watches the parsing-heavy suites: the wire/catalog/segment
       # decoders chew on truncated and bit-flipped input, where an
       # over-read hides.
-      banner "asan build + serve/concurrency/store suites"
+      banner "asan build + serve/concurrency/store/stream suites"
       configure_and_build build-asan address
       ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency|store'
+        -L 'serve|concurrency|store|stream'
       ;;
     tsan)
       # TSan watches the threaded suites: thread pool, concurrent ingest,
-      # and the server's snapshot swaps under concurrent clients — now
-      # including store-backed reloads racing live readers.
-      banner "tsan build + serve/concurrency/store suites"
+      # the server's snapshot swaps under concurrent clients, and the
+      # streaming pipeline's bounded queues and worker fan-out.
+      banner "tsan build + serve/concurrency/store/stream suites"
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency|store'
+        -L 'serve|concurrency|store|stream'
       ;;
     *)
       echo "check.sh: unknown stage '$stage' (want plain, asan, tsan)" >&2

@@ -305,155 +305,188 @@ Result<std::vector<int>> SceneRepresentativeFrames(
 SceneTreeBuilder::SceneTreeBuilder(SceneTreeOptions options)
     : options_(options) {}
 
-namespace {
+SceneTreeAccumulator::SceneTreeAccumulator(SceneTreeOptions options)
+    : options_(options) {}
 
-// Mutable tree under construction.
-struct TreeState {
-  std::vector<SceneNode> nodes;
+int SceneTreeAccumulator::NewLeaf(int shot_index) {
+  ProvNode n;
+  n.shot_index = shot_index;
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
 
-  int NewNode() {
-    SceneNode n;
-    n.id = static_cast<int>(nodes.size());
-    nodes.push_back(n);
-    return n.id;
+int SceneTreeAccumulator::NewInternal() {
+  nodes_.push_back(ProvNode{});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void SceneTreeAccumulator::Connect(int child, int parent) {
+  VDB_CHECK(nodes_[static_cast<size_t>(child)].parent == -1)
+      << "node " << child << " already has a parent";
+  nodes_[static_cast<size_t>(child)].parent = parent;
+  nodes_[static_cast<size_t>(parent)].children.push_back(child);
+}
+
+int SceneTreeAccumulator::RootOf(int id) const {
+  while (nodes_[static_cast<size_t>(id)].parent != -1) {
+    id = nodes_[static_cast<size_t>(id)].parent;
   }
+  return id;
+}
 
-  void Connect(int child, int parent) {
-    VDB_CHECK(nodes[static_cast<size_t>(child)].parent == -1)
-        << "node " << child << " already has a parent";
-    nodes[static_cast<size_t>(child)].parent = parent;
-    nodes[static_cast<size_t>(parent)].children.push_back(child);
+// Lowest common ancestor of a and b, or -1 when they share none.
+int SceneTreeAccumulator::Lca(int a, int b) const {
+  std::unordered_set<int> ancestors;
+  for (int x = nodes_[static_cast<size_t>(a)].parent; x != -1;
+       x = nodes_[static_cast<size_t>(x)].parent) {
+    ancestors.insert(x);
   }
+  for (int x = nodes_[static_cast<size_t>(b)].parent; x != -1;
+       x = nodes_[static_cast<size_t>(x)].parent) {
+    if (ancestors.count(x)) return x;
+  }
+  return -1;
+}
 
-  int Root(int id) const {
-    while (nodes[static_cast<size_t>(id)].parent != -1) {
-      id = nodes[static_cast<size_t>(id)].parent;
+Status SceneTreeAccumulator::AddShot(const VideoSignatures& signatures,
+                                     const Shot& shot) {
+  if (shot.start_frame < 0 || shot.start_frame > shot.end_frame ||
+      shot.end_frame >= signatures.frame_count()) {
+    return Status::OutOfRange(
+        StrFormat("shot [%d,%d] outside video of %d frames", shot.start_frame,
+                  shot.end_frame, signatures.frame_count()));
+  }
+  const int i = static_cast<int>(shots_.size());
+  shots_.push_back(shot);
+  leaf_of_.push_back(NewLeaf(i));
+
+  // Steps 2-5 of the Section-3.1 scan, for this one shot. The first two
+  // shots just get their leaves; the scan proper starts at the third.
+  if (i < 2) return Status::Ok();
+
+  // Step 3: compare shot i with shots i-2, ..., 0 in descending order.
+  // The paper's Figure 6(g) additionally relates a shot to its immediate
+  // predecessor (shot#9 to shot#8), so i-1 is tested as a fallback when
+  // the descending scan finds nothing.
+  int j = -1;
+  for (int k = i - 2; k >= 0; --k) {
+    if (ShotsRelated(signatures, shots_[static_cast<size_t>(i)],
+                     shots_[static_cast<size_t>(k)], options_)) {
+      j = k;
+      break;
     }
-    return id;
+  }
+  if (j < 0 && ShotsRelated(signatures, shots_[static_cast<size_t>(i)],
+                            shots_[static_cast<size_t>(i - 1)], options_)) {
+    j = i - 1;
+  }
+  if (j < 0) {
+    // No related shot: a fresh empty node becomes the leaf's parent.
+    int empty = NewInternal();
+    Connect(leaf_of_[static_cast<size_t>(i)], empty);
+    return Status::Ok();
   }
 
-  // Lowest common ancestor of a and b, or -1 when they share none.
-  int Lca(int a, int b) const {
-    std::unordered_set<int> ancestors;
-    for (int x = nodes[static_cast<size_t>(a)].parent; x != -1;
-         x = nodes[static_cast<size_t>(x)].parent) {
-      ancestors.insert(x);
+  // Step 4: place SN_i^0 relative to SN_{i-1}^0 and SN_j^0.
+  int prev_leaf = leaf_of_[static_cast<size_t>(i - 1)];
+  int j_leaf = leaf_of_[static_cast<size_t>(j)];
+  bool prev_parentless = nodes_[static_cast<size_t>(prev_leaf)].parent < 0;
+  bool j_parentless = nodes_[static_cast<size_t>(j_leaf)].parent < 0;
+  if (prev_parentless && j_parentless) {
+    // Scenario 1: group every still-parentless leaf between j and i under
+    // one new empty node.
+    int empty = NewInternal();
+    for (int k = j; k <= i; ++k) {
+      int leaf = leaf_of_[static_cast<size_t>(k)];
+      if (nodes_[static_cast<size_t>(leaf)].parent < 0) {
+        Connect(leaf, empty);
+      }
     }
-    for (int x = nodes[static_cast<size_t>(b)].parent; x != -1;
-         x = nodes[static_cast<size_t>(x)].parent) {
-      if (ancestors.count(x)) return x;
-    }
-    return -1;
+    return Status::Ok();
   }
-};
+  int lca = Lca(prev_leaf, j_leaf);
+  if (lca >= 0) {
+    // Scenario 2: they already share an ancestor; join it.
+    Connect(leaf_of_[static_cast<size_t>(i)], lca);
+    return Status::Ok();
+  }
+  // Scenario 3: attach to the oldest ancestor of SN_{i-1}, then merge the
+  // two subtrees under a new empty node.
+  int root_prev = RootOf(prev_leaf);
+  if (nodes_[static_cast<size_t>(root_prev)].IsLeaf()) {
+    // Degenerate: the "oldest ancestor" is a bare leaf. Give it an empty
+    // parent first so we never attach children to a leaf.
+    int wrapper = NewInternal();
+    Connect(root_prev, wrapper);
+    root_prev = wrapper;
+  }
+  Connect(leaf_of_[static_cast<size_t>(i)], root_prev);
+  int root_j = RootOf(j_leaf);
+  if (root_prev != root_j) {
+    int empty = NewInternal();
+    Connect(root_prev, empty);
+    Connect(root_j, empty);
+  }
+  return Status::Ok();
+}
 
-}  // namespace
-
-Result<SceneTree> SceneTreeBuilder::Build(
-    const VideoSignatures& signatures, const std::vector<Shot>& shots) const {
-  if (shots.empty()) {
+Result<SceneTree> SceneTreeAccumulator::Finalize(
+    const VideoSignatures& signatures) const {
+  if (shots_.empty()) {
     return Status::InvalidArgument("cannot build a scene tree from 0 shots");
   }
-  int n = static_cast<int>(shots.size());
-  TreeState state;
+  const int n = static_cast<int>(shots_.size());
 
-  // Step 1: one level-0 scene node per shot; leaf id == shot index.
-  for (int i = 0; i < n; ++i) {
-    state.NewNode();
+  // Renumber into the batch layout: leaf of shot s → s, empty nodes in
+  // creation order → n, n+1, ... The batch builder numbers its empties in
+  // the same scan order, so the layouts coincide.
+  std::vector<int> final_id(nodes_.size(), -1);
+  int next_internal = n;
+  for (size_t p = 0; p < nodes_.size(); ++p) {
+    final_id[p] = nodes_[p].IsLeaf() ? nodes_[p].shot_index : next_internal++;
+  }
+  std::vector<SceneNode> out(nodes_.size());
+  for (size_t p = 0; p < nodes_.size(); ++p) {
+    SceneNode node;
+    node.id = final_id[p];
+    node.parent =
+        nodes_[p].parent < 0 ? -1 : final_id[static_cast<size_t>(nodes_[p].parent)];
+    node.children.reserve(nodes_[p].children.size());
+    for (int c : nodes_[p].children) {
+      node.children.push_back(final_id[static_cast<size_t>(c)]);
+    }
+    out[static_cast<size_t>(node.id)] = std::move(node);
   }
 
-  // Steps 2-5: scan shots from the third onward.
-  for (int i = 2; i < n; ++i) {
-    // Step 3: compare shot i with shots i-2, ..., 0 in descending order.
-    // The paper's Figure 6(g) additionally relates a shot to its immediate
-    // predecessor (shot#9 to shot#8), so i-1 is tested as a fallback when
-    // the descending scan finds nothing.
-    int j = -1;
-    for (int k = i - 2; k >= 0; --k) {
-      if (ShotsRelated(signatures, shots[static_cast<size_t>(i)],
-                       shots[static_cast<size_t>(k)], options_)) {
-        j = k;
-        break;
-      }
-    }
-    if (j < 0 && ShotsRelated(signatures, shots[static_cast<size_t>(i)],
-                              shots[static_cast<size_t>(i - 1)], options_)) {
-      j = i - 1;
-    }
-    if (j < 0) {
-      // No related shot: a fresh empty node becomes the leaf's parent.
-      int empty = state.NewNode();
-      state.Connect(i, empty);
-      continue;
-    }
-
-    // Step 4: place SN_i^0 relative to SN_{i-1}^0 and SN_j^0.
-    int prev = i - 1;
-    bool prev_parentless = state.nodes[static_cast<size_t>(prev)].parent < 0;
-    bool j_parentless = state.nodes[static_cast<size_t>(j)].parent < 0;
-    if (prev_parentless && j_parentless) {
-      // Scenario 1: group every still-parentless leaf between j and i under
-      // one new empty node.
-      int empty = state.NewNode();
-      for (int k = j; k <= i; ++k) {
-        if (state.nodes[static_cast<size_t>(k)].parent < 0) {
-          state.Connect(k, empty);
-        }
-      }
-      continue;
-    }
-    int lca = state.Lca(prev, j);
-    if (lca >= 0) {
-      // Scenario 2: they already share an ancestor; join it.
-      state.Connect(i, lca);
-      continue;
-    }
-    // Scenario 3: attach to the oldest ancestor of SN_{i-1}, then merge the
-    // two subtrees under a new empty node.
-    int root_prev = state.Root(prev);
-    if (state.nodes[static_cast<size_t>(root_prev)].IsLeaf() &&
-        root_prev < n) {
-      // Degenerate: the "oldest ancestor" is a bare leaf. Give it an empty
-      // parent first so we never attach children to a leaf.
-      int wrapper = state.NewNode();
-      state.Connect(root_prev, wrapper);
-      root_prev = wrapper;
-    }
-    state.Connect(i, root_prev);
-    int root_j = state.Root(j);
-    if (root_prev != root_j) {
-      int empty = state.NewNode();
-      state.Connect(root_prev, empty);
-      state.Connect(root_j, empty);
-    }
-  }
-
-  // Step 5 (end): connect all currently parentless nodes to one root. When
-  // a single subtree already spans everything, it is the root — an extra
-  // unary level would carry no information.
+  // Connect all currently parentless nodes to one root. When a single
+  // subtree already spans everything, it is the root — an extra unary
+  // level would carry no information.
   std::vector<int> orphans;
-  for (const SceneNode& node : state.nodes) {
+  for (const SceneNode& node : out) {
     if (node.parent < 0) orphans.push_back(node.id);
   }
   int root;
   if (orphans.size() == 1) {
     root = orphans.front();
   } else {
-    root = state.NewNode();
+    SceneNode root_node;
+    root_node.id = static_cast<int>(out.size());
+    root = root_node.id;
+    out.push_back(std::move(root_node));
     for (int o : orphans) {
-      state.Connect(o, root);
+      out[static_cast<size_t>(o)].parent = root;
+      out[static_cast<size_t>(root)].children.push_back(o);
     }
   }
 
   // Levels: leaves 0, parents one above their highest child (bottom-up; a
   // node's id is always greater than its children's except leaves, so one
   // forward pass over ids works for internal nodes).
-  for (SceneNode& node : state.nodes) {
+  for (SceneNode& node : out) {
     if (!node.IsLeaf()) {
       int max_child = 0;
       for (int c : node.children) {
-        max_child = std::max(max_child,
-                             state.nodes[static_cast<size_t>(c)].level);
+        max_child = std::max(max_child, out[static_cast<size_t>(c)].level);
       }
       node.level = max_child + 1;
     }
@@ -461,19 +494,19 @@ Result<SceneTree> SceneTreeBuilder::Build(
 
   // Step 6: representative frames for leaves, then naming bottom-up. Track
   // the longest identical-sign run per node (for leaves: within the shot).
-  std::vector<int> run_length(state.nodes.size(), 0);
+  std::vector<int> run_length(out.size(), 0);
   for (int i = 0; i < n; ++i) {
     VDB_ASSIGN_OR_RETURN(
         RepetitiveRun run,
-        FindMostRepetitiveRun(signatures, shots[static_cast<size_t>(i)]));
-    SceneNode& leaf = state.nodes[static_cast<size_t>(i)];
+        FindMostRepetitiveRun(signatures, shots_[static_cast<size_t>(i)]));
+    SceneNode& leaf = out[static_cast<size_t>(i)];
     leaf.shot_index = i;
     leaf.representative_frame = run.start_frame;
     run_length[static_cast<size_t>(i)] = run.length;
   }
   // Internal nodes in id order: children of internal nodes always have
   // smaller ids, so their names are already settled.
-  for (SceneNode& node : state.nodes) {
+  for (SceneNode& node : out) {
     if (node.IsLeaf()) continue;
     int best_child = -1;
     for (int c : node.children) {
@@ -482,13 +515,13 @@ Result<SceneTree> SceneTreeBuilder::Build(
               run_length[static_cast<size_t>(best_child)] ||
           (run_length[static_cast<size_t>(c)] ==
                run_length[static_cast<size_t>(best_child)] &&
-           state.nodes[static_cast<size_t>(c)].shot_index <
-               state.nodes[static_cast<size_t>(best_child)].shot_index)) {
+           out[static_cast<size_t>(c)].shot_index <
+               out[static_cast<size_t>(best_child)].shot_index)) {
         best_child = c;
       }
     }
     VDB_CHECK(best_child >= 0) << "internal node without children";
-    const SceneNode& chosen = state.nodes[static_cast<size_t>(best_child)];
+    const SceneNode& chosen = out[static_cast<size_t>(best_child)];
     node.shot_index = chosen.shot_index;
     node.representative_frame = chosen.representative_frame;
     run_length[static_cast<size_t>(node.id)] =
@@ -496,11 +529,25 @@ Result<SceneTree> SceneTreeBuilder::Build(
   }
 
   SceneTree tree;
-  tree.nodes_ = std::move(state.nodes);
+  tree.nodes_ = std::move(out);
   tree.root_ = root;
   tree.shot_count_ = n;
   VDB_RETURN_IF_ERROR(tree.Validate());
   return tree;
+}
+
+Result<SceneTree> SceneTreeBuilder::Build(
+    const VideoSignatures& signatures, const std::vector<Shot>& shots) const {
+  if (shots.empty()) {
+    return Status::InvalidArgument("cannot build a scene tree from 0 shots");
+  }
+  // Batch construction is the accumulator replayed over all shots: one
+  // code path for streaming and offline ingest.
+  SceneTreeAccumulator acc(options_);
+  for (const Shot& shot : shots) {
+    VDB_RETURN_IF_ERROR(acc.AddShot(signatures, shot));
+  }
+  return acc.Finalize(signatures);
 }
 
 }  // namespace vdb

@@ -86,6 +86,7 @@ class SceneTree {
 
  private:
   friend class SceneTreeBuilder;
+  friend class SceneTreeAccumulator;
 
   std::vector<SceneNode> nodes_;
   int root_ = -1;
@@ -97,6 +98,64 @@ class SceneTree {
 bool ShotsRelated(const VideoSignatures& signatures, const Shot& a,
                   const Shot& b, const SceneTreeOptions& options);
 
+// Incremental scene-tree construction for the streaming ingest pipeline:
+// shots are registered one at a time as they close, and the Section-3.1
+// relation scan for shot i runs immediately (it only ever looks backward,
+// at shots 0..i-1, so streaming changes nothing about the decisions).
+//
+// The only thing that cannot be fixed until the end is the node-id layout:
+// the batch builder creates every leaf before any empty node, so leaves
+// own ids 0..n-1. The accumulator therefore keeps provisional ids
+// (creation order, leaves and empties interleaved) and Finalize() renumbers
+// — leaf of shot s → s, empty nodes in creation order → n, n+1, ... —
+// which reproduces the batch layout exactly, because the batch builder
+// also numbers its empties in scan order. Finalize then attaches orphans
+// to the root, computes levels, and names nodes, and is const and
+// repeatable: the pipeline calls it at every checkpoint to publish a
+// valid tree over the shots so far, then keeps adding shots.
+//
+// SceneTreeBuilder::Build is a thin wrapper (AddShot in a loop, then
+// Finalize), so streaming and batch trees are identical by construction.
+//
+// Only sign_ba is read from `signatures`, so a signs-only VideoSignatures
+// (empty signature lines, as restored from the catalog codec) works.
+class SceneTreeAccumulator {
+ public:
+  explicit SceneTreeAccumulator(SceneTreeOptions options = SceneTreeOptions());
+
+  // Registers the next shot (its index is the number of AddShot calls made
+  // so far) and places its leaf in the provisional forest. `signatures`
+  // must cover frames through shot.end_frame.
+  Status AddShot(const VideoSignatures& signatures, const Shot& shot);
+
+  int shot_count() const { return static_cast<int>(shots_.size()); }
+  const std::vector<Shot>& shots() const { return shots_; }
+
+  // Builds the finished tree over the shots added so far: renumber,
+  // orphans → root, levels, naming, representative frames, validation.
+  Result<SceneTree> Finalize(const VideoSignatures& signatures) const;
+
+ private:
+  // A node of the provisional forest; ids are indices into nodes_.
+  struct ProvNode {
+    int parent = -1;
+    std::vector<int> children;
+    int shot_index = -1;  // >= 0 for leaves, -1 for empty nodes
+    bool IsLeaf() const { return shot_index >= 0; }
+  };
+
+  int NewLeaf(int shot_index);
+  int NewInternal();
+  void Connect(int child, int parent);
+  int RootOf(int id) const;
+  int Lca(int a, int b) const;
+
+  SceneTreeOptions options_;
+  std::vector<ProvNode> nodes_;
+  std::vector<int> leaf_of_;  // shot index -> provisional id
+  std::vector<Shot> shots_;
+};
+
 // Builds scene trees from detected shots.
 class SceneTreeBuilder {
  public:
@@ -104,6 +163,7 @@ class SceneTreeBuilder {
 
   // Runs the full Section-3.1 procedure: leaf creation, relation scan,
   // grouping, root creation, naming, and representative-frame selection.
+  // A replay of SceneTreeAccumulator over all shots.
   Result<SceneTree> Build(const VideoSignatures& signatures,
                           const std::vector<Shot>& shots) const;
 

@@ -98,90 +98,182 @@ Result<ShotDetectionResult> CameraTrackingDetector::DetectFromSignatures(
   if (signatures.frames.empty()) {
     return Status::InvalidArgument("no frame signatures");
   }
-  ShotDetectionResult result;
+  // Batch detection is the streaming detector replayed over the whole
+  // clip: one code path, so the two cannot drift apart.
+  StreamingShotDetector stream(options_);
+  std::vector<StreamingShotDetector::ClosedShot> closed;
+  for (const FrameSignature& frame : signatures.frames) {
+    stream.PushFrame(frame, &closed);
+  }
+  stream.Finish(&closed);
 
-  std::vector<int> raw_boundaries;
-  for (int i = 0; i + 1 < signatures.frame_count(); ++i) {
-    PairDecision d = ComparePair(signatures.frames[static_cast<size_t>(i)],
-                                 signatures.frames[static_cast<size_t>(i + 1)]);
+  ShotDetectionResult result;
+  result.stage_stats = stream.stage_stats();
+  result.shots.reserve(closed.size());
+  for (const StreamingShotDetector::ClosedShot& c : closed) {
+    result.shots.push_back(c.shot);
+  }
+  result.boundaries = BoundariesFromShots(result.shots);
+  return result;
+}
+
+StreamingShotDetector::StreamingShotDetector(CameraTrackingOptions options)
+    : pair_(options) {
+  k_ = std::max(2, options.gradual_window);
+  release_lag_ = options.detect_gradual ? k_ : 0;
+  if (options.detect_gradual) {
+    ring_.resize(static_cast<size_t>(k_) + 1);
+  }
+}
+
+Status StreamingShotDetector::ResumeAt(int next_frame,
+                                       const SbdStageStats& stats) {
+  if (pair_.options().detect_gradual) {
+    return Status::InvalidArgument(
+        "ResumeAt with detect_gradual: the dissolve window needs signature "
+        "history that checkpoints do not persist");
+  }
+  if (next_frame_ != 0 || finished_) {
+    return Status::FailedPrecondition("ResumeAt on a used detector");
+  }
+  if (next_frame <= 0) {
+    return Status::InvalidArgument("ResumeAt needs a positive boundary");
+  }
+  next_frame_ = next_frame;
+  shot_start_ = next_frame;
+  last_kept_ = next_frame;
+  have_last_kept_ = true;
+  stats_ = stats;
+  return Status::Ok();
+}
+
+void StreamingShotDetector::PushFrame(const FrameSignature& frame,
+                                      std::vector<ClosedShot>* closed) {
+  const CameraTrackingOptions& opts = pair_.options();
+  const int f = next_frame_++;
+
+  if (opts.detect_gradual) {
+    ring_[static_cast<size_t>(f % (k_ + 1))] = frame;
+  }
+
+  if (have_prev_) {
+    PairDecision d = pair_.ComparePair(prev_, frame);
     switch (d.stage) {
       case SbdStage::kStage1SameShot:
-        ++result.stage_stats.stage1_same;
+        ++stats_.stage1_same;
         break;
       case SbdStage::kStage2SameShot:
-        ++result.stage_stats.stage2_same;
+        ++stats_.stage2_same;
         break;
       case SbdStage::kStage3SameShot:
-        ++result.stage_stats.stage3_same;
+        ++stats_.stage3_same;
         break;
       case SbdStage::kStage3Boundary:
-        ++result.stage_stats.stage3_boundary;
+        ++stats_.stage3_boundary;
         break;
     }
     if (!d.same_shot) {
-      raw_boundaries.push_back(i + 1);
+      if (opts.detect_gradual) pw_all_.push_back(f);
+      pw_pending_.push_back(f);
     }
   }
+  prev_ = frame;
+  have_prev_ = true;
 
-  // Optional gradual-transition pass: a dissolve drifts the background
-  // sign far over a few frames while every consecutive pair stays below
-  // the cut thresholds.
-  if (options_.detect_gradual) {
-    int k = std::max(2, options_.gradual_window);
-    double threshold = options_.gradual_total_pct / 100.0 * 256.0;
-    int tolerance =
-        static_cast<int>(options_.match_tolerance_pct / 100.0 * 256.0);
-    auto near_existing = [&](int frame) {
-      for (int b : raw_boundaries) {
-        if (std::abs(b - frame) <= k) return true;
-      }
-      return false;
-    };
-    std::vector<int> gradual;
-    for (int t = k; t < signatures.frame_count(); ++t) {
-      double drift = MaxChannelDifference(
-          signatures.frames[static_cast<size_t>(t)].sign_ba,
-          signatures.frames[static_cast<size_t>(t - k)].sign_ba);
-      if (drift < threshold) continue;
-      int boundary = t - k / 2;
-      if (near_existing(boundary) ||
-          (!gradual.empty() && boundary - gradual.back() <= 2 * k)) {
-        continue;
-      }
+  if (opts.detect_gradual && f >= k_) {
+    // Window [f-k, f]: the drift and the pan test are both pure functions
+    // of the window's endpoint signatures, so they are evaluated now,
+    // while the ring still holds frame f-k. Whether the candidate
+    // survives (no hard cut within k of its boundary, spacing from the
+    // previous accepted dissolve) is only knowable once the pairwise
+    // decisions through boundary+k exist — hence the candidate queue.
+    double threshold = opts.gradual_total_pct / 100.0 * 256.0;
+    int tolerance = static_cast<int>(opts.match_tolerance_pct / 100.0 * 256.0);
+    const FrameSignature& oldest =
+        ring_[static_cast<size_t>((f - k_) % (k_ + 1))];
+    double drift = MaxChannelDifference(frame.sign_ba, oldest.sign_ba);
+    if (drift >= threshold) {
+      GradualCandidate c;
+      c.t = f;
+      c.boundary = f - k_ / 2;
       // A pan also drifts the sign over k frames; but a pan's background
       // is the old one shifted, so signature shift-matching across the
       // window succeeds. A dissolve mixes two scenes — no shift explains
       // the pair.
-      double shift_score = BestShiftMatchScore(
-          signatures.frames[static_cast<size_t>(t - k)].signature_ba,
-          signatures.frames[static_cast<size_t>(t)].signature_ba,
-          tolerance);
-      if (shift_score >= options_.stage3_run_fraction) continue;
-      gradual.push_back(boundary);
+      c.pans = BestShiftMatchScore(oldest.signature_ba, frame.signature_ba,
+                                   tolerance) >= opts.stage3_run_fraction;
+      candidates_.push_back(c);
     }
-    raw_boundaries.insert(raw_boundaries.end(), gradual.begin(),
-                          gradual.end());
-    std::sort(raw_boundaries.begin(), raw_boundaries.end());
+    // Settle candidates whose suppression window [boundary-k, boundary+k]
+    // is now fully inside the decided pairwise prefix (boundary+k <= f).
+    while (!candidates_.empty() && candidates_.front().boundary + k_ <= f) {
+      SettleCandidate(candidates_.front());
+      candidates_.pop_front();
+    }
   }
 
+  ReleaseThrough(f - release_lag_, closed);
+}
+
+void StreamingShotDetector::Finish(std::vector<ClosedShot>* closed) {
+  if (finished_) return;
+  finished_ = true;
+  // End of stream: every pairwise decision exists, so the remaining
+  // candidates settle and every held boundary is released.
+  while (!candidates_.empty()) {
+    SettleCandidate(candidates_.front());
+    candidates_.pop_front();
+  }
+  ReleaseThrough(next_frame_, closed);
+  if (next_frame_ > shot_start_) {
+    closed->push_back(ClosedShot{Shot{shot_start_, next_frame_ - 1}, stats_});
+  }
+}
+
+void StreamingShotDetector::SettleCandidate(const GradualCandidate& c) {
+  // Suppressed by any hard cut within k of the would-be boundary. pw_all_
+  // is ascending, so one lower_bound finds the closest cut at or above
+  // boundary-k.
+  auto it = std::lower_bound(pw_all_.begin(), pw_all_.end(), c.boundary - k_);
+  if (it != pw_all_.end() && *it <= c.boundary + k_) return;
+  if (have_gr_last_ && c.boundary - gr_last_ <= 2 * k_) return;
+  if (c.pans) return;
+  gr_last_ = c.boundary;
+  have_gr_last_ = true;
+  gr_pending_.push_back(c.boundary);
+}
+
+void StreamingShotDetector::ReleaseThrough(int watermark,
+                                           std::vector<ClosedShot>* closed) {
+  // Merge the two ascending pending streams in boundary order — exactly
+  // the sorted union the batch algorithm feeds its min-shot merge.
+  for (;;) {
+    bool pw_ready = !pw_pending_.empty() && pw_pending_.front() <= watermark;
+    bool gr_ready = !gr_pending_.empty() && gr_pending_.front() <= watermark;
+    if (!pw_ready && !gr_ready) break;
+    int b;
+    if (pw_ready && (!gr_ready || pw_pending_.front() < gr_pending_.front())) {
+      b = pw_pending_.front();
+      pw_pending_.pop_front();
+    } else {
+      b = gr_pending_.front();
+      gr_pending_.pop_front();
+    }
+    KeepOrMergeBoundary(b, closed);
+  }
+}
+
+void StreamingShotDetector::KeepOrMergeBoundary(int b,
+                                                std::vector<ClosedShot>* closed) {
   // Merge shots shorter than min_shot_frames into their successor: a
   // boundary that opens a too-short shot is dropped, keeping the earlier
   // boundary (flash frames then sit inside a longer shot).
-  std::vector<int> boundaries;
-  for (int b : raw_boundaries) {
-    if (!boundaries.empty() &&
-        b - boundaries.back() < options_.min_shot_frames) {
-      continue;
-    }
-    if (boundaries.empty() && b < options_.min_shot_frames) {
-      continue;
-    }
-    boundaries.push_back(b);
-  }
-
-  result.boundaries = boundaries;
-  result.shots = ShotsFromBoundaries(boundaries, signatures.frame_count());
-  return result;
+  int min = pair_.options().min_shot_frames;
+  if (have_last_kept_ ? (b - last_kept_ < min) : (b < min)) return;
+  closed->push_back(ClosedShot{Shot{shot_start_, b - 1}, stats_});
+  shot_start_ = b;
+  last_kept_ = b;
+  have_last_kept_ = true;
 }
 
 Result<ShotDetectionResult> CameraTrackingDetector::Detect(

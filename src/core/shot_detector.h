@@ -1,6 +1,7 @@
 #ifndef VDB_CORE_SHOT_DETECTOR_H_
 #define VDB_CORE_SHOT_DETECTOR_H_
 
+#include <deque>
 #include <vector>
 
 #include "core/extractor.h"
@@ -107,6 +108,107 @@ class CameraTrackingDetector {
 
  private:
   CameraTrackingOptions options_;
+};
+
+// Incremental (frame-at-a-time) form of the camera-tracking detector, the
+// heart of the streaming ingest pipeline (stream/). Frames are fed one
+// FrameSignature at a time; shots are reported as soon as they are final.
+// The state carried between frames is the previous frame's signature, the
+// cumulative stage statistics, and — only when detect_gradual is on — a
+// ring of the last gradual_window+1 signatures plus the not-yet-settled
+// dissolve candidates. Memory is O(gradual_window), never O(frames).
+//
+// CameraTrackingDetector::DetectFromSignatures is a thin wrapper over this
+// class, so streaming and batch detection are boundary-for-boundary and
+// stat-for-stat identical by construction (the golden equivalence test in
+// tests/stream pins this across all Table-5 presets).
+//
+// Latency: with detect_gradual off, a shot closes on the very pair that
+// discovered its end boundary. With it on, closure lags gradual_window
+// frames — a dissolve candidate at frame t is only accepted or rejected
+// once the pairwise decisions through t+⌈k/2⌉ exist (a nearby hard cut
+// suppresses it), so boundaries are released once the stream is k frames
+// past them.
+class StreamingShotDetector {
+ public:
+  struct ClosedShot {
+    Shot shot;
+    // Cumulative pair statistics at the instant the shot closed. With
+    // detect_gradual off this covers exactly the pairs (0,1)..(b-1,b)
+    // where b is the shot-ending boundary — the seed ResumeAt needs.
+    SbdStageStats stats_at_close;
+  };
+
+  explicit StreamingShotDetector(
+      CameraTrackingOptions options = CameraTrackingOptions());
+
+  const CameraTrackingOptions& options() const { return pair_.options(); }
+
+  // Feeds the next frame's signature. Any shots that became final are
+  // appended to *closed (zero or more per call).
+  void PushFrame(const FrameSignature& frame, std::vector<ClosedShot>* closed);
+
+  // Ends the stream: settles pending dissolve candidates, flushes held
+  // boundaries, and closes the final open shot. No frames pushed → no
+  // shots appended. The detector is spent afterwards.
+  void Finish(std::vector<ClosedShot>* closed);
+
+  // Restarts detection mid-clip after a checkpoint: frames [0, next_frame)
+  // were already analysed with the last shot closed at boundary
+  // `next_frame`, and `stats` is the cumulative pair statistics through
+  // pair (next_frame-1, next_frame) — i.e. the final ClosedShot's
+  // stats_at_close. The next PushFrame must be frame `next_frame` of the
+  // clip. Must be called before any PushFrame. Rejected when
+  // detect_gradual is on: replaying a dissolve window would need signature
+  // history that checkpoints do not persist.
+  Status ResumeAt(int next_frame, const SbdStageStats& stats);
+
+  // Index the next PushFrame will be treated as (equals frames pushed,
+  // plus the resume offset).
+  int next_frame() const { return next_frame_; }
+
+  // Cumulative statistics over every pair decided so far.
+  const SbdStageStats& stage_stats() const { return stats_; }
+
+ private:
+  // A dissolve candidate, created when the sign drifted over the window
+  // ending at frame t; settled (accepted into gr_pending_ or dropped) once
+  // the pairwise decisions it can collide with exist.
+  struct GradualCandidate {
+    int t = 0;         // window end frame
+    int boundary = 0;  // t - k/2, the would-be boundary
+    bool pans = false;  // shift-matching explained the drift (camera pan)
+  };
+
+  void SettleCandidate(const GradualCandidate& c);
+  void ReleaseThrough(int watermark, std::vector<ClosedShot>* closed);
+  void KeepOrMergeBoundary(int b, std::vector<ClosedShot>* closed);
+
+  CameraTrackingDetector pair_;  // reused for its ComparePair cascade
+  int k_ = 0;                    // effective gradual window
+  int release_lag_ = 0;          // k_ when detect_gradual, else 0
+
+  int next_frame_ = 0;
+  bool finished_ = false;
+  FrameSignature prev_;
+  bool have_prev_ = false;
+  SbdStageStats stats_;
+
+  // Gradual machinery (unused when detect_gradual is off).
+  std::vector<FrameSignature> ring_;  // last k_+1 frames, indexed mod k_+1
+  std::deque<GradualCandidate> candidates_;
+  std::vector<int> pw_all_;  // every pairwise boundary, for suppression
+  int gr_last_ = 0;          // last accepted gradual boundary
+  bool have_gr_last_ = false;
+
+  // Boundaries awaiting release to the min-shot merge, each ascending.
+  std::deque<int> pw_pending_;
+  std::deque<int> gr_pending_;
+
+  // Min-shot merge state: the open shot and the last kept boundary.
+  int shot_start_ = 0;
+  int last_kept_ = 0;
+  bool have_last_kept_ = false;
 };
 
 // Longest run of matching pixels over all relative shifts of two equal-

@@ -1,6 +1,7 @@
 #include "core/variance_index.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <mutex>
 #include <cmath>
 
@@ -41,16 +42,34 @@ double IndexEntry::Dv() const {
 }
 
 void VarianceIndex::Add(const IndexEntry& entry) {
+  std::lock_guard<std::mutex> lock(sort_mu_);
   entries_.push_back(entry);
   sorted_ = false;
 }
 
 void VarianceIndex::AddVideo(int video_id,
                              const std::vector<ShotFeatures>& features) {
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  size_t mid = entries_.size();
   for (size_t i = 0; i < features.size(); ++i) {
-    Add(IndexEntry{video_id, static_cast<int>(i), features[i].var_ba,
-                   features[i].var_oa});
+    entries_.push_back(IndexEntry{video_id, static_cast<int>(i),
+                                  features[i].var_ba, features[i].var_oa});
   }
+  if (!sorted_) return;  // a lazy full sort is already owed
+  // Incremental per-video update: stably sort just the new rows and merge
+  // them in. stable_sort(old ++ new) with a sorted old prefix is exactly
+  // inplace_merge(old, stable_sort(new)) — both keep equal-D^v rows in
+  // insertion order with old before new — so the table is bit-identical
+  // to a full rebuild (asserted in variance_index_test) at O(m log m + n)
+  // per video instead of O((n+m) log (n+m)).
+  auto by_dv = [](const IndexEntry& a, const IndexEntry& b) {
+    return a.Dv() < b.Dv();
+  };
+  std::stable_sort(entries_.begin() + static_cast<ptrdiff_t>(mid),
+                   entries_.end(), by_dv);
+  std::inplace_merge(entries_.begin(),
+                     entries_.begin() + static_cast<ptrdiff_t>(mid),
+                     entries_.end(), by_dv);
 }
 
 void VarianceIndex::EnsureSorted() const {

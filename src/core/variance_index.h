@@ -54,10 +54,15 @@ class VarianceIndex {
   VarianceIndex(const VarianceIndex&) = delete;
   VarianceIndex& operator=(const VarianceIndex&) = delete;
 
-  // Adds one shot. Entries may arrive in any order.
+  // Adds one shot. Entries may arrive in any order; the table is lazily
+  // re-sorted in full on the next query.
   void Add(const IndexEntry& entry);
 
-  // Adds every shot of a video.
+  // Adds every shot of a video. When the table is currently sorted this is
+  // the incremental path — the new rows are sorted on their own and stably
+  // merged in, bit-identical to a full rebuild but without re-sorting the
+  // whole table — so both batch and streaming ingest pay O(m log m + n)
+  // per video, not O((n+m) log (n+m)).
   void AddVideo(int video_id, const std::vector<ShotFeatures>& features);
 
   int size() const { return static_cast<int>(entries_.size()); }

@@ -1,0 +1,97 @@
+#include "stream/frame_source.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+#include "video/video_io.h"
+
+namespace vdb {
+namespace stream {
+namespace {
+
+class VideoFileSource : public FrameSource {
+ public:
+  explicit VideoFileSource(VideoFileReader reader)
+      : reader_(std::move(reader)) {}
+
+  const std::string& name() const override { return reader_.name(); }
+  double fps() const override { return reader_.fps(); }
+  int width() const override { return reader_.width(); }
+  int height() const override { return reader_.height(); }
+  int frame_count() const override { return reader_.frame_count(); }
+  bool AtEnd() const override { return at_end_ || reader_.AtEnd(); }
+
+  Result<Frame> Next() override {
+    if (at_end_) {
+      return Status::OutOfRange("read past the last frame");
+    }
+    return reader_.ReadNextFrame();
+  }
+
+  // The FrameSource contract allows seeking to exactly frame_count() —
+  // positioned at end, zero frames left — which a fully-completed resume
+  // relies on. The underlying reader only seeks to existing frames, so
+  // end-of-file is tracked here instead.
+  Status SeekToFrame(int frame_index) override {
+    if (frame_index == reader_.frame_count()) {
+      at_end_ = true;
+      return Status::Ok();
+    }
+    VDB_RETURN_IF_ERROR(reader_.SeekToFrame(frame_index));
+    at_end_ = false;
+    return Status::Ok();
+  }
+
+ private:
+  VideoFileReader reader_;
+  bool at_end_ = false;
+};
+
+class MemoryVideoSource : public FrameSource {
+ public:
+  explicit MemoryVideoSource(Video video) : video_(std::move(video)) {}
+
+  const std::string& name() const override { return video_.name(); }
+  double fps() const override { return video_.fps(); }
+  int width() const override { return video_.width(); }
+  int height() const override { return video_.height(); }
+  int frame_count() const override { return video_.frame_count(); }
+  bool AtEnd() const override { return next_ >= video_.frame_count(); }
+
+  Result<Frame> Next() override {
+    if (AtEnd()) {
+      return Status::OutOfRange("read past the last frame");
+    }
+    return video_.frame(next_++);
+  }
+
+  Status SeekToFrame(int frame_index) override {
+    if (frame_index < 0 || frame_index > video_.frame_count()) {
+      return Status::OutOfRange(StrFormat("seek to frame %d of %d",
+                                          frame_index, video_.frame_count()));
+    }
+    next_ = frame_index;
+    return Status::Ok();
+  }
+
+ private:
+  Video video_;
+  int next_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FrameSource>> OpenVideoFileSource(
+    const std::string& path) {
+  VDB_ASSIGN_OR_RETURN(VideoFileReader reader, VideoFileReader::Open(path));
+  return std::unique_ptr<FrameSource>(
+      new VideoFileSource(std::move(reader)));
+}
+
+std::unique_ptr<FrameSource> MakeVideoFrameSource(Video video) {
+  return std::unique_ptr<FrameSource>(
+      new MemoryVideoSource(std::move(video)));
+}
+
+}  // namespace stream
+}  // namespace vdb

@@ -1,0 +1,127 @@
+#ifndef VDB_UTIL_BOUNDED_QUEUE_H_
+#define VDB_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace vdb {
+
+// A blocking multi-producer multi-consumer queue with a hard capacity: the
+// backpressure primitive of the streaming ingest pipeline (stream/). A
+// producer that outruns its consumer blocks in Push once `capacity` items
+// are queued, so memory between two pipeline stages is bounded by
+// capacity × item size no matter how lopsided the stage costs are.
+//
+// Lifecycle: Close() ends the stream. After Close, Push refuses new items
+// (returns false) and wakes every blocked producer; Pop keeps draining
+// what was queued before the close and returns false only once the queue
+// is empty — so a closed queue delivers every accepted item exactly once.
+// Close is idempotent and safe from any thread, including a signal path
+// that wants to cancel a pipeline mid-flight.
+//
+// high_water() reports the largest size ever reached; the pipeline tests
+// assert it never exceeds capacity (backpressure engaged, no unbounded
+// buffering).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. True when the item was enqueued; false
+  // when the queue was closed (the item is dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    ++total_pushed_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking variant: false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+      ++total_pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. True with *out filled, or
+  // false once the queue is closed and fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Ends the stream: wakes every blocked producer and consumer. Items
+  // already queued remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  // Largest size ever reached (≤ capacity by construction).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  // Items accepted by Push/TryPush over the queue's lifetime.
+  uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pushed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t high_water_ = 0;
+  uint64_t total_pushed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_BOUNDED_QUEUE_H_

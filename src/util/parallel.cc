@@ -6,6 +6,13 @@
 
 namespace vdb {
 
+namespace {
+// The pool whose task the current thread is running, if any. Lets Submit
+// distinguish nested submissions (accepted while draining) from outside
+// callers (rejected while draining).
+thread_local ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
 int HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
@@ -21,15 +28,21 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == State::kRunning) state_ = State::kDraining;
+    // Drain: in-flight tasks (and their nested submissions, which Submit
+    // still accepts from worker threads) run to completion.
     idle_cv_.wait(lock, [this] { return pending_ == 0; });
-    shutdown_ = true;
+    state_ = State::kStopped;
   }
   work_cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& w : workers_) {
-    w.join();
+    if (w.joinable()) w.join();
   }
 }
 
@@ -42,29 +55,38 @@ void ThreadPool::RecordError(Status status) {
 }
 
 void ThreadPool::RunTask(const std::function<Status()>& task) {
+  ThreadPool* prev = tls_current_pool;
+  tls_current_pool = this;
   Status s = task();
+  tls_current_pool = prev;
   if (!s.ok()) RecordError(std::move(s));
 }
 
-void ThreadPool::Submit(std::function<Status()> task) {
+bool ThreadPool::Submit(std::function<Status()> task) {
+  const bool nested = tls_current_pool == this;
   if (workers_.empty()) {
     // Inline mode: count the task as pending so nested Submit from inside
     // a task keeps Wait()'s accounting consistent, then run it here.
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (state_ == State::kStopped) return false;
+      if (state_ == State::kDraining && !nested) return false;
       ++pending_;
     }
     RunTask(task);
     std::lock_guard<std::mutex> lock(mu_);
     if (--pending_ == 0) idle_cv_.notify_all();
-    return;
+    return true;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kStopped) return false;
+    if (state_ == State::kDraining && !nested) return false;
     ++pending_;
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 Status ThreadPool::Wait() {
@@ -81,8 +103,10 @@ void ThreadPool::WorkerLoop() {
     std::function<Status()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with nothing left to do
+      work_cv_.wait(lock, [this] {
+        return state_ == State::kStopped || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopped with nothing left to do
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -102,7 +126,7 @@ Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
   auto next = std::make_shared<std::atomic<int>>(0);
   int tasks = std::min(std::max(num_threads_, 1), n);
   for (int t = 0; t < tasks; ++t) {
-    Submit([this, next, n, &fn]() -> Status {
+    bool accepted = Submit([this, next, n, &fn]() -> Status {
       for (int i = next->fetch_add(1, std::memory_order_relaxed); i < n;
            i = next->fetch_add(1, std::memory_order_relaxed)) {
         if (has_error()) return Status::Ok();
@@ -110,6 +134,13 @@ Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
       }
       return Status::Ok();
     });
+    if (!accepted) {
+      // Pool is draining/stopped. Tasks already accepted will still run;
+      // wait for them, then report the rejection.
+      Status drained = Wait();
+      if (!drained.ok()) return drained;
+      return Status::FailedPrecondition("ParallelFor on a shut-down pool");
+    }
   }
   // The tasks capture fn by reference, so they must all finish before this
   // frame unwinds — Wait() guarantees that and surfaces the first error.

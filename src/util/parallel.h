@@ -30,6 +30,17 @@ int HardwareThreads();
 // nested tasks finish too). Wait() must not be called from inside a task:
 // a worker waiting for the queue it is supposed to drain deadlocks.
 //
+// Lifecycle: the pool moves kRunning → kDraining → kStopped. Shutdown()
+// (or the destructor, which calls it) enters kDraining: tasks already
+// queued or running keep going, and *nested* submissions from those tasks
+// are still accepted — a task that fans out must be able to finish — but
+// Submit from any outside thread is rejected (returns false). Once the
+// last task retires the pool is kStopped and every Submit is rejected.
+// This closes the race where a task submitting work mid-teardown could
+// enqueue into a pool whose workers had already been told to exit.
+// Shutdown() is idempotent and safe to call from multiple threads (never
+// from inside a task — that deadlocks like Wait()).
+//
 // num_threads <= 1 is the inline mode: no workers are spawned and Submit()
 // runs the task on the calling thread immediately. This keeps single-
 // threaded callers deterministic and makes the pool safe to use in code
@@ -39,8 +50,8 @@ class ThreadPool {
   // num_threads <= 0 uses HardwareThreads().
   explicit ThreadPool(int num_threads = 0);
 
-  // Drains outstanding tasks, then joins the workers. Errors produced by
-  // tasks nobody waited for are dropped.
+  // Calls Shutdown(): drains outstanding tasks, then joins the workers.
+  // Errors produced by tasks nobody waited for are dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -48,8 +59,17 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  // Enqueues a task. In inline mode the task runs before Submit returns.
-  void Submit(std::function<Status()> task);
+  // Enqueues a task; in inline mode the task runs before Submit returns.
+  // Returns true if the task was accepted. False once the pool is draining
+  // (unless called from inside one of this pool's own tasks) or stopped;
+  // the task is dropped without running.
+  bool Submit(std::function<Status()> task);
+
+  // Drain-then-reject teardown: stops accepting outside work, waits for
+  // every queued/running task (and their nested submissions) to finish,
+  // then joins the workers. Idempotent; safe from multiple threads; must
+  // not be called from inside a task.
+  void Shutdown();
 
   // Blocks until every submitted task (including tasks submitted by other
   // tasks) has finished, then returns the first non-OK status seen since
@@ -67,6 +87,8 @@ class ThreadPool {
   Status ParallelFor(int n, const std::function<Status(int)>& fn);
 
  private:
+  enum class State { kRunning, kDraining, kStopped };
+
   void WorkerLoop();
   void RunTask(const std::function<Status()>& task);
   void RecordError(Status status);
@@ -79,9 +101,11 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // signalled when pending_ hits zero
   std::deque<std::function<Status()>> queue_;
   int pending_ = 0;  // queued + currently running
-  bool shutdown_ = false;
+  State state_ = State::kRunning;
   Status first_error_;
   std::atomic<bool> error_flag_{false};
+
+  std::mutex join_mu_;  // serialises concurrent Shutdown() calls at join time
 };
 
 // Runs fn(0) ... fn(n-1) across up to `num_threads` threads. Returns the

@@ -110,6 +110,49 @@ TEST(VarianceIndexTest, AddVideoIndexesEveryShot) {
   }
 }
 
+// The streaming-ingest invariant: AddVideo onto an already-sorted index
+// takes the incremental merge path, and its result must be bit-identical —
+// same entries in the same order — to rebuilding the whole table from
+// scratch with one lazy sort at the end.
+TEST(VarianceIndexTest, IncrementalAddVideoMatchesFullRebuild) {
+  Pcg32 rng(20260806);
+  std::vector<std::vector<ShotFeatures>> videos(6);
+  const int sizes[] = {5, 17, 3, 29, 8, 1};
+  for (size_t v = 0; v < videos.size(); ++v) {
+    videos[v].resize(static_cast<size_t>(sizes[v]));
+    for (ShotFeatures& f : videos[v]) {
+      f.var_ba = rng.NextDouble(0.0, 400.0);
+      f.var_oa = rng.NextDouble(0.0, 400.0);
+    }
+  }
+  // Exact D^v ties across videos, so stability of the merge is observable.
+  videos[4] = videos[1];
+
+  // Incremental: a query between AddVideo calls forces the sort, so every
+  // subsequent AddVideo exercises the sorted inplace-merge path.
+  VarianceIndex incremental;
+  for (size_t v = 0; v < videos.size(); ++v) {
+    incremental.AddVideo(static_cast<int>(v), videos[v]);
+    incremental.Query(VarianceQuery{});
+  }
+
+  VarianceIndex rebuilt;
+  for (size_t v = 0; v < videos.size(); ++v) {
+    rebuilt.AddVideo(static_cast<int>(v), videos[v]);
+  }
+  rebuilt.Query(VarianceQuery{});
+
+  ASSERT_EQ(incremental.size(), rebuilt.size());
+  const std::vector<IndexEntry>& a = incremental.entries();
+  const std::vector<IndexEntry>& b = rebuilt.entries();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].video_id, b[i].video_id) << "row " << i;
+    EXPECT_EQ(a[i].shot_index, b[i].shot_index) << "row " << i;
+    EXPECT_EQ(a[i].var_ba, b[i].var_ba) << "row " << i;
+    EXPECT_EQ(a[i].var_oa, b[i].var_oa) << "row " << i;
+  }
+}
+
 TEST(QueryTopKTest, WidensBandUntilKFound) {
   VarianceIndex index;
   index.Add(Entry(0, 0, 0.0, 0.0));

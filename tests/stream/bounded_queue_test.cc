@@ -1,0 +1,145 @@
+// Tests of the MPMC bounded queue, the backpressure primitive of the
+// streaming pipeline: capacity is a hard ceiling (a slow consumer stalls
+// producers at exactly `capacity` queued items), Close() wakes everyone,
+// and a closed queue still drains every accepted item exactly once.
+
+#include "util/bounded_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(BoundedQueueTest, FifoWithinOneProducer) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(i));
+  q.Close();
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.Pop(&v));
+}
+
+TEST(BoundedQueueTest, CapacityZeroClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+}
+
+// The backpressure contract: with a stalled consumer, a producer gets
+// exactly `capacity` items in and then blocks — memory between two stages
+// can never exceed capacity no matter how lopsided their speeds are.
+TEST(BoundedQueueTest, SlowConsumerStallsProducerAtExactlyCapacity) {
+  constexpr size_t kCapacity = 3;
+  constexpr int kItems = 10;
+  BoundedQueue<int> q(kCapacity);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      if (!q.Push(i)) break;
+      pushed.fetch_add(1);
+    }
+  });
+
+  // The producer races ahead; with nobody popping it must stop at exactly
+  // the capacity — not one item more, however long we wait.
+  while (pushed.load() < static_cast<int>(kCapacity)) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_EQ(pushed.load(), static_cast<int>(kCapacity));
+  EXPECT_EQ(q.size(), kCapacity);
+
+  // Each pop unblocks exactly one more push; the consumer drains all items
+  // in order and the high-water mark never exceeded the capacity.
+  int v = -1;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), kItems);
+  EXPECT_EQ(q.high_water(), kCapacity);
+  EXPECT_EQ(q.total_pushed(), static_cast<uint64_t>(kItems));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndRefusesTheItem) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.Push(1)); });
+  std::this_thread::sleep_for(milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // the blocked item was dropped
+
+  // What was accepted before the close still drains.
+  int v = -1;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(q.Pop(&v));
+  EXPECT_FALSE(q.Push(2));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> pop_result{true};
+  std::thread consumer([&] {
+    int v;
+    pop_result.store(q.Pop(&v));
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_FALSE(pop_result.load());
+}
+
+// Many producers, many consumers: every accepted item is delivered exactly
+// once even with the close racing the tail of the production.
+TEST(BoundedQueueTest, MpmcDeliversEveryAcceptedItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex seen_mu;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v;
+      while (q.Pop(&v)) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,184 @@
+// Streaming-vs-batch equivalence of the incremental shot detector across
+// every Table-5 preset (pairwise cascade and gradual-detection configs),
+// plus the ResumeAt contract the checkpoint/resume path depends on.
+
+#include "core/shot_detector.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "tests/support/render_cache.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace {
+
+// Same corpus parameters as the batch-ingest golden test, so renders are
+// shared through the on-disk cache.
+constexpr double kScale = 0.06;
+constexpr uint64_t kSeed = 5;
+
+VideoSignatures SignaturesOf(const ClipProfile& profile) {
+  Storyboard board = MakeStoryboardFromProfile(profile, kScale, kSeed);
+  const SyntheticVideo& synth = testsupport::CachedRender(board);
+  Result<VideoSignatures> sigs = ComputeVideoSignatures(synth.video);
+  EXPECT_TRUE(sigs.ok()) << sigs.status();
+  return std::move(*sigs);
+}
+
+// Pushes every frame one at a time, collecting closed shots as they are
+// released, and checks the incremental stream agrees with the one-call
+// batch API — shots, boundary layout, and stage statistics.
+void ExpectStreamingMatchesBatch(const VideoSignatures& sigs,
+                                 const CameraTrackingOptions& options) {
+  CameraTrackingDetector batch(options);
+  Result<ShotDetectionResult> expected = batch.DetectFromSignatures(sigs);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  StreamingShotDetector stream(options);
+  std::vector<StreamingShotDetector::ClosedShot> closed;
+  int min_open = 0;   // shots close in order and never regress
+  size_t checked = 0;  // closed shots are appended; check each one once
+  for (const FrameSignature& frame : sigs.frames) {
+    stream.PushFrame(frame, &closed);
+    for (; checked < closed.size(); ++checked) {
+      EXPECT_GE(closed[checked].shot.start_frame, min_open);
+      min_open = closed[checked].shot.end_frame + 1;
+    }
+  }
+  stream.Finish(&closed);
+
+  ASSERT_EQ(closed.size(), expected->shots.size());
+  for (size_t i = 0; i < closed.size(); ++i) {
+    EXPECT_EQ(closed[i].shot.start_frame, expected->shots[i].start_frame)
+        << "shot " << i;
+    EXPECT_EQ(closed[i].shot.end_frame, expected->shots[i].end_frame)
+        << "shot " << i;
+  }
+  const SbdStageStats& got = stream.stage_stats();
+  EXPECT_EQ(got.stage1_same, expected->stage_stats.stage1_same);
+  EXPECT_EQ(got.stage2_same, expected->stage_stats.stage2_same);
+  EXPECT_EQ(got.stage3_same, expected->stage_stats.stage3_same);
+  EXPECT_EQ(got.stage3_boundary, expected->stage_stats.stage3_boundary);
+
+  // stats_at_close must be monotone in every counter (each closed shot
+  // carries the cumulative pair statistics at its close).
+  long last_total = 0;
+  for (const auto& c : closed) {
+    EXPECT_GE(c.stats_at_close.total(), last_total);
+    last_total = c.stats_at_close.total();
+  }
+}
+
+class StreamingDetectorEquivalenceTest
+    : public testing::TestWithParam<int> {};
+
+TEST_P(StreamingDetectorEquivalenceTest, PairwiseMatchesBatch) {
+  // Table5Profiles() returns by value — copy, don't bind a reference into
+  // the destroyed temporary.
+  const ClipProfile profile =
+      Table5Profiles()[static_cast<size_t>(GetParam())];
+  VideoSignatures sigs = SignaturesOf(profile);
+  ExpectStreamingMatchesBatch(sigs, CameraTrackingOptions());
+}
+
+TEST_P(StreamingDetectorEquivalenceTest, GradualMatchesBatch) {
+  // Table5Profiles() returns by value — copy, don't bind a reference into
+  // the destroyed temporary.
+  const ClipProfile profile =
+      Table5Profiles()[static_cast<size_t>(GetParam())];
+  VideoSignatures sigs = SignaturesOf(profile);
+  CameraTrackingOptions options;
+  options.detect_gradual = true;
+  ExpectStreamingMatchesBatch(sigs, options);
+
+  // A second configuration with a wider window and a lower drift bar
+  // exercises the candidate-settling watermark harder.
+  options.gradual_window = 12;
+  options.gradual_total_pct = 5.0;
+  ExpectStreamingMatchesBatch(sigs, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTable5Clips, StreamingDetectorEquivalenceTest,
+    testing::Range(0, static_cast<int>(Table5Profiles().size())),
+    [](const testing::TestParamInfo<int>& info) {
+      std::string name = Table5Profiles()[static_cast<size_t>(
+                             info.param)].name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ResumeAt(B, stats) must put a fresh detector into exactly the state the
+// original was in right after closing a shot at boundary B: the remaining
+// stream then yields the remaining shots and the same final statistics.
+TEST(StreamingDetectorResumeTest, ResumeReproducesTheTailOfTheStream) {
+  VideoSignatures sigs = SignaturesOf(Table5Profiles()[3]);
+  CameraTrackingOptions options;
+
+  StreamingShotDetector full(options);
+  std::vector<StreamingShotDetector::ClosedShot> all;
+  for (const FrameSignature& frame : sigs.frames) full.PushFrame(frame, &all);
+  full.Finish(&all);
+  ASSERT_GE(all.size(), 3u) << "corpus too small to split";
+
+  // Resume from after each closed shot except the last (whose boundary is
+  // end-of-stream, not a detected cut).
+  for (size_t split = 0; split + 1 < all.size(); ++split) {
+    SCOPED_TRACE("resume after shot " + std::to_string(split));
+    const int boundary = all[split].shot.end_frame + 1;
+    StreamingShotDetector resumed(options);
+    ASSERT_TRUE(
+        resumed.ResumeAt(boundary, all[split].stats_at_close).ok());
+    EXPECT_EQ(resumed.next_frame(), boundary);
+
+    std::vector<StreamingShotDetector::ClosedShot> tail;
+    for (size_t f = static_cast<size_t>(boundary); f < sigs.frames.size();
+         ++f) {
+      resumed.PushFrame(sigs.frames[f], &tail);
+    }
+    resumed.Finish(&tail);
+
+    ASSERT_EQ(tail.size(), all.size() - split - 1);
+    for (size_t i = 0; i < tail.size(); ++i) {
+      EXPECT_EQ(tail[i].shot.start_frame,
+                all[split + 1 + i].shot.start_frame);
+      EXPECT_EQ(tail[i].shot.end_frame, all[split + 1 + i].shot.end_frame);
+    }
+    EXPECT_EQ(resumed.stage_stats().total(), full.stage_stats().total());
+    EXPECT_EQ(resumed.stage_stats().stage3_boundary,
+              full.stage_stats().stage3_boundary);
+  }
+}
+
+TEST(StreamingDetectorResumeTest, ResumeRejectsGradualMode) {
+  CameraTrackingOptions options;
+  options.detect_gradual = true;
+  StreamingShotDetector detector(options);
+  Status status = detector.ResumeAt(10, SbdStageStats());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingDetectorResumeTest, ResumeRejectsUsedDetectorAndBadFrame) {
+  StreamingShotDetector detector;
+  EXPECT_EQ(detector.ResumeAt(0, SbdStageStats()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(detector.ResumeAt(-3, SbdStageStats()).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<StreamingShotDetector::ClosedShot> closed;
+  FrameSignature frame;
+  detector.PushFrame(frame, &closed);
+  EXPECT_EQ(detector.ResumeAt(5, SbdStageStats()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,99 @@
+// Golden test of vdbtool's command-line surface: the usage text is the
+// tool's public contract, so it is pinned here verbatim — every subcommand
+// (stream-ingest included) must stay advertised, and the unknown-command
+// and wrong-arity diagnostics must stay distinguishable.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef VDB_VDBTOOL_PATH
+#error "VDB_VDBTOOL_PATH must point at the built vdbtool binary"
+#endif
+
+namespace {
+
+struct ToolRun {
+  int exit_code = -1;
+  std::string output;  // stdout and stderr interleaved
+};
+
+ToolRun RunTool(const std::string& args) {
+  ToolRun run;
+  std::string command = std::string(VDB_VDBTOOL_PATH);
+  if (!args.empty()) command += " " + args;
+  command += " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.output.append(buf, n);
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) run.exit_code = WEXITSTATUS(status);
+  return run;
+}
+
+constexpr char kUsage[] =
+    "usage:\n"
+    "  vdbtool synth <preset> <out.vdb> [scale]\n"
+    "  vdbtool info <clip.vdb>\n"
+    "  vdbtool analyze <clip.vdb>...\n"
+    "  vdbtool catalog <out.vdbcat> <clip.vdb>...\n"
+    "  vdbtool store-save <store-dir> <clip.vdb>...\n"
+    "  vdbtool store-open <store-dir>\n"
+    "  vdbtool store-compact <store-dir>\n"
+    "  vdbtool stream-ingest <clip.vdb> <store-dir> [shots-per-checkpoint]\n"
+    "  vdbtool tree <clip.vdb>\n"
+    "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "
+    "[form=F]\n"
+    "  vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...\n"
+    "  vdbtool browse <clip.vdb> [child.child...]\n"
+    "  vdbtool export-frame <clip.vdb> <frame#> <out.ppm>\n"
+    "  vdbtool presets\n"
+    "serving a catalog (separate tools):\n"
+    "  vdbserve <catalog.vdbcat>... --port N   long-lived query service\n"
+    "  vdbload --port N                        load generator / latency "
+    "bench\n";
+
+TEST(VdbtoolCliTest, NoArgsPrintsGoldenUsage) {
+  ToolRun run = RunTool("");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_EQ(run.output, std::string("vdbtool: missing command\n") + kUsage);
+}
+
+TEST(VdbtoolCliTest, UnknownCommandIsNamedBeforeUsage) {
+  ToolRun run = RunTool("florble");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_EQ(run.output,
+            std::string("vdbtool: unknown command 'florble'\n") + kUsage);
+}
+
+TEST(VdbtoolCliTest, WrongArityIsDistinguishedFromUnknownCommand) {
+  ToolRun run = RunTool("stream-ingest");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_EQ(run.output,
+            std::string("vdbtool: wrong arguments for 'stream-ingest'\n") +
+                kUsage);
+}
+
+TEST(VdbtoolCliTest, StreamIngestIsAdvertised) {
+  // Also covered by the golden comparison above; this pins the exact
+  // synopsis so a reworded usage line is an explicit decision.
+  EXPECT_NE(std::string(kUsage).find(
+                "vdbtool stream-ingest <clip.vdb> <store-dir> "
+                "[shots-per-checkpoint]"),
+            std::string::npos);
+}
+
+TEST(VdbtoolCliTest, StreamIngestOnMissingFileFailsCleanly) {
+  ToolRun run = RunTool("stream-ingest /nonexistent.vdb /tmp/nowhere");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

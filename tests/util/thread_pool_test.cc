@@ -1,4 +1,5 @@
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -102,6 +103,68 @@ TEST(ThreadPoolTest, NestedTaskErrorPropagates) {
   });
   Status s = pool.Wait();
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+// Shutdown is drain-then-reject: tasks already accepted (and anything they
+// spawn) run to completion, while outside submitters are turned away the
+// moment draining begins.
+TEST(ThreadPoolShutdownTest, DrainsAcceptedAndNestedWorkThenRejects) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<int> nested{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++ran;
+      // A draining pool must still accept fan-out from its own tasks —
+      // otherwise a task mid-flight could never finish its plan.
+      EXPECT_TRUE(pool.Submit([&]() {
+        ++nested;
+        return Status::Ok();
+      }));
+      return Status::Ok();
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(nested.load(), 8);
+  // Stopped: every outside submission is rejected and never runs.
+  EXPECT_FALSE(pool.Submit([&]() {
+    ++ran;
+    return Status::Ok();
+  }));
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// TSan regression for the teardown race: submitters hammering the pool
+// while two threads race to Shutdown() it. The invariant is exactly-once —
+// every Submit that returned true ran, every one that returned false did
+// not, with no torn state in between.
+TEST(ThreadPoolShutdownTest, ConcurrentSubmitAndShutdownIsExactlyOnce) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 64; ++i) {
+          bool ok = pool.Submit([&]() {
+            ++ran;
+            return Status::Ok();
+          });
+          if (ok) ++accepted;
+        }
+      });
+    }
+    std::thread closer_a([&] { pool.Shutdown(); });
+    std::thread closer_b([&] { pool.Shutdown(); });  // idempotent, may race
+    for (std::thread& t : submitters) t.join();
+    closer_a.join();
+    closer_b.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+    EXPECT_FALSE(pool.Submit([] { return Status::Ok(); }));
+  }
 }
 
 TEST(ThreadPoolParallelForTest, VisitsEveryIndexExactlyOnce) {

@@ -1,0 +1,218 @@
+// vdbstream — streaming ingest front end for the video database library.
+//
+// Runs the stream::Pipeline over a .vdb file or a synthetic preset:
+// frame-at-a-time decode, bounded-queue stages, incremental SBD / scene
+// tree / features, and optional checkpointed publishes into a catalog
+// store so a vdbserve instance can answer queries mid-ingest.
+//
+//   vdbstream --file clip.vdb --publish-to store/ --checkpoint-every 4
+//   vdbstream --preset friends --publish-to store/ --reload 127.0.0.1:7711
+//   vdbstream --file clip.vdb --publish-to store/ --resume
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stream/frame_source.h"
+#include "stream/pipeline.h"
+#include "synth/presets.h"
+#include "synth/renderer.h"
+#include "synth/workload.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vdb {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: vdbstream (--file <clip.vdb> | --preset <name>) [options]\n"
+      "  --scale S               preset render scale (default 0.1)\n"
+      "  --seed N                preset render seed (default 2000)\n"
+      "  --queue-capacity N      bounded-queue depth per stage (default 8)\n"
+      "  --threads N             signature-stage worker fan-out (default 1)\n"
+      "  --checkpoint-every N    publish after every N closed shots\n"
+      "  --checkpoint-seconds M  publish after every M media-seconds\n"
+      "  --publish-to DIR        catalog store directory to publish into\n"
+      "  --reload HOST:PORT      ask a vdbserve to RELOAD after each publish\n"
+      "  --resume                continue from DIR's checkpoint of this clip\n"
+      "  --json                  machine-readable report\n"
+      "presets: ten-shot, friends, simon-birch, wag-the-dog, or any Table-5\n"
+      "clip name prefix (vdbtool presets lists them)\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+Result<Storyboard> PresetBoard(const std::string& preset, double scale,
+                               unsigned seed) {
+  if (preset == "ten-shot") return TenShotStoryboard();
+  if (preset == "friends") return FriendsStoryboard();
+  if (preset == "simon-birch") return SimonBirchStoryboard();
+  if (preset == "wag-the-dog") return WagTheDogStoryboard();
+  for (const ClipProfile& profile : Table5Profiles()) {
+    if (StartsWith(profile.name, preset)) {
+      return MakeStoryboardFromProfile(profile, scale, seed);
+    }
+  }
+  return Status::NotFound("no preset matching '" + preset + "'");
+}
+
+void PrintJson(const stream::PipelineReport& r) {
+  std::cout << "{\n"
+            << "  \"frames\": " << r.frames << ",\n"
+            << "  \"shots\": " << r.shots << ",\n"
+            << "  \"checkpoints\": " << r.checkpoints << ",\n"
+            << "  \"store_generation\": " << r.store_generation << ",\n"
+            << "  \"reloads_ok\": " << r.reloads_ok << ",\n"
+            << "  \"reload_failures\": " << r.reload_failures << ",\n"
+            << "  \"first_shot_seconds\": "
+            << FormatDouble(r.first_shot_seconds, 6) << ",\n"
+            << "  \"first_publish_seconds\": "
+            << FormatDouble(r.first_publish_seconds, 6) << ",\n"
+            << "  \"total_seconds\": " << FormatDouble(r.total_seconds, 6)
+            << ",\n"
+            << "  \"max_frames_in_flight\": " << r.max_frames_in_flight
+            << ",\n"
+            << "  \"resumed_from_frame\": " << r.resumed_from_frame << ",\n"
+            << "  \"resumed_shots\": " << r.resumed_shots << ",\n"
+            << "  \"cancelled\": " << (r.cancelled ? "true" : "false")
+            << ",\n"
+            << "  \"stages\": [\n";
+  for (size_t i = 0; i < r.stages.size(); ++i) {
+    const stream::StageReport& s = r.stages[i];
+    std::cout << "    {\"name\": \"" << s.name << "\", \"items\": " << s.items
+              << ", \"busy_seconds\": " << FormatDouble(s.busy_seconds, 6)
+              << ", \"queue_high_water\": " << s.queue_high_water << "}"
+              << (i + 1 < r.stages.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+}
+
+void PrintHuman(const std::string& name, const stream::PipelineReport& r) {
+  std::cout << name << ": " << r.frames << " frames -> " << r.shots
+            << " shots in " << FormatDouble(r.total_seconds, 2) << "s";
+  if (r.resumed_from_frame > 0) {
+    std::cout << " (resumed at frame " << r.resumed_from_frame << " past "
+              << r.resumed_shots << " shots)";
+  }
+  if (r.cancelled) std::cout << " [cancelled]";
+  std::cout << "\n";
+  if (r.first_shot_seconds >= 0) {
+    std::cout << "  first shot closed at "
+              << FormatDouble(r.first_shot_seconds, 3) << "s\n";
+  }
+  if (r.checkpoints > 0) {
+    std::cout << "  " << r.checkpoints << " publish(es), store generation "
+              << r.store_generation << ", first at "
+              << FormatDouble(r.first_publish_seconds, 3) << "s\n";
+  }
+  if (r.reloads_ok + r.reload_failures > 0) {
+    std::cout << "  server reloads: " << r.reloads_ok << " ok, "
+              << r.reload_failures << " failed\n";
+  }
+  std::cout << "  peak decoded frames in flight: " << r.max_frames_in_flight
+            << "\n";
+  TablePrinter t({"Stage", "Items", "Busy (s)", "Queue high-water"});
+  for (const stream::StageReport& s : r.stages) {
+    t.AddRow({s.name, StrFormat("%ld", s.items),
+              FormatDouble(s.busy_seconds, 3),
+              StrFormat("%d", s.queue_high_water)});
+  }
+  t.Print(std::cout);
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string file;
+  std::string preset;
+  double scale = 0.1;
+  unsigned seed = 2000;
+  bool resume = false;
+  bool json = false;
+  stream::PipelineOptions options;
+
+  auto next_value = [&](size_t* i) -> const std::string* {
+    if (*i + 1 >= args.size()) return nullptr;
+    return &args[++*i];
+  };
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const std::string* v = nullptr;
+    if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--file" && (v = next_value(&i))) {
+      file = *v;
+    } else if (arg == "--preset" && (v = next_value(&i))) {
+      preset = *v;
+    } else if (arg == "--scale" && (v = next_value(&i))) {
+      scale = std::atof(v->c_str());
+    } else if (arg == "--seed" && (v = next_value(&i))) {
+      seed = static_cast<unsigned>(std::atoi(v->c_str()));
+    } else if (arg == "--queue-capacity" && (v = next_value(&i))) {
+      options.queue_capacity = std::atoi(v->c_str());
+    } else if (arg == "--threads" && (v = next_value(&i))) {
+      options.signature_threads = std::atoi(v->c_str());
+    } else if (arg == "--checkpoint-every" && (v = next_value(&i))) {
+      options.checkpoint_every_shots = std::atoi(v->c_str());
+    } else if (arg == "--checkpoint-seconds" && (v = next_value(&i))) {
+      options.checkpoint_every_media_seconds = std::atof(v->c_str());
+    } else if (arg == "--publish-to" && (v = next_value(&i))) {
+      options.publish_dir = *v;
+    } else if (arg == "--reload" && (v = next_value(&i))) {
+      size_t colon = v->rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "vdbstream: --reload wants HOST:PORT\n";
+        return Usage();
+      }
+      options.reload_host = v->substr(0, colon);
+      options.reload_port = std::atoi(v->c_str() + colon + 1);
+    } else {
+      std::cerr << "vdbstream: unknown or incomplete argument '" << arg
+                << "'\n";
+      return Usage();
+    }
+  }
+  if (file.empty() == preset.empty()) {
+    std::cerr << "vdbstream: exactly one of --file / --preset is required\n";
+    return Usage();
+  }
+
+  std::unique_ptr<stream::FrameSource> source;
+  if (!file.empty()) {
+    Result<std::unique_ptr<stream::FrameSource>> opened =
+        stream::OpenVideoFileSource(file);
+    if (!opened.ok()) return Fail(opened.status());
+    source = std::move(*opened);
+  } else {
+    Result<Storyboard> board = PresetBoard(preset, scale > 0 ? scale : 0.1,
+                                           seed);
+    if (!board.ok()) return Fail(board.status());
+    Result<SyntheticVideo> rendered = RenderStoryboard(*board);
+    if (!rendered.ok()) return Fail(rendered.status());
+    source = stream::MakeVideoFrameSource(std::move(rendered->video));
+  }
+
+  stream::Pipeline pipeline(options);
+  Result<stream::PipelineResult> result =
+      resume ? pipeline.Resume(source.get()) : pipeline.Run(source.get());
+  if (!result.ok()) return Fail(result.status());
+
+  if (json) {
+    PrintJson(result->report);
+  } else {
+    PrintHuman(source->name(), result->report);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main(int argc, char** argv) { return vdb::Run(argc, argv); }

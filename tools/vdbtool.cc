@@ -8,6 +8,9 @@
 //                                            next store generation
 //   vdbtool store-open <store-dir>           open + summarise a store
 //   vdbtool store-compact <store-dir>        GC old generations and orphans
+//   vdbtool stream-ingest <clip.vdb> <store-dir> [shots-per-checkpoint]
+//                                            streaming ingest with live
+//                                            checkpoint publishes
 //   vdbtool tree <clip.vdb>                  print the scene tree
 //   vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] [form=F]
 //   vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...
@@ -30,6 +33,8 @@
 #include "core/motion.h"
 #include "core/video_database.h"
 #include "store/catalog_store.h"
+#include "stream/frame_source.h"
+#include "stream/pipeline.h"
 #include "synth/presets.h"
 #include "synth/renderer.h"
 #include "synth/workload.h"
@@ -51,6 +56,8 @@ int Usage() {
       "  vdbtool store-save <store-dir> <clip.vdb>...\n"
       "  vdbtool store-open <store-dir>\n"
       "  vdbtool store-compact <store-dir>\n"
+      "  vdbtool stream-ingest <clip.vdb> <store-dir> "
+      "[shots-per-checkpoint]\n"
       "  vdbtool tree <clip.vdb>\n"
       "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "
       "[form=F]\n"
@@ -220,6 +227,26 @@ int CmdStoreOpen(const std::string& dir) {
   return 0;
 }
 
+int CmdStreamIngest(const std::string& path, const std::string& dir,
+                    int shots_per_checkpoint) {
+  Result<std::unique_ptr<stream::FrameSource>> source =
+      stream::OpenVideoFileSource(path);
+  if (!source.ok()) return Fail(source.status());
+  stream::PipelineOptions options;
+  options.publish_dir = dir;
+  options.checkpoint_every_shots = shots_per_checkpoint;
+  stream::Pipeline pipeline(options);
+  Result<stream::PipelineResult> result = pipeline.Run(source->get());
+  if (!result.ok()) return Fail(result.status());
+  const stream::PipelineReport& report = result->report;
+  std::cout << "streamed " << report.frames << " frames of "
+            << result->entry.name << " into " << report.shots << " shots ("
+            << FormatDouble(report.total_seconds, 2) << "s)\n"
+            << "  " << report.checkpoints << " publish(es) to " << dir
+            << ", final generation " << report.store_generation << "\n";
+  return 0;
+}
+
 int CmdStoreCompact(const std::string& dir) {
   store::CatalogStore catalog_store(dir);
   Result<store::CompactStats> stats = catalog_store.Compact();
@@ -342,8 +369,8 @@ bool KnownCommand(const std::string& cmd) {
   static const char* const kCommands[] = {
       "presets",    "synth",      "info",          "analyze",
       "catalog",    "store-save", "store-open",    "store-compact",
-      "tree",       "query",      "classify",      "browse",
-      "export-frame",
+      "stream-ingest",             "tree",          "query",
+      "classify",   "browse",     "export-frame",
   };
   for (const char* known : kCommands) {
     if (cmd == known) return true;
@@ -377,6 +404,10 @@ int Run(int argc, char** argv) {
   if (cmd == "store-open" && args.size() == 2) return CmdStoreOpen(args[1]);
   if (cmd == "store-compact" && args.size() == 2) {
     return CmdStoreCompact(args[1]);
+  }
+  if (cmd == "stream-ingest" && (args.size() == 3 || args.size() == 4)) {
+    int every = args.size() == 4 ? std::atoi(args[3].c_str()) : 0;
+    return CmdStreamIngest(args[1], args[2], every > 0 ? every : 0);
   }
   if (cmd == "tree" && args.size() == 2) return CmdTree(args[1]);
   if (cmd == "query" && args.size() >= 4) {
