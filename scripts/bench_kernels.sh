@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Kernel-layer perf: reference (double, per-column, allocating) vs.
+# optimized (fixed-point, planar, allocation-free) signature kernels, plus
+# the shift-match scan. Writes BENCH_kernels.json (google-benchmark JSON)
+# at the repo root. The acceptance bar for the kernel layer is a >= 3x
+# single-thread speedup of BM_FrameSignature_Kernel/160 over
+# BM_FrameSignature_Reference/160.
+#
+#   scripts/bench_kernels.sh
+#
+# Knobs: VDB_KERNEL_BENCH_MIN_TIME (seconds per benchmark, default 0.5),
+# JOBS (build parallelism).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME="${VDB_KERNEL_BENCH_MIN_TIME:-0.5}"
+JOBS="${JOBS:-$(nproc)}"
+OUT=BENCH_kernels.json
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target bench_perf_kernels > /dev/null
+
+build/bench/bench_perf_kernels \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "bench_kernels: wrote $OUT"

@@ -5,6 +5,7 @@
 #   scripts/check.sh            # everything (plain + asan + tsan)
 #   scripts/check.sh plain      # just the uninstrumented build + full suite
 #   scripts/check.sh asan tsan  # just the sanitizer legs
+#   scripts/check.sh kernels    # fast kernel-equivalence smoke leg
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/ — reused across
 # runs, so incremental checks are cheap. JOBS overrides the parallelism.
@@ -38,22 +39,32 @@ for stage in "${STAGES[@]}"; do
       # ASan watches the parsing-heavy suites: the wire/catalog/segment
       # decoders chew on truncated and bit-flipped input, where an
       # over-read hides.
-      banner "asan build + serve/concurrency/store/stream suites"
+      # The kernels suite rides along: its gather maps and in-place
+      # reductions are exactly the kind of indexed hot-loop code where an
+      # off-by-one over-read hides.
+      banner "asan build + serve/concurrency/store/stream/kernels suites"
       configure_and_build build-asan address
       ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency|store|stream'
+        -L 'serve|concurrency|store|stream|kernels'
       ;;
     tsan)
       # TSan watches the threaded suites: thread pool, concurrent ingest,
       # the server's snapshot swaps under concurrent clients, and the
-      # streaming pipeline's bounded queues and worker fan-out.
-      banner "tsan build + serve/concurrency/store/stream suites"
+      # streaming pipeline's bounded queues and worker fan-out. The kernels
+      # suite rides along for its thread-local workspace handoff.
+      banner "tsan build + serve/concurrency/store/stream/kernels suites"
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency|store|stream'
+        -L 'serve|concurrency|store|stream|kernels'
+      ;;
+    kernels)
+      # Fast smoke: just the kernel-equivalence suite on the plain build.
+      banner "kernel-equivalence smoke (ctest -L kernels)"
+      configure_and_build build ""
+      ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
       ;;
     *)
-      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan)" >&2
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, kernels)" >&2
       exit 2
       ;;
   esac

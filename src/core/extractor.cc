@@ -1,22 +1,24 @@
 #include "core/extractor.h"
 
+#include "core/kernels.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace vdb {
 
 Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
-                                             const AreaGeometry& geom) {
-  FrameSignature out;
-  VDB_ASSIGN_OR_RETURN(Frame tba, ExtractTba(frame, geom));
-  VDB_ASSIGN_OR_RETURN(AreaReduction ba, ReduceArea(tba));
-  out.signature_ba = std::move(ba.signature);
-  out.sign_ba = ba.sign;
+                                             const AreaGeometry& geom,
+                                             PyramidWorkspace* workspace) {
+  return workspace->Compute(frame, geom);
+}
 
-  VDB_ASSIGN_OR_RETURN(Frame foa, ExtractFoa(frame, geom));
-  VDB_ASSIGN_OR_RETURN(AreaReduction oa, ReduceArea(foa));
-  out.sign_oa = oa.sign;
-  return out;
+Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
+                                             const AreaGeometry& geom) {
+  // One workspace per thread: workers that extract many frames (batch
+  // ingest pools, the streaming signature stage) reuse their scratch
+  // across frames and allocate nothing in steady state.
+  thread_local PyramidWorkspace workspace;
+  return workspace.Compute(frame, geom);
 }
 
 namespace {
@@ -34,6 +36,17 @@ Result<VideoSignatures> ComputeSignatures(const Video& video,
   VDB_ASSIGN_OR_RETURN(out.geometry,
                        ComputeAreaGeometry(video.width(), video.height()));
   out.frames.resize(static_cast<size_t>(video.frame_count()));
+  if (num_threads <= 1) {
+    // Serial pass: one explicit workspace for the whole clip, reducing
+    // straight into the pre-sized slots.
+    PyramidWorkspace workspace;
+    for (int i = 0; i < video.frame_count(); ++i) {
+      VDB_RETURN_IF_ERROR(workspace.ComputeInto(
+          video.frame(i), out.geometry,
+          &out.frames[static_cast<size_t>(i)]));
+    }
+    return out;
+  }
   VDB_RETURN_IF_ERROR(ParallelFor(
       video.frame_count(), num_threads, [&](int i) -> Status {
         VDB_ASSIGN_OR_RETURN(

@@ -10,6 +10,8 @@
 
 namespace vdb {
 
+class PyramidWorkspace;
+
 // Per-frame reduction products used by every downstream component:
 //  * signature_ba — the TBA reduced to a line of L pixels,
 //  * sign_ba      — the TBA reduced to one pixel (Sign_i^BA),
@@ -28,9 +30,18 @@ struct VideoSignatures {
   int frame_count() const { return static_cast<int>(frames.size()); }
 };
 
-// Computes the Figure-3 reduction for a single frame.
+// Computes the Figure-3 reduction for a single frame via the optimized
+// kernel path (core/kernels.h), using a per-thread workspace. Byte-
+// identical to ComputeFrameSignatureReference.
 Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
                                              const AreaGeometry& geom);
+
+// Same, reusing an explicit caller-owned workspace — the form the ingest
+// loops use (one workspace per worker; see core/kernels.h for the
+// ownership rules).
+Result<FrameSignature> ComputeFrameSignature(const Frame& frame,
+                                             const AreaGeometry& geom,
+                                             PyramidWorkspace* workspace);
 
 // Computes signatures for every frame of `video`. This is the expensive,
 // single pass over pixel data; everything after (SBD, scene trees,

@@ -1,0 +1,387 @@
+#include "core/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+// In-place horizontal reduction step on one channel row: out i draws from
+// inputs 2i..2i+4, so writing index i never clobbers a value a later (or
+// the current) window still needs.
+inline void ReduceRowInPlace(uint8_t* row, int n) {
+  int out = (n - 3) / 2;
+  for (int i = 0; i < out; ++i) {
+    const uint8_t* p = row + 2 * i;
+    unsigned s = p[0] + p[4] + 4u * (p[1] + p[3]) + 6u * p[2] + 8u;
+    row[i] = static_cast<uint8_t>(s >> 4);
+  }
+}
+
+bool SameGeometry(const AreaGeometry& a, const AreaGeometry& b) {
+  return a.frame_width == b.frame_width && a.frame_height == b.frame_height &&
+         a.w_estimate == b.w_estimate && a.b_estimate == b.b_estimate &&
+         a.h_estimate == b.h_estimate && a.l_estimate == b.l_estimate &&
+         a.w == b.w && a.b == b.b && a.h == b.h && a.l == b.l;
+}
+
+}  // namespace
+
+void ReduceRowsOnce(const uint8_t* in, int width, int in_rows, uint8_t* out) {
+  VDB_CHECK(in_rows >= 5 && IsSizeSetElement(in_rows))
+      << "row count " << in_rows << " is not a reducible size-set element";
+  int out_rows = (in_rows - 3) / 2;
+  for (int i = 0; i < out_rows; ++i) {
+    const uint8_t* r0 = in + static_cast<size_t>(2 * i) * width;
+    const uint8_t* r1 = r0 + width;
+    const uint8_t* r2 = r1 + width;
+    const uint8_t* r3 = r2 + width;
+    const uint8_t* r4 = r3 + width;
+    uint8_t* o = out + static_cast<size_t>(i) * width;
+    for (int x = 0; x < width; ++x) {
+      // Max sum is 16*255 + 8 = 4088, so unsigned never overflows and the
+      // shifted result is always a valid byte — no clamp needed.
+      unsigned s = r0[x] + r4[x] + 4u * (r1[x] + r3[x]) + 6u * r2[x] + 8u;
+      o[x] = static_cast<uint8_t>(s >> 4);
+    }
+  }
+}
+
+void PyramidWorkspace::Prepare(const AreaGeometry& geom) {
+  if (has_geom_ && SameGeometry(geom_, geom)) return;
+  geom_ = geom;
+  has_geom_ = true;
+  ++prepare_count_;
+
+  const int c = geom.frame_width;
+  const int wp = geom.w_estimate;
+  const int hp = geom.h_estimate;
+  const int lp = geom.l_estimate;
+
+  // TBA gather: dst (x, y) reads natural-strip pixel (nx, ny) with
+  // nx = x*lp/l, ny = y*wp/w (ResizeNearest's floor mapping), and the
+  // natural strip is [rotated left column | top bar | rotated right
+  // column] (ExtractNaturalTba). All three segments collapse to
+  // src_index = base[x] + stride[x] * ny.
+  tba_base_.resize(static_cast<size_t>(geom.l));
+  tba_stride_.resize(static_cast<size_t>(geom.l));
+  for (int x = 0; x < geom.l; ++x) {
+    int nx = static_cast<int>(static_cast<long>(x) * lp / geom.l);
+    size_t sx = static_cast<size_t>(x);
+    if (nx < hp) {
+      // Left column, rotated outward: src = (ny, wp + hp - 1 - nx).
+      tba_base_[sx] = (wp + hp - 1 - nx) * c;
+      tba_stride_[sx] = 1;
+    } else if (nx < hp + c) {
+      // Top bar: src = (nx - hp, ny).
+      tba_base_[sx] = nx - hp;
+      tba_stride_[sx] = c;
+    } else {
+      // Right column, rotated outward: src = (c - wp + ny, wp + nx-hp-c).
+      tba_base_[sx] = (wp + (nx - hp - c)) * c + (c - wp);
+      tba_stride_[sx] = 1;
+    }
+  }
+  tba_row_.resize(static_cast<size_t>(geom.w));
+  for (int y = 0; y < geom.w; ++y) {
+    tba_row_[static_cast<size_t>(y)] =
+        static_cast<int>(static_cast<long>(y) * wp / geom.w);
+  }
+
+  // FOA gather: crop rect (wp, wp, b', h') then nearest resize to (b, h);
+  // src_index = foa_row[y] + foa_base[x].
+  foa_base_.resize(static_cast<size_t>(geom.b));
+  for (int x = 0; x < geom.b; ++x) {
+    foa_base_[static_cast<size_t>(x)] =
+        wp + static_cast<int>(static_cast<long>(x) * geom.b_estimate / geom.b);
+  }
+  foa_row_.resize(static_cast<size_t>(geom.h));
+  for (int y = 0; y < geom.h; ++y) {
+    foa_row_[static_cast<size_t>(y)] =
+        (wp + static_cast<int>(static_cast<long>(y) * geom.h_estimate /
+                               geom.h)) *
+        c;
+  }
+
+  size_t plane = std::max(static_cast<size_t>(geom.l) * geom.w,
+                          static_cast<size_t>(geom.b) * geom.h);
+  // Growth only: a workspace bouncing between two geometries keeps the
+  // larger buffers and stays allocation-free for both.
+  if (ping_r_.size() < plane) {
+    ping_r_.resize(plane);
+    ping_g_.resize(plane);
+    ping_b_.resize(plane);
+    pong_r_.resize(plane);
+    pong_g_.resize(plane);
+    pong_b_.resize(plane);
+  }
+  size_t line = static_cast<size_t>(std::max(geom.l, geom.b));
+  if (sign_r_.size() < line) {
+    sign_r_.resize(line);
+    sign_g_.resize(line);
+    sign_b_.resize(line);
+  }
+}
+
+void PyramidWorkspace::GatherTba(const Frame& frame) {
+  const PixelRGB* src = frame.data();
+  const int l = geom_.l;
+  const int* base = tba_base_.data();
+  const int* stride = tba_stride_.data();
+  for (int y = 0; y < geom_.w; ++y) {
+    const int ny = tba_row_[static_cast<size_t>(y)];
+    uint8_t* r = ping_r_.data() + static_cast<size_t>(y) * l;
+    uint8_t* g = ping_g_.data() + static_cast<size_t>(y) * l;
+    uint8_t* b = ping_b_.data() + static_cast<size_t>(y) * l;
+    for (int x = 0; x < l; ++x) {
+      const PixelRGB& p = src[base[x] + stride[x] * ny];
+      r[x] = p.r;
+      g[x] = p.g;
+      b[x] = p.b;
+    }
+  }
+}
+
+void PyramidWorkspace::GatherFoa(const Frame& frame) {
+  const PixelRGB* src = frame.data();
+  const int w = geom_.b;
+  const int* base = foa_base_.data();
+  for (int y = 0; y < geom_.h; ++y) {
+    const PixelRGB* row = src + foa_row_[static_cast<size_t>(y)];
+    uint8_t* r = ping_r_.data() + static_cast<size_t>(y) * w;
+    uint8_t* g = ping_g_.data() + static_cast<size_t>(y) * w;
+    uint8_t* b = ping_b_.data() + static_cast<size_t>(y) * w;
+    for (int x = 0; x < w; ++x) {
+      const PixelRGB& p = row[base[x]];
+      r[x] = p.r;
+      g[x] = p.g;
+      b[x] = p.b;
+    }
+  }
+}
+
+void PyramidWorkspace::ReducePlanesToLine(int width, int rows) {
+  uint8_t* cur[3] = {ping_r_.data(), ping_g_.data(), ping_b_.data()};
+  uint8_t* nxt[3] = {pong_r_.data(), pong_g_.data(), pong_b_.data()};
+  while (rows > 1) {
+    for (int ch = 0; ch < 3; ++ch) {
+      ReduceRowsOnce(cur[ch], width, rows, nxt[ch]);
+      std::swap(cur[ch], nxt[ch]);
+    }
+    rows = (rows - 3) / 2;
+  }
+  line_r_ = cur[0];
+  line_g_ = cur[1];
+  line_b_ = cur[2];
+}
+
+PixelRGB PyramidWorkspace::ReduceLineRowToPixel(int width) {
+  std::memcpy(sign_r_.data(), line_r_, static_cast<size_t>(width));
+  std::memcpy(sign_g_.data(), line_g_, static_cast<size_t>(width));
+  std::memcpy(sign_b_.data(), line_b_, static_cast<size_t>(width));
+  int n = width;
+  while (n > 1) {
+    ReduceRowInPlace(sign_r_.data(), n);
+    ReduceRowInPlace(sign_g_.data(), n);
+    ReduceRowInPlace(sign_b_.data(), n);
+    n = (n - 3) / 2;
+  }
+  return PixelRGB(sign_r_[0], sign_g_[0], sign_b_[0]);
+}
+
+Status PyramidWorkspace::ComputeInto(const Frame& frame,
+                                     const AreaGeometry& geom,
+                                     FrameSignature* out) {
+  if (frame.width() != geom.frame_width ||
+      frame.height() != geom.frame_height) {
+    return Status::InvalidArgument(StrFormat(
+        "frame %dx%d does not match geometry %dx%d", frame.width(),
+        frame.height(), geom.frame_width, geom.frame_height));
+  }
+  // ComputeAreaGeometry only emits size-set dimensions; a hand-built
+  // geometry that skipped snapping would silently break the pyramid's
+  // 5-to-1 window structure, so reject it like the reference path does.
+  if (!IsSizeSetElement(geom.w) || !IsSizeSetElement(geom.l) ||
+      !IsSizeSetElement(geom.b) || !IsSizeSetElement(geom.h) ||
+      geom.w_estimate <= 0 || geom.h_estimate <= 0 ||
+      geom.b_estimate <= 0 || geom.l_estimate <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("geometry (w=%d b=%d h=%d l=%d) is not size-set snapped",
+                  geom.w, geom.b, geom.h, geom.l));
+  }
+  Prepare(geom);
+
+  GatherTba(frame);
+  ReducePlanesToLine(geom.l, geom.w);
+  out->signature_ba.resize(static_cast<size_t>(geom.l));
+  PixelRGB* sig = out->signature_ba.data();
+  for (int x = 0; x < geom.l; ++x) {
+    sig[x] = PixelRGB(line_r_[x], line_g_[x], line_b_[x]);
+  }
+  out->sign_ba = ReduceLineRowToPixel(geom.l);
+
+  GatherFoa(frame);
+  ReducePlanesToLine(geom.b, geom.h);
+  out->sign_oa = ReduceLineRowToPixel(geom.b);
+  return Status::Ok();
+}
+
+Result<FrameSignature> PyramidWorkspace::Compute(const Frame& frame,
+                                                 const AreaGeometry& geom) {
+  FrameSignature out;
+  VDB_RETURN_IF_ERROR(ComputeInto(frame, geom, &out));
+  return out;
+}
+
+size_t PyramidWorkspace::scratch_bytes() const {
+  return tba_base_.capacity() * sizeof(int) +
+         tba_stride_.capacity() * sizeof(int) +
+         tba_row_.capacity() * sizeof(int) +
+         foa_base_.capacity() * sizeof(int) +
+         foa_row_.capacity() * sizeof(int) + ping_r_.capacity() +
+         ping_g_.capacity() + ping_b_.capacity() + pong_r_.capacity() +
+         pong_g_.capacity() + pong_b_.capacity() + sign_r_.capacity() +
+         sign_g_.capacity() + sign_b_.capacity();
+}
+
+Result<FrameSignature> ComputeFrameSignatureReference(
+    const Frame& frame, const AreaGeometry& geom) {
+  FrameSignature out;
+  VDB_ASSIGN_OR_RETURN(Frame tba, ExtractTba(frame, geom));
+  VDB_ASSIGN_OR_RETURN(AreaReduction ba, ReduceArea(tba));
+  out.signature_ba = std::move(ba.signature);
+  out.sign_ba = ba.sign;
+
+  VDB_ASSIGN_OR_RETURN(Frame foa, ExtractFoa(frame, geom));
+  VDB_ASSIGN_OR_RETURN(AreaReduction oa, ReduceArea(foa));
+  out.sign_oa = oa.sign;
+  return out;
+}
+
+namespace {
+
+inline uint8_t AbsDiffU8(uint8_t x, uint8_t y) {
+  return x > y ? static_cast<uint8_t>(x - y) : static_cast<uint8_t>(y - x);
+}
+
+inline bool PixelsMatch(const PixelRGB& a, const PixelRGB& b, int tolerance) {
+  return MaxChannelDifference(a, b) <= tolerance;
+}
+
+}  // namespace
+
+double BestShiftMatchScoreKernel(const Signature& a, const Signature& b,
+                                 int tolerance) {
+  VDB_CHECK(a.size() == b.size()) << "signature lengths differ";
+  const int n = static_cast<int>(a.size());
+  if (n == 0) return 0.0;
+  // A negative tolerance matches nothing (mirrors the reference loop).
+  if (tolerance < 0) return 0.0;
+
+  // Per-shift match mask plus both signatures deinterleaved into planar
+  // channel arrays; per-thread so steady state allocates nothing. The
+  // deinterleave is O(n) amortised over O(n) shifts, and it turns the
+  // per-shift mask computation into contiguous byte arithmetic the
+  // compiler vectorizes (the 3-byte PixelRGB stride defeats it).
+  thread_local std::vector<uint8_t> scratch;
+  if (static_cast<int>(scratch.size()) < 7 * n) {
+    scratch.resize(static_cast<size_t>(7) * n);
+  }
+  uint8_t* m = scratch.data();
+  uint8_t* ar = m + n;
+  uint8_t* ag = ar + n;
+  uint8_t* ab = ag + n;
+  uint8_t* br = ab + n;
+  uint8_t* bg = br + n;
+  uint8_t* bb = bg + n;
+  for (int i = 0; i < n; ++i) {
+    const PixelRGB& pa = a[static_cast<size_t>(i)];
+    const PixelRGB& pb = b[static_cast<size_t>(i)];
+    ar[i] = pa.r;
+    ag[i] = pa.g;
+    ab[i] = pa.b;
+    br[i] = pb.r;
+    bg[i] = pb.g;
+    bb[i] = pb.b;
+  }
+  const uint8_t tol = static_cast<uint8_t>(tolerance >= 255 ? 255 : tolerance);
+
+  int best = 0;
+  // Shifts by decreasing overlap (0, +1, -1, +2, -2, ...): a shift of
+  // magnitude d overlaps n - d pixels, so once best >= n - d no remaining
+  // shift can improve the score and the search stops. The score is the
+  // maximum run over all shifts — order-independent, so this visits a
+  // subset of the reference loop's shifts and returns the same value.
+  for (int d = 0; d < n; ++d) {
+    const int overlap = n - d;
+    if (overlap <= best) break;
+    for (int dir = 0; dir < (d == 0 ? 1 : 2); ++dir) {
+      const int s = dir == 0 ? d : -d;
+      const int lo = std::max(0, s);
+      const int ao = lo;
+      const int bo = lo - s;
+      // Branchless mask + match count in one sweep over the planar
+      // channels (auto-vectorizes: contiguous byte loads, max/min absolute
+      // difference, byte result).
+      int total = 0;
+      for (int i = 0; i < overlap; ++i) {
+        uint8_t dr = AbsDiffU8(ar[ao + i], br[bo + i]);
+        uint8_t dg = AbsDiffU8(ag[ao + i], bg[bo + i]);
+        uint8_t db = AbsDiffU8(ab[ao + i], bb[bo + i]);
+        uint8_t d2 = dr > dg ? dr : dg;
+        uint8_t dm = d2 > db ? d2 : db;
+        uint8_t hit = dm <= tol ? 1 : 0;
+        m[i] = hit;
+        total += hit;
+      }
+      // The longest run cannot exceed the number of matches; for dissimilar
+      // frames (the stage-3 common case: stages 1-2 already settled the
+      // easy pairs) this skips the serial run scan almost every shift.
+      if (total <= best) continue;
+      int run = 0;
+      for (int i = 0; i < overlap; ++i) {
+        if (m[i]) {
+          if (++run > best) best = run;
+        } else {
+          run = 0;
+          // The unseen suffix is too short to beat the best run.
+          if (overlap - i - 1 <= best) break;
+        }
+      }
+      if (best == n) return 1.0;
+    }
+  }
+  return static_cast<double>(best) / static_cast<double>(n);
+}
+
+double BestShiftMatchScoreReference(const Signature& a, const Signature& b,
+                                    int tolerance) {
+  VDB_CHECK(a.size() == b.size()) << "signature lengths differ";
+  int n = static_cast<int>(a.size());
+  if (n == 0) return 0.0;
+
+  int best_run = 0;
+  // Shift s in (-n, n): b is displaced by s relative to a; the overlap is
+  // a[max(0,s) .. n-1+min(0,s)] against b[i - s].
+  for (int s = -(n - 1); s <= n - 1; ++s) {
+    int lo = std::max(0, s);
+    int hi = std::min(n, n + s);
+    int run = 0;
+    for (int i = lo; i < hi; ++i) {
+      if (PixelsMatch(a[static_cast<size_t>(i)], b[static_cast<size_t>(i - s)],
+                      tolerance)) {
+        ++run;
+        best_run = std::max(best_run, run);
+      } else {
+        run = 0;
+      }
+    }
+    if (best_run == n) break;  // cannot improve
+  }
+  return static_cast<double>(best_run) / static_cast<double>(n);
+}
+
+}  // namespace vdb

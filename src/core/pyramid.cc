@@ -43,7 +43,9 @@ Result<Signature> ReduceLineOnce(const Signature& in) {
 
 Result<PixelRGB> ReduceLineToPixel(const Signature& in) {
   if (in.size() == 1) return in[0];
-  Signature line = in;
+  // The first reduction reads straight from `in`; only its (smaller)
+  // output is materialised, so no copy of the input is ever made.
+  VDB_ASSIGN_OR_RETURN(Signature line, ReduceLineOnce(in));
   while (line.size() > 1) {
     VDB_ASSIGN_OR_RETURN(line, ReduceLineOnce(line));
   }
@@ -61,7 +63,6 @@ Result<Signature> ReduceColumnsToLine(const Frame& image) {
   Signature line(static_cast<size_t>(image.width()));
   Signature column(static_cast<size_t>(image.height()));
   for (int x = 0; x < image.width(); ++x) {
-    column.resize(static_cast<size_t>(image.height()));
     for (int y = 0; y < image.height(); ++y) {
       column[static_cast<size_t>(y)] = image.at_unchecked(x, y);
     }

@@ -17,6 +17,11 @@ using Signature = std::vector<PixelRGB>;
 // A line of size s_j = 2*s_{j-1} + 3 reduces to size s_{j-1}: output pixel i
 // is the kernel-weighted sum of input pixels 2i .. 2i+4. Sizes must come
 // from the size set {1, 5, 13, 29, 61, ...} (geometry.h).
+//
+// These are the *reference* kernels: double-precision, one column at a
+// time, allocating per step. The production hot path runs the bit-exact
+// fixed-point, allocation-free equivalents in core/kernels.h; kernels_test
+// holds the two paths byte-identical.
 
 // One reduction step. Fails unless in.size() is a size-set element >= 5.
 Result<Signature> ReduceLineOnce(const Signature& in);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/kernels.h"
 #include "util/string_util.h"
 
 namespace vdb {
@@ -20,29 +21,9 @@ bool PixelsMatch(const PixelRGB& a, const PixelRGB& b, int tolerance) {
 
 double BestShiftMatchScore(const Signature& a, const Signature& b,
                            int tolerance) {
-  VDB_CHECK(a.size() == b.size()) << "signature lengths differ";
-  int n = static_cast<int>(a.size());
-  if (n == 0) return 0.0;
-
-  int best_run = 0;
-  // Shift s in (-n, n): b is displaced by s relative to a; the overlap is
-  // a[max(0,s) .. n-1+min(0,s)] against b[i - s].
-  for (int s = -(n - 1); s <= n - 1; ++s) {
-    int lo = std::max(0, s);
-    int hi = std::min(n, n + s);
-    int run = 0;
-    for (int i = lo; i < hi; ++i) {
-      if (PixelsMatch(a[static_cast<size_t>(i)],
-                      b[static_cast<size_t>(i - s)], tolerance)) {
-        ++run;
-        best_run = std::max(best_run, run);
-      } else {
-        run = 0;
-      }
-    }
-    if (best_run == n) break;  // cannot improve
-  }
-  return static_cast<double>(best_run) / static_cast<double>(n);
+  // Masked, overlap-pruned kernel; identical score to the original loop,
+  // which survives as BestShiftMatchScoreReference (core/kernels.h).
+  return BestShiftMatchScoreKernel(a, b, tolerance);
 }
 
 CameraTrackingDetector::CameraTrackingDetector(CameraTrackingOptions options)

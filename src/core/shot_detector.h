@@ -213,6 +213,8 @@ class StreamingShotDetector {
 
 // Longest run of matching pixels over all relative shifts of two equal-
 // length signatures, normalised by their length. Exposed for tests.
+// Runs the optimized kernel (core/kernels.h); the original scalar loop is
+// kept there as BestShiftMatchScoreReference and tested equivalent.
 double BestShiftMatchScore(const Signature& a, const Signature& b,
                            int tolerance);
 

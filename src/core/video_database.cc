@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "core/kernels.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "video/video_io.h"
@@ -55,12 +56,16 @@ Status AnalyseFile(const VideoDatabaseOptions& options,
       ComputeAreaGeometry(reader.width(), reader.height()));
   entry->signatures.frames.reserve(
       static_cast<size_t>(reader.frame_count()));
+  // One workspace for the whole file: after the first frame the reduce
+  // loop runs allocation-free (batch ingest runs one AnalyseFile per pool
+  // worker, so the workspace is worker-private).
+  PyramidWorkspace workspace;
   while (!reader.AtEnd()) {
     // One frame resident at a time: decode, reduce, discard.
     VDB_ASSIGN_OR_RETURN(Frame frame, reader.ReadNextFrame());
     VDB_ASSIGN_OR_RETURN(
         FrameSignature fs,
-        ComputeFrameSignature(frame, entry->signatures.geometry));
+        ComputeFrameSignature(frame, entry->signatures.geometry, &workspace));
     entry->signatures.frames.push_back(std::move(fs));
   }
   return AnalyseFromSignatures(options, entry);

@@ -6,6 +6,7 @@
 
 #include "core/extractor.h"
 #include "core/features.h"
+#include "core/kernels.h"
 #include "core/geometry.h"
 #include "core/scene_tree.h"
 #include "core/shot_detector.h"
@@ -278,10 +279,15 @@ Status Pipeline::Runner::SignatureStage() {
   DecodedFrame item;
   double busy = 0;
   long count = 0;
+  // One pyramid workspace per signature worker: the geometry is fixed for
+  // the whole run, so every frame after the first reduces with zero
+  // allocations of scratch.
+  PyramidWorkspace workspace;
   Status result = Status::Ok();
   while (decode_q_.Pop(&item)) {
     Stopwatch sw;
-    Result<FrameSignature> sig = ComputeFrameSignature(item.pixels, geometry_);
+    Result<FrameSignature> sig =
+        ComputeFrameSignature(item.pixels, geometry_, &workspace);
     busy += sw.ElapsedSeconds();
     item.pixels = Frame();  // the pixels die here
     NoteInFlight(-1);

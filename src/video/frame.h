@@ -53,6 +53,13 @@ class Frame {
     return x >= 0 && x < width_ && y >= 0 && y < height_;
   }
 
+  // Planar access for kernel code: the raster is one contiguous row-major
+  // block, so row y is width() consecutive pixels starting at row(y).
+  const PixelRGB* data() const { return pixels_.data(); }
+  PixelRGB* data() { return pixels_.data(); }
+  const PixelRGB* row(int y) const { return pixels_.data() + Index(0, y); }
+  PixelRGB* row(int y) { return pixels_.data() + Index(0, y); }
+
   // Sets every pixel to `fill`.
   void Fill(PixelRGB fill);
 

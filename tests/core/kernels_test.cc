@@ -1,0 +1,511 @@
+// The kernel layer's bit-exactness contract: the allocation-free,
+// fixed-point signature kernels (core/kernels.h) must be byte-identical to
+// the retained double-precision reference path — per reduction level, per
+// frame, and end to end (shots, scene trees, serialized catalog entries)
+// across every Table-5 preset — while allocating nothing in steady state.
+
+#include "core/kernels.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.h"
+#include "core/features.h"
+#include "core/geometry.h"
+#include "core/scene_tree.h"
+#include "core/shot_detector.h"
+#include "core/video_database.h"
+#include "synth/workload.h"
+#include "tests/support/render_cache.h"
+#include "util/binary_io.h"
+#include "util/random.h"
+#include "video/video_io.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting hook: every operator new in this binary bumps a
+// counter, so tests can assert that a warmed workspace path performs zero
+// heap allocations per frame. Deltas are only ever measured around
+// single-threaded regions bracketed by the tests themselves.
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+// GCC pairs inlined calls of the replacement operator delete (std::free)
+// with allocations it attributes to the *declared* operator new, which it
+// cannot see is itself malloc-based — the pairing is correct here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vdb {
+namespace {
+
+long AllocationsNow() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+PixelRGB RandomPixel(Pcg32* rng) {
+  return PixelRGB(static_cast<uint8_t>(rng->NextBounded(256)),
+                  static_cast<uint8_t>(rng->NextBounded(256)),
+                  static_cast<uint8_t>(rng->NextBounded(256)));
+}
+
+Frame RandomFrame(int width, int height, uint64_t seed) {
+  Pcg32 rng(seed);
+  Frame frame(width, height);
+  for (PixelRGB& p : frame.pixels()) p = RandomPixel(&rng);
+  return frame;
+}
+
+Signature RandomLine(int n, uint64_t seed, int value_range = 256) {
+  Pcg32 rng(seed);
+  Signature line(static_cast<size_t>(n));
+  for (PixelRGB& p : line) {
+    p = PixelRGB(static_cast<uint8_t>(rng.NextBounded(
+                     static_cast<uint32_t>(value_range))),
+                 static_cast<uint8_t>(rng.NextBounded(
+                     static_cast<uint32_t>(value_range))),
+                 static_cast<uint8_t>(rng.NextBounded(
+                     static_cast<uint32_t>(value_range))));
+  }
+  return line;
+}
+
+void ExpectSignatureEq(const FrameSignature& a, const FrameSignature& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.signature_ba.size(), b.signature_ba.size()) << what;
+  for (size_t i = 0; i < a.signature_ba.size(); ++i) {
+    ASSERT_EQ(a.signature_ba[i], b.signature_ba[i])
+        << what << " signature pixel " << i;
+  }
+  EXPECT_EQ(a.sign_ba, b.sign_ba) << what;
+  EXPECT_EQ(a.sign_oa, b.sign_oa) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point reduction vs. the double-precision reference, level by level.
+
+TEST(ReduceRowsOnceTest, MatchesDoubleReferencePerColumn) {
+  constexpr int kWidth = 40;
+  for (int rows : {5, 13, 29, 61, 125, 253}) {
+    Pcg32 rng(static_cast<uint64_t>(rows));
+    std::vector<uint8_t> in_r(static_cast<size_t>(kWidth) * rows);
+    std::vector<uint8_t> out_r(static_cast<size_t>(kWidth) * rows);
+    for (uint8_t& v : in_r) v = static_cast<uint8_t>(rng.NextBounded(256));
+    ReduceRowsOnce(in_r.data(), kWidth, rows, out_r.data());
+
+    int out_rows = (rows - 3) / 2;
+    for (int x = 0; x < kWidth; ++x) {
+      Signature column(static_cast<size_t>(rows));
+      for (int y = 0; y < rows; ++y) {
+        uint8_t v = in_r[static_cast<size_t>(y) * kWidth + x];
+        column[static_cast<size_t>(y)] = PixelRGB(v, v, v);
+      }
+      Result<Signature> expected = ReduceLineOnce(column);
+      ASSERT_TRUE(expected.ok());
+      for (int y = 0; y < out_rows; ++y) {
+        EXPECT_EQ(out_r[static_cast<size_t>(y) * kWidth + x],
+                  (*expected)[static_cast<size_t>(y)].r)
+            << "rows=" << rows << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(ReduceRowsOnceTest, HalfwayRoundingMatchesLround) {
+  // Window sums congruent to 8 mod 16 land exactly on .5: the reference
+  // lround rounds half away from zero, (S + 8) >> 4 rounds half up — for
+  // non-negative S these must coincide. [0 2 0 0 0] -> S = 8 -> 0.5 -> 1.
+  uint8_t in[5] = {0, 2, 0, 0, 0};
+  uint8_t out[1];
+  ReduceRowsOnce(in, 1, 5, out);
+  Signature line(5, PixelRGB(0, 0, 0));
+  line[1] = PixelRGB(2, 2, 2);
+  PixelRGB expected = ReduceLineToPixel(line).value();
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(expected.r, 1);
+
+  // [1 0 0 0 7]: S = 1 + 7 = 8 as well, via the edge taps.
+  uint8_t in2[5] = {1, 0, 0, 0, 7};
+  ReduceRowsOnce(in2, 1, 5, out);
+  EXPECT_EQ(out[0], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-frame equivalence across geometries (every size-set element that a
+// frame up to 640x480 can produce for w, b, h and l, plus degenerate
+// shapes: w = 1 bars, h = 1 slivers, upsampled areas where the snapped
+// size exceeds the estimate).
+
+struct GeometryCase {
+  int width;
+  int height;
+};
+
+class KernelGeometryTest : public testing::TestWithParam<GeometryCase> {};
+
+TEST_P(KernelGeometryTest, WorkspaceMatchesReferenceOnRandomFrames) {
+  const GeometryCase& gc = GetParam();
+  Result<AreaGeometry> geom = ComputeAreaGeometry(gc.width, gc.height);
+  ASSERT_TRUE(geom.ok()) << geom.status();
+  PyramidWorkspace workspace;
+  FrameSignature optimized;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Frame frame = RandomFrame(gc.width, gc.height, seed * 977);
+    Result<FrameSignature> reference =
+        ComputeFrameSignatureReference(frame, *geom);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    ASSERT_TRUE(workspace.ComputeInto(frame, *geom, &optimized).ok());
+    ExpectSignatureEq(optimized, *reference,
+                      std::to_string(gc.width) + "x" +
+                          std::to_string(gc.height) + " seed " +
+                          std::to_string(seed));
+  }
+  // One geometry, many frames: the workspace prepared exactly once.
+  EXPECT_EQ(workspace.prepare_count(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSetGeometries, KernelGeometryTest,
+    testing::Values(GeometryCase{10, 10},    // minimal: w = 1
+                    GeometryCase{16, 12},    // w = 1, tiny areas
+                    GeometryCase{40, 30},    // w = 5
+                    GeometryCase{64, 48},    // b, h snapped upward
+                    GeometryCase{93, 77},    // odd sizes, non-4:3
+                    GeometryCase{120, 90},   //
+                    GeometryCase{160, 120},  // the paper's frame size
+                    GeometryCase{200, 150},  //
+                    GeometryCase{320, 240},  // l = 509
+                    GeometryCase{320, 300},  // h = 253
+                    GeometryCase{360, 90},   // wide, short
+                    GeometryCase{600, 61},   // h' = 1 sliver FOA
+                    GeometryCase{640, 480}),  // w = 61, l = 1021
+    [](const testing::TestParamInfo<GeometryCase>& info) {
+      return std::to_string(info.param.width) + "x" +
+             std::to_string(info.param.height);
+    });
+
+TEST(KernelWorkspaceTest, ReusedAcrossGeometriesStillExact) {
+  PyramidWorkspace workspace;
+  FrameSignature optimized;
+  // Bounce between a large and a small geometry: Prepare must re-derive
+  // maps each flip and never read stale buffer regions.
+  const GeometryCase cases[] = {{320, 240}, {16, 12}, {160, 120}, {16, 12}};
+  for (const GeometryCase& gc : cases) {
+    AreaGeometry geom = ComputeAreaGeometry(gc.width, gc.height).value();
+    Frame frame = RandomFrame(gc.width, gc.height,
+                              static_cast<uint64_t>(gc.width * 31 + 7));
+    FrameSignature reference =
+        ComputeFrameSignatureReference(frame, geom).value();
+    ASSERT_TRUE(workspace.ComputeInto(frame, geom, &optimized).ok());
+    ExpectSignatureEq(optimized, reference, "reuse");
+  }
+  EXPECT_EQ(workspace.prepare_count(), 4);
+}
+
+TEST(KernelWorkspaceTest, RejectsMismatchedAndUnsnappedGeometry) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  PyramidWorkspace workspace;
+  FrameSignature out;
+  EXPECT_FALSE(workspace.ComputeInto(Frame(100, 100), geom, &out).ok());
+  AreaGeometry bad = geom;
+  bad.l = 100;  // not a size-set element
+  EXPECT_FALSE(
+      workspace.ComputeInto(Frame(160, 120), bad, &out).ok());
+}
+
+// The public entry points route through the kernels; they must agree with
+// the reference too (serial, explicit-workspace, and parallel variants).
+TEST(KernelWorkspaceTest, PublicEntryPointsMatchReference) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame frame = RandomFrame(160, 120, 4242);
+  FrameSignature reference =
+      ComputeFrameSignatureReference(frame, geom).value();
+
+  FrameSignature via_default = ComputeFrameSignature(frame, geom).value();
+  ExpectSignatureEq(via_default, reference, "thread-local path");
+
+  PyramidWorkspace workspace;
+  FrameSignature via_explicit =
+      ComputeFrameSignature(frame, geom, &workspace).value();
+  ExpectSignatureEq(via_explicit, reference, "explicit workspace");
+
+  Video video("kernels", 3.0);
+  for (int i = 0; i < 8; ++i) {
+    video.AppendFrame(RandomFrame(160, 120, 1000 + static_cast<uint64_t>(i)));
+  }
+  VideoSignatures serial = ComputeVideoSignatures(video).value();
+  VideoSignatures parallel =
+      ComputeVideoSignaturesParallel(video, 3).value();
+  ASSERT_EQ(serial.frames.size(), parallel.frames.size());
+  for (size_t i = 0; i < serial.frames.size(); ++i) {
+    ExpectSignatureEq(serial.frames[i], parallel.frames[i], "parallel");
+    FrameSignature ref =
+        ComputeFrameSignatureReference(video.frame(static_cast<int>(i)),
+                                       serial.geometry)
+            .value();
+    ExpectSignatureEq(serial.frames[i], ref, "serial vs reference");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shift-match kernel vs. the reference scalar loop.
+
+TEST(ShiftMatchKernelTest, EquivalentOnRandomAndStructuredPairs) {
+  for (int n : {1, 5, 13, 29, 61, 125, 253}) {
+    for (int tolerance : {0, 3, 12, 64, 255}) {
+      for (int value_range : {4, 32, 256}) {
+        uint64_t seed = static_cast<uint64_t>(n * 1000 + tolerance * 10 +
+                                              value_range);
+        Signature a = RandomLine(n, seed, value_range);
+        Signature b = RandomLine(n, seed + 1, value_range);
+        EXPECT_EQ(BestShiftMatchScoreKernel(a, b, tolerance),
+                  BestShiftMatchScoreReference(a, b, tolerance))
+            << "random n=" << n << " tol=" << tolerance;
+
+        // b = a shifted by k: the kernel's decreasing-overlap order and
+        // pruning must still find the same maximal run.
+        for (int k : {0, 1, n / 3, n - 1}) {
+          Signature shifted(a.size());
+          for (int i = 0; i < n; ++i) {
+            shifted[static_cast<size_t>(i)] =
+                a[static_cast<size_t>((i + k) % n)];
+          }
+          EXPECT_EQ(BestShiftMatchScoreKernel(a, shifted, tolerance),
+                    BestShiftMatchScoreReference(a, shifted, tolerance))
+              << "shifted n=" << n << " k=" << k << " tol=" << tolerance;
+        }
+
+        // Identical and constant signatures: score must be exactly 1.
+        EXPECT_EQ(BestShiftMatchScoreKernel(a, a, tolerance), 1.0);
+      }
+    }
+  }
+}
+
+TEST(ShiftMatchKernelTest, ShotDetectorEntryPointUsesKernel) {
+  Signature a = RandomLine(61, 11);
+  Signature b = RandomLine(61, 12);
+  for (int tolerance : {0, 12, 255}) {
+    EXPECT_EQ(BestShiftMatchScore(a, b, tolerance),
+              BestShiftMatchScoreReference(a, b, tolerance));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation behaviour.
+
+TEST(KernelAllocationTest, WarmWorkspacePathAllocatesNothing) {
+  AreaGeometry geom = ComputeAreaGeometry(160, 120).value();
+  Frame frame = RandomFrame(160, 120, 99);
+  PyramidWorkspace workspace;
+  FrameSignature out;
+  // Warm-up: sizes the workspace for the geometry and out's vector.
+  ASSERT_TRUE(workspace.ComputeInto(frame, geom, &out).ok());
+  ASSERT_TRUE(workspace.ComputeInto(frame, geom, &out).ok());
+
+  Pcg32 rng(7);
+  long before = AllocationsNow();
+  for (int iter = 0; iter < 50; ++iter) {
+    // Perturb the frame so the work is real, without allocating.
+    frame.data()[rng.NextBounded(
+                     static_cast<uint32_t>(frame.pixel_count()))]
+        .g ^= 0x5a;
+    Status status = workspace.ComputeInto(frame, geom, &out);
+    if (!status.ok()) break;
+  }
+  long delta = AllocationsNow() - before;
+  EXPECT_EQ(delta, 0) << "workspace path allocated in steady state";
+  EXPECT_EQ(workspace.prepare_count(), 1);
+}
+
+TEST(KernelAllocationTest, WarmShiftMatchAllocatesNothing) {
+  Signature a = RandomLine(253, 21);
+  Signature b = RandomLine(253, 22);
+  // Warm-up sizes this thread's mask buffer.
+  BestShiftMatchScoreKernel(a, b, 12);
+
+  long before = AllocationsNow();
+  double sum = 0.0;
+  for (int tolerance = 0; tolerance < 32; ++tolerance) {
+    sum += BestShiftMatchScoreKernel(a, b, tolerance);
+  }
+  long delta = AllocationsNow() - before;
+  EXPECT_EQ(delta, 0) << "shift match allocated in steady state";
+  EXPECT_GE(sum, 0.0);
+}
+
+TEST(KernelAllocationTest, ReferenceLineReduceFastPathsAvoidCopies) {
+  // Size-1 fast path: no allocation at all.
+  Signature one(1, PixelRGB(9, 9, 9));
+  long before = AllocationsNow();
+  PixelRGB p = ReduceLineToPixel(one).value();
+  EXPECT_EQ(AllocationsNow() - before, 0);
+  EXPECT_EQ(p, PixelRGB(9, 9, 9));
+
+  // 13 -> 5 -> 1: exactly the two per-level outputs, no input copy (the
+  // pre-fix implementation also copied the 13-pixel input).
+  Signature line = RandomLine(13, 5);
+  before = AllocationsNow();
+  ReduceLineToPixel(line).value();
+  EXPECT_LE(AllocationsNow() - before, 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: all 22 Table-5 presets, optimized vs. reference, down to the
+// serialized catalog entry (what the store persists and fingerprints).
+
+constexpr double kPresetScale = 0.03;
+constexpr uint64_t kPresetSeed = 3;
+
+std::string EntryBytes(const CatalogEntry& entry) {
+  BinaryWriter w;
+  SerializeCatalogEntry(entry, &w);
+  return w.TakeBuffer();
+}
+
+class KernelPresetTest : public testing::TestWithParam<int> {};
+
+TEST_P(KernelPresetTest, PresetEndToEndByteIdentical) {
+  // Table5Profiles() returns by value — copy, don't bind a reference into
+  // the destroyed temporary.
+  const ClipProfile profile =
+      Table5Profiles()[static_cast<size_t>(GetParam())];
+  Storyboard board =
+      MakeStoryboardFromProfile(profile, kPresetScale, kPresetSeed);
+  const Video& video = testsupport::CachedRender(board).video;
+
+  // Reference analysis: double-path signatures, then the shared
+  // detection / features / tree stages.
+  VideoSignatures reference;
+  reference.geometry =
+      ComputeAreaGeometry(video.width(), video.height()).value();
+  reference.frames.resize(static_cast<size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    Result<FrameSignature> sig =
+        ComputeFrameSignatureReference(video.frame(i), reference.geometry);
+    ASSERT_TRUE(sig.ok()) << sig.status();
+    reference.frames[static_cast<size_t>(i)] = std::move(*sig);
+  }
+
+  // Optimized analysis through the production entry point.
+  VideoSignatures optimized = ComputeVideoSignatures(video).value();
+  ASSERT_EQ(optimized.frames.size(), reference.frames.size());
+  for (size_t i = 0; i < reference.frames.size(); ++i) {
+    ExpectSignatureEq(optimized.frames[i], reference.frames[i],
+                      profile.name + " frame " + std::to_string(i));
+  }
+
+  // Shot boundaries and stage statistics.
+  CameraTrackingDetector detector;
+  ShotDetectionResult ref_shots =
+      detector.DetectFromSignatures(reference).value();
+  ShotDetectionResult opt_shots =
+      detector.DetectFromSignatures(optimized).value();
+  ASSERT_EQ(opt_shots.shots, ref_shots.shots) << profile.name;
+  EXPECT_EQ(opt_shots.boundaries, ref_shots.boundaries);
+
+  // Serialized catalog entries (the store's fingerprint currency):
+  // features, SBD stats and the scene tree all ride along.
+  CatalogEntry ref_entry;
+  ref_entry.name = video.name();
+  ref_entry.fps = video.fps();
+  ref_entry.frame_count = video.frame_count();
+  ref_entry.signatures = reference;
+  ref_entry.shots = ref_shots.shots;
+  ref_entry.sbd_stats = ref_shots.stage_stats;
+  ref_entry.features =
+      ComputeAllShotFeatures(reference, ref_shots.shots).value();
+  ref_entry.scene_tree =
+      SceneTreeBuilder().Build(reference, ref_shots.shots).value();
+
+  CatalogEntry opt_entry;
+  opt_entry.name = video.name();
+  opt_entry.fps = video.fps();
+  opt_entry.frame_count = video.frame_count();
+  opt_entry.signatures = optimized;
+  opt_entry.shots = opt_shots.shots;
+  opt_entry.sbd_stats = opt_shots.stage_stats;
+  opt_entry.features =
+      ComputeAllShotFeatures(optimized, opt_shots.shots).value();
+  opt_entry.scene_tree =
+      SceneTreeBuilder().Build(optimized, opt_shots.shots).value();
+
+  std::string ref_bytes = EntryBytes(ref_entry);
+  std::string opt_bytes = EntryBytes(opt_entry);
+  EXPECT_EQ(opt_bytes, ref_bytes) << profile.name;
+  EXPECT_EQ(Fnv1a32(reinterpret_cast<const uint8_t*>(opt_bytes.data()),
+                    opt_bytes.size()),
+            Fnv1a32(reinterpret_cast<const uint8_t*>(ref_bytes.data()),
+                    ref_bytes.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTable5Clips, KernelPresetTest,
+    testing::Range(0, static_cast<int>(Table5Profiles().size())),
+    [](const testing::TestParamInfo<int>& info) {
+      std::string name =
+          Table5Profiles()[static_cast<size_t>(info.param)].name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The gradual-transition extension leans on BestShiftMatchScore for its
+// pan-vs-dissolve test; boundaries must be unchanged by the kernel swap.
+TEST(KernelPresetTest, GradualDetectionUnchangedByKernels) {
+  // "Today's Vietnam": the dissolve-heaviest documentary of Table 5.
+  const ClipProfile profile = Table5Profiles()[18];
+  Storyboard board =
+      MakeStoryboardFromProfile(profile, kPresetScale, kPresetSeed);
+  const Video& video = testsupport::CachedRender(board).video;
+
+  VideoSignatures reference;
+  reference.geometry =
+      ComputeAreaGeometry(video.width(), video.height()).value();
+  reference.frames.resize(static_cast<size_t>(video.frame_count()));
+  for (int i = 0; i < video.frame_count(); ++i) {
+    reference.frames[static_cast<size_t>(i)] =
+        ComputeFrameSignatureReference(video.frame(i), reference.geometry)
+            .value();
+  }
+  VideoSignatures optimized = ComputeVideoSignatures(video).value();
+
+  CameraTrackingOptions options;
+  options.detect_gradual = true;
+  CameraTrackingDetector detector(options);
+  ShotDetectionResult ref_shots =
+      detector.DetectFromSignatures(reference).value();
+  ShotDetectionResult opt_shots =
+      detector.DetectFromSignatures(optimized).value();
+  EXPECT_EQ(opt_shots.shots, ref_shots.shots);
+  EXPECT_EQ(opt_shots.boundaries, ref_shots.boundaries);
+}
+
+}  // namespace
+}  // namespace vdb
