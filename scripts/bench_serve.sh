@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Serving-perf trajectory: build a catalog of the 22 Table-5 genre clips,
 # serve it with vdbserve on an ephemeral loopback port, and drive it with
-# vdbload at 1/4/16 client threads. Writes BENCH_serve.json (QPS + exact
-# p50/p95/p99 latency per thread count) at the repo root.
+# vdbload at 1/4/16 client threads crossed with pipeline depths 1/8/32.
+# Writes BENCH_serve.json (QPS + exact p50/p95/p99 latency per
+# threads x depth run) at the repo root.
 #
 #   scripts/bench_serve.sh
 #
 # Knobs: VDB_SERVE_BENCH_SCALE (clip duration scale, default 0.05),
 # VDB_SERVE_BENCH_REQUESTS (requests per client thread, default 2000),
+# VDB_SERVE_BENCH_DEPTHS (pipeline depths, default 1,8,32),
 # JOBS (build parallelism). Synth renders are cached in
 # build/bench-serve/, so re-runs skip straight to the measurement.
 
@@ -16,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 SCALE="${VDB_SERVE_BENCH_SCALE:-0.05}"
 REQUESTS="${VDB_SERVE_BENCH_REQUESTS:-2000}"
+DEPTHS="${VDB_SERVE_BENCH_DEPTHS:-1,8,32}"
 JOBS="${JOBS:-$(nproc)}"
 WORK=build/bench-serve
 OUT=BENCH_serve.json
@@ -60,5 +63,5 @@ done
 port=$(cat "$port_file")
 
 build/tools/vdbload --port "$port" --threads 1,4,16 \
-  --requests "$REQUESTS" --json "$OUT"
+  --pipeline-depth "$DEPTHS" --requests "$REQUESTS" --json "$OUT"
 echo "bench_serve: wrote $OUT"

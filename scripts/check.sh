@@ -6,6 +6,7 @@
 #   scripts/check.sh plain      # just the uninstrumented build + full suite
 #   scripts/check.sh asan tsan  # just the sanitizer legs
 #   scripts/check.sh kernels    # fast kernel-equivalence smoke leg
+#   scripts/check.sh serve      # serve suites under ASan then TSan
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/ — reused across
 # runs, so incremental checks are cheap. JOBS overrides the parallelism.
@@ -57,6 +58,18 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -L 'serve|concurrency|store|stream|kernels'
       ;;
+    serve)
+      # The serving-layer battery on its own: the event loop, pipelining
+      # equivalence, chaos suite and metrics shards under ASan (buffer
+      # handling in the frame parser and vectored flush) and TSan (the
+      # reload executor, cross-worker completions, sharded metrics).
+      banner "serve leg: asan build + serve suites"
+      configure_and_build build-asan address
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L serve
+      banner "serve leg: tsan build + serve suites"
+      configure_and_build build-tsan thread
+      ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L serve
+      ;;
     kernels)
       # Fast smoke: just the kernel-equivalence suite on the plain build.
       banner "kernel-equivalence smoke (ctest -L kernels)"
@@ -64,7 +77,7 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
       ;;
     *)
-      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, kernels)" >&2
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, kernels)" >&2
       exit 2
       ;;
   esac

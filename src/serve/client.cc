@@ -38,14 +38,20 @@ void Client::Close() {
   fd_ = -1;
 }
 
-Result<Response> Client::Call(const Request& request) {
+Status Client::Send(const Request& request) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client is not connected");
   }
   Status written = WriteAll(fd_, EncodeRequest(request));
   if (!written.ok()) {
     Close();
-    return written;
+  }
+  return written;
+}
+
+Result<Response> Client::Receive() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
   }
   Result<Frame> frame = ReadFrame(fd_);
   if (!frame.ok()) {
@@ -58,14 +64,38 @@ Result<Response> Client::Call(const Request& request) {
   Result<Response> response = DecodeResponse(frame->header, frame->payload);
   if (!response.ok()) {
     Close();
-    return response.status();
   }
-  if (response->verb != request.verb && response->verb != Verb::kError) {
+  return response;
+}
+
+Result<Response> Client::Call(const Request& request) {
+  VDB_RETURN_IF_ERROR(Send(request));
+  VDB_ASSIGN_OR_RETURN(Response response, Receive());
+  if (response.verb != request.verb && response.verb != Verb::kError) {
     Close();
     return Status::Corruption(
         "response verb does not match the request (stream out of sync)");
   }
   return response;
+}
+
+Result<std::vector<Response>> Client::CallPipelined(
+    const std::vector<Request>& requests) {
+  for (const Request& request : requests) {
+    VDB_RETURN_IF_ERROR(Send(request));
+  }
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (const Request& request : requests) {
+    VDB_ASSIGN_OR_RETURN(Response response, Receive());
+    if (response.verb != request.verb && response.verb != Verb::kError) {
+      Close();
+      return Status::Corruption(
+          "response verb does not match the request (stream out of sync)");
+    }
+    responses.push_back(std::move(response));
+  }
+  return responses;
 }
 
 Result<std::string> Client::Ping(const std::string& token) {

@@ -2,6 +2,7 @@
 #define VDB_SERVE_CLIENT_H_
 
 #include <string>
+#include <vector>
 
 #include "serve/wire.h"
 #include "util/result.h"
@@ -48,6 +49,20 @@ class Client {
   // Response may carry a non-OK status (an application error, or a BUSY /
   // malformed-frame report with verb kError).
   Result<Response> Call(const Request& request);
+
+  // Pipelining split of Call(): Send writes a request frame without waiting
+  // for anything, Receive reads the next response frame. The server answers
+  // in request order, so after N Sends the next N Receives pair up
+  // one-to-one with them. Transport failures poison the connection exactly
+  // as Call does.
+  Status Send(const Request& request);
+  Result<Response> Receive();
+
+  // Sends every request back to back, then reads every response; the result
+  // has the same length and order as `requests`. One torn frame poisons the
+  // whole batch (the stream is unsynchronised beyond it).
+  Result<std::vector<Response>> CallPipelined(
+      const std::vector<Request>& requests);
 
   // Typed shorthands; each forwards a non-OK response status as the error.
   Result<std::string> Ping(const std::string& token);

@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vdb {
@@ -40,17 +41,24 @@ void LatencyHistogram::Record(double us) {
   }
 }
 
-LatencyHistogram::Summary LatencyHistogram::Summarize() const {
-  std::array<uint64_t, kNumBuckets> counts;
-  uint64_t total = 0;
+uint64_t LatencyHistogram::AccumulateBuckets(
+    std::array<uint64_t, 80>* into) const {
   for (int i = 0; i < kNumBuckets; ++i) {
-    counts[static_cast<size_t>(i)] =
+    (*into)[static_cast<size_t>(i)] +=
         buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
-    total += counts[static_cast<size_t>(i)];
+  }
+  return max_us_.load(std::memory_order_relaxed);
+}
+
+LatencyHistogram::Summary LatencyHistogram::SummarizeBuckets(
+    const std::array<uint64_t, 80>& buckets, uint64_t max_us) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) {
+    total += c;
   }
   Summary summary;
   summary.count = total;
-  summary.max_us = static_cast<double>(max_us_.load(std::memory_order_relaxed));
+  summary.max_us = static_cast<double>(max_us);
   if (total == 0) {
     return summary;
   }
@@ -59,7 +67,7 @@ LatencyHistogram::Summary LatencyHistogram::Summarize() const {
     if (target < 1) target = 1;
     uint64_t seen = 0;
     for (int i = 0; i < kNumBuckets; ++i) {
-      seen += counts[static_cast<size_t>(i)];
+      seen += buckets[static_cast<size_t>(i)];
       if (seen >= target) {
         return UpperEdgeUs(i);
       }
@@ -72,6 +80,16 @@ LatencyHistogram::Summary LatencyHistogram::Summarize() const {
   return summary;
 }
 
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  std::array<uint64_t, kNumBuckets> counts{};
+  uint64_t max_us = AccumulateBuckets(&counts);
+  return SummarizeBuckets(counts, max_us);
+}
+
+ServerMetrics::ServerMetrics(int shards)
+    : shard_count_(std::max(1, shards)),
+      shards_(new Shard[static_cast<size_t>(shard_count_)]) {}
+
 void ServerMetrics::OnConnectionOpened() {
   total_connections_.fetch_add(1, std::memory_order_relaxed);
   active_connections_.fetch_add(1, std::memory_order_relaxed);
@@ -79,6 +97,18 @@ void ServerMetrics::OnConnectionOpened() {
 
 void ServerMetrics::OnConnectionClosed() {
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ServerMetrics::TryOpenConnection(uint64_t max_active) {
+  uint64_t active = active_connections_.load(std::memory_order_relaxed);
+  while (active < max_active) {
+    if (active_connections_.compare_exchange_weak(
+            active, active + 1, std::memory_order_relaxed)) {
+      total_connections_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
 }
 
 void ServerMetrics::OnBusyRejected() {
@@ -106,8 +136,13 @@ void ServerMetrics::SetStoreGeneration(uint64_t generation) {
   store_generation_.store(generation, std::memory_order_relaxed);
 }
 
-void ServerMetrics::OnRequest(Verb verb, bool ok, double latency_us) {
-  PerVerb& row = verbs_[static_cast<size_t>(verb)];
+void ServerMetrics::OnRequest(Verb verb, bool ok, double latency_us,
+                              int shard) {
+  if (shard < 0 || shard >= shard_count_) {
+    shard = 0;
+  }
+  PerVerb& row =
+      shards_[static_cast<size_t>(shard)].verbs[static_cast<size_t>(verb)];
   row.count.fetch_add(1, std::memory_order_relaxed);
   if (!ok) {
     row.errors.fetch_add(1, std::memory_order_relaxed);
@@ -127,16 +162,26 @@ StatsResponse ServerMetrics::Snapshot() const {
   stats.reload_failures = reload_failures_.load(std::memory_order_relaxed);
   stats.store_generation = store_generation_.load(std::memory_order_relaxed);
   for (int v = 0; v < kNumVerbs; ++v) {
-    const PerVerb& row = verbs_[static_cast<size_t>(v)];
-    uint64_t count = row.count.load(std::memory_order_relaxed);
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t max_us = 0;
+    std::array<uint64_t, LatencyHistogram::kNumBuckets> buckets{};
+    for (int s = 0; s < shard_count_; ++s) {
+      const PerVerb& row =
+          shards_[static_cast<size_t>(s)].verbs[static_cast<size_t>(v)];
+      count += row.count.load(std::memory_order_relaxed);
+      errors += row.errors.load(std::memory_order_relaxed);
+      max_us = std::max(max_us, row.latency.AccumulateBuckets(&buckets));
+    }
     if (count == 0) {
       continue;
     }
-    LatencyHistogram::Summary latency = row.latency.Summarize();
+    LatencyHistogram::Summary latency =
+        LatencyHistogram::SummarizeBuckets(buckets, max_us);
     VerbStats out;
     out.verb = std::string(VerbName(static_cast<Verb>(v)));
     out.count = count;
-    out.errors = row.errors.load(std::memory_order_relaxed);
+    out.errors = errors;
     out.p50_us = latency.p50_us;
     out.p95_us = latency.p95_us;
     out.p99_us = latency.p99_us;

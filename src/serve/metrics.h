@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "serve/wire.h"
 
@@ -33,6 +34,12 @@ class LatencyHistogram {
   // included, but counts never tear.
   Summary Summarize() const;
 
+  // Shard-merge support: adds this histogram's buckets into `into` and
+  // returns its max sample, so N per-worker histograms summarize as one.
+  uint64_t AccumulateBuckets(std::array<uint64_t, 80>* into) const;
+  static Summary SummarizeBuckets(const std::array<uint64_t, 80>& buckets,
+                                  uint64_t max_us);
+
   // Bucket `i` covers latencies up to UpperEdgeUs(i); the last bucket is
   // open-ended (~16 minutes and beyond). Exposed for tests.
   static constexpr int kNumBuckets = 80;
@@ -46,24 +53,40 @@ class LatencyHistogram {
 };
 
 // All the counters the server keeps, surfaced verbatim by the STATS verb
-// (the database-shape fields of StatsResponse — videos, indexed shots — come
-// from the current catalog snapshot, not from here). Every method is
-// thread-safe; the hot-path cost is a handful of relaxed atomic increments.
+// (the database-shape fields of StatsResponse — videos, indexed shots —
+// come from the current catalog snapshot, not from here). Every method is
+// thread-safe.
+//
+// The per-request path (OnRequest) is sharded: the server constructs one
+// shard per event-loop worker, each worker records into its own shard
+// (cache-line separated, so the hot path never bounces a line between
+// cores), and Snapshot() merges counts and histogram buckets across
+// shards. Connection-level counters are rare enough to stay global.
 class ServerMetrics {
  public:
-  ServerMetrics() = default;
+  // `shards` is the number of independent per-verb recording lanes;
+  // OnRequest takes a shard index in [0, shards).
+  explicit ServerMetrics(int shards = 1);
+
+  int shards() const { return shard_count_; }
 
   // A connection was accepted and admitted (counts toward total and the
   // active gauge).
   void OnConnectionOpened();
   void OnConnectionClosed();
+  // Atomic admission: increments the active gauge (and the total) only if
+  // the gauge is below `max_active`; returns whether it was admitted.
+  // This is the accept-path check — with several workers accepting
+  // concurrently, check-then-increment would overshoot the limit.
+  bool TryOpenConnection(uint64_t max_active);
   // An accepted connection was turned away because the server was at its
   // max-connection limit (counts toward total but never active).
   void OnBusyRejected();
   // A frame failed header validation, checksum, or request decoding.
   void OnBadFrame();
-  // One request of `verb` finished (ok or not) in `latency_us`.
-  void OnRequest(Verb verb, bool ok, double latency_us);
+  // One request of `verb` finished (ok or not) in `latency_us`, recorded
+  // into `shard` (the calling worker's lane).
+  void OnRequest(Verb verb, bool ok, double latency_us, int shard = 0);
   // One catalog (re)load finished; `ok` means the snapshot was swapped.
   void OnReloadResult(bool ok);
   // A store open skipped `skipped` corrupt generations before succeeding;
@@ -76,8 +99,9 @@ class ServerMetrics {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
-  // Fills every field of StatsResponse except `videos`/`indexed_shots`.
-  // Verbs that never ran are omitted from the per-verb rows.
+  // Fills every field of StatsResponse except `videos`/`indexed_shots`,
+  // merging the per-shard rows. Verbs that never ran are omitted from the
+  // per-verb rows.
   StatsResponse Snapshot() const;
 
  private:
@@ -85,6 +109,11 @@ class ServerMetrics {
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> errors{0};
     LatencyHistogram latency;
+  };
+  // One worker's recording lane, padded so two workers' hot counters never
+  // share a cache line.
+  struct alignas(64) Shard {
+    std::array<PerVerb, kNumVerbs> verbs;
   };
 
   std::atomic<uint64_t> total_connections_{0};
@@ -94,7 +123,8 @@ class ServerMetrics {
   std::atomic<uint64_t> reloads_ok_{0};
   std::atomic<uint64_t> reload_failures_{0};
   std::atomic<uint64_t> store_generation_{0};
-  std::array<PerVerb, kNumVerbs> verbs_;
+  int shard_count_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace serve

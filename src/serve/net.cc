@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -199,6 +200,110 @@ Result<Frame> ReadFrame(int fd) {
   }
   VDB_RETURN_IF_ERROR(ValidatePayload(header, frame.payload));
   return frame;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Errno("fcntl F_GETFL");
+  }
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl F_SETFL O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+IoOutcome ReadSome(int fd, char* buf, size_t n) {
+  IoOutcome out;
+  for (;;) {
+    ssize_t r = recv(fd, buf, n, 0);
+    if (r > 0) {
+      out.kind = IoOutcome::kProgress;
+      out.bytes = static_cast<size_t>(r);
+      return out;
+    }
+    if (r == 0) {
+      out.kind = IoOutcome::kEof;
+      return out;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.kind = IoOutcome::kWouldBlock;
+      return out;
+    }
+    out.kind = IoOutcome::kError;
+    out.status = Errno("recv");
+    return out;
+  }
+}
+
+IoOutcome WritevSome(int fd, const iovec* iov, int iovcnt) {
+  IoOutcome out;
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = const_cast<iovec*>(iov);
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t w = sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w >= 0) {
+      out.kind = IoOutcome::kProgress;
+      out.bytes = static_cast<size_t>(w);
+      return out;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.kind = IoOutcome::kWouldBlock;
+      return out;
+    }
+    out.kind = IoOutcome::kError;
+    out.status = Errno("sendmsg");
+    return out;
+  }
+}
+
+IoOutcome AcceptSome(int listen_fd) {
+  IoOutcome out;
+  for (;;) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      out.kind = IoOutcome::kProgress;
+      out.bytes = static_cast<size_t>(fd);
+      return out;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.kind = IoOutcome::kWouldBlock;
+      return out;
+    }
+    out.kind = IoOutcome::kError;
+    out.status = Errno("accept");
+    return out;
+  }
+}
+
+Result<int> CreateEventFd() {
+  int fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fd < 0) {
+    return Errno("eventfd");
+  }
+  return fd;
+}
+
+void SignalEventFd(int fd) {
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = write(fd, &one, sizeof(one));
+}
+
+void DrainEventFd(int fd) {
+  uint64_t value;
+  while (read(fd, &value, sizeof(value)) > 0) {
+  }
 }
 
 void ShutdownFd(int fd) {

@@ -1,6 +1,8 @@
 #ifndef VDB_SERVE_NET_H_
 #define VDB_SERVE_NET_H_
 
+#include <sys/uio.h>
+
 #include <string>
 #include <string_view>
 
@@ -12,9 +14,9 @@ namespace serve {
 
 // Thin POSIX-socket helpers shared by Server and Client. Everything returns
 // Status/Result like the rest of the library; no exceptions, no globals.
-// All sockets are blocking with per-fd timeouts (SO_RCVTIMEO/SO_SNDTIMEO):
-// the serving layer is thread-per-connection, so blocking I/O plus timeouts
-// is simpler and as safe as an event loop at this scale.
+// The client side stays blocking with per-fd timeouts
+// (SO_RCVTIMEO/SO_SNDTIMEO); the server side is nonblocking and driven by
+// the epoll event loop in server.cc through the *Some helpers below.
 
 // Binds and listens on host:port (port 0 picks an ephemeral port; read it
 // back with LocalPort). Returns the listening fd.
@@ -49,6 +51,42 @@ Status ReadExact(int fd, char* buf, size_t n);
 // kInvalidArgument mean the stream is unsynchronised and the connection
 // should be dropped.
 Result<Frame> ReadFrame(int fd);
+
+// ---------------------------------------------------------------------------
+// Nonblocking primitives for the event loop. Each attempt reports exactly
+// one of: progress (some bytes moved), would-block (try again on the next
+// readiness edge), EOF (peer closed), or a hard error.
+
+Status SetNonBlocking(int fd);
+
+struct IoOutcome {
+  enum Kind {
+    kProgress,    // `bytes` were read/written
+    kWouldBlock,  // EAGAIN: the fd is not ready; wait for the next edge
+    kEof,         // the peer closed its end (reads only)
+    kError,       // hard failure (ECONNRESET, EPIPE, ...); see `status`
+  };
+  Kind kind = kWouldBlock;
+  size_t bytes = 0;
+  Status status;
+};
+
+// One nonblocking recv into buf[0..n). Retries EINTR only.
+IoOutcome ReadSome(int fd, char* buf, size_t n);
+
+// One nonblocking vectored send (MSG_NOSIGNAL). Short writes report as
+// kProgress with the byte count; the caller advances its iovecs.
+IoOutcome WritevSome(int fd, const iovec* iov, int iovcnt);
+
+// Nonblocking accept: kProgress carries the new fd in `bytes`, kWouldBlock
+// means the backlog is drained. Used with edge-triggered readiness, so the
+// caller loops until kWouldBlock.
+IoOutcome AcceptSome(int listen_fd);
+
+// eventfd(2) wrapper for cross-thread wakeups of an epoll loop.
+Result<int> CreateEventFd();
+void SignalEventFd(int fd);
+void DrainEventFd(int fd);
 
 // shutdown(2) both directions, best effort. A reader blocked on the fd
 // wakes with EOF — used for server drain.

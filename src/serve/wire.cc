@@ -328,6 +328,54 @@ Result<Frame> DecodeFrame(std::string_view bytes) {
   return frame;
 }
 
+void FrameParser::Feed(std::string_view bytes) {
+  if (poisoned_) {
+    return;  // the stream is already lost; don't buffer more of it
+  }
+  // Compact before growing: everything before pos_ is consumed.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ >= (64u << 10))) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameParser::Next FrameParser::TryNext(Frame* frame, Status* error) {
+  if (poisoned_) {
+    *error = poison_status_;
+    return Next::kError;
+  }
+  if (buffered_bytes() < kFrameHeaderSize) {
+    return Next::kNeedMore;
+  }
+  std::string_view view = std::string_view(buffer_).substr(pos_);
+  Result<FrameHeader> header =
+      DecodeFrameHeader(view.substr(0, kFrameHeaderSize));
+  if (!header.ok()) {
+    poisoned_ = true;
+    poison_status_ = header.status();
+    *error = poison_status_;
+    return Next::kError;
+  }
+  size_t total = kFrameHeaderSize + header->payload_size;
+  if (view.size() < total) {
+    return Next::kNeedMore;
+  }
+  std::string_view payload = view.substr(kFrameHeaderSize,
+                                         header->payload_size);
+  Status valid = ValidatePayload(*header, payload);
+  if (!valid.ok()) {
+    poisoned_ = true;
+    poison_status_ = valid;
+    *error = poison_status_;
+    return Next::kError;
+  }
+  frame->header = *header;
+  frame->payload.assign(payload.data(), payload.size());
+  pos_ += total;
+  return Next::kFrame;
+}
+
 std::string EncodeRequest(const Request& request) {
   return EncodeFrame(request.verb, /*is_response=*/false,
                      EncodeRequestPayload(request));

@@ -80,6 +80,47 @@ struct Frame {
 };
 Result<Frame> DecodeFrame(std::string_view bytes);
 
+// Incremental frame extraction from a pipelined byte stream: Feed() appends
+// whatever arrived on the socket, TryNext() peels off complete frames in
+// order. Frame boundaries are discovered from the length prefix, so a
+// stream of concatenated frames needs no separators, and a hostile length
+// prefix is rejected on the 14 header bytes alone — before any payload
+// buffer is sized.
+//
+// Once a frame fails validation (bad magic/version/verb, oversized length,
+// checksum mismatch) the byte stream is unsynchronised and cannot be
+// re-entered: the parser stays poisoned and every later TryNext() repeats
+// kError. Callers report the error and drop the connection.
+class FrameParser {
+ public:
+  enum class Next {
+    kFrame,     // *frame holds the next complete frame, consumed
+    kNeedMore,  // the buffered bytes end mid-frame (or are empty)
+    kError,     // the stream is unsynchronised; *error says why
+  };
+
+  // Appends bytes received from the peer. No parsing happens here.
+  void Feed(std::string_view bytes);
+
+  // Extracts the next complete frame, if the buffer holds one.
+  Next TryNext(Frame* frame, Status* error);
+
+  // Bytes buffered but not yet consumed by TryNext.
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+  // True when the buffered bytes start a frame that has not fully arrived —
+  // the state a slow-loris client holds a connection in.
+  bool mid_frame() const { return !poisoned_ && buffered_bytes() > 0; }
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+  bool poisoned_ = false;
+  Status poison_status_;
+};
+
 // ---------------------------------------------------------------------------
 // Requests
 

@@ -1,0 +1,339 @@
+// Adversarial-client chaos test: the event loop must shed or survive every
+// classic misbehaving peer — the slow loris trickling one byte at a time,
+// clients hanging up mid-request or mid-response, a client that pipelines
+// forever and never reads, and an oversized length prefix — without
+// crashing, leaking (the suite runs under ASan in check.sh), or stalling
+// the well-behaved connection sharing the server.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/server.h"
+#include "synth/presets.h"
+#include "tests/support/render_cache.h"
+
+namespace vdb {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class ChaosTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    VideoDatabase db;
+    const SyntheticVideo& ten = testsupport::CachedRender(TenShotStoryboard());
+    ASSERT_TRUE(db.Ingest(ten.video).ok());
+    ASSERT_TRUE(SaveCatalog(db, CatalogPath()).ok());
+  }
+
+  static void TearDownTestSuite() { std::remove(CatalogPath().c_str()); }
+
+  static std::string CatalogPath() {
+    return TempPath("chaos_" + std::to_string(getpid()) + ".vdbcat");
+  }
+
+  static std::unique_ptr<Server> StartServer(ServerOptions options) {
+    auto server = std::make_unique<Server>(options);
+    Status started = server->Start({CatalogPath()});
+    EXPECT_TRUE(started.ok()) << started;
+    return server;
+  }
+
+  // A raw TCP connection to the server, bypassing Client so tests can send
+  // torn and hostile byte sequences.
+  static int RawConnect(const Server& server) {
+    Result<int> fd = ConnectTcp("127.0.0.1", server.port(), 2000);
+    EXPECT_TRUE(fd.ok()) << fd.status();
+    ConfigureSocket(*fd, 2000, 2000);
+    return fd.ok() ? *fd : -1;
+  }
+
+  // Waits for the server's active-connection gauge to drop to `want` —
+  // the observable fact that the misbehaving peers were shed.
+  static bool WaitForActive(const Server& server, uint64_t want,
+                            int timeout_ms = 10'000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (server.metrics().active_connections() == want) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return server.metrics().active_connections() == want;
+  }
+
+  // The well-behaved control: PINGs must keep round-tripping while the
+  // adversarial peer does its thing.
+  static void ExpectHealthy(Client& client, const std::string& tag) {
+    Result<std::string> echoed = client.Ping(tag);
+    ASSERT_TRUE(echoed.ok()) << tag << ": " << echoed.status();
+    EXPECT_EQ(*echoed, tag);
+  }
+};
+
+// One byte of a valid frame per poll interval: the frame never completes
+// within the read timeout, so the connection is shed — while a normal
+// client on the same server never notices.
+TEST_F(ChaosTest, SlowLorisIsShedWithoutStallingOthers) {
+  ServerOptions options;
+  options.read_timeout_ms = 250;
+  std::unique_ptr<Server> server = StartServer(options);
+
+  Result<Client> good = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(good.ok()) << good.status();
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = "slow-loris-payload";
+  std::string frame = EncodeRequest(ping);
+
+  int loris = RawConnect(*server);
+  ASSERT_GE(loris, 0);
+  // Trickle bytes slower than they can ever finish: the whole frame would
+  // take frame.size() * 40ms >> read_timeout_ms.
+  auto start = std::chrono::steady_clock::now();
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    if (!WriteAll(loris, std::string_view(frame).substr(sent, 1)).ok()) {
+      break;  // the server already shed us
+    }
+    ++sent;
+    ExpectHealthy(*good, "during-loris-" + std::to_string(sent));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    if (std::chrono::steady_clock::now() - start >
+        std::chrono::milliseconds(2000)) {
+      break;
+    }
+  }
+  // The loris never finished its frame; the good client must remain.
+  EXPECT_LT(sent, frame.size());
+  EXPECT_TRUE(WaitForActive(*server, 1));
+  CloseFd(loris);
+  ExpectHealthy(*good, "after-loris");
+}
+
+// Clients that hang up mid-request frame: the torn tail is dropped
+// silently, nothing leaks, nothing else stalls.
+TEST_F(ChaosTest, MidRequestDisconnectIsHarmless) {
+  ServerOptions options;
+  std::unique_ptr<Server> server = StartServer(options);
+  Result<Client> good = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(good.ok()) << good.status();
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = std::string(1024, 'x');
+  std::string frame = EncodeRequest(ping);
+  for (int i = 0; i < 20; ++i) {
+    int fd = RawConnect(*server);
+    ASSERT_GE(fd, 0);
+    size_t cut = 1 + static_cast<size_t>(i) % (frame.size() - 1);
+    ASSERT_TRUE(WriteAll(fd, std::string_view(frame).substr(0, cut)).ok());
+    CloseFd(fd);  // mid-frame hangup
+    ExpectHealthy(*good, "mid-request-" + std::to_string(i));
+  }
+  EXPECT_TRUE(WaitForActive(*server, 1));
+}
+
+// Clients that pipeline requests and hang up before reading any response:
+// the server's writes fail, the connection is reaped, everyone else lives.
+TEST_F(ChaosTest, MidResponseDisconnectIsHarmless) {
+  ServerOptions options;
+  std::unique_ptr<Server> server = StartServer(options);
+  Result<Client> good = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(good.ok()) << good.status();
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = std::string(48u << 10, 'y');  // 48 KiB responses
+  std::string frame = EncodeRequest(ping);
+  for (int i = 0; i < 10; ++i) {
+    int fd = RawConnect(*server);
+    ASSERT_GE(fd, 0);
+    std::string burst;
+    for (int j = 0; j < 32; ++j) {
+      burst += frame;  // ~1.5 MiB of responses in flight
+    }
+    WriteAll(fd, burst);  // may already fail if the server closed first
+    CloseFd(fd);          // hang up with ~4 MiB of responses in flight
+    ExpectHealthy(*good, "mid-response-" + std::to_string(i));
+  }
+  EXPECT_TRUE(WaitForActive(*server, 1));
+}
+
+// A client that pipelines large requests forever and never reads a byte:
+// backpressure pauses its reads, the flush blocks, and the write timeout
+// sheds it — bounding the memory it can pin to roughly
+// max_buffered_response_bytes plus the kernel buffers.
+TEST_F(ChaosTest, NeverReadingClientIsShedByWriteTimeout) {
+  ServerOptions options;
+  options.write_timeout_ms = 300;
+  options.max_buffered_response_bytes = 64u << 10;
+  std::unique_ptr<Server> server = StartServer(options);
+  Result<Client> good = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(good.ok()) << good.status();
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  // 48 KiB echo each (the wire codec caps strings at 64 KiB).
+  ping.ping_token = std::string(48u << 10, 'z');
+  std::string frame = EncodeRequest(ping);
+
+  int hog = RawConnect(*server);
+  ASSERT_GE(hog, 0);
+  ConfigureSocket(hog, 200, 200);  // so our own sends fail fast once stuck
+  // Clamp our receive buffer before any response flows: with TCP
+  // autotuning the kernel would otherwise absorb tens of megabytes of
+  // responses on loopback and the server's flush would never block.
+  int small = 16 << 10;
+  setsockopt(hog, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  size_t pushed = 0;
+  for (int i = 0; i < 256; ++i) {
+    Status written = WriteAll(hog, frame);
+    if (!written.ok()) {
+      break;  // our send queue jammed (server paused reading) or we got shed
+    }
+    pushed += frame.size();
+  }
+  EXPECT_GT(pushed, 0u);
+  // Never read. The server must shed the connection on its own.
+  EXPECT_TRUE(WaitForActive(*server, 1))
+      << "active=" << server->metrics().active_connections()
+      << " pushed=" << pushed;
+  CloseFd(hog);
+  ExpectHealthy(*good, "after-hog");
+}
+
+// A length prefix past kMaxPayloadSize is rejected on the header alone:
+// one error frame comes back, the connection closes, the server lives.
+TEST_F(ChaosTest, OversizedFrameIsRejectedWithoutAllocation) {
+  ServerOptions options;
+  std::unique_ptr<Server> server = StartServer(options);
+  Result<Client> good = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(good.ok()) << good.status();
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = "oversize";
+  std::string frame = EncodeRequest(ping);
+  const uint32_t claimed = kMaxPayloadSize + 1;  // 32 MiB + 1
+  frame[6] = static_cast<char>(claimed & 0xff);
+  frame[7] = static_cast<char>((claimed >> 8) & 0xff);
+  frame[8] = static_cast<char>((claimed >> 16) & 0xff);
+  frame[9] = static_cast<char>((claimed >> 24) & 0xff);
+
+  int fd = RawConnect(*server);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(WriteAll(fd, frame).ok());
+  Result<Frame> reply = ReadFrame(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  Result<Response> decoded = DecodeResponse(reply->header, reply->payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->verb, Verb::kError);
+  EXPECT_FALSE(decoded->status.ok());
+  // After the error frame the server hangs up.
+  char byte;
+  Status eof = ReadExact(fd, &byte, 1);
+  EXPECT_EQ(eof.code(), StatusCode::kNotFound) << eof;
+  CloseFd(fd);
+  ExpectHealthy(*good, "after-oversize");
+  EXPECT_TRUE(WaitForActive(*server, 1));
+}
+
+// Everything at once, repeatedly: lorises, mid-frame hangups, never-readers
+// and healthy pipelining clients sharing one server. The server must end
+// the soak with only the healthy connections active and still answering.
+TEST_F(ChaosTest, MixedAdversarySoak) {
+  ServerOptions options;
+  options.read_timeout_ms = 250;
+  options.write_timeout_ms = 300;
+  options.max_buffered_response_bytes = 64u << 10;
+  options.max_connections = 64;
+  std::unique_ptr<Server> server = StartServer(options);
+
+  std::atomic<int> healthy_failures{0};
+  std::thread good_thread([&] {
+    Result<Client> client = Client::Connect("127.0.0.1", server->port());
+    if (!client.ok()) {
+      healthy_failures.fetch_add(1);
+      return;
+    }
+    for (int round = 0; round < 40; ++round) {
+      std::vector<Request> batch;
+      for (int i = 0; i < 8; ++i) {
+        Request ping;
+        ping.verb = Verb::kPing;
+        ping.ping_token = "soak-" + std::to_string(round * 8 + i);
+        batch.push_back(std::move(ping));
+      }
+      Result<std::vector<Response>> responses =
+          client->CallPipelined(batch);
+      if (!responses.ok() || responses->size() != batch.size()) {
+        healthy_failures.fetch_add(1);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = std::string(48u << 10, 'w');
+  std::string big_frame = EncodeRequest(ping);
+  for (int wave = 0; wave < 6; ++wave) {
+    // A loris, a torn hangup, and a never-reader per wave.
+    int loris = RawConnect(*server);
+    if (loris >= 0) {
+      WriteAll(loris, std::string_view(big_frame).substr(0, 5));
+    }
+    int torn = RawConnect(*server);
+    if (torn >= 0) {
+      WriteAll(torn, std::string_view(big_frame).substr(0, 40));
+      CloseFd(torn);
+    }
+    int hog = RawConnect(*server);
+    if (hog >= 0) {
+      ConfigureSocket(hog, 100, 100);
+      for (int i = 0; i < 8; ++i) {
+        if (!WriteAll(hog, big_frame).ok()) {
+          break;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    CloseFd(loris);
+    CloseFd(hog);
+  }
+
+  good_thread.join();
+  EXPECT_EQ(healthy_failures.load(), 0);
+  EXPECT_TRUE(WaitForActive(*server, 0));
+  // The server is still fully functional after the soak.
+  Result<Client> fresh = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  Result<std::string> echoed = fresh->Ping("post-soak");
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_EQ(*echoed, "post-soak");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vdb

@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -138,6 +139,85 @@ TEST(ServerMetricsTest, ConcurrentRecordingIsExact) {
   EXPECT_EQ(s.verbs[0].count, static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(s.verbs[0].errors,
             static_cast<uint64_t>(kThreads) * (kPerThread / 10));
+}
+
+// Sharded recording: each shard accumulates independently, and Snapshot()
+// merges counts, errors, histogram buckets and maxima across every shard
+// exactly as if one histogram had seen every sample.
+TEST(ServerMetricsTest, ShardsMergeExactlyInSnapshot) {
+  constexpr int kShards = 4;
+  ServerMetrics sharded(kShards);
+  ServerMetrics reference;  // single shard, same samples
+  EXPECT_EQ(sharded.shards(), kShards);
+  for (int i = 0; i < 4000; ++i) {
+    double us = static_cast<double>(1 + (i * 37) % 2000);
+    bool ok = (i % 7) != 0;
+    sharded.OnRequest(Verb::kQuery, ok, us, i % kShards);
+    reference.OnRequest(Verb::kQuery, ok, us);
+    if (i % 3 == 0) {
+      sharded.OnRequest(Verb::kPing, true, us / 10, i % kShards);
+      reference.OnRequest(Verb::kPing, true, us / 10);
+    }
+  }
+  StatsResponse got = sharded.Snapshot();
+  StatsResponse want = reference.Snapshot();
+  ASSERT_EQ(got.verbs.size(), want.verbs.size());
+  for (size_t i = 0; i < got.verbs.size(); ++i) {
+    EXPECT_EQ(got.verbs[i].verb, want.verbs[i].verb);
+    EXPECT_EQ(got.verbs[i].count, want.verbs[i].count);
+    EXPECT_EQ(got.verbs[i].errors, want.verbs[i].errors);
+    // Bucket merging, not per-shard summarizing: the percentiles of the
+    // merged histogram must equal the single-histogram percentiles, which
+    // per-shard summaries averaged together would not.
+    EXPECT_DOUBLE_EQ(got.verbs[i].p50_us, want.verbs[i].p50_us);
+    EXPECT_DOUBLE_EQ(got.verbs[i].p95_us, want.verbs[i].p95_us);
+    EXPECT_DOUBLE_EQ(got.verbs[i].p99_us, want.verbs[i].p99_us);
+    EXPECT_DOUBLE_EQ(got.verbs[i].max_us, want.verbs[i].max_us);
+  }
+}
+
+// An out-of-range shard index must clamp, not scribble.
+TEST(ServerMetricsTest, OutOfRangeShardFallsBackToShardZero) {
+  ServerMetrics m(2);
+  m.OnRequest(Verb::kList, true, 10.0, -1);
+  m.OnRequest(Verb::kList, true, 10.0, 99);
+  StatsResponse s = m.Snapshot();
+  ASSERT_EQ(s.verbs.size(), 1u);
+  EXPECT_EQ(s.verbs[0].count, 2u);
+}
+
+// Atomic admission: N threads race TryOpenConnection against a limit;
+// exactly `limit` may win per round, and the busy/total counters reconcile.
+TEST(ServerMetricsTest, TryOpenConnectionNeverOvershoots) {
+  constexpr uint64_t kLimit = 5;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  ServerMetrics m;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<uint64_t> admitted{0};
+    std::vector<std::thread> racers;
+    for (int t = 0; t < kThreads; ++t) {
+      racers.emplace_back([&] {
+        if (m.TryOpenConnection(kLimit)) {
+          admitted.fetch_add(1);
+        } else {
+          m.OnBusyRejected();
+        }
+      });
+    }
+    for (std::thread& r : racers) {
+      r.join();
+    }
+    EXPECT_LE(admitted.load(), kLimit) << "round " << round;
+    EXPECT_LE(m.active_connections(), kLimit);
+    for (uint64_t i = 0; i < admitted.load(); ++i) {
+      m.OnConnectionClosed();
+    }
+    EXPECT_EQ(m.active_connections(), 0u);
+  }
+  StatsResponse s = m.Snapshot();
+  EXPECT_EQ(s.total_connections,
+            static_cast<uint64_t>(kThreads) * kRounds);  // admitted + busy
 }
 
 }  // namespace

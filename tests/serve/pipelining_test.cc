@@ -1,0 +1,416 @@
+// Pipelining equivalence property test: a batch of requests written back to
+// back on one connection must produce exactly the responses the same
+// requests produce issued one at a time — byte-identical under the
+// canonical encoding, and in request order. The property must hold for
+// random verb mixes (valid and invalid requests alike), for batches that
+// contain a RELOAD in the middle, and while another connection reloads the
+// catalog concurrently.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.h"
+#include "core/video_database.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "synth/presets.h"
+#include "tests/support/render_cache.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class PipeliningTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    VideoDatabase both;
+    const SyntheticVideo& ten = testsupport::CachedRender(TenShotStoryboard());
+    const SyntheticVideo& friends =
+        testsupport::CachedRender(FriendsStoryboard());
+    ASSERT_TRUE(both.Ingest(ten.video).ok());
+    ASSERT_TRUE(both.Ingest(friends.video).ok());
+    VideoClassification drama;
+    drama.genre_ids = {0, 2};
+    drama.form_id = 1;
+    ASSERT_TRUE(both.SetClassification(0, drama).ok());
+    ASSERT_TRUE(SaveCatalog(both, BothPath()).ok());
+
+    VideoDatabase solo;
+    ASSERT_TRUE(solo.Ingest(ten.video).ok());
+    ASSERT_TRUE(SaveCatalog(solo, SoloPath()).ok());
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(BothPath().c_str());
+    std::remove(SoloPath().c_str());
+  }
+
+  static std::string BothPath() {
+    return TempPath("pipe_both_" + std::to_string(getpid()) + ".vdbcat");
+  }
+  static std::string SoloPath() {
+    return TempPath("pipe_solo_" + std::to_string(getpid()) + ".vdbcat");
+  }
+
+  static std::unique_ptr<Server> StartServer(
+      ServerOptions options = ServerOptions()) {
+    auto server = std::make_unique<Server>(options);
+    Status started = server->Start({BothPath()});
+    EXPECT_TRUE(started.ok()) << started;
+    return server;
+  }
+
+  static Client Connect(const Server& server) {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(*client);
+  }
+
+  // One random request over the deterministic verbs (STATS is excluded:
+  // its counters move with every request, so its bytes are not a function
+  // of the request alone). Roughly one in six is deliberately invalid, so
+  // application-error responses ride the pipeline too.
+  static Request RandomRequest(Pcg32& rng) {
+    Request request;
+    switch (rng.NextBounded(6)) {
+      case 0: {
+        request.verb = Verb::kPing;
+        std::string token(rng.NextBounded(48), '\0');
+        for (char& c : token) {
+          c = static_cast<char>('a' + rng.NextBounded(26));
+        }
+        request.ping_token = token;
+        break;
+      }
+      case 1:
+      case 2: {
+        request.verb = Verb::kQuery;
+        request.query.var_ba = static_cast<double>(rng.NextBounded(4000));
+        request.query.var_oa = static_cast<double>(rng.NextBounded(4000));
+        request.query.top_k = 1 + static_cast<int>(rng.NextBounded(10));
+        if (rng.NextBounded(3) == 0) {
+          request.query.genre_id = static_cast<int>(rng.NextBounded(3));
+        }
+        break;
+      }
+      case 3: {
+        request.verb = Verb::kTree;
+        request.tree.video_id = static_cast<int>(rng.NextBounded(2));
+        request.tree.max_depth = static_cast<int>(rng.NextBounded(4)) - 1;
+        break;
+      }
+      case 4:
+        request.verb = Verb::kList;
+        break;
+      default:
+        // Invalid on purpose: top_k of 0 (out of range) or a video id the
+        // catalog does not have. The error text is deterministic.
+        if (rng.NextBounded(2) == 0) {
+          request.verb = Verb::kQuery;
+          request.query.top_k = 0;
+        } else {
+          request.verb = Verb::kTree;
+          request.tree.video_id = 99;
+        }
+        break;
+    }
+    return request;
+  }
+
+  // The canonical bytes of a response — what the server actually wrote.
+  static std::string Bytes(const Response& response) {
+    return EncodeResponse(response);
+  }
+};
+
+TEST_F(PipeliningTest, PipelinedMatchesSequentialByteForByte) {
+  std::unique_ptr<Server> server = StartServer();
+  Pcg32 rng(0x9e3779b9);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::vector<Request> requests;
+    size_t depth = 1 + rng.NextBounded(24);
+    for (size_t i = 0; i < depth; ++i) {
+      requests.push_back(RandomRequest(rng));
+    }
+
+    Client sequential = Connect(*server);
+    std::vector<std::string> expected;
+    for (const Request& request : requests) {
+      Result<Response> response = sequential.Call(request);
+      ASSERT_TRUE(response.ok()) << response.status();
+      expected.push_back(Bytes(*response));
+    }
+
+    Client pipelined = Connect(*server);
+    Result<std::vector<Response>> responses =
+        pipelined.CallPipelined(requests);
+    ASSERT_TRUE(responses.ok()) << responses.status();
+    ASSERT_EQ(responses->size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(Bytes((*responses)[i]), expected[i])
+          << "trial " << trial << " request " << i << " verb "
+          << static_cast<int>(requests[i].verb);
+    }
+  }
+}
+
+TEST_F(PipeliningTest, ResponsesArriveInRequestOrder) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+  std::vector<Request> requests;
+  for (int i = 0; i < 64; ++i) {
+    Request request;
+    request.verb = Verb::kPing;
+    request.ping_token = "token-" + std::to_string(i);
+    requests.push_back(std::move(request));
+  }
+  Result<std::vector<Response>> responses = client.CallPipelined(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), requests.size());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ((*responses)[static_cast<size_t>(i)].ping_token,
+              "token-" + std::to_string(i));
+  }
+}
+
+// A RELOAD in the middle of a pipelined batch behaves exactly as it does
+// sequentially: every request before it sees the old catalog, every request
+// after it sees the new one, and the whole transcript is byte-identical to
+// the sequential run (each on its own freshly started server, because a
+// RELOAD mutates server state).
+TEST_F(PipeliningTest, ReloadMidPipelineAppliesInOrder) {
+  std::vector<Request> requests;
+  Request query;
+  query.verb = Verb::kQuery;
+  query.query.var_ba = 120.0;
+  query.query.var_oa = 40.0;
+  query.query.top_k = 8;
+  requests.push_back(query);
+  Request list;
+  list.verb = Verb::kList;
+  requests.push_back(list);
+  Request reload;
+  reload.verb = Verb::kReload;
+  reload.reload_path = SoloPath();
+  requests.push_back(reload);
+  requests.push_back(list);
+  requests.push_back(query);
+  Request ping;
+  ping.verb = Verb::kPing;
+  ping.ping_token = "after-reload";
+  requests.push_back(ping);
+
+  std::vector<std::string> expected;
+  {
+    std::unique_ptr<Server> server = StartServer();
+    Client sequential = Connect(*server);
+    for (const Request& request : requests) {
+      Result<Response> response = sequential.Call(request);
+      ASSERT_TRUE(response.ok()) << response.status();
+      expected.push_back(Bytes(*response));
+    }
+  }
+
+  std::unique_ptr<Server> server = StartServer();
+  Client pipelined = Connect(*server);
+  Result<std::vector<Response>> responses = pipelined.CallPipelined(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status();
+  ASSERT_EQ(responses->size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(Bytes((*responses)[i]), expected[i]) << "request " << i;
+  }
+  // And the ordering was semantic, not incidental: the LIST before the
+  // RELOAD saw two videos, the LIST after it saw one.
+  EXPECT_EQ((*responses)[1].list.videos.size(), 2u);
+  EXPECT_EQ((*responses)[3].list.videos.size(), 1u);
+}
+
+// Another connection hammering RELOAD (of the *same* catalog file) while a
+// batch is pipelined: the snapshot pointer swaps at arbitrary points inside
+// the batch, but because the content is identical the responses must still
+// be byte-identical to the undisturbed expectation. This is the atomic-swap
+// property — a response can never observe a half-loaded catalog.
+TEST_F(PipeliningTest, ConcurrentReloadNeverTearsABatch) {
+  std::unique_ptr<Server> server = StartServer();
+
+  Pcg32 rng(0x51ed);
+  std::vector<Request> requests;
+  for (int i = 0; i < 16; ++i) {
+    Request request = RandomRequest(rng);
+    requests.push_back(std::move(request));
+  }
+  Client warmup = Connect(*server);
+  std::vector<std::string> expected;
+  for (const Request& request : requests) {
+    Result<Response> response = warmup.Call(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    expected.push_back(Bytes(*response));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread reloader([&] {
+    Client client = Connect(*server);
+    while (!stop.load()) {
+      Result<ReloadResponse> reloaded = client.Reload();
+      if (!reloaded.ok()) {
+        break;  // server shutting down under us
+      }
+    }
+  });
+
+  Client pipelined = Connect(*server);
+  for (int round = 0; round < 32; ++round) {
+    Result<std::vector<Response>> responses =
+        pipelined.CallPipelined(requests);
+    ASSERT_TRUE(responses.ok()) << responses.status();
+    ASSERT_EQ(responses->size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(Bytes((*responses)[i]), expected[i])
+          << "round " << round << " request " << i;
+    }
+  }
+  stop.store(true);
+  reloader.join();
+}
+
+// Several connections pipelining concurrently: each gets its own responses
+// back in its own order, nothing crosses streams.
+TEST_F(PipeliningTest, ConcurrentPipelinesDoNotMix) {
+  ServerOptions options;
+  options.event_workers = 2;
+  std::unique_ptr<Server> server = StartServer(options);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client = Connect(*server);
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<Request> requests;
+        for (int i = 0; i < 16; ++i) {
+          Request request;
+          request.verb = Verb::kPing;
+          request.ping_token = "c" + std::to_string(t) + "-r" +
+                               std::to_string(round) + "-" +
+                               std::to_string(i);
+          requests.push_back(std::move(request));
+        }
+        Result<std::vector<Response>> responses =
+            client.CallPipelined(requests);
+        if (!responses.ok() || responses->size() != requests.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t i = 0; i < requests.size(); ++i) {
+          if ((*responses)[i].ping_token != requests[i].ping_token) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Per-worker metrics shards must lose nothing: after concurrent pipelined
+// load spread across several event workers, the STATS totals equal the
+// client-side tally request for request, error for error.
+TEST_F(PipeliningTest, StatsExactlyMatchClientTallyAcrossShards) {
+  ServerOptions options;
+  options.event_workers = 4;
+  std::unique_ptr<Server> server = StartServer(options);
+  ASSERT_EQ(server->event_workers(), 4);
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 10;
+  constexpr int kBatch = 12;
+  std::atomic<uint64_t> pings{0}, queries{0}, lists{0}, errors{0};
+  std::atomic<int> transport_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client = Connect(*server);
+      Pcg32 rng(static_cast<uint64_t>(t) * 977 + 13);
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<Request> batch;
+        for (int i = 0; i < kBatch; ++i) {
+          Request request;
+          switch (rng.NextBounded(4)) {
+            case 0:
+              request.verb = Verb::kPing;
+              request.ping_token = "tally";
+              pings.fetch_add(1);
+              break;
+            case 1:
+              request.verb = Verb::kList;
+              lists.fetch_add(1);
+              break;
+            case 2:
+              request.verb = Verb::kQuery;
+              request.query.var_ba = 100.0;
+              request.query.top_k = 3;
+              queries.fetch_add(1);
+              break;
+            default:
+              request.verb = Verb::kQuery;
+              request.query.top_k = 0;  // deterministic application error
+              queries.fetch_add(1);
+              errors.fetch_add(1);
+              break;
+          }
+          batch.push_back(std::move(request));
+        }
+        Result<std::vector<Response>> responses =
+            client.CallPipelined(batch);
+        if (!responses.ok() || responses->size() != batch.size()) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_EQ(transport_failures.load(), 0);
+
+  Client reader = Connect(*server);
+  Result<StatsResponse> stats = reader.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  uint64_t got_pings = 0, got_queries = 0, got_lists = 0;
+  uint64_t got_query_errors = 0;
+  for (const VerbStats& v : stats->verbs) {
+    if (v.verb == "ping") got_pings = v.count;
+    if (v.verb == "list") got_lists = v.count;
+    if (v.verb == "query") {
+      got_queries = v.count;
+      got_query_errors = v.errors;
+    }
+  }
+  EXPECT_EQ(got_pings, pings.load());
+  EXPECT_EQ(got_lists, lists.load());
+  EXPECT_EQ(got_queries, queries.load());
+  EXPECT_EQ(got_query_errors, errors.load());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vdb

@@ -4,6 +4,7 @@
 // bit flips — must decode to kInvalidArgument or kCorruption, never crash,
 // over-read, or allocate an implausible buffer.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -230,6 +231,223 @@ TEST(WireFuzzTest, RandomGarbageIsRejected) {
     EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument ||
                 status.code() == StatusCode::kCorruption)
         << status;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined streams: many frames concatenated into one byte stream, pushed
+// through the incremental FrameParser the way the event loop receives them.
+// However the stream is chunked, every sound frame before a bad one must
+// come out intact and in order, and the bad frame must poison the parser
+// (one error, then a clean refusal to resynchronise) — never a crash.
+
+// Re-encodes a parsed frame so streams can be compared frame-by-frame.
+std::string Reencode(const Frame& frame) {
+  return EncodeFrame(frame.header.verb, frame.header.is_response,
+                     frame.payload);
+}
+
+// Feeds `stream` in chunks cut at `splits` and collects the parser's
+// verdicts: the re-encoded sound frames, and whether/why it poisoned.
+struct StreamOutcome {
+  std::vector<std::string> frames;
+  bool poisoned = false;
+  Status error;
+};
+
+StreamOutcome RunParser(const std::string& stream,
+                        const std::vector<size_t>& splits) {
+  StreamOutcome out;
+  FrameParser parser;
+  size_t start = 0;
+  std::vector<size_t> cuts = splits;
+  cuts.push_back(stream.size());
+  for (size_t cut : cuts) {
+    if (cut < start || cut > stream.size()) {
+      continue;
+    }
+    parser.Feed(std::string_view(stream).substr(start, cut - start));
+    start = cut;
+    for (;;) {
+      Frame frame;
+      Status error;
+      FrameParser::Next next = parser.TryNext(&frame, &error);
+      if (next == FrameParser::Next::kNeedMore) {
+        break;
+      }
+      if (next == FrameParser::Next::kError) {
+        out.poisoned = true;
+        out.error = error;
+        return out;
+      }
+      out.frames.push_back(Reencode(frame));
+    }
+  }
+  return out;
+}
+
+TEST(PipelinedStreamFuzzTest, WholeCorpusConcatenatedRoundTrips) {
+  std::vector<std::string> corpus = Corpus();
+  std::string stream;
+  for (const std::string& frame : corpus) {
+    stream += frame;
+  }
+  // One big feed, and the pathological one-byte-per-feed slow client.
+  std::vector<size_t> byte_splits;
+  for (size_t i = 1; i < stream.size(); ++i) {
+    byte_splits.push_back(i);
+  }
+  for (const std::vector<size_t>& splits :
+       {std::vector<size_t>{}, byte_splits}) {
+    StreamOutcome out = RunParser(stream, splits);
+    EXPECT_FALSE(out.poisoned) << out.error;
+    ASSERT_EQ(out.frames.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(out.frames[i], corpus[i]) << "frame " << i;
+    }
+  }
+}
+
+TEST(PipelinedStreamFuzzTest, RandomChunkingNeverChangesTheFrames) {
+  std::vector<std::string> corpus = Corpus();
+  std::string stream;
+  for (const std::string& frame : corpus) {
+    stream += frame;
+  }
+  Pcg32 rng(0xcafe);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<size_t> splits;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      pos += 1 + rng.NextBounded(97);
+      if (pos < stream.size()) {
+        splits.push_back(pos);
+      }
+    }
+    StreamOutcome out = RunParser(stream, splits);
+    EXPECT_FALSE(out.poisoned) << out.error;
+    ASSERT_EQ(out.frames.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(out.frames[i], corpus[i]);
+    }
+  }
+}
+
+// A truncated trailing frame after N sound ones: all N are delivered and
+// the parser just waits for more bytes — truncation alone is not an error
+// (the peer may still be writing).
+TEST(PipelinedStreamFuzzTest, TruncatedTailDeliversEveryPriorFrame) {
+  std::vector<std::string> corpus = Corpus();
+  for (size_t boundary = 0; boundary < corpus.size(); ++boundary) {
+    std::string stream;
+    for (size_t i = 0; i < boundary; ++i) {
+      stream += corpus[i];
+    }
+    const std::string& tail = corpus[boundary];
+    for (size_t cut : {size_t{1}, tail.size() / 2, tail.size() - 1}) {
+      if (cut >= tail.size()) {
+        continue;
+      }
+      StreamOutcome out = RunParser(stream + tail.substr(0, cut), {});
+      EXPECT_FALSE(out.poisoned)
+          << "boundary " << boundary << " cut " << cut << ": " << out.error;
+      EXPECT_EQ(out.frames.size(), boundary);
+    }
+  }
+}
+
+// A header-corrupting bit flip at any frame boundary: every earlier frame
+// is delivered, then the parser poisons with a protocol error code, and it
+// refuses to produce anything further even when fed more valid frames.
+TEST(PipelinedStreamFuzzTest, CorruptFrameAtEveryBoundaryPoisonsCleanly) {
+  std::vector<std::string> corpus = Corpus();
+  for (size_t boundary = 0; boundary < corpus.size(); ++boundary) {
+    std::string stream;
+    for (size_t i = 0; i < boundary; ++i) {
+      stream += corpus[i];
+    }
+    std::string bad = corpus[boundary];
+    bad[0] ^= 0x40;  // break the magic
+    stream += bad;
+    for (size_t i = boundary + 1; i < corpus.size(); ++i) {
+      stream += corpus[i];  // sound frames after the poison: unreachable
+    }
+    StreamOutcome out = RunParser(stream, {});
+    EXPECT_TRUE(out.poisoned) << "boundary " << boundary;
+    EXPECT_TRUE(out.error.code() == StatusCode::kInvalidArgument ||
+                out.error.code() == StatusCode::kCorruption)
+        << out.error;
+    EXPECT_EQ(out.frames.size(), boundary);
+
+    // Once poisoned, stays poisoned.
+    FrameParser parser;
+    parser.Feed(stream);
+    Frame frame;
+    Status error;
+    for (size_t i = 0; i < boundary; ++i) {
+      ASSERT_EQ(parser.TryNext(&frame, &error), FrameParser::Next::kFrame);
+    }
+    EXPECT_EQ(parser.TryNext(&frame, &error), FrameParser::Next::kError);
+    parser.Feed(corpus[0]);
+    EXPECT_EQ(parser.TryNext(&frame, &error), FrameParser::Next::kError);
+    EXPECT_TRUE(parser.poisoned());
+  }
+}
+
+// Checksum-corrupting flips inside a mid-stream payload: the frames before
+// it survive, the stream dies at the flip.
+TEST(PipelinedStreamFuzzTest, PayloadFlipMidStreamPoisonsAfterPriorFrames) {
+  std::vector<std::string> corpus = Corpus();
+  Pcg32 rng(0xbeef);
+  for (int trial = 0; trial < 64; ++trial) {
+    size_t boundary = rng.NextBounded(static_cast<uint32_t>(corpus.size()));
+    std::string stream;
+    for (size_t i = 0; i < boundary; ++i) {
+      stream += corpus[i];
+    }
+    std::string bad = corpus[boundary];
+    size_t pos = rng.NextBounded(static_cast<uint32_t>(bad.size()));
+    bad[pos] ^= static_cast<char>(1 << rng.NextBounded(8));
+    stream += bad;
+    std::vector<size_t> splits;
+    size_t cursor = 0;
+    while (cursor < stream.size()) {
+      cursor += 1 + rng.NextBounded(31);
+      if (cursor < stream.size()) {
+        splits.push_back(cursor);
+      }
+    }
+    StreamOutcome out = RunParser(stream, splits);
+    if (out.poisoned) {
+      EXPECT_TRUE(out.error.code() == StatusCode::kInvalidArgument ||
+                  out.error.code() == StatusCode::kCorruption)
+          << out.error;
+      EXPECT_GE(out.frames.size(), boundary);
+    }
+    // A flip that survives framing (it can't: the checksum covers the
+    // payload and the header words cross-check) would still deliver the
+    // prior frames; either way nothing crashed and order held.
+    for (size_t i = 0; i < std::min(out.frames.size(), boundary); ++i) {
+      EXPECT_EQ(out.frames[i], corpus[i]);
+    }
+  }
+}
+
+// Pure garbage between two valid frames: the first frame arrives, the
+// garbage poisons, the second frame is never misparsed out of the noise.
+TEST(PipelinedStreamFuzzTest, GarbageBetweenFramesPoisons) {
+  std::vector<std::string> corpus = Corpus();
+  Pcg32 rng(0x5eed);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string garbage(kFrameHeaderSize + rng.NextBounded(64), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+    StreamOutcome out = RunParser(corpus[0] + garbage + corpus[1], {});
+    ASSERT_GE(out.frames.size(), size_t{1});
+    EXPECT_EQ(out.frames[0], corpus[0]);
+    // Random bytes can't satisfy magic + checksum; the stream must die.
+    EXPECT_TRUE(out.poisoned);
   }
 }
 

@@ -1,7 +1,8 @@
 // vdbload — multi-threaded load generator for vdbserve.
 //
 //   vdbload [--host H] [--port N] [--threads 1,4,16] [--requests N]
-//           [--verb query|ping|tree|list|mixed] [--top-k K] [--json PATH]
+//           [--pipeline-depth 1,8,32] [--verb query|ping|tree|list|mixed]
+//           [--top-k K] [--json PATH]
 //   vdbload --reload [--host H] [--port N]
 //
 // --reload skips the load run entirely: it sends one RELOAD frame (empty
@@ -9,10 +10,12 @@
 // store generation) and prints the refreshed catalog shape. It is the CLI
 // half of the segmented store's publish→reload loop.
 //
-// For each thread count in --threads: opens one connection per thread,
-// fires --requests requests per thread (after a small warm-up), and prints
-// throughput plus exact p50/p95/p99/max latency computed from every
-// individual request. --json appends nothing to stdout's table but writes a
+// For each thread count in --threads crossed with each depth in
+// --pipeline-depth: opens one connection per thread, fires --requests
+// requests per thread (after a small warm-up) in pipelined batches of
+// `depth` frames per write, and prints throughput plus exact
+// p50/p95/p99/max latency computed from every individual request (a
+// pipelined request's latency is its batch round-trip). --json appends nothing to stdout's table but writes a
 // machine-readable run file for the bench trajectory (BENCH_serve.json).
 //
 // The default mix ("mixed") is mostly QUERY — the verb the index exists
@@ -40,7 +43,8 @@ namespace {
 int Usage() {
   std::cerr <<
       "usage: vdbload [--host H] [--port N] [--threads 1,4,16]\n"
-      "               [--requests N] [--verb query|ping|tree|list|mixed]\n"
+      "               [--requests N] [--pipeline-depth 1,8,32]\n"
+      "               [--verb query|ping|tree|list|mixed]\n"
       "               [--top-k K] [--json PATH]\n"
       "       vdbload --reload [--host H] [--port N]\n";
   return 2;
@@ -55,6 +59,7 @@ struct Args {
   std::string host = "127.0.0.1";
   int port = 7311;
   std::vector<int> threads = {1, 4, 16};
+  std::vector<int> depths = {1};
   int requests_per_thread = 2000;
   std::string verb = "mixed";
   int top_k = 5;
@@ -86,6 +91,16 @@ bool ParseArgs(int argc, char** argv, Args* out) {
         out->threads.push_back(n);
       }
       if (out->threads.empty()) return false;
+    } else if (arg == "--pipeline-depth") {
+      const char* v = next();
+      if (!v) return false;
+      out->depths.clear();
+      for (const std::string& part : StrSplit(v, ',')) {
+        int n = std::atoi(part.c_str());
+        if (n < 1) return false;
+        out->depths.push_back(n);
+      }
+      if (out->depths.empty()) return false;
     } else if (arg == "--requests") {
       const char* v = next();
       if (!v) return false;
@@ -147,6 +162,7 @@ serve::Request MakeRequest(const Args& args, std::mt19937_64* rng,
 
 struct RunResult {
   int threads = 0;
+  int depth = 1;
   uint64_t requests = 0;
   double wall_seconds = 0.0;
   double qps = 0.0;
@@ -164,7 +180,7 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[rank - 1];
 }
 
-Result<RunResult> RunOnce(const Args& args, int num_threads,
+Result<RunResult> RunOnce(const Args& args, int num_threads, int depth,
                           int video_count) {
   constexpr int kWarmupRequests = 16;
   std::vector<std::vector<double>> latencies(
@@ -201,16 +217,33 @@ Result<RunResult> RunOnce(const Args& args, int num_threads,
       start.wait();
       std::vector<double>& out = latencies[static_cast<size_t>(t)];
       out.reserve(static_cast<size_t>(args.requests_per_thread));
-      for (int i = 0; i < args.requests_per_thread; ++i) {
-        serve::Request request = MakeRequest(args, &rng, video_count);
+      int remaining = args.requests_per_thread;
+      while (remaining > 0) {
+        int batch = std::min(depth, remaining);
+        std::vector<serve::Request> requests;
+        requests.reserve(static_cast<size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+          requests.push_back(MakeRequest(args, &rng, video_count));
+        }
         Stopwatch timer;
-        Result<serve::Response> r = client->Call(request);
-        if (!r.ok() || !r->status.ok()) {
-          failures[static_cast<size_t>(t)] =
-              r.ok() ? r->status : r.status();
+        Result<std::vector<serve::Response>> responses =
+            client->CallPipelined(requests);
+        double batch_us = timer.ElapsedSeconds() * 1e6;
+        if (!responses.ok()) {
+          failures[static_cast<size_t>(t)] = responses.status();
           return;
         }
-        out.push_back(timer.ElapsedSeconds() * 1e6);
+        for (const serve::Response& r : *responses) {
+          if (!r.status.ok()) {
+            failures[static_cast<size_t>(t)] = r.status;
+            return;
+          }
+        }
+        // Every request in the batch waited at most the batch round-trip.
+        for (int i = 0; i < batch; ++i) {
+          out.push_back(batch_us);
+        }
+        remaining -= batch;
       }
     });
   }
@@ -237,6 +270,7 @@ Result<RunResult> RunOnce(const Args& args, int num_threads,
   std::sort(all.begin(), all.end());
   RunResult result;
   result.threads = num_threads;
+  result.depth = depth;
   result.requests = all.size();
   result.wall_seconds = wall_seconds;
   result.qps = wall_seconds > 0
@@ -269,10 +303,10 @@ Status WriteJson(const Args& args, int videos,
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
     out << StrFormat(
-        "    {\"threads\": %d, \"requests\": %llu, "
+        "    {\"threads\": %d, \"pipeline_depth\": %d, \"requests\": %llu, "
         "\"wall_seconds\": %.4f, \"qps\": %.1f, \"p50_us\": %.1f, "
         "\"p95_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f}%s\n",
-        r.threads, static_cast<unsigned long long>(r.requests),
+        r.threads, r.depth, static_cast<unsigned long long>(r.requests),
         r.wall_seconds, r.qps, r.p50_us, r.p95_us, r.p99_us, r.max_us,
         i + 1 < runs.size() ? "," : "");
   }
@@ -324,18 +358,20 @@ int Run(int argc, char** argv) {
 
   std::vector<RunResult> runs;
   for (int num_threads : args.threads) {
-    Result<RunResult> run = RunOnce(args, num_threads, video_count);
-    if (!run.ok()) {
-      return Fail(run.status());
+    for (int depth : args.depths) {
+      Result<RunResult> run = RunOnce(args, num_threads, depth, video_count);
+      if (!run.ok()) {
+        return Fail(run.status());
+      }
+      runs.push_back(*run);
     }
-    runs.push_back(*run);
   }
 
   TablePrinter table(
-      {"Threads", "Requests", "QPS", "p50 (us)", "p95 (us)", "p99 (us)",
-       "max (us)"});
+      {"Threads", "Depth", "Requests", "QPS", "p50 (us)", "p95 (us)",
+       "p99 (us)", "max (us)"});
   for (const RunResult& r : runs) {
-    table.AddRow({StrFormat("%d", r.threads),
+    table.AddRow({StrFormat("%d", r.threads), StrFormat("%d", r.depth),
                   StrFormat("%llu", static_cast<unsigned long long>(
                                         r.requests)),
                   FormatDouble(r.qps, 1), FormatDouble(r.p50_us, 1),
