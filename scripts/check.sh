@@ -7,6 +7,7 @@
 #   scripts/check.sh asan tsan  # just the sanitizer legs
 #   scripts/check.sh kernels    # fast kernel-equivalence smoke leg
 #   scripts/check.sh serve      # serve suites under ASan then TSan
+#   scripts/check.sh cluster    # cluster suites under ASan then TSan
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/ — reused across
 # runs, so incremental checks are cheap. JOBS overrides the parallelism.
@@ -43,20 +44,20 @@ for stage in "${STAGES[@]}"; do
       # The kernels suite rides along: its gather maps and in-place
       # reductions are exactly the kind of indexed hot-loop code where an
       # off-by-one over-read hides.
-      banner "asan build + serve/concurrency/store/stream/kernels suites"
+      banner "asan build + serve/cluster/concurrency/store/stream/kernels suites"
       configure_and_build build-asan address
       ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency|store|stream|kernels'
+        -L 'serve|cluster|concurrency|store|stream|kernels'
       ;;
     tsan)
       # TSan watches the threaded suites: thread pool, concurrent ingest,
       # the server's snapshot swaps under concurrent clients, and the
       # streaming pipeline's bounded queues and worker fan-out. The kernels
       # suite rides along for its thread-local workspace handoff.
-      banner "tsan build + serve/concurrency/store/stream/kernels suites"
+      banner "tsan build + serve/cluster/concurrency/store/stream/kernels suites"
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'serve|concurrency|store|stream|kernels'
+        -L 'serve|cluster|concurrency|store|stream|kernels'
       ;;
     serve)
       # The serving-layer battery on its own: the event loop, pipelining
@@ -70,6 +71,18 @@ for stage in "${STAGES[@]}"; do
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L serve
       ;;
+    cluster)
+      # The sharded-cluster battery on its own: the router merge property,
+      # degraded mode, replica failover, and the kill-a-backend chaos test
+      # under ASan (wire merging, id translation) and TSan (connection
+      # pools, hedge threads, span swaps, per-shard metrics lanes).
+      banner "cluster leg: asan build + cluster suites"
+      configure_and_build build-asan address
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster
+      banner "cluster leg: tsan build + cluster suites"
+      configure_and_build build-tsan thread
+      ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster
+      ;;
     kernels)
       # Fast smoke: just the kernel-equivalence suite on the plain build.
       banner "kernel-equivalence smoke (ctest -L kernels)"
@@ -77,7 +90,7 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
       ;;
     *)
-      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, kernels)" >&2
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, kernels)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,607 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace cluster {
+namespace {
+
+using serve::Request;
+using serve::Response;
+using serve::Verb;
+
+// Mirror of the single server's QUERY bound, so the router rejects exactly
+// what a backend would.
+constexpr int kMaxTopK = 1 << 16;
+
+serve::ServerOptions RouterFrontendOptions(serve::ServerOptions options,
+                                           int shard_count) {
+  // Every routed verb blocks on backend sockets, so dispatch must always
+  // run on the offload executor — and wide enough that one slow shard
+  // cannot starve unrelated client requests.
+  options.offload_threads =
+      std::max({options.offload_threads, 2 * shard_count, 4});
+  options.shard_id = -1;
+  options.shard_count = shard_count;
+  return options;
+}
+
+// The result slot a hedged primary call fills from its detached thread.
+struct HedgeState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<Response> result = Status::Internal("hedge pending");
+};
+
+bool ResponseOk(const Result<Response>& result) {
+  return result.ok() && result->status.ok();
+}
+
+}  // namespace
+
+void Router::InflightGate::Enter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++inflight_;
+}
+
+void Router::InflightGate::Exit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_all();
+}
+
+void Router::InflightGate::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+int64_t Router::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Router::Router(RouterOptions options, std::vector<ShardBackends> shards)
+    : options_(std::move(options)),
+      spans_(std::make_shared<std::vector<ShardSpan>>(shards.size())),
+      shard_metrics_(std::max<int>(1, static_cast<int>(shards.size()))),
+      frontend_(
+          RouterFrontendOptions(options_.frontend,
+                                static_cast<int>(shards.size())),
+          [this](const Request& request) { return Dispatch(request); },
+          // PING is answered locally from atomics; everything else blocks
+          // on backend sockets and must leave the event loop.
+          [](Verb verb) { return verb != Verb::kPing; }) {
+  for (ShardBackends& backends : shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->primary.addr = std::move(backends.primary);
+    shard->replica.addr = std::move(backends.replica);
+    shards_.push_back(std::move(shard));
+  }
+  // A pooled connection whose backend restarted must reconnect, not stick
+  // poisoned: the whole failover design assumes the client layer retries.
+  options_.backend.max_retries = std::max(1, options_.backend.max_retries);
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("router needs at least one shard");
+  }
+  // Learn every shard's video count up front: global id translation is
+  // meaningless until the spans exist, so an unreachable shard (primary
+  // *and* replica) fails Start instead of starting a router that would
+  // mistranslate ids.
+  VDB_RETURN_IF_ERROR(RefreshSpans(/*require_all=*/true));
+  return frontend_.Start();
+}
+
+void Router::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  frontend_.Stop();
+  // Abandoned hedge primaries may still be running; they touch shard state
+  // owned by this object, so wait them out before destruction.
+  hedges_->WaitIdle();
+}
+
+std::shared_ptr<const std::vector<Router::ShardSpan>> Router::spans() const {
+  std::lock_guard<std::mutex> lock(spans_mu_);
+  return spans_;
+}
+
+Result<Response> Router::CallEndpoint(Endpoint& endpoint,
+                                      const Request& request) {
+  serve::ClientOptions client_options = options_.backend;
+  Result<serve::Client> client = [&]() -> Result<serve::Client> {
+    {
+      std::lock_guard<std::mutex> lock(endpoint.mu);
+      if (!endpoint.idle.empty()) {
+        serve::Client pooled = std::move(endpoint.idle.back());
+        endpoint.idle.pop_back();
+        return pooled;
+      }
+    }
+    return serve::Client::Connect(endpoint.addr.host, endpoint.addr.port,
+                                  client_options);
+  }();
+  if (!client.ok()) {
+    endpoint.down_until_ms.store(NowMs() + options_.down_cooldown_ms,
+                                 std::memory_order_relaxed);
+    return client.status();
+  }
+  Result<Response> response = client->Call(request);
+  if (!response.ok()) {
+    // Transport failure with the client's own reconnect retries already
+    // exhausted: the backend is down or unreachable. Cool it down so reads
+    // go straight to the replica for a while.
+    endpoint.down_until_ms.store(NowMs() + options_.down_cooldown_ms,
+                                 std::memory_order_relaxed);
+    return response;
+  }
+  endpoint.down_until_ms.store(0, std::memory_order_relaxed);
+  if (client->connected()) {
+    std::lock_guard<std::mutex> lock(endpoint.mu);
+    if (static_cast<int>(endpoint.idle.size()) <
+        options_.max_pooled_connections) {
+      endpoint.idle.push_back(std::move(*client));
+    }
+  }
+  return response;
+}
+
+Result<Response> Router::CallShard(int shard, const Request& request) {
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  Stopwatch timer;
+  Result<Response> result = [&]() -> Result<Response> {
+    if (s.replica.addr.port < 0) {
+      return CallEndpoint(s.primary, request);
+    }
+    if (s.primary.down_until_ms.load(std::memory_order_relaxed) > NowMs()) {
+      // Primary cooling down after a failure: replica first, primary only
+      // as the last resort (it may have just come back).
+      Result<Response> from_replica = CallEndpoint(s.replica, request);
+      if (from_replica.ok()) {
+        return from_replica;
+      }
+      return CallEndpoint(s.primary, request);
+    }
+    if (options_.hedge_after_ms <= 0) {
+      Result<Response> from_primary = CallEndpoint(s.primary, request);
+      if (from_primary.ok()) {
+        return from_primary;
+      }
+      return CallEndpoint(s.replica, request);
+    }
+    // Hedged read: the primary runs on its own thread; if it has not
+    // answered within hedge_after_ms the replica is asked too, and the
+    // first usable answer wins. The detached thread holds the inflight
+    // gate so Stop() can wait out an abandoned primary call.
+    auto state = std::make_shared<HedgeState>();
+    std::shared_ptr<InflightGate> gate = hedges_;
+    gate->Enter();
+    std::thread([this, &s, request, state, gate] {
+      Result<Response> from_primary = CallEndpoint(s.primary, request);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->result = std::move(from_primary);
+        state->done = true;
+      }
+      state->cv.notify_all();
+      gate->Exit();
+    }).detach();
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->cv.wait_for(lock,
+                             std::chrono::milliseconds(
+                                 options_.hedge_after_ms),
+                             [&] { return state->done; })) {
+        if (state->result.ok()) {
+          return std::move(state->result);
+        }
+        lock.unlock();
+        return CallEndpoint(s.replica, request);
+      }
+    }
+    Result<Response> from_replica = CallEndpoint(s.replica, request);
+    if (from_replica.ok()) {
+      return from_replica;
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done; });
+    return std::move(state->result);
+  }();
+  shard_metrics_.OnRequest(request.verb, ResponseOk(result),
+                           timer.ElapsedSeconds() * 1e6, shard);
+  return result;
+}
+
+std::vector<Result<Response>> Router::FanOut(const Request& request) {
+  std::vector<Result<Response>> results(
+      shards_.size(),
+      Result<Response>(Status::Internal("fan-out pending")));
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, &request, &results] {
+      results[i] = CallShard(static_cast<int>(i), request);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return results;
+}
+
+Status Router::RefreshSpans(bool require_all) {
+  Request list;
+  list.verb = Verb::kList;
+  std::vector<Result<Response>> results = FanOut(list);
+  std::shared_ptr<const std::vector<ShardSpan>> old = spans();
+  auto next = std::make_shared<std::vector<ShardSpan>>(shards_.size());
+  int base = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    int count = 0;
+    if (ResponseOk(results[i])) {
+      count = static_cast<int>(results[i]->list.videos.size());
+    } else if (require_all) {
+      Status failure = results[i].ok() ? results[i]->status
+                                       : results[i].status();
+      return Status(failure.code(),
+                    StrFormat("shard %d unreachable: %s",
+                              static_cast<int>(i),
+                              failure.message().c_str()));
+    } else {
+      // Unreachable shard: keep its previous span so the surviving
+      // shards' global ids stay stable while it is down.
+      count = (*old)[i].count;
+    }
+    (*next)[i].base = base;
+    (*next)[i].count = count;
+    base += count;
+  }
+  {
+    std::lock_guard<std::mutex> lock(spans_mu_);
+    spans_ = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Response Router::Dispatch(const Request& request) {
+  switch (request.verb) {
+    case Verb::kPing:
+      return HandlePing(request);
+    case Verb::kStats:
+      return HandleStats();
+    case Verb::kQuery:
+      return HandleQuery(request.query);
+    case Verb::kTree:
+      return HandleTree(request.tree);
+    case Verb::kList:
+      return HandleList();
+    case Verb::kReload:
+      return HandleReload(request.reload_path);
+    case Verb::kError:
+      break;
+  }
+  return serve::ErrorResponse(
+      Verb::kError, Status::InvalidArgument("unsupported request verb"));
+}
+
+Response Router::HandlePing(const Request& request) const {
+  Response response;
+  response.verb = Verb::kPing;
+  response.ping_token = request.ping_token;
+  int64_t now = NowMs();
+  uint32_t ok = 0;
+  for (const auto& shard : shards_) {
+    bool primary_up =
+        shard->primary.down_until_ms.load(std::memory_order_relaxed) <= now;
+    bool replica_up =
+        shard->replica.addr.port >= 0 &&
+        shard->replica.down_until_ms.load(std::memory_order_relaxed) <= now;
+    if (primary_up || replica_up) {
+      ++ok;
+    }
+  }
+  response.shards_ok = ok;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+Response Router::HandleQuery(const serve::QueryRequest& request) {
+  Response response;
+  response.verb = Verb::kQuery;
+  if (request.top_k < 1 || request.top_k > kMaxTopK) {
+    response.status = Status::InvalidArgument(
+        StrFormat("top_k %d out of range [1, %d]", request.top_k, kMaxTopK));
+    return response;
+  }
+  if (request.var_ba < 0 || request.var_oa < 0) {
+    response.status =
+        Status::InvalidArgument("variances must be non-negative");
+    return response;
+  }
+
+  // The distributed widening loop. A single server widens (alpha, beta) by
+  // doubling until its in-band match count reaches top_k or the whole
+  // eligible set. Per-shard widening would diverge — each shard would stop
+  // at a different band — so the router drives the loop: every round asks
+  // all shards for the *same* fixed band, and the per-shard in-band /
+  // eligible counts decide globally when to stop. Repeated doubling is
+  // bit-exact, so round t's band equals the band a single node would test
+  // on attempt t.
+  Request probe;
+  probe.verb = Verb::kQuery;
+  probe.query = request;
+  probe.query.exact_band = true;
+  int rounds = request.exact_band ? 1 : std::max(1, options_.max_widen_rounds);
+  std::vector<Result<Response>> results;
+  uint64_t in_band = 0;
+  uint64_t eligible = 0;
+  for (int round = 0; round < rounds; ++round) {
+    results = FanOut(probe);
+    in_band = 0;
+    eligible = 0;
+    for (const Result<Response>& r : results) {
+      if (ResponseOk(r)) {
+        in_band += r->query.in_band;
+        eligible += r->query.eligible;
+      }
+    }
+    if (in_band >= static_cast<uint64_t>(request.top_k) ||
+        in_band >= eligible) {
+      break;
+    }
+    probe.query.alpha *= 2.0;
+    probe.query.beta *= 2.0;
+  }
+
+  std::shared_ptr<const std::vector<ShardSpan>> layout = spans();
+  std::vector<serve::SuggestionWire> merged;
+  uint32_t shards_ok = 0;
+  Status first_failure;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result<Response>& r = results[i];
+    if (!ResponseOk(r)) {
+      if (first_failure.ok()) {
+        first_failure = r.ok() ? r->status : r.status();
+      }
+      continue;
+    }
+    ++shards_ok;
+    for (const serve::SuggestionWire& s : r->query.suggestions) {
+      serve::SuggestionWire global = s;
+      global.video_id += (*layout)[i].base;
+      merged.push_back(std::move(global));
+    }
+  }
+  if (shards_ok == 0) {
+    response.status = Status(first_failure.ok() ? StatusCode::kIoError
+                                                : first_failure.code(),
+                             "no shard answered the query: " +
+                                 std::string(first_failure.message()));
+    return response;
+  }
+  // The single-node tie-break, on global ids: each shard's hits are its k
+  // best within the final band, so the global k best are in the union.
+  std::sort(merged.begin(), merged.end(),
+            [](const serve::SuggestionWire& a,
+               const serve::SuggestionWire& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.video_id != b.video_id) return a.video_id < b.video_id;
+              return a.shot_index < b.shot_index;
+            });
+  if (merged.size() > static_cast<size_t>(request.top_k)) {
+    merged.resize(static_cast<size_t>(request.top_k));
+  }
+  response.query.suggestions = std::move(merged);
+  if (request.exact_band) {
+    response.query.in_band = in_band;
+    response.query.eligible = eligible;
+  }
+  response.shards_ok = shards_ok;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+Response Router::HandleTree(const serve::TreeRequest& request) {
+  Response response;
+  response.verb = Verb::kTree;
+  std::shared_ptr<const std::vector<ShardSpan>> layout = spans();
+  int total = 0;
+  int shard = -1;
+  for (size_t i = 0; i < layout->size(); ++i) {
+    const ShardSpan& span = (*layout)[i];
+    total += span.count;
+    if (request.video_id >= span.base &&
+        request.video_id < span.base + span.count) {
+      shard = static_cast<int>(i);
+    }
+  }
+  if (shard < 0) {
+    // Same shape a single server's catalog lookup reports.
+    response.status = Status::NotFound(StrFormat(
+        "video id %d (have %d videos)", request.video_id, total));
+    return response;
+  }
+  Request routed;
+  routed.verb = Verb::kTree;
+  routed.tree = request;
+  routed.tree.video_id =
+      request.video_id - (*layout)[static_cast<size_t>(shard)].base;
+  Result<Response> r = CallShard(shard, routed);
+  if (!r.ok()) {
+    response.status = r.status();
+    return response;
+  }
+  response = std::move(*r);
+  // Node ids are per-video, so the body passes through untranslated; only
+  // the health fields are the router's to report.
+  response.shards_ok = response.status.ok() ? 1 : 0;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+Response Router::HandleList() {
+  Response response;
+  response.verb = Verb::kList;
+  Request list;
+  list.verb = Verb::kList;
+  std::vector<Result<Response>> results = FanOut(list);
+  std::shared_ptr<const std::vector<ShardSpan>> layout = spans();
+  uint32_t shards_ok = 0;
+  Status first_failure;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result<Response>& r = results[i];
+    if (!ResponseOk(r)) {
+      if (first_failure.ok()) {
+        first_failure = r.ok() ? r->status : r.status();
+      }
+      continue;
+    }
+    ++shards_ok;
+    for (const serve::VideoSummary& v : r->list.videos) {
+      serve::VideoSummary global = v;
+      global.video_id += (*layout)[i].base;
+      response.list.videos.push_back(std::move(global));
+    }
+  }
+  if (shards_ok == 0) {
+    response.status = Status(first_failure.ok() ? StatusCode::kIoError
+                                                : first_failure.code(),
+                             "no shard answered the list: " +
+                                 std::string(first_failure.message()));
+    return response;
+  }
+  response.shards_ok = shards_ok;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+Response Router::HandleStats() {
+  Response response;
+  response.verb = Verb::kStats;
+  Request stats;
+  stats.verb = Verb::kStats;
+  std::vector<Result<Response>> results = FanOut(stats);
+  // The router's own front-end counters are the base; the catalog shape is
+  // the sum over the shards that answered.
+  response.stats = frontend_.metrics().Snapshot();
+  response.stats.shard_id = -1;
+  response.stats.shard_count = static_cast<int>(shards_.size());
+  uint32_t shards_ok = 0;
+  uint64_t min_generation = 0;
+  bool first_ok = true;
+  for (const Result<Response>& r : results) {
+    if (!ResponseOk(r)) {
+      continue;
+    }
+    ++shards_ok;
+    response.stats.videos += r->stats.videos;
+    response.stats.indexed_shots += r->stats.indexed_shots;
+    response.stats.reloads_ok += r->stats.reloads_ok;
+    response.stats.reload_failures += r->stats.reload_failures;
+    // The cluster is only as fresh as its stalest shard.
+    if (first_ok || r->stats.store_generation < min_generation) {
+      min_generation = r->stats.store_generation;
+      first_ok = false;
+    }
+  }
+  response.stats.store_generation = min_generation;
+  // Per-shard backend-call latency lanes, named so vdbload can report
+  // per-shard tail latency from one STATS round trip.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (serve::VerbStats row :
+         shard_metrics_.ShardSnapshot(static_cast<int>(i))) {
+      row.verb = StrFormat("shard%d/%s", static_cast<int>(i),
+                           row.verb.c_str());
+      response.stats.verbs.push_back(std::move(row));
+    }
+  }
+  response.shards_ok = shards_ok;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+Response Router::HandleReload(const std::string& path) {
+  Response response;
+  response.verb = Verb::kReload;
+  Request reload;
+  reload.verb = Verb::kReload;
+  reload.reload_path = path;
+  // RELOAD is a write: it goes to every backend directly — each primary
+  // *and* each replica re-reads its shard store — with no hedging and no
+  // failover (a replica standing in for its primary would hide that the
+  // primary still serves the old generation).
+  struct ShardReload {
+    Result<Response> primary = Status::Internal("pending");
+    Status replica = Status::Ok();
+  };
+  std::vector<ShardReload> results(shards_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, &reload, &results] {
+      Shard& s = *shards_[i];
+      Stopwatch timer;
+      results[i].primary = CallEndpoint(s.primary, reload);
+      if (s.replica.addr.port >= 0) {
+        Result<Response> r = CallEndpoint(s.replica, reload);
+        results[i].replica = r.ok() ? r->status : r.status();
+      }
+      shard_metrics_.OnRequest(Verb::kReload,
+                               ResponseOk(results[i].primary),
+                               timer.ElapsedSeconds() * 1e6,
+                               static_cast<int>(i));
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  uint32_t shards_ok = 0;
+  Status first_failure;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!ResponseOk(results[i].primary)) {
+      if (first_failure.ok()) {
+        first_failure = results[i].primary.ok()
+                            ? results[i].primary->status
+                            : results[i].primary.status();
+      }
+      continue;
+    }
+    ++shards_ok;
+    response.reload.videos += results[i].primary->reload.videos;
+    response.reload.indexed_shots +=
+        results[i].primary->reload.indexed_shots;
+    // A reloaded shard starts a new catalog epoch: wipe its latency lane
+    // so stale pre-reload (or outage) samples stop polluting percentiles.
+    shard_metrics_.ResetShard(static_cast<int>(i));
+  }
+  if (shards_ok == 0) {
+    response.status = Status(first_failure.ok() ? StatusCode::kIoError
+                                                : first_failure.code(),
+                             "no shard completed the reload: " +
+                                 std::string(first_failure.message()));
+    return response;
+  }
+  // Membership may have changed; recompute the global id layout (shards
+  // that are down keep their old span).
+  Status refreshed = RefreshSpans(/*require_all=*/false);
+  (void)refreshed;  // down shards keep their old span; nothing to report
+  response.shards_ok = shards_ok;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+}  // namespace cluster
+}  // namespace vdb

@@ -1,0 +1,136 @@
+#include "cluster/shard_map.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/fs.h"
+#include "util/string_util.h"
+#include "video/video_io.h"  // Fnv1a32
+
+namespace vdb {
+namespace cluster {
+namespace {
+
+constexpr char kShardMapMagic[8] = {'V', 'D', 'B', 'S', 'H', 'M', '0', '1'};
+constexpr uint32_t kShardMapFormatVersion = 1;
+// A cluster beyond this is a config typo, not a deployment.
+constexpr uint32_t kMaxShardCount = 1u << 12;
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+int ShardMap::ShardOf(std::string_view video_name) const {
+  if (shard_count <= 1) {
+    return 0;
+  }
+  // Feed the seed through the same FNV step function so two seeds never
+  // differ by a simple xor of the result.
+  uint64_t hash = Fnv1a64(video_name);
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (seed >> shift) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  // FNV's low bits are weak: bit 0 of the raw hash is just the parity of
+  // the input bytes' low bits (xor-then-multiply-by-odd never mixes higher
+  // bits downward), so `% 2` or `% 4` would collapse whole families of
+  // names onto one shard. Avalanche the hash (murmur3 fmix64) so every
+  // input bit reaches every output bit before the modulo.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return static_cast<int>(hash % static_cast<uint64_t>(shard_count));
+}
+
+std::string EncodeShardMap(const ShardMapFile& file) {
+  BinaryWriter payload;
+  payload.PutU32(kShardMapFormatVersion);
+  payload.PutU32(static_cast<uint32_t>(file.map.shard_count));
+  payload.PutU64(file.map.seed);
+  payload.PutU32(static_cast<uint32_t>(file.shard_id));
+  std::string body = payload.TakeBuffer();
+
+  std::string out;
+  out.reserve(8 + 4 + body.size());
+  out.append(kShardMapMagic, 8);
+  BinaryWriter header;
+  header.PutU32(Fnv1a32(reinterpret_cast<const uint8_t*>(body.data()),
+                        body.size()));
+  out += header.buffer();
+  out += body;
+  return out;
+}
+
+Result<ShardMapFile> DecodeShardMap(std::string_view bytes) {
+  if (bytes.size() < 12 ||
+      std::memcmp(bytes.data(), kShardMapMagic, 8) != 0) {
+    return Status::Corruption("bad shard map magic");
+  }
+  BinaryReader header(bytes.substr(8, 4));
+  VDB_ASSIGN_OR_RETURN(uint32_t stored, header.GetU32("shard map checksum"));
+  std::string_view body = bytes.substr(12);
+  uint32_t actual = Fnv1a32(reinterpret_cast<const uint8_t*>(body.data()),
+                            body.size());
+  if (actual != stored) {
+    return Status::Corruption(
+        StrFormat("shard map checksum mismatch (stored %08x, actual %08x)",
+                  stored, actual));
+  }
+  BinaryReader r(body);
+  VDB_ASSIGN_OR_RETURN(uint32_t version, r.GetU32("shard map version"));
+  if (version != kShardMapFormatVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported shard map version %u", version));
+  }
+  ShardMapFile file;
+  VDB_ASSIGN_OR_RETURN(uint32_t count, r.GetU32("shard count"));
+  if (count < 1 || count > kMaxShardCount) {
+    return Status::Corruption(
+        StrFormat("implausible shard count %u", count));
+  }
+  file.map.shard_count = static_cast<int>(count);
+  VDB_ASSIGN_OR_RETURN(file.map.seed, r.GetU64("shard map seed"));
+  VDB_ASSIGN_OR_RETURN(uint32_t shard_id, r.GetU32("shard id"));
+  if (shard_id >= count) {
+    return Status::Corruption(StrFormat(
+        "shard id %u out of range [0, %u)", shard_id, count));
+  }
+  file.shard_id = static_cast<int>(shard_id);
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after shard map");
+  }
+  return file;
+}
+
+Status SaveShardMap(const std::string& dir, const ShardMapFile& file) {
+  if (file.map.shard_count < 1 ||
+      file.map.shard_count > static_cast<int>(kMaxShardCount)) {
+    return Status::InvalidArgument(
+        StrFormat("shard count %d out of range", file.map.shard_count));
+  }
+  if (file.shard_id < 0 || file.shard_id >= file.map.shard_count) {
+    return Status::InvalidArgument(
+        StrFormat("shard id %d out of range [0, %d)", file.shard_id,
+                  file.map.shard_count));
+  }
+  return WriteFileAtomic(dir + "/" + kShardMapFileName,
+                         EncodeShardMap(file), nullptr, "shardmap");
+}
+
+Result<ShardMapFile> LoadShardMap(const std::string& dir) {
+  VDB_ASSIGN_OR_RETURN(std::string contents,
+                       ReadFileToString(dir + "/" + kShardMapFileName));
+  return DecodeShardMap(contents);
+}
+
+}  // namespace cluster
+}  // namespace vdb

@@ -1,0 +1,54 @@
+#ifndef VDB_CLUSTER_SHARD_MAP_H_
+#define VDB_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace vdb {
+namespace cluster {
+
+// Deterministic placement of videos onto shards: a video belongs to
+// `Fnv1a64(name) mixed with seed, mod shard_count`. The name is the shard
+// key (not the dense video id) because names are stable across catalog
+// rebuilds and across the id renumbering a shard split performs, so the
+// same video always lands on the same shard no matter which node computed
+// the placement.
+struct ShardMap {
+  int shard_count = 1;
+  // Stirred into the hash so a re-shard with the same count can still move
+  // every video (useful for rebalancing tests, and for not coupling the
+  // placement to the store's segment content hashes).
+  uint64_t seed = 0;
+
+  // The shard `video_name` belongs to, in [0, shard_count).
+  int ShardOf(std::string_view video_name) const;
+};
+
+// The SHARDMAP sidecar written into each per-shard store directory by
+// `vdbtool store-shard`: the cluster-wide map plus this directory's own
+// shard id. vdbserve reads it to surface shard identity via STATS, and the
+// router uses that to sanity-check its fan-out wiring.
+struct ShardMapFile {
+  ShardMap map;
+  int shard_id = 0;
+};
+
+inline constexpr char kShardMapFileName[] = "SHARDMAP";
+
+// Serialized SHARDMAP bytes (magic + FNV-1a checksum + fields), and the
+// inverse. Exposed for tests; most callers want the file pair below.
+std::string EncodeShardMap(const ShardMapFile& file);
+Result<ShardMapFile> DecodeShardMap(std::string_view bytes);
+
+// Writes/reads <dir>/SHARDMAP atomically. Load returns kNotFound when the
+// directory carries no shard map (a plain, unsharded store).
+Status SaveShardMap(const std::string& dir, const ShardMapFile& file);
+Result<ShardMapFile> LoadShardMap(const std::string& dir);
+
+}  // namespace cluster
+}  // namespace vdb
+
+#endif  // VDB_CLUSTER_SHARD_MAP_H_

@@ -1,0 +1,46 @@
+#ifndef VDB_CLUSTER_SHARD_STORE_H_
+#define VDB_CLUSTER_SHARD_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace cluster {
+
+struct SplitStats {
+  uint64_t generation = 0;       // source generation that was split
+  std::vector<int> videos_per_shard;
+  int segments_linked = 0;       // hardlinked (or copied) into shard dirs
+  int segments_reused = 0;       // already present from an earlier split
+};
+
+// The name of shard `i`'s store directory under the split output root.
+std::string ShardDirName(int shard_id);
+
+// Splits the newest loadable generation of the store at `src_dir` into
+// `map.shard_count` per-shard stores under `out_dir`/shard-<i>.
+//
+// This is a manifest-only operation: segments are content-addressed, so a
+// shard store is hardlinks (copies across filesystems) to the source
+// segments plus a manifest listing just that shard's videos, published at
+// the *source* generation — re-running a split after the source advances
+// re-publishes each shard at the new generation, and a serving vdbserve
+// picks it up with RELOAD. Each shard directory also receives a SHARDMAP
+// sidecar carrying `map` and its own shard id.
+//
+// Within a shard, videos keep the source manifest's relative order (the
+// source's video-id order). A router that concatenates shard 0..N-1 in
+// order therefore enumerates videos exactly like a single server started
+// on the shard directories in order — the identity the cluster property
+// tests pin.
+Result<SplitStats> SplitStore(const std::string& src_dir,
+                              const std::string& out_dir,
+                              const ShardMap& map);
+
+}  // namespace cluster
+}  // namespace vdb
+
+#endif  // VDB_CLUSTER_SHARD_STORE_H_

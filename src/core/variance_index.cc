@@ -18,6 +18,18 @@ double Distance(const VarianceQuery& q, const IndexEntry& e) {
   return std::sqrt(d_dv * d_dv + d_ba * d_ba);
 }
 
+// Total order on matches: distance, then (video_id, shot_index). The id
+// tie-break matters beyond aesthetics — a sharded deployment merges
+// per-shard top-k lists and truncates, and that merge is only reproducible
+// against a single-node answer if ties resolve the same way everywhere.
+bool MatchLess(const QueryMatch& a, const QueryMatch& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  if (a.entry.video_id != b.entry.video_id) {
+    return a.entry.video_id < b.entry.video_id;
+  }
+  return a.entry.shot_index < b.entry.shot_index;
+}
+
 }  // namespace
 
 VarianceIndex::VarianceIndex(VarianceIndex&& other) noexcept {
@@ -103,10 +115,7 @@ std::vector<QueryMatch> VarianceIndex::Query(
       matches.push_back(QueryMatch{*it, Distance(query, *it)});
     }
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              return a.distance < b.distance;
-            });
+  std::sort(matches.begin(), matches.end(), MatchLess);
   return matches;
 }
 
@@ -122,10 +131,7 @@ std::vector<QueryMatch> VarianceIndex::QueryLinear(
       matches.push_back(QueryMatch{e, Distance(query, e)});
     }
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              return a.distance < b.distance;
-            });
+  std::sort(matches.begin(), matches.end(), MatchLess);
   return matches;
 }
 

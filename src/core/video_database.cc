@@ -316,6 +316,50 @@ Result<std::vector<BrowsingSuggestion>> VideoDatabase::SearchWithinClass(
   return suggestions;
 }
 
+Result<std::vector<BrowsingSuggestion>> VideoDatabase::SearchBanded(
+    const VarianceQuery& query, int top_k, const ClassFilter* filter,
+    int64_t* in_band, int64_t* eligible) const {
+  if (top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<bool> video_matches;
+  int max_matching = index_.size();
+  if (filter != nullptr) {
+    max_matching = 0;
+    video_matches.resize(static_cast<size_t>(VideoCountLocked()));
+    for (int id = 0; id < VideoCountLocked(); ++id) {
+      bool ok =
+          filter->Matches(catalog_[static_cast<size_t>(id)]->classification);
+      video_matches[static_cast<size_t>(id)] = ok;
+      if (ok) {
+        max_matching +=
+            static_cast<int>(catalog_[static_cast<size_t>(id)]->shots.size());
+      }
+    }
+  }
+  std::vector<QueryMatch> matches = index_.Query(query);
+  if (filter != nullptr) {
+    std::erase_if(matches, [&](const QueryMatch& m) {
+      return !(m.entry.video_id >= 0 &&
+               m.entry.video_id < VideoCountLocked() &&
+               video_matches[static_cast<size_t>(m.entry.video_id)]);
+    });
+  }
+  if (in_band != nullptr) *in_band = static_cast<int64_t>(matches.size());
+  if (eligible != nullptr) *eligible = max_matching;
+  if (static_cast<int>(matches.size()) > top_k) {
+    matches.resize(static_cast<size_t>(top_k));
+  }
+  std::vector<BrowsingSuggestion> suggestions;
+  suggestions.reserve(matches.size());
+  for (const QueryMatch& m : matches) {
+    VDB_ASSIGN_OR_RETURN(BrowsingSuggestion s, SuggestLocked(m));
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
 Result<std::vector<BrowsingSuggestion>> VideoDatabase::SearchSimilarToShot(
     int video_id, int shot_index, int top_k) const {
   std::shared_lock<std::shared_mutex> lock(mu_);

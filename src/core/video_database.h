@@ -148,6 +148,17 @@ class VideoDatabase {
       const VarianceQuery& query, int top_k,
       const ClassFilter& filter) const;
 
+  // Exact-band retrieval for distributed scatter-gather: answers with the
+  // top_k nearest shots strictly inside the query's tolerance band — no
+  // widening — plus the counts a router needs to drive the widening loop
+  // itself: `in_band` is how many shots matched the band (before top-k
+  // truncation) and `eligible` is how many indexed shots could ever match
+  // (the index size, or the class size when `filter` is non-null — the
+  // same bound Search/SearchWithinClass use to stop widening).
+  Result<std::vector<BrowsingSuggestion>> SearchBanded(
+      const VarianceQuery& query, int top_k, const ClassFilter* filter,
+      int64_t* in_band, int64_t* eligible) const;
+
   // Query-by-example: uses shot `shot_index` of `video_id` as the query and
   // returns the top_k most similar other shots.
   Result<std::vector<BrowsingSuggestion>> SearchSimilarToShot(

@@ -1,11 +1,27 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "serve/net.h"
 
 namespace vdb {
 namespace serve {
+namespace {
+
+// Transport-level failures worth a reconnect: a dead fd (earlier poison),
+// an I/O error (ECONNRESET/EPIPE/timeout), or a torn/garbled frame. A
+// non-OK *response* never lands here — the server answered, so retrying
+// would re-run an application error.
+bool RetryableTransportError(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition ||
+         status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kCorruption;
+}
+
+}  // namespace
 
 Result<Client> Client::Connect(const std::string& host, int port,
                                ClientOptions options) {
@@ -17,17 +33,30 @@ Result<Client> Client::Connect(const std::string& host, int port,
     CloseFd(fd);
     return configured;
   }
-  return Client(fd);
+  Client client(fd);
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
+  return client;
 }
 
 Client::~Client() { Close(); }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
     other.fd_ = -1;
   }
   return *this;
@@ -68,7 +97,7 @@ Result<Response> Client::Receive() {
   return response;
 }
 
-Result<Response> Client::Call(const Request& request) {
+Result<Response> Client::CallOnce(const Request& request) {
   VDB_RETURN_IF_ERROR(Send(request));
   VDB_ASSIGN_OR_RETURN(Response response, Receive());
   if (response.verb != request.verb && response.verb != Verb::kError) {
@@ -77,6 +106,28 @@ Result<Response> Client::Call(const Request& request) {
         "response verb does not match the request (stream out of sync)");
   }
   return response;
+}
+
+Result<Response> Client::Call(const Request& request) {
+  Result<Response> result = CallOnce(request);
+  for (int attempt = 0;
+       attempt < options_.max_retries && !result.ok() &&
+       RetryableTransportError(result.status()) && port_ >= 0;
+       ++attempt) {
+    int backoff_ms =
+        options_.retry_backoff_ms * (1 << std::min(attempt, 10));
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    Result<Client> fresh = Connect(host_, port_, options_);
+    if (!fresh.ok()) {
+      result = fresh.status();
+      continue;
+    }
+    *this = std::move(*fresh);
+    result = CallOnce(request);
+  }
+  return result;
 }
 
 Result<std::vector<Response>> Client::CallPipelined(

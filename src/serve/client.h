@@ -16,6 +16,17 @@ struct ClientOptions {
   // RELOAD (the slowest verb) may keep the client waiting.
   int read_timeout_ms = 60'000;
   int write_timeout_ms = 10'000;
+  // Reconnect-with-backoff (off by default): when a Call()'s transport
+  // fails — ECONNRESET/EPIPE on a pooled connection whose backend
+  // restarted, a torn frame, a poisoned fd from an earlier failure — the
+  // client re-dials and retries the whole request up to `max_retries`
+  // times, sleeping retry_backoff_ms, 2x, 4x, ... between attempts. Only
+  // whole Calls retry, never the Send/Receive halves, where a replayed
+  // request could desynchronize a pipelined stream. The cluster router's
+  // connection pools turn this on; application errors the server itself
+  // reports (non-OK Response status) are never retried.
+  int max_retries = 0;
+  int retry_backoff_ms = 10;
 };
 
 // Blocking client for the catalog query service: one TCP connection, one
@@ -47,7 +58,8 @@ class Client {
 
   // Sends one request frame and reads one response frame. The returned
   // Response may carry a non-OK status (an application error, or a BUSY /
-  // malformed-frame report with verb kError).
+  // malformed-frame report with verb kError). With max_retries > 0 a
+  // transport failure reconnects and retries instead of sticking poisoned.
   Result<Response> Call(const Request& request);
 
   // Pipelining split of Call(): Send writes a request frame without waiting
@@ -76,7 +88,14 @@ class Client {
  private:
   explicit Client(int fd) : fd_(fd) {}
 
+  // One send/receive round on the current connection, no retries.
+  Result<Response> CallOnce(const Request& request);
+
   int fd_ = -1;
+  // Where Connect() dialed, kept so Call() can re-dial on retry.
+  std::string host_;
+  int port_ = -1;
+  ClientOptions options_;
 };
 
 }  // namespace serve

@@ -1,0 +1,170 @@
+#ifndef VDB_SERVE_FRONTEND_H_
+#define VDB_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/wire.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace serve {
+
+class EventWorker;
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 picks an ephemeral port; read the real one back with port().
+  int port = 0;
+  int backlog = 128;
+
+  // Concurrent connection limit. A connection beyond the limit is answered
+  // with a BUSY error frame and closed instead of silently queueing.
+  // Admission is an atomic gauge check at accept time, so several event
+  // workers accepting concurrently can never overshoot the limit.
+  int max_connections = 32;
+
+  // Per-connection deadlines; <= 0 disables. The read timeout bounds both
+  // how long an idle persistent connection may sit between requests and how
+  // long a started frame may take to finish arriving (the slow-loris
+  // bound). The write timeout bounds how long buffered responses may sit
+  // unsendable because the peer is not reading (write backpressure shed).
+  int read_timeout_ms = 60'000;
+  int write_timeout_ms = 10'000;
+
+  // Event-loop worker threads; each runs its own epoll instance and owns
+  // the connections it accepts (the listening socket is shared with
+  // EPOLLEXCLUSIVE). <= 0 picks a small automatic value from the hardware
+  // concurrency. The per-verb metrics histograms are sharded one per
+  // worker and merged on STATS.
+  int event_workers = 0;
+
+  // Threads on the offload executor — the pool that runs whichever verbs
+  // the FrontEnd's offload predicate diverts off the event loop. The
+  // catalog server uses 1 (RELOADs serialise anyway); the cluster router
+  // offloads every verb (its dispatch blocks on backend sockets) and sizes
+  // this up.
+  int offload_threads = 1;
+
+  // Shard identity surfaced via STATS: which slice of a sharded catalog
+  // this process serves. Set by vdbserve when the served store directory
+  // carries a SHARDMAP (written by `vdbtool store-shard`); the cluster
+  // router uses it to sanity-check its fan-out wiring. -1/0 = not part of
+  // a shard set.
+  int shard_id = -1;
+  int shard_count = 0;
+
+  // Pause reading a connection once this many encoded-response bytes are
+  // buffered unsent (pipelining backpressure); reading resumes once the
+  // buffer drains below half of this. Combined with the write timeout this
+  // bounds the memory a never-reading client can pin.
+  size_t max_buffered_response_bytes = 8u << 20;
+};
+
+// A Response with this verb/status and no body.
+Response ErrorResponse(Verb verb, Status status);
+
+// The reusable event-loop front end of the serving layer: edge-triggered
+// epoll workers, pipelined request parsing with in-order response slots,
+// vectored flushes, backpressure and loop-managed deadlines — everything
+// below "what does a request mean". What a request means is injected:
+//
+//   dispatch  — Request -> Response, run inline on the event worker unless
+//               the verb is offloaded; must be thread-safe.
+//   offload   — verbs for which dispatch may block (disk, other sockets):
+//               these run on the offload executor pool instead, and the
+//               connection's later requests wait their turn behind the
+//               unready response slot, keeping per-connection semantics
+//               exactly sequential.
+//
+// The catalog Server offloads only RELOAD; the cluster Router offloads
+// every verb, since its dispatch performs scatter-gather network calls.
+class FrontEnd {
+ public:
+  using DispatchFn = std::function<Response(const Request&)>;
+  using OffloadPredicate = std::function<bool(Verb)>;
+
+  FrontEnd(ServerOptions options, DispatchFn dispatch,
+           OffloadPredicate offload);
+
+  // Stops the front end if it is still running.
+  ~FrontEnd();
+
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  // Binds the listening socket, starts the event workers and the offload
+  // executor threads. Fails without side effects if the address cannot be
+  // bound.
+  Status Start();
+
+  // Signal -> drain -> exit: stops accepting, finishes in-flight offloaded
+  // requests, gives every connection one final flush of already-queued
+  // responses, then closes them and joins the workers. Idempotent; Start
+  // may not be called again afterwards.
+  void Stop();
+
+  // The port actually bound (meaningful after a successful Start).
+  int port() const { return port_; }
+
+  // The number of event-loop workers actually running (resolved from
+  // ServerOptions::event_workers at construction).
+  int event_workers() const { return num_workers_; }
+
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  friend class EventWorker;
+
+  // One request diverted to the offload executor: worker `worker` owns
+  // connection `conn_id`, whose response slot `seq` is waiting for the
+  // dispatch result.
+  struct OffloadJob {
+    int worker = 0;
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    Request request;
+  };
+
+  // Hands a request to the executor pool; the encoded response is posted
+  // back to the owning worker when dispatch finishes.
+  void EnqueueOffload(OffloadJob job);
+  void OffloadLoop();
+
+  ServerOptions options_;
+  DispatchFn dispatch_;
+  OffloadPredicate offload_;
+  int num_workers_ = 1;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  std::vector<std::unique_ptr<EventWorker>> workers_;
+
+  std::vector<std::thread> offload_threads_;
+  std::mutex offload_jobs_mu_;
+  std::condition_variable offload_jobs_cv_;
+  std::deque<OffloadJob> offload_jobs_;
+  bool offload_stop_ = false;
+
+  ServerMetrics metrics_;
+};
+
+}  // namespace serve
+}  // namespace vdb
+
+#endif  // VDB_SERVE_FRONTEND_H_

@@ -41,6 +41,13 @@ void LatencyHistogram::Record(double us) {
   }
 }
 
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
 uint64_t LatencyHistogram::AccumulateBuckets(
     std::array<uint64_t, 80>* into) const {
   for (int i = 0; i < kNumBuckets; ++i) {
@@ -143,34 +150,48 @@ void ServerMetrics::OnRequest(Verb verb, bool ok, double latency_us,
   }
   PerVerb& row =
       shards_[static_cast<size_t>(shard)].verbs[static_cast<size_t>(verb)];
+  // Publish count before errors: a reader that loads errors (acquire)
+  // before count is then guaranteed count >= errors — a snapshot can never
+  // show more failures than requests (a "negative ok-delta").
   row.count.fetch_add(1, std::memory_order_relaxed);
   if (!ok) {
-    row.errors.fetch_add(1, std::memory_order_relaxed);
+    row.errors.fetch_add(1, std::memory_order_release);
   }
   row.latency.Record(latency_us);
 }
 
-StatsResponse ServerMetrics::Snapshot() const {
-  StatsResponse stats;
-  stats.total_connections =
-      total_connections_.load(std::memory_order_relaxed);
-  stats.active_connections =
-      active_connections_.load(std::memory_order_relaxed);
-  stats.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
-  stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
-  stats.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
-  stats.reload_failures = reload_failures_.load(std::memory_order_relaxed);
-  stats.store_generation = store_generation_.load(std::memory_order_relaxed);
+void ServerMetrics::ResetShard(int shard) {
+  if (shard < 0 || shard >= shard_count_) {
+    return;
+  }
+  for (auto& row : shards_[static_cast<size_t>(shard)].verbs) {
+    // Zero errors before count so a reader using the errors-then-count
+    // order sees (0, old) — consistent — rather than (old, 0).
+    row.errors.store(0, std::memory_order_release);
+    row.count.store(0, std::memory_order_release);
+    row.latency.Reset();
+  }
+}
+
+std::vector<VerbStats> ServerMetrics::VerbRows(int first_shard,
+                                               int num_shards) const {
+  std::vector<VerbStats> rows;
   for (int v = 0; v < kNumVerbs; ++v) {
     uint64_t count = 0;
     uint64_t errors = 0;
     uint64_t max_us = 0;
     std::array<uint64_t, LatencyHistogram::kNumBuckets> buckets{};
-    for (int s = 0; s < shard_count_; ++s) {
+    for (int s = first_shard; s < first_shard + num_shards; ++s) {
       const PerVerb& row =
           shards_[static_cast<size_t>(s)].verbs[static_cast<size_t>(v)];
-      count += row.count.load(std::memory_order_relaxed);
-      errors += row.errors.load(std::memory_order_relaxed);
+      // Errors before count (acquire): pairs with OnRequest's
+      // count-then-errors(release) publication so this row can never read
+      // more errors than requests; the residual ResetShard race is
+      // clamped below.
+      uint64_t row_errors = row.errors.load(std::memory_order_acquire);
+      uint64_t row_count = row.count.load(std::memory_order_relaxed);
+      errors += std::min(row_errors, row_count);
+      count += row_count;
       max_us = std::max(max_us, row.latency.AccumulateBuckets(&buckets));
     }
     if (count == 0) {
@@ -181,13 +202,39 @@ StatsResponse ServerMetrics::Snapshot() const {
     VerbStats out;
     out.verb = std::string(VerbName(static_cast<Verb>(v)));
     out.count = count;
-    out.errors = errors;
+    out.errors = std::min(errors, count);
     out.p50_us = latency.p50_us;
     out.p95_us = latency.p95_us;
     out.p99_us = latency.p99_us;
     out.max_us = latency.max_us;
-    stats.verbs.push_back(std::move(out));
+    rows.push_back(std::move(out));
   }
+  return rows;
+}
+
+std::vector<VerbStats> ServerMetrics::ShardSnapshot(int shard) const {
+  if (shard < 0 || shard >= shard_count_) {
+    return {};
+  }
+  return VerbRows(shard, 1);
+}
+
+StatsResponse ServerMetrics::Snapshot() const {
+  StatsResponse stats;
+  stats.total_connections =
+      total_connections_.load(std::memory_order_relaxed);
+  stats.active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  // An admission increments active before total, so a snapshot between the
+  // two could read active > total; report the consistent clamp.
+  stats.active_connections =
+      std::min(stats.active_connections, stats.total_connections);
+  stats.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  stats.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
+  stats.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  stats.store_generation = store_generation_.load(std::memory_order_relaxed);
+  stats.verbs = VerbRows(0, shard_count_);
   return stats;
 }
 

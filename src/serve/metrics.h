@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "serve/wire.h"
 
@@ -21,6 +22,10 @@ class LatencyHistogram {
 
   // Records one sample (microseconds). Thread-safe, wait-free.
   void Record(double us);
+
+  // Zeroes every bucket and the max. Safe concurrently with Record and
+  // Summarize; a racing Record may land before or after the wipe.
+  void Reset();
 
   struct Summary {
     uint64_t count = 0;
@@ -99,12 +104,34 @@ class ServerMetrics {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
+  // Zeroes one lane's per-verb counters and histograms. Used by the
+  // cluster router when a shard's backend is replaced (a restarted
+  // process starts from zero — stale outage latencies would otherwise
+  // pollute the merged percentiles forever). Safe concurrently with
+  // OnRequest and Snapshot: a snapshot racing the wipe may see the lane
+  // partially zeroed, but never an inconsistent row (errors > count) —
+  // Snapshot reads in the matching order and clamps.
+  void ResetShard(int shard);
+
   // Fills every field of StatsResponse except `videos`/`indexed_shots`,
   // merging the per-shard rows. Verbs that never ran are omitted from the
   // per-verb rows.
+  //
+  // Consistency: a Snapshot concurrent with OnRequest or ResetShard never
+  // yields a row whose errors exceed its count (no negative ok-deltas) nor
+  // an active gauge above total connections. Writers publish count before
+  // errors (release) and the reader loads errors before count (acquire);
+  // the residual reset race is clamped.
   StatsResponse Snapshot() const;
 
+  // The per-verb rows of one lane only, same consistency rules as
+  // Snapshot. The router surfaces these as "shardK/<verb>" STATS rows.
+  std::vector<VerbStats> ShardSnapshot(int shard) const;
+
  private:
+  // Merged per-verb rows over lanes [first_shard, first_shard+num_shards).
+  std::vector<VerbStats> VerbRows(int first_shard, int num_shards) const;
+
   struct PerVerb {
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> errors{0};

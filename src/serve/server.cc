@@ -1,18 +1,10 @@
 #include "serve/server.h"
 
-#include <sys/epoll.h>
-
-#include <algorithm>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <unordered_map>
+#include <utility>
 
 #include "core/catalog_io.h"
-#include "serve/net.h"
 #include "store/catalog_store.h"
 #include "util/fs.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace vdb {
@@ -22,589 +14,12 @@ namespace {
 // QUERY result sizes beyond this are a client bug, not a workload.
 constexpr int kMaxTopK = 1 << 16;
 
-// Event-loop shape: how many epoll events one wait may return, how many
-// response frames one writev may batch, and the socket read chunk.
-constexpr int kMaxEpollEvents = 64;
-constexpr int kMaxFlushIovecs = 64;
-constexpr size_t kReadChunk = 64u << 10;
-
-// epoll user-data tags for the two non-connection fds; connection events
-// carry the Conn pointer, which can never equal these small integers.
-constexpr uint64_t kListenTag = 0;
-constexpr uint64_t kWakeTag = 1;
-
-using EventClock = std::chrono::steady_clock;
-using TimePoint = EventClock::time_point;
-
-double ElapsedMs(TimePoint since, TimePoint now) {
-  return std::chrono::duration<double, std::milli>(now - since).count();
-}
-
-Response ErrorResponse(Verb verb, Status status) {
-  Response response;
-  response.verb = verb;
-  response.status = std::move(status);
-  return response;
-}
-
-int ResolveWorkers(int requested) {
-  if (requested > 0) {
-    return std::min(requested, 64);
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw < 1) hw = 1;
-  return static_cast<int>(std::min(hw, 4u));
-}
-
 }  // namespace
 
-// ---------------------------------------------------------------------------
-// EventWorker: one edge-triggered epoll loop owning the connections it
-// accepted. All connection state is confined to the worker thread; the only
-// cross-thread traffic is the reload-completion queue (mutex + eventfd).
-
-class EventWorker {
- public:
-  EventWorker(Server* server, int index)
-      : server_(server), index_(index), read_buf_(kReadChunk) {}
-
-  ~EventWorker() {
-    CloseFd(epoll_fd_);
-    CloseFd(wake_fd_);
-  }
-
-  EventWorker(const EventWorker&) = delete;
-  EventWorker& operator=(const EventWorker&) = delete;
-
-  // Creates the epoll instance and wakeup eventfd and registers the shared
-  // listening socket (EPOLLEXCLUSIVE: one worker is woken per pending
-  // accept burst, not all of them).
-  Status Init(int listen_fd) {
-    listen_fd_ = listen_fd;
-    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-    if (epoll_fd_ < 0) {
-      return Status::IoError(
-          StrFormat("epoll_create1: %s", std::strerror(errno)));
-    }
-    VDB_ASSIGN_OR_RETURN(wake_fd_, CreateEventFd());
-    epoll_event wake{};
-    wake.events = EPOLLIN;  // level-triggered; drained explicitly
-    wake.data.u64 = kWakeTag;
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake) != 0) {
-      return Status::IoError(
-          StrFormat("epoll_ctl wake fd: %s", std::strerror(errno)));
-    }
-    epoll_event listen{};
-    listen.events = EPOLLIN | EPOLLEXCLUSIVE;
-    listen.data.u64 = kListenTag;
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &listen) != 0) {
-      return Status::IoError(
-          StrFormat("epoll_ctl listen fd: %s", std::strerror(errno)));
-    }
-    return Status::Ok();
-  }
-
-  void StartThread() {
-    thread_ = std::thread([this] { Run(); });
-  }
-
-  void RequestStop() {
-    stop_.store(true, std::memory_order_release);
-    SignalEventFd(wake_fd_);
-  }
-
-  void Join() {
-    if (thread_.joinable()) {
-      thread_.join();
-    }
-  }
-
-  // Called by the reload executor (or EnqueueReload's stopping fallback)
-  // when connection `conn_id`'s response slot `seq` has its bytes.
-  void PostReloadDone(uint64_t conn_id, uint64_t seq, std::string bytes) {
-    {
-      std::lock_guard<std::mutex> lock(completions_mu_);
-      completions_.push_back({conn_id, seq, std::move(bytes)});
-    }
-    SignalEventFd(wake_fd_);
-  }
-
- private:
-  // One response frame, in request order. A RELOAD's slot sits unready
-  // until the executor posts its bytes; flushing stops at the first unready
-  // slot, which is what keeps pipelined responses in request order.
-  struct Slot {
-    bool ready = false;
-    std::string bytes;
-  };
-
-  // One parsed unit of input, in arrival order. kBadPayload is a sound
-  // frame whose payload failed to decode (error response, connection lives
-  // on); kFatal is an unsynchronised byte stream (error response, then
-  // close) — the same taxonomy the blocking server used.
-  struct PendingItem {
-    enum Kind { kRequest, kBadPayload, kFatal };
-    Kind kind = kRequest;
-    Request request;
-    Status error;
-  };
-
-  struct Conn {
-    int fd = -1;
-    uint64_t id = 0;
-    FrameParser parser;
-    std::deque<PendingItem> input;  // parsed, not yet dispatched
-    std::deque<Slot> slots;         // responses, in request order
-    uint64_t base_seq = 0;          // seq of slots.front()
-    size_t head_written = 0;        // bytes of slots.front() already sent
-    size_t unsent_bytes = 0;        // ready-but-unsent response bytes
-    bool awaiting_reload = false;   // an async RELOAD owns the next turn
-    bool close_after_flush = false;
-    bool input_broken = false;      // fatal frame error: stop reading
-    bool saw_eof = false;
-    bool paused = false;            // write backpressure: not reading
-    bool want_write = false;        // writev hit EAGAIN with bytes pending
-    bool dead = false;
-    bool has_partial = false;       // an incomplete frame is buffered
-    TimePoint last_activity;
-    TimePoint partial_since;
-    TimePoint write_blocked_since;
-  };
-
-  struct ReloadDone {
-    uint64_t conn_id = 0;
-    uint64_t seq = 0;
-    std::string bytes;
-  };
-
-  void Run() {
-    epoll_event events[kMaxEpollEvents];
-    while (!stop_.load(std::memory_order_acquire)) {
-      int timeout = NextTimeoutMs(EventClock::now());
-      int n = epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout);
-      if (n < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        break;  // fatal epoll failure; nothing sensible left to do
-      }
-      for (int i = 0; i < n; ++i) {
-        uint64_t tag = events[i].data.u64;
-        if (tag == kListenTag) {
-          AcceptAll();
-          continue;
-        }
-        if (tag == kWakeTag) {
-          DrainEventFd(wake_fd_);
-          continue;
-        }
-        Conn* c = static_cast<Conn*>(events[i].data.ptr);
-        if (c->dead) {
-          continue;
-        }
-        if (events[i].events & EPOLLERR) {
-          CloseConn(c);
-          continue;
-        }
-        ServiceConn(c);
-      }
-      HandleCompletions();
-      CheckDeadlines(EventClock::now());
-      ReapDead();
-    }
-    // Drain on exit: deliver any finished RELOAD, give every connection one
-    // final nonblocking flush of already-queued responses, then close.
-    HandleCompletions();
-    for (auto& entry : conns_) {
-      Conn* c = entry.second.get();
-      if (c->dead) {
-        continue;
-      }
-      Flush(c);
-      if (!c->dead) {
-        ShutdownFd(c->fd);
-        CloseConn(c);
-      }
-    }
-    conns_.clear();
-    dead_count_ = 0;
-  }
-
-  void AcceptAll() {
-    for (;;) {
-      IoOutcome accepted = AcceptSome(listen_fd_);
-      if (accepted.kind != IoOutcome::kProgress) {
-        return;  // backlog drained, or a transient failure: next edge retries
-      }
-      int fd = static_cast<int>(accepted.bytes);
-      if (server_->stopping_.load(std::memory_order_acquire)) {
-        CloseFd(fd);
-        return;
-      }
-      SetNonBlocking(fd);
-      ConfigureSocket(fd, 0, 0);  // TCP_NODELAY; deadlines are loop-managed
-      if (!server_->metrics_.TryOpenConnection(
-              static_cast<uint64_t>(server_->options_.max_connections))) {
-        server_->metrics_.OnBusyRejected();
-        std::string busy = EncodeResponse(ErrorResponse(
-            Verb::kError,
-            Status::FailedPrecondition(StrFormat(
-                "server busy: %d connections already open",
-                server_->options_.max_connections))));
-        iovec iov{const_cast<char*>(busy.data()), busy.size()};
-        WritevSome(fd, &iov, 1);  // best effort; peer may just see the close
-        CloseFd(fd);
-        continue;
-      }
-      auto owned = std::make_unique<Conn>();
-      Conn* c = owned.get();
-      c->fd = fd;
-      c->id = server_->next_conn_id_.fetch_add(1, std::memory_order_relaxed);
-      c->last_activity = EventClock::now();
-      conns_.emplace(c->id, std::move(owned));
-      epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
-      ev.data.ptr = c;
-      if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-        CloseConn(c);
-      }
-    }
-  }
-
-  // The per-connection engine: pump input (read → parse → dispatch), flush
-  // responses, and loop once more whenever flushing released backpressure.
-  void ServiceConn(Conn* c) {
-    for (;;) {
-      PumpInput(c);
-      if (c->dead) {
-        return;
-      }
-      Flush(c);
-      if (c->dead) {
-        return;
-      }
-      if (c->paused &&
-          c->unsent_bytes <=
-              server_->options_.max_buffered_response_bytes / 2) {
-        c->paused = false;  // drained below low water: read again
-        continue;
-      }
-      break;
-    }
-    if (c->close_after_flush && c->slots.empty()) {
-      CloseConn(c);
-    }
-  }
-
-  // Reads until EAGAIN/EOF, feeding the parser and dispatching after every
-  // chunk so output backpressure can pause the reads mid-burst.
-  void PumpInput(Conn* c) {
-    while (!c->paused && !c->input_broken && !c->saw_eof &&
-           !c->close_after_flush && !c->dead) {
-      IoOutcome r = ReadSome(c->fd, read_buf_.data(), read_buf_.size());
-      if (r.kind == IoOutcome::kProgress) {
-        c->last_activity = EventClock::now();
-        c->parser.Feed(std::string_view(read_buf_.data(), r.bytes));
-        ParseAndProcess(c);
-        continue;
-      }
-      if (r.kind == IoOutcome::kWouldBlock) {
-        break;
-      }
-      if (r.kind == IoOutcome::kEof) {
-        c->saw_eof = true;
-        break;
-      }
-      CloseConn(c);  // hard error (reset): nothing to flush to this peer
-      return;
-    }
-    // Leftovers: a resumed (unpaused) connection or a completed RELOAD may
-    // have parsed-but-undispatched input with no new bytes arriving.
-    ParseAndProcess(c);
-  }
-
-  void ParseAndProcess(Conn* c) {
-    if (!c->input_broken) {
-      for (;;) {
-        Frame frame;
-        Status error;
-        FrameParser::Next next = c->parser.TryNext(&frame, &error);
-        if (next == FrameParser::Next::kNeedMore) {
-          break;
-        }
-        if (next == FrameParser::Next::kError) {
-          PendingItem item;
-          item.kind = PendingItem::kFatal;
-          item.error = std::move(error);
-          c->input.push_back(std::move(item));
-          c->input_broken = true;
-          break;
-        }
-        PendingItem item;
-        Result<Request> request = DecodeRequest(frame.header, frame.payload);
-        if (request.ok()) {
-          item.kind = PendingItem::kRequest;
-          item.request = std::move(*request);
-        } else {
-          item.kind = PendingItem::kBadPayload;
-          item.error = request.status();
-        }
-        c->input.push_back(std::move(item));
-      }
-    }
-    // The slow-loris clock: an incomplete frame must finish arriving within
-    // the read timeout, counted from its first byte (not reset per byte).
-    if (c->parser.mid_frame()) {
-      if (!c->has_partial) {
-        c->has_partial = true;
-        c->partial_since = EventClock::now();
-      }
-    } else {
-      c->has_partial = false;
-    }
-    ProcessInput(c);
-  }
-
-  void ProcessInput(Conn* c) {
-    while (!c->awaiting_reload && !c->close_after_flush &&
-           !c->input.empty()) {
-      PendingItem item = std::move(c->input.front());
-      c->input.pop_front();
-      switch (item.kind) {
-        case PendingItem::kRequest: {
-          if (item.request.verb == Verb::kReload) {
-            // RELOAD does disk I/O: run it on the executor so this event
-            // loop keeps serving other connections. The unready slot holds
-            // this connection's response order; ProcessInput stops until
-            // the completion arrives, so later pipelined requests see the
-            // post-reload snapshot exactly as they would sequentially.
-            uint64_t seq = c->base_seq + c->slots.size();
-            c->slots.emplace_back();
-            c->awaiting_reload = true;
-            server_->EnqueueReload(
-                {index_, c->id, seq, item.request.reload_path});
-            break;
-          }
-          Stopwatch timer;
-          Response response = server_->Dispatch(item.request);
-          server_->metrics_.OnRequest(item.request.verb,
-                                      response.status.ok(),
-                                      timer.ElapsedSeconds() * 1e6, index_);
-          PushReady(c, EncodeResponse(response));
-          break;
-        }
-        case PendingItem::kBadPayload:
-          // Framing was sound, only the payload was bad: report the error
-          // on this request and keep the connection alive.
-          server_->metrics_.OnBadFrame();
-          PushReady(c, EncodeResponse(
-                           ErrorResponse(Verb::kError, item.error)));
-          break;
-        case PendingItem::kFatal:
-          // The byte stream is unsynchronised; tell the peer why, then
-          // close once every earlier response has been delivered.
-          server_->metrics_.OnBadFrame();
-          PushReady(c, EncodeResponse(
-                           ErrorResponse(Verb::kError, item.error)));
-          c->close_after_flush = true;
-          break;
-      }
-      if (c->unsent_bytes >= server_->options_.max_buffered_response_bytes) {
-        c->paused = true;  // stop reading until the peer drains responses
-      }
-    }
-    if (c->saw_eof && c->input.empty() && !c->awaiting_reload) {
-      // Clean half-close: the peer sent its last request. Deliver every
-      // queued response, then close. A torn trailing frame (parser left
-      // mid-frame) is dropped silently, as the blocking server did.
-      c->close_after_flush = true;
-    }
-  }
-
-  void PushReady(Conn* c, std::string bytes) {
-    c->unsent_bytes += bytes.size();
-    Slot slot;
-    slot.ready = true;
-    slot.bytes = std::move(bytes);
-    c->slots.push_back(std::move(slot));
-  }
-
-  // Vectored flush: batches up to kMaxFlushIovecs consecutive ready frames
-  // into one writev, so a pipelined burst leaves in a handful of syscalls.
-  void Flush(Conn* c) {
-    while (!c->slots.empty() && c->slots.front().ready) {
-      iovec iov[kMaxFlushIovecs];
-      int iovcnt = 0;
-      size_t offset = c->head_written;
-      for (const Slot& slot : c->slots) {
-        if (!slot.ready || iovcnt == kMaxFlushIovecs) {
-          break;
-        }
-        iov[iovcnt].iov_base =
-            const_cast<char*>(slot.bytes.data()) + offset;
-        iov[iovcnt].iov_len = slot.bytes.size() - offset;
-        ++iovcnt;
-        offset = 0;
-      }
-      IoOutcome w = WritevSome(c->fd, iov, iovcnt);
-      if (w.kind == IoOutcome::kWouldBlock) {
-        if (!c->want_write) {
-          c->want_write = true;
-          c->write_blocked_since = EventClock::now();
-        }
-        return;  // the next EPOLLOUT edge resumes this flush
-      }
-      if (w.kind != IoOutcome::kProgress) {
-        CloseConn(c);  // peer reset mid-response
-        return;
-      }
-      c->want_write = false;
-      c->unsent_bytes -= w.bytes;
-      size_t n = w.bytes;
-      while (n > 0) {
-        Slot& head = c->slots.front();
-        size_t remaining = head.bytes.size() - c->head_written;
-        if (n >= remaining) {
-          n -= remaining;
-          c->head_written = 0;
-          c->slots.pop_front();
-          ++c->base_seq;
-        } else {
-          c->head_written += n;
-          n = 0;
-        }
-      }
-    }
-  }
-
-  void HandleCompletions() {
-    std::vector<ReloadDone> done;
-    {
-      std::lock_guard<std::mutex> lock(completions_mu_);
-      done.swap(completions_);
-    }
-    for (ReloadDone& d : done) {
-      auto it = conns_.find(d.conn_id);
-      if (it == conns_.end() || it->second->dead) {
-        continue;  // the connection died while its RELOAD ran
-      }
-      Conn* c = it->second.get();
-      size_t idx = static_cast<size_t>(d.seq - c->base_seq);
-      if (idx < c->slots.size() && !c->slots[idx].ready) {
-        c->unsent_bytes += d.bytes.size();
-        c->slots[idx].bytes = std::move(d.bytes);
-        c->slots[idx].ready = true;
-      }
-      c->awaiting_reload = false;
-      ServiceConn(c);  // dispatch the requests queued behind the RELOAD
-    }
-  }
-
-  void CheckDeadlines(TimePoint now) {
-    const int read_to = server_->options_.read_timeout_ms;
-    const int write_to = server_->options_.write_timeout_ms;
-    if (read_to <= 0 && write_to <= 0) {
-      return;
-    }
-    for (auto& entry : conns_) {
-      Conn* c = entry.second.get();
-      if (c->dead) {
-        continue;
-      }
-      if (write_to > 0 && c->want_write &&
-          ElapsedMs(c->write_blocked_since, now) >= write_to) {
-        CloseConn(c);  // never-reading peer: shed the connection
-        continue;
-      }
-      if (read_to > 0 && c->has_partial &&
-          ElapsedMs(c->partial_since, now) >= read_to) {
-        CloseConn(c);  // slow loris: the frame never finished arriving
-        continue;
-      }
-      if (read_to > 0 && !c->has_partial && !c->awaiting_reload &&
-          c->slots.empty() && c->input.empty() && !c->saw_eof &&
-          ElapsedMs(c->last_activity, now) >= read_to) {
-        CloseConn(c);  // idle persistent connection between requests
-      }
-    }
-  }
-
-  // Milliseconds until the earliest connection deadline, clamped to
-  // [0, 1000] — the cap doubles as the loop's housekeeping tick.
-  int NextTimeoutMs(TimePoint now) const {
-    const int read_to = server_->options_.read_timeout_ms;
-    const int write_to = server_->options_.write_timeout_ms;
-    double best = 1000.0;
-    for (const auto& entry : conns_) {
-      const Conn* c = entry.second.get();
-      if (c->dead) {
-        continue;
-      }
-      if (write_to > 0 && c->want_write) {
-        best = std::min(best,
-                        write_to - ElapsedMs(c->write_blocked_since, now));
-      }
-      if (read_to > 0 && c->has_partial) {
-        best = std::min(best, read_to - ElapsedMs(c->partial_since, now));
-      }
-      if (read_to > 0 && !c->has_partial && !c->awaiting_reload &&
-          c->slots.empty() && c->input.empty() && !c->saw_eof) {
-        best = std::min(best, read_to - ElapsedMs(c->last_activity, now));
-      }
-    }
-    if (best <= 0) {
-      return 0;
-    }
-    return static_cast<int>(std::min(best + 1.0, 1000.0));
-  }
-
-  void CloseConn(Conn* c) {
-    if (c->dead) {
-      return;
-    }
-    c->dead = true;
-    ++dead_count_;
-    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
-    CloseFd(c->fd);
-    c->fd = -1;
-    server_->metrics_.OnConnectionClosed();
-  }
-
-  // Dead Conn objects outlive CloseConn until the end of the loop tick, so
-  // stale pointers in the current epoll_wait batch stay valid.
-  void ReapDead() {
-    if (dead_count_ == 0) {
-      return;
-    }
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      it = it->second->dead ? conns_.erase(it) : std::next(it);
-    }
-    dead_count_ = 0;
-  }
-
-  Server* server_;
-  int index_;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
-  int listen_fd_ = -1;  // shared; owned by the Server
-  std::thread thread_;
-  std::atomic<bool> stop_{false};
-
-  std::mutex completions_mu_;
-  std::vector<ReloadDone> completions_;
-
-  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
-  size_t dead_count_ = 0;
-  std::vector<char> read_buf_;
-};
-
-// ---------------------------------------------------------------------------
-// Server
-
 Server::Server(ServerOptions options)
-    : options_(std::move(options)),
-      num_workers_(ResolveWorkers(options_.event_workers)),
-      metrics_(num_workers_) {}
+    : frontend_(std::move(options),
+                [this](const Request& request) { return Dispatch(request); },
+                [](Verb verb) { return verb == Verb::kReload; }) {}
 
 Server::~Server() { Stop(); }
 
@@ -659,134 +74,22 @@ Result<Server::LoadedSnapshot> Server::LoadCatalogs(
 }
 
 Status Server::Start(std::vector<std::string> catalog_paths) {
-  if (started_) {
-    return Status::FailedPrecondition("server already started");
-  }
-  if (options_.max_connections < 1) {
-    return Status::InvalidArgument("max_connections must be >= 1");
-  }
   VDB_ASSIGN_OR_RETURN(LoadedSnapshot loaded, LoadCatalogs(catalog_paths));
-  VDB_ASSIGN_OR_RETURN(
-      int listen_fd,
-      ListenTcp(options_.host, options_.port, options_.backlog));
-  Result<int> port = LocalPort(listen_fd);
-  if (!port.ok()) {
-    CloseFd(listen_fd);
-    return port.status();
-  }
-  Status nonblocking = SetNonBlocking(listen_fd);
-  if (!nonblocking.ok()) {
-    CloseFd(listen_fd);
-    return nonblocking;
-  }
-  workers_.clear();
-  for (int i = 0; i < num_workers_; ++i) {
-    workers_.push_back(std::make_unique<EventWorker>(this, i));
-    Status init = workers_.back()->Init(listen_fd);
-    if (!init.ok()) {
-      workers_.clear();
-      CloseFd(listen_fd);
-      return init;
-    }
-  }
-  metrics_.SetStoreGeneration(loaded.store_generation);
-  metrics_.OnGenerationsSkipped(loaded.generations_skipped);
   {
     std::lock_guard<std::mutex> lock(db_mu_);
     db_ = std::move(loaded.db);
     catalog_paths_ = std::move(catalog_paths);
   }
-  listen_fd_ = listen_fd;
-  port_ = *port;
-  reload_thread_ = std::thread([this] { ReloadLoop(); });
-  for (auto& worker : workers_) {
-    worker->StartThread();
-  }
-  started_ = true;
-  return Status::Ok();
+  frontend_.metrics().SetStoreGeneration(loaded.store_generation);
+  frontend_.metrics().OnGenerationsSkipped(loaded.generations_skipped);
+  return frontend_.Start();
 }
 
-void Server::Stop() {
-  if (!started_ || stopping_.exchange(true)) {
-    return;
-  }
-  // Drain in dependency order: the reload executor first (it finishes any
-  // in-flight RELOAD and posts the response to its worker), then the
-  // workers (they deliver posted completions, give every connection one
-  // final flush, and close), then the listener.
-  {
-    std::lock_guard<std::mutex> lock(reload_jobs_mu_);
-    reload_executor_stop_ = true;
-  }
-  reload_jobs_cv_.notify_all();
-  if (reload_thread_.joinable()) {
-    reload_thread_.join();
-  }
-  for (auto& worker : workers_) {
-    worker->RequestStop();
-  }
-  for (auto& worker : workers_) {
-    worker->Join();
-  }
-  workers_.clear();
-  CloseFd(listen_fd_);
-  listen_fd_ = -1;
-}
+void Server::Stop() { frontend_.Stop(); }
 
 std::shared_ptr<const VideoDatabase> Server::snapshot() const {
   std::lock_guard<std::mutex> lock(db_mu_);
   return db_;
-}
-
-void Server::EnqueueReload(ReloadJob job) {
-  int worker = job.worker;
-  uint64_t conn_id = job.conn_id;
-  uint64_t seq = job.seq;
-  {
-    std::lock_guard<std::mutex> lock(reload_jobs_mu_);
-    if (!reload_executor_stop_) {
-      reload_jobs_.push_back(std::move(job));
-      reload_jobs_cv_.notify_one();
-      return;
-    }
-  }
-  // The executor already drained (server stopping): fail the request
-  // instead of leaving its response slot unfilled forever.
-  workers_[static_cast<size_t>(worker)]->PostReloadDone(
-      conn_id, seq,
-      EncodeResponse(ErrorResponse(
-          Verb::kReload, Status::FailedPrecondition("server is stopping"))));
-}
-
-void Server::ReloadLoop() {
-  for (;;) {
-    ReloadJob job;
-    {
-      std::unique_lock<std::mutex> lock(reload_jobs_mu_);
-      reload_jobs_cv_.wait(lock, [this] {
-        return reload_executor_stop_ || !reload_jobs_.empty();
-      });
-      if (reload_jobs_.empty()) {
-        if (reload_executor_stop_) {
-          return;
-        }
-        continue;
-      }
-      job = std::move(reload_jobs_.front());
-      reload_jobs_.pop_front();
-    }
-    Stopwatch timer;
-    Response response;
-    response.verb = Verb::kReload;
-    response.status = Reload(job.path, &response.reload);
-    metrics_.OnRequest(Verb::kReload, response.status.ok(),
-                       timer.ElapsedSeconds() * 1e6, job.worker);
-    if (job.worker >= 0 &&
-        job.worker < static_cast<int>(workers_.size())) {
-      workers_[static_cast<size_t>(job.worker)]->PostReloadDone(
-          job.conn_id, job.seq, EncodeResponse(response));
-    }
-  }
 }
 
 Response Server::Dispatch(const Request& request) {
@@ -837,12 +140,28 @@ Response Server::HandleQuery(const QueryRequest& request) const {
   query.var_oa = request.var_oa;
   query.alpha = request.alpha;
   query.beta = request.beta;
+  bool filtered = request.genre_id >= 0 || request.form_id >= 0;
+  ClassFilter filter{request.genre_id, request.form_id};
+  int64_t in_band = 0;
+  int64_t eligible = 0;
   Result<std::vector<BrowsingSuggestion>> found =
-      (request.genre_id >= 0 || request.form_id >= 0)
-          ? db->SearchWithinClass(
-                query, request.top_k,
-                ClassFilter{request.genre_id, request.form_id})
-          : db->Search(query, request.top_k);
+      [&]() -> Result<std::vector<BrowsingSuggestion>> {
+    if (request.exact_band) {
+      // One fixed-band probe for the cluster router's distributed widening
+      // loop: no tolerance escalation here — the router escalates globally
+      // and needs the per-shard in-band/eligible counts to decide when the
+      // union of shard bands is provably complete.
+      return db->SearchBanded(query, request.top_k,
+                              filtered ? &filter : nullptr, &in_band,
+                              &eligible);
+    }
+    if (filtered) {
+      return db->SearchWithinClass(query, request.top_k, filter);
+    }
+    return db->Search(query, request.top_k);
+  }();
+  response.query.in_band = in_band;
+  response.query.eligible = eligible;
   if (!found.ok()) {
     response.status = found.status();
     return response;
@@ -943,10 +262,12 @@ Response Server::HandleList() const {
 Response Server::HandleStats() const {
   Response response;
   response.verb = Verb::kStats;
-  response.stats = metrics_.Snapshot();
+  response.stats = frontend_.metrics().Snapshot();
   std::shared_ptr<const VideoDatabase> db = snapshot();
   response.stats.videos = db->video_count();
   response.stats.indexed_shots = db->index().size();
+  response.stats.shard_id = frontend_.options().shard_id;
+  response.stats.shard_count = frontend_.options().shard_count;
   return response;
 }
 
@@ -964,12 +285,12 @@ Status Server::Reload(const std::string& path, ReloadResponse* out) {
   if (!fresh.ok()) {
     // The failed load never touches db_: clients keep querying the current
     // snapshot, and the failure is visible in STATS.
-    metrics_.OnReloadResult(false);
+    frontend_.metrics().OnReloadResult(false);
     return fresh.status();
   }
-  metrics_.OnReloadResult(true);
-  metrics_.OnGenerationsSkipped(fresh->generations_skipped);
-  metrics_.SetStoreGeneration(fresh->store_generation);
+  frontend_.metrics().OnReloadResult(true);
+  frontend_.metrics().OnGenerationsSkipped(fresh->generations_skipped);
+  frontend_.metrics().SetStoreGeneration(fresh->store_generation);
   out->videos = fresh->db->video_count();
   out->indexed_shots = fresh->db->index().size();
   {

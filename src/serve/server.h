@@ -1,59 +1,19 @@
 #ifndef VDB_SERVE_SERVER_H_
 #define VDB_SERVE_SERVER_H_
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/video_database.h"
+#include "serve/frontend.h"
 #include "serve/metrics.h"
 #include "serve/wire.h"
 #include "util/result.h"
 
 namespace vdb {
 namespace serve {
-
-class EventWorker;
-
-struct ServerOptions {
-  std::string host = "127.0.0.1";
-  // 0 picks an ephemeral port; read the real one back with port().
-  int port = 0;
-  int backlog = 128;
-
-  // Concurrent connection limit. A connection beyond the limit is answered
-  // with a BUSY error frame and closed instead of silently queueing.
-  // Admission is an atomic gauge check at accept time, so several event
-  // workers accepting concurrently can never overshoot the limit.
-  int max_connections = 32;
-
-  // Per-connection deadlines; <= 0 disables. The read timeout bounds both
-  // how long an idle persistent connection may sit between requests and how
-  // long a started frame may take to finish arriving (the slow-loris
-  // bound). The write timeout bounds how long buffered responses may sit
-  // unsendable because the peer is not reading (write backpressure shed).
-  int read_timeout_ms = 60'000;
-  int write_timeout_ms = 10'000;
-
-  // Event-loop worker threads; each runs its own epoll instance and owns
-  // the connections it accepts (the listening socket is shared with
-  // EPOLLEXCLUSIVE). <= 0 picks a small automatic value from the hardware
-  // concurrency. The per-verb metrics histograms are sharded one per
-  // worker and merged on STATS.
-  int event_workers = 0;
-
-  // Pause reading a connection once this many encoded-response bytes are
-  // buffered unsent (pipelining backpressure); reading resumes once the
-  // buffer drains below half of this. Combined with the write timeout this
-  // bounds the memory a never-reading client can pin.
-  size_t max_buffered_response_bytes = 8u << 20;
-};
 
 // The catalog query service: loads `.vdbcat` catalogs into an in-memory
 // VideoDatabase and serves PING/STATS/QUERY/TREE/LIST/RELOAD over the wire
@@ -66,17 +26,12 @@ struct ServerOptions {
 // generation is surfaced by STATS. RELOAD against a store directory picks
 // up whatever generation a concurrent `vdbtool store-save` published.
 //
-// Threading: `event_workers` nonblocking event-loop threads, each with its
-// own edge-triggered epoll instance. A connection lives entirely on the
-// worker that accepted it: the worker reads whatever bytes arrived, peels
-// complete frames off with an incremental FrameParser, dispatches each
-// request against the current snapshot, and flushes the encoded responses
-// with vectored writes. Requests on one connection may be *pipelined* —
-// many frames in flight before the first response is read — and responses
-// are always written in request order. RELOAD (the one verb that does disk
-// I/O) runs on a dedicated executor thread so it never stalls an event
-// loop; the connection's later requests wait their turn behind it, which
-// keeps per-connection semantics exactly sequential.
+// Networking is a FrontEnd (serve/frontend.h): edge-triggered epoll event
+// workers with pipelining, backpressure and deadlines. The Server plugs in
+// its dispatch and offloads exactly one verb — RELOAD, the one that does
+// disk I/O — to the front end's executor so it never stalls an event loop;
+// the connection's later requests wait their turn behind it, which keeps
+// per-connection semantics exactly sequential.
 //
 // Snapshots: the database sits behind a shared_ptr that request handlers
 // copy once per request. RELOAD builds a fresh database from disk off to
@@ -106,26 +61,26 @@ class Server {
   void Stop();
 
   // The port actually bound (meaningful after a successful Start).
-  int port() const { return port_; }
+  int port() const { return frontend_.port(); }
 
   // The number of event-loop workers actually running (resolved from
   // ServerOptions::event_workers at construction).
-  int event_workers() const { return num_workers_; }
+  int event_workers() const { return frontend_.event_workers(); }
 
   // The catalog snapshot requests are currently served from.
   std::shared_ptr<const VideoDatabase> snapshot() const;
 
-  const ServerMetrics& metrics() const { return metrics_; }
+  const ServerMetrics& metrics() const { return frontend_.metrics(); }
 
   // Request dispatch against the current snapshot, exposed for tests: this
   // is exactly what an event worker runs between decode and encode (except
-  // that the workers route RELOAD through the reload executor instead of
+  // that the workers route RELOAD through the offload executor instead of
   // running it inline).
   Response Dispatch(const Request& request);
 
- private:
-  friend class EventWorker;
-
+  // Loads `paths` (catalog files and/or store directories) into one fresh
+  // database, assigning dense video ids in path order. This is the merge
+  // the cluster property tests compare a sharded router against.
   struct LoadedSnapshot {
     std::shared_ptr<const VideoDatabase> db;
     // Of the newest store directory among the paths; 0 when every path is
@@ -134,57 +89,25 @@ class Server {
     // Corrupt newer store generations skipped while loading.
     int generations_skipped = 0;
   };
-
-  // One queued asynchronous RELOAD: worker `worker` owns connection
-  // `conn_id`, whose response slot `seq` is waiting for the result.
-  struct ReloadJob {
-    int worker = 0;
-    uint64_t conn_id = 0;
-    uint64_t seq = 0;
-    std::string path;
-  };
-
-  // Loads `paths` (catalog files and/or store directories) into one fresh
-  // database.
   static Result<LoadedSnapshot> LoadCatalogs(
       const std::vector<std::string>& paths);
 
+ private:
   // Serialised catalog reload; on success swaps the snapshot and makes
   // `path` (when non-empty) the new RELOAD default.
   Status Reload(const std::string& path, ReloadResponse* out);
-
-  // Hands a RELOAD to the executor thread; the response is posted back to
-  // the owning worker when the load finishes.
-  void EnqueueReload(ReloadJob job);
-  void ReloadLoop();
 
   Response HandleQuery(const QueryRequest& request) const;
   Response HandleTree(const TreeRequest& request) const;
   Response HandleList() const;
   Response HandleStats() const;
 
-  ServerOptions options_;
-  int num_workers_ = 1;
-  int listen_fd_ = -1;
-  int port_ = -1;
-  bool started_ = false;
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> next_conn_id_{1};
-
-  std::vector<std::unique_ptr<EventWorker>> workers_;
-
-  std::thread reload_thread_;
-  std::mutex reload_jobs_mu_;
-  std::condition_variable reload_jobs_cv_;
-  std::deque<ReloadJob> reload_jobs_;
-  bool reload_executor_stop_ = false;
-
   mutable std::mutex db_mu_;  // guards db_ and catalog_paths_
   std::shared_ptr<const VideoDatabase> db_;
   std::vector<std::string> catalog_paths_;
   std::mutex reload_mu_;  // serialises RELOADs (not held during the swap)
 
-  ServerMetrics metrics_;
+  FrontEnd frontend_;
 };
 
 }  // namespace serve

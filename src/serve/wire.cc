@@ -18,7 +18,7 @@ constexpr uint32_t kMaxSuggestions = 1u << 16;
 constexpr uint32_t kMaxTreeNodes = 1u << 21;
 constexpr uint32_t kMaxVideos = 1u << 20;
 constexpr uint32_t kMaxGenres = 1024;
-constexpr uint32_t kMaxVerbRows = 64;
+constexpr uint32_t kMaxVerbRows = 1024;  // router adds per-shard rows
 constexpr size_t kMaxNameLen = 1u << 16;
 
 bool ValidVerb(uint8_t v) {
@@ -150,6 +150,7 @@ std::string EncodeRequestPayload(const Request& request) {
       w.PutI32(request.query.top_k);
       w.PutI32(request.query.genre_id);
       w.PutI32(request.query.form_id);
+      w.PutU8(request.query.exact_band ? 1 : 0);
       break;
     case Verb::kTree:
       w.PutI32(request.tree.video_id);
@@ -172,6 +173,8 @@ std::string EncodeResponsePayload(const Response& response) {
   if (!response.status.ok()) {
     return w.TakeBuffer();  // no body on errors
   }
+  w.PutU32(response.shards_ok);
+  w.PutU32(response.shards_total);
   switch (response.verb) {
     case Verb::kPing:
       w.PutString(response.ping_token);
@@ -187,6 +190,8 @@ std::string EncodeResponsePayload(const Response& response) {
       w.PutU64(s.store_generation);
       w.PutI32(s.videos);
       w.PutI32(s.indexed_shots);
+      w.PutI32(s.shard_id);
+      w.PutI32(s.shard_count);
       w.PutU32(static_cast<uint32_t>(s.verbs.size()));
       for (const VerbStats& vs : s.verbs) {
         w.PutString(vs.verb);
@@ -200,6 +205,8 @@ std::string EncodeResponsePayload(const Response& response) {
       break;
     }
     case Verb::kQuery:
+      w.PutU64(response.query.in_band);
+      w.PutU64(response.query.eligible);
       w.PutU32(static_cast<uint32_t>(response.query.suggestions.size()));
       for (const SuggestionWire& s : response.query.suggestions) {
         PutSuggestion(&w, s);
@@ -410,6 +417,8 @@ Result<Request> DecodeRequest(const FrameHeader& header,
       VDB_ASSIGN_OR_RETURN(q.top_k, r.GetI32("query top k"));
       VDB_ASSIGN_OR_RETURN(q.genre_id, r.GetI32("query genre id"));
       VDB_ASSIGN_OR_RETURN(q.form_id, r.GetI32("query form id"));
+      VDB_ASSIGN_OR_RETURN(uint8_t exact, r.GetU8("query exact band"));
+      q.exact_band = exact != 0;
       break;
     }
     case Verb::kTree: {
@@ -455,6 +464,8 @@ Result<Response> DecodeResponse(const FrameHeader& header,
     VDB_RETURN_IF_ERROR(ExpectEnd(r, "error response"));
     return response;
   }
+  VDB_ASSIGN_OR_RETURN(response.shards_ok, r.GetU32("shards ok"));
+  VDB_ASSIGN_OR_RETURN(response.shards_total, r.GetU32("shards total"));
   switch (header.verb) {
     case Verb::kPing: {
       VDB_ASSIGN_OR_RETURN(response.ping_token,
@@ -474,6 +485,8 @@ Result<Response> DecodeResponse(const FrameHeader& header,
       VDB_ASSIGN_OR_RETURN(s.store_generation, r.GetU64("store generation"));
       VDB_ASSIGN_OR_RETURN(s.videos, r.GetI32("stats videos"));
       VDB_ASSIGN_OR_RETURN(s.indexed_shots, r.GetI32("stats shots"));
+      VDB_ASSIGN_OR_RETURN(s.shard_id, r.GetI32("stats shard id"));
+      VDB_ASSIGN_OR_RETURN(s.shard_count, r.GetI32("stats shard count"));
       VDB_ASSIGN_OR_RETURN(int rows, GetCount(&r, "verb rows", kMaxVerbRows));
       s.verbs.resize(static_cast<size_t>(rows));
       for (VerbStats& vs : s.verbs) {
@@ -488,6 +501,9 @@ Result<Response> DecodeResponse(const FrameHeader& header,
       break;
     }
     case Verb::kQuery: {
+      VDB_ASSIGN_OR_RETURN(response.query.in_band, r.GetU64("query in band"));
+      VDB_ASSIGN_OR_RETURN(response.query.eligible,
+                           r.GetU64("query eligible"));
       VDB_ASSIGN_OR_RETURN(int count,
                            GetCount(&r, "suggestion count", kMaxSuggestions));
       response.query.suggestions.resize(static_cast<size_t>(count));

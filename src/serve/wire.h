@@ -48,7 +48,10 @@ inline constexpr int kNumVerbs = 8;  // dense: index stats arrays by verb
 // Stable lower-case name ("ping", "query", ...) for logs and STATS.
 std::string_view VerbName(Verb verb);
 
-inline constexpr uint8_t kWireVersion = 1;
+// Version history: v1 = PR-2 single-node protocol; v2 adds the cluster
+// fields (exact-band queries, in-band/eligible counts, shard identity in
+// STATS, shards_ok/shards_total health on every OK response).
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 14;
 inline constexpr uint8_t kResponseBit = 0x80;
 // Upper bound on a frame payload; a length prefix beyond this is treated as
@@ -134,6 +137,11 @@ struct QueryRequest {
   int top_k = 5;
   int genre_id = -1;
   int form_id = -1;
+  // When true the server answers strictly inside the (alpha, beta) band —
+  // no widening — and fills QueryResponse::in_band/eligible. The cluster
+  // router uses this to drive the widening loop itself so a sharded
+  // QUERY merges to exactly the single-node answer.
+  bool exact_band = false;
 };
 
 // Scene-tree subtree for browsing. node_id -1 means the root; max_depth -1
@@ -178,6 +186,11 @@ struct SuggestionWire {
 
 struct QueryResponse {
   std::vector<SuggestionWire> suggestions;
+  // Filled on exact-band queries: how many shots matched the band before
+  // top-k truncation, and how many indexed shots could ever match (the
+  // class size under a filter, else the index size). Zero otherwise.
+  uint64_t in_band = 0;
+  uint64_t eligible = 0;
 };
 
 // Scene-tree node with its original in-tree id, so a full-tree response can
@@ -238,6 +251,11 @@ struct StatsResponse {
   uint64_t store_generation = 0;
   int videos = 0;
   int indexed_shots = 0;
+  // Shard identity: which shard of how many this backend serves, read from
+  // the store's SHARDMAP file. A non-sharded catalog reports -1 / 0; the
+  // router reports -1 / <cluster shard count>.
+  int shard_id = -1;
+  int shard_count = 0;
   std::vector<VerbStats> verbs;
 };
 
@@ -251,6 +269,13 @@ struct ReloadResponse {
 struct Response {
   Verb verb = Verb::kError;
   Status status;
+  // Degraded-mode health, carried on every OK response: how many shards
+  // contributed to this answer out of how many the cluster has. A
+  // single-node server always reports 0/0 ("not sharded"); the router
+  // reports shards_ok < shards_total instead of failing when a shard and
+  // its replica are both unreachable.
+  uint32_t shards_ok = 0;
+  uint32_t shards_total = 0;
   std::string ping_token;  // kPing
   QueryResponse query;     // kQuery
   TreeResponse tree;       // kTree

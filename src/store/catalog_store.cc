@@ -250,6 +250,10 @@ Result<Manifest> CatalogStore::CurrentManifest() const {
   return last;
 }
 
+Result<Manifest> CatalogStore::ManifestAt(uint64_t generation) const {
+  return LoadManifest(generation);
+}
+
 Result<SaveStats> CatalogStore::Save(const VideoDatabase& db) {
   VDB_RETURN_IF_ERROR(CreateDirIfMissing(dir_));
 
@@ -344,6 +348,14 @@ Result<CompactStats> CatalogStore::Compact() {
     VDB_RETURN_IF_ERROR(SyncDir(dir_));
   }
   return stats;
+}
+
+Status PublishManifest(const std::string& dir, const Manifest& manifest) {
+  VDB_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  return WriteFileAtomic(dir + "/" + ManifestName(manifest.generation),
+                         WrapChecksummed(kManifestMagic,
+                                         EncodeManifest(manifest)),
+                         nullptr, "manifest");
 }
 
 Status SaveDatabaseToStore(const VideoDatabase& db, const std::string& dir,

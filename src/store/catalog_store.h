@@ -99,6 +99,9 @@ class CatalogStore {
   // The newest parseable manifest, without reading any segment.
   Result<Manifest> CurrentManifest() const;
 
+  // The manifest of one specific generation, without reading any segment.
+  Result<Manifest> ManifestAt(uint64_t generation) const;
+
   // Garbage-collects everything the newest *loadable* generation does not
   // reference: manifests of older (and corrupt newer) generations, orphan
   // segments from abandoned publishes, and leftover temp files. Verifies
@@ -118,6 +121,14 @@ class CatalogStore {
   std::string dir_;
   StoreOptions options_;
 };
+
+// Publishes `manifest` as MANIFEST-<generation> in `dir` with the store's
+// atomic protocol (temp file + fsync + rename + directory sync). The caller
+// is responsible for every referenced segment already being present and
+// durable in `dir`. This is how `vdbtool store-shard` rewrites a store's
+// manifest per shard: segments are content-addressed, so a shard store is
+// just links to the source segments plus a manifest listing its subset.
+Status PublishManifest(const std::string& dir, const Manifest& manifest);
 
 // The VideoDatabase's store-backed persistence paths (thin wrappers used
 // by vdbtool and the examples; the server drives CatalogStore directly).

@@ -152,6 +152,40 @@ Status RemoveFileIfExists(const std::string& path) {
   return Errno("unlink", path);
 }
 
+Status LinkOrCopyFile(const std::string& from, const std::string& to) {
+  if (::link(from.c_str(), to.c_str()) == 0) {
+    return Status::Ok();
+  }
+  if (errno != EXDEV && errno != EPERM && errno != EMLINK &&
+      errno != EOPNOTSUPP) {
+    return Errno("link", from);
+  }
+  VDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(from));
+  int fd = ::open(to.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Errno("open", to);
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written,
+                        contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write", to);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", to);
+  }
+  if (::close(fd) != 0) {
+    return Errno("close", to);
+  }
+  return Status::Ok();
+}
+
 Status SyncDir(const std::string& dir) {
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd < 0) {

@@ -49,6 +49,12 @@ Status CreateDirIfMissing(const std::string& dir);
 // unlink; removing a file that is already gone is OK.
 Status RemoveFileIfExists(const std::string& path);
 
+// Hardlinks `from` to `to`, falling back to a byte copy when the link is
+// not possible (cross-device, or a filesystem without hardlinks). `to` must
+// not already exist. Used to share content-addressed segments between a
+// store and the per-shard stores split off of it.
+Status LinkOrCopyFile(const std::string& from, const std::string& to);
+
 // fsyncs a directory so completed renames/unlinks inside it are durable.
 Status SyncDir(const std::string& dir);
 

@@ -1,0 +1,416 @@
+// The cluster acceptance chaos test: four real backend *processes* (this
+// binary re-exec'd in --be-shard-backend mode), a router in front, and a
+// SIGKILL delivered to one backend in the middle of a query load. The
+// router must keep answering from the surviving shards (shards_ok 3/4,
+// results exactly the survivors' merge), and once the backend is
+// restarted on its old port the cluster must heal back to byte-identical
+// full answers. Runs under ASan and TSan via scripts/check.sh cluster.
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "cluster/shard_store.h"
+#include "core/video_database.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "store/catalog_store.h"
+#include "synth/workload.h"
+#include "tests/support/render_cache.h"
+#include "util/fs.h"
+
+namespace vdb {
+namespace cluster {
+
+// Child mode: serve one shard store until killed. Never returns normally.
+int RunShardBackend(const std::string& dir, int port,
+                    const std::string& port_file) {
+  // Die with the test process: a crashed test must not leak servers.
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  serve::ServerOptions options;
+  options.port = port;
+  serve::Server server(options);
+  Status started = server.Start({dir});
+  if (!started.ok()) {
+    std::fprintf(stderr, "shard backend %s: %s\n", dir.c_str(),
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::string bytes = std::to_string(server.port()) + "\n";
+  Status wrote = WriteFileAtomic(port_file, bytes);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "shard backend %s: %s\n", dir.c_str(),
+                 wrote.ToString().c_str());
+    return 1;
+  }
+  while (true) {
+    pause();
+  }
+}
+
+namespace {
+
+constexpr double kScale = 0.06;
+constexpr uint64_t kSeed = 5;
+constexpr uint64_t kMapSeed = 17;
+constexpr int kShards = 4;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name + "_" + std::to_string(getpid());
+}
+
+void WipeDir(const std::string& dir) {
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      std::string child = dir + "/" + name;
+      if (IsDirectory(child)) {
+        WipeDir(child);
+      } else {
+        std::remove(child.c_str());
+      }
+    }
+    ::rmdir(dir.c_str());
+  }
+}
+
+// One backend child process.
+struct Backend {
+  pid_t pid = -1;
+  int port = 0;
+
+  bool alive() const { return pid > 0; }
+};
+
+// Forks and execs this binary in backend mode, returning once the child
+// has bound its port. `port` 0 asks for an ephemeral port (the bound one
+// comes back via the port file); a fixed port restarts a killed backend
+// at its old address.
+Backend SpawnBackend(const std::string& dir, int port) {
+  Backend backend;
+  std::string port_file = dir + "/port";
+  std::remove(port_file.c_str());
+  // Everything the child needs is built *before* fork(): the parent is
+  // multithreaded, so the child may only exec, not allocate.
+  std::string port_arg = std::to_string(port);
+  const char* exe = "/proc/self/exe";
+  const char* argv[] = {exe,
+                        "--be-shard-backend",
+                        dir.c_str(),
+                        port_arg.c_str(),
+                        port_file.c_str(),
+                        nullptr};
+  pid_t pid = fork();
+  if (pid == 0) {
+    execv(exe, const_cast<char**>(argv));
+    _exit(127);
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  if (pid <= 0) return backend;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    Result<std::string> bytes = ReadFileToString(port_file);
+    if (bytes.ok() && !bytes->empty() && bytes->back() == '\n') {
+      backend.pid = pid;
+      backend.port = std::atoi(bytes->c_str());
+      EXPECT_GT(backend.port, 0);
+      return backend;
+    }
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      ADD_FAILURE() << "backend for " << dir << " exited during startup";
+      return backend;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "backend for " << dir << " never bound a port";
+  kill(pid, SIGKILL);
+  waitpid(pid, nullptr, 0);
+  return backend;
+}
+
+void KillBackend(Backend* backend) {
+  if (!backend->alive()) return;
+  kill(backend->pid, SIGKILL);
+  waitpid(backend->pid, nullptr, 0);
+  backend->pid = -1;
+}
+
+class RouterChaosTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    direct_ = new VideoDatabase();
+    for (const ClipProfile& profile : Table5Profiles()) {
+      Storyboard board = MakeStoryboardFromProfile(profile, kScale, kSeed);
+      ASSERT_TRUE(
+          direct_->Ingest(testsupport::CachedRender(board).video).ok());
+    }
+    WipeDir(Root());
+    ASSERT_TRUE(CreateDirIfMissing(Root()).ok());
+    store::CatalogStore source(Root() + "/src");
+    ASSERT_TRUE(source.Save(*direct_).ok());
+    ShardMap map;
+    map.shard_count = kShards;
+    map.seed = kMapSeed;
+    Result<SplitStats> split =
+        SplitStore(Root() + "/src", Root() + "/cluster", map);
+    ASSERT_TRUE(split.ok()) << split.status();
+    for (int shard = 0; shard < kShards; ++shard) {
+      ASSERT_GT(split->videos_per_shard[shard], 0)
+          << "shard " << shard
+          << " came out empty; pick a different kMapSeed";
+    }
+  }
+
+  static void TearDownTestSuite() {
+    WipeDir(Root());
+    delete direct_;
+    direct_ = nullptr;
+  }
+
+  static std::string Root() { return TempPath("router_chaos"); }
+
+  static std::string ShardDir(int shard) {
+    return Root() + "/cluster/" + ShardDirName(shard);
+  }
+
+  static VideoDatabase* direct_;
+};
+
+VideoDatabase* RouterChaosTest::direct_ = nullptr;
+
+TEST_F(RouterChaosTest, KillOneBackendMidLoadThenRecover) {
+  std::vector<Backend> backends(kShards);
+  std::vector<std::string> shard_dirs;
+  for (int shard = 0; shard < kShards; ++shard) {
+    shard_dirs.push_back(ShardDir(shard));
+    backends[static_cast<size_t>(shard)] =
+        SpawnBackend(ShardDir(shard), /*port=*/0);
+    ASSERT_TRUE(backends[static_cast<size_t>(shard)].alive());
+  }
+
+  RouterOptions options;
+  options.backend.connect_timeout_ms = 2'000;
+  options.backend.read_timeout_ms = 10'000;
+  options.backend.retry_backoff_ms = 1;
+  options.down_cooldown_ms = 100;
+  std::vector<ShardBackends> endpoints(kShards);
+  for (int shard = 0; shard < kShards; ++shard) {
+    endpoints[static_cast<size_t>(shard)].primary.port =
+        backends[static_cast<size_t>(shard)].port;
+  }
+  Router router(options, std::move(endpoints));
+  ASSERT_TRUE(router.Start().ok());
+
+  // The byte-identity oracle for the healthy and recovered phases.
+  serve::Server merged;
+  ASSERT_TRUE(merged.Start(shard_dirs).ok());
+  Result<serve::Client> single =
+      serve::Client::Connect("127.0.0.1", merged.port());
+  ASSERT_TRUE(single.ok()) << single.status();
+
+  serve::Request probe;
+  probe.verb = serve::Verb::kQuery;
+  probe.query.var_ba = 9.0;
+  probe.query.var_oa = 2.0;
+  probe.query.top_k = 20;
+
+  // Healthy phase: full answers, byte-identical to the single node.
+  {
+    Result<serve::Client> client =
+        serve::Client::Connect("127.0.0.1", router.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    Result<serve::Response> got = client->Call(probe);
+    Result<serve::Response> want = single->Call(probe);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(want.ok()) << want.status();
+    EXPECT_EQ(got->shards_ok, 4u);
+    got->shards_ok = want->shards_ok = 0;
+    got->shards_total = want->shards_total = 0;
+    EXPECT_EQ(serve::EncodeResponse(*got), serve::EncodeResponse(*want));
+  }
+
+  // The load: clients hammering QUERY and LIST through the kill. Every
+  // response must be OK with 3 or 4 shards contributing — the router
+  // never surfaces the outage as an error.
+  constexpr int kLoaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> degraded_seen{0};
+  std::vector<std::thread> loaders;
+  for (int t = 0; t < kLoaders; ++t) {
+    loaders.emplace_back([&, t] {
+      Result<serve::Client> client =
+          serve::Client::Connect("127.0.0.1", router.port());
+      if (!client.ok()) {
+        ADD_FAILURE() << "loader " << t << ": " << client.status();
+        failed = true;
+        return;
+      }
+      std::mt19937_64 rng(0xc4a05 + static_cast<uint64_t>(t));
+      std::uniform_real_distribution<double> ba(0.0, 100.0);
+      std::uniform_real_distribution<double> oa(0.0, 20.0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::Request request;
+        if (rng() % 4 == 0) {
+          request.verb = serve::Verb::kList;
+        } else {
+          request.verb = serve::Verb::kQuery;
+          request.query.var_ba = ba(rng);
+          request.query.var_oa = oa(rng);
+          request.query.top_k = 10;
+        }
+        Result<serve::Response> response = client->Call(request);
+        if (!response.ok()) {
+          ADD_FAILURE() << "loader " << t
+                        << " transport error: " << response.status();
+          failed = true;
+          return;
+        }
+        if (!response->status.ok()) {
+          ADD_FAILURE() << "loader " << t
+                        << " degraded to an error: " << response->status;
+          failed = true;
+          return;
+        }
+        if (response->shards_ok < 3u || response->shards_total != 4u) {
+          ADD_FAILURE() << "loader " << t << " saw " << response->shards_ok
+                        << "/" << response->shards_total << " shards";
+          failed = true;
+          return;
+        }
+        if (response->shards_ok == 3u) {
+          degraded_seen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let the load warm up, then SIGKILL one backend mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const int dead = 2;
+  const int dead_port = backends[dead].port;
+  KillBackend(&backends[dead]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  // Deterministic degraded check while the shard is down: the survivors'
+  // exact merge, marked 3/4.
+  ShardMap map;
+  map.shard_count = kShards;
+  map.seed = kMapSeed;
+  {
+    Result<serve::Client> client =
+        serve::Client::Connect("127.0.0.1", router.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    Result<serve::Response> got = client->Call(probe);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(got->status.ok()) << got->status;
+    EXPECT_EQ(got->shards_ok, 3u);
+    EXPECT_EQ(got->shards_total, 4u);
+
+    // Built in shard layout order — the id order the router breaks
+    // distance ties by — not the corpus's original ingest order.
+    VideoDatabase survivors;
+    for (int shard = 0; shard < kShards; ++shard) {
+      if (shard == dead) continue;
+      for (int id = 0; id < direct_->video_count(); ++id) {
+        const CatalogEntry* entry = direct_->GetEntry(id).value();
+        if (map.ShardOf(entry->name) != shard) continue;
+        CatalogEntry copy = *entry;
+        ASSERT_TRUE(survivors.Restore(std::move(copy)).ok());
+      }
+    }
+    VarianceQuery query;
+    query.var_ba = probe.query.var_ba;
+    query.var_oa = probe.query.var_oa;
+    Result<std::vector<BrowsingSuggestion>> want =
+        survivors.Search(query, probe.query.top_k);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_EQ(got->query.suggestions.size(), want->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ(got->query.suggestions[i].video_name,
+                (*want)[i].video_name)
+          << "rank " << i;
+      EXPECT_EQ(got->query.suggestions[i].shot_index,
+                (*want)[i].match.entry.shot_index)
+          << "rank " << i;
+      EXPECT_DOUBLE_EQ(got->query.suggestions[i].distance,
+                       (*want)[i].match.distance)
+          << "rank " << i;
+    }
+  }
+
+  // Restart the backend on its old port and wait for the cluster to heal:
+  // the down-marker expires, the next probe succeeds, and answers return
+  // to full byte-identity.
+  backends[dead] = SpawnBackend(ShardDir(dead), dead_port);
+  ASSERT_TRUE(backends[dead].alive());
+  ASSERT_EQ(backends[dead].port, dead_port);
+  {
+    Result<serve::Client> client =
+        serve::Client::Connect("127.0.0.1", router.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    bool recovered = false;
+    for (int attempt = 0; attempt < 200 && !recovered; ++attempt) {
+      Result<serve::Response> got = client->Call(probe);
+      ASSERT_TRUE(got.ok()) << got.status();
+      ASSERT_TRUE(got->status.ok()) << got->status;
+      recovered = got->shards_ok == 4u;
+      if (!recovered) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    EXPECT_TRUE(recovered) << "cluster never healed after the restart";
+
+    Result<serve::Response> got = client->Call(probe);
+    Result<serve::Response> want = single->Call(probe);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(want.ok()) << want.status();
+    got->shards_ok = want->shards_ok = 0;
+    got->shards_total = want->shards_total = 0;
+    EXPECT_EQ(serve::EncodeResponse(*got), serve::EncodeResponse(*want));
+  }
+
+  stop = true;
+  for (std::thread& loader : loaders) {
+    loader.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(degraded_seen.load(), 0u)
+      << "the load never observed the outage; the kill window is too short";
+
+  router.Stop();
+  merged.Stop();
+  for (Backend& backend : backends) {
+    KillBackend(&backend);
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace vdb
+
+// Custom main: in --be-shard-backend mode this process *is* one of the
+// cluster's backends (the chaos tests fork+exec it that way); otherwise
+// it is the ordinary gtest runner.
+int main(int argc, char** argv) {
+  if (argc >= 5 && std::string(argv[1]) == "--be-shard-backend") {
+    return vdb::cluster::RunShardBackend(argv[2], std::atoi(argv[3]),
+                                         argv[4]);
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

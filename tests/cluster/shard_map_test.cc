@@ -1,0 +1,321 @@
+// The shard placement function and its SHARDMAP sidecar codec, plus the
+// manifest-only store split: placement must be deterministic and total,
+// the sidecar must round-trip and reject corruption, and a split store
+// must hold exactly the source's videos, each in its ShardOf() shard, in
+// source order — the invariants the scatter-gather router builds on.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/shard_map.h"
+#include "cluster/shard_store.h"
+#include "core/video_database.h"
+#include "store/catalog_store.h"
+#include "synth/presets.h"
+#include "synth/workload.h"
+#include "tests/support/render_cache.h"
+#include "util/fs.h"
+
+namespace vdb {
+namespace cluster {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name + "_" + std::to_string(getpid());
+}
+
+void WipeDir(const std::string& dir) {
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      std::string child = dir + "/" + name;
+      if (IsDirectory(child)) {
+        WipeDir(child);
+      } else {
+        std::remove(child.c_str());
+      }
+    }
+    ::rmdir(dir.c_str());
+  }
+}
+
+TEST(ShardMapTest, PlacementIsDeterministicAndInRange) {
+  ShardMap map;
+  map.shard_count = 4;
+  map.seed = 7;
+  std::vector<std::string> names = {"a", "b", "clip-07", "Silk Stalkings",
+                                    "", "x/y z"};
+  for (const std::string& name : names) {
+    int shard = map.ShardOf(name);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, map.shard_count);
+    EXPECT_EQ(shard, map.ShardOf(name)) << name;
+  }
+}
+
+TEST(ShardMapTest, SingleShardMapsEverythingToZero) {
+  ShardMap one;
+  EXPECT_EQ(one.shard_count, 1);
+  EXPECT_EQ(one.ShardOf("anything"), 0);
+  ShardMap degenerate;
+  degenerate.shard_count = 0;
+  EXPECT_EQ(degenerate.ShardOf("anything"), 0);
+}
+
+TEST(ShardMapTest, SeedReshufflesThePlacement) {
+  ShardMap a;
+  a.shard_count = 8;
+  a.seed = 1;
+  ShardMap b = a;
+  b.seed = 2;
+  int moved = 0;
+  for (int i = 0; i < 256; ++i) {
+    std::string name = "clip-" + std::to_string(i);
+    if (a.ShardOf(name) != b.ShardOf(name)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ShardMapTest, PlacementSpreadsAcrossShards) {
+  ShardMap map;
+  map.shard_count = 4;
+  std::set<int> used;
+  for (int i = 0; i < 64; ++i) {
+    used.insert(map.ShardOf("clip-" + std::to_string(i)));
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+// Regression: raw FNV-1a's bit 0 is just the parity of the input bytes'
+// low bits, so without an avalanche finalizer every even-parity name lands
+// on the same shard of a 2-shard map — the corpus's three example clips
+// all collapsed onto one shard for every seed tried. Doubled-character
+// names all have even parity by construction, so pre-fix this whole family
+// maps to a single shard.
+TEST(ShardMapTest, TwoShardPlacementIsNotByteParity) {
+  ShardMap map;
+  map.shard_count = 2;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    map.seed = seed;
+    std::set<int> used;
+    for (char c = 'a'; c <= 'z'; ++c) {
+      used.insert(map.ShardOf(std::string(2, c)));
+    }
+    EXPECT_EQ(used.size(), 2u) << "seed " << seed;
+  }
+}
+
+TEST(ShardMapCodecTest, EncodeDecodeRoundTrips) {
+  ShardMapFile file;
+  file.map.shard_count = 12;
+  file.map.seed = 0xdeadbeefcafef00dull;
+  file.shard_id = 7;
+  Result<ShardMapFile> decoded = DecodeShardMap(EncodeShardMap(file));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->map.shard_count, 12);
+  EXPECT_EQ(decoded->map.seed, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded->shard_id, 7);
+}
+
+TEST(ShardMapCodecTest, RejectsCorruption) {
+  ShardMapFile file;
+  file.map.shard_count = 3;
+  file.shard_id = 1;
+  std::string bytes = EncodeShardMap(file);
+
+  // Every single-byte flip must be caught by the magic or the checksum.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    EXPECT_FALSE(DecodeShardMap(bad).ok()) << "flip at byte " << i;
+  }
+  // Truncations too.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(DecodeShardMap(bytes.substr(0, n)).ok()) << "len " << n;
+  }
+}
+
+TEST(ShardMapCodecTest, SaveLoadRoundTripsAndMissingIsNotFound) {
+  std::string dir = TempPath("shardmap_io");
+  WipeDir(dir);
+  ASSERT_TRUE(CreateDirIfMissing(dir).ok());
+
+  EXPECT_EQ(LoadShardMap(dir).status().code(), StatusCode::kNotFound);
+
+  ShardMapFile file;
+  file.map.shard_count = 5;
+  file.map.seed = 99;
+  file.shard_id = 4;
+  ASSERT_TRUE(SaveShardMap(dir, file).ok());
+  Result<ShardMapFile> loaded = LoadShardMap(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->map.shard_count, 5);
+  EXPECT_EQ(loaded->map.seed, 99u);
+  EXPECT_EQ(loaded->shard_id, 4);
+  WipeDir(dir);
+}
+
+class ShardStoreTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new VideoDatabase();
+    ASSERT_TRUE(
+        db_->Ingest(testsupport::CachedRender(TenShotStoryboard()).video)
+            .ok());
+    ASSERT_TRUE(
+        db_->Ingest(testsupport::CachedRender(FriendsStoryboard()).video)
+            .ok());
+    ASSERT_TRUE(
+        db_->Ingest(testsupport::CachedRender(SimonBirchStoryboard()).video)
+            .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static VideoDatabase* db_;
+};
+
+VideoDatabase* ShardStoreTest::db_ = nullptr;
+
+TEST_F(ShardStoreTest, SplitPartitionsByShardOfInSourceOrder) {
+  std::string src = TempPath("split_src");
+  std::string out = TempPath("split_out");
+  WipeDir(src);
+  WipeDir(out);
+  store::CatalogStore source(src);
+  ASSERT_TRUE(source.Save(*db_).ok());
+
+  ShardMap map;
+  map.shard_count = 2;
+  map.seed = 11;
+  Result<SplitStats> split = SplitStore(src, out, map);
+  ASSERT_TRUE(split.ok()) << split.status();
+  EXPECT_EQ(split->generation, 1u);
+  ASSERT_EQ(split->videos_per_shard.size(), 2u);
+  EXPECT_EQ(split->videos_per_shard[0] + split->videos_per_shard[1],
+            db_->video_count());
+  EXPECT_EQ(split->segments_linked, db_->video_count());
+  EXPECT_EQ(split->segments_reused, 0);
+
+  // Each shard store opens, holds exactly its ShardOf() videos in source
+  // order, and carries a SHARDMAP naming its slice.
+  std::map<std::string, int> want_shard;
+  for (int id = 0; id < db_->video_count(); ++id) {
+    const std::string& name = db_->GetEntry(id).value()->name;
+    want_shard[name] = map.ShardOf(name);
+  }
+  int total = 0;
+  for (int shard = 0; shard < 2; ++shard) {
+    std::string dir = out + "/" + ShardDirName(shard);
+    Result<ShardMapFile> sidecar = LoadShardMap(dir);
+    ASSERT_TRUE(sidecar.ok()) << sidecar.status();
+    EXPECT_EQ(sidecar->shard_id, shard);
+    EXPECT_EQ(sidecar->map.shard_count, 2);
+    EXPECT_EQ(sidecar->map.seed, 11u);
+
+    store::CatalogStore shard_store(dir);
+    store::OpenStats stats;
+    Result<std::unique_ptr<VideoDatabase>> opened = shard_store.Open(&stats);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    EXPECT_EQ(stats.generation, 1u);
+    EXPECT_EQ((*opened)->video_count(), split->videos_per_shard[shard]);
+    total += (*opened)->video_count();
+
+    int previous_source_id = -1;
+    for (int id = 0; id < (*opened)->video_count(); ++id) {
+      const std::string& name = (*opened)->GetEntry(id).value()->name;
+      EXPECT_EQ(want_shard[name], shard) << name;
+      // Source relative order is preserved within the shard.
+      int source_id = -1;
+      for (int s = 0; s < db_->video_count(); ++s) {
+        if (db_->GetEntry(s).value()->name == name) source_id = s;
+      }
+      EXPECT_GT(source_id, previous_source_id);
+      previous_source_id = source_id;
+    }
+  }
+  EXPECT_EQ(total, db_->video_count());
+  WipeDir(src);
+  WipeDir(out);
+}
+
+TEST_F(ShardStoreTest, ResplitAfterSourceAdvanceReusesSegments) {
+  std::string src = TempPath("resplit_src");
+  std::string out = TempPath("resplit_out");
+  WipeDir(src);
+  WipeDir(out);
+  store::CatalogStore source(src);
+  ASSERT_TRUE(source.Save(*db_).ok());
+
+  ShardMap map;
+  map.shard_count = 2;
+  ASSERT_TRUE(SplitStore(src, out, map).ok());
+
+  // The source publishes generation 2 with the same content; a re-split
+  // finds every segment already present and republishes each shard at the
+  // new generation.
+  ASSERT_TRUE(source.Save(*db_).ok());
+  Result<SplitStats> again = SplitStore(src, out, map);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->generation, 2u);
+  EXPECT_EQ(again->segments_linked, 0);
+  EXPECT_EQ(again->segments_reused, db_->video_count());
+  for (int shard = 0; shard < 2; ++shard) {
+    store::CatalogStore shard_store(out + "/" + ShardDirName(shard));
+    store::OpenStats stats;
+    ASSERT_TRUE(shard_store.Open(&stats).ok());
+    EXPECT_EQ(stats.generation, 2u);
+  }
+  WipeDir(src);
+  WipeDir(out);
+}
+
+TEST_F(ShardStoreTest, EmptyShardsStillPublish) {
+  // Many shards, few videos: some shards must come out empty yet still be
+  // openable stores (a vdbserve on an empty shard serves zero videos, and
+  // the router's id layout still counts it).
+  std::string src = TempPath("empty_src");
+  std::string out = TempPath("empty_out");
+  WipeDir(src);
+  WipeDir(out);
+  store::CatalogStore source(src);
+  ASSERT_TRUE(source.Save(*db_).ok());
+
+  ShardMap map;
+  map.shard_count = 16;
+  Result<SplitStats> split = SplitStore(src, out, map);
+  ASSERT_TRUE(split.ok()) << split.status();
+  int empty = 0;
+  for (int shard = 0; shard < 16; ++shard) {
+    std::string dir = out + "/" + ShardDirName(shard);
+    store::CatalogStore shard_store(dir);
+    Result<std::unique_ptr<VideoDatabase>> opened = shard_store.Open();
+    ASSERT_TRUE(opened.ok()) << "shard " << shard << ": " << opened.status();
+    if ((*opened)->video_count() == 0) ++empty;
+  }
+  EXPECT_GT(empty, 0);
+  WipeDir(src);
+  WipeDir(out);
+}
+
+TEST(ShardStoreErrorsTest, SplitOfMissingStoreFails) {
+  ShardMap map;
+  map.shard_count = 2;
+  EXPECT_FALSE(
+      SplitStore(TempPath("no_such_store"), TempPath("no_out"), map).ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace vdb

@@ -220,6 +220,87 @@ TEST(ServerMetricsTest, TryOpenConnectionNeverOvershoots) {
             static_cast<uint64_t>(kThreads) * kRounds);  // admitted + busy
 }
 
+// ResetShard wipes one lane and leaves the others untouched, and the
+// per-lane rows ShardSnapshot reports match what that lane recorded.
+TEST(ServerMetricsTest, ResetShardClearsOneLaneOnly) {
+  ServerMetrics m(3);
+  m.OnRequest(Verb::kQuery, true, 10.0, 0);
+  m.OnRequest(Verb::kQuery, false, 20.0, 1);
+  m.OnRequest(Verb::kList, true, 30.0, 1);
+  m.OnRequest(Verb::kQuery, true, 40.0, 2);
+
+  std::vector<VerbStats> lane1 = m.ShardSnapshot(1);
+  ASSERT_EQ(lane1.size(), 2u);
+  EXPECT_EQ(lane1[0].verb, "query");
+  EXPECT_EQ(lane1[0].count, 1u);
+  EXPECT_EQ(lane1[0].errors, 1u);
+  EXPECT_EQ(lane1[1].verb, "list");
+  EXPECT_EQ(lane1[1].count, 1u);
+
+  m.ResetShard(1);
+  EXPECT_TRUE(m.ShardSnapshot(1).empty());
+  EXPECT_TRUE(m.ShardSnapshot(99).empty());  // out of range: no-op
+
+  StatsResponse s = m.Snapshot();
+  ASSERT_EQ(s.verbs.size(), 1u);
+  EXPECT_EQ(s.verbs[0].verb, "query");
+  EXPECT_EQ(s.verbs[0].count, 2u);  // lanes 0 and 2 survive
+  EXPECT_EQ(s.verbs[0].errors, 0u);
+}
+
+// Regression for the snapshot-vs-reset race: Snapshot() running
+// concurrently with OnRequest and ResetShard must never observe a row with
+// more errors than requests (a "negative ok-delta" for anything computing
+// count - errors), nor an active gauge above total connections. Before the
+// ordering fix + clamp, the reader could pair a pre-reset errors value
+// with a post-reset count of zero.
+TEST(ServerMetricsTest, SnapshotDuringResetNeverYieldsNegativeDeltas) {
+  constexpr int kLanes = 3;
+  constexpr int kWriters = 3;
+  ServerMetrics m(kLanes);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&m, &stop, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Every request an error: maximizes the window where a torn read
+        // could see errors ahead of count.
+        m.OnRequest(Verb::kQuery, /*ok=*/false, 5.0, t % kLanes);
+        if (++i % 16 == 0) {
+          m.TryOpenConnection(1u << 30);
+          m.OnConnectionClosed();
+        }
+      }
+    });
+  }
+  std::thread resetter([&m, &stop] {
+    int lane = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      m.ResetShard(lane);
+      lane = (lane + 1) % kLanes;
+    }
+  });
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    StatsResponse s = m.Snapshot();
+    for (const VerbStats& v : s.verbs) {
+      ASSERT_LE(v.errors, v.count) << "iteration " << iter;
+    }
+    ASSERT_LE(s.active_connections, s.total_connections)
+        << "iteration " << iter;
+    for (const VerbStats& v : m.ShardSnapshot(iter % kLanes)) {
+      ASSERT_LE(v.errors, v.count) << "iteration " << iter;
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  resetter.join();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace vdb

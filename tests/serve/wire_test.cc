@@ -91,6 +91,7 @@ TEST(WireRequestTest, QueryRoundTripsExactly) {
   request.query.top_k = 17;
   request.query.genre_id = 3;
   request.query.form_id = -1;
+  request.query.exact_band = true;
   Request decoded = RoundTrip(request);
   EXPECT_DOUBLE_EQ(decoded.query.var_ba, 123.456);
   EXPECT_DOUBLE_EQ(decoded.query.var_oa, 0.001);
@@ -99,6 +100,7 @@ TEST(WireRequestTest, QueryRoundTripsExactly) {
   EXPECT_EQ(decoded.query.top_k, 17);
   EXPECT_EQ(decoded.query.genre_id, 3);
   EXPECT_EQ(decoded.query.form_id, -1);
+  EXPECT_TRUE(decoded.query.exact_band);
 }
 
 TEST(WireRequestTest, TreeAndReloadRoundTrip) {
@@ -193,6 +195,20 @@ TEST(WireResponseTest, QuerySuggestionsRoundTripExactly) {
   EXPECT_EQ(EncodeResponse(response), EncodeResponse(decoded));
 }
 
+TEST(WireResponseTest, BandCountsAndHealthRoundTrip) {
+  Response response;
+  response.verb = Verb::kQuery;
+  response.shards_ok = 3;
+  response.shards_total = 4;
+  response.query.in_band = 12345;
+  response.query.eligible = 99999;
+  Response decoded = RoundTrip(response);
+  EXPECT_EQ(decoded.shards_ok, 3u);
+  EXPECT_EQ(decoded.shards_total, 4u);
+  EXPECT_EQ(decoded.query.in_band, 12345u);
+  EXPECT_EQ(decoded.query.eligible, 99999u);
+}
+
 TEST(WireResponseTest, TreeNodesRoundTrip) {
   Response response;
   response.verb = Verb::kTree;
@@ -264,6 +280,8 @@ TEST(WireResponseTest, StatsRoundTrip) {
   response.stats.store_generation = 12;
   response.stats.videos = 5;
   response.stats.indexed_shots = 250;
+  response.stats.shard_id = 2;
+  response.stats.shard_count = 4;
   VerbStats vs;
   vs.verb = "query";
   vs.count = 90;
@@ -284,6 +302,8 @@ TEST(WireResponseTest, StatsRoundTrip) {
   EXPECT_EQ(decoded.stats.store_generation, 12u);
   EXPECT_EQ(decoded.stats.videos, 5);
   EXPECT_EQ(decoded.stats.indexed_shots, 250);
+  EXPECT_EQ(decoded.stats.shard_id, 2);
+  EXPECT_EQ(decoded.stats.shard_count, 4);
   ASSERT_EQ(decoded.stats.verbs.size(), 1u);
   EXPECT_EQ(decoded.stats.verbs[0].verb, "query");
   EXPECT_EQ(decoded.stats.verbs[0].count, 90u);

@@ -47,6 +47,7 @@ constexpr char kUsage[] =
     "  vdbtool store-save <store-dir> <clip.vdb>...\n"
     "  vdbtool store-open <store-dir>\n"
     "  vdbtool store-compact <store-dir>\n"
+    "  vdbtool store-shard <store-dir> <out-dir> <shards> [seed]\n"
     "  vdbtool stream-ingest <clip.vdb> <store-dir> [shots-per-checkpoint]\n"
     "  vdbtool tree <clip.vdb>\n"
     "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "

@@ -285,6 +285,7 @@ Result<RunResult> RunOnce(const Args& args, int num_threads, int depth,
 
 Status WriteJson(const Args& args, int videos,
                  const serve::StatsResponse& stats,
+                 const serve::StatsResponse& final_stats,
                  const std::vector<RunResult>& runs) {
   std::ofstream out(args.json_path, std::ios::trunc);
   if (!out) {
@@ -299,6 +300,7 @@ Status WriteJson(const Args& args, int videos,
       << "  \"reloads_ok\": " << stats.reloads_ok << ",\n"
       << "  \"reload_failures\": " << stats.reload_failures << ",\n"
       << "  \"store_generation\": " << stats.store_generation << ",\n"
+      << "  \"shard_count\": " << final_stats.shard_count << ",\n"
       << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
@@ -309,6 +311,27 @@ Status WriteJson(const Args& args, int videos,
         r.threads, r.depth, static_cast<unsigned long long>(r.requests),
         r.wall_seconds, r.qps, r.p50_us, r.p95_us, r.p99_us, r.max_us,
         i + 1 < runs.size() ? "," : "");
+  }
+  out << "  ],\n";
+  // A router's STATS carries per-shard backend latency lanes (rows named
+  // "shard<N>/<verb>"); surface them so the bench trajectory records each
+  // shard's tail, not just the merged front-end view. Empty for a plain
+  // single-node vdbserve.
+  std::vector<const serve::VerbStats*> shard_lanes;
+  for (const serve::VerbStats& verb : final_stats.verbs) {
+    if (StartsWith(verb.verb, "shard")) shard_lanes.push_back(&verb);
+  }
+  out << "  \"shard_lanes\": [\n";
+  for (size_t i = 0; i < shard_lanes.size(); ++i) {
+    const serve::VerbStats& lane = *shard_lanes[i];
+    out << StrFormat(
+        "    {\"lane\": \"%s\", \"count\": %llu, \"errors\": %llu, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"max_us\": %.1f}%s\n",
+        lane.verb.c_str(), static_cast<unsigned long long>(lane.count),
+        static_cast<unsigned long long>(lane.errors), lane.p50_us,
+        lane.p95_us, lane.p99_us, lane.max_us,
+        i + 1 < shard_lanes.size() ? "," : "");
   }
   out << "  ]\n}\n";
   return out ? Status::Ok() : Status::IoError("write " + args.json_path);
@@ -381,7 +404,20 @@ int Run(int argc, char** argv) {
   table.Print(std::cout);
 
   if (!args.json_path.empty()) {
-    Status written = WriteJson(args, video_count, *stats, runs);
+    // A fresh STATS snapshot *after* the load: against a router this is
+    // where the per-shard latency lanes accumulated by the run live.
+    Result<serve::Client> after =
+        serve::Client::Connect(args.host, args.port);
+    if (!after.ok()) {
+      return Fail(after.status());
+    }
+    Result<serve::StatsResponse> final_stats = after->Stats();
+    if (!final_stats.ok()) {
+      return Fail(final_stats.status());
+    }
+    after->Close();
+    Status written =
+        WriteJson(args, video_count, *stats, *final_stats, runs);
     if (!written.ok()) {
       return Fail(written);
     }

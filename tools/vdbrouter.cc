@@ -1,0 +1,187 @@
+// vdbrouter — scatter-gather front end for a sharded catalog cluster.
+//
+//   vdbrouter --shard host:port[,host:port] ... [options]
+//
+// Speaks the same VDBS wire protocol as vdbserve, on both sides: clients
+// connect to the router exactly as they would to a single vdbserve, and
+// the router fans QUERY/LIST/STATS out to the per-shard backends, routes
+// TREE point-wise, and fans RELOAD to every backend. Shards are given in
+// shard-id order — the same order the shard stores were split in — and
+// each --shard takes the primary endpoint plus an optional read replica
+// after a comma. Runs until SIGINT/SIGTERM, then drains and exits.
+//
+// When a shard's primary and replica are both unreachable, responses are
+// served from the surviving shards and carry shards_ok < shards_total
+// instead of failing.
+//
+// Options:
+//   --shard P[,R]          one shard's primary (and optional replica)
+//                          endpoint, host:port; repeat per shard, in
+//                          shard-id order
+//   --host <ip>            bind address            (default 127.0.0.1)
+//   --port <n>             port, 0 = ephemeral     (default 7411)
+//   --max-conn <n>         concurrent connections  (default 32)
+//   --hedge-after-ms <n>   hedge reads to the replica after this long
+//                          (default 50; 0 = failover only)
+//   --call-timeout-ms <n>  per-backend-call read timeout (default 10000)
+//   --port-file <path>     write the bound port there (for scripts that
+//                          start with --port 0)
+
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: vdbrouter --shard host:port[,host:port] ... [--host H] "
+      "[--port N]\n"
+      "                 [--max-conn N] [--hedge-after-ms N]\n"
+      "                 [--call-timeout-ms N] [--port-file PATH]\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "vdbrouter: error: " << status << "\n";
+  return 1;
+}
+
+bool ParseEndpoint(const std::string& spec, cluster::ShardEndpoint* out) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  out->host = spec.substr(0, colon);
+  out->port = std::atoi(spec.c_str() + colon + 1);
+  return out->port > 0;
+}
+
+// "host:port" or "host:port,host:port" (primary, replica).
+bool ParseShard(const std::string& spec, cluster::ShardBackends* out) {
+  size_t comma = spec.find(',');
+  if (comma == std::string::npos) {
+    return ParseEndpoint(spec, &out->primary);
+  }
+  return ParseEndpoint(spec.substr(0, comma), &out->primary) &&
+         ParseEndpoint(spec.substr(comma + 1), &out->replica);
+}
+
+struct Args {
+  cluster::RouterOptions router;
+  std::vector<cluster::ShardBackends> shards;
+  std::string port_file;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  out->router.frontend.port = 7411;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--shard") {
+      const char* v = next();
+      cluster::ShardBackends backends;
+      if (!v || !ParseShard(v, &backends)) {
+        std::cerr << "vdbrouter: bad --shard spec\n";
+        return false;
+      }
+      out->shards.push_back(std::move(backends));
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      out->router.frontend.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      out->router.frontend.port = std::atoi(v);
+    } else if (arg == "--max-conn") {
+      const char* v = next();
+      if (!v) return false;
+      out->router.frontend.max_connections = std::atoi(v);
+    } else if (arg == "--hedge-after-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->router.hedge_after_ms = std::atoi(v);
+    } else if (arg == "--call-timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->router.backend.read_timeout_ms = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return false;
+      out->port_file = v;
+    } else if (StartsWith(arg, "--")) {
+      std::cerr << "vdbrouter: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      std::cerr << "vdbrouter: unexpected argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  return !out->shards.empty();
+}
+
+int Run(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  cluster::Router router(args.router, std::move(args.shards));
+  Status started = router.Start();
+  if (!started.ok()) {
+    return Fail(started);
+  }
+  std::cout << "vdbrouter: routing " << router.shard_count()
+            << " shards on " << args.router.frontend.host << ":"
+            << router.port() << "\n"
+            << std::flush;
+  if (!args.port_file.empty()) {
+    std::ofstream out(args.port_file, std::ios::trunc);
+    out << router.port() << "\n";
+    if (!out) {
+      router.Stop();
+      return Fail(Status::IoError("cannot write " + args.port_file));
+    }
+  }
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::cout << "vdbrouter: caught signal " << signal_number
+            << ", draining...\n";
+  router.Stop();
+
+  const serve::StatsResponse stats = router.metrics().Snapshot();
+  std::cout << "vdbrouter: served " << stats.total_connections
+            << " connections (" << stats.rejected_busy << " busy-rejected, "
+            << stats.bad_frames << " bad frames)\n";
+  for (const serve::VerbStats& verb : stats.verbs) {
+    std::cout << StrFormat(
+        "  %-7s %8llu requests  %llu errors  p50 %.0fus  p99 %.0fus\n",
+        verb.verb.c_str(),
+        static_cast<unsigned long long>(verb.count),
+        static_cast<unsigned long long>(verb.errors), verb.p50_us,
+        verb.p99_us);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main(int argc, char** argv) { return vdb::Run(argc, argv); }

@@ -28,7 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/shard_map.h"
 #include "serve/server.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 
 namespace vdb {
@@ -109,6 +111,22 @@ int Run(int argc, char** argv) {
   sigaddset(&signals, SIGINT);
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  // A shard store (split by `vdbtool store-shard`) carries a SHARDMAP
+  // sidecar naming which slice of the cluster it is; surface that identity
+  // via STATS so the router can sanity-check its fan-out wiring.
+  if (args.catalogs.size() == 1 && IsDirectory(args.catalogs[0])) {
+    Result<cluster::ShardMapFile> shard_map =
+        cluster::LoadShardMap(args.catalogs[0]);
+    if (shard_map.ok()) {
+      args.server.shard_id = shard_map->shard_id;
+      args.server.shard_count = shard_map->map.shard_count;
+      std::cout << "vdbserve: serving shard " << shard_map->shard_id
+                << " of " << shard_map->map.shard_count << "\n";
+    } else if (shard_map.status().code() != StatusCode::kNotFound) {
+      return Fail(shard_map.status());
+    }
+  }
 
   serve::Server server(args.server);
   Status started = server.Start(args.catalogs);

@@ -8,6 +8,9 @@
 //                                            next store generation
 //   vdbtool store-open <store-dir>           open + summarise a store
 //   vdbtool store-compact <store-dir>        GC old generations and orphans
+//   vdbtool store-shard <store-dir> <out-dir> <shards> [seed]
+//                                            split a store into per-shard
+//                                            stores for a vdbrouter cluster
 //   vdbtool stream-ingest <clip.vdb> <store-dir> [shots-per-checkpoint]
 //                                            streaming ingest with live
 //                                            checkpoint publishes
@@ -23,10 +26,13 @@
 // trailing argument, default 0.1).
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "cluster/shard_map.h"
+#include "cluster/shard_store.h"
 #include "core/browser.h"
 #include "core/catalog_io.h"
 #include "core/fingerprint.h"
@@ -56,6 +62,7 @@ int Usage() {
       "  vdbtool store-save <store-dir> <clip.vdb>...\n"
       "  vdbtool store-open <store-dir>\n"
       "  vdbtool store-compact <store-dir>\n"
+      "  vdbtool store-shard <store-dir> <out-dir> <shards> [seed]\n"
       "  vdbtool stream-ingest <clip.vdb> <store-dir> "
       "[shots-per-checkpoint]\n"
       "  vdbtool tree <clip.vdb>\n"
@@ -256,6 +263,27 @@ int CmdStoreCompact(const std::string& dir) {
   return 0;
 }
 
+int CmdStoreShard(const std::string& src, const std::string& out, int shards,
+                  uint64_t seed) {
+  if (shards < 1) {
+    return Fail(Status::InvalidArgument("shard count must be >= 1"));
+  }
+  cluster::ShardMap map;
+  map.shard_count = shards;
+  map.seed = seed;
+  Result<cluster::SplitStats> split = cluster::SplitStore(src, out, map);
+  if (!split.ok()) return Fail(split.status());
+  std::cout << "split generation " << split->generation << " of " << src
+            << " into " << shards << " shard store(s) under " << out << ": "
+            << split->segments_linked << " segments linked, "
+            << split->segments_reused << " reused\n";
+  for (size_t i = 0; i < split->videos_per_shard.size(); ++i) {
+    std::cout << "  " << cluster::ShardDirName(static_cast<int>(i)) << ": "
+              << split->videos_per_shard[i] << " video(s)\n";
+  }
+  return 0;
+}
+
 int CmdTree(const std::string& path) {
   Result<Video> video = ReadVideoFile(path);
   if (!video.ok()) return Fail(video.status());
@@ -369,7 +397,7 @@ bool KnownCommand(const std::string& cmd) {
   static const char* const kCommands[] = {
       "presets",    "synth",      "info",          "analyze",
       "catalog",    "store-save", "store-open",    "store-compact",
-      "stream-ingest",             "tree",          "query",
+      "store-shard", "stream-ingest",              "tree",          "query",
       "classify",   "browse",     "export-frame",
   };
   for (const char* known : kCommands) {
@@ -404,6 +432,11 @@ int Run(int argc, char** argv) {
   if (cmd == "store-open" && args.size() == 2) return CmdStoreOpen(args[1]);
   if (cmd == "store-compact" && args.size() == 2) {
     return CmdStoreCompact(args[1]);
+  }
+  if (cmd == "store-shard" && (args.size() == 4 || args.size() == 5)) {
+    uint64_t seed =
+        args.size() == 5 ? std::strtoull(args[4].c_str(), nullptr, 10) : 0;
+    return CmdStoreShard(args[1], args[2], std::atoi(args[3].c_str()), seed);
   }
   if (cmd == "stream-ingest" && (args.size() == 3 || args.size() == 4)) {
     int every = args.size() == 4 ? std::atoi(args[3].c_str()) : 0;
