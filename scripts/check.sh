@@ -8,6 +8,7 @@
 #   scripts/check.sh kernels    # fast kernel-equivalence smoke leg
 #   scripts/check.sh serve      # serve suites under ASan then TSan
 #   scripts/check.sh cluster    # cluster suites under ASan then TSan
+#   scripts/check.sh index      # frame-index suites under ASan then TSan
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/ — reused across
 # runs, so incremental checks are cheap. JOBS overrides the parallelism.
@@ -44,20 +45,20 @@ for stage in "${STAGES[@]}"; do
       # The kernels suite rides along: its gather maps and in-place
       # reductions are exactly the kind of indexed hot-loop code where an
       # off-by-one over-read hides.
-      banner "asan build + serve/cluster/concurrency/store/stream/kernels suites"
+      banner "asan build + serve/cluster/concurrency/store/stream/kernels/index suites"
       configure_and_build build-asan address
       ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-        -L 'serve|cluster|concurrency|store|stream|kernels'
+        -L 'serve|cluster|concurrency|store|stream|kernels|index'
       ;;
     tsan)
       # TSan watches the threaded suites: thread pool, concurrent ingest,
       # the server's snapshot swaps under concurrent clients, and the
       # streaming pipeline's bounded queues and worker fan-out. The kernels
       # suite rides along for its thread-local workspace handoff.
-      banner "tsan build + serve/cluster/concurrency/store/stream/kernels suites"
+      banner "tsan build + serve/cluster/concurrency/store/stream/kernels/index suites"
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'serve|cluster|concurrency|store|stream|kernels'
+        -L 'serve|cluster|concurrency|store|stream|kernels|index'
       ;;
     serve)
       # The serving-layer battery on its own: the event loop, pipelining
@@ -83,6 +84,20 @@ for stage in "${STAGES[@]}"; do
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster
       ;;
+    index)
+      # The query-by-frame index battery on its own: token quantization,
+      # sketch/Bloom tiers, planted-query recall, and the content-addressed
+      # segment persistence under ASan (postings decode, segment checksum
+      # paths chew on bit-flipped files) and TSan (the server's coupled
+      # catalog+index snapshot swap is exercised by the serve leg; here the
+      # suite rides the instrumented build for its allocator-heavy freeze).
+      banner "index leg: asan build + index suites"
+      configure_and_build build-asan address
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L index
+      banner "index leg: tsan build + index suites"
+      configure_and_build build-tsan thread
+      ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L index
+      ;;
     kernels)
       # Fast smoke: just the kernel-equivalence suite on the plain build.
       banner "kernel-equivalence smoke (ctest -L kernels)"
@@ -90,7 +105,7 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
       ;;
     *)
-      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, kernels)" >&2
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, index, kernels)" >&2
       exit 2
       ;;
   esac

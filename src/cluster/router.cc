@@ -288,6 +288,8 @@ Response Router::Dispatch(const Request& request) {
       return HandleTree(request.tree);
     case Verb::kList:
       return HandleList();
+    case Verb::kQueryFrame:
+      return HandleQueryFrame(request.query_frame);
     case Verb::kReload:
       return HandleReload(request.reload_path);
     case Verb::kError:
@@ -409,6 +411,77 @@ Response Router::HandleQuery(const serve::QueryRequest& request) {
     response.query.in_band = in_band;
     response.query.eligible = eligible;
   }
+  response.shards_ok = shards_ok;
+  response.shards_total = static_cast<uint32_t>(shards_.size());
+  return response;
+}
+
+Response Router::HandleQueryFrame(const serve::QueryFrameRequest& request) {
+  Response response;
+  response.verb = Verb::kQueryFrame;
+  if (request.top_k < 1 || request.top_k > kMaxTopK) {
+    response.status = Status::InvalidArgument(
+        StrFormat("top_k %d out of range [1, %d]", request.top_k, kMaxTopK));
+    return response;
+  }
+  if (request.has_signature() == request.has_frame()) {
+    response.status = Status::InvalidArgument(
+        "QUERYFRAME needs exactly one of a signature or a raw frame");
+    return response;
+  }
+  // Frame-index queries need no widening loop: every shard scores its own
+  // shots against the full query token set independently, so one fan-out
+  // round suffices and the union of per-shard top-k contains the global
+  // top-k (a shot's score does not depend on other shards).
+  Request probe;
+  probe.verb = Verb::kQueryFrame;
+  probe.query_frame = request;
+  std::vector<Result<Response>> results = FanOut(probe);
+  std::shared_ptr<const std::vector<ShardSpan>> layout = spans();
+  std::vector<serve::FrameHitWire> merged;
+  uint32_t shards_ok = 0;
+  Status first_failure;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result<Response>& r = results[i];
+    if (!ResponseOk(r)) {
+      if (first_failure.ok()) {
+        first_failure = r.ok() ? r->status : r.status();
+      }
+      continue;
+    }
+    ++shards_ok;
+    // query_tokens is a property of the query, identical on every shard;
+    // candidates/probed sum because the shards partition the posting lists,
+    // reproducing the counts one server with the merged catalog reports.
+    response.query_frame.query_tokens = r->query_frame.query_tokens;
+    response.query_frame.candidates += r->query_frame.candidates;
+    response.query_frame.probed += r->query_frame.probed;
+    for (const serve::FrameHitWire& hit : r->query_frame.hits) {
+      serve::FrameHitWire global = hit;
+      global.video_id += (*layout)[i].base;
+      merged.push_back(std::move(global));
+    }
+  }
+  if (shards_ok == 0) {
+    response.status = Status(first_failure.ok() ? StatusCode::kIoError
+                                                : first_failure.code(),
+                             "no shard answered the frame query: " +
+                                 std::string(first_failure.message()));
+    return response;
+  }
+  // The single-node tie-break on global ids (score desc, video, shot) — a
+  // total order, so the merged answer is byte-identical to one server
+  // holding the merged catalog.
+  std::sort(merged.begin(), merged.end(),
+            [](const serve::FrameHitWire& a, const serve::FrameHitWire& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.video_id != b.video_id) return a.video_id < b.video_id;
+              return a.shot_index < b.shot_index;
+            });
+  if (merged.size() > static_cast<size_t>(request.top_k)) {
+    merged.resize(static_cast<size_t>(request.top_k));
+  }
+  response.query_frame.hits = std::move(merged);
   response.shards_ok = shards_ok;
   response.shards_total = static_cast<uint32_t>(shards_.size());
   return response;

@@ -79,6 +79,11 @@ struct RouterOptions {
 //            global video ids and merged by (distance, video id, shot),
 //            which makes the answer byte-identical to one server holding
 //            the merged catalog.
+//   QUERYFRAME — one-round scatter-gather: every shard answers its own
+//            top-k from its frame index; hits are translated to global
+//            video ids and merged by (score, video id, shot), candidates
+//            and probed counts summed — byte-identical to one server
+//            holding the merged catalog.
 //   LIST   — scatter-gather concatenation in shard order, ids translated.
 //   STATS  — the router's own metrics, plus aggregated catalog counts and
 //            per-shard "shard<K>/<verb>" backend-latency rows.
@@ -180,6 +185,7 @@ class Router {
 
   serve::Response HandlePing(const serve::Request& request) const;
   serve::Response HandleQuery(const serve::QueryRequest& request);
+  serve::Response HandleQueryFrame(const serve::QueryFrameRequest& request);
   serve::Response HandleTree(const serve::TreeRequest& request);
   serve::Response HandleList();
   serve::Response HandleStats();

@@ -11,7 +11,10 @@
 namespace vdb {
 namespace {
 
-constexpr char kMagic[8] = {'V', 'D', 'B', 'C', 'A', 'T', '0', '1'};
+// "02": the full signature_ba line is persisted per frame (the frame-index
+// tokenizer's input), not just the 1-pixel sign summaries. A catalog that
+// survives a round trip can therefore rebuild its frame index.
+constexpr char kMagic[8] = {'V', 'D', 'B', 'C', 'A', 'T', '0', '2'};
 constexpr uint32_t kMaxVideos = 1 << 20;
 constexpr uint32_t kMaxFrames = 1 << 24;
 constexpr uint32_t kMaxShots = 1 << 20;
@@ -48,6 +51,10 @@ void SerializeCatalogEntry(const CatalogEntry& entry, BinaryWriter* w) {
   for (const FrameSignature& fs : entry.signatures.frames) {
     PutPixel(w, fs.sign_ba);
     PutPixel(w, fs.sign_oa);
+    w->PutU32(static_cast<uint32_t>(fs.signature_ba.size()));
+    for (const PixelRGB& pixel : fs.signature_ba) {
+      PutPixel(w, pixel);
+    }
   }
 
   w->PutU32(static_cast<uint32_t>(entry.shots.size()));
@@ -112,6 +119,15 @@ Result<CatalogEntry> DeserializeCatalogEntry(BinaryReader* r) {
   for (FrameSignature& fs : entry.signatures.frames) {
     VDB_ASSIGN_OR_RETURN(fs.sign_ba, GetPixel(r, "sign BA"));
     VDB_ASSIGN_OR_RETURN(fs.sign_oa, GetPixel(r, "sign OA"));
+    VDB_ASSIGN_OR_RETURN(uint32_t line_length, r->GetU32("signature length"));
+    if (line_length > (1u << 12)) {
+      return Status::Corruption(
+          StrFormat("implausible signature length %u", line_length));
+    }
+    fs.signature_ba.resize(line_length);
+    for (PixelRGB& pixel : fs.signature_ba) {
+      VDB_ASSIGN_OR_RETURN(pixel, GetPixel(r, "signature pixel"));
+    }
   }
 
   VDB_ASSIGN_OR_RETURN(uint32_t shot_count, r->GetU32("shot count"));

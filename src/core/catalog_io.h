@@ -14,15 +14,13 @@ namespace vdb {
 // and the scene tree. With a saved catalog, a database restarts without
 // re-decoding or re-analysing any video.
 //
-// The signature *lines* are not persisted (they are two orders of magnitude
-// larger than the signs and are only needed to re-run detection);
-// a restored entry has empty FrameSignature::signature_ba fields. Sign-based
-// operations — RELATIONSHIP, features, representative frames, queries,
-// browsing — work unchanged.
-//
-// Format: magic "VDBCAT01", FNV-1a checksum of the payload, then the
+// Format: magic "VDBCAT02", FNV-1a checksum of the payload, then the
 // payload (little-endian, length-prefixed strings). Any truncation or bit
-// flip surfaces as kCorruption.
+// flip surfaces as kCorruption. Version 01 kept only the per-frame signs;
+// version 02 also persists each frame's full signature_ba line (the
+// frame-index tokenizer's input), so a reloaded catalog can rebuild its
+// frame index without re-decoding video. Restored entries round-trip
+// byte-exactly: signs, signature lines, shots, features, scene tree.
 //
 // SaveCatalog publishes atomically (temp file + fsync + rename), so a crash
 // mid-save leaves either the previous catalog or the complete new one on

@@ -38,16 +38,34 @@ void QuantizedVarianceIndex::AddVideo(
 }
 
 std::vector<QueryMatch> QuantizedVarianceIndex::Query(
-    const VarianceQuery& query) const {
+    const VarianceQuery& query, int* cells_probed) const {
   double q_dv = std::sqrt(query.var_ba) - std::sqrt(query.var_oa);
   double q_ba = std::sqrt(query.var_ba);
   CellKey centre = KeyFor(q_dv, q_ba);
 
+  // Cost-aware probe window: only the cells the +-alpha x +-beta band
+  // actually overlaps. A query at a cell's centre probes just that cell;
+  // one near a border adds the one neighbour the band crosses into, per
+  // dimension — never the full 3x3 block.
+  long dv_lo = centre.dv;
+  long dv_hi = centre.dv;
+  long ba_lo = centre.ba;
+  long ba_hi = centre.ba;
+  if (options_.probe_neighbors) {
+    double alpha = std::max(query.alpha, 0.0);
+    double beta = std::max(query.beta, 0.0);
+    dv_lo = static_cast<long>(std::floor((q_dv - alpha) / options_.dv_cell));
+    dv_hi = static_cast<long>(std::floor((q_dv + alpha) / options_.dv_cell));
+    ba_lo = static_cast<long>(std::floor((q_ba - beta) / options_.ba_cell));
+    ba_hi = static_cast<long>(std::floor((q_ba + beta) / options_.ba_cell));
+  }
+
   std::vector<QueryMatch> matches;
-  int radius = options_.probe_neighbors ? 1 : 0;
-  for (long ddv = -radius; ddv <= radius; ++ddv) {
-    for (long dba = -radius; dba <= radius; ++dba) {
-      auto it = cells_.find(CellKey{centre.dv + ddv, centre.ba + dba});
+  int probed = 0;
+  for (long dv = dv_lo; dv <= dv_hi; ++dv) {
+    for (long ba = ba_lo; ba <= ba_hi; ++ba) {
+      ++probed;
+      auto it = cells_.find(CellKey{dv, ba});
       if (it == cells_.end()) continue;
       for (const IndexEntry& e : it->second) {
         double d_dv = e.Dv() - q_dv;
@@ -56,6 +74,9 @@ std::vector<QueryMatch> QuantizedVarianceIndex::Query(
             QueryMatch{e, std::sqrt(d_dv * d_dv + d_ba * d_ba)});
       }
     }
+  }
+  if (cells_probed != nullptr) {
+    *cells_probed = probed;
   }
   std::sort(matches.begin(), matches.end(),
             [](const QueryMatch& a, const QueryMatch& b) {

@@ -25,7 +25,13 @@ class QuantizedVarianceIndex {
     // (total width 2).
     double dv_cell = 2.0;
     double ba_cell = 2.0;
-    // Probe the 8 neighbouring cells as well (trades lookups for recall).
+    // Cost-aware neighbour probing: probe exactly the cells the query's
+    // +-alpha x +-beta band overlaps — per dimension the cells from
+    // floor((q - tol) / cell) to floor((q + tol) / cell) — instead of a
+    // fixed 3x3 block. With the default band (tolerance 1) and cell side 2
+    // that is at most 2 cells per dimension, 4 total, versus the 9 a
+    // radius-1 probe reads; recall against the banded index is unchanged
+    // because every cell intersecting the band is still visited.
     bool probe_neighbors = false;
   };
 
@@ -38,9 +44,12 @@ class QuantizedVarianceIndex {
   int size() const { return size_; }
   const Options& options() const { return options_; }
 
-  // Shots whose cell matches the query's (plus neighbours when enabled),
-  // ordered by ascending distance in (D^v, sqrt(Var^BA)) space.
-  std::vector<QueryMatch> Query(const VarianceQuery& query) const;
+  // Shots whose cell matches the query's (plus the band-overlapped
+  // neighbours when probe_neighbors is on), ordered by ascending distance
+  // in (D^v, sqrt(Var^BA)) space. `cells_probed` (optional) reports how
+  // many cell lookups the query cost.
+  std::vector<QueryMatch> Query(const VarianceQuery& query,
+                                int* cells_probed = nullptr) const;
 
   // Number of non-empty cells (diagnostics).
   int cell_count() const { return static_cast<int>(cells_.size()); }

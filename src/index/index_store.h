@@ -1,0 +1,64 @@
+#ifndef VDB_INDEX_INDEX_STORE_H_
+#define VDB_INDEX_INDEX_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/frame_index.h"
+#include "util/fs.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace index {
+
+// Frame-index persistence inside a catalog-store directory, generation-
+// coupled with the catalog's MANIFEST so RELOAD swaps catalog + index as
+// one unit:
+//
+//   <dir>/fidx-<fnv64>-<size>.fidx   checksummed, content-addressed index
+//                                    segment (FrameIndex::Serialize bytes)
+//   <dir>/FRAMEINDEX-<generation>    checksummed pointer naming the segment
+//                                    that indexes catalog generation <g>
+//
+// Publish order mirrors the store's own protocol (util/fs WriteFileAtomic:
+// temp + fsync + rename + dir sync): the segment lands first, the pointer
+// is the commit point. A reader that opens catalog generation g either
+// finds FRAMEINDEX-<g> — and then the index provably matches the catalog —
+// or falls back to rebuilding in memory; it can never pair generation g
+// with an index built from some other generation. Content addressing makes
+// republishing an unchanged catalog free: the same serialized index maps
+// to the same segment file.
+
+// "FRAMEINDEX-<generation>", zero-padded like MANIFEST names.
+std::string FrameIndexPointerName(uint64_t generation);
+
+// True (filling *generation) for names of the FrameIndexPointerName shape.
+bool ParseFrameIndexPointerName(const std::string& name, uint64_t* generation);
+
+// True for "fidx-*.fidx" segment names.
+bool IsFrameIndexSegmentName(const std::string& name);
+
+// Publishes `frame_index` (which must be frozen) as the index of catalog
+// generation `generation`. The segment is skipped when its content-
+// addressed file already exists.
+Status SaveFrameIndex(const std::string& dir, uint64_t generation,
+                      const FrameIndex& frame_index,
+                      const FaultHook& hook = nullptr);
+
+// Loads the index published for `generation`. kNotFound when no pointer
+// exists for that generation; kCorruption when the pointer or segment fails
+// its checksum — the caller decides whether to rebuild.
+Result<FrameIndex> OpenFrameIndex(const std::string& dir,
+                                  uint64_t generation);
+
+// The file names generation `generation`'s index holds live (pointer +
+// segment) — what store::CatalogStore::Compact must not delete. Empty when
+// that generation has no loadable index.
+std::vector<std::string> FrameIndexFiles(const std::string& dir,
+                                         uint64_t generation);
+
+}  // namespace index
+}  // namespace vdb
+
+#endif  // VDB_INDEX_INDEX_STORE_H_

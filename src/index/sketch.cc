@@ -1,0 +1,128 @@
+#include "index/sketch.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace index {
+namespace {
+
+// Cap applied before allocating a deserialized bit vector; a frame-index
+// segment holding a bigger filter than this is corrupt, not big.
+constexpr uint64_t kMaxBits = 1ull << 33;  // 1 GiB of filter
+
+// splitmix64 finalizer: spreads a raw token into the two double-hashing
+// streams. Tokens are already FNV hashes, but mixing again keeps the probe
+// sequence independent of FNV's avalanche behaviour.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t expected_keys, double bits_per_key) {
+  VDB_CHECK(bits_per_key > 0) << "bits_per_key must be positive";
+  if (expected_keys == 0) {
+    expected_keys = 1;
+  }
+  uint64_t bits = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(expected_keys) * bits_per_key));
+  if (bits < 64) {
+    bits = 64;
+  }
+  bit_count_ = (bits + 63) / 64 * 64;
+  words_.assign(bit_count_ / 64, 0);
+  int k = static_cast<int>(std::lround(bits_per_key * 0.6931471805599453));
+  hash_count_ = static_cast<uint32_t>(k < 1 ? 1 : (k > 30 ? 30 : k));
+}
+
+void BloomFilter::Add(uint64_t token) {
+  VDB_CHECK(bit_count_ > 0) << "Add on a default-constructed BloomFilter";
+  uint64_t h1 = Mix(token);
+  uint64_t h2 = Mix(token ^ 0xa5a5a5a5a5a5a5a5ull) | 1;  // odd stride
+  for (uint32_t i = 0; i < hash_count_; ++i) {
+    uint64_t bit = (h1 + i * h2) % bit_count_;
+    words_[bit >> 6] |= 1ull << (bit & 63);
+  }
+  ++added_;
+}
+
+bool BloomFilter::MayContain(uint64_t token) const {
+  if (bit_count_ == 0) {
+    return false;  // empty filter holds nothing
+  }
+  uint64_t h1 = Mix(token);
+  uint64_t h2 = Mix(token ^ 0xa5a5a5a5a5a5a5a5ull) | 1;
+  for (uint32_t i = 0; i < hash_count_; ++i) {
+    uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((words_[bit >> 6] & (1ull << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BloomFilter::AnalyticFpRate() const {
+  if (bit_count_ == 0 || added_ == 0) {
+    return 0.0;
+  }
+  double kn_over_m = static_cast<double>(hash_count_) *
+                     static_cast<double>(added_) /
+                     static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-kn_over_m),
+                  static_cast<double>(hash_count_));
+}
+
+double BloomFilter::FillFactor() const {
+  if (bit_count_ == 0) {
+    return 0.0;
+  }
+  uint64_t set = 0;
+  for (uint64_t word : words_) {
+    set += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  return static_cast<double>(set) / static_cast<double>(bit_count_);
+}
+
+void BloomFilter::Serialize(BinaryWriter* writer) const {
+  writer->PutU64(bit_count_);
+  writer->PutU32(hash_count_);
+  writer->PutU64(added_);
+  for (uint64_t word : words_) {
+    writer->PutU64(word);
+  }
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(BinaryReader* reader) {
+  BloomFilter filter;
+  VDB_ASSIGN_OR_RETURN(filter.bit_count_, reader->GetU64("bloom bit count"));
+  VDB_ASSIGN_OR_RETURN(filter.hash_count_, reader->GetU32("bloom hashes"));
+  VDB_ASSIGN_OR_RETURN(filter.added_, reader->GetU64("bloom added"));
+  if (filter.bit_count_ % 64 != 0 || filter.bit_count_ > kMaxBits) {
+    return Status::Corruption(
+        StrFormat("implausible bloom bit count %llu",
+                  static_cast<unsigned long long>(filter.bit_count_)));
+  }
+  if (filter.bit_count_ > 0 && (filter.hash_count_ < 1 ||
+                                filter.hash_count_ > 30)) {
+    return Status::Corruption(
+        StrFormat("implausible bloom hash count %u", filter.hash_count_));
+  }
+  size_t words = static_cast<size_t>(filter.bit_count_ / 64);
+  if (reader->remaining() < words * sizeof(uint64_t)) {
+    return Status::Corruption("truncated bloom bit vector");
+  }
+  filter.words_.resize(words);
+  for (uint64_t& word : filter.words_) {
+    VDB_ASSIGN_OR_RETURN(word, reader->GetU64("bloom word"));
+  }
+  return filter;
+}
+
+}  // namespace index
+}  // namespace vdb

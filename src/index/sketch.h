@@ -1,0 +1,67 @@
+#ifndef VDB_INDEX_SKETCH_H_
+#define VDB_INDEX_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace index {
+
+// One shot's sketch: its sorted, deduplicated token set. This is the unit
+// the inverted list is built from, and what the bench's linear baseline
+// scans.
+struct ShotSketch {
+  int32_t video_id = -1;
+  int32_t shot_index = -1;
+  std::vector<uint64_t> tokens;  // sorted, unique
+};
+
+// A classic Bloom filter over 64-bit tokens (the Bloom tier of the frame
+// index, after Araujo et al.'s query-by-image sketches): k probe positions
+// per key via double hashing, m bits sized from bits_per_key at
+// construction. Deterministic — no seeding, so the same token set always
+// produces the same bit vector.
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  // Sizes the filter for `expected_keys` insertions at `bits_per_key` bits
+  // each (k = round(bits_per_key * ln 2) probes, clamped to >= 1).
+  BloomFilter(uint64_t expected_keys, double bits_per_key);
+
+  void Add(uint64_t token);
+
+  // False on definite absence; true on presence *or* a false positive.
+  bool MayContain(uint64_t token) const;
+
+  uint64_t bit_count() const { return bit_count_; }
+  uint32_t hash_count() const { return hash_count_; }
+  uint64_t added() const { return added_; }
+
+  // The textbook bound (1 - e^(-kn/m))^k for the current fill; the property
+  // test holds the measured rate within 2x of this.
+  double AnalyticFpRate() const;
+
+  // Fraction of bits set (diagnostics).
+  double FillFactor() const;
+
+  // Memory footprint of the bit vector in bytes.
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<BloomFilter> Deserialize(BinaryReader* reader);
+
+ private:
+  uint64_t bit_count_ = 0;
+  uint32_t hash_count_ = 0;
+  uint64_t added_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace index
+}  // namespace vdb
+
+#endif  // VDB_INDEX_SKETCH_H_

@@ -1,0 +1,81 @@
+#include "index/token.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vdb {
+namespace index {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t FnvStep(uint64_t hash, uint8_t byte) {
+  hash ^= byte;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+}  // namespace
+
+void AppendSignatureTokens(const Signature& signature,
+                           const TokenizerOptions& options,
+                           std::vector<uint64_t>* out) {
+  VDB_CHECK(options.gram >= 1 && options.quant_shift >= 0 &&
+            options.quant_shift < 8)
+      << "bad tokenizer options";
+  const int l = static_cast<int>(signature.size());
+  const int gram = options.gram;
+  const int shift = options.quant_shift;
+  if (l < gram) {
+    return;  // too short for a single window
+  }
+  for (int i = 0; i + gram <= l; ++i) {
+    uint64_t hash = kFnvOffset;
+    for (int j = 0; j < gram; ++j) {
+      const PixelRGB& p = signature[static_cast<size_t>(i + j)];
+      hash = FnvStep(hash, static_cast<uint8_t>(p.r >> shift));
+      hash = FnvStep(hash, static_cast<uint8_t>(p.g >> shift));
+      hash = FnvStep(hash, static_cast<uint8_t>(p.b >> shift));
+    }
+    out->push_back(hash);
+  }
+}
+
+std::vector<uint64_t> SignatureTokenSet(const Signature& signature,
+                                        const TokenizerOptions& options) {
+  std::vector<uint64_t> tokens;
+  tokens.reserve(signature.size());
+  AppendSignatureTokens(signature, options, &tokens);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+std::vector<uint64_t> ShotTokenSet(const VideoSignatures& signatures,
+                                   const Shot& shot,
+                                   const TokenizerOptions& options) {
+  std::vector<uint64_t> tokens;
+  const int frame_count = signatures.frame_count();
+  const int first = std::max(0, shot.start_frame);
+  const int last = std::min(frame_count - 1, shot.end_frame);
+  const int stride = std::max(1, options.frame_stride);
+  for (int frame = first; frame <= last; frame += stride) {
+    AppendSignatureTokens(signatures.frames[static_cast<size_t>(frame)]
+                              .signature_ba,
+                          options, &tokens);
+  }
+  // The last frame anchors the sketch even when the stride skips it.
+  if (last >= first && (last - first) % stride != 0) {
+    AppendSignatureTokens(signatures.frames[static_cast<size_t>(last)]
+                              .signature_ba,
+                          options, &tokens);
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace index
+}  // namespace vdb

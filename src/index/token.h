@@ -1,0 +1,62 @@
+#ifndef VDB_INDEX_TOKEN_H_
+#define VDB_INDEX_TOKEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/pyramid.h"
+#include "core/shot.h"
+
+namespace vdb {
+namespace index {
+
+// Quantized k-gram tokens over frame signatures (the Figure-3 TBA line the
+// fixed-point kernels in core/kernels.h emit). A signature of L pixels is
+// quantized channel-wise — each byte drops its low `quant_shift` bits, so a
+// 256-level channel falls into 2^(8-quant_shift) buckets — and every run of
+// `gram` consecutive quantized pixels is hashed (FNV-1a64) into one token.
+// The scheme is deterministic byte-for-byte: identical kernel outputs give
+// identical tokens on every platform (token_test pins the values), and
+// tokenizing allocates nothing beyond the caller's output vector.
+struct TokenizerOptions {
+  // k-gram window length in signature pixels. A window covers 3*gram
+  // quantized channel bytes.
+  int gram = 4;
+  // Per-channel quantization: channel >> quant_shift. 5 leaves 8 buckets of
+  // width 32 — wide enough that sensor-grade noise rarely crosses an edge.
+  int quant_shift = 5;
+  // When sketching a shot, every frame_stride-th frame is tokenized (the
+  // first and last frames always are), so a sketch survives drift within
+  // the shot without tokenizing every frame.
+  int frame_stride = 4;
+
+  friend bool operator==(const TokenizerOptions& a, const TokenizerOptions& b) {
+    return a.gram == b.gram && a.quant_shift == b.quant_shift &&
+           a.frame_stride == b.frame_stride;
+  }
+};
+
+// Tokens of one frame signature, appended to `out` in window order (one per
+// window, (L - gram + 1) of them; none when the signature is shorter than a
+// window). Duplicates are kept — callers dedup where set semantics matter.
+void AppendSignatureTokens(const Signature& signature,
+                           const TokenizerOptions& options,
+                           std::vector<uint64_t>* out);
+
+// Convenience wrapper returning the sorted, deduplicated token set of one
+// signature — the form queries use.
+std::vector<uint64_t> SignatureTokenSet(const Signature& signature,
+                                        const TokenizerOptions& options);
+
+// The sorted, deduplicated token set of one shot: the union of the token
+// sets of its sampled frames (first, last, and every frame_stride-th frame
+// in between).
+std::vector<uint64_t> ShotTokenSet(const VideoSignatures& signatures,
+                                   const Shot& shot,
+                                   const TokenizerOptions& options);
+
+}  // namespace index
+}  // namespace vdb
+
+#endif  // VDB_INDEX_TOKEN_H_

@@ -201,5 +201,27 @@ Result<ReloadResponse> Client::Reload(const std::string& path) {
   return std::move(response.reload);
 }
 
+Result<QueryFrameResponse> Client::QueryFrame(
+    const QueryFrameRequest& query_frame) {
+  Request request;
+  request.verb = Verb::kQueryFrame;
+  request.query_frame = query_frame;
+  VDB_ASSIGN_OR_RETURN(Response response, Call(request));
+  // Downgrade detection: a v2-era server cannot parse the v3 frame. Its
+  // parser reports kInvalidArgument "unsupported wire version 3 ..." on a
+  // kError response before dropping the connection; map that to a typed
+  // kUnimplemented so callers can tell "server too old" from a bad request.
+  if (response.verb == Verb::kError &&
+      response.status.code() == StatusCode::kInvalidArgument &&
+      response.status.message().find("unsupported wire version") !=
+          std::string::npos) {
+    return Status::Unimplemented(
+        "server does not speak wire version 3 (QUERYFRAME): " +
+        response.status.message());
+  }
+  VDB_RETURN_IF_ERROR(response.status);
+  return std::move(response.query_frame);
+}
+
 }  // namespace serve
 }  // namespace vdb

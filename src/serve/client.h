@@ -84,6 +84,11 @@ class Client {
   Result<ListResponse> List();
   // path empty = reload the server's current catalog set from disk.
   Result<ReloadResponse> Reload(const std::string& path = "");
+  // Query-by-frame (wire v3). Version-negotiation guard: an old (v2-only)
+  // server rejects the v3 frame at the parser with kInvalidArgument
+  // "unsupported wire version ..." and hangs up; this helper surfaces that
+  // as a typed kUnimplemented ("server too old"), never kCorruption.
+  Result<QueryFrameResponse> QueryFrame(const QueryFrameRequest& request);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "core/catalog_io.h"
+#include "core/extractor.h"
+#include "core/geometry.h"
+#include "index/index_store.h"
 #include "store/catalog_store.h"
 #include "util/fs.h"
 #include "util/string_util.h"
@@ -13,6 +16,27 @@ namespace {
 
 // QUERY result sizes beyond this are a client bug, not a workload.
 constexpr int kMaxTopK = 1 << 16;
+
+// The frame index paired with a freshly loaded snapshot: the persisted,
+// generation-matched FRAMEINDEX when the store has one, else a rebuild
+// from the in-memory catalog (monolithic .vdbcat paths, multi-path
+// merges, and stores published before the index layer existed all land
+// here). Either way the snapshot ships with a non-null frozen index.
+std::shared_ptr<const index::FrameIndex> IndexForSnapshot(
+    const std::string& store_dir, uint64_t generation,
+    const VideoDatabase& db, bool* from_store) {
+  *from_store = false;
+  if (!store_dir.empty()) {
+    Result<index::FrameIndex> opened =
+        index::OpenFrameIndex(store_dir, generation);
+    if (opened.ok()) {
+      *from_store = true;
+      return std::make_shared<const index::FrameIndex>(std::move(*opened));
+    }
+  }
+  return std::make_shared<const index::FrameIndex>(
+      index::FrameIndex::Build(db));
+}
 
 }  // namespace
 
@@ -39,12 +63,17 @@ Result<Server::LoadedSnapshot> Server::LoadCatalogs(
     snapshot.db = std::shared_ptr<const VideoDatabase>(std::move(opened));
     snapshot.store_generation = open_stats.generation;
     snapshot.generations_skipped = open_stats.generations_skipped;
+    snapshot.frame_index =
+        IndexForSnapshot(paths[0], open_stats.generation, *snapshot.db,
+                         &snapshot.index_from_store);
     return snapshot;
   }
   auto db = std::make_shared<VideoDatabase>();
   if (paths.size() == 1) {
     VDB_RETURN_IF_ERROR(LoadCatalog(paths[0], db.get()));
     snapshot.db = std::move(db);
+    snapshot.frame_index = IndexForSnapshot(
+        "", 0, *snapshot.db, &snapshot.index_from_store);
     return snapshot;
   }
   // Several catalogs merge into one database: each loads into a scratch
@@ -70,6 +99,10 @@ Result<Server::LoadedSnapshot> Server::LoadCatalogs(
     }
   }
   snapshot.db = std::move(db);
+  // A merged multi-path database never matches any single store's
+  // persisted index (video ids are re-assigned), so always rebuild.
+  snapshot.frame_index = IndexForSnapshot(
+      "", 0, *snapshot.db, &snapshot.index_from_store);
   return snapshot;
 }
 
@@ -78,6 +111,7 @@ Status Server::Start(std::vector<std::string> catalog_paths) {
   {
     std::lock_guard<std::mutex> lock(db_mu_);
     db_ = std::move(loaded.db);
+    frame_index_ = std::move(loaded.frame_index);
     catalog_paths_ = std::move(catalog_paths);
   }
   frontend_.metrics().SetStoreGeneration(loaded.store_generation);
@@ -90,6 +124,11 @@ void Server::Stop() { frontend_.Stop(); }
 std::shared_ptr<const VideoDatabase> Server::snapshot() const {
   std::lock_guard<std::mutex> lock(db_mu_);
   return db_;
+}
+
+std::shared_ptr<const index::FrameIndex> Server::frame_index() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return frame_index_;
 }
 
 Response Server::Dispatch(const Request& request) {
@@ -108,6 +147,8 @@ Response Server::Dispatch(const Request& request) {
       return HandleTree(request.tree);
     case Verb::kList:
       return HandleList();
+    case Verb::kQueryFrame:
+      return HandleQueryFrame(request.query_frame);
     case Verb::kReload: {
       Response response;
       response.verb = Verb::kReload;
@@ -271,6 +312,80 @@ Response Server::HandleStats() const {
   return response;
 }
 
+Response Server::HandleQueryFrame(const QueryFrameRequest& request) const {
+  Response response;
+  response.verb = Verb::kQueryFrame;
+  if (request.top_k < 1 || request.top_k > kMaxTopK) {
+    response.status = Status::InvalidArgument(
+        StrFormat("top_k %d out of range [1, %d]", request.top_k, kMaxTopK));
+    return response;
+  }
+  if (request.has_signature() == request.has_frame()) {
+    response.status = Status::InvalidArgument(
+        "QUERYFRAME needs exactly one of a signature or a raw frame");
+    return response;
+  }
+  // One consistent pair: both pointers come from the same locked read, so
+  // a concurrent RELOAD can never pair an old catalog with a new index.
+  std::shared_ptr<const VideoDatabase> db;
+  std::shared_ptr<const index::FrameIndex> frame_index;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    db = db_;
+    frame_index = frame_index_;
+  }
+  Signature signature;
+  if (request.has_signature()) {
+    size_t pixels = request.signature_rgb.size() / 3;
+    signature.resize(pixels);
+    for (size_t i = 0; i < pixels; ++i) {
+      signature[i].r = static_cast<uint8_t>(request.signature_rgb[3 * i]);
+      signature[i].g = static_cast<uint8_t>(request.signature_rgb[3 * i + 1]);
+      signature[i].b = static_cast<uint8_t>(request.signature_rgb[3 * i + 2]);
+    }
+  } else {
+    // ::vdb::Frame — serve::Frame is the wire frame, an unrelated type.
+    ::vdb::Frame frame(request.width, request.height);
+    const char* src = request.frame_rgb.data();
+    for (size_t i = 0; i < frame.pixel_count(); ++i) {
+      frame.pixels()[i].r = static_cast<uint8_t>(src[3 * i]);
+      frame.pixels()[i].g = static_cast<uint8_t>(src[3 * i + 1]);
+      frame.pixels()[i].b = static_cast<uint8_t>(src[3 * i + 2]);
+    }
+    Result<AreaGeometry> geometry =
+        ComputeAreaGeometry(request.width, request.height);
+    if (!geometry.ok()) {
+      response.status = geometry.status();
+      return response;
+    }
+    Result<FrameSignature> computed = ComputeFrameSignature(frame, *geometry);
+    if (!computed.ok()) {
+      response.status = computed.status();
+      return response;
+    }
+    signature = std::move(computed->signature_ba);
+  }
+  index::FrameQueryStats stats;
+  std::vector<index::FrameHit> hits =
+      frame_index->QuerySignature(signature, request.top_k, &stats);
+  response.query_frame.query_tokens = stats.query_tokens;
+  response.query_frame.candidates = stats.candidates;
+  response.query_frame.probed = stats.probed;
+  response.query_frame.hits.reserve(hits.size());
+  for (const index::FrameHit& hit : hits) {
+    FrameHitWire wire;
+    wire.video_id = hit.video_id;
+    wire.shot_index = hit.shot_index;
+    wire.score = hit.score;
+    Result<const CatalogEntry*> entry = db->GetEntry(hit.video_id);
+    if (entry.ok()) {
+      wire.video_name = (*entry)->name;
+    }
+    response.query_frame.hits.push_back(std::move(wire));
+  }
+  return response;
+}
+
 Status Server::Reload(const std::string& path, ReloadResponse* out) {
   // One reload at a time; queries are never blocked — they keep hitting
   // whatever db_ points at until the single pointer swap below.
@@ -296,6 +411,7 @@ Status Server::Reload(const std::string& path, ReloadResponse* out) {
   {
     std::lock_guard<std::mutex> lock(db_mu_);
     db_ = std::move(fresh->db);
+    frame_index_ = std::move(fresh->frame_index);
     catalog_paths_ = std::move(paths);
   }
   return Status::Ok();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/video_database.h"
+#include "index/frame_index.h"
 #include "serve/frontend.h"
 #include "serve/metrics.h"
 #include "serve/wire.h"
@@ -70,6 +71,10 @@ class Server {
   // The catalog snapshot requests are currently served from.
   std::shared_ptr<const VideoDatabase> snapshot() const;
 
+  // The frame-index snapshot QUERYFRAME is currently served from; swapped
+  // atomically together with the catalog snapshot on RELOAD.
+  std::shared_ptr<const index::FrameIndex> frame_index() const;
+
   const ServerMetrics& metrics() const { return frontend_.metrics(); }
 
   // Request dispatch against the current snapshot, exposed for tests: this
@@ -83,6 +88,13 @@ class Server {
   // the cluster property tests compare a sharded router against.
   struct LoadedSnapshot {
     std::shared_ptr<const VideoDatabase> db;
+    // The frame index paired with db: the persisted FRAMEINDEX-<generation>
+    // of the store when one exists (generation coupling — it provably
+    // matches the opened catalog generation), else rebuilt in memory from
+    // the loaded catalog. Never null on success.
+    std::shared_ptr<const index::FrameIndex> frame_index;
+    // True when frame_index came from the store rather than a rebuild.
+    bool index_from_store = false;
     // Of the newest store directory among the paths; 0 when every path is
     // a monolithic catalog file.
     uint64_t store_generation = 0;
@@ -101,9 +113,11 @@ class Server {
   Response HandleTree(const TreeRequest& request) const;
   Response HandleList() const;
   Response HandleStats() const;
+  Response HandleQueryFrame(const QueryFrameRequest& request) const;
 
-  mutable std::mutex db_mu_;  // guards db_ and catalog_paths_
+  mutable std::mutex db_mu_;  // guards db_, frame_index_, catalog_paths_
   std::shared_ptr<const VideoDatabase> db_;
+  std::shared_ptr<const index::FrameIndex> frame_index_;
   std::vector<std::string> catalog_paths_;
   std::mutex reload_mu_;  // serialises RELOADs (not held during the swap)
 

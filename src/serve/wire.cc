@@ -20,10 +20,15 @@ constexpr uint32_t kMaxVideos = 1u << 20;
 constexpr uint32_t kMaxGenres = 1024;
 constexpr uint32_t kMaxVerbRows = 1024;  // router adds per-shard rows
 constexpr size_t kMaxNameLen = 1u << 16;
+// QUERYFRAME caps: a signature is one TBA line (3 bytes per pixel), a raw
+// frame is bounded by its dimensions.
+constexpr size_t kMaxSignatureBytes = 3u << 16;
+constexpr int kMaxFrameDim = 1 << 14;
+constexpr uint32_t kMaxFrameHits = 1u << 16;
 
 bool ValidVerb(uint8_t v) {
   return v >= static_cast<uint8_t>(Verb::kPing) &&
-         v <= static_cast<uint8_t>(Verb::kError);
+         v <= static_cast<uint8_t>(Verb::kQueryFrame);
 }
 
 Result<int> GetCount(BinaryReader* r, const char* what, uint32_t max) {
@@ -160,6 +165,13 @@ std::string EncodeRequestPayload(const Request& request) {
     case Verb::kReload:
       w.PutString(request.reload_path);
       break;
+    case Verb::kQueryFrame:
+      w.PutI32(request.query_frame.top_k);
+      w.PutString(request.query_frame.signature_rgb);
+      w.PutI32(request.query_frame.width);
+      w.PutI32(request.query_frame.height);
+      w.PutString(request.query_frame.frame_rgb);
+      break;
     case Verb::kError:
       break;  // never sent; encodes as an empty payload
   }
@@ -230,6 +242,20 @@ std::string EncodeResponsePayload(const Response& response) {
       w.PutI32(response.reload.videos);
       w.PutI32(response.reload.indexed_shots);
       break;
+    case Verb::kQueryFrame: {
+      const QueryFrameResponse& qf = response.query_frame;
+      w.PutU64(qf.query_tokens);
+      w.PutU64(qf.candidates);
+      w.PutU64(qf.probed);
+      w.PutU32(static_cast<uint32_t>(qf.hits.size()));
+      for (const FrameHitWire& hit : qf.hits) {
+        w.PutI32(hit.video_id);
+        w.PutI32(hit.shot_index);
+        w.PutDouble(hit.score);
+        w.PutString(hit.video_name);
+      }
+      break;
+    }
     case Verb::kError:
       break;  // status only
   }
@@ -254,8 +280,16 @@ std::string_view VerbName(Verb verb) {
       return "reload";
     case Verb::kError:
       return "error";
+    case Verb::kQueryFrame:
+      return "queryframe";
   }
   return "unknown";
+}
+
+uint8_t VerbWireVersion(Verb verb) {
+  // Every pre-existing verb stays at v2 so old peers interop unchanged;
+  // only QUERYFRAME frames (requests and responses) are v3.
+  return verb == Verb::kQueryFrame ? 3 : 2;
 }
 
 std::string EncodeFrame(Verb verb, bool is_response,
@@ -263,7 +297,7 @@ std::string EncodeFrame(Verb verb, bool is_response,
   BinaryWriter w;
   std::string out;
   out.append(kMagic, sizeof(kMagic));
-  w.PutU8(kWireVersion);
+  w.PutU8(VerbWireVersion(verb));
   w.PutU8(static_cast<uint8_t>(verb) | (is_response ? kResponseBit : 0));
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU32(Fnv1a32(reinterpret_cast<const uint8_t*>(payload.data()),
@@ -284,13 +318,14 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view header_bytes) {
   }
   BinaryReader r(header_bytes.substr(sizeof(kMagic), kFrameHeaderSize - 4));
   VDB_ASSIGN_OR_RETURN(uint8_t version, r.GetU8("wire version"));
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported wire version %u (expected %u)", version,
                   kWireVersion));
   }
   VDB_ASSIGN_OR_RETURN(uint8_t type, r.GetU8("frame type"));
   FrameHeader header;
+  header.version = version;
   header.is_response = (type & kResponseBit) != 0;
   uint8_t verb = type & ~kResponseBit;
   if (!ValidVerb(verb)) {
@@ -298,6 +333,12 @@ Result<FrameHeader> DecodeFrameHeader(std::string_view header_bytes) {
         StrFormat("unknown verb %u in frame type", verb));
   }
   header.verb = static_cast<Verb>(verb);
+  if (version < VerbWireVersion(header.verb)) {
+    return Status::InvalidArgument(
+        StrFormat("verb %s requires wire version %u, frame is version %u",
+                  std::string(VerbName(header.verb)).c_str(),
+                  VerbWireVersion(header.verb), version));
+  }
   VDB_ASSIGN_OR_RETURN(header.payload_size, r.GetU32("payload length"));
   if (header.payload_size > kMaxPayloadSize) {
     return Status::Corruption(
@@ -433,6 +474,35 @@ Result<Request> DecodeRequest(const FrameHeader& header,
                            r.GetString("reload path", kMaxNameLen));
       break;
     }
+    case Verb::kQueryFrame: {
+      QueryFrameRequest& q = request.query_frame;
+      VDB_ASSIGN_OR_RETURN(q.top_k, r.GetI32("queryframe top k"));
+      VDB_ASSIGN_OR_RETURN(
+          q.signature_rgb,
+          r.GetString("queryframe signature", kMaxSignatureBytes));
+      if (q.signature_rgb.size() % 3 != 0) {
+        return Status::Corruption(
+            "queryframe signature is not 3 bytes per pixel");
+      }
+      VDB_ASSIGN_OR_RETURN(q.width, r.GetI32("queryframe width"));
+      VDB_ASSIGN_OR_RETURN(q.height, r.GetI32("queryframe height"));
+      if (q.width < 0 || q.height < 0 || q.width > kMaxFrameDim ||
+          q.height > kMaxFrameDim) {
+        return Status::Corruption(
+            StrFormat("implausible queryframe dimensions %dx%d", q.width,
+                      q.height));
+      }
+      VDB_ASSIGN_OR_RETURN(q.frame_rgb,
+                           r.GetString("queryframe frame", kMaxPayloadSize));
+      size_t expected = static_cast<size_t>(q.width) *
+                        static_cast<size_t>(q.height) * 3;
+      if (q.frame_rgb.size() != expected) {
+        return Status::Corruption(
+            StrFormat("queryframe frame bytes %zu do not match %dx%d",
+                      q.frame_rgb.size(), q.width, q.height));
+      }
+      break;
+    }
     case Verb::kError:
       break;  // unreachable; rejected above
   }
@@ -537,6 +607,24 @@ Result<Response> DecodeResponse(const FrameHeader& header,
       VDB_ASSIGN_OR_RETURN(response.reload.videos, r.GetI32("reload videos"));
       VDB_ASSIGN_OR_RETURN(response.reload.indexed_shots,
                            r.GetI32("reload shots"));
+      break;
+    }
+    case Verb::kQueryFrame: {
+      QueryFrameResponse& qf = response.query_frame;
+      VDB_ASSIGN_OR_RETURN(qf.query_tokens,
+                           r.GetU64("queryframe query tokens"));
+      VDB_ASSIGN_OR_RETURN(qf.candidates, r.GetU64("queryframe candidates"));
+      VDB_ASSIGN_OR_RETURN(qf.probed, r.GetU64("queryframe probed"));
+      VDB_ASSIGN_OR_RETURN(int count,
+                           GetCount(&r, "frame hit count", kMaxFrameHits));
+      qf.hits.resize(static_cast<size_t>(count));
+      for (FrameHitWire& hit : qf.hits) {
+        VDB_ASSIGN_OR_RETURN(hit.video_id, r.GetI32("frame hit video id"));
+        VDB_ASSIGN_OR_RETURN(hit.shot_index, r.GetI32("frame hit shot"));
+        VDB_ASSIGN_OR_RETURN(hit.score, r.GetDouble("frame hit score"));
+        VDB_ASSIGN_OR_RETURN(hit.video_name,
+                             r.GetString("frame hit video name", kMaxNameLen));
+      }
       break;
     }
     case Verb::kError:

@@ -42,25 +42,42 @@ enum class Verb : uint8_t {
   kList = 5,
   kReload = 6,
   kError = 7,
+  kQueryFrame = 8,  // v3: query-by-frame against the sketch index
 };
-inline constexpr int kNumVerbs = 8;  // dense: index stats arrays by verb
+inline constexpr int kNumVerbs = 9;  // dense: index stats arrays by verb
 
 // Stable lower-case name ("ping", "query", ...) for logs and STATS.
 std::string_view VerbName(Verb verb);
 
 // Version history: v1 = PR-2 single-node protocol; v2 adds the cluster
 // fields (exact-band queries, in-band/eligible counts, shard identity in
-// STATS, shards_ok/shards_total health on every OK response).
-inline constexpr uint8_t kWireVersion = 2;
+// STATS, shards_ok/shards_total health on every OK response); v3 adds the
+// QUERYFRAME verb (query-by-frame against the signature sketch index).
+//
+// Negotiation is per-frame: every verb encodes at the lowest version that
+// carries it (VerbWireVersion), and decoding accepts the whole
+// [kMinWireVersion, kWireVersion] range. A v2-era peer therefore interops
+// on every old verb unchanged, and rejects a v3 QUERYFRAME frame with
+// kInvalidArgument "unsupported wire version ..." — which the new client's
+// typed QueryFrame helper surfaces as kUnimplemented (client.h).
+inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kMinWireVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 14;
 inline constexpr uint8_t kResponseBit = 0x80;
 // Upper bound on a frame payload; a length prefix beyond this is treated as
 // corruption before any allocation happens.
 inline constexpr uint32_t kMaxPayloadSize = 32u << 20;
 
+// The lowest wire version that carries `verb` — the version its frames are
+// encoded at.
+uint8_t VerbWireVersion(Verb verb);
+
 struct FrameHeader {
   Verb verb = Verb::kError;
   bool is_response = false;
+  // The version byte the frame arrived with (in [kMinWireVersion,
+  // kWireVersion]).
+  uint8_t version = kWireVersion;
   uint32_t payload_size = 0;
   uint32_t checksum = 0;
 };
@@ -152,12 +169,29 @@ struct TreeRequest {
   int max_depth = -1;
 };
 
+// Query-by-frame (v3): either a precomputed frame signature (the TBA line,
+// 3 bytes per pixel, so signature_rgb.size() = 3 * L) or a raw RGB frame
+// (width * height * 3 bytes, row-major) the server reduces itself. Exactly
+// one of the two must be present; the wire codec checks structure (lengths,
+// caps), the server checks the either-or.
+struct QueryFrameRequest {
+  int top_k = 5;
+  std::string signature_rgb;  // empty when querying by raw frame
+  int width = 0;              // raw-frame form; 0 when absent
+  int height = 0;
+  std::string frame_rgb;
+
+  bool has_signature() const { return !signature_rgb.empty(); }
+  bool has_frame() const { return width > 0 && height > 0; }
+};
+
 struct Request {
   Verb verb = Verb::kPing;
   std::string ping_token;   // kPing: echoed back verbatim
   QueryRequest query;       // kQuery
   TreeRequest tree;         // kTree
   std::string reload_path;  // kReload: empty = re-read the startup paths
+  QueryFrameRequest query_frame;  // kQueryFrame
 };
 
 // Encodes a full request frame (header + payload).
@@ -264,6 +298,26 @@ struct ReloadResponse {
   int indexed_shots = 0;
 };
 
+// One ranked query-by-frame answer (mirrors index::FrameHit plus the video
+// name, keeping core headers out of the wire layer).
+struct FrameHitWire {
+  int video_id = -1;
+  int shot_index = -1;
+  double score = 0.0;
+  std::string video_name;
+};
+
+struct QueryFrameResponse {
+  std::vector<FrameHitWire> hits;
+  // Probe accounting (index::FrameQueryStats): distinct query tokens,
+  // postings scanned, distinct shots touched. The router sums candidates
+  // and probed across shards, which reproduces the merged single-node
+  // counts exactly (shards partition the posting lists).
+  uint64_t query_tokens = 0;
+  uint64_t candidates = 0;
+  uint64_t probed = 0;
+};
+
 // A response always carries a Status; the verb-specific body is only
 // present (and only encoded) when the status is OK.
 struct Response {
@@ -282,6 +336,7 @@ struct Response {
   ListResponse list;       // kList
   StatsResponse stats;     // kStats
   ReloadResponse reload;   // kReload
+  QueryFrameResponse query_frame;  // kQueryFrame
 };
 
 // Encodes a full response frame (header + payload).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/catalog_io.h"
+#include "index/index_store.h"
 #include "util/binary_io.h"
 #include "util/string_util.h"
 #include "video/video_io.h"  // Fnv1a32
@@ -329,6 +330,13 @@ Result<CompactStats> CatalogStore::Compact() {
   for (const SegmentRef& ref : kept.segments) {
     keep.insert(ref.file);
   }
+  // The kept generation's frame index (index/index_store.h) lives in the
+  // same directory, generation-coupled with the manifest; keep its pointer
+  // and segment, collect every other generation's alongside the manifests.
+  for (const std::string& name :
+       index::FrameIndexFiles(dir_, kept.generation)) {
+    keep.insert(name);
+  }
 
   VDB_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
   CompactStats stats;
@@ -337,6 +345,8 @@ Result<CompactStats> CatalogStore::Compact() {
     uint64_t generation = 0;
     // Only touch files the store itself lays out.
     bool managed = ParseManifestName(name, &generation) ||
+                   index::ParseFrameIndexPointerName(name, &generation) ||
+                   index::IsFrameIndexSegmentName(name) ||
                    EndsWith(name, ".seg") || EndsWith(name, ".tmp");
     if (!managed || keep.count(name) != 0) {
       continue;

@@ -10,6 +10,8 @@
 #include "core/geometry.h"
 #include "core/scene_tree.h"
 #include "core/shot_detector.h"
+#include "index/frame_index.h"
+#include "index/index_store.h"
 #include "serve/client.h"
 #include "store/catalog_store.h"
 #include "util/bounded_queue.h"
@@ -36,16 +38,16 @@ struct SigItem {
 };
 
 // What the SBD stage tells the finalize stage. Per in-order frame it emits
-// one kFrameSigns (the signs the finalize stage keeps — signature lines are
-// not needed downstream and are dropped here, exactly as the catalog codec
-// drops them), then zero or more kShotClosed, and a single kFinish carrying
-// the final cumulative statistics at end of stream.
+// one kFrameSigns carrying the whole frame signature — including the
+// signature line, which the VDBCAT02 catalog codec persists and the frame
+// index tokenizes, so the streamed entry stays byte-identical to batch —
+// then zero or more kShotClosed, and a single kFinish carrying the final
+// cumulative statistics at end of stream.
 struct SbdEvent {
   enum class Kind { kFrameSigns, kShotClosed, kFinish };
   Kind kind = Kind::kFrameSigns;
   int frame = 0;
-  PixelRGB sign_ba;
-  PixelRGB sign_oa;
+  FrameSignature sig;
   Shot shot;
   SbdStageStats stats;
 };
@@ -328,8 +330,8 @@ Status Pipeline::Runner::SbdStage(int start_frame) {
       SbdEvent signs;
       signs.kind = SbdEvent::Kind::kFrameSigns;
       signs.frame = next;
-      signs.sign_ba = it->second.sign_ba;
-      signs.sign_oa = it->second.sign_oa;
+      // The detector copied what it keeps; hand the full signature on.
+      signs.sig = std::move(it->second);
       pending.erase(it);
       ++next;
       open = event_q_.Push(std::move(signs));
@@ -385,10 +387,7 @@ Status Pipeline::Runner::FinalizeStage() {
 Status Pipeline::Runner::HandleEvent(const SbdEvent& event) {
   switch (event.kind) {
     case SbdEvent::Kind::kFrameSigns: {
-      FrameSignature signs;
-      signs.sign_ba = event.sign_ba;
-      signs.sign_oa = event.sign_oa;
-      signs_.frames.push_back(std::move(signs));
+      signs_.frames.push_back(event.sig);
       ++report_.frames;
       return Status::Ok();
     }
@@ -459,6 +458,18 @@ Status Pipeline::Runner::Publish(const CatalogEntry& entry) {
       store::StoreOptions{options_.database, options_.fault_hook});
   Result<store::SaveStats> saved = store.Save(db);
   if (!saved.ok()) return saved.status();
+
+  // Publish the frame index of the generation just saved, so a server that
+  // reloads this generation finds a matching FRAMEINDEX and skips the
+  // rebuild. Best-effort: a failed or interrupted index publish never
+  // fails the checkpoint — readers fall back to rebuilding in memory —
+  // so the fault hook (which simulates kills to prove checkpoint
+  // durability) deliberately does not extend into it.
+  index::FrameIndex frame_index = index::FrameIndex::Build(db);
+  Status index_saved = index::SaveFrameIndex(
+      options_.publish_dir, saved->generation, frame_index,
+      /*fault_hook=*/nullptr);
+  (void)index_saved;
 
   ++report_.checkpoints;
   report_.store_generation = saved->generation;

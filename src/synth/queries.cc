@@ -1,0 +1,77 @@
+#include "synth/queries.h"
+
+#include "util/random.h"
+
+namespace vdb {
+namespace synth {
+namespace {
+
+// The frames ShotTokenSet tokenizes: first, every stride-th, and the last.
+std::vector<int> SketchSampledFrames(const Shot& shot, int stride) {
+  std::vector<int> frames;
+  if (stride < 1) stride = 1;
+  for (int f = shot.start_frame; f <= shot.end_frame; f += stride) {
+    frames.push_back(f);
+  }
+  if (frames.empty() || frames.back() != shot.end_frame) {
+    frames.push_back(shot.end_frame);
+  }
+  return frames;
+}
+
+}  // namespace
+
+std::vector<PlantedQuery> PlantQueries(
+    const VideoDatabase& db, int count, uint64_t seed,
+    const index::TokenizerOptions& tokenizer, bool sampled_only) {
+  std::vector<PlantedQuery> queries;
+  if (count <= 0) return queries;
+
+  // Videos that can answer a query at all.
+  std::vector<int> eligible;
+  for (int id = 0; id < db.video_count(); ++id) {
+    Result<const CatalogEntry*> entry = db.GetEntry(id);
+    if (entry.ok() && !(*entry)->shots.empty() &&
+        (*entry)->signatures.frame_count() > 0) {
+      eligible.push_back(id);
+    }
+  }
+  if (eligible.empty()) return queries;
+
+  Pcg32 rng(seed, /*stream=*/0x706c616e746564ULL);  // "planted"
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int video_id = eligible[rng.NextBounded(
+        static_cast<uint32_t>(eligible.size()))];
+    const CatalogEntry& entry = *db.GetEntry(video_id).value();
+    int shot_index = static_cast<int>(
+        rng.NextBounded(static_cast<uint32_t>(entry.shots.size())));
+    const Shot& shot = entry.shots[static_cast<size_t>(shot_index)];
+    int frame_index;
+    if (sampled_only) {
+      std::vector<int> sampled =
+          SketchSampledFrames(shot, tokenizer.frame_stride);
+      frame_index = sampled[rng.NextBounded(
+          static_cast<uint32_t>(sampled.size()))];
+    } else {
+      frame_index = rng.NextInt(shot.start_frame, shot.end_frame);
+    }
+    // Shots cover [0, frame_count), but clamp defensively against a
+    // truncated signature vector (e.g. a mid-shot checkpoint).
+    int max_frame = entry.signatures.frame_count() - 1;
+    if (frame_index > max_frame) frame_index = max_frame;
+
+    PlantedQuery query;
+    query.video_id = video_id;
+    query.shot_index = shot_index;
+    query.frame_index = frame_index;
+    query.signature =
+        entry.signatures.frames[static_cast<size_t>(frame_index)]
+            .signature_ba;
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace synth
+}  // namespace vdb

@@ -1,0 +1,48 @@
+#ifndef VDB_SYNTH_QUERIES_H_
+#define VDB_SYNTH_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/video_database.h"
+#include "index/token.h"
+
+namespace vdb {
+namespace synth {
+
+// Query frames planted into a synthetic catalog with their ground truth —
+// the measurement side of the frame-index experiments: emit a catalog, lift
+// query frames back out of it, and score what QUERYFRAME returns against
+// the (video, shot) each frame provably came from.
+struct PlantedQuery {
+  int video_id = -1;
+  int shot_index = -1;
+  // Absolute frame index within the video the signature was lifted from.
+  int frame_index = -1;
+  // That frame's TBA signature — what a client sends as QUERYFRAME's
+  // signature form.
+  Signature signature;
+};
+
+// Samples `count` planted queries from an ingested catalog, deterministic
+// in `seed`. Each query picks a uniform (video, shot), then one frame of
+// that shot:
+//  * sampled_only = true (the recall experiments): a frame the shot sketch
+//    actually tokenized — first, last, or a stride-th frame per
+//    `tokenizer.frame_stride` — so every query token is in the index by
+//    construction and measured recall isolates index defects from sketch
+//    sampling loss.
+//  * sampled_only = false (the honest end-to-end curve): any frame of the
+//    shot, including ones the sketch skipped; recall then also prices the
+//    stride approximation.
+// Videos with no shots are skipped; returns fewer than `count` only when
+// the whole catalog has no shots.
+std::vector<PlantedQuery> PlantQueries(
+    const VideoDatabase& db, int count, uint64_t seed,
+    const index::TokenizerOptions& tokenizer = index::TokenizerOptions(),
+    bool sampled_only = true);
+
+}  // namespace synth
+}  // namespace vdb
+
+#endif  // VDB_SYNTH_QUERIES_H_

@@ -20,9 +20,11 @@
 #include "cluster/shard_map.h"
 #include "cluster/shard_store.h"
 #include "core/video_database.h"
+#include "index/frame_index.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "store/catalog_store.h"
+#include "synth/queries.h"
 #include "synth/workload.h"
 #include "tests/support/render_cache.h"
 #include "util/fs.h"
@@ -638,6 +640,142 @@ TEST_F(RouterClusterTest, ClientWithRetriesSurvivesServerRestart) {
 
   third->Stop();
   WipeDir(out);
+}
+
+// ---------------------------------------------------------------------------
+// QUERYFRAME scatter-gather.
+
+// The wire form of a signature: 3 bytes per TBA pixel.
+std::string SignatureBytes(const Signature& signature) {
+  std::string bytes;
+  bytes.reserve(signature.size() * 3);
+  for (const PixelRGB& pixel : signature) {
+    bytes.push_back(static_cast<char>(pixel.r));
+    bytes.push_back(static_cast<char>(pixel.g));
+    bytes.push_back(static_cast<char>(pixel.b));
+  }
+  return bytes;
+}
+
+// The acceptance-criterion merge property for the frame index: a router
+// over N shards answers QUERYFRAME byte-identically to one server holding
+// the merged catalog, including the probe accounting (shards partition the
+// posting lists, so candidates/probed sum to the merged counts exactly).
+TEST_F(RouterClusterTest, QueryFrameMatchesSingleNodeAcrossShardCounts) {
+  std::vector<synth::PlantedQuery> planted =
+      synth::PlantQueries(*direct_, 30, /*seed=*/4242,
+                          index::FrameIndexOptions().tokenizer);
+  ASSERT_FALSE(planted.empty());
+
+  for (int n : {1, 2, 4}) {
+    std::unique_ptr<Cluster> cluster = StartCluster(n, FastOptions());
+    ASSERT_NE(cluster, nullptr);
+    std::unique_ptr<serve::Server> merged = StartMerged(cluster->shard_dirs);
+    serve::Client via_router = Connect(cluster->router->port());
+    serve::Client via_single = Connect(merged->port());
+
+    auto expect_same = [&](const serve::QueryFrameRequest& q,
+                           const std::string& context) {
+      serve::Request request;
+      request.verb = serve::Verb::kQueryFrame;
+      request.query_frame = q;
+      Result<serve::Response> got = via_router.Call(request);
+      Result<serve::Response> want = via_single.Call(request);
+      ASSERT_TRUE(got.ok()) << got.status();
+      ASSERT_TRUE(want.ok()) << want.status();
+      EXPECT_EQ(got->shards_ok, static_cast<uint32_t>(n)) << context;
+      EXPECT_EQ(got->shards_total, static_cast<uint32_t>(n)) << context;
+      ExpectSameBytes(*got, *want, context + " at " + std::to_string(n) +
+                                       " shards");
+    };
+
+    for (size_t i = 0; i < planted.size(); ++i) {
+      serve::QueryFrameRequest q;
+      q.top_k = (i % 2 == 0) ? 5 : 50;
+      q.signature_rgb = SignatureBytes(planted[i].signature);
+      expect_same(q, "planted query " + std::to_string(i));
+    }
+
+    // A miss (a signature matching nothing) and a degenerate top_k = 1.
+    serve::QueryFrameRequest miss;
+    miss.top_k = 5;
+    miss.signature_rgb = std::string(3 * 16, '\x7f');
+    expect_same(miss, "miss query");
+    serve::QueryFrameRequest one;
+    one.top_k = 1;
+    one.signature_rgb = SignatureBytes(planted[0].signature);
+    expect_same(one, "top-1 query");
+
+    // Validation errors carry the same code through the router.
+    serve::QueryFrameRequest neither;
+    Result<serve::QueryFrameResponse> router_err =
+        via_router.QueryFrame(neither);
+    Result<serve::QueryFrameResponse> single_err =
+        via_single.QueryFrame(neither);
+    EXPECT_EQ(router_err.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(single_err.status().code(), StatusCode::kInvalidArgument);
+
+    merged->Stop();
+  }
+}
+
+TEST_F(RouterClusterTest, QueryFrameDegradedModeServesSurvivors) {
+  std::unique_ptr<Cluster> cluster = StartCluster(4, FastOptions());
+  ASSERT_NE(cluster, nullptr);
+  serve::Client client = Connect(cluster->router->port());
+
+  std::vector<synth::PlantedQuery> planted =
+      synth::PlantQueries(*direct_, 40, /*seed=*/888,
+                          index::FrameIndexOptions().tokenizer);
+  ShardMap map;
+  map.shard_count = 4;
+  map.seed = kMapSeed;
+
+  const int dead = 1;
+  cluster->backends[dead]->Stop();
+
+  bool saw_surviving_hit = false;
+  for (const synth::PlantedQuery& query : planted) {
+    const CatalogEntry* entry = direct_->GetEntry(query.video_id).value();
+    serve::QueryFrameRequest request;
+    request.top_k = 5;
+    request.signature_rgb = SignatureBytes(query.signature);
+    Result<serve::QueryFrameResponse> answer = client.QueryFrame(request);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    if (map.ShardOf(entry->name) != dead) {
+      // The true shot lives on a survivor: still retrieved at score 1.0.
+      ASSERT_FALSE(answer->hits.empty()) << entry->name;
+      EXPECT_EQ(answer->hits[0].video_name, entry->name);
+      EXPECT_EQ(answer->hits[0].shot_index, query.shot_index);
+      EXPECT_DOUBLE_EQ(answer->hits[0].score, 1.0);
+      saw_surviving_hit = true;
+    } else {
+      // The true shot died with its shard; whatever comes back must not
+      // claim to be from it.
+      for (const serve::FrameHitWire& hit : answer->hits) {
+        EXPECT_NE(hit.video_name, entry->name);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_surviving_hit);
+
+  // The degraded health fields mark the outage.
+  serve::Request request;
+  request.verb = serve::Verb::kQueryFrame;
+  request.query_frame.top_k = 3;
+  request.query_frame.signature_rgb =
+      SignatureBytes(planted[0].signature);
+  Result<serve::Response> degraded = client.Call(request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  ASSERT_TRUE(degraded->status.ok()) << degraded->status;
+  EXPECT_EQ(degraded->shards_ok, 3u);
+  EXPECT_EQ(degraded->shards_total, 4u);
+
+  // All shards down: a typed error, not a crash, and the connection
+  // survives it.
+  for (auto& backend : cluster->backends) backend->Stop();
+  EXPECT_FALSE(client.QueryFrame(request.query_frame).ok());
+  EXPECT_TRUE(client.Ping("still-here").ok());
 }
 
 }  // namespace

@@ -104,10 +104,16 @@ TEST_P(QuantizedVsBandedTest, NeighborProbingCoversTheBand) {
     q.alpha = 1.0;
     q.beta = 1.0;
     std::set<int> quantized_ids;
-    for (const QueryMatch& m : quantized.Query(q)) {
+    int cells_probed = 0;
+    for (const QueryMatch& m : quantized.Query(q, &cells_probed)) {
       quantized_ids.insert(m.entry.shot_index);
     }
-    // Band half-width 1 <= cell side 2: the 3x3 probe must cover it.
+    // Cost-aware probing: the +-1 band against side-2 cells overlaps at
+    // most 2 cells per dimension — 4 lookups, never the radius-1 probe's 9.
+    EXPECT_GE(cells_probed, 1);
+    EXPECT_LE(cells_probed, 4);
+    // Recall parity: every banded match is in a probed cell (the band is a
+    // subset of the union of overlapped cells), so none may be missed.
     for (const QueryMatch& m : banded.Query(q)) {
       EXPECT_TRUE(quantized_ids.count(m.entry.shot_index))
           << "banded match missed by quantized+neighbors";
@@ -117,6 +123,59 @@ TEST_P(QuantizedVsBandedTest, NeighborProbingCoversTheBand) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantizedVsBandedTest,
                          testing::Range(0, 6));
+
+TEST(QuantizedIndexTest, CostAwareProbeSkipsUncoveredNeighbors) {
+  QuantizedVarianceIndex::Options opts;
+  opts.probe_neighbors = true;
+  QuantizedVarianceIndex index(opts);
+  index.Add(Entry(0, 25.0, 16.0));
+  // Query dead-centre of its cell with a band narrower than the distance
+  // to any border: exactly one cell may be probed. sqrtBA 5 and Dv 1 sit
+  // at the centres of cells [4,6) and [0,2).
+  VarianceQuery q;
+  q.var_ba = 25.0;
+  q.var_oa = 16.0;
+  q.alpha = 0.5;
+  q.beta = 0.5;
+  int cells_probed = 0;
+  std::vector<QueryMatch> matches = index.Query(q, &cells_probed);
+  EXPECT_EQ(matches.size(), 1u);
+  EXPECT_EQ(cells_probed, 1);
+
+  // A band reaching across one border in one dimension probes exactly 2:
+  // Dv 1.5 with alpha 0.8 spans [0.7, 2.3] — cells 0 and 1 only.
+  q.var_oa = 12.25;  // sqrtOA 3.5 -> Dv 1.5
+  q.alpha = 0.8;
+  q.beta = 0.5;
+  index.Query(q, &cells_probed);
+  EXPECT_EQ(cells_probed, 2);
+}
+
+TEST(QuantizedIndexTest, WideBandStillCoversEveryOverlappedCell) {
+  // A band wider than one cell must widen the probe window accordingly —
+  // cost awareness may never trade recall.
+  QuantizedVarianceIndex::Options opts;
+  opts.probe_neighbors = true;
+  QuantizedVarianceIndex quantized(opts);
+  VarianceIndex banded;
+  for (int i = 0; i < 50; ++i) {
+    IndexEntry e = Entry(i, std::pow(1.0 + 0.5 * i, 2), 0.25 * i);
+    quantized.Add(e);
+    banded.Add(e);
+  }
+  VarianceQuery q;
+  q.var_ba = 100.0;
+  q.var_oa = 25.0;
+  q.alpha = 5.0;  // band spans several side-2 cells
+  q.beta = 5.0;
+  std::set<int> quantized_ids;
+  for (const QueryMatch& m : quantized.Query(q)) {
+    quantized_ids.insert(m.entry.shot_index);
+  }
+  for (const QueryMatch& m : banded.Query(q)) {
+    EXPECT_TRUE(quantized_ids.count(m.entry.shot_index));
+  }
+}
 
 }  // namespace
 }  // namespace vdb

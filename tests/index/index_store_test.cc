@@ -1,0 +1,203 @@
+// Frame-index persistence: the generation-coupled FRAMEINDEX pointer +
+// content-addressed segment protocol inside a catalog-store directory.
+// Covers the round trip, the kNotFound/kCorruption contract OpenFrameIndex
+// promises its callers, idempotent republish, and CatalogStore::Compact's
+// obligation to keep the kept generation's index while sweeping stale ones.
+
+#include "index/index_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/video_database.h"
+#include "store/catalog_store.h"
+#include "synth/presets.h"
+#include "tests/support/render_cache.h"
+#include "util/fs.h"
+
+namespace vdb {
+namespace index {
+namespace {
+
+void FlipByte(const std::string& path, size_t offset) {
+  Result<std::string> contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  ASSERT_LT(offset, contents->size());
+  std::string mutated = *contents;
+  mutated[offset] = static_cast<char>(mutated[offset] ^ 0x40);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(mutated.data(), static_cast<std::streamoff>(mutated.size()));
+}
+
+class IndexStoreTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new VideoDatabase();
+    const SyntheticVideo& ten =
+        testsupport::CachedRender(TenShotStoryboard());
+    ASSERT_TRUE(db_->Ingest(ten.video).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  std::string StoreDir() const {
+    return testing::TempDir() + "/fidx_" + std::to_string(getpid()) + "_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+
+  void TearDown() override {
+    const std::string dir = StoreDir();
+    Result<std::vector<std::string>> names = ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& name : *names) {
+        std::remove((dir + "/" + name).c_str());
+      }
+      ::rmdir(dir.c_str());
+    }
+  }
+
+  // Publishes the catalog and its frame index; returns the generation.
+  uint64_t PublishBoth() {
+    store::CatalogStore store(StoreDir());
+    Result<store::SaveStats> saved = store.Save(*db_);
+    EXPECT_TRUE(saved.ok()) << saved.status();
+    FrameIndex index = FrameIndex::Build(*db_);
+    Status published = SaveFrameIndex(StoreDir(), saved->generation, index);
+    EXPECT_TRUE(published.ok()) << published;
+    return saved->generation;
+  }
+
+  static VideoDatabase* db_;
+};
+
+VideoDatabase* IndexStoreTest::db_ = nullptr;
+
+TEST_F(IndexStoreTest, PointerNameRoundTrip) {
+  std::string name = FrameIndexPointerName(42);
+  uint64_t generation = 0;
+  EXPECT_TRUE(ParseFrameIndexPointerName(name, &generation));
+  EXPECT_EQ(generation, 42u);
+  EXPECT_FALSE(ParseFrameIndexPointerName("MANIFEST-000042", &generation));
+  EXPECT_FALSE(ParseFrameIndexPointerName("FRAMEINDEX-", &generation));
+  EXPECT_FALSE(ParseFrameIndexPointerName("FRAMEINDEX-12ab34", &generation));
+}
+
+TEST_F(IndexStoreTest, SaveOpenRoundTrip) {
+  uint64_t generation = PublishBoth();
+  Result<FrameIndex> opened = OpenFrameIndex(StoreDir(), generation);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  FrameIndex rebuilt = FrameIndex::Build(*db_);
+  EXPECT_EQ(opened->Serialize(), rebuilt.Serialize());
+}
+
+TEST_F(IndexStoreTest, OpenOfUnpublishedGenerationIsNotFound) {
+  uint64_t generation = PublishBoth();
+  Result<FrameIndex> missing = OpenFrameIndex(StoreDir(), generation + 1);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IndexStoreTest, RepublishIsIdempotentAndContentAddressed) {
+  uint64_t generation = PublishBoth();
+  std::vector<std::string> before = FrameIndexFiles(StoreDir(), generation);
+  ASSERT_EQ(before.size(), 2u);  // pointer + segment
+  // Publishing the same index for the same generation reuses the segment.
+  FrameIndex index = FrameIndex::Build(*db_);
+  ASSERT_TRUE(SaveFrameIndex(StoreDir(), generation, index).ok());
+  std::vector<std::string> after = FrameIndexFiles(StoreDir(), generation);
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(IndexStoreTest, CorruptSegmentIsReportedAsCorruption) {
+  uint64_t generation = PublishBoth();
+  // The segment is the larger of the two index files; flip a byte in its
+  // middle — past the magic so the checksum (not the magic) catches it.
+  std::vector<std::string> files = FrameIndexFiles(StoreDir(), generation);
+  ASSERT_EQ(files.size(), 2u);
+  for (const std::string& name : files) {
+    if (!IsFrameIndexSegmentName(name)) continue;
+    Result<std::string> bytes = ReadFileToString(StoreDir() + "/" + name);
+    ASSERT_TRUE(bytes.ok());
+    FlipByte(StoreDir() + "/" + name, bytes->size() / 2);
+  }
+  Result<FrameIndex> opened = OpenFrameIndex(StoreDir(), generation);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IndexStoreTest, CorruptPointerIsReportedAsCorruption) {
+  uint64_t generation = PublishBoth();
+  FlipByte(StoreDir() + "/" + FrameIndexPointerName(generation), 10);
+  Result<FrameIndex> opened = OpenFrameIndex(StoreDir(), generation);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IndexStoreTest, CompactKeepsTheKeptGenerationsIndex) {
+  // Publish twice (two generations, two index pointers), then compact:
+  // the kept generation's pointer + segment must survive, the stale
+  // pointer must be swept.
+  store::CatalogStore store(StoreDir());
+  Result<store::SaveStats> first = store.Save(*db_);
+  ASSERT_TRUE(first.ok());
+  FrameIndex index = FrameIndex::Build(*db_);
+  ASSERT_TRUE(SaveFrameIndex(StoreDir(), first->generation, index).ok());
+
+  // Second generation with different content (a classification tag).
+  VideoDatabase tagged;
+  CatalogEntry copy = *db_->GetEntry(0).value();
+  ASSERT_TRUE(tagged.Restore(std::move(copy)).ok());
+  VideoClassification tag;
+  tag.genre_ids = {1};
+  tag.form_id = 0;
+  ASSERT_TRUE(tagged.SetClassification(0, tag).ok());
+  Result<store::SaveStats> second = store.Save(tagged);
+  ASSERT_TRUE(second.ok());
+  FrameIndex second_index = FrameIndex::Build(tagged);
+  ASSERT_TRUE(
+      SaveFrameIndex(StoreDir(), second->generation, second_index).ok());
+
+  Result<store::CompactStats> compacted = store.Compact();
+  ASSERT_TRUE(compacted.ok()) << compacted.status();
+  EXPECT_EQ(compacted->kept_generation, second->generation);
+
+  // The kept generation's index still opens; the stale pointer is gone.
+  Result<FrameIndex> kept = OpenFrameIndex(StoreDir(), second->generation);
+  EXPECT_TRUE(kept.ok()) << kept.status();
+  Result<std::vector<std::string>> names = ListDir(StoreDir());
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    uint64_t generation = 0;
+    if (ParseFrameIndexPointerName(name, &generation)) {
+      EXPECT_EQ(generation, second->generation)
+          << "stale index pointer survived compaction: " << name;
+    }
+  }
+}
+
+TEST_F(IndexStoreTest, ServerOpensPersistedIndexForItsGeneration) {
+  // The generation-coupling contract end to end at the store layer: the
+  // persisted index matches a rebuild from the opened catalog exactly.
+  uint64_t generation = PublishBoth();
+  store::CatalogStore store(StoreDir());
+  store::OpenStats stats;
+  Result<std::unique_ptr<VideoDatabase>> opened = store.Open(&stats);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(stats.generation, generation);
+  Result<FrameIndex> persisted = OpenFrameIndex(StoreDir(), stats.generation);
+  ASSERT_TRUE(persisted.ok()) << persisted.status();
+  EXPECT_EQ(persisted->Serialize(), FrameIndex::Build(**opened).Serialize());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vdb

@@ -1,0 +1,129 @@
+// The token scheme is the frame index's on-disk and over-the-wire
+// contract: the same signature must tokenize to the same 64-bit values on
+// every platform and in every release, or persisted indexes silently stop
+// matching live queries. The first test pins values byte-exact.
+
+#include "index/token.h"
+
+#include <algorithm>
+#include <initializer_list>
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace index {
+namespace {
+
+Signature GraySignature(std::initializer_list<uint8_t> levels) {
+  Signature signature;
+  for (uint8_t level : levels) {
+    signature.push_back(PixelRGB(level, level, level));
+  }
+  return signature;
+}
+
+TEST(TokenTest, PinnedTokenValues) {
+  // Gray levels 0,32,64,96,128 quantize (>>5) to bytes 0..4; with gram=4
+  // there are exactly two windows. The values are FNV-1a64 over the 12
+  // quantized channel bytes of each window — recomputed independently and
+  // pinned here. If this test breaks, the token format changed and every
+  // persisted frame index is invalidated: bump the index segment magic.
+  Signature signature = GraySignature({0, 32, 64, 96, 128});
+  std::vector<uint64_t> tokens;
+  AppendSignatureTokens(signature, TokenizerOptions(), &tokens);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], 0xf1b6571cca507389ull);
+  EXPECT_EQ(tokens[1], 0x28c4162bada0c35dull);
+}
+
+TEST(TokenTest, WindowCountIsLMinusGramPlusOne) {
+  TokenizerOptions options;
+  Signature signature = GraySignature({0, 32, 64, 96, 128, 160, 192});
+  std::vector<uint64_t> tokens;
+  AppendSignatureTokens(signature, options, &tokens);
+  EXPECT_EQ(tokens.size(), signature.size() - options.gram + 1);
+}
+
+TEST(TokenTest, ShortSignatureHasNoTokens) {
+  std::vector<uint64_t> tokens;
+  AppendSignatureTokens(GraySignature({0, 32, 64}), TokenizerOptions(),
+                        &tokens);
+  EXPECT_TRUE(tokens.empty());
+}
+
+TEST(TokenTest, QuantizationAbsorbsSubBucketNoise) {
+  // Perturbations that stay inside a 32-wide bucket change nothing.
+  Signature a = GraySignature({0, 32, 64, 96});
+  Signature b = GraySignature({7, 50, 64, 127});
+  EXPECT_EQ(SignatureTokenSet(a, TokenizerOptions()),
+            SignatureTokenSet(b, TokenizerOptions()));
+  // Crossing a bucket edge changes the token.
+  Signature c = GraySignature({0, 32, 64, 128});
+  EXPECT_NE(SignatureTokenSet(a, TokenizerOptions()),
+            SignatureTokenSet(c, TokenizerOptions()));
+}
+
+TEST(TokenTest, SignatureTokenSetIsSortedUnique) {
+  // A periodic signature repeats windows; the set form must dedup.
+  Signature signature = GraySignature(
+      {0, 32, 0, 32, 0, 32, 0, 32, 0, 32});
+  std::vector<uint64_t> raw;
+  AppendSignatureTokens(signature, TokenizerOptions(), &raw);
+  std::vector<uint64_t> set = SignatureTokenSet(signature,
+                                                TokenizerOptions());
+  EXPECT_GT(raw.size(), set.size());
+  for (size_t i = 1; i < set.size(); ++i) {
+    EXPECT_LT(set[i - 1], set[i]);
+  }
+}
+
+TEST(TokenTest, ShotTokenSetSamplesFirstStrideAndLast) {
+  // Three distinct frames; stride 2 over a 4-frame shot samples frames
+  // 0 and 2, and frame 3 is anchored as the last. Frame 1 is skipped, so
+  // its tokens must be absent.
+  VideoSignatures signatures;
+  auto frame = [](std::initializer_list<uint8_t> levels) {
+    FrameSignature f;
+    for (uint8_t level : levels) {
+      f.signature_ba.push_back(PixelRGB(level, level, level));
+    }
+    return f;
+  };
+  signatures.frames.push_back(frame({0, 32, 64, 96}));       // frame 0
+  signatures.frames.push_back(frame({128, 160, 192, 224}));  // frame 1
+  signatures.frames.push_back(frame({0, 64, 128, 192}));     // frame 2
+  signatures.frames.push_back(frame({32, 96, 160, 224}));    // frame 3
+
+  TokenizerOptions options;
+  options.frame_stride = 2;
+  Shot shot{0, 3};
+  std::vector<uint64_t> sketch = ShotTokenSet(signatures, shot, options);
+
+  auto contains = [&](const FrameSignature& f) {
+    std::vector<uint64_t> tokens =
+        SignatureTokenSet(f.signature_ba, options);
+    for (uint64_t token : tokens) {
+      if (!std::binary_search(sketch.begin(), sketch.end(), token)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(contains(signatures.frames[0]));
+  EXPECT_TRUE(contains(signatures.frames[2]));
+  EXPECT_TRUE(contains(signatures.frames[3]));  // last-frame anchor
+  EXPECT_FALSE(contains(signatures.frames[1]));
+}
+
+TEST(TokenTest, DeterministicAcrossCalls) {
+  Signature signature = GraySignature({3, 45, 99, 130, 201, 250, 17, 88});
+  std::vector<uint64_t> first =
+      SignatureTokenSet(signature, TokenizerOptions());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SignatureTokenSet(signature, TokenizerOptions()), first);
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vdb

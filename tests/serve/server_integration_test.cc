@@ -18,11 +18,14 @@
 
 #include "core/catalog_io.h"
 #include "core/video_database.h"
+#include "index/frame_index.h"
+#include "index/index_store.h"
 #include "serve/client.h"
 #include "serve/net.h"
 #include "serve/server.h"
 #include "store/catalog_store.h"
 #include "synth/presets.h"
+#include "synth/queries.h"
 #include "tests/support/render_cache.h"
 #include "util/fs.h"
 
@@ -689,6 +692,243 @@ TEST_F(ServerIntegrationTest, StartFailsCleanlyOnBadCatalog) {
   options.port = 70000;
   Server bad_port(options);
   EXPECT_FALSE(bad_port.Start({BothPath()}).ok());
+}
+
+// ---- QUERYFRAME: the v3 verb end to end ----
+
+// The wire form of a signature: 3 bytes per TBA pixel.
+std::string SignatureBytes(const Signature& signature) {
+  std::string bytes;
+  bytes.reserve(signature.size() * 3);
+  for (const PixelRGB& pixel : signature) {
+    bytes.push_back(static_cast<char>(pixel.r));
+    bytes.push_back(static_cast<char>(pixel.g));
+    bytes.push_back(static_cast<char>(pixel.b));
+  }
+  return bytes;
+}
+
+TEST_F(ServerIntegrationTest, QueryFrameBySignatureMatchesDirectIndex) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+
+  index::FrameIndex direct_index = index::FrameIndex::Build(*direct_);
+  std::vector<synth::PlantedQuery> planted = synth::PlantQueries(
+      *direct_, 20, /*seed=*/271, direct_index.options().tokenizer);
+  ASSERT_FALSE(planted.empty());
+  for (const synth::PlantedQuery& query : planted) {
+    QueryFrameRequest request;
+    request.top_k = 5;
+    request.signature_rgb = SignatureBytes(query.signature);
+    Result<QueryFrameResponse> served = client.QueryFrame(request);
+    ASSERT_TRUE(served.ok()) << served.status();
+
+    index::FrameQueryStats stats;
+    std::vector<index::FrameHit> expected =
+        direct_index.QuerySignature(query.signature, 5, &stats);
+    EXPECT_EQ(served->query_tokens, stats.query_tokens);
+    EXPECT_EQ(served->candidates, stats.candidates);
+    EXPECT_EQ(served->probed, stats.probed);
+    ASSERT_EQ(served->hits.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(served->hits[i].video_id, expected[i].video_id);
+      EXPECT_EQ(served->hits[i].shot_index, expected[i].shot_index);
+      EXPECT_DOUBLE_EQ(served->hits[i].score, expected[i].score);
+      EXPECT_EQ(served->hits[i].video_name,
+                direct_->GetEntry(expected[i].video_id).value()->name);
+    }
+    // The planted shot itself is in the answer, at score 1.0.
+    ASSERT_FALSE(served->hits.empty());
+    EXPECT_EQ(served->hits[0].video_id, query.video_id);
+    EXPECT_EQ(served->hits[0].shot_index, query.shot_index);
+    EXPECT_DOUBLE_EQ(served->hits[0].score, 1.0);
+  }
+}
+
+TEST_F(ServerIntegrationTest, QueryFrameByRawFrameFindsItsShot) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+
+  // Ship an actual rendered frame; the server reduces it with the same
+  // deterministic kernels ingest used, so the sketch-sampled first frame of
+  // any shot comes back as a score-1.0 hit on that shot.
+  const SyntheticVideo& ten = testsupport::CachedRender(TenShotStoryboard());
+  const CatalogEntry* entry = direct_->GetEntry(0).value();
+  ASSERT_GE(entry->shots.size(), 3u);
+  const Shot& shot = entry->shots[2];
+  const ::vdb::Frame& frame = ten.video.frame(shot.start_frame);
+
+  QueryFrameRequest request;
+  request.top_k = 3;
+  request.width = frame.width();
+  request.height = frame.height();
+  request.frame_rgb.reserve(frame.pixel_count() * 3);
+  for (const PixelRGB& pixel : frame.pixels()) {
+    request.frame_rgb.push_back(static_cast<char>(pixel.r));
+    request.frame_rgb.push_back(static_cast<char>(pixel.g));
+    request.frame_rgb.push_back(static_cast<char>(pixel.b));
+  }
+  Result<QueryFrameResponse> served = client.QueryFrame(request);
+  ASSERT_TRUE(served.ok()) << served.status();
+  ASSERT_FALSE(served->hits.empty());
+  EXPECT_EQ(served->hits[0].video_id, 0);
+  EXPECT_EQ(served->hits[0].shot_index, 2);
+  EXPECT_DOUBLE_EQ(served->hits[0].score, 1.0);
+  EXPECT_EQ(served->hits[0].video_name, entry->name);
+}
+
+TEST_F(ServerIntegrationTest, QueryFrameValidationKeepsConnectionUsable) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client = Connect(*server);
+
+  QueryFrameRequest neither;  // no signature, no frame
+  EXPECT_EQ(client.QueryFrame(neither).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryFrameRequest both;
+  both.signature_rgb = std::string(39, '\x11');
+  both.width = 4;
+  both.height = 4;
+  both.frame_rgb = std::string(4 * 4 * 3, '\x22');
+  EXPECT_EQ(client.QueryFrame(both).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryFrameRequest bad_k;
+  bad_k.signature_rgb = std::string(39, '\x11');
+  bad_k.top_k = 0;
+  EXPECT_EQ(client.QueryFrame(bad_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Application errors never poison the connection.
+  Result<std::string> pong = client.Ping("still-here");
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(*pong, "still-here");
+}
+
+TEST_F(ServerIntegrationTest, ReloadSwapsTheFrameIndex) {
+  WipeStore();
+  store::CatalogStore catalog_store(StorePath());
+  std::unique_ptr<VideoDatabase> solo = SoloDatabase();
+  Result<store::SaveStats> first = catalog_store.Save(*solo);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(index::SaveFrameIndex(StorePath(), first->generation,
+                                    index::FrameIndex::Build(*solo))
+                  .ok());
+
+  Server server;
+  ASSERT_TRUE(server.Start({StorePath()}).ok());
+  Client client = Connect(server);
+
+  // A signature planted in video 1 (absent from the solo generation) finds
+  // nothing at score 1.0 before the reload...
+  index::FrameIndex both_index = index::FrameIndex::Build(*direct_);
+  std::vector<synth::PlantedQuery> planted = synth::PlantQueries(
+      *direct_, 50, /*seed=*/77, both_index.options().tokenizer);
+  const synth::PlantedQuery* in_friends = nullptr;
+  for (const synth::PlantedQuery& query : planted) {
+    if (query.video_id == 1) {
+      in_friends = &query;
+      break;
+    }
+  }
+  ASSERT_NE(in_friends, nullptr) << "no planted query landed in video 1";
+
+  QueryFrameRequest request;
+  request.top_k = 1;
+  request.signature_rgb = SignatureBytes(in_friends->signature);
+  Result<QueryFrameResponse> before = client.QueryFrame(request);
+  ASSERT_TRUE(before.ok()) << before.status();
+  for (const FrameHitWire& hit : before->hits) {
+    EXPECT_NE(hit.video_id, 1) << "video 1 is not in generation 1";
+  }
+
+  // ...publish both videos plus their index, RELOAD, and the same bytes on
+  // the same connection now retrieve the friends shot: catalog and frame
+  // index swapped as one unit.
+  Result<store::SaveStats> second = catalog_store.Save(*direct_);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(index::SaveFrameIndex(StorePath(), second->generation,
+                                    index::FrameIndex::Build(*direct_))
+                  .ok());
+  ASSERT_TRUE(client.Reload().ok());
+
+  Result<QueryFrameResponse> after = client.QueryFrame(request);
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_FALSE(after->hits.empty());
+  EXPECT_EQ(after->hits[0].video_id, in_friends->video_id);
+  EXPECT_EQ(after->hits[0].shot_index, in_friends->shot_index);
+  EXPECT_DOUBLE_EQ(after->hits[0].score, 1.0);
+  WipeStore();
+}
+
+TEST_F(ServerIntegrationTest, StoreServingPrefersThePersistedIndex) {
+  WipeStore();
+  store::CatalogStore catalog_store(StorePath());
+  Result<store::SaveStats> saved = catalog_store.Save(*direct_);
+  ASSERT_TRUE(saved.ok());
+  // Publish an index built without the Bloom tier: bloom_bytes() == 0 is
+  // then observable proof the server opened the persisted index instead of
+  // rebuilding (a rebuild uses the default options, whose tier is on).
+  index::FrameIndexOptions no_bloom;
+  no_bloom.build_bloom = false;
+  ASSERT_TRUE(index::SaveFrameIndex(
+                  StorePath(), saved->generation,
+                  index::FrameIndex::Build(*direct_, no_bloom))
+                  .ok());
+
+  Server server;
+  ASSERT_TRUE(server.Start({StorePath()}).ok());
+  std::shared_ptr<const index::FrameIndex> live = server.frame_index();
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->bloom_bytes(), 0u);
+  EXPECT_EQ(live->shot_count(), index::FrameIndex::Build(*direct_).shot_count());
+  WipeStore();
+}
+
+// The downgrade guard, against a faithful imitation of a v2-era server: it
+// rejects the v3 frame at the parser with kInvalidArgument "unsupported
+// wire version ..." on a kError response, and the client surfaces that as
+// a typed kUnimplemented — never kCorruption, never a raw parse error.
+TEST(QueryFrameDowngradeTest, OldServerSurfacesUnimplemented) {
+  Result<int> listen_fd = ListenTcp("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status();
+  Result<int> port = LocalPort(*listen_fd);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  std::thread old_server([fd = *listen_fd] {
+    Result<int> conn = AcceptConnection(fd);
+    if (!conn.ok()) return;
+    // Read the client's frame header to find the payload, drain it, then
+    // answer exactly as the v2 parser did: error out on the version byte.
+    std::string header(kFrameHeaderSize, '\0');
+    if (ReadExact(*conn, header.data(), header.size()).ok()) {
+      Result<FrameHeader> decoded = DecodeFrameHeader(header);
+      if (decoded.ok() && decoded->payload_size > 0) {
+        std::string payload(decoded->payload_size, '\0');
+        (void)ReadExact(*conn, payload.data(), payload.size());
+      }
+    }
+    Response error;
+    error.verb = Verb::kError;
+    error.status =
+        Status::InvalidArgument("unsupported wire version 3 (expected 2)");
+    (void)WriteAll(*conn, EncodeResponse(error));
+    ShutdownFd(*conn);
+    CloseFd(*conn);
+  });
+
+  Result<Client> client = Client::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(client.ok()) << client.status();
+  QueryFrameRequest request;
+  request.signature_rgb = std::string(39, '\x01');
+  Status status = client->QueryFrame(request).status();
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented) << status;
+  EXPECT_NE(status.message().find("does not speak wire version 3"),
+            std::string::npos)
+      << status;
+
+  old_server.join();
+  CloseFd(*listen_fd);
 }
 
 }  // namespace

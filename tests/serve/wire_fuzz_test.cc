@@ -54,6 +54,34 @@ std::vector<std::string> Corpus() {
   reload.reload_path = "/some/path.vdbcat";
   frames.push_back(EncodeRequest(reload));
 
+  Request frame_by_signature;
+  frame_by_signature.verb = Verb::kQueryFrame;
+  frame_by_signature.query_frame.top_k = 9;
+  frame_by_signature.query_frame.signature_rgb = std::string(39, '\x5a');
+  frames.push_back(EncodeRequest(frame_by_signature));
+
+  Request frame_by_pixels;
+  frame_by_pixels.verb = Verb::kQueryFrame;
+  frame_by_pixels.query_frame.width = 8;
+  frame_by_pixels.query_frame.height = 6;
+  frame_by_pixels.query_frame.frame_rgb = std::string(8 * 6 * 3, '\x3c');
+  frames.push_back(EncodeRequest(frame_by_pixels));
+
+  Response frame_hits;
+  frame_hits.verb = Verb::kQueryFrame;
+  frame_hits.query_frame.query_tokens = 10;
+  frame_hits.query_frame.candidates = 42;
+  frame_hits.query_frame.probed = 7;
+  for (int i = 0; i < 3; ++i) {
+    FrameHitWire hit;
+    hit.video_id = i;
+    hit.shot_index = i - 1;  // includes a -1 (video-level bloom hit)
+    hit.score = 1.0 / (i + 1);
+    hit.video_name = "fuzz-clip-" + std::to_string(i);
+    frame_hits.query_frame.hits.push_back(hit);
+  }
+  frames.push_back(EncodeResponse(frame_hits));
+
   Response suggestions;
   suggestions.verb = Verb::kQuery;
   for (int i = 0; i < 4; ++i) {

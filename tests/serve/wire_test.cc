@@ -320,6 +320,115 @@ TEST(WireResponseTest, ReloadRoundTrip) {
   EXPECT_EQ(decoded.reload.indexed_shots, 512);
 }
 
+TEST(WireRequestTest, QueryFrameBySignatureRoundTripsExactly) {
+  Request request;
+  request.verb = Verb::kQueryFrame;
+  request.query_frame.top_k = 7;
+  request.query_frame.signature_rgb = std::string("\x01\x20\x40\x7f\xff\x00"
+                                                  "\x10\x30\x50\x70\x90\xb0",
+                                                  12);  // 4 pixels
+  Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.query_frame.top_k, 7);
+  EXPECT_EQ(decoded.query_frame.signature_rgb,
+            request.query_frame.signature_rgb);
+  EXPECT_TRUE(decoded.query_frame.has_signature());
+  EXPECT_FALSE(decoded.query_frame.has_frame());
+}
+
+TEST(WireRequestTest, QueryFrameByRawFrameRoundTripsExactly) {
+  Request request;
+  request.verb = Verb::kQueryFrame;
+  request.query_frame.top_k = 3;
+  request.query_frame.width = 4;
+  request.query_frame.height = 2;
+  request.query_frame.frame_rgb = std::string(4 * 2 * 3, '\x55');
+  Request decoded = RoundTrip(request);
+  EXPECT_EQ(decoded.query_frame.width, 4);
+  EXPECT_EQ(decoded.query_frame.height, 2);
+  EXPECT_EQ(decoded.query_frame.frame_rgb, request.query_frame.frame_rgb);
+  EXPECT_TRUE(decoded.query_frame.has_frame());
+  EXPECT_FALSE(decoded.query_frame.has_signature());
+}
+
+TEST(WireRequestTest, QueryFrameTravelsAsVersion3) {
+  // QUERYFRAME is the first v3 verb: its frames must carry version 3 while
+  // every v2-era verb keeps stamping 2, so old servers keep accepting them.
+  EXPECT_EQ(VerbWireVersion(Verb::kQueryFrame), 3);
+  for (Verb verb : {Verb::kPing, Verb::kStats, Verb::kQuery, Verb::kTree,
+                    Verb::kList, Verb::kReload, Verb::kError}) {
+    EXPECT_EQ(VerbWireVersion(verb), 2) << VerbName(verb);
+  }
+  Request request;
+  request.verb = Verb::kQueryFrame;
+  request.query_frame.signature_rgb = std::string(12, '\x42');
+  std::string bytes = EncodeRequest(request);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), 3);
+  Result<Frame> frame = DecodeFrame(bytes);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->header.version, 3);
+}
+
+TEST(WireRequestTest, QueryFrameInAVersion2FrameIsRejected) {
+  // A v3 verb downgraded into a v2 frame is the old-server view of a new
+  // client: the decode must name the version mismatch (the client's typed
+  // downgrade guard keys off this message).
+  Request request;
+  request.verb = Verb::kQueryFrame;
+  request.query_frame.signature_rgb = std::string(12, '\x42');
+  std::string bytes = EncodeRequest(request);
+  bytes[4] = 2;  // forge the version byte; checksum covers payload only
+  Status status = DecodeFrame(bytes).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("requires wire version"), std::string::npos)
+      << status;
+
+  // The other direction — a v3 frame at a v2-era peer — is the downgrade
+  // case: version 3 is simply out of the old peer's accepted range, and the
+  // "unsupported wire version" wording is what client.cc's typed
+  // kUnimplemented guard keys off.
+  bytes[4] = static_cast<char>(kWireVersion + 1);  // stand-in future version
+  Status future = DecodeFrame(bytes).status();
+  EXPECT_EQ(future.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(future.message().find("unsupported wire version"),
+            std::string::npos)
+      << future;
+}
+
+TEST(WireResponseTest, QueryFrameHitsRoundTripExactly) {
+  Response response;
+  response.verb = Verb::kQueryFrame;
+  response.shards_ok = 3;
+  response.shards_total = 4;
+  response.query_frame.query_tokens = 11;
+  response.query_frame.candidates = 120;
+  response.query_frame.probed = 17;
+  for (int i = 0; i < 3; ++i) {
+    FrameHitWire hit;
+    hit.video_id = 10 + i;
+    hit.shot_index = i == 2 ? -1 : i;  // bloom hits are video-level
+    hit.score = 1.0 - 0.25 * i;
+    hit.video_name = "clip-" + std::to_string(i);
+    response.query_frame.hits.push_back(hit);
+  }
+  Response decoded = RoundTrip(response);
+  EXPECT_EQ(decoded.shards_ok, 3u);
+  EXPECT_EQ(decoded.shards_total, 4u);
+  EXPECT_EQ(decoded.query_frame.query_tokens, 11u);
+  EXPECT_EQ(decoded.query_frame.candidates, 120u);
+  EXPECT_EQ(decoded.query_frame.probed, 17u);
+  ASSERT_EQ(decoded.query_frame.hits.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.query_frame.hits[i].video_id,
+              response.query_frame.hits[i].video_id);
+    EXPECT_EQ(decoded.query_frame.hits[i].shot_index,
+              response.query_frame.hits[i].shot_index);
+    EXPECT_DOUBLE_EQ(decoded.query_frame.hits[i].score,
+                     response.query_frame.hits[i].score);
+    EXPECT_EQ(decoded.query_frame.hits[i].video_name,
+              response.query_frame.hits[i].video_name);
+  }
+}
+
 TEST(WireResponseTest, RequestFrameRejectedAsResponse) {
   Request request;
   request.verb = Verb::kPing;

@@ -49,6 +49,8 @@ constexpr char kUsage[] =
     "  vdbtool store-compact <store-dir>\n"
     "  vdbtool store-shard <store-dir> <out-dir> <shards> [seed]\n"
     "  vdbtool stream-ingest <clip.vdb> <store-dir> [shots-per-checkpoint]\n"
+    "  vdbtool index-build <store-dir>\n"
+    "  vdbtool index-query <store-dir> <video> <shot> [k] [--bloom]\n"
     "  vdbtool tree <clip.vdb>\n"
     "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "
     "[form=F]\n"
@@ -89,6 +91,31 @@ TEST(VdbtoolCliTest, StreamIngestIsAdvertised) {
                 "vdbtool stream-ingest <clip.vdb> <store-dir> "
                 "[shots-per-checkpoint]"),
             std::string::npos);
+}
+
+TEST(VdbtoolCliTest, IndexCommandsAreAdvertised) {
+  // Pins the index-build / index-query synopses (satellite of the frame
+  // index PR) so a reworded usage line is an explicit decision.
+  EXPECT_NE(std::string(kUsage).find("vdbtool index-build <store-dir>"),
+            std::string::npos);
+  EXPECT_NE(std::string(kUsage).find(
+                "vdbtool index-query <store-dir> <video> <shot> [k] "
+                "[--bloom]"),
+            std::string::npos);
+}
+
+TEST(VdbtoolCliTest, IndexQueryWrongArityIsNamed) {
+  ToolRun run = RunTool("index-query /tmp/nowhere");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_EQ(run.output,
+            std::string("vdbtool: wrong arguments for 'index-query'\n") +
+                kUsage);
+}
+
+TEST(VdbtoolCliTest, IndexBuildOnMissingStoreFailsCleanly) {
+  ToolRun run = RunTool("index-build /nonexistent-store-dir");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("error:"), std::string::npos);
 }
 
 TEST(VdbtoolCliTest, StreamIngestOnMissingFileFailsCleanly) {

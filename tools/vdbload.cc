@@ -1,8 +1,10 @@
 // vdbload — multi-threaded load generator for vdbserve.
 //
 //   vdbload [--host H] [--port N] [--threads 1,4,16] [--requests N]
-//           [--pipeline-depth 1,8,32] [--verb query|ping|tree|list|mixed]
+//           [--pipeline-depth 1,8,32]
+//           [--verb query|queryframe|ping|tree|list|mixed]
 //           [--top-k K] [--json PATH]
+//   vdbload --queryframe ...     shorthand for --verb queryframe
 //   vdbload --reload [--host H] [--port N]
 //
 // --reload skips the load run entirely: it sends one RELOAD frame (empty
@@ -44,8 +46,9 @@ int Usage() {
   std::cerr <<
       "usage: vdbload [--host H] [--port N] [--threads 1,4,16]\n"
       "               [--requests N] [--pipeline-depth 1,8,32]\n"
-      "               [--verb query|ping|tree|list|mixed]\n"
+      "               [--verb query|queryframe|ping|tree|list|mixed]\n"
       "               [--top-k K] [--json PATH]\n"
+      "       vdbload --queryframe ...   shorthand for --verb queryframe\n"
       "       vdbload --reload [--host H] [--port N]\n";
   return 2;
 }
@@ -118,6 +121,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->json_path = v;
+    } else if (arg == "--queryframe") {
+      out->verb = "queryframe";
     } else if (arg == "--reload") {
       out->reload = true;
     } else {
@@ -125,8 +130,9 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       return false;
     }
   }
-  return out->verb == "query" || out->verb == "ping" || out->verb == "tree" ||
-         out->verb == "list" || out->verb == "mixed";
+  return out->verb == "query" || out->verb == "queryframe" ||
+         out->verb == "ping" || out->verb == "tree" || out->verb == "list" ||
+         out->verb == "mixed";
 }
 
 // One request, chosen deterministically from the verb mix.
@@ -139,7 +145,17 @@ serve::Request MakeRequest(const Args& args, std::mt19937_64* rng,
                                                                 : "list";
   }
   serve::Request request;
-  if (verb == "query") {
+  if (verb == "queryframe") {
+    // A deterministic random signature: most lookups miss, which measures
+    // the index probe cost itself rather than result marshalling.
+    request.verb = serve::Verb::kQueryFrame;
+    request.query_frame.top_k = args.top_k;
+    std::string signature(3 * 16, '\0');
+    for (char& byte : signature) {
+      byte = static_cast<char>((*rng)() & 0xff);
+    }
+    request.query_frame.signature_rgb = std::move(signature);
+  } else if (verb == "query") {
     request.verb = serve::Verb::kQuery;
     std::uniform_real_distribution<double> ba(0.0, 200.0);
     std::uniform_real_distribution<double> oa(0.0, 50.0);

@@ -14,6 +14,11 @@
 //   vdbtool stream-ingest <clip.vdb> <store-dir> [shots-per-checkpoint]
 //                                            streaming ingest with live
 //                                            checkpoint publishes
+//   vdbtool index-build <store-dir>          build + publish the frame index
+//                                            of the store's newest generation
+//   vdbtool index-query <store-dir> <video> <shot> [k] [--bloom]
+//                                            query-by-frame against the
+//                                            store's frame index
 //   vdbtool tree <clip.vdb>                  print the scene tree
 //   vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] [form=F]
 //   vdbtool classify <catalog.vdbcat> <video-id> <form> <genre>...
@@ -33,6 +38,8 @@
 
 #include "cluster/shard_map.h"
 #include "cluster/shard_store.h"
+#include "index/frame_index.h"
+#include "index/index_store.h"
 #include "core/browser.h"
 #include "core/catalog_io.h"
 #include "core/fingerprint.h"
@@ -65,6 +72,8 @@ int Usage() {
       "  vdbtool store-shard <store-dir> <out-dir> <shards> [seed]\n"
       "  vdbtool stream-ingest <clip.vdb> <store-dir> "
       "[shots-per-checkpoint]\n"
+      "  vdbtool index-build <store-dir>\n"
+      "  vdbtool index-query <store-dir> <video> <shot> [k] [--bloom]\n"
       "  vdbtool tree <clip.vdb>\n"
       "  vdbtool query <catalog.vdbcat> <varBA> <varOA> [k] [genre=G] "
       "[form=F]\n"
@@ -254,6 +263,75 @@ int CmdStreamIngest(const std::string& path, const std::string& dir,
   return 0;
 }
 
+int CmdIndexBuild(const std::string& dir) {
+  store::CatalogStore catalog_store(dir);
+  store::OpenStats stats;
+  Result<std::unique_ptr<VideoDatabase>> db = catalog_store.Open(&stats);
+  if (!db.ok()) return Fail(db.status());
+  index::FrameIndex frame_index = index::FrameIndex::Build(**db);
+  Status saved =
+      index::SaveFrameIndex(dir, stats.generation, frame_index);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "published frame index for generation " << stats.generation
+            << ": " << frame_index.video_count() << " videos, "
+            << frame_index.shot_count() << " shots, "
+            << frame_index.posting_count() << " postings, "
+            << frame_index.bloom_bytes() << " bloom bytes\n";
+  return 0;
+}
+
+int CmdIndexQuery(const std::string& dir, int video_id, int shot_index,
+                  int k, bool bloom) {
+  store::CatalogStore catalog_store(dir);
+  store::OpenStats stats;
+  Result<std::unique_ptr<VideoDatabase>> db = catalog_store.Open(&stats);
+  if (!db.ok()) return Fail(db.status());
+  Result<index::FrameIndex> opened =
+      index::OpenFrameIndex(dir, stats.generation);
+  bool from_store = opened.ok();
+  index::FrameIndex frame_index =
+      from_store ? std::move(*opened) : index::FrameIndex::Build(**db);
+
+  Result<const CatalogEntry*> entry = (*db)->GetEntry(video_id);
+  if (!entry.ok()) return Fail(entry.status());
+  if (shot_index < 0 ||
+      shot_index >= static_cast<int>((*entry)->shots.size())) {
+    return Fail(Status::OutOfRange(
+        StrFormat("shot %d of %zu", shot_index, (*entry)->shots.size())));
+  }
+  const Shot& shot = (*entry)->shots[static_cast<size_t>(shot_index)];
+  const Signature& query =
+      (*entry)->signatures.frames[static_cast<size_t>(shot.start_frame)]
+          .signature_ba;
+  std::vector<uint64_t> tokens =
+      index::SignatureTokenSet(query, frame_index.options().tokenizer);
+  index::FrameQueryStats query_stats;
+  std::vector<index::FrameHit> hits =
+      bloom ? frame_index.QueryBloom(tokens, k, &query_stats)
+            : frame_index.Query(tokens, k, &query_stats);
+  std::cout << "queried shot#" << shot_index + 1 << " of [" << video_id
+            << "] " << (*entry)->name << " against the "
+            << (bloom ? "bloom" : "inverted") << " tier ("
+            << (from_store ? "persisted" : "rebuilt") << " index): "
+            << query_stats.query_tokens << " tokens, "
+            << query_stats.candidates << " candidates, "
+            << query_stats.probed << " probed\n";
+  for (const index::FrameHit& hit : hits) {
+    std::string name;
+    Result<const CatalogEntry*> hit_entry = (*db)->GetEntry(hit.video_id);
+    if (hit_entry.ok()) name = (*hit_entry)->name;
+    if (hit.shot_index >= 0) {
+      std::cout << StrFormat("  score=%.4f  shot#%-3d of [%d] %s\n",
+                             hit.score, hit.shot_index + 1, hit.video_id,
+                             name.c_str());
+    } else {
+      std::cout << StrFormat("  score=%.4f  [%d] %s (video-level)\n",
+                             hit.score, hit.video_id, name.c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdStoreCompact(const std::string& dir) {
   store::CatalogStore catalog_store(dir);
   Result<store::CompactStats> stats = catalog_store.Compact();
@@ -398,7 +476,8 @@ bool KnownCommand(const std::string& cmd) {
       "presets",    "synth",      "info",          "analyze",
       "catalog",    "store-save", "store-open",    "store-compact",
       "store-shard", "stream-ingest",              "tree",          "query",
-      "classify",   "browse",     "export-frame",
+      "classify",   "browse",     "export-frame",  "index-build",
+      "index-query",
   };
   for (const char* known : kCommands) {
     if (cmd == known) return true;
@@ -441,6 +520,23 @@ int Run(int argc, char** argv) {
   if (cmd == "stream-ingest" && (args.size() == 3 || args.size() == 4)) {
     int every = args.size() == 4 ? std::atoi(args[3].c_str()) : 0;
     return CmdStreamIngest(args[1], args[2], every > 0 ? every : 0);
+  }
+  if (cmd == "index-build" && args.size() == 2) {
+    return CmdIndexBuild(args[1]);
+  }
+  if (cmd == "index-query" && args.size() >= 4 && args.size() <= 6) {
+    int k = 5;
+    bool bloom = false;
+    for (size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--bloom") {
+        bloom = true;
+      } else {
+        int parsed = std::atoi(args[i].c_str());
+        if (parsed > 0) k = parsed;
+      }
+    }
+    return CmdIndexQuery(args[1], std::atoi(args[2].c_str()),
+                         std::atoi(args[3].c_str()), k, bloom);
   }
   if (cmd == "tree" && args.size() == 2) return CmdTree(args[1]);
   if (cmd == "query" && args.size() >= 4) {
