@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Ingest-farm capacity trajectory: aggregate decoded-frame throughput for
+# N in {1,4,16,64} concurrent tenants of one StreamFarm, with the derived
+# "streams sustainable at 3 fps" admission budget and per-core efficiency.
+# Writes BENCH_farm.json (google-benchmark JSON) at the repo root.
+#
+#   scripts/bench_farm.sh
+#
+# Knobs: VDB_FARM_SCALE (clip duration scale, default 0.04 — raise toward
+# 1.0 for paper-scale clips), VDB_FARM_BENCH_MIN_TIME (seconds per
+# benchmark, default 0.5), JOBS (build parallelism).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME="${VDB_FARM_BENCH_MIN_TIME:-0.5}"
+JOBS="${JOBS:-$(nproc)}"
+OUT=BENCH_farm.json
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target bench_perf_farm > /dev/null
+
+build/bench/bench_perf_farm \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "bench_farm: wrote $OUT"

@@ -9,6 +9,7 @@
 #   scripts/check.sh serve      # serve suites under ASan then TSan
 #   scripts/check.sh cluster    # cluster suites under ASan then TSan
 #   scripts/check.sh index      # frame-index suites under ASan then TSan
+#   scripts/check.sh farm       # ingest-farm suites under ASan then TSan
 #
 # Build trees: build/ (plain), build-asan/, build-tsan/ — reused across
 # runs, so incremental checks are cheap. JOBS overrides the parallelism.
@@ -45,20 +46,20 @@ for stage in "${STAGES[@]}"; do
       # The kernels suite rides along: its gather maps and in-place
       # reductions are exactly the kind of indexed hot-loop code where an
       # off-by-one over-read hides.
-      banner "asan build + serve/cluster/concurrency/store/stream/kernels/index suites"
+      banner "asan build + serve/cluster/concurrency/store/stream/farm/kernels/index suites"
       configure_and_build build-asan address
       ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-        -L 'serve|cluster|concurrency|store|stream|kernels|index'
+        -L 'serve|cluster|concurrency|store|stream|farm|kernels|index'
       ;;
     tsan)
       # TSan watches the threaded suites: thread pool, concurrent ingest,
       # the server's snapshot swaps under concurrent clients, and the
       # streaming pipeline's bounded queues and worker fan-out. The kernels
       # suite rides along for its thread-local workspace handoff.
-      banner "tsan build + serve/cluster/concurrency/store/stream/kernels/index suites"
+      banner "tsan build + serve/cluster/concurrency/store/stream/farm/kernels/index suites"
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -L 'serve|cluster|concurrency|store|stream|kernels|index'
+        -L 'serve|cluster|concurrency|store|stream|farm|kernels|index'
       ;;
     serve)
       # The serving-layer battery on its own: the event loop, pipelining
@@ -98,6 +99,20 @@ for stage in "${STAGES[@]}"; do
       configure_and_build build-tsan thread
       ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L index
       ;;
+    farm)
+      # The multi-tenant farm battery on its own: the weighted-RR
+      # dispatcher, shared-worker fan-out, single-committer publish
+      # serialization, shed/resume convergence and the byte-identity sweep
+      # under ASan (workspace reuse across tenants, queue handoff) and TSan
+      # (the dispatcher's slot state, the committer's publish/reload
+      # coalescing, lag tracking against running pipelines).
+      banner "farm leg: asan build + farm suites"
+      configure_and_build build-asan address
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L farm
+      banner "farm leg: tsan build + farm suites"
+      configure_and_build build-tsan thread
+      ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L farm
+      ;;
     kernels)
       # Fast smoke: just the kernel-equivalence suite on the plain build.
       banner "kernel-equivalence smoke (ctest -L kernels)"
@@ -105,7 +120,7 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
       ;;
     *)
-      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, index, kernels)" >&2
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, index, farm, kernels)" >&2
       exit 2
       ;;
   esac

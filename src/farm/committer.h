@@ -1,0 +1,84 @@
+#ifndef VDB_FARM_COMMITTER_H_
+#define VDB_FARM_COMMITTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/video_database.h"
+#include "stream/pipeline.h"
+#include "util/fs.h"
+#include "util/result.h"
+
+namespace vdb {
+namespace farm {
+
+struct CommitterOptions {
+  // Must match the farm's analysis options (store entries round-trip
+  // through a database built with these).
+  VideoDatabaseOptions database;
+
+  // The shared store directory every tenant publishes into.
+  std::string dir;
+
+  // When set, publishes ask this vdbserve instance to RELOAD. Reload
+  // failures are counted, never fatal.
+  std::string reload_host;
+  int reload_port = 0;
+
+  // Test-only crash injection, forwarded to every store Save.
+  FaultHook fault_hook;
+
+  // Publish a FRAMEINDEX alongside each generation (best-effort, exactly
+  // like the solo pipeline's publish path).
+  bool publish_frame_index = true;
+};
+
+struct CommitterStats {
+  uint64_t publishes = 0;
+  uint64_t last_generation = 0;
+  int reloads_ok = 0;
+  int reload_failures = 0;
+  // Reloads skipped because another publish was already waiting: the later
+  // commit reloads a strictly newer generation, so per-checkpoint reloads
+  // under a busy farm coalesce into one per quiet moment.
+  int reloads_coalesced = 0;
+};
+
+// The farm's single-committer publish path: every tenant checkpoint funnels
+// through Publish(), which upserts that tenant's entry into the committer's
+// cross-tenant picture, saves the whole catalog as exactly one new store
+// generation, and (optionally) nudges a vdbserve to reload. Serializing
+// here — on top of the store's own per-directory publish lock — means N
+// concurrent checkpointing tenants commit contiguous generations, each
+// containing every tenant's newest published state.
+class Committer {
+ public:
+  explicit Committer(CommitterOptions options);
+
+  // Adopts whatever the store already holds as the base layer (the solo
+  // runs or earlier farm that wrote it). A missing store is the normal
+  // first-run case: empty base. A corrupt store also starts empty here and
+  // surfaces at the first Save, mirroring the solo pipeline.
+  void Init();
+
+  // Single-writer publish of one tenant's entry. Returns the receipt the
+  // pipeline mirrors into its report.
+  Result<stream::PublishReceipt> Publish(const CatalogEntry& entry);
+
+  CommitterStats stats() const;
+
+ private:
+  CommitterOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, CatalogEntry> entries_;  // newest entry per tenant
+  std::atomic<int> waiting_{0};  // publishers queued on mu_ right now
+  CommitterStats stats_;
+};
+
+}  // namespace farm
+}  // namespace vdb
+
+#endif  // VDB_FARM_COMMITTER_H_

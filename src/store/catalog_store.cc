@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
@@ -142,7 +144,28 @@ Result<Manifest> DecodeManifest(std::string_view payload) {
   return manifest;
 }
 
+// One publish mutex per store directory path, for the life of the process.
+// The map is tiny (a handful of store dirs) and only consulted at publish
+// boundaries, so a global registry mutex is plenty.
+std::shared_ptr<std::recursive_mutex> PublishMutexFor(
+    const std::string& dir) {
+  static std::mutex registry_mu;
+  static std::map<std::string, std::shared_ptr<std::recursive_mutex>>* locks =
+      new std::map<std::string, std::shared_ptr<std::recursive_mutex>>();
+  std::lock_guard<std::mutex> lock(registry_mu);
+  std::shared_ptr<std::recursive_mutex>& slot = (*locks)[dir];
+  if (slot == nullptr) slot = std::make_shared<std::recursive_mutex>();
+  return slot;
+}
+
 }  // namespace
+
+ScopedPublishLock::ScopedPublishLock(const std::string& dir)
+    : mu_(PublishMutexFor(dir)) {
+  mu_->lock();
+}
+
+ScopedPublishLock::~ScopedPublishLock() { mu_->unlock(); }
 
 CatalogStore::CatalogStore(std::string dir, StoreOptions options)
     : dir_(std::move(dir)), options_(std::move(options)) {}
@@ -256,6 +279,11 @@ Result<Manifest> CatalogStore::ManifestAt(uint64_t generation) const {
 }
 
 Result<SaveStats> CatalogStore::Save(const VideoDatabase& db) {
+  // Single-committer discipline: the whole read-current / write-segments /
+  // publish-manifest sequence is one critical section per directory.
+  // Without it, two racing Saves both read generation N and both publish
+  // MANIFEST-(N+1) — the later rename silently swallows the earlier commit.
+  ScopedPublishLock publish_lock(dir_);
   VDB_RETURN_IF_ERROR(CreateDirIfMissing(dir_));
 
   // The segments the current generation keeps live; content-addressed file
@@ -361,6 +389,7 @@ Result<CompactStats> CatalogStore::Compact() {
 }
 
 Status PublishManifest(const std::string& dir, const Manifest& manifest) {
+  ScopedPublishLock publish_lock(dir);
   VDB_RETURN_IF_ERROR(CreateDirIfMissing(dir));
   return WriteFileAtomic(dir + "/" + ManifestName(manifest.generation),
                          WrapChecksummed(kManifestMagic,

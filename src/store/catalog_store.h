@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,31 @@ struct StoreOptions {
   FaultHook fault_hook;
 };
 
+// Serializes publishes into one store directory within this process: Save
+// (and PublishManifest) take the directory's lock internally, so any
+// number of threads — checkpointing pipelines, an ingest farm's tenants, a
+// vdbtool run on another thread — commit strictly one generation after
+// another: contiguous numbering, no lost commits, no torn interleaving of
+// "read current generation / write segments / publish manifest".
+//
+// The lock is keyed by the directory *path string* (the registry lives for
+// the process; one mutex per distinct path). It is recursive, so a caller
+// may hold a ScopedPublishLock across a wider read-modify-write section
+// (Open → merge → Save) and Save's own acquisition nests harmlessly.
+// Cross-process publishes are not arbitrated — one committer process per
+// store directory is the deployment contract.
+class ScopedPublishLock {
+ public:
+  explicit ScopedPublishLock(const std::string& dir);
+  ~ScopedPublishLock();
+
+  ScopedPublishLock(const ScopedPublishLock&) = delete;
+  ScopedPublishLock& operator=(const ScopedPublishLock&) = delete;
+
+ private:
+  std::shared_ptr<std::recursive_mutex> mu_;
+};
+
 class CatalogStore {
  public:
   explicit CatalogStore(std::string dir, StoreOptions options = {});
@@ -89,6 +115,9 @@ class CatalogStore {
   // Publishes `db` as the next generation. Incremental: only segments whose
   // content is not already live in the current generation are written; the
   // rest are carried over by reference. Creates the directory if missing.
+  // Thread-safe across CatalogStore instances of the same directory: the
+  // whole publish runs under the directory's ScopedPublishLock, so
+  // concurrent Saves commit contiguous generations with no lost commits.
   Result<SaveStats> Save(const VideoDatabase& db);
 
   // Loads the newest generation that verifies completely (every manifest

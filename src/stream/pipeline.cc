@@ -1,7 +1,9 @@
 #include "stream/pipeline.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "core/extractor.h"
@@ -104,6 +106,8 @@ class Pipeline::Runner {
     }
   }
 
+  class SignatureAdapter;
+
   Status DecodeStage(FrameSource* source, int start_frame);
   Status SignatureStage();
   Status SbdStage(int start_frame);
@@ -136,6 +140,10 @@ class Pipeline::Runner {
 
   StreamingShotDetector detector_;
   SceneTreeAccumulator acc_;
+
+  // External dispatch only: the work source the farm's shared signature
+  // workers drive instead of this runner's own SignatureStage tasks.
+  std::unique_ptr<SignatureAdapter> adapter_;
 
   AreaGeometry geometry_;
   std::string name_;
@@ -175,6 +183,96 @@ class Pipeline::Runner {
   PipelineReport report_;
 };
 
+// Shared-worker signature execution for one tenant (external dispatch).
+// ProcessOne never blocks on this tenant's queues: a decoded frame is
+// claimed with TryPop, and a result that cannot be pushed because sig_q_
+// is momentarily full is stashed in `pending_` and flushed first on the
+// next call — a farm worker is never parked on a tenant whose downstream
+// is slow. Any number of workers may be inside ProcessOne at once; the
+// (claim, active_) bookkeeping is atomic under mu_ so exactly one caller
+// observes the drained stream and closes sig_q_.
+class Pipeline::Runner::SignatureAdapter : public SignatureWorkSource {
+ public:
+  explicit SignatureAdapter(Runner* runner) : runner_(runner) {}
+
+  Step ProcessOne(PyramidWorkspace* workspace) override {
+    Runner* r = runner_;
+    DecodedFrame item;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Flush backpressured results first; order does not matter (the SBD
+      // stage reorders), so head-of-line is as good as any.
+      while (!pending_.empty() && r->sig_q_.TryPush(&pending_.front())) {
+        pending_.pop_front();
+      }
+      if (!pending_.empty()) return CheckDone(r);
+      if (!r->decode_q_.TryPop(&item)) return CheckDone(r);
+      ++active_;
+    }
+
+    // The expensive part runs outside the adapter lock, so other workers
+    // can claim this tenant's next frames concurrently.
+    Stopwatch sw;
+    Result<FrameSignature> sig =
+        ComputeFrameSignature(item.pixels, r->geometry_, workspace);
+    double busy = sw.ElapsedSeconds();
+    item.pixels = Frame();  // the pixels die here
+    r->NoteInFlight(-1);
+    {
+      std::lock_guard<std::mutex> stats_lock(r->stats_mu_);
+      r->sig_busy_ += busy;
+      if (sig.ok()) ++r->sig_items_;
+    }
+    if (!sig.ok()) {
+      r->Fail(sig.status());
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      return CheckDone(r);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      SigItem out{item.frame, std::move(*sig)};
+      if (!r->sig_q_.TryPush(&out) && !r->sig_q_.closed()) {
+        pending_.push_back(std::move(out));
+      }
+      CheckDone(r);  // the worker finishing the last frame closes sig_q_
+    }
+    return Step::kProcessed;
+  }
+
+  TenantQueueStats QueueStats() const override {
+    Runner* r = runner_;
+    TenantQueueStats s;
+    s.decode_depth = r->decode_q_.size();
+    s.decode_high_water = r->decode_q_.high_water();
+    s.decode_total = r->decode_q_.total_pushed();
+    s.signature_depth = r->sig_q_.size();
+    s.signature_high_water = r->sig_q_.high_water();
+    s.signature_total = r->sig_q_.total_pushed();
+    return s;
+  }
+
+ private:
+  // mu_ must be held. The stream is finished when decode has closed and
+  // drained, nothing is stashed, and no worker is mid-compute — or the
+  // runner is tearing down anyway.
+  Step CheckDone(Runner* r) {
+    if (r->ShouldStop() ||
+        (r->decode_q_.closed() && r->decode_q_.size() == 0 &&
+         pending_.empty() && active_ == 0)) {
+      r->sig_q_.Close();
+      return Step::kFinished;
+    }
+    return Step::kIdle;
+  }
+
+  Runner* runner_;
+  std::mutex mu_;
+  std::deque<SigItem> pending_;  // computed, awaiting room in sig_q_
+  int active_ = 0;               // workers currently computing a frame
+};
+
 Result<PipelineResult> Pipeline::Runner::Execute(FrameSource* source,
                                                  bool resume) {
   run_clock_.Reset();
@@ -196,11 +294,16 @@ Result<PipelineResult> Pipeline::Runner::Execute(FrameSource* source,
   if (resume) {
     VDB_RETURN_IF_ERROR(SeedFromStore(source));
     start_frame = resume_frame_;
-  } else if (publishing) {
+  } else if (publishing && !options_.external_publish) {
+    // With an external publisher (farm committer) the committer owns the
+    // store's other videos; carrying them here would double-publish them.
     LoadBaseEntries(name_);
   }
 
-  const int sig_threads = std::max(1, options_.signature_threads);
+  // External dispatch: the signature stage belongs to the farm's shared
+  // workers, not to this runner.
+  const bool external = options_.dispatcher != nullptr;
+  const int sig_threads = external ? 0 : std::max(1, options_.signature_threads);
   sig_workers_left_.store(sig_threads);
 
   {
@@ -208,6 +311,11 @@ Result<PipelineResult> Pipeline::Runner::Execute(FrameSource* source,
     // run stages inline (a stage blocks on its queues), so never fewer
     // than 2 pool threads.
     ThreadPool pool(3 + sig_threads);
+    if (external) {
+      adapter_ = std::make_unique<SignatureAdapter>(this);
+      Status attached = options_.dispatcher->Attach(adapter_.get());
+      if (!attached.ok()) return attached;
+    }
     pool.Submit([this, source, start_frame] {
       return DecodeStage(source, start_frame);
     });
@@ -217,6 +325,9 @@ Result<PipelineResult> Pipeline::Runner::Execute(FrameSource* source,
     pool.Submit([this, start_frame] { return SbdStage(start_frame); });
     pool.Submit([this] { return FinalizeStage(); });
     Status run = pool.Wait();
+    // After Detach no worker is inside the adapter, so tearing the runner
+    // down (and with it the queues) is safe.
+    if (external) options_.dispatcher->Detach(adapter_.get());
     if (!run.ok()) return run;
   }
   {
@@ -228,12 +339,15 @@ Result<PipelineResult> Pipeline::Runner::Execute(FrameSource* source,
   report_.max_frames_in_flight = max_in_flight_.load();
   report_.stages = {
       StageReport{"decode", frames_decoded_, decode_busy_,
-                  static_cast<int>(decode_q_.high_water())},
+                  static_cast<int>(decode_q_.high_water()),
+                  decode_q_.total_pushed()},
       StageReport{"signature", sig_items_, sig_busy_,
-                  static_cast<int>(sig_q_.high_water())},
+                  static_cast<int>(sig_q_.high_water()),
+                  sig_q_.total_pushed()},
       StageReport{"sbd", sbd_items_, sbd_busy_,
-                  static_cast<int>(event_q_.high_water())},
-      StageReport{"finalize", fin_items_, fin_busy_, 0},
+                  static_cast<int>(event_q_.high_water()),
+                  event_q_.total_pushed()},
+      StageReport{"finalize", fin_items_, fin_busy_, 0, 0},
   };
 
   PipelineResult result;
@@ -272,6 +386,7 @@ Status Pipeline::Runner::DecodeStage(FrameSource* source, int start_frame) {
       NoteInFlight(-1);  // dropped: the queue was closed under us
       break;
     }
+    if (options_.dispatcher != nullptr) options_.dispatcher->NotifyWork();
   }
   decode_q_.Close();
   return Status::Ok();
@@ -389,6 +504,9 @@ Status Pipeline::Runner::HandleEvent(const SbdEvent& event) {
     case SbdEvent::Kind::kFrameSigns: {
       signs_.frames.push_back(event.sig);
       ++report_.frames;
+      if (options_.progress_callback) {
+        options_.progress_callback(report_.frames);
+      }
       return Status::Ok();
     }
     case SbdEvent::Kind::kShotClosed: {
@@ -445,6 +563,25 @@ Result<CatalogEntry> Pipeline::Runner::BuildEntry(int covered_frames) const {
 }
 
 Status Pipeline::Runner::Publish(const CatalogEntry& entry) {
+  if (options_.external_publish) {
+    // Farm mode: the single committer serializes this tenant's entry into
+    // the shared store (and decides whether a reload is due).
+    Result<PublishReceipt> receipt = options_.external_publish(entry);
+    if (!receipt.ok()) return receipt.status();
+    ++report_.checkpoints;
+    report_.store_generation = receipt->generation;
+    report_.reloads_ok += receipt->reloads_ok;
+    report_.reload_failures += receipt->reload_failures;
+    if (report_.first_publish_seconds < 0) {
+      report_.first_publish_seconds = run_clock_.ElapsedSeconds();
+    }
+    if (options_.checkpoint_callback) {
+      options_.checkpoint_callback(receipt->generation,
+                                   static_cast<int>(shots_.size()));
+    }
+    return Status::Ok();
+  }
+
   VideoDatabase db(options_.database);
   for (const CatalogEntry& base : base_entries_) {
     Result<int> restored = db.Restore(base);
@@ -567,7 +704,7 @@ Status Pipeline::Runner::SeedFromStore(FrameSource* source) {
   checkpoint_frame_ = found->frame_count;
   report_.resumed_from_frame = resume_frame_;
   report_.resumed_shots = static_cast<int>(shots_.size());
-  CopyBaseEntries(*db, source->name());
+  if (!options_.external_publish) CopyBaseEntries(*db, source->name());
   return source->SeekToFrame(resume_frame_);
 }
 

@@ -9,12 +9,21 @@
 #include <vector>
 
 #include "core/video_database.h"
+#include "stream/dispatch.h"
 #include "stream/frame_source.h"
 #include "util/fs.h"
 #include "util/result.h"
 
 namespace vdb {
 namespace stream {
+
+// What an external publisher (the farm's single committer) reports back
+// for one checkpoint publish, mirrored into the pipeline's report.
+struct PublishReceipt {
+  uint64_t generation = 0;  // store generation this publish committed
+  int reloads_ok = 0;
+  int reload_failures = 0;
+};
 
 // Configuration of one streaming ingest run.
 struct PipelineOptions {
@@ -51,6 +60,25 @@ struct PipelineOptions {
   // Test-only crash injection, forwarded to the store on every publish.
   FaultHook fault_hook;
 
+  // External signature dispatch (the ingest farm): when set, the pipeline
+  // spawns no signature workers of its own — it attaches a work source to
+  // this dispatcher at run start, and the dispatcher's shared workers call
+  // ProcessOne until the stream drains. signature_threads is ignored.
+  SignatureDispatcher* dispatcher = nullptr;
+
+  // External publish (the farm's single committer): when set, every
+  // checkpoint and the final publish call this instead of the built-in
+  // store Save + reload, and the pipeline does not load or carry the
+  // store's other videos (the committer owns cross-tenant state).
+  // publish_dir must still name the shared store: Resume seeds from it and
+  // the checkpoint-cadence precondition is keyed on it.
+  std::function<Result<PublishReceipt>(const CatalogEntry&)> external_publish;
+
+  // Live progress hook: called from the finalize stage after each in-order
+  // frame with the count of frames finalized so far. The farm's lag
+  // tracker and fairness metrics hang off this.
+  std::function<void(int frames_done)> progress_callback;
+
   // Test hooks: called from the finalize stage as each shot closes /
   // checkpoint publishes (generation, shots covered).
   std::function<void(const Shot&)> shot_callback;
@@ -63,6 +91,7 @@ struct StageReport {
   long items = 0;           // frames (or events) the stage processed
   double busy_seconds = 0;  // time spent working, excluding queue waits
   int queue_high_water = 0;  // peak depth of the stage's *output* queue
+  uint64_t queue_total = 0;  // items ever pushed through that queue
 };
 
 struct PipelineReport {

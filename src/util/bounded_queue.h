@@ -63,12 +63,42 @@ class BoundedQueue {
     return true;
   }
 
+  // Non-blocking push that leaves *item intact on failure, so a producer
+  // that is backpressured can keep the item and retry later (the ingest
+  // farm's shared signature workers do: a blocked shared worker would stall
+  // every tenant, so they stash instead of blocking).
+  bool TryPush(T* item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(*item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+      ++total_pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   // Blocks while the queue is empty and open. True with *out filled, or
   // false once the queue is closed and fully drained.
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking variant of Pop: false when the queue is currently empty,
+  // whether open or closed. A false return says nothing about the stream
+  // being finished — pair it with closed() + size() (or a producer-side
+  // completion signal) to distinguish "no work right now" from "done".
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
     lock.unlock();

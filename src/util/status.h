@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  kUnavailable = 10,
 };
 
 // Returns a stable, human-readable name ("Ok", "InvalidArgument", ...).
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,6 +19,7 @@
 #include "synth/presets.h"
 #include "tests/support/render_cache.h"
 #include "util/fs.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace vdb {
@@ -358,6 +359,58 @@ TEST_F(CatalogStoreTest, DatabaseWrapperRoundTrip) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(OpenDatabaseFromStore(StoreDir(), nullptr).code(),
             StatusCode::kInvalidArgument);
+}
+
+// The publish-serialization regression (the ingest farm's satellite fix):
+// before the per-directory publish lock, two concurrent Saves could both
+// read CurrentManifest = N and both publish MANIFEST-(N+1) — one commit
+// silently swallowed. Hammering parallel Saves must produce exactly one
+// generation per Save, contiguously numbered, every manifest parseable,
+// and the final store loadable.
+TEST_F(CatalogStoreTest, ParallelSavesCommitContiguousGenerations) {
+  const std::string dir = StoreDir();
+  constexpr int kThreads = 8;
+  constexpr int kSavesPerThread = 4;
+
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Submit([&dir, t]() -> Status {
+      // Each thread publishes its own distinctly-classified catalog so
+      // every Save writes at least one fresh segment (no pure
+      // manifest-reference commits hiding the race).
+      std::unique_ptr<VideoDatabase> db = Clones(2, /*classify=*/t % 2);
+      CatalogStore store(dir);
+      for (int s = 0; s < kSavesPerThread; ++s) {
+        Result<SaveStats> saved = store.Save(*db);
+        if (!saved.ok()) return saved.status();
+        if (saved->generation == 0) {
+          return Status::Internal("Save published generation 0");
+        }
+      }
+      return Status::Ok();
+    });
+  }
+  Status all = pool.Wait();
+  ASSERT_TRUE(all.ok()) << all;
+
+  CatalogStore store(dir);
+  Result<Manifest> newest = store.CurrentManifest();
+  ASSERT_TRUE(newest.ok()) << newest.status();
+  // One generation per Save, none skipped, none torn: 1..N all parse.
+  EXPECT_EQ(newest->generation,
+            static_cast<uint64_t>(kThreads * kSavesPerThread));
+  for (uint64_t g = 1; g <= newest->generation; ++g) {
+    Result<Manifest> manifest = store.ManifestAt(g);
+    EXPECT_TRUE(manifest.ok()) << "generation " << g << ": "
+                               << manifest.status();
+    if (manifest.ok()) EXPECT_EQ(manifest->generation, g);
+  }
+  OpenStats open_stats;
+  Result<std::unique_ptr<VideoDatabase>> opened = store.Open(&open_stats);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(open_stats.generation, newest->generation);
+  EXPECT_EQ(open_stats.generations_skipped, 0);
+  EXPECT_EQ((*opened)->video_count(), 2);
 }
 
 }  // namespace

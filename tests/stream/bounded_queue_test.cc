@@ -141,5 +141,73 @@ TEST(BoundedQueueTest, MpmcDeliversEveryAcceptedItemExactlyOnce) {
   EXPECT_LE(q.high_water(), q.capacity());
 }
 
+// The non-blocking pair the farm dispatcher's shared workers live on: a
+// worker must never park on one tenant's queues.
+TEST(BoundedQueueTest, TryPushLeavesItemIntactWhenFull) {
+  BoundedQueue<std::string> q(1);
+  std::string a = "first";
+  ASSERT_TRUE(q.TryPush(&a));
+
+  std::string b = "second";
+  EXPECT_FALSE(q.TryPush(&b));
+  // A refused item is not consumed — the caller stashes it and retries.
+  EXPECT_EQ(b, "second");
+
+  std::string got;
+  ASSERT_TRUE(q.TryPop(&got));
+  EXPECT_EQ(got, "first");
+  EXPECT_TRUE(q.TryPush(&b));
+}
+
+TEST(BoundedQueueTest, TryPopReturnsFalseOnEmptyWithoutBlocking) {
+  BoundedQueue<int> q(2);
+  int v = -1;
+  EXPECT_FALSE(q.TryPop(&v));
+  ASSERT_TRUE(q.Push(7));
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(BoundedQueueTest, TryPushRefusedAfterCloseAndCountersTrack) {
+  BoundedQueue<int> q(4);
+  int v = 1;
+  ASSERT_TRUE(q.TryPush(&v));
+  v = 2;
+  ASSERT_TRUE(q.TryPush(&v));
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+
+  q.Close();
+  v = 3;
+  EXPECT_FALSE(q.TryPush(&v));
+  EXPECT_EQ(q.total_pushed(), 2u);
+
+  // Close drains before refusing: TryPop still hands out accepted items.
+  int got = 0;
+  EXPECT_TRUE(q.TryPop(&got));
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(q.TryPop(&got));
+  EXPECT_EQ(got, 2);
+  EXPECT_FALSE(q.TryPop(&got));
+}
+
+// TryPush unblocks a consumer parked in blocking Pop — the farm's decode
+// stage pushes with the blocking call while workers drain with TryPop, so
+// both notify paths must fire.
+TEST(BoundedQueueTest, TryPushWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    int v;
+    if (q.Pop(&v)) got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int v = 42;
+  ASSERT_TRUE(q.TryPush(&v));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
 }  // namespace
 }  // namespace vdb

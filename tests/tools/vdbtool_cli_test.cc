@@ -61,7 +61,8 @@ constexpr char kUsage[] =
     "serving a catalog (separate tools):\n"
     "  vdbserve <catalog.vdbcat>... --port N   long-lived query service\n"
     "  vdbload --port N                        load generator / latency "
-    "bench\n";
+    "bench\n"
+    "  vdbstream --streams N --preset P        multi-tenant ingest farm\n";
 
 TEST(VdbtoolCliTest, NoArgsPrintsGoldenUsage) {
   ToolRun run = RunTool("");

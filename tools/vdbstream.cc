@@ -8,17 +8,29 @@
 //   vdbstream --file clip.vdb --publish-to store/ --checkpoint-every 4
 //   vdbstream --preset friends --publish-to store/ --reload 127.0.0.1:7711
 //   vdbstream --file clip.vdb --publish-to store/ --resume
+//
+// With --streams or --preset-mix it becomes a multi-tenant ingest farm
+// (farm::StreamFarm): N pipelines share one signature-worker pool under
+// weighted-fair scheduling, and all checkpoints funnel through a single
+// committer into one store.
+//
+//   vdbstream --preset friends --streams 8 --publish-to store/
+//   vdbstream --preset-mix friends,ten-shot --weights 3,1 --json
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "farm/farm.h"
 #include "stream/frame_source.h"
 #include "stream/pipeline.h"
 #include "synth/presets.h"
 #include "synth/renderer.h"
 #include "synth/workload.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -38,6 +50,14 @@ int Usage() {
       "  --reload HOST:PORT      ask a vdbserve to RELOAD after each publish\n"
       "  --resume                continue from DIR's checkpoint of this clip\n"
       "  --json                  machine-readable report\n"
+      "farm mode (multi-tenant ingest; needs a preset source):\n"
+      "  --streams N             run N streams as one farm\n"
+      "  --preset-mix A,B,...    per-stream presets, cycled to fill N\n"
+      "  --weights W1,W2,...     per-stream fair-share weights, cycled\n"
+      "  --farm-workers N        shared signature workers (default: cores)\n"
+      "  --max-streams N         admission cap (default 16)\n"
+      "  --target-fps F          real-time target per stream\n"
+      "  --shed-after S          shed lagging streams after S seconds\n"
       "presets: ten-shot, friends, simon-birch, wag-the-dog, or any Table-5\n"
       "clip name prefix (vdbtool presets lists them)\n";
   return 2;
@@ -60,6 +80,15 @@ Result<Storyboard> PresetBoard(const std::string& preset, double scale,
     }
   }
   return Status::NotFound("no preset matching '" + preset + "'");
+}
+
+Result<Video> PresetVideo(const std::string& preset, double scale,
+                          unsigned seed) {
+  Result<Storyboard> board = PresetBoard(preset, scale, seed);
+  if (!board.ok()) return board.status();
+  Result<SyntheticVideo> rendered = RenderStoryboard(*board);
+  if (!rendered.ok()) return rendered.status();
+  return std::move(rendered->video);
 }
 
 void PrintJson(const stream::PipelineReport& r) {
@@ -87,7 +116,8 @@ void PrintJson(const stream::PipelineReport& r) {
     const stream::StageReport& s = r.stages[i];
     std::cout << "    {\"name\": \"" << s.name << "\", \"items\": " << s.items
               << ", \"busy_seconds\": " << FormatDouble(s.busy_seconds, 6)
-              << ", \"queue_high_water\": " << s.queue_high_water << "}"
+              << ", \"queue_high_water\": " << s.queue_high_water
+              << ", \"queue_total\": " << s.queue_total << "}"
               << (i + 1 < r.stages.size() ? "," : "") << "\n";
   }
   std::cout << "  ]\n}\n";
@@ -117,13 +147,195 @@ void PrintHuman(const std::string& name, const stream::PipelineReport& r) {
   }
   std::cout << "  peak decoded frames in flight: " << r.max_frames_in_flight
             << "\n";
-  TablePrinter t({"Stage", "Items", "Busy (s)", "Queue high-water"});
+  TablePrinter t({"Stage", "Items", "Busy (s)", "Queue high-water",
+                  "Queue total"});
   for (const stream::StageReport& s : r.stages) {
     t.AddRow({s.name, StrFormat("%ld", s.items),
               FormatDouble(s.busy_seconds, 3),
-              StrFormat("%d", s.queue_high_water)});
+              StrFormat("%d", s.queue_high_water),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    s.queue_total))});
   }
   t.Print(std::cout);
+}
+
+// Per-stream queue counters from the pipeline's own stage report (the live
+// dispatcher view is gone once a stream detaches).
+const stream::StageReport* FindStage(const stream::PipelineReport& r,
+                                     const char* name) {
+  for (const stream::StageReport& s : r.stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void PrintFarmJson(const farm::FarmReport& report, int workers) {
+  const farm::FarmMetrics& m = report.final_metrics;
+  std::cout << "{\n"
+            << "  \"streams\": " << report.streams.size() << ",\n"
+            << "  \"workers\": " << workers << ",\n"
+            << "  \"wall_seconds\": " << FormatDouble(report.wall_seconds, 6)
+            << ",\n"
+            << "  \"finished\": " << m.finished << ",\n"
+            << "  \"shed\": " << m.shed << ",\n"
+            << "  \"cancelled\": " << m.cancelled << ",\n"
+            << "  \"failed\": " << m.failed << ",\n"
+            << "  \"publishes\": " << report.publishes << ",\n"
+            << "  \"store_generation\": " << report.store_generation << ",\n"
+            << "  \"reloads_ok\": " << report.reloads_ok << ",\n"
+            << "  \"reload_failures\": " << report.reload_failures << ",\n"
+            << "  \"reloads_coalesced\": " << report.reloads_coalesced
+            << ",\n"
+            << "  \"per_stream\": [\n";
+  for (size_t i = 0; i < report.streams.size(); ++i) {
+    const farm::StreamOutcome& o = report.streams[i];
+    const farm::StreamMetrics* sm =
+        i < m.streams.size() ? &m.streams[i] : nullptr;
+    const stream::StageReport* decode = FindStage(o.report, "decode");
+    const stream::StageReport* sig = FindStage(o.report, "signature");
+    std::cout << "    {\"name\": \"" << o.name << "\", \"state\": \""
+              << farm::StreamStateName(o.state) << "\""
+              << ", \"weight\": " << (sm != nullptr ? sm->weight : 1)
+              << ", \"frames\": " << o.report.frames
+              << ", \"shots\": " << o.report.shots
+              << ", \"checkpoints\": " << o.report.checkpoints
+              << ", \"signature_steps\": "
+              << (sm != nullptr ? sm->signature_steps : 0)
+              << ", \"resumed_from_frame\": " << o.report.resumed_from_frame
+              << ", \"decode_queue_high_water\": "
+              << (decode != nullptr ? decode->queue_high_water : 0)
+              << ", \"decode_queue_total\": "
+              << (decode != nullptr ? decode->queue_total : 0)
+              << ", \"signature_queue_high_water\": "
+              << (sig != nullptr ? sig->queue_high_water : 0)
+              << ", \"signature_queue_total\": "
+              << (sig != nullptr ? sig->queue_total : 0)
+              << ", \"total_seconds\": "
+              << FormatDouble(o.report.total_seconds, 6) << "}"
+              << (i + 1 < report.streams.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+}
+
+void PrintFarmHuman(const farm::FarmReport& report, int workers) {
+  const farm::FarmMetrics& m = report.final_metrics;
+  std::cout << "farm: " << report.streams.size() << " streams over "
+            << workers << " shared signature worker(s) in "
+            << FormatDouble(report.wall_seconds, 2) << "s — "
+            << m.finished << " finished";
+  if (m.shed > 0) std::cout << ", " << m.shed << " shed";
+  if (m.cancelled > 0) std::cout << ", " << m.cancelled << " cancelled";
+  if (m.failed > 0) std::cout << ", " << m.failed << " failed";
+  std::cout << "\n";
+  if (report.publishes > 0) {
+    std::cout << "  " << report.publishes
+              << " publish(es), store generation " << report.store_generation;
+    if (report.reloads_ok + report.reload_failures +
+            report.reloads_coalesced > 0) {
+      std::cout << "; reloads " << report.reloads_ok << " ok, "
+                << report.reload_failures << " failed, "
+                << report.reloads_coalesced << " coalesced";
+    }
+    std::cout << "\n";
+  }
+  TablePrinter t({"Stream", "State", "Weight", "Frames", "Shots",
+                  "Checkpoints", "Sig steps"});
+  for (size_t i = 0; i < report.streams.size(); ++i) {
+    const farm::StreamOutcome& o = report.streams[i];
+    const farm::StreamMetrics* sm =
+        i < m.streams.size() ? &m.streams[i] : nullptr;
+    t.AddRow({o.name, farm::StreamStateName(o.state),
+              StrFormat("%d", sm != nullptr ? sm->weight : 1),
+              StrFormat("%d", o.report.frames),
+              StrFormat("%d", o.report.shots),
+              StrFormat("%d", o.report.checkpoints),
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(
+                            sm != nullptr ? sm->signature_steps : 0))});
+  }
+  t.Print(std::cout);
+  for (const farm::StreamOutcome& o : report.streams) {
+    if (o.state == farm::StreamState::kFailed) {
+      std::cout << "  " << o.name << " failed: " << o.status << "\n";
+    }
+  }
+}
+
+struct FarmCliOptions {
+  int streams = 0;  // 0 = solo mode
+  std::vector<std::string> preset_mix;
+  std::vector<int> weights;
+  int workers = 0;
+  int max_streams = 16;
+  double target_fps = 0.0;
+  double shed_after = 0.0;
+};
+
+int RunFarm(const FarmCliOptions& cli, const std::string& preset,
+            double scale, unsigned seed, const stream::PipelineOptions& popts,
+            bool resume, bool json) {
+  std::vector<std::string> presets = cli.preset_mix;
+  if (presets.empty()) {
+    if (preset.empty()) {
+      std::cerr << "vdbstream: farm mode needs --preset or --preset-mix\n";
+      return Usage();
+    }
+    presets.push_back(preset);
+  }
+  int n = cli.streams > 0 ? cli.streams : static_cast<int>(presets.size());
+
+  std::vector<farm::StreamSpec> specs;
+  std::map<std::string, Video> renders;  // render each preset only once
+  std::map<std::string, int> copies;     // disambiguate repeated presets
+  for (int i = 0; i < n; ++i) {
+    const std::string& name = presets[i % presets.size()];
+    if (renders.find(name) == renders.end()) {
+      Result<Video> video = PresetVideo(name, scale, seed);
+      if (!video.ok()) return Fail(video.status());
+      renders.emplace(name, std::move(*video));
+    }
+    Video video = renders.at(name);
+    const int copy = ++copies[name];
+    if (copy > 1) {
+      // The k-th copy of a preset streams under "<name>#k" so every
+      // tenant owns its own catalog entry.
+      video.set_name(video.name() + StrFormat("#%d", copy));
+    }
+    farm::StreamSpec spec;
+    spec.source = stream::MakeVideoFrameSource(std::move(video));
+    if (!cli.weights.empty()) {
+      spec.weight = cli.weights[i % cli.weights.size()];
+    }
+    spec.target_fps = cli.target_fps;
+    specs.push_back(std::move(spec));
+  }
+
+  farm::FarmOptions fopts;
+  fopts.database = popts.database;
+  fopts.max_streams = cli.max_streams;
+  fopts.signature_workers = cli.workers;
+  fopts.queue_capacity = popts.queue_capacity;
+  fopts.checkpoint_every_shots = popts.checkpoint_every_shots;
+  fopts.checkpoint_every_media_seconds =
+      popts.checkpoint_every_media_seconds;
+  fopts.publish_dir = popts.publish_dir;
+  fopts.reload_host = popts.reload_host;
+  fopts.reload_port = popts.reload_port;
+  fopts.shed_after_seconds = cli.shed_after;
+
+  farm::StreamFarm farm(fopts);
+  Result<farm::FarmReport> report =
+      resume ? farm.Resume(std::move(specs)) : farm.Run(std::move(specs));
+  if (!report.ok()) return Fail(report.status());
+
+  const int workers =
+      cli.workers > 0 ? cli.workers : HardwareThreads();
+  if (json) {
+    PrintFarmJson(*report, workers);
+  } else {
+    PrintFarmHuman(*report, workers);
+  }
+  return 0;
 }
 
 int Run(int argc, char** argv) {
@@ -134,6 +346,8 @@ int Run(int argc, char** argv) {
   unsigned seed = 2000;
   bool resume = false;
   bool json = false;
+  bool farm_mode = false;
+  FarmCliOptions farm_cli;
   stream::PipelineOptions options;
 
   auto next_value = [&](size_t* i) -> const std::string* {
@@ -173,12 +387,42 @@ int Run(int argc, char** argv) {
       }
       options.reload_host = v->substr(0, colon);
       options.reload_port = std::atoi(v->c_str() + colon + 1);
+    } else if (arg == "--streams" && (v = next_value(&i))) {
+      farm_cli.streams = std::atoi(v->c_str());
+      farm_mode = true;
+    } else if (arg == "--preset-mix" && (v = next_value(&i))) {
+      for (const std::string& p : StrSplit(*v, ',')) {
+        if (!p.empty()) farm_cli.preset_mix.push_back(p);
+      }
+      farm_mode = true;
+    } else if (arg == "--weights" && (v = next_value(&i))) {
+      for (const std::string& w : StrSplit(*v, ',')) {
+        if (!w.empty()) farm_cli.weights.push_back(std::atoi(w.c_str()));
+      }
+    } else if (arg == "--farm-workers" && (v = next_value(&i))) {
+      farm_cli.workers = std::atoi(v->c_str());
+    } else if (arg == "--max-streams" && (v = next_value(&i))) {
+      farm_cli.max_streams = std::atoi(v->c_str());
+    } else if (arg == "--target-fps" && (v = next_value(&i))) {
+      farm_cli.target_fps = std::atof(v->c_str());
+    } else if (arg == "--shed-after" && (v = next_value(&i))) {
+      farm_cli.shed_after = std::atof(v->c_str());
     } else {
       std::cerr << "vdbstream: unknown or incomplete argument '" << arg
                 << "'\n";
       return Usage();
     }
   }
+
+  if (farm_mode) {
+    if (!file.empty()) {
+      std::cerr << "vdbstream: farm mode streams presets, not --file\n";
+      return Usage();
+    }
+    return RunFarm(farm_cli, preset, scale > 0 ? scale : 0.1, seed, options,
+                   resume, json);
+  }
+
   if (file.empty() == preset.empty()) {
     std::cerr << "vdbstream: exactly one of --file / --preset is required\n";
     return Usage();
@@ -191,12 +435,9 @@ int Run(int argc, char** argv) {
     if (!opened.ok()) return Fail(opened.status());
     source = std::move(*opened);
   } else {
-    Result<Storyboard> board = PresetBoard(preset, scale > 0 ? scale : 0.1,
-                                           seed);
-    if (!board.ok()) return Fail(board.status());
-    Result<SyntheticVideo> rendered = RenderStoryboard(*board);
-    if (!rendered.ok()) return Fail(rendered.status());
-    source = stream::MakeVideoFrameSource(std::move(rendered->video));
+    Result<Video> video = PresetVideo(preset, scale > 0 ? scale : 0.1, seed);
+    if (!video.ok()) return Fail(video.status());
+    source = stream::MakeVideoFrameSource(std::move(*video));
   }
 
   stream::Pipeline pipeline(options);

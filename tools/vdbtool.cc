@@ -84,7 +84,8 @@ int Usage() {
       "serving a catalog (separate tools):\n"
       "  vdbserve <catalog.vdbcat>... --port N   long-lived query service\n"
       "  vdbload --port N                        load generator / latency "
-      "bench\n";
+      "bench\n"
+      "  vdbstream --streams N --preset P        multi-tenant ingest farm\n";
   return 2;
 }
 
