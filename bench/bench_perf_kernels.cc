@@ -8,12 +8,25 @@
 //   ./bench/bench_perf_kernels --benchmark_format=json
 //
 // scripts/bench_kernels.sh wraps this and writes BENCH_kernels.json.
+//
+// On top of the static Reference/Kernel pairs (which run at the startup
+// dispatch level — the best the host supports, or VDB_SIMD), main()
+// registers one family per *available* SIMD level (BM_ReduceRows_scalar,
+// BM_ShiftMatch_avx2, BM_FrameSignature_sse4, ...) so a single run
+// quantifies each hand-vectorized level against the scalar baseline. The
+// selected level and the build type are printed and recorded as benchmark
+// context (vdb_build_type / simd_level / simd_levels_available).
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
 #include "core/extractor.h"
 #include "core/geometry.h"
 #include "core/kernels.h"
+#include "core/kernels/simd.h"
 #include "core/pyramid.h"
 #include "core/shot_detector.h"
 #include "synth/renderer.h"
@@ -203,7 +216,135 @@ void BM_PresetClip_Kernel(benchmark::State& state) {
 }
 BENCHMARK(BM_PresetClip_Kernel);
 
+// ---------------------------------------------------------------------------
+// Per-dispatch-level families, registered at runtime for exactly the
+// levels this host can execute. Each body pins its level for the duration
+// of the measurement and restores the startup level afterwards, so the
+// static families above are unaffected no matter how gbench interleaves
+// repetitions.
+
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(SimdLevel level) : prev_(ActiveSimdLevel()) {
+    ok_ = SetSimdLevel(level).ok();
+  }
+  ~ScopedLevel() {
+    if (ok_) SetSimdLevel(prev_).ok();
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  SimdLevel prev_;
+  bool ok_ = false;
+};
+
+void RegisterPerLevelBenchmarks() {
+  for (SimdLevel level : AvailableSimdLevels()) {
+    const std::string suffix = SimdLevelName(level);
+
+    benchmark::RegisterBenchmark(
+        ("BM_ReduceRows_" + suffix).c_str(),
+        [level](benchmark::State& state) {
+          ScopedLevel pin(level);
+          if (!pin.ok()) {
+            state.SkipWithError("SIMD level unavailable");
+            return;
+          }
+          int j = static_cast<int>(state.range(0));
+          int rows = SizeSetElement(j);
+          constexpr int kWidth = 253;
+          Pcg32 rng(3);
+          std::vector<uint8_t> in(static_cast<size_t>(kWidth) * rows);
+          std::vector<uint8_t> out(in.size());
+          for (uint8_t& v : in) {
+            v = static_cast<uint8_t>(rng.NextBounded(256));
+          }
+          for (auto _ : state) {
+            for (int c = 0; c < 3; ++c) {
+              const uint8_t* src = in.data();
+              int r = rows;
+              while (r > 1) {
+                ReduceRowsOnce(src, kWidth, r, out.data());
+                src = out.data();
+                r = (r - 3) / 2;
+              }
+              benchmark::DoNotOptimize(out.data());
+            }
+          }
+          state.SetItemsProcessed(state.iterations() *
+                                  static_cast<long>(kWidth) * rows);
+        })
+        ->DenseRange(3, 6);
+
+    benchmark::RegisterBenchmark(
+        ("BM_ShiftMatch_" + suffix).c_str(),
+        [level](benchmark::State& state) {
+          ScopedLevel pin(level);
+          if (!pin.ok()) {
+            state.SkipWithError("SIMD level unavailable");
+            return;
+          }
+          int n = static_cast<int>(state.range(0));
+          Signature a = RandomLine(n, 21);
+          Signature b = RandomLine(n, 22);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(BestShiftMatchScoreKernel(a, b, 12));
+          }
+        })
+        ->Arg(125)
+        ->Arg(253)
+        ->Arg(509);
+
+    benchmark::RegisterBenchmark(
+        ("BM_FrameSignature_" + suffix).c_str(),
+        [level](benchmark::State& state) {
+          ScopedLevel pin(level);
+          if (!pin.ok()) {
+            state.SkipWithError("SIMD level unavailable");
+            return;
+          }
+          int width = static_cast<int>(state.range(0));
+          int height = width * 3 / 4;
+          AreaGeometry geom = ComputeAreaGeometry(width, height).value();
+          Frame frame = RandomFrame(width, height, 7);
+          PyramidWorkspace workspace;
+          FrameSignature out;
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(workspace.ComputeInto(frame, geom, &out));
+            benchmark::DoNotOptimize(out);
+          }
+          state.SetItemsProcessed(state.iterations() *
+                                  static_cast<long>(frame.pixel_count()));
+        })
+        ->Arg(160)
+        ->Arg(320)
+        ->Arg(640);
+  }
+}
+
 }  // namespace
 }  // namespace vdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  vdb::bench::RequireReleaseBuild("bench_perf_kernels");
+
+  std::string available;
+  for (vdb::SimdLevel level : vdb::AvailableSimdLevels()) {
+    if (!available.empty()) available += ",";
+    available += vdb::SimdLevelName(level);
+  }
+  const char* active = vdb::SimdLevelName(vdb::ActiveSimdLevel());
+  std::cout << "bench_perf_kernels: simd level " << active << " (available "
+            << available << "; pin with VDB_SIMD=<level>), build "
+            << vdb::bench::VdbBuildType() << "\n";
+  benchmark::AddCustomContext("vdb_build_type", vdb::bench::VdbBuildType());
+  benchmark::AddCustomContext("simd_level", active);
+  benchmark::AddCustomContext("simd_levels_available", available);
+
+  vdb::RegisterPerLevelBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

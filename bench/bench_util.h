@@ -36,6 +36,42 @@ inline void Banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
 
+// The build type this bench binary — and, since every target shares
+// CMAKE_BUILD_TYPE, the library under test — was compiled with. Note this
+// is distinct from google/benchmark's own "library_build_type" context
+// field, which describes the *system* libbenchmark (Debian ships it
+// without NDEBUG, so that field reads "debug" even for release repo
+// builds); perf claims should be judged against this field instead.
+inline const char* VdbBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+// Refuses to run a perf bench from a Debug-class build: unoptimized
+// numbers silently poison BENCH_*.json baselines. VDB_BENCH_ALLOW_DEBUG=1
+// overrides for local debugging, with a loud tag on stderr.
+inline void RequireReleaseBuild(const char* bench_name) {
+#ifndef NDEBUG
+  const char* allow = std::getenv("VDB_BENCH_ALLOW_DEBUG");
+  if (allow == nullptr || *allow == '\0' || *allow == '0') {
+    std::cerr << bench_name
+              << ": refusing to run from a Debug-class build (numbers "
+                 "would be meaningless); configure with "
+                 "-DCMAKE_BUILD_TYPE=RelWithDebInfo or set "
+                 "VDB_BENCH_ALLOW_DEBUG=1 to override\n";
+    std::exit(3);
+  }
+  std::cerr << bench_name
+            << ": WARNING: running from a Debug-class build "
+               "(VDB_BENCH_ALLOW_DEBUG set); do not record these numbers\n";
+#else
+  (void)bench_name;
+#endif
+}
+
 }  // namespace bench
 }  // namespace vdb
 

@@ -26,7 +26,7 @@ JOBS="${JOBS:-$(nproc)}"
 WORK=build/bench-cluster
 OUT=BENCH_cluster.json
 
-cmake -B build -S . > /dev/null
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" \
   --target vdbtool vdbserve vdbrouter vdbload > /dev/null
 mkdir -p "$WORK"

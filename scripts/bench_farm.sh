@@ -17,7 +17,7 @@ MIN_TIME="${VDB_FARM_BENCH_MIN_TIME:-0.5}"
 JOBS="${JOBS:-$(nproc)}"
 OUT=BENCH_farm.json
 
-cmake -B build -S . > /dev/null
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target bench_perf_farm > /dev/null
 
 build/bench/bench_perf_farm \

@@ -20,7 +20,7 @@ MAX_CLIPS="${VDB_INDEX_SCALE_MAX:-1000000}"
 JOBS="${JOBS:-$(nproc)}"
 OUT=BENCH_index_scale.json
 
-cmake -B build -S . > /dev/null
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target bench_index_scale > /dev/null
 
 VDB_INDEX_SCALE_MAX="$MAX_CLIPS" build/bench/bench_index_scale \

@@ -23,7 +23,7 @@ JOBS="${JOBS:-$(nproc)}"
 WORK=build/bench-serve
 OUT=BENCH_serve.json
 
-cmake -B build -S . > /dev/null
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target vdbtool vdbserve vdbload > /dev/null
 mkdir -p "$WORK"
 

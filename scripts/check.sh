@@ -6,6 +6,7 @@
 #   scripts/check.sh plain      # just the uninstrumented build + full suite
 #   scripts/check.sh asan tsan  # just the sanitizer legs
 #   scripts/check.sh kernels    # fast kernel-equivalence smoke leg
+#   scripts/check.sh simd       # kernels suites per SIMD level under ASan
 #   scripts/check.sh serve      # serve suites under ASan then TSan
 #   scripts/check.sh cluster    # cluster suites under ASan then TSan
 #   scripts/check.sh index      # frame-index suites under ASan then TSan
@@ -119,8 +120,27 @@ for stage in "${STAGES[@]}"; do
       configure_and_build build ""
       ctest --test-dir build --output-on-failure -j "$JOBS" -L kernels
       ;;
+    simd)
+      # The SIMD dispatch battery: the whole kernels label (bit-exactness
+      # vs. reference, per-level equivalence, all 22 presets end to end)
+      # re-run once per dispatch level this host supports, forced via
+      # VDB_SIMD, under ASan — unaligned loads, overlapped vector tails
+      # and the in-place horizontal sweeps are exactly where an
+      # out-of-bounds read would hide. ctest propagates the environment
+      # to every test binary.
+      banner "simd leg: asan build + kernels suites per dispatch level"
+      configure_and_build build-asan address
+      levels="scalar"
+      if grep -qw sse4_1 /proc/cpuinfo; then levels="$levels sse4"; fi
+      if grep -qw avx2 /proc/cpuinfo; then levels="$levels avx2"; fi
+      for level in $levels; do
+        banner "simd leg: VDB_SIMD=$level"
+        VDB_SIMD="$level" ctest --test-dir build-asan --output-on-failure \
+          -j "$JOBS" -L kernels
+      done
+      ;;
     *)
-      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, index, farm, kernels)" >&2
+      echo "check.sh: unknown stage '$stage' (want plain, asan, tsan, serve, cluster, index, farm, kernels, simd)" >&2
       exit 2
       ;;
   esac

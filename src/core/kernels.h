@@ -38,11 +38,19 @@ namespace vdb {
 //    coincides with (S + 8) >> 4 (both operands are non-negative and the
 //    result never exceeds 255). The whole image reduces one *level* at a
 //    time by sweeping rows (not gathering columns), so loads are
-//    contiguous and the inner loops auto-vectorize.
+//    contiguous and the inner loops vectorize.
+//  * The hot loops (row reduce, deinterleave, per-shift match mask)
+//    dispatch at runtime to hand-written AVX2 / SSE4.1 / scalar variants
+//    (core/kernels/simd.h: CPUID probe once, per-kernel function pointers,
+//    VDB_SIMD / SetSimdLevel override). Every level computes identical
+//    fixed-point integer math, so the output bytes never depend on the
+//    selected level — only the schedule does.
 //
 // The bit-exactness contract is enforced by kernels_test (property tests
-// over randomized geometries plus all 22 Table-5 presets end to end) and
-// by the fast `ctest -L kernels` leg of scripts/check.sh.
+// over randomized geometries plus all 22 Table-5 presets end to end), by
+// kernels_simd_test (the same battery forced onto every available dispatch
+// level, plus misaligned and tail-width cases), and by the fast
+// `ctest -L kernels` and per-level `simd` legs of scripts/check.sh.
 
 // One reduction level over planar rows: `in` holds `in_rows` rows of
 // `width` bytes each; writes (in_rows - 3) / 2 rows to `out`. Requires

@@ -3,23 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/kernels/kernel_ops.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace vdb {
 namespace {
-
-// In-place horizontal reduction step on one channel row: out i draws from
-// inputs 2i..2i+4, so writing index i never clobbers a value a later (or
-// the current) window still needs.
-inline void ReduceRowInPlace(uint8_t* row, int n) {
-  int out = (n - 3) / 2;
-  for (int i = 0; i < out; ++i) {
-    const uint8_t* p = row + 2 * i;
-    unsigned s = p[0] + p[4] + 4u * (p[1] + p[3]) + 6u * p[2] + 8u;
-    row[i] = static_cast<uint8_t>(s >> 4);
-  }
-}
 
 bool SameGeometry(const AreaGeometry& a, const AreaGeometry& b) {
   return a.frame_width == b.frame_width && a.frame_height == b.frame_height &&
@@ -33,21 +22,7 @@ bool SameGeometry(const AreaGeometry& a, const AreaGeometry& b) {
 void ReduceRowsOnce(const uint8_t* in, int width, int in_rows, uint8_t* out) {
   VDB_CHECK(in_rows >= 5 && IsSizeSetElement(in_rows))
       << "row count " << in_rows << " is not a reducible size-set element";
-  int out_rows = (in_rows - 3) / 2;
-  for (int i = 0; i < out_rows; ++i) {
-    const uint8_t* r0 = in + static_cast<size_t>(2 * i) * width;
-    const uint8_t* r1 = r0 + width;
-    const uint8_t* r2 = r1 + width;
-    const uint8_t* r3 = r2 + width;
-    const uint8_t* r4 = r3 + width;
-    uint8_t* o = out + static_cast<size_t>(i) * width;
-    for (int x = 0; x < width; ++x) {
-      // Max sum is 16*255 + 8 = 4088, so unsigned never overflows and the
-      // shifted result is always a valid byte — no clamp needed.
-      unsigned s = r0[x] + r4[x] + 4u * (r1[x] + r3[x]) + 6u * r2[x] + 8u;
-      o[x] = static_cast<uint8_t>(s >> 4);
-    }
-  }
+  kernels::ActiveOps().reduce_rows_once(in, width, in_rows, out);
 }
 
 void PyramidWorkspace::Prepare(const AreaGeometry& geom) {
@@ -179,14 +154,15 @@ void PyramidWorkspace::ReducePlanesToLine(int width, int rows) {
 }
 
 PixelRGB PyramidWorkspace::ReduceLineRowToPixel(int width) {
+  const kernels::KernelOps& ops = kernels::ActiveOps();
   std::memcpy(sign_r_.data(), line_r_, static_cast<size_t>(width));
   std::memcpy(sign_g_.data(), line_g_, static_cast<size_t>(width));
   std::memcpy(sign_b_.data(), line_b_, static_cast<size_t>(width));
   int n = width;
   while (n > 1) {
-    ReduceRowInPlace(sign_r_.data(), n);
-    ReduceRowInPlace(sign_g_.data(), n);
-    ReduceRowInPlace(sign_b_.data(), n);
+    ops.reduce_row_inplace(sign_r_.data(), n);
+    ops.reduce_row_inplace(sign_g_.data(), n);
+    ops.reduce_row_inplace(sign_b_.data(), n);
     n = (n - 3) / 2;
   }
   return PixelRGB(sign_r_[0], sign_g_[0], sign_b_[0]);
@@ -263,10 +239,6 @@ Result<FrameSignature> ComputeFrameSignatureReference(
 
 namespace {
 
-inline uint8_t AbsDiffU8(uint8_t x, uint8_t y) {
-  return x > y ? static_cast<uint8_t>(x - y) : static_cast<uint8_t>(y - x);
-}
-
 inline bool PixelsMatch(const PixelRGB& a, const PixelRGB& b, int tolerance) {
   return MaxChannelDifference(a, b) <= tolerance;
 }
@@ -284,8 +256,9 @@ double BestShiftMatchScoreKernel(const Signature& a, const Signature& b,
   // Per-shift match mask plus both signatures deinterleaved into planar
   // channel arrays; per-thread so steady state allocates nothing. The
   // deinterleave is O(n) amortised over O(n) shifts, and it turns the
-  // per-shift mask computation into contiguous byte arithmetic the
-  // compiler vectorizes (the 3-byte PixelRGB stride defeats it).
+  // per-shift mask computation into contiguous byte arithmetic the vector
+  // kernels chew through (the 3-byte PixelRGB stride defeats SIMD).
+  const kernels::KernelOps& ops = kernels::ActiveOps();
   thread_local std::vector<uint8_t> scratch;
   if (static_cast<int>(scratch.size()) < 7 * n) {
     scratch.resize(static_cast<size_t>(7) * n);
@@ -297,16 +270,8 @@ double BestShiftMatchScoreKernel(const Signature& a, const Signature& b,
   uint8_t* br = ab + n;
   uint8_t* bg = br + n;
   uint8_t* bb = bg + n;
-  for (int i = 0; i < n; ++i) {
-    const PixelRGB& pa = a[static_cast<size_t>(i)];
-    const PixelRGB& pb = b[static_cast<size_t>(i)];
-    ar[i] = pa.r;
-    ag[i] = pa.g;
-    ab[i] = pa.b;
-    br[i] = pb.r;
-    bg[i] = pb.g;
-    bb[i] = pb.b;
-  }
+  ops.deinterleave_rgb(a.data(), n, ar, ag, ab);
+  ops.deinterleave_rgb(b.data(), n, br, bg, bb);
   const uint8_t tol = static_cast<uint8_t>(tolerance >= 255 ? 255 : tolerance);
 
   int best = 0;
@@ -324,19 +289,10 @@ double BestShiftMatchScoreKernel(const Signature& a, const Signature& b,
       const int ao = lo;
       const int bo = lo - s;
       // Branchless mask + match count in one sweep over the planar
-      // channels (auto-vectorizes: contiguous byte loads, max/min absolute
-      // difference, byte result).
-      int total = 0;
-      for (int i = 0; i < overlap; ++i) {
-        uint8_t dr = AbsDiffU8(ar[ao + i], br[bo + i]);
-        uint8_t dg = AbsDiffU8(ag[ao + i], bg[bo + i]);
-        uint8_t db = AbsDiffU8(ab[ao + i], bb[bo + i]);
-        uint8_t d2 = dr > dg ? dr : dg;
-        uint8_t dm = d2 > db ? d2 : db;
-        uint8_t hit = dm <= tol ? 1 : 0;
-        m[i] = hit;
-        total += hit;
-      }
+      // channels (contiguous byte loads, max/min absolute difference,
+      // psadbw popcount in the vector levels).
+      int total = ops.match_mask_total(ar + ao, ag + ao, ab + ao, br + bo,
+                                       bg + bo, bb + bo, overlap, tol, m);
       // The longest run cannot exceed the number of matches; for dissimilar
       // frames (the stage-3 common case: stages 1-2 already settled the
       // easy pairs) this skips the serial run scan almost every shift.

@@ -1,0 +1,20 @@
+// The scalar dispatch level: the PR-5 kernels exactly as they were, now
+// behind the KernelOps table. Compiled at -O3 (see src/core/CMakeLists.txt)
+// so GCC's loop vectorizer still auto-vectorizes the inline bodies to
+// baseline SSE2 — this level is the floor every host can run and the
+// reference the hand-written levels are tested byte-identical against.
+
+#include "core/kernels/kernel_ops.h"
+
+namespace vdb {
+namespace kernels {
+
+const KernelOps kScalarOps = {
+    &ReduceRowsOnceScalar,
+    &ReduceRowInPlaceScalar,
+    &DeinterleaveRgbScalar,
+    &MatchMaskTotalScalar,
+};
+
+}  // namespace kernels
+}  // namespace vdb

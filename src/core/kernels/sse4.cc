@@ -1,0 +1,233 @@
+// SSE4.1 dispatch level. Compiled with -msse4.1 in its own translation
+// unit; only reached when CPUID reports SSE4.1 (core/kernels/simd.cc).
+//
+// All arithmetic is the same fixed-point integer math as the scalar level
+// — 8-bit lanes widened to 16 bits where the 5-tap sum (max 4088) needs
+// headroom — so the output is byte-identical; only the schedule changes.
+// Every load is unaligned (`loadu`); tails use an overlapped final vector
+// where outputs are pure and non-aliasing (recomputing the same bytes is
+// exact) and fall back to the inline scalar bodies elsewhere, so there
+// are no alignment or minimum-size requirements.
+
+#include "core/kernels/kernel_ops.h"
+
+#ifdef VDB_KERNELS_HAVE_SSE4
+
+#include <smmintrin.h>
+
+namespace vdb {
+namespace kernels {
+namespace {
+
+// pmaddubsw tap coefficients. maddubs(x, 0x0401) computes
+// x[2j]*1 + x[2j+1]*4 per u16 lane (the low constant byte multiplies the
+// even source byte), maddubs(x, 0x0406) computes x[2j]*6 + x[2j+1]*4.
+// Both partial sums (max 1275 and 2550) and the full 5-tap sum (max 4088)
+// fit i16 with no saturation, so the math stays exact.
+constexpr int16_t kCoef14 = 0x0401;
+constexpr int16_t kCoef64 = 0x0406;
+
+// One 16-byte column slab of the vertical 5-tap at byte offset x.
+// Interleaving rows 0/1 and 2/3 pairs each output column's taps into
+// adjacent bytes: one maddubs per pair computes p0 + 4*p1 and 6*p2 + 4*p3
+// for eight columns at once; packus_epi16 undoes the interleave.
+inline void ReduceColumns16(const uint8_t* r0, const uint8_t* r1,
+                            const uint8_t* r2, const uint8_t* r3,
+                            const uint8_t* r4, uint8_t* o, int x) {
+  const __m128i c14 = _mm_set1_epi16(kCoef14);
+  const __m128i c64 = _mm_set1_epi16(kCoef64);
+  const __m128i bias = _mm_set1_epi16(8);
+  const __m128i zero = _mm_setzero_si128();
+  __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0 + x));
+  __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1 + x));
+  __m128i v2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r2 + x));
+  __m128i v3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r3 + x));
+  __m128i v4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r4 + x));
+  __m128i lo = _mm_add_epi16(
+      _mm_maddubs_epi16(_mm_unpacklo_epi8(v0, v1), c14),
+      _mm_maddubs_epi16(_mm_unpacklo_epi8(v2, v3), c64));
+  lo = _mm_add_epi16(lo, _mm_unpacklo_epi8(v4, zero));
+  lo = _mm_srli_epi16(_mm_add_epi16(lo, bias), 4);
+  __m128i hi = _mm_add_epi16(
+      _mm_maddubs_epi16(_mm_unpackhi_epi8(v0, v1), c14),
+      _mm_maddubs_epi16(_mm_unpackhi_epi8(v2, v3), c64));
+  hi = _mm_add_epi16(hi, _mm_unpackhi_epi8(v4, zero));
+  hi = _mm_srli_epi16(_mm_add_epi16(hi, bias), 4);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(o + x),
+                   _mm_packus_epi16(lo, hi));
+}
+
+void ReduceRowsOnceSse4(const uint8_t* in, int width, int in_rows,
+                        uint8_t* out) {
+  const int out_rows = (in_rows - 3) / 2;
+  for (int i = 0; i < out_rows; ++i) {
+    const uint8_t* r0 = in + static_cast<size_t>(2 * i) * width;
+    const uint8_t* r1 = r0 + width;
+    const uint8_t* r2 = r1 + width;
+    const uint8_t* r3 = r2 + width;
+    const uint8_t* r4 = r3 + width;
+    uint8_t* o = out + static_cast<size_t>(i) * width;
+    int x = 0;
+    for (; x + 16 <= width; x += 16) {
+      ReduceColumns16(r0, r1, r2, r3, r4, o, x);
+    }
+    if (x < width) {
+      if (width >= 16) {
+        // Overlapped tail: redo the last full vector instead of a scalar
+        // loop. Each output byte is a pure function of the same five input
+        // bytes, and out does not alias in, so recomputing a suffix of the
+        // previous slab stores identical values.
+        ReduceColumns16(r0, r1, r2, r3, r4, o, width - 16);
+      } else {
+        for (; x < width; ++x) {
+          o[x] = Reduce5(r0[x], r1[x], r2[x], r3[x], r4[x]);
+        }
+      }
+    }
+  }
+}
+
+// Horizontal in-place level. Outputs i..i+7 read row[2i .. 2i+18]; three
+// unaligned 16-byte loads at 2i, 2i+2 and 2i+4 expose the five taps as
+// adjacent byte pairs ready for maddubs. The last byte the loads touch is
+// 2i+19, so the vector path requires 2i+20 <= n. In-place is safe: all
+// loads of an iteration happen before its store, earlier stores end at
+// i-1 < 2i.
+void ReduceRowInPlaceSse4(uint8_t* row, int n) {
+  const int out = (n - 3) / 2;
+  const __m128i c14 = _mm_set1_epi16(kCoef14);
+  const __m128i c64 = _mm_set1_epi16(kCoef64);
+  const __m128i bias = _mm_set1_epi16(8);
+  const __m128i lo_mask = _mm_set1_epi16(0x00FF);
+  int i = 0;
+  for (; i + 8 <= out && 2 * i + 20 <= n; i += 8) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 2 * i));
+    __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 2 * i + 2));
+    __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 2 * i + 4));
+    // The stride-2 taps are already adjacent byte pairs of the overlapping
+    // loads: maddubs on `a` gives p0 + 4*p1 per output, on `b` (offset 2)
+    // gives 6*p2 + 4*p3, and the even bytes of `c` (offset 4) supply p4.
+    __m128i s = _mm_add_epi16(_mm_maddubs_epi16(a, c14),
+                              _mm_maddubs_epi16(b, c64));
+    s = _mm_add_epi16(s, _mm_and_si128(c, lo_mask));
+    s = _mm_srli_epi16(_mm_add_epi16(s, bias), 4);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(row + i),
+                     _mm_packus_epi16(s, s));
+  }
+  for (; i < out; ++i) {
+    const uint8_t* p = row + 2 * i;
+    row[i] = Reduce5(p[0], p[1], p[2], p[3], p[4]);
+  }
+}
+
+// 16 pixels = 48 bytes per iteration via three pshufb-gathers per channel.
+// v0 = r0 g0 b0 r1 g1 b1 r2 g2 b2 r3 g3 b3 r4 g4 b4 r5
+// v1 = g5 b5 r6 g6 b6 r7 g7 b7 r8 g8 b8 r9 g9 b9 r10 g10
+// v2 = b10 r11 g11 b11 r12 g12 b12 r13 g13 b13 r14 g14 b14 r15 g15 b15
+void DeinterleaveRgbSse4(const PixelRGB* src, int n, uint8_t* r, uint8_t* g,
+                         uint8_t* b) {
+  const uint8_t* s = reinterpret_cast<const uint8_t*>(src);
+  const __m128i m0r = _mm_setr_epi8(0, 3, 6, 9, 12, 15, -1, -1, -1, -1, -1,
+                                    -1, -1, -1, -1, -1);
+  const __m128i m1r = _mm_setr_epi8(-1, -1, -1, -1, -1, -1, 2, 5, 8, 11, 14,
+                                    -1, -1, -1, -1, -1);
+  const __m128i m2r = _mm_setr_epi8(-1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                                    -1, 1, 4, 7, 10, 13);
+  const __m128i m0g = _mm_setr_epi8(1, 4, 7, 10, 13, -1, -1, -1, -1, -1, -1,
+                                    -1, -1, -1, -1, -1);
+  const __m128i m1g = _mm_setr_epi8(-1, -1, -1, -1, -1, 0, 3, 6, 9, 12, 15,
+                                    -1, -1, -1, -1, -1);
+  const __m128i m2g = _mm_setr_epi8(-1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                                    -1, 2, 5, 8, 11, 14);
+  const __m128i m0b = _mm_setr_epi8(2, 5, 8, 11, 14, -1, -1, -1, -1, -1, -1,
+                                    -1, -1, -1, -1, -1);
+  const __m128i m1b = _mm_setr_epi8(-1, -1, -1, -1, -1, 1, 4, 7, 10, 13, -1,
+                                    -1, -1, -1, -1, -1);
+  const __m128i m2b = _mm_setr_epi8(-1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                                    0, 3, 6, 9, 12, 15);
+  auto block16 = [&](int i) {
+    const uint8_t* p = s + static_cast<size_t>(3) * i;
+    __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+    __m128i v2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+    __m128i vr = _mm_or_si128(_mm_or_si128(_mm_shuffle_epi8(v0, m0r),
+                                           _mm_shuffle_epi8(v1, m1r)),
+                              _mm_shuffle_epi8(v2, m2r));
+    __m128i vg = _mm_or_si128(_mm_or_si128(_mm_shuffle_epi8(v0, m0g),
+                                           _mm_shuffle_epi8(v1, m1g)),
+                              _mm_shuffle_epi8(v2, m2g));
+    __m128i vb = _mm_or_si128(_mm_or_si128(_mm_shuffle_epi8(v0, m0b),
+                                           _mm_shuffle_epi8(v1, m1b)),
+                              _mm_shuffle_epi8(v2, m2b));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(r + i), vr);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(g + i), vg);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(b + i), vb);
+  };
+  int i = 0;
+  for (; i + 16 <= n; i += 16) block16(i);
+  if (i < n) {
+    if (n >= 16) {
+      // Overlapped tail (see ReduceRowsOnceSse4): planar outputs never
+      // alias the packed input, so redoing the last full block is exact.
+      block16(n - 16);
+    } else {
+      DeinterleaveRgbScalar(src + i, n - i, r + i, g + i, b + i);
+    }
+  }
+}
+
+int MatchMaskTotalSse4(const uint8_t* ar, const uint8_t* ag,
+                       const uint8_t* ab, const uint8_t* br,
+                       const uint8_t* bg, const uint8_t* bb, int overlap,
+                       uint8_t tol, uint8_t* m) {
+  const __m128i tolv = _mm_set1_epi8(static_cast<char>(tol));
+  const __m128i one = _mm_set1_epi8(1);
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  int i = 0;
+  for (; i + 16 <= overlap; i += 16) {
+    __m128i var = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ar + i));
+    __m128i vbr = _mm_loadu_si128(reinterpret_cast<const __m128i*>(br + i));
+    __m128i vag = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ag + i));
+    __m128i vbg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bg + i));
+    __m128i vab = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ab + i));
+    __m128i vbb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bb + i));
+    // |x - y| for unsigned bytes: saturating differences in both
+    // directions, one of which is zero.
+    __m128i dr = _mm_or_si128(_mm_subs_epu8(var, vbr),
+                              _mm_subs_epu8(vbr, var));
+    __m128i dg = _mm_or_si128(_mm_subs_epu8(vag, vbg),
+                              _mm_subs_epu8(vbg, vag));
+    __m128i db = _mm_or_si128(_mm_subs_epu8(vab, vbb),
+                              _mm_subs_epu8(vbb, vab));
+    __m128i dm = _mm_max_epu8(_mm_max_epu8(dr, dg), db);
+    // dm <= tol  <=>  min(dm, tol) == dm (unsigned bytes).
+    __m128i hit = _mm_cmpeq_epi8(_mm_min_epu8(dm, tolv), dm);
+    __m128i ones = _mm_and_si128(hit, one);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(m + i), ones);
+    // Byte-popcount without POPCNT (a separate CPUID bit from SSE4.1):
+    // psadbw sums the 0/1 bytes into two u64 halves.
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(ones, zero));
+  }
+  int total = static_cast<int>(_mm_extract_epi64(acc, 0) +
+                               _mm_extract_epi64(acc, 1));
+  total += MatchMaskTotalScalar(ar + i, ag + i, ab + i, br + i, bg + i,
+                                bb + i, overlap - i, tol, m + i);
+  return total;
+}
+
+}  // namespace
+
+const KernelOps kSse4Ops = {
+    &ReduceRowsOnceSse4,
+    &ReduceRowInPlaceSse4,
+    &DeinterleaveRgbSse4,
+    &MatchMaskTotalSse4,
+};
+
+}  // namespace kernels
+}  // namespace vdb
+
+#endif  // VDB_KERNELS_HAVE_SSE4

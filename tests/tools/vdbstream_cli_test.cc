@@ -132,6 +132,17 @@ TEST(VdbstreamCliTest, FarmFlagsAreAdvertised) {
   EXPECT_NE(usage.find("--shed-after S"), std::string::npos);
 }
 
+TEST(VdbstreamCliTest, JsonReportCarriesSimdLevel) {
+  // A tiny solo run: the machine-readable report must identify which SIMD
+  // dispatch level produced the signatures (scalar / sse4 / avx2), so
+  // perf numbers are attributable to a kernel configuration.
+  ToolRun run = RunTool("--preset ten-shot --scale 0.03 --json",
+                        /*merge_stderr=*/false);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"simd_level\": \""), std::string::npos)
+      << run.output;
+}
+
 TEST(VdbstreamCliTest, AdmissionRefusalSurfacesAsError) {
   // 4 streams offered against --max-streams 2: refused before any work,
   // with the farm's kUnavailable diagnostic on stderr and exit 1.

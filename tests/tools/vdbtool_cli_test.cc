@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -58,6 +59,7 @@ constexpr char kUsage[] =
     "  vdbtool browse <clip.vdb> [child.child...]\n"
     "  vdbtool export-frame <clip.vdb> <frame#> <out.ppm>\n"
     "  vdbtool presets\n"
+    "  vdbtool version\n"
     "serving a catalog (separate tools):\n"
     "  vdbserve <catalog.vdbcat>... --port N   long-lived query service\n"
     "  vdbload --port N                        load generator / latency "
@@ -117,6 +119,33 @@ TEST(VdbtoolCliTest, IndexBuildOnMissingStoreFailsCleanly) {
   ToolRun run = RunTool("index-build /nonexistent-store-dir");
   EXPECT_EQ(run.exit_code, 1);
   EXPECT_NE(run.output.find("error:"), std::string::npos);
+}
+
+TEST(VdbtoolCliTest, VersionReportsSimdDispatch) {
+  // The exact level is host-dependent, but the line shape is pinned: the
+  // active level, the detected level, and the full availability list
+  // (scalar is always compiled in).
+  ToolRun run = RunTool("version");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("vdbtool (video database toolkit)\n"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("simd: "), std::string::npos);
+  EXPECT_NE(run.output.find("(detected "), std::string::npos);
+  EXPECT_NE(run.output.find("available scalar"), std::string::npos);
+}
+
+TEST(VdbtoolCliTest, VersionHonorsSimdEnvOverride) {
+  const char* saved = getenv("VDB_SIMD");
+  std::string saved_value = saved != nullptr ? saved : "";
+  setenv("VDB_SIMD", "scalar", 1);
+  ToolRun forced = RunTool("version");
+  if (saved != nullptr) {
+    setenv("VDB_SIMD", saved_value.c_str(), 1);
+  } else {
+    unsetenv("VDB_SIMD");
+  }
+  ASSERT_EQ(forced.exit_code, 0);
+  EXPECT_NE(forced.output.find("simd: scalar"), std::string::npos);
 }
 
 TEST(VdbtoolCliTest, StreamIngestOnMissingFileFailsCleanly) {

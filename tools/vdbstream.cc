@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/kernels/simd.h"
 #include "farm/farm.h"
 #include "stream/frame_source.h"
 #include "stream/pipeline.h"
@@ -93,6 +94,8 @@ Result<Video> PresetVideo(const std::string& preset, double scale,
 
 void PrintJson(const stream::PipelineReport& r) {
   std::cout << "{\n"
+            << "  \"simd_level\": \"" << SimdLevelName(ActiveSimdLevel())
+            << "\",\n"
             << "  \"frames\": " << r.frames << ",\n"
             << "  \"shots\": " << r.shots << ",\n"
             << "  \"checkpoints\": " << r.checkpoints << ",\n"
@@ -172,6 +175,8 @@ const stream::StageReport* FindStage(const stream::PipelineReport& r,
 void PrintFarmJson(const farm::FarmReport& report, int workers) {
   const farm::FarmMetrics& m = report.final_metrics;
   std::cout << "{\n"
+            << "  \"simd_level\": \"" << SimdLevelName(ActiveSimdLevel())
+            << "\",\n"
             << "  \"streams\": " << report.streams.size() << ",\n"
             << "  \"workers\": " << workers << ",\n"
             << "  \"wall_seconds\": " << FormatDouble(report.wall_seconds, 6)

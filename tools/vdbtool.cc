@@ -25,6 +25,7 @@
 //   vdbtool browse <clip.vdb> [child.child...]  walk the scene tree
 //   vdbtool export-frame <clip.vdb> <frame#> <out.ppm>   dump one frame
 //   vdbtool presets                          list synthetic presets
+//   vdbtool version                          build + SIMD dispatch info
 //
 // Presets: "ten-shot", "friends", "simon-birch", "wag-the-dog", or any
 // Table-5 clip name prefix ("Silk", "Scooby", ...; scaled by the optional
@@ -43,6 +44,7 @@
 #include "core/browser.h"
 #include "core/catalog_io.h"
 #include "core/fingerprint.h"
+#include "core/kernels/simd.h"
 #include "core/motion.h"
 #include "core/video_database.h"
 #include "store/catalog_store.h"
@@ -81,6 +83,7 @@ int Usage() {
       "  vdbtool browse <clip.vdb> [child.child...]\n"
       "  vdbtool export-frame <clip.vdb> <frame#> <out.ppm>\n"
       "  vdbtool presets\n"
+      "  vdbtool version\n"
       "serving a catalog (separate tools):\n"
       "  vdbserve <catalog.vdbcat>... --port N   long-lived query service\n"
       "  vdbload --port N                        load generator / latency "
@@ -472,13 +475,27 @@ int CmdExportFrame(const std::string& path, int frame_no,
   return 0;
 }
 
+// Build/runtime identification: which SIMD dispatch levels this binary
+// carries, what the CPU supports, and which one the kernels selected
+// (VDB_SIMD overrides detection; see core/kernels/simd.h).
+int CmdVersion() {
+  std::cout << "vdbtool (video database toolkit)\n"
+            << "simd: " << SimdLevelName(ActiveSimdLevel()) << " (detected "
+            << SimdLevelName(DetectedSimdLevel()) << "; available";
+  for (SimdLevel level : AvailableSimdLevels()) {
+    std::cout << " " << SimdLevelName(level);
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
 bool KnownCommand(const std::string& cmd) {
   static const char* const kCommands[] = {
       "presets",    "synth",      "info",          "analyze",
       "catalog",    "store-save", "store-open",    "store-compact",
       "store-shard", "stream-ingest",              "tree",          "query",
       "classify",   "browse",     "export-frame",  "index-build",
-      "index-query",
+      "index-query", "version",
   };
   for (const char* known : kCommands) {
     if (cmd == known) return true;
@@ -495,6 +512,7 @@ int Run(int argc, char** argv) {
   const std::string& cmd = args[0];
 
   if (cmd == "presets") return CmdPresets();
+  if (cmd == "version") return CmdVersion();
   if (cmd == "synth" && args.size() >= 3) {
     double scale = args.size() >= 4 ? std::atof(args[3].c_str()) : 0.1;
     return CmdSynth(args[1], args[2], scale > 0 ? scale : 0.1);
